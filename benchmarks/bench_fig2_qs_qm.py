@@ -1,0 +1,66 @@
+"""E2 — Figure 2: QS and QM of the ticket query.
+
+Regenerates both stacks exactly as printed in the paper and benchmarks
+the QS&QM manager's core operations (stack copy + abstraction).
+"""
+
+from repro.core.query_model import QueryModel
+from repro.core.query_structure import QueryStructure
+from repro.sqldb.engine import Database
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+
+TICKET_SQL = ("SELECT * FROM tickets WHERE reservID = 'ID34FG' "
+              "AND creditCard = 1234")
+
+
+def _tickets_db():
+    database = Database()
+    database.seed(
+        "CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT, "
+        "reservID VARCHAR(20), creditCard INT);"
+    )
+    return database
+
+
+def test_figure2_artifact(report, benchmark):
+    database = _tickets_db()
+    stack = validate(parse_one(TICKET_SQL), database.tables)
+
+    def build():
+        qs = QueryStructure.from_stack(stack)
+        return qs, QueryModel.from_structure(qs)
+
+    qs, qm = benchmark(build)
+    report.line("Figure 2(a) — query structure (QS), top of stack first:")
+    report.line(qs.render())
+    report.line()
+    report.line("Figure 2(b) — query model (QM):")
+    report.line(qm.render())
+    assert len(qs) == len(qm) == 9
+
+
+def test_bench_qs_build(benchmark):
+    database = _tickets_db()
+    statement = parse_one(TICKET_SQL)
+    stack = validate(statement, database.tables)
+    qs = benchmark(QueryStructure.from_stack, stack)
+    assert len(qs) == 9
+
+
+def test_bench_qm_build(benchmark):
+    database = _tickets_db()
+    stack = validate(parse_one(TICKET_SQL), database.tables)
+    qs = QueryStructure.from_stack(stack)
+    qm = benchmark(QueryModel.from_structure, qs)
+    assert len(qm) == 9
+
+
+def test_bench_full_pipeline_parse_to_qm(benchmark):
+    database = _tickets_db()
+
+    def pipeline():
+        stack = validate(parse_one(TICKET_SQL), database.tables)
+        return QueryModel.from_structure(QueryStructure.from_stack(stack))
+
+    assert len(benchmark(pipeline)) == 9

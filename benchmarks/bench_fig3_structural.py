@@ -1,0 +1,82 @@
+"""E3 — Figure 3: the second-order unicode attack and its structural
+detection (step 1 of the SQLI algorithm).
+
+Regenerates the attacked query's QS and benchmarks the detection of the
+structural mismatch.
+"""
+
+from repro.core.detector import AttackDetector
+from repro.core.query_model import QueryModel
+from repro.core.query_structure import QueryStructure
+from repro.sqldb.charset import decode_query
+from repro.sqldb.engine import Database
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+
+TICKET_SQL = ("SELECT * FROM tickets WHERE reservID = 'ID34FG' "
+              "AND creditCard = 1234")
+ATTACK_SQL = ("SELECT * FROM tickets WHERE reservID = 'ID34FGʼ-- ' "
+              "AND creditCard = 0")
+
+
+def _setup():
+    database = Database()
+    database.seed(
+        "CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT, "
+        "reservID VARCHAR(20), creditCard INT);"
+    )
+    model = QueryModel.from_structure(QueryStructure.from_stack(
+        validate(parse_one(TICKET_SQL), database.tables)
+    ))
+    attack_qs = QueryStructure.from_stack(
+        validate(parse_one(decode_query(ATTACK_SQL)), database.tables)
+    )
+    return model, attack_qs
+
+
+def test_figure3_artifact(report, benchmark):
+    model, attack_qs = _setup()
+    detector = AttackDetector()
+    detection = benchmark(detector.detect_sqli, attack_qs, model)
+    report.line("attack input (reservID): ID34FGʼ--  (prime = U+02BC)")
+    report.line("query after DBMS decoding:")
+    report.line("  " + decode_query(ATTACK_SQL))
+    report.line()
+    report.line("Figure 3 — QS of the attacked query:")
+    report.line(attack_qs.render())
+    report.line()
+    report.line("detection: %s at step %d (%s)" % (
+        detection.attack_type, detection.step, detection.detail))
+    assert detection.is_attack and detection.step == 1
+    assert len(attack_qs) == 5 and len(model) == 9
+
+
+def test_bench_structural_comparison_only(benchmark):
+    """Step 1 in isolation: the node-count check."""
+    model, attack_qs = _setup()
+
+    def step1():
+        return len(attack_qs) != len(model)
+
+    assert benchmark(step1)
+
+
+def test_bench_decode_parse_detect_end_to_end(benchmark):
+    """The whole in-DBMS path the attack traverses."""
+    database = Database()
+    database.seed(
+        "CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT, "
+        "reservID VARCHAR(20), creditCard INT);"
+    )
+    model = QueryModel.from_structure(QueryStructure.from_stack(
+        validate(parse_one(TICKET_SQL), database.tables)
+    ))
+    detector = AttackDetector()
+
+    def pipeline():
+        qs = QueryStructure.from_stack(
+            validate(parse_one(decode_query(ATTACK_SQL)), database.tables)
+        )
+        return detector.detect_sqli(qs, model)
+
+    assert benchmark(pipeline).is_attack

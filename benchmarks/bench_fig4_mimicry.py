@@ -1,0 +1,76 @@
+"""E4 — Figure 4: the syntax-mimicry attack and its syntactical
+detection (step 2, node-by-node comparison).
+"""
+
+from repro.core.detector import AttackDetector
+from repro.core.query_model import QueryModel
+from repro.core.query_structure import QueryStructure
+from repro.sqldb.charset import decode_query
+from repro.sqldb.engine import Database
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+
+TICKET_SQL = ("SELECT * FROM tickets WHERE reservID = 'ID34FG' "
+              "AND creditCard = 1234")
+ATTACK_SQL = ("SELECT * FROM tickets WHERE reservID = "
+              "'ID34FGʼ AND 1=1-- ' AND creditCard = 0")
+
+
+def _setup():
+    database = Database()
+    database.seed(
+        "CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT, "
+        "reservID VARCHAR(20), creditCard INT);"
+    )
+    model = QueryModel.from_structure(QueryStructure.from_stack(
+        validate(parse_one(TICKET_SQL), database.tables)
+    ))
+    attack_qs = QueryStructure.from_stack(
+        validate(parse_one(decode_query(ATTACK_SQL)), database.tables)
+    )
+    return model, attack_qs
+
+
+def test_figure4_artifact(report, benchmark):
+    model, attack_qs = _setup()
+    detector = AttackDetector()
+    detection = benchmark(detector.detect_sqli, attack_qs, model)
+    report.line("attack input (reservID): ID34FGʼ AND 1=1--  "
+                "(prime = U+02BC)")
+    report.line()
+    report.line("Figure 4 — QS of the mimicry attack:")
+    report.line(attack_qs.render())
+    report.line()
+    report.line("node counts: QS=%d == QM=%d (step 1 passes)"
+                % (len(attack_qs), len(model)))
+    report.line("detection: %s at step %d (%s)" % (
+        detection.attack_type, detection.step, detection.detail))
+    assert detection.is_attack and detection.step == 2
+    assert len(attack_qs) == len(model) == 9
+
+
+def test_bench_node_by_node_comparison(benchmark):
+    """Step 2 in isolation on equal-length stacks."""
+    model, attack_qs = _setup()
+    detector = AttackDetector()
+    detection = benchmark(detector.detect_sqli, attack_qs, model)
+    assert detection.step == 2
+
+
+def test_bench_benign_full_match(benchmark):
+    """The common case: a benign query matching all nine nodes."""
+    database = Database()
+    database.seed(
+        "CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT, "
+        "reservID VARCHAR(20), creditCard INT);"
+    )
+    model = QueryModel.from_structure(QueryStructure.from_stack(
+        validate(parse_one(TICKET_SQL), database.tables)
+    ))
+    benign = QueryStructure.from_stack(validate(
+        parse_one("SELECT * FROM tickets WHERE reservID = 'OTHER' "
+                  "AND creditCard = 42"),
+        database.tables,
+    ))
+    detector = AttackDetector()
+    assert not benchmark(detector.detect_sqli, benign, model).is_attack

@@ -1,0 +1,131 @@
+"""E8 — micro-cost ablation of SEPTIC's pipeline stages.
+
+Supports Figure 5's "very limited impact" claim by timing each module in
+isolation: QS build, QM abstraction, ID generation, store lookup, the
+two SQLI steps, and the stored-injection plugin scan (benign and
+malicious inputs).  Also ablates the two-step detection design: how much
+work the cheap structural check saves on structurally-mutated attacks.
+"""
+
+from repro.core.detector import AttackDetector
+from repro.core.id_generator import IdGenerator
+from repro.core.plugins import default_plugins
+from repro.core.query_model import QueryModel
+from repro.core.query_structure import QueryStructure
+from repro.core.store import QMStore
+from repro.sqldb.engine import Database
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+
+SQL = ("SELECT r.watts, r.taken_at, r.comment FROM readings r "
+       "JOIN devices d ON r.device_id = d.id "
+       "WHERE d.serial = 'WM-100-A' AND d.pin = 1234 "
+       "ORDER BY r.taken_at LIMIT 50")
+
+
+def _stack():
+    return validate(parse_one(SQL))
+
+
+def test_bench_qs_build(benchmark):
+    stack = _stack()
+    assert len(benchmark(QueryStructure.from_stack, stack)) == len(stack)
+
+
+def test_bench_qm_abstraction(benchmark):
+    qs = QueryStructure.from_stack(_stack())
+    assert len(benchmark(QueryModel.from_structure, qs)) == len(qs)
+
+
+def test_bench_id_generation(benchmark):
+    qm = QueryModel.from_structure(QueryStructure.from_stack(_stack()))
+    gen = IdGenerator()
+    qid = benchmark(gen.generate, ["septic:waspmon:history:86"], qm)
+    assert qid.external
+
+
+def test_bench_store_lookup_hot(benchmark):
+    """Lookup in a store holding 1000 models (a large application)."""
+    gen = IdGenerator()
+    store = QMStore()
+    target = None
+    for i in range(1000):
+        sql = "SELECT a FROM t WHERE b = %d AND c%d = 1" % (i, i)
+        qm = QueryModel.from_structure(
+            QueryStructure.from_stack(validate(parse_one(sql)))
+        )
+        qid = gen.generate(["septic:site:%d" % i], qm)
+        store.put(qid, qm)
+        if i == 500:
+            target = qid
+    assert benchmark(store.get, target) is not None
+
+
+def test_bench_sqli_step1_mismatch(benchmark):
+    """Structural attacks exit at the O(1) count check."""
+    detector = AttackDetector()
+    model = QueryModel.from_structure(QueryStructure.from_stack(_stack()))
+    attack = QueryStructure.from_stack(validate(parse_one(
+        "SELECT r.watts, r.taken_at, r.comment FROM readings r "
+        "JOIN devices d ON r.device_id = d.id WHERE d.serial = 'x'"
+    )))
+    detection = benchmark(detector.detect_sqli, attack, model)
+    assert detection.step == 1
+
+
+def test_bench_sqli_step2_full_walk(benchmark):
+    """Benign queries pay the full node walk — the steady-state cost."""
+    detector = AttackDetector()
+    model = QueryModel.from_structure(QueryStructure.from_stack(_stack()))
+    benign = QueryStructure.from_stack(validate(parse_one(
+        SQL.replace("WM-100-A", "WM-200-B").replace("1234", "5678")
+    )))
+    assert not benchmark(detector.detect_sqli, benign, model).is_attack
+
+
+def test_bench_plugins_benign_input(benchmark):
+    """Step-1 plugin filters on clean text (the overwhelmingly common
+    case) — this is what INSERT/UPDATE traffic pays."""
+    plugins = default_plugins()
+    text = "perfectly normal reading comment with no markup at all"
+
+    def scan():
+        return any(p.inspect(text) for p in plugins)
+
+    assert not benchmark(scan)
+
+
+def test_bench_plugins_malicious_input(benchmark):
+    """Step 2 runs (HTML parse) only when step 1 flags the input."""
+    plugins = default_plugins()
+    text = "<script>alert('Hello!');</script>"
+
+    def scan():
+        return any(p.inspect(text) for p in plugins)
+
+    assert benchmark(scan)
+
+
+def test_bench_full_hook_per_query(benchmark):
+    """The end-to-end per-query SEPTIC cost inside the engine (what the
+    Figure 5 overhead is made of)."""
+    from repro.core.logger import SepticLogger
+    from repro.core.septic import Mode, Septic
+    from repro.sqldb.connection import Connection
+
+    septic = Septic(mode=Mode.TRAINING, logger=SepticLogger(verbose=False))
+    database = Database(septic=septic)
+    database.seed(
+        "CREATE TABLE t (a INT, b VARCHAR(20));"
+        "INSERT INTO t VALUES (1, 'x');"
+    )
+    conn = Connection(database)
+    conn.query("/* septic:s:1 */ SELECT * FROM t WHERE a = 1")
+    septic.mode = Mode.PREVENTION
+    before = database.septic_seconds_total
+
+    def query():
+        return conn.query("/* septic:s:1 */ SELECT * FROM t WHERE a = 2")
+
+    assert benchmark(query).ok
+    assert database.septic_seconds_total > before

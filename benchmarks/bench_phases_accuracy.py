@@ -1,0 +1,104 @@
+"""E7 — §IV demo phases: detection accuracy across deployments.
+
+Regenerates the phase A/B/D/E results as a table: per attack, whether it
+succeeds unprotected, whether ModSecurity blocks it, whether SEPTIC
+blocks it — plus the aggregate false-negative/false-positive counts the
+demo narrates.
+"""
+
+from repro.attacks.corpus import benign_cases, run_case, waspmon_attacks
+from repro.attacks.scenario import build_scenario
+
+SELF_DEFEATING = {"numeric_piggyback", "login_tautology_ascii"}
+
+
+def _run_matrix():
+    matrix = {}
+    for protection in ("none", "modsec", "septic", "dbfirewall"):
+        scenario = build_scenario(protection)
+        matrix[protection] = {
+            "scenario": scenario,
+            "outcomes": {
+                case.name: run_case(scenario.server, scenario.app, case)
+                for case in waspmon_attacks()
+            },
+        }
+    # false positives over benign traffic in the SEPTIC deployment
+    septic_scenario = matrix["septic"]["scenario"]
+    fp = 0
+    for case in benign_cases(septic_scenario.app):
+        outcome = run_case(septic_scenario.server, septic_scenario.app,
+                           case)
+        if outcome.blocked or not outcome.succeeded:
+            fp += 1
+    matrix["false_positives"] = fp
+    return matrix
+
+
+def test_phases_artifact(report, benchmark):
+    matrix = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+    none_out = matrix["none"]["outcomes"]
+    modsec_out = matrix["modsec"]["outcomes"]
+    septic_out = matrix["septic"]["outcomes"]
+    firewall_out = matrix["dbfirewall"]["outcomes"]
+
+    report.line("§IV phases — attack outcomes per deployment")
+    report.line("(dbfirewall = GreenSQL-style SQL proxy, the related-work")
+    report.line(" comparator of §I/§II-B)")
+    report.line()
+    rows = []
+    for case in waspmon_attacks():
+        rows.append([
+            case.name,
+            case.channel,
+            "pwned" if none_out[case.name].succeeded else "self-defeats",
+            "blocked" if modsec_out[case.name].waf_blocked else "MISSED",
+            "blocked" if firewall_out[case.name].firewall_blocked
+            else ("n/a" if case.name in SELF_DEFEATING else "MISSED"),
+            "blocked" if septic_out[case.name].septic_blocked else (
+                "n/a" if case.name in SELF_DEFEATING else "MISSED"),
+        ])
+    report.table(
+        ["attack", "channel", "unprotected", "ModSecurity",
+         "SQL proxy", "SEPTIC"],
+        rows,
+        widths=[28, 24, 14, 13, 11, 9],
+    )
+    viable = [c.name for c in waspmon_attacks()
+              if c.name not in SELF_DEFEATING]
+    waf_fn = sum(1 for name in viable
+                 if not modsec_out[name].waf_blocked)
+    firewall_fn = sum(1 for name in viable
+                      if not firewall_out[name].firewall_blocked)
+    septic_fn = sum(1 for name in viable
+                    if not septic_out[name].septic_blocked)
+    report.line()
+    report.line("viable attacks: %d" % len(viable))
+    report.line("ModSecurity false negatives: %d" % waf_fn)
+    report.line("SQL proxy false negatives:   %d" % firewall_fn)
+    report.line("SEPTIC false negatives:      %d" % septic_fn)
+    report.line("SEPTIC false positives:      %d"
+                % matrix["false_positives"])
+
+    # phase A: everything viable lands
+    assert all(none_out[name].succeeded for name in viable)
+    # phase B: ModSecurity helps but has false negatives
+    assert 0 < waf_fn < len(viable)
+    # related work: the outside-the-DBMS proxy misses every channel that
+    # only materializes after DBMS decoding, plus all stored injection
+    assert firewall_fn > waf_fn
+    # phase D/E: SEPTIC blocks everything, no false positives
+    assert septic_fn == 0
+    assert matrix["false_positives"] == 0
+
+
+def test_bench_attack_corpus_under_septic(benchmark):
+    """Cost of pushing the whole corpus through a SEPTIC deployment."""
+    scenario = build_scenario("septic")
+
+    def run_all():
+        return [run_case(scenario.server, scenario.app, case)
+                for case in waspmon_attacks()]
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=3)
+    assert not any(o.succeeded for o in outcomes)

@@ -1,0 +1,42 @@
+"""E6 — §II-F scaling series: the browser ramp on refbase.
+
+The paper ramps 1→4 client machines with one browser each, then 4
+machines with 2/3/4/5 browsers (8, 12, 16, 20 total), every browser
+looping the refbase workload.  We regenerate the series (YY
+configuration) and assert the load/latency shape: average latency is
+non-decreasing once the server saturates, throughput grows with offered
+load until the worker pool is the bottleneck.
+"""
+
+from repro.apps import Refbase
+from repro.benchlab.harness import run_scaling_experiment
+
+
+def test_scaling_artifact(report, benchmark):
+    rows = benchmark.pedantic(
+        run_scaling_experiment, args=(Refbase,),
+        kwargs={"loops": 4, "workers": 8},
+        rounds=1, iterations=1,
+    )
+    report.line("§II-F scaling series — refbase workload, SEPTIC YY")
+    report.line()
+    report.table(
+        ["browsers", "machines", "avg latency", "p95", "req/s"],
+        [
+            ["%d" % browsers, "%d" % machines,
+             "%.2f ms" % (res.avg_latency * 1e3),
+             "%.2f ms" % (res.p95_latency * 1e3),
+             "%.0f" % res.throughput]
+            for browsers, machines, res in rows
+        ],
+    )
+    latencies = [res.avg_latency for _, _, res in rows]
+    throughputs = [res.throughput for _, _, res in rows]
+    # light-load region: 1..4 browsers fit in the 8-worker pool, latency
+    # stays flat (within 50%) while throughput scales near-linearly
+    assert max(latencies[:4]) < min(latencies[:4]) * 1.5
+    assert throughputs[3] > throughputs[0] * 2.5
+    # saturation region: 20 browsers > 8 workers -> queueing shows up
+    assert latencies[-1] > latencies[0]
+    # throughput never collapses
+    assert throughputs[-1] > throughputs[3] * 0.8

@@ -1,0 +1,113 @@
+"""E1 — Table I: operation modes and the actions SEPTIC takes.
+
+Regenerates the mode/action matrix by *observing* a live SEPTIC instance
+in each mode, and benchmarks per-query processing cost per mode.
+"""
+
+from repro.core.logger import SepticLogger
+from repro.core.septic import Mode, Septic
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+
+SCHEMA = (
+    "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, "
+    "name VARCHAR(40), val INT);"
+    "INSERT INTO t (name, val) VALUES ('a', 1);"
+)
+TRAINED = "/* septic:s:1 */ SELECT * FROM t WHERE name = '%s' AND val = %s"
+SQLI = TRAINED % ("a' OR 1=1-- ", "0")
+STORED = ("/* septic:s:2 */ INSERT INTO t (name, val) "
+          "VALUES ('<script>alert(1)</script>', 1)")
+NEW_QUERY = "/* septic:s:9 */ SELECT COUNT(*) FROM t"
+
+
+def _fresh(mode):
+    septic = Septic(mode=Mode.TRAINING, logger=SepticLogger(verbose=True))
+    database = Database(septic=septic)
+    database.seed(SCHEMA)
+    conn = Connection(database)
+    conn.query(TRAINED % ("a", "1"))
+    conn.query("/* septic:s:2 */ INSERT INTO t (name, val) "
+               "VALUES ('b', 2)")
+    septic.mode = mode
+    return septic, database, conn
+
+
+def _observe(mode):
+    """Return the Table I row observed for *mode*."""
+    septic, database, conn = _fresh(mode)
+    store_before = len(septic.store)
+    executed_before = database.statements_executed
+    out_sqli = conn.query(SQLI)
+    out_stored = conn.query(STORED)
+    conn.query(NEW_QUERY)
+    learned = len(septic.store) > store_before
+    return {
+        "mode": mode,
+        "qm_training": mode == Mode.TRAINING and learned,
+        "qm_incremental": mode != Mode.TRAINING and learned,
+        "qm_log": bool(septic.logger.new_models),
+        "sqli": septic.stats.sqli_detected > 0,
+        "stored": septic.stats.stored_detected > 0,
+        "attack_log": bool(septic.logger.attacks),
+        "drop": not out_sqli.ok and not out_stored.ok,
+        "exec": out_sqli.ok,
+    }
+
+
+def test_table1_artifact(report, benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_observe(m) for m in (Mode.TRAINING, Mode.PREVENTION,
+                                       Mode.DETECTION)],
+        rounds=1, iterations=1,
+    )
+    mark = lambda flag: "x" if flag else " "  # noqa: E731
+    report.line("Table I — operation modes and actions taken by SEPTIC")
+    report.line()
+    report.table(
+        ["", "QM:T", "QM:I", "QM:Log", "SQLI", "StoredInj", "Log",
+         "Drop", "Exec"],
+        [
+            [row["mode"].capitalize(), mark(row["qm_training"]),
+             mark(row["qm_incremental"]), mark(row["qm_log"]),
+             mark(row["sqli"]), mark(row["stored"]),
+             mark(row["attack_log"]), mark(row["drop"]), mark(row["exec"])]
+            for row in rows
+        ],
+        widths=[12, 6, 6, 8, 6, 11, 5, 6, 6],
+    )
+    by_mode = {row["mode"]: row for row in rows}
+    training = by_mode[Mode.TRAINING]
+    assert training["qm_training"] and training["exec"]
+    assert not training["sqli"] and not training["stored"]
+    prevention = by_mode[Mode.PREVENTION]
+    assert prevention["sqli"] and prevention["stored"]
+    assert prevention["drop"] and not prevention["exec"]
+    assert prevention["qm_incremental"]
+    detection = by_mode[Mode.DETECTION]
+    assert detection["sqli"] and detection["stored"]
+    assert detection["exec"] and not detection["drop"]
+
+
+def test_bench_training_mode_query(benchmark):
+    septic, _, conn = _fresh(Mode.TRAINING)
+    outcome = benchmark(conn.query, TRAINED % ("x", "5"))
+    assert outcome.ok
+
+
+def test_bench_prevention_benign_query(benchmark):
+    septic, _, conn = _fresh(Mode.PREVENTION)
+    outcome = benchmark(conn.query, TRAINED % ("x", "5"))
+    assert outcome.ok
+
+
+def test_bench_prevention_attack_query(benchmark):
+    septic, _, conn = _fresh(Mode.PREVENTION)
+    outcome = benchmark(conn.query, SQLI)
+    assert not outcome.ok
+
+
+def test_bench_detection_attack_query(benchmark):
+    septic, _, conn = _fresh(Mode.DETECTION)
+    outcome = benchmark(conn.query, SQLI)
+    assert outcome.ok

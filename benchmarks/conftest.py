@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` file regenerates one table/figure of the paper.  Besides
+timing (pytest-benchmark), every bench PRINTS the paper-shaped rows and
+writes them to ``benchmarks/out/<name>.txt`` so the artefacts survive
+output capturing.
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+class Report(object):
+    """Collects the lines of one regenerated artefact."""
+
+    def __init__(self, name):
+        self.name = name
+        self.lines = []
+
+    def line(self, text=""):
+        self.lines.append(text)
+
+    def table(self, headers, rows, widths=None):
+        widths = widths or [max(12, len(h) + 2) for h in headers]
+        fmt = "".join("%%-%ds" % w for w in widths)
+        self.line(fmt % tuple(headers))
+        for row in rows:
+            self.line(fmt % tuple(str(c) for c in row))
+
+    def emit(self):
+        text = "\n".join(self.lines)
+        os.makedirs(OUT_DIR, exist_ok=True)
+        path = os.path.join(OUT_DIR, self.name + ".txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print("\n" + "=" * 70)
+        print("ARTEFACT %s (saved to %s)" % (self.name, path))
+        print("=" * 70)
+        print(text)
+        return text
+
+
+@pytest.fixture
+def report(request):
+    rep = Report(request.node.name.replace("test_", "", 1))
+    yield rep
+    rep.emit()

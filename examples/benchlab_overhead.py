@@ -1,0 +1,41 @@
+"""A quick Figure-5-style overhead measurement (small configuration).
+
+The full experiment lives in ``benchmarks/bench_fig5_overhead.py``; this
+example runs a reduced version (1 machine, 2 browsers, 3 loops) so you
+can watch the moving parts in a few seconds.
+
+Run:  python examples/benchlab_overhead.py
+"""
+
+from repro.apps import Refbase
+from repro.benchlab import run_benchlab, run_scaling_experiment
+
+
+def main():
+    print("SEPTIC overhead on the refbase workload "
+          "(1 machine x 2 browsers x 3 loops)\n")
+    baseline = run_benchlab(Refbase, None, machines=1,
+                            browsers_per_machine=2, loops=3)
+    print("%-10s avg=%.3f ms  p95=%.3f ms  %.0f req/s" % (
+        "baseline", baseline.avg_latency * 1e3,
+        baseline.p95_latency * 1e3, baseline.throughput))
+    for flags in ("NN", "YN", "NY", "YY"):
+        result = run_benchlab(Refbase, flags, machines=1,
+                              browsers_per_machine=2, loops=3)
+        print("%-10s avg=%.3f ms  p95=%.3f ms  %.0f req/s  "
+              "overhead=%+.2f%%  septic=%.1f µs/req" % (
+                  flags, result.avg_latency * 1e3,
+                  result.p95_latency * 1e3, result.throughput,
+                  100 * result.overhead_vs(baseline),
+                  1e6 * result.measured_seconds / result.requests))
+
+    print("\nbrowser ramp (YY), abbreviated:")
+    for browsers, machines, result in run_scaling_experiment(
+            Refbase, loops=2)[:5]:
+        print("  %2d browsers on %d machine(s): avg=%.2f ms, %.0f req/s"
+              % (browsers, machines, result.avg_latency * 1e3,
+                 result.throughput))
+
+
+if __name__ == "__main__":
+    main()

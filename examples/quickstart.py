@@ -1,0 +1,50 @@
+"""Quickstart: SEPTIC inside the DBMS in ~40 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Connection, Database, Mode, Septic
+
+# 1. Create a database with SEPTIC plugged into its execution pipeline.
+septic = Septic(mode=Mode.TRAINING)
+db = Database(septic=septic)
+db.seed(
+    """
+    CREATE TABLE tickets (
+        id INT PRIMARY KEY AUTO_INCREMENT,
+        reservID VARCHAR(20),
+        creditCard INT
+    );
+    INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234);
+    """
+)
+
+# 2. Train: run the application's queries once in training mode.  The
+#    /* septic:... */ comment is the external identifier a PHP/Zend shim
+#    would attach automatically (it names the call site).
+conn = Connection(db)
+QUERY = ("/* septic:app.php:42 */ SELECT * FROM tickets "
+         "WHERE reservID = '%s' AND creditCard = %s")
+conn.query(QUERY % ("ID34FG", "1234"))
+print("models learned:", len(septic.store))
+
+# 3. Protect: switch to prevention mode.
+septic.mode = Mode.PREVENTION
+
+# 4. Benign queries keep working...
+ok = conn.query(QUERY % ("ID34FG", "1234"))
+print("benign query rows:", ok.rows)
+
+# 5. ...while attacks are detected and dropped.  This is the paper's
+#    syntax-mimicry example (Figure 4): same node count, different nodes.
+attack = conn.query(QUERY % ("ID34FG' AND 1=1-- ", "0"))
+print("mimicry attack:", attack.error)
+
+# And the second-order/unicode structural attack (Figure 3).
+attack2 = conn.query(QUERY % ("ID34FGʼ-- ", "0"))
+print("structural attack:", attack2.error)
+
+# 6. Everything is in the event register.
+print("\nSEPTIC event register:")
+for event in septic.logger.events:
+    print(" ", event.format())

@@ -1,0 +1,117 @@
+"""The semantic mismatch, query by query (paper §II-C/§II-D).
+
+Reproduces Figures 2, 3 and 4 — the QS/QM stacks of the ticket query and
+the two attack detections — then walks each mismatch channel at the SQL
+level, showing what the sanitizer saw versus what the DBMS executed.
+
+Run:  python examples/semantic_mismatch.py
+"""
+
+from repro import Connection, Database, Mode, Septic
+from repro.core import QueryModel, QueryStructure
+from repro.sqldb.charset import decode_query
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+from repro.web.sanitize import addslashes, mysql_real_escape_string
+
+
+def show(title, text):
+    print("\n--- %s " % title + "-" * max(0, 60 - len(title)))
+    print(text)
+
+
+def main():
+    db = Database()
+    db.seed(
+        """
+        CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT,
+                              reservID VARCHAR(20), creditCard INT);
+        INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234);
+        """
+    )
+
+    # ----- Figure 2: QS and QM of the ticket query ----------------------
+    sql = ("SELECT * FROM tickets WHERE reservID = 'ID34FG' "
+           "AND creditCard = 1234")
+    stack = validate(parse_one(sql), db.tables)
+    qs = QueryStructure.from_stack(stack)
+    qm = QueryModel.from_structure(qs)
+    show("Figure 2a — query structure (QS)", qs.render())
+    show("Figure 2b — query model (QM, DATA → ⊥)", qm.render())
+
+    # ----- Figure 3: the second-order unicode attack ----------------------
+    raw = ("SELECT * FROM tickets WHERE reservID = 'ID34FGʼ-- ' "
+           "AND creditCard = 0")
+    decoded = decode_query(raw)
+    show("what the application sent (U+02BC inside the literal)", raw)
+    show("what MySQL executes after decoding", decoded)
+    attack_stack = validate(parse_one(decoded), db.tables)
+    attack_qs = QueryStructure.from_stack(attack_stack)
+    show("Figure 3 — QS of the attacked query", attack_qs.render())
+    print("\nnode counts: QS=%d vs QM=%d -> STRUCTURAL detection (step 1)"
+          % (len(attack_qs), len(qm)))
+
+    # ----- Figure 4: syntax mimicry ------------------------------------------
+    mimic = decode_query(
+        "SELECT * FROM tickets WHERE reservID = 'ID34FGʼ AND 1=1-- ' "
+        "AND creditCard = 0"
+    )
+    mimic_qs = QueryStructure.from_stack(validate(parse_one(mimic),
+                                                  db.tables))
+    show("Figure 4 — QS of the mimicry attack", mimic_qs.render())
+    print("\nnode counts match (%d == %d); node-by-node comparison finds"
+          % (len(mimic_qs), len(qm)))
+    for index, (qs_node, qm_node) in enumerate(zip(mimic_qs, qm)):
+        if qs_node.kind != qm_node.kind:
+            print("  node %d: %r vs model %r  -> SYNTACTICAL detection "
+                  "(step 2)" % (index, qs_node, qm_node))
+
+    # ----- channel tour ------------------------------------------------------------
+    show("channel 1 — escaping vs unicode confusables", "")
+    payload = "ID34FGʼ OR ʼ1ʼ=ʼ1"
+    escaped = mysql_real_escape_string(payload)
+    print("payload:                %r" % payload)
+    print("after escaping:         %r  (unchanged!)" % escaped)
+    print("after DBMS decoding:    %r" % decode_query(escaped))
+
+    show("channel 2 — numeric context", "")
+    payload = "0 OR 1=1"
+    print("payload:                %r" % payload)
+    print("after escaping:         %r  (no quotes to escape)"
+          % mysql_real_escape_string(payload))
+    print("in context:             SELECT ... WHERE pin = 0 OR 1=1")
+
+    show("channel 3 — GBK eats addslashes' backslash", "")
+    payload = "¿' OR 1=1-- "
+    slashed = addslashes(payload)
+    print("payload:                %r" % payload)
+    print("after addslashes:       %r" % slashed)
+    print("after GBK decoding:     %r" % decode_query(slashed, "gbk"))
+
+    # ----- and SEPTIC closes all of them ------------------------------------------
+    show("SEPTIC verdicts", "")
+    septic = Septic(mode=Mode.TRAINING)
+    db2 = Database(septic=septic)
+    db2.seed(
+        """
+        CREATE TABLE tickets (id INT PRIMARY KEY AUTO_INCREMENT,
+                              reservID VARCHAR(20), creditCard INT);
+        INSERT INTO tickets (reservID, creditCard) VALUES ('ID34FG', 1234);
+        """
+    )
+    conn = Connection(db2)
+    template = ("/* septic:tickets.php:7 */ SELECT * FROM tickets "
+                "WHERE reservID = '%s' AND creditCard = %s")
+    conn.query(template % ("ID34FG", "1234"))
+    septic.mode = Mode.PREVENTION
+    for label, res_id, card in [
+        ("benign", "ID34FG", "1234"),
+        ("structural (Fig 3)", "ID34FGʼ-- ", "0"),
+        ("mimicry (Fig 4)", "ID34FGʼ AND 1=1-- ", "0"),
+    ]:
+        outcome = conn.query(template % (res_id, card))
+        print("%-22s %s" % (label, outcome))
+
+
+if __name__ == "__main__":
+    main()

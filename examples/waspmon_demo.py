@@ -1,0 +1,115 @@
+"""The five-phase demonstration (paper §IV) against WaspMon.
+
+Phase A — attacks with sanitization-function protection only;
+Phase B — the same attacks with ModSecurity enabled;
+Phase C — training SEPTIC through the application forms;
+Phase D — SEPTIC in prevention mode (attacks blocked, benign passes);
+Phase E — ModSecurity versus SEPTIC, side by side.
+
+Run:  python examples/waspmon_demo.py
+"""
+
+from repro.attacks import (
+    benign_cases,
+    build_scenario,
+    run_case,
+    waspmon_attacks,
+)
+from repro.core import SepticTrainer
+
+
+def banner(title):
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def run_phase(scenario, label):
+    outcomes = [
+        run_case(scenario.server, scenario.app, case)
+        for case in waspmon_attacks()
+    ]
+    print("%-28s %-10s %-12s %-14s" % ("attack", "success", "waf", "septic"))
+    for o in outcomes:
+        print("%-28s %-10s %-12s %-14s" % (
+            o.case.name,
+            "YES" if o.succeeded else "-",
+            "BLOCKED" if o.waf_blocked else "-",
+            "BLOCKED" if o.septic_blocked else "-",
+        ))
+    succeeded = sum(1 for o in outcomes if o.succeeded)
+    print("\n[%s] attacks succeeded: %d / %d" % (label, succeeded,
+                                                 len(outcomes)))
+    return outcomes
+
+
+def main():
+    banner("Phase A — sanitization functions only (no external protection)")
+    print("Every WaspMon entry point is sanitized with PHP functions\n"
+          "(mysql_real_escape_string / intval / addslashes) — and still:")
+    phase_a = run_phase(build_scenario("none"), "phase A")
+
+    banner("Phase B — ModSecurity (OWASP CRS-style rules, PL1) enabled")
+    scenario_b = build_scenario("modsec")
+    phase_b = run_phase(scenario_b, "phase B")
+    print("\nModSecurity audit log (blocked requests):")
+    for request, verdict in scenario_b.waf.audit_log[:10]:
+        print("  %s %s -> rules %s (score %d)" % (
+            request.method, request.path, verdict.rule_ids, verdict.score))
+
+    banner("Phase C — training SEPTIC")
+    scenario_d = build_scenario("septic", training_passes=0,
+                                verbose_log=True)
+    trainer = SepticTrainer(scenario_d.app, scenario_d.septic)
+    scenario_d.septic.mode = "TRAINING"
+    report = trainer.train(passes=1)
+    print("crawler pass 1:", report)
+    report2 = trainer.train(passes=1)
+    print("crawler pass 2:", report2,
+          "(a query processed twice creates its model only once)")
+    print("query models in the learned store:",
+          len(scenario_d.septic.store))
+
+    banner("Phase D — SEPTIC in prevention mode")
+    scenario_d.septic.mode = "PREVENTION"
+    phase_d = run_phase(scenario_d, "phase D")
+    print("\nfalse-positive check over benign traffic:")
+    failures = 0
+    for case in benign_cases(scenario_d.app):
+        outcome = run_case(scenario_d.server, scenario_d.app, case)
+        if outcome.septic_blocked or not outcome.succeeded:
+            failures += 1
+            print("  FP:", outcome)
+    print("  benign requests flagged: %d (no false positives)" % failures)
+    print("\nSEPTIC events display (last 12):")
+    for event in scenario_d.septic.logger.events[-12:]:
+        print(" ", event.format()[:110])
+
+    banner("Phase E — ModSecurity versus SEPTIC")
+    rows = []
+    blocked_b = {o.case.name: o.waf_blocked for o in phase_b}
+    blocked_d = {o.case.name: o.septic_blocked for o in phase_d}
+    success_a = {o.case.name: o.succeeded for o in phase_a}
+    print("%-28s %-12s %-12s %-10s" % ("attack", "ModSecurity", "SEPTIC",
+                                       "unprotected"))
+    for case in waspmon_attacks():
+        rows.append(case.name)
+        print("%-28s %-12s %-12s %-10s" % (
+            case.name,
+            "blocked" if blocked_b[case.name] else "MISSED",
+            "blocked" if blocked_d[case.name] else (
+                "n/a" if not success_a[case.name] else "MISSED"),
+            "pwned" if success_a[case.name] else "self-defeats",
+        ))
+    missed_waf = sum(
+        1 for name in rows if not blocked_b[name] and success_a[name]
+    )
+    missed_septic = sum(
+        1 for name in rows if not blocked_d[name] and success_a[name]
+    )
+    print("\nfalse negatives on viable attacks: ModSecurity=%d, SEPTIC=%d"
+          % (missed_waf, missed_septic))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs in offline environments
+where the ``wheel`` package is unavailable (``pip install -e . --no-use-pep517``).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""SEPTIC reproduction — injection attack prevention inside the DBMS.
+
+Reproduces "Demonstrating a Tool for Injection Attack Prevention in MySQL"
+(Medeiros, Beatriz, Neves, Correia — DSN 2017).
+
+Public API quick tour::
+
+    from repro import Database, Connection, Septic, Mode
+
+    septic = Septic(mode=Mode.TRAINING)
+    db = Database(septic=septic)
+    db.seed("CREATE TABLE t (id INT, name VARCHAR(40));")
+
+    conn = Connection(db)
+    conn.query("SELECT * FROM t WHERE id = 1")   # learned in training
+
+    septic.mode = Mode.PREVENTION
+    conn.query("SELECT * FROM t WHERE id = 1 OR 1=1")  # blocked
+
+Sub-packages: :mod:`repro.core` (SEPTIC), :mod:`repro.sqldb` (the
+mini-MySQL substrate), :mod:`repro.web` (HTTP/PHP-style application
+substrate), :mod:`repro.waf` (ModSecurity-like WAF and a DB firewall
+baseline), :mod:`repro.apps` (demo applications), :mod:`repro.attacks`
+(attack corpus), :mod:`repro.benchlab` (testbed simulator).
+"""
+
+from repro.sqldb import Database, Connection, QueryBlocked, SQLError
+from repro.core import (
+    Septic,
+    SepticConfig,
+    Mode,
+    QueryStructure,
+    QueryModel,
+    QMStore,
+    AttackDetector,
+    SepticLogger,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Connection",
+    "QueryBlocked",
+    "SQLError",
+    "Septic",
+    "SepticConfig",
+    "Mode",
+    "QueryStructure",
+    "QueryModel",
+    "QMStore",
+    "AttackDetector",
+    "SepticLogger",
+    "__version__",
+]

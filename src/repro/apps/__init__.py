@@ -1,0 +1,18 @@
+"""Demo web applications.
+
+* :mod:`repro.apps.waspmon` — the paper's §III scenario: an energy
+  monitoring application whose entry points are all sanitized with PHP
+  functions, yet exploitable through semantic-mismatch channels;
+* :mod:`repro.apps.addressbook`, :mod:`repro.apps.refbase`,
+  :mod:`repro.apps.zerocms` — the three applications used for the
+  performance evaluation (Figure 5), each with the workload sizes the
+  paper reports (12, 14 and 26 requests).
+"""
+
+from repro.apps.waspmon import WaspMon
+from repro.apps.addressbook import AddressBook
+from repro.apps.refbase import Refbase
+from repro.apps.zerocms import ZeroCMS
+from repro.apps.tickets import TicketSystem
+
+__all__ = ["WaspMon", "AddressBook", "Refbase", "ZeroCMS", "TicketSystem"]

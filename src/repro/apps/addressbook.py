@@ -1,0 +1,172 @@
+"""PHP Address Book — first performance-evaluation application.
+
+A contact manager modelled on the real ``php-addressbook`` project.  The
+paper's workload for it has **12 requests**; :meth:`workload_requests`
+reproduces that mix (list, view, search, add, edit plus static objects).
+"""
+
+from repro.web.app import FieldSpec, WebApplication
+from repro.web.http import Request, Response
+from repro.web.sanitize import intval, mysql_real_escape_string
+
+_CSS = "body { font-family: sans-serif; }\n" * 20
+_IMG = "GIF89a" + "\x00" * 256
+
+
+class AddressBook(WebApplication):
+    """Contacts with groups; the workload exercises reads and writes."""
+
+    name = "addressbook"
+
+    def register(self):
+        self.route("GET", "/", self.page_list)
+        self.route("GET", "/view", self.page_view)
+        self.route("GET", "/search", self.page_search)
+        self.route("POST", "/add", self.page_add)
+        self.route("POST", "/edit", self.page_edit)
+        self.route("GET", "/group", self.page_group)
+        self.route("GET", "/static/style.css", self.static_css)
+        self.route("GET", "/static/logo.gif", self.static_img)
+
+        self.form("/view", "GET", [FieldSpec("id", "int", sample="1")])
+        self.form("/search", "GET", [FieldSpec("q", sample="smith")])
+        self.form("/add", "POST", [
+            FieldSpec("name", sample="John Smith"),
+            FieldSpec("email", sample="john@example.com"),
+            FieldSpec("phone", sample="555-0101"),
+            FieldSpec("group_id", "int", sample="1"),
+        ])
+        self.form("/edit", "POST", [
+            FieldSpec("id", "int", sample="1"),
+            FieldSpec("phone", sample="555-0102"),
+        ])
+        self.form("/group", "GET", [FieldSpec("group_id", "int", sample="1")])
+
+    def setup_schema(self):
+        self.admin_seed(
+            """
+            CREATE TABLE ab_groups (
+                id INT PRIMARY KEY AUTO_INCREMENT,
+                name VARCHAR(40)
+            );
+            CREATE TABLE contacts (
+                id INT PRIMARY KEY AUTO_INCREMENT,
+                name VARCHAR(80) NOT NULL,
+                email VARCHAR(80),
+                phone VARCHAR(20),
+                group_id INT
+            );
+            """
+        )
+
+    def seed_data(self):
+        self.admin_seed(
+            """
+            INSERT INTO ab_groups (name) VALUES ('family'), ('work');
+            INSERT INTO contacts (name, email, phone, group_id) VALUES
+                ('Ann Smith', 'ann@example.com', '555-0001', 1),
+                ('Bea Smith', 'bea@example.com', '555-0002', 1),
+                ('Carl Jones', 'carl@work.example', '555-0003', 2),
+                ('Dina Flores', 'dina@work.example', '555-0004', 2);
+            """
+        )
+
+    # -- handlers -----------------------------------------------------------
+
+    def page_list(self, request):
+        out = self.php.mysql_query(
+            "SELECT id, name, email, phone FROM contacts ORDER BY name",
+            site="list:12",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Contacts", out.result_set))
+
+    def page_view(self, request):
+        contact_id = intval(request.param("id"))
+        out = self.php.mysql_query(
+            "SELECT c.name, c.email, c.phone, g.name FROM contacts c "
+            "LEFT JOIN ab_groups g ON c.group_id = g.id WHERE c.id = %d"
+            % contact_id,
+            site="view:21",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Contact", out.result_set))
+
+    def page_search(self, request):
+        q = mysql_real_escape_string(request.param("q"))
+        out = self.php.mysql_query(
+            "SELECT id, name, email FROM contacts "
+            "WHERE name LIKE '%%%s%%' ORDER BY name" % q,
+            site="search:30",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Search", out.result_set))
+
+    def page_add(self, request):
+        name = mysql_real_escape_string(request.param("name"))
+        email = mysql_real_escape_string(request.param("email"))
+        phone = mysql_real_escape_string(request.param("phone"))
+        group_id = intval(request.param("group_id"))
+        out = self.php.mysql_query(
+            "INSERT INTO contacts (name, email, phone, group_id) "
+            "VALUES ('%s', '%s', '%s', %d)" % (name, email, phone, group_id),
+            site="add:41",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>contact added</p>")
+
+    def page_edit(self, request):
+        contact_id = intval(request.param("id"))
+        phone = mysql_real_escape_string(request.param("phone"))
+        out = self.php.mysql_query(
+            "UPDATE contacts SET phone = '%s' WHERE id = %d"
+            % (phone, contact_id),
+            site="edit:50",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>contact updated</p>")
+
+    def page_group(self, request):
+        group_id = intval(request.param("group_id"))
+        out = self.php.mysql_query(
+            "SELECT c.name, c.phone FROM contacts c "
+            "JOIN ab_groups g ON c.group_id = g.id WHERE g.id = %d "
+            "ORDER BY c.name" % group_id,
+            site="group:59",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Group", out.result_set))
+
+    def static_css(self, request):
+        return Response(_CSS, headers={"Content-Type": "text/css"})
+
+    def static_img(self, request):
+        return Response(_IMG, headers={"Content-Type": "image/gif"})
+
+    # -- workload ---------------------------------------------------------------
+
+    def workload_requests(self):
+        """The paper's PHP Address Book workload: 12 requests mixing
+        queries and static object downloads."""
+        return [
+            Request.get("/"),
+            Request.get("/static/style.css"),
+            Request.get("/static/logo.gif"),
+            Request.get("/view", {"id": "1"}),
+            Request.get("/search", {"q": "smith"}),
+            Request.get("/group", {"group_id": "1"}),
+            Request.post("/add", {"name": "Eve Adams",
+                                  "email": "eve@example.com",
+                                  "phone": "555-0005", "group_id": "2"}),
+            Request.get("/"),
+            Request.post("/edit", {"id": "2", "phone": "555-0099"}),
+            Request.get("/view", {"id": "2"}),
+            Request.get("/static/style.css"),
+            Request.get("/group", {"group_id": "2"}),
+        ]

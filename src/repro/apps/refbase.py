@@ -1,0 +1,186 @@
+"""refbase — second performance-evaluation application.
+
+A bibliographic reference manager modelled on the real ``refbase``
+project.  The paper's workload has **14 requests** (browse, search by
+author/year, view details, add/edit citations, static objects).
+"""
+
+from repro.web.app import FieldSpec, WebApplication
+from repro.web.http import Request, Response
+from repro.web.sanitize import intval, mysql_real_escape_string
+
+_CSS = ".ref { margin: 2px; }\n" * 30
+
+
+class Refbase(WebApplication):
+    """References with authors, years, journals."""
+
+    name = "refbase"
+
+    def register(self):
+        self.route("GET", "/", self.page_browse)
+        self.route("GET", "/show", self.page_show)
+        self.route("GET", "/search", self.page_search)
+        self.route("GET", "/years", self.page_years)
+        self.route("POST", "/record/add", self.page_add)
+        self.route("POST", "/record/edit", self.page_edit)
+        self.route("GET", "/export", self.page_export)
+        self.route("GET", "/static/refbase.css", self.static_css)
+
+        self.form("/show", "GET", [FieldSpec("serial", "int", sample="1")])
+        self.form("/search", "GET", [
+            FieldSpec("author", sample="medeiros"),
+            FieldSpec("year", "int", sample="2016"),
+        ])
+        self.form("/record/add", "POST", [
+            FieldSpec("author", sample="Doe, J."),
+            FieldSpec("title", sample="On Things"),
+            FieldSpec("journal", sample="J. Things"),
+            FieldSpec("year", "int", sample="2015"),
+        ])
+        self.form("/record/edit", "POST", [
+            FieldSpec("serial", "int", sample="1"),
+            FieldSpec("title", sample="On Things, Revised"),
+        ])
+        self.form("/export", "GET", [FieldSpec("year", "int", sample="2016")])
+
+    def setup_schema(self):
+        self.admin_seed(
+            """
+            CREATE TABLE refs (
+                serial INT PRIMARY KEY AUTO_INCREMENT,
+                author VARCHAR(200) NOT NULL,
+                title VARCHAR(200) NOT NULL,
+                journal VARCHAR(120),
+                year INT,
+                cited INT DEFAULT 0
+            );
+            """
+        )
+
+    def seed_data(self):
+        self.admin_seed(
+            """
+            INSERT INTO refs (author, title, journal, year, cited) VALUES
+                ('Medeiros, I.', 'Hacking the DBMS', 'CODASPY', 2016, 12),
+                ('Halfond, W.', 'AMNESIA', 'ASE', 2005, 400),
+                ('Boyd, S.', 'SQLrand', 'ACNS', 2004, 350),
+                ('Su, Z.', 'Essence of command injection', 'POPL', 2006, 500),
+                ('Son, S.', 'Diglossia', 'CCS', 2013, 90);
+            """
+        )
+
+    # -- handlers ------------------------------------------------------------
+
+    def page_browse(self, request):
+        out = self.php.mysql_query(
+            "SELECT serial, author, title, year FROM refs "
+            "ORDER BY year DESC, author",
+            site="browse:15",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("References", out.result_set))
+
+    def page_show(self, request):
+        serial = intval(request.param("serial"))
+        out = self.php.mysql_query(
+            "SELECT author, title, journal, year, cited FROM refs "
+            "WHERE serial = %d" % serial,
+            site="show:24",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Record", out.result_set))
+
+    def page_search(self, request):
+        author = mysql_real_escape_string(request.param("author"))
+        year = intval(request.param("year"))
+        out = self.php.mysql_query(
+            "SELECT serial, author, title FROM refs "
+            "WHERE author LIKE '%%%s%%' AND year = %d" % (author, year),
+            site="search:34",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Search", out.result_set))
+
+    def page_years(self, request):
+        out = self.php.mysql_query(
+            "SELECT year, COUNT(*) AS total FROM refs GROUP BY year "
+            "ORDER BY year DESC",
+            site="years:43",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Per year", out.result_set))
+
+    def page_add(self, request):
+        author = mysql_real_escape_string(request.param("author"))
+        title = mysql_real_escape_string(request.param("title"))
+        journal = mysql_real_escape_string(request.param("journal"))
+        year = intval(request.param("year"))
+        out = self.php.mysql_query(
+            "INSERT INTO refs (author, title, journal, year) "
+            "VALUES ('%s', '%s', '%s', %d)" % (author, title, journal, year),
+            site="add:54",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>record %d added</p>" % self.php.insert_id)
+
+    def page_edit(self, request):
+        serial = intval(request.param("serial"))
+        title = mysql_real_escape_string(request.param("title"))
+        out = self.php.mysql_query(
+            "UPDATE refs SET title = '%s' WHERE serial = %d"
+            % (title, serial),
+            site="edit:63",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>record updated</p>")
+
+    def page_export(self, request):
+        year = intval(request.param("year"))
+        out = self.php.mysql_query(
+            "SELECT author, title, journal, year FROM refs WHERE year >= %d "
+            "ORDER BY author" % year,
+            site="export:72",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        lines = [
+            "%s (%s). %s. %s." % (row[0], row[3], row[1], row[2] or "n.p.")
+            for row in out.rows
+        ]
+        return Response("\n".join(lines),
+                        headers={"Content-Type": "text/plain"})
+
+    def static_css(self, request):
+        return Response(_CSS, headers={"Content-Type": "text/css"})
+
+    # -- workload ------------------------------------------------------------------
+
+    def workload_requests(self):
+        """The paper's refbase workload: 14 requests."""
+        return [
+            Request.get("/"),
+            Request.get("/static/refbase.css"),
+            Request.get("/show", {"serial": "1"}),
+            Request.get("/search", {"author": "medeiros", "year": "2016"}),
+            Request.get("/years"),
+            Request.post("/record/add", {
+                "author": "Buehrer, G.", "title": "Parse tree validation",
+                "journal": "SEM", "year": "2005",
+            }),
+            Request.get("/"),
+            Request.get("/show", {"serial": "2"}),
+            Request.post("/record/edit", {"serial": "2",
+                                          "title": "AMNESIA, revisited"}),
+            Request.get("/show", {"serial": "2"}),
+            Request.get("/export", {"year": "2005"}),
+            Request.get("/search", {"author": "su", "year": "2006"}),
+            Request.get("/static/refbase.css"),
+            Request.get("/years"),
+        ]

@@ -1,0 +1,135 @@
+"""The paper's running example as an application: flight ticket lookup.
+
+§II-C1 introduces the query ``SELECT * FROM tickets WHERE reservID = ?
+AND creditCard = ?`` — "returns all data associated with a flight
+ticket, after an user provided the ticket reservation ID and the last
+four digits of the credit card number".  This app is that system: a
+check-in service whose lookup page issues exactly the Figure 2 query, so
+the Figure 3/4 attacks can be demonstrated end-to-end over HTTP.
+"""
+
+from repro.web.app import FieldSpec, WebApplication
+from repro.web.http import Request, Response
+from repro.web.sanitize import intval, mysql_real_escape_string
+
+
+class TicketSystem(WebApplication):
+    """Airline check-in: lookup, booking, seat changes."""
+
+    name = "tickets"
+
+    def register(self):
+        self.route("GET", "/lookup", self.page_lookup)
+        self.route("POST", "/book", self.page_book)
+        self.route("POST", "/seat", self.page_seat)
+        self.route("GET", "/manifest", self.page_manifest)
+
+        self.form("/lookup", "GET", [
+            FieldSpec("reservID", sample="ID34FG"),
+            FieldSpec("creditCard", "int", sample="1234"),
+        ])
+        self.form("/book", "POST", [
+            FieldSpec("passenger", sample="Ada Lovelace"),
+            FieldSpec("flight", sample="TP440"),
+            FieldSpec("creditCard", "int", sample="5678"),
+        ])
+        self.form("/seat", "POST", [
+            FieldSpec("reservID", sample="ID34FG"),
+            FieldSpec("creditCard", "int", sample="1234"),
+            FieldSpec("seat", sample="12A"),
+        ])
+
+    def setup_schema(self):
+        self.admin_seed(
+            """
+            CREATE TABLE tickets (
+                id INT PRIMARY KEY AUTO_INCREMENT,
+                reservID VARCHAR(20) NOT NULL UNIQUE,
+                creditCard INT NOT NULL,
+                passenger VARCHAR(80),
+                flight VARCHAR(10),
+                seat VARCHAR(4)
+            );
+            """
+        )
+
+    def seed_data(self):
+        self.admin_seed(
+            """
+            INSERT INTO tickets (reservID, creditCard, passenger, flight,
+                                 seat) VALUES
+                ('ID34FG', 1234, 'Iberia Medeiros', 'TP440', '11C'),
+                ('KX88ZA', 8765, 'Miguel Beatriz', 'TP440', '11D'),
+                ('PQ11RS', 4321, 'Nuno Neves', 'LH1799', '02A');
+            """
+        )
+
+    # -- handlers ----------------------------------------------------------
+
+    def page_lookup(self, request):
+        """The paper's exact query: reservation ID (string context) and
+        the last credit-card digits (numeric context, escaped-but-
+        unquoted — §II-D's attack surface)."""
+        reserv = mysql_real_escape_string(request.param("reservID"))
+        card = mysql_real_escape_string(request.param("creditCard"))
+        out = self.php.mysql_query(
+            "SELECT * FROM tickets WHERE reservID = '%s' "
+            "AND creditCard = %s" % (reserv, card or "0"),
+            site="lookup:7",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        if not out.rows:
+            return Response("<p>no matching reservation</p>")
+        return Response(self.render_rows("Your ticket", out.result_set))
+
+    def page_book(self, request):
+        passenger = mysql_real_escape_string(request.param("passenger"))
+        flight = mysql_real_escape_string(request.param("flight"))
+        card = intval(request.param("creditCard"))
+        reserv = "ID%04d" % (len(self.database.table("tickets")) * 7 + 11)
+        out = self.php.mysql_query(
+            "INSERT INTO tickets (reservID, creditCard, passenger, "
+            "flight, seat) VALUES ('%s', %d, '%s', '%s', '')"
+            % (reserv, card, passenger, flight),
+            site="book:21",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>booked: %s</p>" % reserv)
+
+    def page_seat(self, request):
+        reserv = mysql_real_escape_string(request.param("reservID"))
+        card = intval(request.param("creditCard"))
+        seat = mysql_real_escape_string(request.param("seat"))
+        out = self.php.mysql_query(
+            "UPDATE tickets SET seat = '%s' WHERE reservID = '%s' "
+            "AND creditCard = %d" % (seat, reserv, card),
+            site="seat:33",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>updated %d reservation(s)</p>"
+                        % out.affected_rows)
+
+    def page_manifest(self, request):
+        out = self.php.mysql_query(
+            "SELECT flight, COUNT(*) AS pax FROM tickets GROUP BY flight "
+            "ORDER BY flight",
+            site="manifest:44",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Manifest", out.result_set))
+
+    def benign_requests(self):
+        return [
+            Request.get("/lookup", {"reservID": "ID34FG",
+                                    "creditCard": "1234"}),
+            Request.post("/book", {"passenger": "Grace Hopper",
+                                   "flight": "TP440",
+                                   "creditCard": "9999"}),
+            Request.post("/seat", {"reservID": "ID34FG",
+                                   "creditCard": "1234", "seat": "12A"}),
+            Request.get("/manifest"),
+        ]

@@ -1,0 +1,393 @@
+"""WaspMon — the demonstration's web application (paper §III).
+
+An energy-consumption monitoring application: users register devices,
+devices report readings, owners browse histories and leave notes.  The
+(fictional) developer was *careful*: every entry point is processed with
+PHP sanitization functions before reaching a query.  The application is
+nevertheless vulnerable through semantic-mismatch channels, one handler
+per channel:
+
+========  =======================  ==========================================
+vuln id   route                    channel
+========  =======================  ==========================================
+V1        GET /device/history2      second-order: stored device name re-used
+                                    unescaped in a later query
+V2        GET /device               numeric context: escaped-but-unquoted PIN
+V3        GET /history              unicode confusable (U+02BC) beats
+                                    ``mysql_real_escape_string``
+V4        POST /feedback            GBK connection eats ``addslashes``'s
+                                    backslash
+V5        POST /reading             stored XSS in the comment field
+V6        GET /search               ORDER BY injection (identifier context)
+========  =======================  ==========================================
+
+All other handlers are genuinely safe — needed so the demo can show
+SEPTIC does not break correct behaviour (no false positives).
+"""
+
+from repro.web.app import FieldSpec, PhpRuntime, WebApplication
+from repro.web.http import Response
+from repro.web.sanitize import (
+    htmlspecialchars,
+    addslashes,
+    floatval,
+    intval,
+    mysql_real_escape_string,
+)
+
+
+class WaspMon(WebApplication):
+    """The energy monitoring application."""
+
+    name = "waspmon"
+
+    def register(self):
+        self.route("POST", "/login", self.page_login)
+        self.route("GET", "/", self.page_dashboard)
+        self.route("GET", "/device", self.page_device_lookup)
+        self.route("GET", "/history", self.page_history)
+        self.route("GET", "/device/history2", self.page_history_by_name)
+        self.route("POST", "/device/new", self.page_register_device)
+        self.route("POST", "/reading", self.page_add_reading)
+        self.route("GET", "/search", self.page_search)
+        self.route("POST", "/feedback", self.page_feedback)
+        self.route("POST", "/device/notes", self.page_update_notes)
+        self.route("GET", "/device/disconnect", self.page_disconnect)
+        self.route("GET", "/feedback/list", self.page_feedback_list)
+
+        self.form("/login", "POST", [
+            FieldSpec("username", sample="alice"),
+            FieldSpec("password", sample="alicepw"),
+        ])
+        self.form("/device", "GET", [
+            FieldSpec("serial", sample="WM-100-A"),
+            FieldSpec("pin", "int", sample="1234"),
+        ])
+        self.form("/history", "GET", [
+            FieldSpec("serial", sample="WM-100-A"),
+        ])
+        self.form("/device/history2", "GET", [
+            FieldSpec("device_id", "int", sample="1"),
+        ])
+        self.form("/device/new", "POST", [
+            FieldSpec("serial", sample="WM-900-Z"),
+            FieldSpec("pin", "int", sample="4321"),
+            FieldSpec("name", sample="garage heater"),
+            FieldSpec("location", sample="garage"),
+        ])
+        self.form("/reading", "POST", [
+            FieldSpec("serial", sample="WM-100-A"),
+            FieldSpec("watts", "int", sample="220"),
+            FieldSpec("comment", sample="normal operation"),
+        ])
+        self.form("/search", "GET", [
+            FieldSpec("min_watts", "int", sample="0"),
+            FieldSpec("max_watts", "int", sample="500"),
+            FieldSpec("sort", sample="taken_at"),
+        ])
+        self.form("/feedback", "POST", [
+            FieldSpec("author", sample="bob"),
+            FieldSpec("message", sample="nice dashboard"),
+        ])
+        self.form("/device/notes", "POST", [
+            FieldSpec("serial", sample="WM-100-A"),
+            FieldSpec("pin", "int", sample="1234"),
+            FieldSpec("notes", sample="checked wiring"),
+        ])
+        self.form("/device/disconnect", "GET", [
+            FieldSpec("device_id", "int", sample="1"),
+        ])
+
+    def setup_schema(self):
+        self.admin_seed(
+            """
+            CREATE TABLE users (
+                id INT PRIMARY KEY AUTO_INCREMENT,
+                username VARCHAR(40) NOT NULL UNIQUE,
+                password VARCHAR(40) NOT NULL,
+                fullname VARCHAR(80),
+                role VARCHAR(10) DEFAULT 'user'
+            );
+            CREATE TABLE devices (
+                id INT PRIMARY KEY AUTO_INCREMENT,
+                serial VARCHAR(20) NOT NULL,
+                pin INT NOT NULL,
+                owner_id INT,
+                name VARCHAR(60),
+                location VARCHAR(60),
+                notes TEXT,
+                connected INT DEFAULT 1
+            );
+            CREATE TABLE readings (
+                id INT PRIMARY KEY AUTO_INCREMENT,
+                device_id INT NOT NULL,
+                watts FLOAT,
+                taken_at DATETIME,
+                comment TEXT
+            );
+            CREATE TABLE feedback (
+                id INT PRIMARY KEY AUTO_INCREMENT,
+                author VARCHAR(40),
+                message TEXT
+            );
+            """
+        )
+        #: the legacy feedback endpoint still runs over a GBK connection
+        self.php_gbk = PhpRuntime(
+            self.database,
+            self.name,
+            send_external_ids=self.php.send_external_ids,
+            charset="gbk",
+        )
+
+    def seed_data(self):
+        self.admin_seed(
+            """
+            INSERT INTO users (username, password, fullname, role) VALUES
+                ('alice', MD5('alicepw'), 'Alice Energy', 'admin'),
+                ('bob', MD5('bobpw'), 'Bob Meter', 'user');
+            INSERT INTO devices (serial, pin, owner_id, name, location, notes)
+            VALUES
+                ('WM-100-A', 1234, 1, 'kitchen fridge', 'kitchen', 'ok'),
+                ('WM-200-B', 5678, 1, 'water heater', 'basement', 'ok'),
+                ('WM-300-C', 9012, 2, 'ev charger', 'driveway', 'new');
+            INSERT INTO readings (device_id, watts, taken_at, comment) VALUES
+                (1, 120.5, '2016-07-01 08:00:00', 'baseline'),
+                (1, 180.0, '2016-07-01 12:00:00', 'lunch spike'),
+                (2, 950.0, '2016-07-01 07:30:00', 'morning showers'),
+                (3, 7200.0, '2016-07-01 22:00:00', 'overnight charge');
+            """
+        )
+
+    # -- safe handlers ----------------------------------------------------
+
+    def page_login(self, request):
+        """Classic login; inputs escaped — and genuinely safe here
+        (string context, ASCII payloads neutralized)."""
+        user = mysql_real_escape_string(request.param("username"))
+        pwd = mysql_real_escape_string(request.param("password"))
+        out = self.php.mysql_query(
+            "SELECT id, fullname, role FROM users "
+            "WHERE username = '%s' AND password = MD5('%s')" % (user, pwd),
+            site="login:18",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        if out.rows:
+            return Response("<h1>Welcome %s</h1>"
+                            % htmlspecialchars(out.rows[0][1]))
+        return Response("<h1>Login failed</h1>", status=401)
+
+    def page_dashboard(self, request):
+        """Front page: aggregate stats, no user input."""
+        counts = self.php.mysql_query(
+            "SELECT COUNT(*) FROM devices WHERE connected = 1",
+            site="dashboard:31",
+        )
+        latest = self.php.mysql_query(
+            "SELECT d.name, r.watts, r.taken_at FROM readings r "
+            "JOIN devices d ON r.device_id = d.id "
+            "ORDER BY r.taken_at DESC LIMIT 5",
+            site="dashboard:35",
+        )
+        if not counts.ok or not latest.ok:
+            return Response.error()
+        body = "<h1>WaspMon</h1><p>%s devices online</p>%s" % (
+            counts.result_set.scalar(),
+            self.render_rows("Latest readings", latest.result_set),
+        )
+        return Response(body)
+
+    def page_register_device(self, request):
+        """Register a device.  Inputs escaped; the INSERT itself is safe —
+        but what is *stored* feeds the second-order handler (V1's stage 1)
+        and SEPTIC's stored-injection plugins inspect it."""
+        serial = mysql_real_escape_string(request.param("serial"))
+        pin = intval(request.param("pin"))
+        name = mysql_real_escape_string(request.param("name"))
+        location = mysql_real_escape_string(request.param("location"))
+        out = self.php.mysql_query(
+            "INSERT INTO devices (serial, pin, owner_id, location, notes, "
+            "name) VALUES ('%s', %d, 1, '%s', '', '%s')"
+            % (serial, pin, location, name),
+            site="register_device:52",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>device %s registered</p>"
+                        % htmlspecialchars(request.param("serial")))
+
+    def page_disconnect(self, request):
+        """Disconnect a device — uses intval, genuinely safe numeric."""
+        device_id = intval(request.param("device_id"))
+        out = self.php.mysql_query(
+            "UPDATE devices SET connected = 0 WHERE id = %d" % device_id,
+            site="disconnect:61",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>disconnected %d device(s)</p>"
+                        % out.affected_rows)
+
+    # -- vulnerable handlers (sanitized, still exploitable) -------------------
+
+    def page_device_lookup(self, request):
+        """V2 — numeric context.  The developer escaped the PIN instead of
+        casting it: quotes are neutralized but none are needed in numeric
+        context, so ``pin=0 OR 1=1`` walks right in."""
+        serial = mysql_real_escape_string(request.param("serial"))
+        pin = mysql_real_escape_string(request.param("pin"))  # bug: not intval
+        out = self.php.mysql_query(
+            "SELECT id, serial, name, location, notes FROM devices "
+            "WHERE serial = '%s' AND pin = %s" % (serial, pin or "0"),
+            site="device_lookup:74",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Device", out.result_set))
+
+    def page_history(self, request):
+        """V3 — unicode confusable.  The serial is escaped, but a U+02BC
+        in the payload is not an ASCII quote to the escaper — and becomes
+        one inside MySQL's decoder."""
+        serial = mysql_real_escape_string(request.param("serial"))
+        out = self.php.mysql_query(
+            "SELECT r.watts, r.taken_at, r.comment FROM readings r "
+            "JOIN devices d ON r.device_id = d.id "
+            "WHERE d.serial = '%s' ORDER BY r.taken_at" % serial,
+            site="history:86",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("History", out.result_set))
+
+    def page_history_by_name(self, request):
+        """V1 — second order.  Stage 2: the device *name* retrieved from
+        the database is trusted ("it was sanitized on the way in") and
+        embedded without escaping in a second query; the payload comments
+        out the ownership check (session user is alice, owner 1)."""
+        device_id = intval(request.param("device_id"))
+        lookup = self.php.mysql_query(
+            "SELECT id, name FROM devices WHERE id = %d" % device_id,
+            site="history2_lookup:97",
+        )
+        if not lookup.ok:
+            return Response.error(str(lookup.error))
+        if not lookup.rows:
+            return Response("<p>no such device</p>")
+        stored_name = lookup.rows[0][1]  # unescaped DB content
+        out = self.php.mysql_query(
+            "SELECT d.name, r.watts, r.taken_at FROM readings r "
+            "JOIN devices d ON r.device_id = d.id "
+            "WHERE d.name = '%s' AND d.owner_id = 1" % stored_name,
+            site="history2_readings:105",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("History", out.result_set))
+
+    def page_add_reading(self, request):
+        """V5 — stored XSS.  The comment is escaped for SQL (correctly!)
+        but never HTML-neutralized, so script payloads are *stored* intact
+        and fire when the history page renders them."""
+        serial = mysql_real_escape_string(request.param("serial"))
+        watts = floatval(request.param("watts"))
+        comment = mysql_real_escape_string(request.param("comment"))
+        out = self.php.mysql_query(
+            "INSERT INTO readings (device_id, watts, taken_at, comment) "
+            "VALUES ((SELECT id FROM devices WHERE serial = '%s'), %f, "
+            "NOW(), '%s')" % (serial, watts, comment),
+            site="add_reading:119",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>reading stored</p>")
+
+    def page_search(self, request):
+        """V6 — ORDER BY (identifier context).  Escaping cannot help where
+        no quotes surround the input."""
+        low = floatval(request.param("min_watts"))
+        high = floatval(request.param("max_watts"))
+        sort = mysql_real_escape_string(request.param("sort") or "taken_at")
+        out = self.php.mysql_query(
+            "SELECT device_id, watts, taken_at FROM readings "
+            "WHERE watts BETWEEN %f AND %f ORDER BY %s"
+            % (low, high, sort),
+            site="search:132",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Search", out.result_set))
+
+    def page_feedback(self, request):
+        """V4 — GBK escape-eating.  The legacy endpoint still runs over a
+        GBK connection and uses ``addslashes``; a 0xBF byte swallows the
+        inserted backslash inside the DBMS decoder."""
+        author = addslashes(request.param("author"))
+        message = addslashes(request.param("message"))
+        out = self.php_gbk.mysql_query(
+            "INSERT INTO feedback (author, message) VALUES ('%s', '%s')"
+            % (author, message),
+            site="feedback:144",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>thanks for the feedback</p>")
+
+    def page_update_notes(self, request):
+        """Update device notes — fully safe handler (escaped string
+        context + intval PIN)."""
+        serial = mysql_real_escape_string(request.param("serial"))
+        pin = intval(request.param("pin"))
+        notes = mysql_real_escape_string(request.param("notes"))
+        out = self.php.mysql_query(
+            "UPDATE devices SET notes = '%s' "
+            "WHERE serial = '%s' AND pin = %d" % (notes, serial, pin),
+            site="update_notes:157",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>notes updated (%d)</p>" % out.affected_rows)
+
+    def page_feedback_list(self, request):
+        """Feedback board — safe handler (no inputs); displays whatever is
+        stored, which is how the GBK exfiltration becomes observable."""
+        out = self.php.mysql_query(
+            "SELECT author, message FROM feedback ORDER BY id",
+            site="feedback_list:165",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Feedback", out.result_set))
+
+    # -- benign workload (training / FP checks) ------------------------------
+
+    def benign_requests(self):
+        """A request series covering every handler with benign inputs."""
+        from repro.web.http import Request
+
+        return [
+            Request.post("/login", {"username": "alice",
+                                    "password": "alicepw"}),
+            Request.get("/"),
+            Request.get("/device", {"serial": "WM-100-A", "pin": "1234"}),
+            Request.get("/history", {"serial": "WM-100-A"}),
+            Request.get("/device/history2", {"device_id": "1"}),
+            Request.post("/device/new", {
+                "serial": "WM-400-D", "pin": "7777",
+                "name": "attic fan", "location": "attic",
+            }),
+            Request.post("/reading", {
+                "serial": "WM-100-A", "watts": "130.5",
+                "comment": "steady state",
+            }),
+            Request.get("/search", {"min_watts": "0", "max_watts": "1000",
+                                    "sort": "taken_at"}),
+            Request.post("/feedback", {"author": "bob",
+                                       "message": "nice dashboard"}),
+            Request.post("/device/notes", {"serial": "WM-100-A",
+                                           "pin": "1234",
+                                           "notes": "filter cleaned"}),
+            Request.get("/device/disconnect", {"device_id": "3"}),
+            Request.get("/feedback/list"),
+        ]

@@ -1,0 +1,227 @@
+"""ZeroCMS — third performance-evaluation application.
+
+A small content management system modelled on the real ``ZeroCMS``
+project.  The paper describes its workload as **26 requests** "with
+queries of several types (SELECT, UPDATE, INSERT and DELETE) and
+downloading of web objects (e.g., images, css)" — reproduced verbatim in
+:meth:`workload_requests`.
+"""
+
+from repro.web.app import FieldSpec, WebApplication
+from repro.web.http import Request, Response
+from repro.web.sanitize import intval, mysql_real_escape_string
+
+_CSS = "article { padding: 4px; }\n" * 40
+_JS = "function cms() { return 1; }\n" * 25
+_IMG = "\x89PNG" + "\x00" * 400
+
+
+class ZeroCMS(WebApplication):
+    """Articles + comments + users, with view counters (UPDATE traffic)."""
+
+    name = "zerocms"
+
+    def register(self):
+        self.route("GET", "/", self.page_home)
+        self.route("GET", "/article", self.page_article)
+        self.route("GET", "/section", self.page_section)
+        self.route("POST", "/comment", self.page_comment)
+        self.route("POST", "/article/new", self.page_new_article)
+        self.route("POST", "/comment/delete", self.page_delete_comment)
+        self.route("GET", "/search", self.page_search)
+        self.route("GET", "/static/cms.css", self.static_css)
+        self.route("GET", "/static/cms.js", self.static_js)
+        self.route("GET", "/static/header.png", self.static_img)
+
+        self.form("/article", "GET", [FieldSpec("id", "int", sample="1")])
+        self.form("/section", "GET", [FieldSpec("name", sample="news")])
+        self.form("/comment", "POST", [
+            FieldSpec("article_id", "int", sample="1"),
+            FieldSpec("author", sample="reader"),
+            FieldSpec("body", sample="great article"),
+        ])
+        self.form("/article/new", "POST", [
+            FieldSpec("title", sample="Hello World"),
+            FieldSpec("body", sample="Lorem ipsum dolor"),
+            FieldSpec("section", sample="news"),
+        ])
+        self.form("/comment/delete", "POST", [
+            FieldSpec("comment_id", "int", sample="1"),
+        ])
+        self.form("/search", "GET", [FieldSpec("q", sample="lorem")])
+
+    def setup_schema(self):
+        self.admin_seed(
+            """
+            CREATE TABLE articles (
+                id INT PRIMARY KEY AUTO_INCREMENT,
+                title VARCHAR(120) NOT NULL,
+                body TEXT,
+                section VARCHAR(40),
+                views INT DEFAULT 0
+            );
+            CREATE TABLE comments (
+                id INT PRIMARY KEY AUTO_INCREMENT,
+                article_id INT NOT NULL,
+                author VARCHAR(60),
+                body TEXT
+            );
+            """
+        )
+
+    def seed_data(self):
+        self.admin_seed(
+            """
+            INSERT INTO articles (title, body, section, views) VALUES
+                ('Welcome', 'Lorem ipsum dolor sit amet', 'news', 10),
+                ('Second post', 'Consectetur adipiscing elit', 'news', 5),
+                ('About us', 'Sed do eiusmod tempor', 'pages', 50);
+            INSERT INTO comments (article_id, author, body) VALUES
+                (1, 'ann', 'first!'),
+                (1, 'bob', 'nice post'),
+                (2, 'carl', 'more please');
+            """
+        )
+
+    # -- handlers --------------------------------------------------------------
+
+    def page_home(self, request):
+        out = self.php.mysql_query(
+            "SELECT id, title, section, views FROM articles "
+            "ORDER BY id DESC LIMIT 10",
+            site="home:17",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("ZeroCMS", out.result_set))
+
+    def page_article(self, request):
+        article_id = intval(request.param("id"))
+        out = self.php.mysql_query(
+            "SELECT title, body, views FROM articles WHERE id = %d"
+            % article_id,
+            site="article:26",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        # view counter: the workload's UPDATE traffic
+        self.php.mysql_query(
+            "UPDATE articles SET views = views + 1 WHERE id = %d"
+            % article_id,
+            site="article_views:31",
+        )
+        comments = self.php.mysql_query(
+            "SELECT author, body FROM comments WHERE article_id = %d "
+            "ORDER BY id" % article_id,
+            site="article_comments:35",
+        )
+        if not comments.ok:
+            return Response.error(str(comments.error))
+        body = self.render_rows("Article", out.result_set)
+        body += self.render_rows("Comments", comments.result_set)
+        return Response(body)
+
+    def page_section(self, request):
+        name = mysql_real_escape_string(request.param("name"))
+        out = self.php.mysql_query(
+            "SELECT id, title, views FROM articles WHERE section = '%s' "
+            "ORDER BY views DESC" % name,
+            site="section:46",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Section", out.result_set))
+
+    def page_comment(self, request):
+        article_id = intval(request.param("article_id"))
+        author = mysql_real_escape_string(request.param("author"))
+        body = mysql_real_escape_string(request.param("body"))
+        out = self.php.mysql_query(
+            "INSERT INTO comments (article_id, author, body) "
+            "VALUES (%d, '%s', '%s')" % (article_id, author, body),
+            site="comment:56",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>comment added</p>")
+
+    def page_new_article(self, request):
+        title = mysql_real_escape_string(request.param("title"))
+        body = mysql_real_escape_string(request.param("body"))
+        section = mysql_real_escape_string(request.param("section"))
+        out = self.php.mysql_query(
+            "INSERT INTO articles (title, body, section) "
+            "VALUES ('%s', '%s', '%s')" % (title, body, section),
+            site="new_article:66",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>article %d created</p>" % self.php.insert_id)
+
+    def page_delete_comment(self, request):
+        comment_id = intval(request.param("comment_id"))
+        out = self.php.mysql_query(
+            "DELETE FROM comments WHERE id = %d" % comment_id,
+            site="delete_comment:75",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response("<p>deleted %d comment(s)</p>" % out.affected_rows)
+
+    def page_search(self, request):
+        q = mysql_real_escape_string(request.param("q"))
+        out = self.php.mysql_query(
+            "SELECT id, title FROM articles WHERE title LIKE '%%%s%%' "
+            "OR body LIKE '%%%s%%'" % (q, q),
+            site="search:84",
+        )
+        if not out.ok:
+            return Response.error(str(out.error))
+        return Response(self.render_rows("Search", out.result_set))
+
+    def static_css(self, request):
+        return Response(_CSS, headers={"Content-Type": "text/css"})
+
+    def static_js(self, request):
+        return Response(_JS, headers={"Content-Type": "text/javascript"})
+
+    def static_img(self, request):
+        return Response(_IMG, headers={"Content-Type": "image/png"})
+
+    # -- workload ------------------------------------------------------------------
+
+    def workload_requests(self):
+        """The paper's ZeroCMS workload: 26 requests, all four query types
+        plus web-object downloads."""
+        return [
+            Request.get("/"),
+            Request.get("/static/cms.css"),
+            Request.get("/static/cms.js"),
+            Request.get("/static/header.png"),
+            Request.get("/article", {"id": "1"}),          # SELECT + UPDATE
+            Request.get("/static/header.png"),
+            Request.get("/section", {"name": "news"}),
+            Request.post("/comment", {"article_id": "1", "author": "dave",
+                                      "body": "insightful"}),  # INSERT
+            Request.get("/article", {"id": "1"}),
+            Request.get("/search", {"q": "lorem"}),
+            Request.post("/article/new", {"title": "Breaking news",
+                                          "body": "Something happened",
+                                          "section": "news"}),
+            Request.get("/"),
+            Request.get("/static/cms.css"),
+            Request.get("/article", {"id": "2"}),
+            Request.post("/comment", {"article_id": "2", "author": "erin",
+                                      "body": "thanks"}),
+            Request.get("/article", {"id": "2"}),
+            Request.post("/comment/delete", {"comment_id": "3"}),  # DELETE
+            Request.get("/section", {"name": "pages"}),
+            Request.get("/article", {"id": "3"}),
+            Request.get("/static/cms.js"),
+            Request.get("/search", {"q": "tempor"}),
+            Request.get("/"),
+            Request.get("/article", {"id": "1"}),
+            Request.get("/static/header.png"),
+            Request.get("/section", {"name": "news"}),
+            Request.get("/static/cms.css"),
+        ]

@@ -1,0 +1,30 @@
+"""Attack corpus and drivers.
+
+* :mod:`repro.attacks.payloads` — the raw payload strings, organized by
+  semantic-mismatch channel;
+* :mod:`repro.attacks.corpus` — :class:`AttackCase` objects binding
+  payloads to WaspMon entry points, with per-attack success oracles;
+* :mod:`repro.attacks.scenario` — builders for the demo's protection
+  configurations (none / ModSecurity / SEPTIC / both);
+* :mod:`repro.attacks.sqlmap` — a miniature sqlmap: probes a form
+  parameter with a payload battery and reports injectability.
+"""
+
+from repro.attacks.corpus import (
+    AttackCase,
+    AttackOutcome,
+    benign_cases,
+    run_case,
+    waspmon_attacks,
+)
+from repro.attacks.scenario import Scenario, build_scenario
+
+__all__ = [
+    "AttackCase",
+    "AttackOutcome",
+    "benign_cases",
+    "run_case",
+    "waspmon_attacks",
+    "Scenario",
+    "build_scenario",
+]

@@ -1,0 +1,445 @@
+"""The attack corpus: cases, oracles and the driver.
+
+Every :class:`AttackCase` binds payloads to WaspMon entry points and
+carries a *success oracle*: a function deciding, from the responses (and
+app state), whether the attack achieved its goal.  Benign cases (used for
+false-positive measurement) are regular requests whose oracle checks
+normal operation.
+"""
+
+import hashlib
+
+from repro.attacks import payloads
+from repro.web.http import Request
+
+_ALICE_HASH = hashlib.md5(b"alicepw").hexdigest()
+
+
+class AttackCase(object):
+    """One attack: requests to send plus the success oracle."""
+
+    __slots__ = ("name", "category", "channel", "description", "requests",
+                 "oracle", "expected_detection")
+
+    def __init__(self, name, category, channel, description, requests,
+                 oracle, expected_detection=None):
+        self.name = name
+        #: SQLI / STORED_XSS / STORED_RFI / ...
+        self.category = category
+        #: semantic-mismatch channel: unicode / numeric-context / gbk /
+        #: second-order / identifier-context / classic / stored
+        self.channel = channel
+        self.description = description
+        self.requests = list(requests)
+        #: oracle(app, responses) -> bool (did the attack succeed?)
+        self.oracle = oracle
+        #: the SEPTIC detection expected to fire: "structural" /
+        #: "syntactical" / a plugin type / None (attack self-defeats)
+        self.expected_detection = expected_detection
+
+    def __repr__(self):
+        return "AttackCase(%s)" % self.name
+
+
+class AttackOutcome(object):
+    """What happened when a case was run against a scenario."""
+
+    __slots__ = ("case", "succeeded", "waf_blocked", "septic_blocked",
+                 "firewall_blocked", "responses")
+
+    def __init__(self, case, succeeded, waf_blocked, septic_blocked,
+                 firewall_blocked, responses):
+        self.case = case
+        self.succeeded = succeeded
+        self.waf_blocked = waf_blocked
+        self.septic_blocked = septic_blocked
+        self.firewall_blocked = firewall_blocked
+        self.responses = responses
+
+    @property
+    def blocked(self):
+        return self.waf_blocked or self.septic_blocked or \
+            self.firewall_blocked
+
+    def __repr__(self):
+        flags = []
+        if self.succeeded:
+            flags.append("SUCCESS")
+        if self.waf_blocked:
+            flags.append("waf-blocked")
+        if self.septic_blocked:
+            flags.append("septic-blocked")
+        if self.firewall_blocked:
+            flags.append("fw-blocked")
+        return "AttackOutcome(%s: %s)" % (
+            self.case.name, ", ".join(flags) or "failed"
+        )
+
+
+def run_case(server, app, case):
+    """Send the case's requests through *server* and apply the oracle.
+
+    A case request may be a callable ``app -> Request`` for stages that
+    depend on earlier stages' effects (e.g. the id of a device the first
+    stage registered); it is resolved right before being sent.
+    """
+    responses = []
+    for item in case.requests:
+        request = item(app) if callable(item) else item
+        responses.append(server.handle(request))
+    waf_blocked = any(r.status == 403 for r in responses)
+    septic_blocked = any(
+        r.status >= 500 and "SEPTIC" in r.body for r in responses
+    )
+    firewall_blocked = any(
+        r.status >= 500 and "database firewall" in r.body for r in responses
+    )
+    succeeded = False
+    if not waf_blocked:
+        try:
+            succeeded = bool(case.oracle(app, responses))
+        except Exception:
+            succeeded = False
+    return AttackOutcome(case, succeeded, waf_blocked, septic_blocked,
+                         firewall_blocked, responses)
+
+
+# ---------------------------------------------------------------------------
+# Oracles
+# ---------------------------------------------------------------------------
+
+def _body(responses, index=-1):
+    return responses[index].body
+
+
+def _contains(*needles, **kwargs):
+    index = kwargs.pop("index", -1)
+    assert not kwargs
+
+    def oracle(app, responses):
+        body = _body(responses, index)
+        return all(needle in body for needle in needles)
+
+    return oracle
+
+
+def _sleep_recorded(app, responses):
+    outcome = app.php.last_outcome
+    return outcome is not None and outcome.sleep_seconds > 0
+
+
+def _differential(app, responses):
+    """Blind-probe oracle: the two probe responses must both succeed and
+    differ (the attacker gained a boolean side channel)."""
+    if len(responses) < 2:
+        return False
+    a, b = responses[-2], responses[-1]
+    return a.ok and b.ok and a.body != b.body
+
+
+def _xss_stored(app, responses):
+    """The raw payload must have landed in the readings table."""
+    rows = app.database.table("readings").rows
+    return any(
+        row.get("comment") and "<" in row["comment"] and
+        ("onerror" in row["comment"] or "script" in row["comment"]
+         or "ontoggle" in row["comment"])
+        for row in rows
+    )
+
+
+def _stored_payload(payload):
+    def oracle(app, responses):
+        rows = app.database.table("readings").rows
+        return any(row.get("comment") == payload for row in rows)
+
+    return oracle
+
+
+def _feedback_has_alice_hash(app, responses):
+    rows = app.database.table("feedback").rows
+    return any(
+        row.get("message") == _ALICE_HASH or row.get("author") == _ALICE_HASH
+        for row in rows
+    )
+
+
+def _latest_device_history(app):
+    """Stage-2 request for second-order cases: browse the history of the
+    most recently registered device (the one stage 1 planted)."""
+    rows = app.database.table("devices").rows
+    latest = max((row["id"] for row in rows), default=0)
+    return Request.get("/device/history2", {"device_id": str(latest)})
+
+
+# ---------------------------------------------------------------------------
+# The corpus
+# ---------------------------------------------------------------------------
+
+def waspmon_attacks():
+    """All attack cases against WaspMon, across every channel."""
+    cases = []
+
+    # -- second order ------------------------------------------------------
+    cases.append(AttackCase(
+        "second_order_unicode",
+        "SQLI", "second-order+unicode",
+        "Paper §II-D1: stage 1 injects through the U+02BC channel, making "
+        "the application insert CONCAT(..., CHAR(39), ...) — a device "
+        "named ev charger'--  — and stage 2 replays that stored name into "
+        "the readings query, commenting out the ownership check on bob's "
+        "ev charger.",
+        [
+            Request.post("/device/new", {
+                "serial": "WM-666-X", "pin": "1111",
+                "name": payloads.SECOND_ORDER_UNICODE_STAGE1,
+                "location": "lab",
+            }),
+            _latest_device_history,
+        ],
+        _contains("7200"),
+        expected_detection="structural",
+    ))
+    cases.append(AttackCase(
+        "second_order_classic",
+        "SQLI", "second-order",
+        "ASCII flavour: stored name carries a quote (escaped at INSERT "
+        "time, revived on reuse) building an OR tautology.",
+        [
+            Request.post("/device/new", {
+                "serial": "WM-667-X", "pin": "1111",
+                "name": payloads.SECOND_ORDER_CLASSIC, "location": "lab",
+            }),
+            _latest_device_history,
+        ],
+        _contains("7200"),
+        expected_detection="structural",
+    ))
+
+    # -- numeric context -----------------------------------------------------
+    cases.append(AttackCase(
+        "numeric_tautology",
+        "SQLI", "numeric-context",
+        "Escaped-but-unquoted PIN: 0 OR 1=1 dumps every device.",
+        [Request.get("/device", {"serial": "WM-100-A",
+                                 "pin": payloads.NUMERIC_TAUTOLOGY})],
+        _contains("WM-200-B", "WM-300-C"),
+        expected_detection="structural",
+    ))
+    cases.append(AttackCase(
+        "numeric_tautology_evasive",
+        "SQLI", "numeric-context",
+        "CRS-evasive variant without the x=y shape (0 OR pin).",
+        [Request.get("/device", {"serial": "WM-100-A",
+                                 "pin": payloads.NUMERIC_TAUTOLOGY_EVASIVE})],
+        _contains("WM-200-B", "WM-300-C"),
+        expected_detection="structural",
+    ))
+    cases.append(AttackCase(
+        "numeric_union_dump",
+        "SQLI", "numeric-context",
+        "UNION SELECT through the numeric PIN dumps users and password "
+        "hashes.",
+        [Request.get("/device", {"serial": "WM-100-A",
+                                 "pin": payloads.NUMERIC_UNION})],
+        _contains(_ALICE_HASH),
+        expected_detection="structural",
+    ))
+    cases.append(AttackCase(
+        "numeric_piggyback",
+        "SQLI", "numeric-context",
+        "Stacked-query DROP: self-defeats because the connection has "
+        "multi-statements disabled (like mysql_query).",
+        [Request.get("/device", {"serial": "WM-100-A",
+                                 "pin": payloads.NUMERIC_PIGGYBACK})],
+        lambda app, responses: "readings" not in app.database.tables,
+        expected_detection=None,
+    ))
+    cases.append(AttackCase(
+        "numeric_sleep_blind",
+        "SQLI", "numeric-context",
+        "Time-based blind probe via SLEEP(2).",
+        [Request.get("/device", {"serial": "WM-100-A",
+                                 "pin": payloads.NUMERIC_SLEEP})],
+        _sleep_recorded,
+        expected_detection="structural",
+    ))
+    cases.append(AttackCase(
+        "numeric_sleep_evasive",
+        "SQLI", "numeric-context",
+        "SLEEP/**/(2): the inline comment splits the CRS 942220 shape.",
+        [Request.get("/device", {"serial": "WM-100-A",
+                                 "pin": payloads.NUMERIC_SLEEP_EVASIVE})],
+        _sleep_recorded,
+        expected_detection="structural",
+    ))
+
+    # -- unicode confusables ----------------------------------------------------
+    cases.append(AttackCase(
+        "unicode_tautology",
+        "SQLI", "unicode",
+        "Every quote is U+02BC: invisible to escaping and to ASCII-minded "
+        "WAF rules; MySQL's decoder turns them all into primes.",
+        [Request.get("/history", {"serial": payloads.UNICODE_TAUTOLOGY})],
+        _contains("950", "7200"),
+        expected_detection="structural",
+    ))
+    cases.append(AttackCase(
+        "unicode_mimicry",
+        "SQLI", "unicode",
+        "Paper Figure 4 over HTTP: serial ends with U+02BC AND 1=1--, "
+        "preserving the node count; only the node-wise comparison (step "
+        "2) can see it.",
+        [Request.get("/device", {"serial": payloads.UNICODE_MIMICRY,
+                                 "pin": "0"})],
+        _contains("WM-100-A"),
+        expected_detection="syntactical",
+    ))
+    cases.append(AttackCase(
+        "unicode_union",
+        "SQLI", "unicode",
+        "UNION dump through the unicode quote channel (keyword-visible "
+        "to the WAF, quote-invisible to the escaper).",
+        [Request.get("/history", {"serial": payloads.UNICODE_UNION})],
+        _contains(_ALICE_HASH),
+        expected_detection="structural",
+    ))
+
+    # -- GBK escape eating ----------------------------------------------------------
+    cases.append(AttackCase(
+        "gbk_exfiltration",
+        "SQLI", "gbk",
+        "0xBF eats addslashes' backslash on the GBK connection; the live "
+        "quote inserts a second row exfiltrating alice's password hash "
+        "into the public feedback board.",
+        [
+            Request.post("/feedback", {
+                "author": "eve", "message": payloads.GBK_EXFILTRATION,
+            }),
+            Request.get("/feedback/list"),
+        ],
+        _feedback_has_alice_hash,
+        expected_detection="structural",
+    ))
+
+    # -- identifier context (ORDER BY) ----------------------------------------------
+    cases.append(AttackCase(
+        "orderby_blind",
+        "SQLI", "identifier-context",
+        "Blind boolean probe in ORDER BY via CASE WHEN; two probes give "
+        "the attacker a differential oracle.",
+        [
+            Request.get("/search", {
+                "min_watts": "0", "max_watts": "10000",
+                "sort": "(CASE WHEN (SELECT COUNT(*) FROM users) > 0 "
+                        "THEN watts ELSE taken_at END)",
+            }),
+            Request.get("/search", {
+                "min_watts": "0", "max_watts": "10000",
+                "sort": "(CASE WHEN (SELECT COUNT(*) FROM users) < 0 "
+                        "THEN watts ELSE taken_at END)",
+            }),
+        ],
+        _differential,
+        expected_detection="structural",
+    ))
+
+    # -- classic attacks that sanitization legitimately stops -------------------------
+    cases.append(AttackCase(
+        "login_tautology_ascii",
+        "SQLI", "classic",
+        "Plain ASCII ' OR '1'='1 against the login: the escaping holds; "
+        "included to show sanitization is not useless, just incomplete.",
+        [Request.post("/login", {"username": payloads.LOGIN_TAUTOLOGY,
+                                 "password": "x"})],
+        _contains("Welcome"),
+        expected_detection=None,
+    ))
+
+    # -- stored injection ---------------------------------------------------------------
+    cases.append(AttackCase(
+        "stored_xss_script",
+        "STORED_XSS", "stored",
+        "Paper §II-D2: <script>alert('Hello!');</script> as a reading "
+        "comment (SQL-escaped, HTML-raw).",
+        [Request.post("/reading", {"serial": "WM-100-A", "watts": "100",
+                                   "comment": payloads.XSS_SCRIPT})],
+        _xss_stored,
+        expected_detection="STORED_XSS",
+    ))
+    cases.append(AttackCase(
+        "stored_xss_evasive",
+        "STORED_XSS", "stored",
+        "ontoggle handler: outside CRS 941110's event list, inside what "
+        "an HTML parser sees.",
+        [Request.post("/reading", {"serial": "WM-100-A", "watts": "100",
+                                   "comment": payloads.XSS_EVASIVE})],
+        _xss_stored,
+        expected_detection="STORED_XSS",
+    ))
+    cases.append(AttackCase(
+        "stored_rfi",
+        "STORED_RFI", "stored",
+        "Remote shell URL stored for a later include().",
+        [Request.post("/reading", {"serial": "WM-100-A", "watts": "100",
+                                   "comment": payloads.RFI_URL})],
+        _stored_payload(payloads.RFI_URL),
+        expected_detection="STORED_RFI",
+    ))
+    cases.append(AttackCase(
+        "stored_lfi",
+        "STORED_LFI", "stored",
+        "Path traversal to /etc/passwd stored for a later include().",
+        [Request.post("/reading", {"serial": "WM-100-A", "watts": "100",
+                                   "comment": payloads.LFI_TRAVERSAL})],
+        _stored_payload(payloads.LFI_TRAVERSAL),
+        expected_detection="STORED_LFI",
+    ))
+    cases.append(AttackCase(
+        "stored_osci",
+        "STORED_OSCI", "stored",
+        "Shell command chain stored for a later exec().",
+        [Request.post("/reading", {"serial": "WM-100-A", "watts": "100",
+                                   "comment": payloads.OSCI_CHAIN})],
+        _stored_payload(payloads.OSCI_CHAIN),
+        # the payload also touches /etc/passwd, so the (earlier) LFI
+        # plugin claims it; either classification blocks the write
+        expected_detection="STORED_LFI",
+    ))
+    cases.append(AttackCase(
+        "stored_rce_php",
+        "STORED_RCE", "stored",
+        "PHP eval payload stored for a later eval().",
+        [Request.post("/reading", {"serial": "WM-100-A", "watts": "100",
+                                   "comment": payloads.RCE_PHP})],
+        _stored_payload(payloads.RCE_PHP),
+        expected_detection="STORED_RCE",
+    ))
+    cases.append(AttackCase(
+        "stored_rce_serialized",
+        "STORED_RCE", "stored",
+        "Serialized PHP object (object injection) stored for a later "
+        "unserialize().",
+        [Request.post("/reading", {"serial": "WM-100-A", "watts": "100",
+                                   "comment": payloads.RCE_SERIALIZED})],
+        _stored_payload(payloads.RCE_SERIALIZED),
+        expected_detection="STORED_RCE",
+    ))
+
+    return cases
+
+
+def benign_cases(app):
+    """Benign traffic wrapped as cases expecting normal operation (the
+    false-positive measurement set)."""
+    cases = []
+    for index, request in enumerate(app.benign_requests()):
+        cases.append(AttackCase(
+            "benign_%02d_%s" % (index, request.path.strip("/") or "home"),
+            "BENIGN", "benign",
+            "legitimate traffic",
+            [request],
+            lambda app_, responses: responses[-1].ok,
+            expected_detection=None,
+        ))
+    return cases

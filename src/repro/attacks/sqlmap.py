@@ -1,0 +1,142 @@
+"""sqlmap-lite: an automated injection probe in the spirit of sqlmap.
+
+The demo uses sqlmap from the attacker machine; this miniature version
+implements the four detection techniques that matter for the demo —
+boolean-based blind, error-based, UNION-based and time-based blind — and
+probes each declared form field of an application.  It reports which
+parameters are injectable under the current protection configuration,
+so running it against the four scenarios shows the same contrast the
+demo shows on stage.
+"""
+
+
+class Finding(object):
+    """One injectable parameter, as established by one technique."""
+
+    __slots__ = ("path", "method", "param", "technique", "payload")
+
+    def __init__(self, path, method, param, technique, payload):
+        self.path = path
+        self.method = method
+        self.param = param
+        self.technique = technique
+        self.payload = payload
+
+    def __repr__(self):
+        return "Finding(%s %s param=%s via %s)" % (
+            self.method, self.path, self.param, self.technique
+        )
+
+
+#: probe pairs for boolean-based blind: (true variant, false variant)
+_BOOLEAN_PROBES = [
+    ("' AND '1'='1", "' AND '1'='2"),          # string context
+    (" AND 1=1", " AND 1=2"),                  # numeric context
+    ("ʼ AND ʼ1ʼ=ʼ1", "ʼ AND ʼ1ʼ=ʼ2"),          # unicode-quote context
+]
+
+_ERROR_PROBES = ["'", "\"", "ʼ", "')", "';"]
+
+_TIME_PROBES = [" OR SLEEP(1)", "' OR SLEEP(1)-- ", "ʼ OR SLEEP(1)-- "]
+
+_UNION_MAX_COLUMNS = 8
+
+
+class SqlmapLite(object):
+    """Probe driver.  ``server`` is the front door (WAF included);
+    *app* is needed only to observe the SLEEP side channel."""
+
+    def __init__(self, server, app, max_union_columns=_UNION_MAX_COLUMNS):
+        self.server = server
+        self.app = app
+        self.max_union_columns = max_union_columns
+        self.requests_sent = 0
+
+    # -- low-level ---------------------------------------------------------
+
+    def _send(self, form, param, value):
+        from repro.web.http import Request
+
+        params = form.benign_params()
+        params[param] = value
+        self.requests_sent += 1
+        return self.server.handle(Request(form.method, form.path, params))
+
+    # -- techniques -----------------------------------------------------------
+
+    def _boolean_based(self, form, field):
+        base = field.sample
+        for true_suffix, false_suffix in _BOOLEAN_PROBES:
+            r_true = self._send(form, field.name, base + true_suffix)
+            r_false = self._send(form, field.name, base + false_suffix)
+            r_base = self._send(form, field.name, base)
+            if not (r_true.ok and r_false.ok and r_base.ok):
+                continue
+            if r_true.body == r_base.body and r_false.body != r_base.body:
+                return base + true_suffix
+        return None
+
+    def _error_based(self, form, field):
+        r_base = self._send(form, field.name, field.sample)
+        if not r_base.ok:
+            return None
+        for probe in _ERROR_PROBES:
+            response = self._send(form, field.name, field.sample + probe)
+            if response.status >= 500 and "ERROR 1064" in response.body:
+                return field.sample + probe
+        return None
+
+    def _union_based(self, form, field):
+        marker = "0x53514c4d41505f4d41524b"  # hex('SQLMAP_MARK')
+        for quote in ("", "'", "ʼ"):
+            for columns in range(1, self.max_union_columns + 1):
+                cells = [marker] * columns
+                payload = "%s%s UNION SELECT %s-- " % (
+                    field.sample, quote, ", ".join(cells)
+                )
+                response = self._send(form, field.name, payload)
+                if response.ok and "SQLMAP_MARK" in response.body:
+                    return payload
+        return None
+
+    def _time_based(self, form, field):
+        for probe in _TIME_PROBES:
+            before = self._total_sleep()
+            response = self._send(form, field.name, field.sample + probe)
+            if response.status == 403:
+                continue
+            if self._total_sleep() > before:
+                return field.sample + probe
+        return None
+
+    def _total_sleep(self):
+        outcome = self.app.php.last_outcome
+        return 0.0 if outcome is None else outcome.sleep_seconds
+
+    # -- driver ------------------------------------------------------------------
+
+    def test_form(self, form):
+        """Probe every field of one form; returns the findings."""
+        findings = []
+        techniques = [
+            ("boolean-based blind", self._boolean_based),
+            ("error-based", self._error_based),
+            ("UNION query", self._union_based),
+            ("time-based blind", self._time_based),
+        ]
+        for field in form.fields:
+            for label, technique in techniques:
+                payload = technique(form, field)
+                if payload is not None:
+                    findings.append(
+                        Finding(form.path, form.method, field.name, label,
+                                payload)
+                    )
+        return findings
+
+    def test_application(self, forms=None):
+        """Probe all (or the given) forms; returns all findings."""
+        findings = []
+        for form in (forms or self.server.app.forms):
+            findings.extend(self.test_form(form))
+        return findings

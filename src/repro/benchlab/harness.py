@@ -1,0 +1,187 @@
+"""The BenchLab measurement harness (drives the §II-F experiments).
+
+``run_benchlab`` assembles one full testbed — SEPTIC-enabled database,
+application, server machine, client machines with browsers — runs the
+closed-loop replay and returns latency statistics.
+
+``run_overhead_experiment`` reproduces Figure 5: for each application it
+measures the original server (no SEPTIC) and the four SEPTIC detection
+configurations (NN / YN / NY / YY), reporting average-latency overheads.
+
+``run_scaling_experiment`` reproduces the §II-F ramp: 1→4 machines with
+one browser each, then 8/12/16/20 browsers on four machines.
+"""
+
+from repro.benchlab.machines import BrowserClient, NetworkLink, ServerMachine
+from repro.benchlab.simulation import Simulator
+from repro.benchlab.workload import workload_for
+from repro.core.logger import SepticLogger
+from repro.core.septic import Mode, Septic, SepticConfig
+from repro.sqldb.engine import Database
+from repro.web.server import WebServer
+
+#: SEPTIC detection configurations of Figure 5 (None = original MySQL)
+FIG5_CONFIGS = ("baseline", "NN", "YN", "NY", "YY")
+
+
+class BenchLabResult(object):
+    """Latency statistics of one testbed run."""
+
+    __slots__ = ("label", "latencies", "virtual_duration",
+                 "measured_seconds", "requests")
+
+    def __init__(self, label, latencies, virtual_duration, measured_seconds):
+        self.label = label
+        self.latencies = latencies
+        self.virtual_duration = virtual_duration
+        self.measured_seconds = measured_seconds
+        self.requests = len(latencies)
+
+    @property
+    def avg_latency(self):
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def p95_latency(self):
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+    @property
+    def throughput(self):
+        if self.virtual_duration <= 0:
+            return 0.0
+        return self.requests / self.virtual_duration
+
+    def overhead_vs(self, baseline):
+        """Average-latency overhead relative to *baseline* (a fraction;
+        multiply by 100 for the paper's percentages)."""
+        if baseline.avg_latency == 0:
+            return 0.0
+        return (self.avg_latency - baseline.avg_latency) / \
+            baseline.avg_latency
+
+    def __repr__(self):
+        return "BenchLabResult(%s, %d req, avg=%.3f ms)" % (
+            self.label, self.requests, self.avg_latency * 1000.0
+        )
+
+
+def build_stack(app_class, septic_flags=None, mode=Mode.PREVENTION,
+                training_passes=1):
+    """Build (server, app, septic) for one configuration.
+
+    *septic_flags* is ``None`` for the original server (no SEPTIC) or a
+    two-letter Y/N string (Figure 5 notation).  SEPTIC stacks are trained
+    by replaying the workload in training mode first, like the demo.
+    """
+    septic = None
+    if septic_flags is not None:
+        septic = Septic(
+            mode=Mode.TRAINING,
+            config=SepticConfig.from_flags(septic_flags),
+            logger=SepticLogger(verbose=False),
+        )
+    database = Database(name=app_class.name, septic=septic)
+    app = app_class(database)
+    if septic is not None:
+        for _ in range(training_passes):
+            for request in app.workload_requests():
+                app.handle(request)
+        septic.mode = mode
+    return WebServer(app), app, septic
+
+
+def run_benchlab(app_class, septic_flags=None, machines=4,
+                 browsers_per_machine=5, loops=5, workers=8,
+                 link=None, label=None, think_time=0.0):
+    """Run one full testbed configuration and collect latencies."""
+    server, app, septic = build_stack(app_class, septic_flags)
+    simulator = Simulator()
+    station = ServerMachine(simulator, server, workers=workers)
+    link = link or NetworkLink()
+    workload = workload_for(app)
+    browsers = []
+    for machine in range(machines):
+        for slot in range(browsers_per_machine):
+            browser = BrowserClient(
+                simulator, station, link, workload, loops,
+                name="m%d-b%d" % (machine, slot),
+                think_time=think_time,
+            )
+            # stagger starts like real browsers ramping up
+            browser.start(initial_delay=0.01 * len(browsers))
+            browsers.append(browser)
+    simulator.run()
+    latencies = []
+    for browser in browsers:
+        latencies.extend(browser.latencies)
+    return BenchLabResult(
+        label or (septic_flags or "baseline"),
+        latencies,
+        simulator.now,
+        station.septic_seconds,
+    )
+
+
+def run_overhead_experiment(app_classes, configs=FIG5_CONFIGS, machines=4,
+                            browsers_per_machine=5, loops=5, repeats=3):
+    """Figure 5: average latency overhead per SEPTIC configuration.
+
+    Returns ``{app_name: {config: overhead_fraction}}`` plus the raw
+    results under the ``"_results"`` key of each app entry.  Each
+    configuration is run *repeats* times and the run with the median
+    average latency is kept (damps scheduler noise in the measured
+    service times).
+    """
+    table = {}
+    for app_class in app_classes:
+        results = {}
+        for config in configs:
+            flags = None if config == "baseline" else config
+            runs = [
+                run_benchlab(
+                    app_class, flags, machines=machines,
+                    browsers_per_machine=browsers_per_machine, loops=loops,
+                    label=config,
+                )
+                for _ in range(repeats)
+            ]
+            runs.sort(key=lambda r: r.avg_latency)
+            results[config] = runs[len(runs) // 2]
+        baseline = results["baseline"]
+        overheads = {
+            config: results[config].overhead_vs(baseline)
+            for config in configs if config != "baseline"
+        }
+        overheads["_results"] = results
+        table[app_class.name] = overheads
+    return table
+
+
+def run_scaling_experiment(app_class, loops=5, workers=8, repeats=1):
+    """§II-F ramp for one application (the paper uses refbase):
+
+    1→4 machines × 1 browser, then 4 machines × 2/3/4/5 browsers
+    (8, 12, 16, 20 browsers total).  Returns a list of
+    ``(total_browsers, machines, result)`` rows for the YY configuration.
+    """
+    steps = [(1, 1), (2, 1), (3, 1), (4, 1), (4, 2), (4, 3), (4, 4), (4, 5)]
+    rows = []
+    for machines, per_machine in steps:
+        runs = [
+            run_benchlab(
+                app_class, "YY", machines=machines,
+                browsers_per_machine=per_machine, loops=loops,
+                workers=workers,
+                label="%dx%d" % (machines, per_machine),
+            )
+            for _ in range(repeats)
+        ]
+        runs.sort(key=lambda r: r.avg_latency)
+        result = runs[len(runs) // 2]
+        rows.append((machines * per_machine, machines, result))
+    return rows

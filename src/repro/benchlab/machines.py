@@ -1,0 +1,161 @@
+"""Simulated machines and network of the Quinta-cluster testbed.
+
+``ServerMachine`` models the web+DBMS server pair as a queueing station
+with a fixed number of worker slots (Apache worker processes).  The
+service time of a request is::
+
+    service = apache_php_cost                      (synthetic, constant)
+            + db_query_cost × queries_in_request   (synthetic, constant)
+            + septic_seconds                       (MEASURED live)
+            + sleep_seconds                        (SLEEP() payloads)
+
+The synthetic constants stand in for the testbed hardware we cannot run
+(Apache/PHP machinery and MySQL's own query execution on the paper's
+Pentium-4 cluster) and are *identical across SEPTIC configurations*; the
+SEPTIC term is the real wall-clock time the hook spent inside the Python
+DBMS for this request's queries.  Relative overhead — the paper's
+metric — therefore has a deterministic denominator and a measured
+numerator, which keeps the NN ≤ YN ≤ NY ≤ YY ordering visible above
+scheduler noise.
+
+``NetworkLink`` adds a fixed RTT plus a bandwidth term on the response
+body.  ``BrowserClient`` replays a workload in a closed loop, one request
+in flight at a time, exactly like a BenchLab browser.
+"""
+
+
+class NetworkLink(object):
+    """Ethernet link between client machines and the server."""
+
+    def __init__(self, rtt=0.001, bandwidth_bytes_per_s=125_000_000.0):
+        #: round-trip time in seconds (1 Gb ethernet LAN: ~1 ms)
+        self.rtt = rtt
+        self.bandwidth = bandwidth_bytes_per_s
+
+    def latency(self, response_bytes):
+        """One full request/response exchange over this link."""
+        return self.rtt + response_bytes / self.bandwidth
+
+
+class ServerMachine(object):
+    """Web + DBMS server: k worker slots over the real application stack."""
+
+    #: synthetic per-request Apache/PHP machinery cost (seconds);
+    #: calibrated to the paper's Pentium-4 testbed scale
+    APACHE_PHP_COST = 0.0020
+    #: synthetic cost of one MySQL query execution (seconds)
+    DB_QUERY_COST = 0.0006
+    #: synthetic cost of serving a static object (no PHP, no DB)
+    STATIC_COST = 0.0006
+
+    def __init__(self, simulator, server, workers=4):
+        self._sim = simulator
+        #: a :class:`repro.web.server.WebServer` (the real stack)
+        self.server = server
+        self.workers = workers
+        self._busy = 0
+        self._queue = []
+        self.requests_completed = 0
+        #: accumulated measured SEPTIC seconds (read from the database)
+        self.septic_seconds = 0.0
+
+    def submit(self, request, on_done):
+        """Accept a request; *on_done(response, service_time)* fires when
+        service completes (in virtual time)."""
+        if self._busy < self.workers:
+            self._start(request, on_done)
+        else:
+            self._queue.append((request, on_done))
+
+    def _start(self, request, on_done):
+        self._busy += 1
+        database = self.server.app.database
+        queries_before = database.statements_received
+        septic_before = database.septic_seconds_total
+        response = self.server.handle(request)
+        queries = database.statements_received - queries_before
+        septic_delta = database.septic_seconds_total - septic_before
+        self.septic_seconds += septic_delta
+        if request.path.startswith("/static/"):
+            service = self.STATIC_COST
+        else:
+            service = self.APACHE_PHP_COST + self.DB_QUERY_COST * queries
+        service += septic_delta
+        # SLEEP()-based payloads surface as real service time
+        app = self.server.app
+        outcome = app.php.last_outcome
+        if outcome is not None and outcome.sleep_seconds:
+            service += outcome.sleep_seconds
+            outcome.sleep_seconds = 0.0
+        self._sim.schedule(service, self._finish, response, service, on_done)
+
+    def _finish(self, response, service, on_done):
+        self._busy -= 1
+        self.requests_completed += 1
+        if self._queue:
+            request, queued_cb = self._queue.pop(0)
+            self._start(request, queued_cb)
+        on_done(response, service)
+
+
+class BrowserClient(object):
+    """One BenchLab browser: replays the workload in a closed loop.
+
+    ``think_time`` seconds elapse between receiving a response and
+    sending the next request (0 = back-to-back, the paper's "sending the
+    requests one by one" in a tight loop).
+    """
+
+    def __init__(self, simulator, server_machine, link, workload, loops,
+                 name="browser", think_time=0.0):
+        self._sim = simulator
+        self._server = server_machine
+        self._link = link
+        self._workload = workload
+        self._loops = loops
+        self.name = name
+        self.think_time = think_time
+        self.latencies = []
+        self._loop = 0
+        self._index = 0
+        self._sent_at = 0.0
+
+    def start(self, initial_delay=0.0):
+        self._sim.schedule(initial_delay, self._send_next)
+
+    def _send_next(self):
+        if self._loop >= self._loops:
+            return
+        request = self._workload.requests[self._index]
+        self._sent_at = self._sim.now
+        # client -> server propagation: half the RTT
+        self._sim.schedule(
+            self._link.rtt / 2.0, self._server.submit, request,
+            self._on_response,
+        )
+
+    def _on_response(self, response, service):
+        transfer = self._link.latency(len(response.body)) - self._link.rtt
+        self._sim.schedule(
+            self._link.rtt / 2.0 + transfer, self._complete
+        )
+
+    def _complete(self):
+        self.latencies.append(self._sim.now - self._sent_at)
+        self._index += 1
+        if self._index >= len(self._workload.requests):
+            self._index = 0
+            self._loop += 1
+        if self.think_time > 0:
+            self._sim.schedule(self.think_time, self._send_next)
+        else:
+            self._send_next()
+
+    @property
+    def done(self):
+        return self._loop >= self._loops
+
+    def __repr__(self):
+        return "BrowserClient(%s, %d samples)" % (
+            self.name, len(self.latencies)
+        )

@@ -1,0 +1,46 @@
+"""Shared formatting for BenchLab results (examples and benches)."""
+
+
+def format_result_line(result, baseline=None):
+    """One line per configuration, Figure-5 style."""
+    parts = [
+        "%-10s" % result.label,
+        "avg=%.3f ms" % (result.avg_latency * 1e3),
+        "p95=%.3f ms" % (result.p95_latency * 1e3),
+        "%.0f req/s" % result.throughput,
+    ]
+    if baseline is not None and baseline is not result:
+        parts.append("overhead=%+.2f%%"
+                     % (100 * result.overhead_vs(baseline)))
+    if result.measured_seconds and result.requests:
+        parts.append("septic=%.1f µs/req"
+                     % (1e6 * result.measured_seconds / result.requests))
+    return "  ".join(parts)
+
+
+def format_overhead_table(table, configs=("NN", "YN", "NY", "YY")):
+    """Render ``run_overhead_experiment`` output as the paper's table."""
+    lines = ["%-12s" % "app" + "".join("%8s" % c for c in configs)]
+    for app_name in sorted(table):
+        row = table[app_name]
+        lines.append(
+            "%-12s" % app_name
+            + "".join("%7.2f%%" % (row[c] * 100) for c in configs)
+        )
+    return "\n".join(lines)
+
+
+def format_scaling_rows(rows):
+    """Render ``run_scaling_experiment`` output as the §II-F series."""
+    lines = ["%-10s %-10s %-12s %-12s %-8s"
+             % ("browsers", "machines", "avg", "p95", "req/s")]
+    for browsers, machines, result in rows:
+        lines.append(
+            "%-10d %-10d %-12s %-12s %-8.0f" % (
+                browsers, machines,
+                "%.2f ms" % (result.avg_latency * 1e3),
+                "%.2f ms" % (result.p95_latency * 1e3),
+                result.throughput,
+            )
+        )
+    return "\n".join(lines)

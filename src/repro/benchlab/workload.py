@@ -1,0 +1,40 @@
+"""Recorded workloads (BenchLab's request traces).
+
+BenchLab records browser sessions and replays them; a
+:class:`Workload` here is the recorded request list plus metadata.  The
+three paper workloads are exposed by :func:`paper_workloads`.
+"""
+
+
+class Workload(object):
+    """A named, ordered request trace."""
+
+    __slots__ = ("name", "requests")
+
+    def __init__(self, name, requests):
+        self.name = name
+        self.requests = list(requests)
+
+    def __len__(self):
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    def __repr__(self):
+        return "Workload(%s, %d requests)" % (self.name, len(self.requests))
+
+
+def workload_for(app):
+    """Record the workload of an application exposing
+    ``workload_requests()`` (the three evaluation apps do)."""
+    return Workload(app.name, app.workload_requests())
+
+
+def paper_workloads():
+    """Names and sizes of the paper's three workloads (§II-F)."""
+    return {
+        "addressbook": 12,
+        "refbase": 14,
+        "zerocms": 26,
+    }

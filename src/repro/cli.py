@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``demo``
+    Condensed five-phase demonstration (§IV) against WaspMon.
+``train``
+    Train SEPTIC over WaspMon's forms and persist the QM store.
+``attack``
+    Run the attack corpus against one protection configuration.
+``scan``
+    sqlmap-lite probe battery against one protection configuration.
+``bench``
+    Quick Figure-5-style overhead measurement.
+``status``
+    Train, attack, and print the SEPTIC status display + event log tail.
+"""
+
+import argparse
+import sys
+
+from repro.attacks.corpus import run_case, waspmon_attacks
+from repro.attacks.scenario import PROTECTIONS, build_scenario
+
+
+def _cmd_demo(args, out):
+    rows = []
+    for protection in ("none", "modsec", "septic"):
+        scenario = build_scenario(protection)
+        outcomes = [run_case(scenario.server, scenario.app, case)
+                    for case in waspmon_attacks()]
+        rows.append((protection, outcomes))
+    out.write("%-28s %-12s %-12s %-12s\n"
+              % ("attack", "none", "modsec", "septic"))
+    for index, case in enumerate(waspmon_attacks()):
+        cells = []
+        for protection, outcomes in rows:
+            outcome = outcomes[index]
+            if outcome.waf_blocked:
+                cells.append("waf-block")
+            elif outcome.septic_blocked:
+                cells.append("septic-block")
+            elif outcome.succeeded:
+                cells.append("pwned")
+            else:
+                cells.append("failed")
+        out.write("%-28s %-12s %-12s %-12s\n" % ((case.name,) + tuple(cells)))
+    septic_outcomes = rows[2][1]
+    out.write("\nSEPTIC blocked %d/%d attacks, 0 false positives\n" % (
+        sum(1 for o in septic_outcomes if o.septic_blocked),
+        len(septic_outcomes),
+    ))
+    return 0
+
+
+def _cmd_train(args, out):
+    from repro.apps.waspmon import WaspMon
+    from repro.core.septic import Mode, Septic
+    from repro.core.store import QMStore
+    from repro.core.training import SepticTrainer
+    from repro.sqldb.engine import Database
+
+    septic = Septic(mode=Mode.TRAINING, store=QMStore(path=args.store))
+    app = WaspMon(Database(septic=septic))
+    report = SepticTrainer(app, septic).train(passes=args.passes)
+    septic.store.save()
+    out.write("trained: %d requests, %d models -> %s\n"
+              % (report.requests_sent, len(septic.store), args.store))
+    return 0
+
+
+def _cmd_attack(args, out):
+    scenario = build_scenario(args.protection)
+    blocked = succeeded = 0
+    for case in waspmon_attacks():
+        outcome = run_case(scenario.server, scenario.app, case)
+        verdict = ("waf-blocked" if outcome.waf_blocked else
+                   "septic-blocked" if outcome.septic_blocked else
+                   "fw-blocked" if outcome.firewall_blocked else
+                   "SUCCESS" if outcome.succeeded else "failed")
+        if outcome.blocked:
+            blocked += 1
+        if outcome.succeeded:
+            succeeded += 1
+        out.write("%-28s %s\n" % (case.name, verdict))
+    out.write("\n%s: %d blocked, %d succeeded\n"
+              % (args.protection, blocked, succeeded))
+    return 0 if succeeded == 0 or args.protection == "none" else 1
+
+
+def _cmd_scan(args, out):
+    from repro.attacks.sqlmap import SqlmapLite
+
+    scenario = build_scenario(args.protection)
+    scanner = SqlmapLite(scenario.server, scenario.app)
+    findings = scanner.test_application()
+    for finding in findings:
+        out.write("%s\n" % (finding,))
+    out.write("\n%d findings over %d probe requests\n"
+              % (len(findings), scanner.requests_sent))
+    return 0
+
+
+def _cmd_bench(args, out):
+    from repro.apps import AddressBook, Refbase, ZeroCMS
+    from repro.benchlab.harness import run_overhead_experiment
+
+    apps = {"addressbook": AddressBook, "refbase": Refbase,
+            "zerocms": ZeroCMS}
+    selected = [apps[name] for name in (args.apps or sorted(apps))]
+    table = run_overhead_experiment(selected, loops=args.loops,
+                                    repeats=args.repeats)
+    out.write("%-12s %6s %6s %6s %6s\n" % ("app", "NN", "YN", "NY", "YY"))
+    for app_name in sorted(table):
+        row = table[app_name]
+        out.write("%-12s %5.2f%% %5.2f%% %5.2f%% %5.2f%%\n" % (
+            app_name, row["NN"] * 100, row["YN"] * 100,
+            row["NY"] * 100, row["YY"] * 100,
+        ))
+    return 0
+
+
+def _cmd_status(args, out):
+    scenario = build_scenario("septic")
+    for case in waspmon_attacks()[:5]:
+        run_case(scenario.server, scenario.app, case)
+    status = scenario.septic.status()
+    out.write("mode:                 %s\n" % status["mode"])
+    out.write("models learned:       %d\n" % status["models"])
+    out.write("detect SQLI/stored:   %s/%s\n"
+              % (status["detect_sqli"], status["detect_stored"]))
+    out.write("plugins:              %s\n" % ", ".join(status["plugins"]))
+    for key, value in sorted(status["stats"].items()):
+        out.write("stats.%-18s %d\n" % (key + ":", value))
+    out.write("\nlast events:\n")
+    for event in scenario.septic.logger.events[-8:]:
+        out.write("  %s\n" % event.format()[:100])
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SEPTIC reproduction (DSN 2017 demo paper)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="condensed five-phase demonstration")
+
+    train = sub.add_parser("train", help="train SEPTIC over WaspMon")
+    train.add_argument("--store", default="qm_store.json")
+    train.add_argument("--passes", type=int, default=2)
+
+    attack = sub.add_parser("attack", help="run the attack corpus")
+    attack.add_argument("--protection", choices=PROTECTIONS,
+                        default="septic")
+
+    scan = sub.add_parser("scan", help="sqlmap-lite probe battery")
+    scan.add_argument("--protection", choices=PROTECTIONS, default="none")
+
+    bench = sub.add_parser("bench", help="quick overhead measurement")
+    bench.add_argument("--apps", nargs="*",
+                       choices=["addressbook", "refbase", "zerocms"])
+    bench.add_argument("--loops", type=int, default=2)
+    bench.add_argument("--repeats", type=int, default=1)
+
+    sub.add_parser("status", help="status display after a short run")
+    return parser
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "train": _cmd_train,
+    "attack": _cmd_attack,
+    "scan": _cmd_scan,
+    "bench": _cmd_bench,
+    "status": _cmd_status,
+}
+
+
+def main(argv=None, out=None):
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""SEPTIC — SElf-Protecting daTabases prevenIng attaCks.
+
+The paper's primary contribution: a mechanism running *inside* the DBMS
+(see :class:`repro.sqldb.engine.Database`) that detects and blocks SQL
+injection and stored injection attacks by comparing query structures
+against learned query models.
+
+Modules mirror Figure 1 of the paper:
+
+* :mod:`repro.core.query_structure` / :mod:`repro.core.query_model` —
+  the QS & QM manager's data structures;
+* :mod:`repro.core.id_generator` — the ID generator;
+* :mod:`repro.core.store` — the "QM learned" store;
+* :mod:`repro.core.detector` — the attack detector (two-step SQLI
+  algorithm + stored-injection plugins);
+* :mod:`repro.core.plugins` — stored injection plugins (XSS, RFI/LFI,
+  OSCI, RCE);
+* :mod:`repro.core.logger` — the logger / event register;
+* :mod:`repro.core.septic` — the facade wiring everything, with the
+  operation modes of Table I;
+* :mod:`repro.core.training` — the external training module (crawler).
+"""
+
+from repro.core.septic import Septic, SepticConfig, Mode
+from repro.core.query_structure import QueryStructure
+from repro.core.query_model import QueryModel, BOTTOM
+from repro.core.id_generator import IdGenerator, QueryId
+from repro.core.store import QMStore
+from repro.core.manager import QSQMManager, LookupResult
+from repro.core.detector import AttackDetector, Detection, AttackType
+from repro.core.logger import SepticLogger, EventRecord, EventKind
+from repro.core.training import SepticTrainer, TrainingReport
+
+__all__ = [
+    "SepticTrainer",
+    "TrainingReport",
+    "QSQMManager",
+    "LookupResult",
+    "Septic",
+    "SepticConfig",
+    "Mode",
+    "QueryStructure",
+    "QueryModel",
+    "BOTTOM",
+    "IdGenerator",
+    "QueryId",
+    "QMStore",
+    "AttackDetector",
+    "Detection",
+    "AttackType",
+    "SepticLogger",
+    "EventRecord",
+    "EventKind",
+]

@@ -1,0 +1,143 @@
+"""The logger module — SEPTIC's register of events (paper §II-C4).
+
+An attack record contains the query received, the query identifier, its
+query model and (for SQLI) the step of the algorithm that found the
+problem.  For a newly observed query the logger registers the received
+query, the query model and its identifier.  The demo adds a verbose event
+register showing every action taken (query model creation, query
+processing, attack detection); ``verbose=True`` enables that behaviour.
+"""
+
+
+class EventKind(object):
+    """Event type tags."""
+
+    MODE_CHANGED = "MODE_CHANGED"
+    QS_BUILT = "QS_BUILT"
+    ID_GENERATED = "ID_GENERATED"
+    QM_FOUND = "QM_FOUND"
+    QM_CREATED = "QM_CREATED"
+    COMPARISON_OK = "COMPARISON_OK"
+    ATTACK_DETECTED = "ATTACK_DETECTED"
+    QUERY_DROPPED = "QUERY_DROPPED"
+    QUERY_EXECUTED = "QUERY_EXECUTED"
+
+
+#: kinds always recorded, even when not verbose
+_SIGNIFICANT = frozenset(
+    [EventKind.MODE_CHANGED, EventKind.QM_CREATED,
+     EventKind.ATTACK_DETECTED, EventKind.QUERY_DROPPED]
+)
+
+
+class EventRecord(object):
+    """One logged event."""
+
+    __slots__ = ("kind", "query", "query_id", "model", "attack_type",
+                 "step", "detail", "sequence")
+
+    def __init__(self, kind, query=None, query_id=None, model=None,
+                 attack_type=None, step=None, detail=None, sequence=0):
+        self.kind = kind
+        self.query = query
+        self.query_id = query_id
+        self.model = model
+        self.attack_type = attack_type
+        self.step = step
+        self.detail = detail
+        self.sequence = sequence
+
+    def format(self):
+        """One-line rendering for the demo's SEPTIC events display."""
+        parts = ["[%05d] %-16s" % (self.sequence, self.kind)]
+        if self.attack_type:
+            parts.append("type=%s" % self.attack_type)
+        if self.step is not None:
+            parts.append(
+                "step=%d(%s)"
+                % (self.step, "structural" if self.step == 1 else "syntactical")
+            )
+        if self.query_id is not None:
+            parts.append("id=%s" % self.query_id)
+        if self.detail:
+            parts.append(self.detail)
+        if self.query:
+            parts.append("query=%r" % _short(self.query))
+        return " ".join(parts)
+
+    def __repr__(self):
+        return "EventRecord(%s)" % self.format()
+
+
+class SepticLogger(object):
+    """Collects :class:`EventRecord` objects; optionally tees to a sink."""
+
+    def __init__(self, verbose=False, sink=None, max_events=100000):
+        self.verbose = verbose
+        #: optional callable invoked with each record's formatted line
+        self.sink = sink
+        self.max_events = max_events
+        self.events = []
+        self._sequence = 0
+
+    def log(self, kind, **fields):
+        self._sequence += 1
+        if not self.verbose and kind not in _SIGNIFICANT:
+            return None
+        record = EventRecord(kind, sequence=self._sequence, **fields)
+        if len(self.events) < self.max_events:
+            self.events.append(record)
+        if self.sink is not None:
+            try:
+                self.sink(record.format())
+            except Exception:
+                # a broken display/sink must never break query processing
+                self.sink = None
+        return record
+
+    # -- queries over the register ----------------------------------------
+
+    def by_kind(self, kind):
+        return [e for e in self.events if e.kind == kind]
+
+    @property
+    def attacks(self):
+        return self.by_kind(EventKind.ATTACK_DETECTED)
+
+    @property
+    def new_models(self):
+        return self.by_kind(EventKind.QM_CREATED)
+
+    @property
+    def drops(self):
+        return self.by_kind(EventKind.QUERY_DROPPED)
+
+    def clear(self):
+        self.events = []
+
+    def export_json(self, path):
+        """Dump the event register as JSON (SIEM-style export)."""
+        import json
+
+        payload = [
+            {
+                "sequence": event.sequence,
+                "kind": event.kind,
+                "query": event.query,
+                "query_id": event.query_id,
+                "attack_type": event.attack_type,
+                "step": event.step,
+                "detail": event.detail,
+            }
+            for event in self.events
+        ]
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        return path
+
+    def __len__(self):
+        return len(self.events)
+
+
+def _short(text, limit=100):
+    return text if len(text) <= limit else text[: limit - 1] + "…"

@@ -1,0 +1,41 @@
+"""Stored-injection detection plugins (paper §II-C3, second bullet).
+
+Each plugin implements the two-step scheme the paper describes:
+
+1. ``suspicious(text)`` — a lightweight character/token filter that cheaply
+   decides whether the input *could* carry this plugin's attack class;
+2. ``confirm(text)`` — a more precise, more expensive validation run only
+   when step 1 flags the input.
+
+The default plugin set covers the classes listed in the paper: stored XSS,
+remote/local file inclusion (RFI, LFI), OS command injection (OSCI) and
+remote code execution (RCE).
+"""
+
+from repro.core.plugins.base import StoredInjectionPlugin
+from repro.core.plugins.xss import StoredXSSPlugin
+from repro.core.plugins.fileinc import RFIPlugin, LFIPlugin
+from repro.core.plugins.osci import OSCIPlugin
+from repro.core.plugins.rce import RCEPlugin
+
+
+def default_plugins():
+    """The plugin set shipped with SEPTIC (one per attack class)."""
+    return [
+        StoredXSSPlugin(),
+        RFIPlugin(),
+        LFIPlugin(),
+        OSCIPlugin(),
+        RCEPlugin(),
+    ]
+
+
+__all__ = [
+    "StoredInjectionPlugin",
+    "StoredXSSPlugin",
+    "RFIPlugin",
+    "LFIPlugin",
+    "OSCIPlugin",
+    "RCEPlugin",
+    "default_plugins",
+]

@@ -1,0 +1,107 @@
+"""Query model (QM) — the learned abstraction of a query's structure.
+
+A QM is the QS with the DATA of every ``<DATA_TYPE, DATA>`` node replaced
+by the special value ⊥ (paper §II-C1, Figure 2b).  Element nodes keep both
+type and data; data nodes keep only their type.
+"""
+
+from repro.sqldb.items import DATA_KINDS, Item
+from repro.core.query_structure import QueryStructure
+
+
+class _Bottom(object):
+    """The ⊥ sentinel.  A singleton distinct from every user value."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super(_Bottom, cls).__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "⊥"
+
+    def __reduce__(self):
+        return (_Bottom, ())
+
+
+#: The single ⊥ value used in every query model.
+BOTTOM = _Bottom()
+
+
+class QueryModel(object):
+    """An ordered sequence of nodes; data payloads abstracted to ⊥."""
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes):
+        self.nodes = list(nodes)
+
+    @classmethod
+    def from_structure(cls, structure):
+        """Build the QM of a QS: replace DATA with ⊥ in all data nodes."""
+        nodes = []
+        for node in structure:
+            if node.kind in DATA_KINDS:
+                nodes.append(Item(node.kind, BOTTOM))
+            else:
+                nodes.append(Item(node.kind, node.value))
+        return cls(nodes)
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __getitem__(self, index):
+        return self.nodes[index]
+
+    def __eq__(self, other):
+        return isinstance(other, QueryModel) and self.nodes == other.nodes
+
+    def __hash__(self):
+        return hash(tuple((n.kind, n.value) for n in self.nodes))
+
+    # -- serialization (the QM learned store persists models) --------------
+
+    def to_dict(self):
+        return {
+            "nodes": [
+                {
+                    "kind": node.kind,
+                    "value": None if node.value is BOTTOM else node.value,
+                    "bottom": node.value is BOTTOM,
+                }
+                for node in self.nodes
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        nodes = []
+        for entry in data["nodes"]:
+            value = BOTTOM if entry.get("bottom") else entry.get("value")
+            nodes.append(Item(entry["kind"], value))
+        return cls(nodes)
+
+    def canonical(self):
+        """Canonical one-line text form, used for the internal identifier
+        hash (see :mod:`repro.core.id_generator`)."""
+        parts = []
+        for node in self.nodes:
+            value = "⊥" if node.value is BOTTOM else str(node.value)
+            parts.append("%s=%s" % (node.kind, value))
+        return "|".join(parts)
+
+    def render(self):
+        """Multi-line rendering, top of stack first (paper figure layout)."""
+        lines = []
+        for node in reversed(self.nodes):
+            value = "⊥" if node.value is BOTTOM else node.value
+            lines.append("%-14s %s" % (node.kind, value))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "QueryModel(%d nodes)" % len(self.nodes)

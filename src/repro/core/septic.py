@@ -1,0 +1,265 @@
+"""The SEPTIC facade: modules wired per Figure 1, modes per Table I.
+
+``Septic.process_query`` is the hook the DBMS calls for every validated
+query, right before execution:
+
+* **training mode** — build QS, derive QM, generate ID, store the model
+  (once per distinct ID), log, let the query execute;
+* **normal mode** (*prevention* or *detection*) — build QS, generate ID,
+  look the QM up; if found, run the attack detector (SQLI comparison +
+  stored-injection plugins) and, on attack, log it and (prevention only)
+  drop the query by raising :class:`repro.sqldb.errors.QueryBlocked`;
+  if no QM is known for the ID, learn it incrementally and log the event
+  for later administrator review.
+
+The two detection switches (``detect_sqli`` / ``detect_stored``) give the
+four configurations evaluated in the paper's Figure 5 (NN, YN, NY, YY).
+"""
+
+from repro.core.detector import AttackDetector, AttackType
+from repro.core.id_generator import IdGenerator
+from repro.core.logger import EventKind, SepticLogger
+from repro.core.manager import QSQMManager
+from repro.core.store import QMStore
+from repro.sqldb.errors import QueryBlocked
+
+
+class Mode(object):
+    """Operation modes (paper §II-E, Table I)."""
+
+    TRAINING = "TRAINING"
+    PREVENTION = "PREVENTION"
+    DETECTION = "DETECTION"
+
+    ALL = (TRAINING, PREVENTION, DETECTION)
+
+
+class SepticConfig(object):
+    """Tunable switches.
+
+    ``detect_sqli`` / ``detect_stored`` are the Y/N pair of Figure 5;
+    ``incremental_learning`` controls whether unknown queries are learned
+    in normal mode (the paper's second learning path, the feature
+    distinguishing SEPTIC from GreenSQL/Percona, §II-B).
+    """
+
+    __slots__ = ("detect_sqli", "detect_stored", "incremental_learning")
+
+    def __init__(self, detect_sqli=True, detect_stored=True,
+                 incremental_learning=True):
+        self.detect_sqli = detect_sqli
+        self.detect_stored = detect_stored
+        self.incremental_learning = incremental_learning
+
+    @classmethod
+    def from_flags(cls, flags):
+        """Build from the paper's two-letter notation: ``"NN"``, ``"YN"``,
+        ``"NY"`` or ``"YY"`` (SQLI first, stored injection second)."""
+        if len(flags) != 2 or any(f not in "YN" for f in flags.upper()):
+            raise ValueError("flags must be two of Y/N, e.g. 'YN'")
+        flags = flags.upper()
+        return cls(detect_sqli=flags[0] == "Y", detect_stored=flags[1] == "Y")
+
+    @property
+    def flags(self):
+        return ("Y" if self.detect_sqli else "N") + (
+            "Y" if self.detect_stored else "N"
+        )
+
+
+class SepticStats(object):
+    """Counters exposed for the evaluation harness."""
+
+    __slots__ = ("queries_processed", "models_learned", "attacks_detected",
+                 "queries_dropped", "sqli_detected", "stored_detected",
+                 "unknown_queries")
+
+    def __init__(self):
+        self.queries_processed = 0
+        self.models_learned = 0
+        self.attacks_detected = 0
+        self.queries_dropped = 0
+        self.sqli_detected = 0
+        self.stored_detected = 0
+        self.unknown_queries = 0
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class Septic(object):
+    """The mechanism, ready to be plugged into a Database's hook point."""
+
+    def __init__(self, mode=Mode.TRAINING, config=None, store=None,
+                 logger=None, detector=None, id_generator=None):
+        self._mode = mode
+        # "X if X is not None else default": several of these collaborators
+        # define __len__, so an empty one is falsy and `X or default()`
+        # would silently discard it.
+        self.config = config if config is not None else SepticConfig()
+        self.manager = QSQMManager(
+            store=store if store is not None else QMStore(),
+            id_generator=(
+                id_generator if id_generator is not None else IdGenerator()
+            ),
+        )
+        self.logger = logger if logger is not None else SepticLogger()
+        self.detector = detector if detector is not None else AttackDetector()
+        self.stats = SepticStats()
+
+    # the manager owns the store and ID generator (Figure 1); keep the
+    # flat attributes as aliases for the public API
+    @property
+    def store(self):
+        return self.manager.store
+
+    @property
+    def id_generator(self):
+        return self.manager.id_generator
+
+    # -- mode management ---------------------------------------------------
+
+    @property
+    def mode(self):
+        return self._mode
+
+    @mode.setter
+    def mode(self, new_mode):
+        if new_mode not in Mode.ALL:
+            raise ValueError("unknown mode %r" % new_mode)
+        self._mode = new_mode
+        self.logger.log(EventKind.MODE_CHANGED, detail="mode=%s" % new_mode)
+
+    def status(self):
+        """Snapshot for the demo's "SEPTIC status" display."""
+        return {
+            "mode": self._mode,
+            "detect_sqli": self.config.detect_sqli,
+            "detect_stored": self.config.detect_stored,
+            "incremental_learning": self.config.incremental_learning,
+            "models": len(self.store),
+            "plugins": [plugin.name for plugin in self.detector.plugins],
+            "stats": self.stats.as_dict(),
+        }
+
+    # -- the DBMS hook -------------------------------------------------------
+
+    def process_query(self, context):
+        """Inspect one validated query (called by the engine).
+
+        Raises :class:`QueryBlocked` to drop the query (prevention mode
+        only); returns normally to let execution proceed.
+        """
+        self.stats.queries_processed += 1
+        lookup = self.manager.receive(context)
+        self.logger.log(EventKind.QS_BUILT,
+                        query=context.sql,
+                        detail="%d nodes" % len(lookup.structure))
+        self.logger.log(EventKind.ID_GENERATED,
+                        query_id=lookup.query_id.value)
+        if self._mode == Mode.TRAINING:
+            self._learn(lookup, context, training=True)
+            return
+        self._normal_mode(lookup, context)
+
+    # -- internals --------------------------------------------------------------
+
+    def _learn(self, lookup, context, training):
+        created = self.manager.learn(lookup)
+        if created:
+            self.stats.models_learned += 1
+            self.logger.log(
+                EventKind.QM_CREATED,
+                query=context.sql,
+                query_id=lookup.query_id.value,
+                model=lookup.model_of_query,
+                detail="training" if training else "incremental",
+            )
+        return created
+
+    def _normal_mode(self, lookup, context):
+        structure = lookup.structure
+        query_id = lookup.query_id
+        model = lookup.model
+        known = lookup.known
+        # The internal hash changes whenever the structure changes, so a
+        # mutated query will not match exactly.  When the query carries
+        # an external identifier (call site), the manager also returns
+        # the models learned for that call site.
+        candidates = None if known else lookup.candidates
+        if known:
+            self.logger.log(EventKind.QM_FOUND, query_id=query_id.value)
+        if self.config.detect_sqli:
+            detection = self._sqli_detection(structure, model, candidates)
+            if detection is not None and detection.is_attack:
+                self._handle_attack(detection, query_id, context,
+                                    model or (candidates[0] if candidates
+                                              else None))
+                return
+            if detection is not None:
+                self.logger.log(EventKind.COMPARISON_OK,
+                                query_id=query_id.value)
+            known = known or bool(candidates)
+        if self.config.detect_stored:
+            detection = self.detector.detect_stored(structure)
+            if detection.is_attack:
+                self._handle_attack(detection, query_id, context, model)
+                return
+        if not known and not self.store.get(query_id):
+            # Unknown query: incremental learning (administrator reviews
+            # these later, paper §II-E).
+            self.stats.unknown_queries += 1
+            if self.config.incremental_learning:
+                self._learn(lookup, context, training=False)
+        self.logger.log(EventKind.QUERY_EXECUTED, query_id=query_id.value)
+
+    def _sqli_detection(self, structure, model, candidates):
+        """Run the two-step comparison.
+
+        Returns a Detection, or ``None`` when there is nothing to compare
+        against (no model and no call-site candidates).
+        """
+        if model is not None:
+            return self.detector.detect_sqli(structure, model)
+        if candidates:
+            # match against every model learned for this call site; an
+            # attack is flagged only if none matches
+            best = None
+            for candidate in candidates:
+                detection = self.detector.detect_sqli(structure, candidate)
+                if not detection.is_attack:
+                    return detection
+                if best is None or (detection.step or 0) > (best.step or 0):
+                    best = detection  # prefer the most precise mismatch
+            return best
+        return None
+
+    def _handle_attack(self, detection, query_id, context, model):
+        self.stats.attacks_detected += 1
+        if detection.attack_type == AttackType.SQLI:
+            self.stats.sqli_detected += 1
+        else:
+            self.stats.stored_detected += 1
+        record = self.logger.log(
+            EventKind.ATTACK_DETECTED,
+            query=context.sql,
+            query_id=query_id.value,
+            model=model,
+            attack_type=detection.attack_type,
+            step=detection.step,
+            detail=detection.detail,
+        )
+        if self._mode == Mode.PREVENTION:
+            self.stats.queries_dropped += 1
+            self.logger.log(
+                EventKind.QUERY_DROPPED,
+                query=context.sql,
+                query_id=query_id.value,
+                attack_type=detection.attack_type,
+            )
+            raise QueryBlocked(
+                "query dropped by SEPTIC (%s, %s)"
+                % (detection.attack_type, detection.kind_label),
+                record=record,
+            )
+        # detection mode: log only, let the query execute

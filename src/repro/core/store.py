@@ -1,0 +1,123 @@
+"""The "QM learned" store (paper Figure 1).
+
+Maps full query IDs to query models, with a secondary index by external
+identifier so that a structurally-mutated query (whose internal hash no
+longer matches anything) can still be confronted with the models learned
+for its call site.  Models live in memory and can be persisted to a JSON
+file — the demo restarts MySQL between training and normal mode and the
+"persistent query models are loaded" (paper §IV-D).
+"""
+
+import json
+import os
+
+from repro.core.query_model import QueryModel
+
+
+class QMStore(object):
+    """In-memory store of learned query models with JSON persistence."""
+
+    def __init__(self, path=None):
+        #: full ID value -> QueryModel
+        self._models = {}
+        #: external identifier -> list of full ID values
+        self._by_external = {}
+        #: optional persistence file
+        self._path = path
+
+    def __len__(self):
+        return len(self._models)
+
+    def __contains__(self, query_id):
+        return query_id.value in self._models
+
+    def get(self, query_id):
+        """The model stored under the full ID, or ``None``."""
+        return self._models.get(query_id.value)
+
+    def models_for_external(self, external):
+        """All models learned for an external identifier (call site)."""
+        if external is None:
+            return []
+        return [
+            self._models[full] for full in self._by_external.get(external, [])
+        ]
+
+    def put(self, query_id, model):
+        """Store *model* under *query_id*.
+
+        Returns ``True`` when a new model was added, ``False`` when a model
+        with this ID already existed (the demo shows a query processed
+        twice creates its model only once).
+        """
+        if query_id.value in self._models:
+            return False
+        self._models[query_id.value] = model
+        if query_id.external is not None:
+            self._by_external.setdefault(query_id.external, []).append(
+                query_id.value
+            )
+        return True
+
+    def clear(self):
+        self._models.clear()
+        self._by_external.clear()
+
+    def ids(self):
+        return sorted(self._models)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path=None):
+        """Persist all models as JSON; returns the path written."""
+        target = path or self._path
+        if target is None:
+            raise ValueError("no persistence path configured")
+        payload = {
+            "models": {
+                full: model.to_dict()
+                for full, model in self._models.items()
+            },
+            "externals": self._by_external,
+        }
+        tmp = target + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        os.replace(tmp, target)
+        return target
+
+    def load(self, path=None):
+        """Load models from JSON, replacing the in-memory contents.
+
+        Missing file is not an error (first boot has nothing to load);
+        returns the number of models loaded.
+        """
+        source = path or self._path
+        if source is None:
+            raise ValueError("no persistence path configured")
+        if not os.path.exists(source):
+            return 0
+        with open(source) as handle:
+            try:
+                payload = json.load(handle)
+            except ValueError as exc:
+                raise ValueError(
+                    "QM store file %r is corrupted: %s" % (source, exc)
+                )
+        try:
+            models = {
+                full: QueryModel.from_dict(data)
+                for full, data in payload["models"].items()
+            }
+            externals = {
+                ext: list(fulls)
+                for ext, fulls in payload["externals"].items()
+            }
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ValueError(
+                "QM store file %r has an unexpected layout: %s"
+                % (source, exc)
+            )
+        self._models = models
+        self._by_external = externals
+        return len(self._models)

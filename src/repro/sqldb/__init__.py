@@ -1,0 +1,49 @@
+"""Mini-MySQL substrate.
+
+A from-scratch, in-memory SQL engine whose processing pipeline mirrors the
+parts of MySQL that SEPTIC depends on:
+
+1. connection-charset decoding (:mod:`repro.sqldb.charset`) — including the
+   unicode-confusable and multibyte quirks that create the *semantic
+   mismatch* the paper demonstrates;
+2. lexing and parsing (:mod:`repro.sqldb.lexer`, :mod:`repro.sqldb.parser`);
+3. semantic validation producing a MySQL-style **item stack**
+   (:mod:`repro.sqldb.validator`, :mod:`repro.sqldb.items`);
+4. execution against an in-memory storage engine
+   (:mod:`repro.sqldb.executor`, :mod:`repro.sqldb.storage`).
+
+The SEPTIC hook sits between steps 3 and 4 (see
+:class:`repro.sqldb.engine.Database`), i.e. *inside* the DBMS, exactly where
+the paper places it.
+"""
+
+from repro.sqldb.engine import Database
+from repro.sqldb.connection import Connection
+from repro.sqldb.errors import (
+    SQLError,
+    LexerError,
+    ParseError,
+    ValidationError,
+    ExecutionError,
+    QueryBlocked,
+    MultiStatementError,
+)
+from repro.sqldb.items import Item, ItemKind
+from repro.sqldb.storage import Column, Table, ResultSet
+
+__all__ = [
+    "Database",
+    "Connection",
+    "SQLError",
+    "LexerError",
+    "ParseError",
+    "ValidationError",
+    "ExecutionError",
+    "QueryBlocked",
+    "MultiStatementError",
+    "Item",
+    "ItemKind",
+    "Column",
+    "Table",
+    "ResultSet",
+]

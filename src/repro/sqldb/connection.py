@@ -1,0 +1,139 @@
+"""Client-side connection object (the DBMS client connector).
+
+The paper's *client diversity* / *no client configuration* features mean
+any connector talks to a SEPTIC-enabled server unchanged; this class is
+that connector.  It mirrors the PHP ``mysqli``/``mysql_*`` surface the demo
+applications use:
+
+* ``query()`` — single statement only (``CLIENT_MULTI_STATEMENTS`` off);
+* ``multi_query()`` — the opt-in multi-statement API;
+* ``escape_string()`` — client-side ``mysql_real_escape_string``;
+* per-connection charset (what makes the GBK escape-eating attack work).
+"""
+
+from repro.sqldb import charset as charset_mod
+from repro.sqldb.errors import SQLError
+
+
+class QueryOutcome(object):
+    """What the client sees back from one ``query()`` call."""
+
+    __slots__ = ("result_set", "affected_rows", "error", "sleep_seconds")
+
+    def __init__(self, result_set=None, affected_rows=0, error=None,
+                 sleep_seconds=0.0):
+        self.result_set = result_set
+        self.affected_rows = affected_rows
+        self.error = error
+        self.sleep_seconds = sleep_seconds
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    @property
+    def rows(self):
+        return [] if self.result_set is None else self.result_set.rows
+
+    def __repr__(self):
+        if self.error is not None:
+            return "QueryOutcome(error=%r)" % str(self.error)
+        if self.result_set is not None:
+            return "QueryOutcome(%d rows)" % len(self.result_set)
+        return "QueryOutcome(affected=%d)" % self.affected_rows
+
+
+class Connection(object):
+    """A client connection to a :class:`repro.sqldb.engine.Database`."""
+
+    def __init__(self, database, charset=None, multi_statements=False):
+        self._db = database
+        self.charset = charset or database.charset
+        self.multi_statements = multi_statements
+        self.last_error = None
+
+    @property
+    def database(self):
+        return self._db
+
+    @property
+    def last_insert_id(self):
+        return self._db.last_insert_id
+
+    def escape_string(self, value):
+        """``mysql_real_escape_string`` equivalent (see the charset module
+        for what it cannot protect against)."""
+        return charset_mod.escape_string(value)
+
+    def query(self, sql):
+        """Run one statement; returns a :class:`QueryOutcome`.
+
+        Errors (including SEPTIC blocks) are captured, not raised — like
+        ``mysql_query`` returning ``FALSE`` and setting ``mysql_error``.
+        """
+        try:
+            results = self._db.run(
+                sql, multi=self.multi_statements, charset=self.charset
+            )
+        except SQLError as exc:
+            self.last_error = exc
+            return QueryOutcome(error=exc)
+        self.last_error = None
+        last = results[-1]
+        return QueryOutcome(
+            result_set=last.result_set,
+            affected_rows=last.affected_rows,
+            sleep_seconds=sum(r.sleep_seconds for r in results),
+        )
+
+    def multi_query(self, sql):
+        """Run several ``;``-separated statements (opt-in, like
+        ``mysqli_multi_query``).  Returns a list of outcomes."""
+        try:
+            results = self._db.run(sql, multi=True, charset=self.charset)
+        except SQLError as exc:
+            self.last_error = exc
+            return [QueryOutcome(error=exc)]
+        self.last_error = None
+        return [
+            QueryOutcome(
+                result_set=r.result_set,
+                affected_rows=r.affected_rows,
+                sleep_seconds=r.sleep_seconds,
+            )
+            for r in results
+        ]
+
+    def prepare(self, sql):
+        """Prepare a single statement with ``?`` placeholders.
+
+        Returns a :class:`repro.sqldb.prepared.PreparedStatement`; its
+        ``execute(*params)`` binds values through the binary protocol —
+        after charset decoding, so none of the decoding quirks apply to
+        parameter contents.
+        """
+        from repro.sqldb.prepared import parse_prepared
+
+        return parse_prepared(self._db, sql, self.charset)
+
+    def execute_prepared(self, prepared, *params):
+        """Execute a prepared statement, returning a
+        :class:`QueryOutcome` (errors captured like :meth:`query`)."""
+        try:
+            result = prepared.execute(*params)
+        except SQLError as exc:
+            self.last_error = exc
+            return QueryOutcome(error=exc)
+        self.last_error = None
+        return QueryOutcome(
+            result_set=result.result_set,
+            affected_rows=result.affected_rows,
+            sleep_seconds=result.sleep_seconds,
+        )
+
+    def query_or_raise(self, sql):
+        """Run one statement, raising on error (admin/seed convenience)."""
+        outcome = self.query(sql)
+        if not outcome.ok:
+            raise outcome.error
+        return outcome

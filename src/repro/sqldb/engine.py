@@ -1,0 +1,219 @@
+"""The database server object and its SEPTIC hook point.
+
+:class:`Database` implements the MySQL-like processing pipeline::
+
+    raw SQL --charset decode--> parse --> validate (item stack)
+            --> [SEPTIC hook] --> execute
+
+The hook sits *after* all query modifications (charset decoding, version
+comment expansion, escape processing) and *before* execution — the exact
+placement the paper requires so that SEPTIC sees queries the way they will
+actually run, closing the semantic mismatch.
+"""
+
+import random
+import time
+
+from repro.sqldb import charset as charset_mod
+from repro.sqldb.errors import (
+    ExecutionError,
+    MultiStatementError,
+    QueryBlocked,
+)
+from repro.sqldb.executor import Executor
+from repro.sqldb.parser import parse_sql
+from repro.sqldb.storage import Table
+from repro.sqldb.validator import validate
+
+
+class QueryContext(object):
+    """Everything SEPTIC's hook receives about one statement."""
+
+    __slots__ = ("sql", "statement", "stack", "comments", "database")
+
+    def __init__(self, sql, statement, stack, comments, database):
+        #: the decoded query text (post charset decoding)
+        self.sql = sql
+        #: the parsed AST statement
+        self.statement = statement
+        #: the validated item stack (bottom → top)
+        self.stack = stack
+        #: comment bodies found in the query (external ID channel)
+        self.comments = comments
+        self.database = database
+
+    @property
+    def command(self):
+        return type(self.statement).__name__.upper()
+
+
+class Database(object):
+    """An in-memory database server instance.
+
+    ``septic`` may be set to any object exposing
+    ``process_query(QueryContext)`` — normally a
+    :class:`repro.core.septic.Septic` instance.  When it raises
+    :class:`repro.sqldb.errors.QueryBlocked` the statement is dropped.
+    """
+
+    #: virtual clock start, kept fixed for reproducibility
+    _EPOCH = "2016-07-05 12:00:00"
+
+    def __init__(self, name="repro", septic=None, charset="utf8", seed=1,
+                 septic_fail_open=False):
+        self.name = name
+        #: policy when the SEPTIC hook itself crashes (not a QueryBlocked):
+        #: fail-closed (default) re-raises and the query does not execute;
+        #: fail-open logs nothing and lets the query through — the classic
+        #: availability-vs-security trade-off, exposed for testing.
+        self.septic_fail_open = septic_fail_open
+        self.version = "5.7.16-repro"
+        self.user = "webapp@localhost"
+        self.tables = {}
+        self.septic = septic
+        self.charset = charset
+        self.last_insert_id = 0
+        self._executor = Executor(self)
+        self._rand = random.Random(seed)
+        self._clock_ticks = 0
+        #: count of statements actually executed (not dropped)
+        self.statements_executed = 0
+        #: count of statements that entered the pipeline (incl. dropped)
+        self.statements_received = 0
+        #: cumulative wall-clock seconds spent inside the SEPTIC hook
+        #: (measured live; the BenchLab harness reads this)
+        self.septic_seconds_total = 0.0
+
+    # -- catalog -----------------------------------------------------------
+
+    def create_table(self, name, columns):
+        table = Table(name, columns)
+        self.tables[table.name] = table
+        return table
+
+    def table(self, name):
+        table = self.tables.get(name.lower())
+        if table is None:
+            raise ExecutionError(
+                "Table '%s.%s' doesn't exist" % (self.name, name), errno=1146
+            )
+        return table
+
+    # -- transactions ----------------------------------------------------
+    #
+    # Single-session transactions with snapshot semantics: BEGIN copies
+    # every table's rows; ROLLBACK restores the copies; COMMIT discards
+    # them.  A BEGIN inside an open transaction implicitly commits it
+    # (MySQL behaviour).
+
+    def begin(self):
+        if getattr(self, "_tx_snapshot", None) is not None:
+            self.commit()  # implicit commit, like MySQL
+        snapshot = {}
+        for name, table in self.tables.items():
+            snapshot[name] = (
+                [dict(row) for row in table.rows],
+                table._auto_counter,
+            )
+        self._tx_snapshot = snapshot
+
+    def commit(self):
+        self._tx_snapshot = None
+
+    def rollback(self):
+        snapshot = getattr(self, "_tx_snapshot", None)
+        if snapshot is None:
+            return  # ROLLBACK outside a transaction is a no-op
+        for name, (rows, auto) in snapshot.items():
+            table = self.tables.get(name)
+            if table is not None:
+                table.rows = [dict(row) for row in rows]
+                table._auto_counter = auto
+                table.touch()
+        self._tx_snapshot = None
+
+    @property
+    def in_transaction(self):
+        return getattr(self, "_tx_snapshot", None) is not None
+
+    # -- environment ---------------------------------------------------------
+
+    def now(self):
+        """Deterministic virtual clock (advances one second per call)."""
+        self._clock_ticks += 1
+        base_seconds = self._clock_ticks
+        minutes, seconds = divmod(base_seconds, 60)
+        hours, minutes = divmod(minutes, 60)
+        return "2016-07-05 %02d:%02d:%02d" % (12 + hours % 12, minutes,
+                                              seconds)
+
+    def rand(self):
+        return self._rand.random()
+
+    # -- query pipeline --------------------------------------------------------
+
+    def run(self, sql, multi=False, charset=None):
+        """Run *sql* through the full pipeline.
+
+        Returns a list of :class:`repro.sqldb.executor.ExecutionResult`,
+        one per statement.  With ``multi=False`` (the default, matching
+        ``mysql_query``) more than one statement raises
+        :class:`MultiStatementError` — the classic reason piggy-backed
+        injection fails against the PHP ``mysql_*`` API.
+        """
+        decoded = charset_mod.decode_query(sql, charset or self.charset)
+        statements, comments = parse_sql(decoded)
+        if len(statements) > 1 and not multi:
+            raise MultiStatementError(
+                "You have an error in your SQL syntax near ';' "
+                "(multi-statements are disabled on this connection)"
+            )
+        results = []
+        for stmt in statements:
+            results.append(
+                self._run_statement(decoded, stmt, comments)
+            )
+        return results
+
+    def run_statement(self, statement, comments=(), sql_text=None):
+        """Run an already-parsed statement through validation, the SEPTIC
+        hook and execution (the prepared-statement execute path)."""
+        if sql_text is None:
+            from repro.sqldb.unparse import to_sql
+
+            try:
+                sql_text = to_sql(statement)
+            except TypeError:
+                sql_text = "<prepared:%s>" % type(statement).__name__
+        return self._run_statement(sql_text, statement, list(comments))
+
+    def _run_statement(self, decoded_sql, stmt, comments):
+        self.statements_received += 1
+        stack = validate(stmt, self.tables)
+        if self.septic is not None and stack:
+            context = QueryContext(decoded_sql, stmt, stack, comments, self)
+            start = time.perf_counter()
+            try:
+                self.septic.process_query(context)
+            except QueryBlocked:
+                raise
+            except Exception as exc:
+                if not self.septic_fail_open:
+                    raise ExecutionError(
+                        "internal protection error, query not executed "
+                        "(%s: %s)" % (type(exc).__name__, exc)
+                    )
+            finally:
+                self.septic_seconds_total += time.perf_counter() - start
+        result = self._executor.execute(stmt)
+        self.statements_executed += 1
+        if result.last_insert_id is not None:
+            self.last_insert_id = result.last_insert_id
+        return result
+
+    # -- convenience -------------------------------------------------------------
+
+    def seed(self, script):
+        """Run a multi-statement SQL script (DDL + seed data), bypassing
+        nothing: every statement goes through the normal pipeline."""
+        return self.run(script, multi=True)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the mini-MySQL substrate."""
+
+
+class SQLError(Exception):
+    """Base class for every error raised by the SQL engine."""
+
+    #: MySQL-style error code (approximate; used by tests and the web layer).
+    errno = 1064
+
+    def __init__(self, message, errno=None):
+        super().__init__(message)
+        self.message = message
+        if errno is not None:
+            self.errno = errno
+
+    def __str__(self):
+        return "ERROR %d: %s" % (self.errno, self.message)
+
+
+class LexerError(SQLError):
+    """Raised when the tokenizer meets an invalid character sequence."""
+
+    errno = 1064
+
+
+class ParseError(SQLError):
+    """Raised when the token stream does not form a valid statement."""
+
+    errno = 1064
+
+
+class ValidationError(SQLError):
+    """Raised when a parsed statement references unknown tables/columns."""
+
+    errno = 1054
+
+
+class ExecutionError(SQLError):
+    """Raised when a valid statement fails during execution."""
+
+    errno = 1105
+
+
+class MultiStatementError(SQLError):
+    """Raised when a client sends several statements in one call without
+    having enabled multi-statement support (mirrors MySQL's
+    ``CLIENT_MULTI_STATEMENTS`` behaviour, the reason classic piggy-backed
+    injection fails against ``mysql_query``)."""
+
+    errno = 1064
+
+
+class QueryBlocked(SQLError):
+    """Raised (to the client) when SEPTIC drops a query in prevention mode."""
+
+    errno = 3090
+
+    def __init__(self, message, record=None):
+        super().__init__(message)
+        #: The :class:`repro.core.logger.EventRecord` describing the attack.
+        self.record = record

@@ -1,0 +1,925 @@
+"""Statement execution against the in-memory storage engine."""
+
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.errors import ExecutionError
+from repro.sqldb.expression import EvalContext, evaluate, _agg_key
+from repro.sqldb.functions import is_aggregate
+from repro.sqldb.storage import Column, ResultSet
+from repro.sqldb.types import compare, is_truthy, sort_key
+
+
+class ExecutionResult(object):
+    """Uniform result wrapper: a result set or an affected-row count."""
+
+    __slots__ = ("result_set", "affected_rows", "last_insert_id",
+                 "sleep_seconds")
+
+    def __init__(self, result_set=None, affected_rows=0, last_insert_id=None,
+                 sleep_seconds=0.0):
+        self.result_set = result_set
+        self.affected_rows = affected_rows
+        self.last_insert_id = last_insert_id
+        #: simulated SLEEP()/BENCHMARK() seconds accumulated while executing
+        self.sleep_seconds = sleep_seconds
+
+    @property
+    def is_select(self):
+        return self.result_set is not None
+
+    def __repr__(self):
+        if self.is_select:
+            return "ExecutionResult(%r)" % (self.result_set,)
+        return "ExecutionResult(affected=%d)" % self.affected_rows
+
+
+class Executor(object):
+    """Executes validated statements against a :class:`Database` catalog."""
+
+    def __init__(self, database):
+        self._db = database
+
+    # -- entry point -----------------------------------------------------
+
+    def execute(self, stmt):
+        ctx = EvalContext(self._db, executor=self)
+        if isinstance(stmt, ast.Select):
+            rs = self._select(stmt, ctx)
+            return ExecutionResult(result_set=rs,
+                                   sleep_seconds=ctx.sleep_seconds)
+        if isinstance(stmt, ast.Insert):
+            return self._insert(stmt, ctx)
+        if isinstance(stmt, ast.Update):
+            return self._update(stmt, ctx)
+        if isinstance(stmt, ast.Delete):
+            return self._delete(stmt, ctx)
+        if isinstance(stmt, ast.CreateTable):
+            return self._create_table(stmt)
+        if isinstance(stmt, ast.DropTable):
+            return self._drop_table(stmt)
+        if isinstance(stmt, ast.ShowTables):
+            names = sorted(self._db.tables)
+            return ExecutionResult(
+                result_set=ResultSet(["Tables_in_%s" % self._db.name],
+                                     [(n,) for n in names])
+            )
+        if isinstance(stmt, ast.Describe):
+            return self._describe(stmt)
+        if isinstance(stmt, ast.Begin):
+            self._db.begin()
+            return ExecutionResult(affected_rows=0)
+        if isinstance(stmt, ast.Commit):
+            self._db.commit()
+            return ExecutionResult(affected_rows=0)
+        if isinstance(stmt, ast.Rollback):
+            self._db.rollback()
+            return ExecutionResult(affected_rows=0)
+        if isinstance(stmt, ast.CreateIndex):
+            self._db.table(stmt.table).create_index(stmt.name, stmt.column)
+            return ExecutionResult(affected_rows=0)
+        if isinstance(stmt, ast.DropIndex):
+            self._db.table(stmt.table).drop_index(stmt.name)
+            return ExecutionResult(affected_rows=0)
+        if isinstance(stmt, ast.Explain):
+            return ExecutionResult(result_set=self._explain(stmt.select))
+        if isinstance(stmt, ast.AlterTableAddColumn):
+            return self._alter_add_column(stmt)
+        if isinstance(stmt, ast.AlterTableDropColumn):
+            return self._alter_drop_column(stmt)
+        if isinstance(stmt, ast.TruncateTable):
+            table = self._db.table(stmt.table)
+            removed = len(table.rows)
+            table.rows = []
+            table._auto_counter = 0   # TRUNCATE resets AUTO_INCREMENT
+            table.touch()
+            return ExecutionResult(affected_rows=removed)
+        raise ExecutionError("cannot execute %r" % type(stmt).__name__)
+
+    # -- subquery support --------------------------------------------------
+
+    def run_select_rows(self, select, outer_ctx=None):
+        """Run a subquery SELECT, returning raw row tuples."""
+        ctx = EvalContext(self._db, executor=self)
+        if outer_ctx is not None:
+            ctx._parent = outer_ctx
+            ctx.row = dict(outer_ctx.row)
+        rs = self._select(select, ctx, outer_row=ctx.row)
+        return rs.rows
+
+    # -- SELECT -------------------------------------------------------------
+
+    def _select(self, stmt, ctx, outer_row=None):
+        if not stmt.unions:
+            return self._select_single(stmt, ctx, outer_row)
+        # UNION: evaluate every branch without the union-level ORDER BY /
+        # LIMIT, merge, then order and trim the merged rows.
+        order_by, stmt.order_by = stmt.order_by, []
+        limit, stmt.limit = stmt.limit, None
+        try:
+            rs = self._select_single(stmt, ctx, outer_row)
+        finally:
+            stmt.order_by, stmt.limit = order_by, limit
+        rows = list(rs.rows)
+        dedupe = False
+        for all_flag, branch in stmt.unions:
+            branch_rs = self._select_single(branch, ctx, outer_row)
+            if len(branch_rs.columns) != len(rs.columns):
+                raise ExecutionError(
+                    "The used SELECT statements have a different "
+                    "number of columns", errno=1222,
+                )
+            rows.extend(branch_rs.rows)
+            if not all_flag:
+                dedupe = True
+        if dedupe:
+            deduped = []
+            seen = set()
+            for row in rows:
+                key = tuple(
+                    v.lower() if isinstance(v, str) else v for v in row
+                )
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            rows = deduped
+        if order_by:
+            rows = self._order_union_rows(rows, order_by, rs.columns)
+        if limit is not None:
+            count = int(evaluate(limit.count, ctx))
+            offset = 0
+            if limit.offset is not None:
+                offset = int(evaluate(limit.offset, ctx))
+            rows = rows[offset : offset + max(count, 0)]
+        return ResultSet(rs.columns, rows)
+
+    def _order_union_rows(self, rows, order_by, columns):
+        """Union-level ORDER BY: by position or output column name."""
+        lowered = [c.lower() for c in columns]
+
+        def key_index(expr):
+            if isinstance(expr, ast.Literal) and expr.type_tag == "int":
+                idx = expr.value - 1
+                if idx < 0 or idx >= len(columns):
+                    raise ExecutionError(
+                        "Unknown column '%s' in 'order clause'" % expr.value
+                    )
+                return idx
+            if isinstance(expr, ast.ColumnRef) and expr.table is None and \
+                    expr.name.lower() in lowered:
+                return lowered.index(expr.name.lower())
+            raise ExecutionError(
+                "ORDER BY on a UNION must name an output column"
+            )
+
+        indexed = [(key_index(o.expr), o.direction == "DESC")
+                   for o in order_by]
+        rows = list(rows)
+        for idx, reverse in reversed(indexed):
+            rows.sort(key=lambda row: sort_key(row[idx]), reverse=reverse)
+        return rows
+
+    def _select_single(self, stmt, ctx, outer_row=None):
+        source_rows, source_columns = self._build_sources(stmt, ctx,
+                                                          outer_row)
+        # WHERE
+        if stmt.where is not None:
+            source_rows = [
+                row for row in source_rows
+                if is_truthy(evaluate(stmt.where, ctx.child(row)))
+            ]
+        aggregates = self._collect_aggregates(stmt)
+        if stmt.group_by or aggregates:
+            source_rows = self._group(stmt, source_rows, aggregates, ctx)
+            if stmt.having is not None:
+                source_rows = [
+                    row for row in source_rows
+                    if is_truthy(evaluate(stmt.having, ctx.child(row)))
+                ]
+        # project
+        columns, pairs = self._project(stmt, source_rows, source_columns, ctx)
+        # DISTINCT
+        if stmt.distinct:
+            seen = set()
+            deduped = []
+            for src, out in pairs:
+                key = tuple(
+                    v.lower() if isinstance(v, str) else v for v in out
+                )
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append((src, out))
+            pairs = deduped
+        # ORDER BY
+        if stmt.order_by:
+            pairs = self._order(stmt, pairs, columns, ctx)
+        # LIMIT
+        if stmt.limit is not None:
+            count = int(evaluate(stmt.limit.count, ctx))
+            offset = 0
+            if stmt.limit.offset is not None:
+                offset = int(evaluate(stmt.limit.offset, ctx))
+            pairs = pairs[offset : offset + max(count, 0)]
+        return ResultSet(columns, [out for _, out in pairs])
+
+    def _table_rows(self, ref, ctx, outer_row):
+        if isinstance(ref, ast.DerivedTable):
+            return self._derived_rows(ref, ctx, outer_row)
+        table = self._db.table(ref.name)
+        alias = (ref.alias or ref.name).lower()
+        columns = [(alias, col.name) for col in table.columns]
+        rows = []
+        for stored in table.rows:
+            row = {} if outer_row is None else dict(outer_row)
+            for col_name, value in stored.items():
+                row["%s.%s" % (alias, col_name)] = value
+            row["__source__%s" % alias] = stored
+            rows.append(row)
+        return rows, columns
+
+    def _derived_rows(self, ref, ctx, outer_row):
+        """Materialize a FROM-clause subquery under its alias."""
+        alias = ref.alias.lower()
+        result = self._select(ref.select, ctx, outer_row)
+        col_names = [c.lower() for c in result.columns]
+        columns = [(alias, name) for name in col_names]
+        rows = []
+        for values in result.rows:
+            row = {} if outer_row is None else dict(outer_row)
+            for name, value in zip(col_names, values):
+                row["%s.%s" % (alias, name)] = value
+            rows.append(row)
+        return rows, columns
+
+    def _build_sources(self, stmt, ctx, outer_row):
+        if not stmt.tables:
+            base = {} if outer_row is None else dict(outer_row)
+            return [base], []
+        first = stmt.tables[0]
+        if (
+            len(stmt.tables) == 1
+            and not stmt.joins
+            and not isinstance(first, ast.DerivedTable)
+        ):
+            narrowed = self._index_narrowed_rows(first, stmt.where,
+                                                 outer_row)
+            if narrowed is not None:
+                return narrowed
+        rows, columns = self._table_rows(stmt.tables[0], ctx, outer_row)
+        for ref in stmt.tables[1:]:
+            right_rows, right_cols = self._table_rows(ref, ctx, outer_row)
+            rows = [
+                _merge(a, b) for a in rows for b in right_rows
+            ]
+            columns += right_cols
+        for join in stmt.joins:
+            right_rows, right_cols = self._table_rows(join.table, ctx,
+                                                      outer_row)
+            rows = self._apply_join(join, rows, right_rows, right_cols, ctx)
+            columns += right_cols
+        return rows, columns
+
+    def _indexable_predicate(self, ref, where):
+        """Find ``col = literal`` usable through an index on *ref*.
+
+        Looks at the WHERE expression itself or the operands of a
+        top-level AND; returns ``(column, value)`` or ``None``.
+        """
+        if where is None:
+            return None
+        table = self._db.tables.get(ref.name.lower())
+        if table is None:
+            return None
+        indexed = table.indexed_columns()
+        alias = (ref.alias or ref.name).lower()
+        candidates = [where]
+        if isinstance(where, ast.Cond) and where.op == "AND":
+            candidates = where.operands
+        for expr in candidates:
+            pair = _equality_pair(expr, alias)
+            if pair is not None and pair[0] in indexed:
+                return pair
+        return None
+
+    def _index_narrowed_rows(self, ref, where, outer_row):
+        """Single-table index access path, or ``None`` for a full scan."""
+        pair = self._indexable_predicate(ref, where)
+        if pair is None:
+            return None
+        column, value = pair
+        table = self._db.table(ref.name)
+        alias = (ref.alias or ref.name).lower()
+        columns = [(alias, col.name) for col in table.columns]
+        rows = []
+        for stored in table.index_lookup(column, value):
+            row = {} if outer_row is None else dict(outer_row)
+            for col_name, cell in stored.items():
+                row["%s.%s" % (alias, col_name)] = cell
+            row["__source__%s" % alias] = stored
+            rows.append(row)
+        return rows, columns
+
+    def _explain(self, select):
+        """EXPLAIN output: one row per table source with the access type
+        (``ref`` via an index, ``ALL`` for a full scan) and the key."""
+        rows = []
+        for ref in select.tables:
+            if isinstance(ref, ast.DerivedTable):
+                rows.append((ref.alias, "DERIVED", None, None))
+                continue
+            table = self._db.table(ref.name)
+            pair = None
+            if len(select.tables) == 1 and not select.joins:
+                pair = self._indexable_predicate(ref, select.where)
+            if pair is not None:
+                rows.append((table.name, "ref", pair[0], len(table)))
+            else:
+                rows.append((table.name, "ALL", None, len(table)))
+        for join in select.joins:
+            if isinstance(join.table, ast.DerivedTable):
+                rows.append((join.table.alias, "DERIVED", None, None))
+            else:
+                table = self._db.table(join.table.name)
+                rows.append((table.name, "ALL", None, len(table)))
+        return ResultSet(["table", "type", "key", "rows"], rows)
+
+    def _apply_join(self, join, left_rows, right_rows, right_cols, ctx):
+        out = []
+        if join.kind in ("INNER", "CROSS"):
+            for a in left_rows:
+                for b in right_rows:
+                    merged = _merge(a, b)
+                    if join.on is None or is_truthy(
+                        evaluate(join.on, ctx.child(merged))
+                    ):
+                        out.append(merged)
+            return out
+        if join.kind == "LEFT":
+            null_right = {
+                "%s.%s" % (alias, col): None for alias, col in right_cols
+            }
+            for a in left_rows:
+                matched = False
+                for b in right_rows:
+                    merged = _merge(a, b)
+                    if join.on is None or is_truthy(
+                        evaluate(join.on, ctx.child(merged))
+                    ):
+                        matched = True
+                        out.append(merged)
+                if not matched:
+                    out.append(_merge(a, null_right))
+            return out
+        if join.kind == "RIGHT":
+            left_cols = [
+                key for key in (left_rows[0] if left_rows else {})
+                if not key.startswith("__source__")
+            ]
+            null_left = {key: None for key in left_cols}
+            for b in right_rows:
+                matched = False
+                for a in left_rows:
+                    merged = _merge(a, b)
+                    if join.on is None or is_truthy(
+                        evaluate(join.on, ctx.child(merged))
+                    ):
+                        matched = True
+                        out.append(merged)
+                if not matched:
+                    out.append(_merge(null_left, b))
+            return out
+        raise ExecutionError("unsupported join kind %r" % join.kind)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def _collect_aggregates(self, stmt):
+        aggregates = []
+
+        def walk(node):
+            if node is None:
+                return
+            if isinstance(node, ast.FuncCall):
+                if is_aggregate(node.name):
+                    aggregates.append(node)
+                    return  # no nested aggregates
+                for arg in node.args:
+                    walk(arg)
+            elif isinstance(node, ast.SelectField):
+                walk(node.expr)
+            elif isinstance(node, ast.BinaryOp):
+                walk(node.left)
+                walk(node.right)
+            elif isinstance(node, (ast.UnaryOp, ast.Not)):
+                walk(node.operand)
+            elif isinstance(node, ast.Cond):
+                for operand in node.operands:
+                    walk(operand)
+            elif isinstance(node, ast.InList):
+                walk(node.expr)
+                if not isinstance(node.items, ast.Subquery):
+                    for item in node.items:
+                        walk(item)
+            elif isinstance(node, ast.Between):
+                walk(node.expr)
+                walk(node.low)
+                walk(node.high)
+            elif isinstance(node, (ast.IsNull,)):
+                walk(node.expr)
+            elif isinstance(node, ast.Like):
+                walk(node.expr)
+                walk(node.pattern)
+            elif isinstance(node, ast.Case):
+                walk(node.operand)
+                for cond, result in node.whens:
+                    walk(cond)
+                    walk(result)
+                walk(node.default)
+
+        for field in stmt.fields:
+            walk(field)
+        walk(stmt.having)
+        for order in stmt.order_by:
+            walk(order.expr)
+        return aggregates
+
+    def _group(self, stmt, rows, aggregates, ctx):
+        groups = {}
+        order = []
+        if stmt.group_by:
+            for row in rows:
+                key = tuple(
+                    _group_key(evaluate(expr, ctx.child(row)))
+                    for expr in stmt.group_by
+                )
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(row)
+        else:
+            groups[()] = rows
+            order.append(())
+        out = []
+        for key in order:
+            members = groups[key]
+            rep = dict(members[0]) if members else {}
+            for agg in aggregates:
+                rep["__agg__%s" % _agg_key(agg)] = self._eval_aggregate(
+                    agg, members, ctx
+                )
+            out.append(rep)
+        return out
+
+    def _eval_aggregate(self, node, rows, ctx):
+        name = node.name.upper()
+        if name == "COUNT" and node.args and isinstance(node.args[0],
+                                                        ast.Star):
+            return len(rows)
+        values = []
+        for row in rows:
+            value = evaluate(node.args[0], ctx.child(row))
+            if value is not None:
+                values.append(value)
+        if node.distinct:
+            unique = []
+            for value in values:
+                if all(compare(value, v) != 0 for v in unique):
+                    unique.append(value)
+            values = unique
+        if name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if name == "SUM":
+            from repro.sqldb.types import coerce_to_number
+            return sum(coerce_to_number(v) for v in values)
+        if name == "AVG":
+            from repro.sqldb.types import coerce_to_number
+            nums = [coerce_to_number(v) for v in values]
+            return sum(nums) / float(len(nums))
+        if name == "MIN":
+            return min(values, key=sort_key)
+        if name == "MAX":
+            return max(values, key=sort_key)
+        if name == "GROUP_CONCAT":
+            from repro.sqldb.types import render_value
+            return ",".join(render_value(v) for v in values)
+        raise ExecutionError("unknown aggregate %r" % name)
+
+    # -- projection / ordering ------------------------------------------------
+
+    def _project(self, stmt, rows, source_columns, ctx):
+        columns = []
+        extractors = []
+        for field in stmt.fields:
+            if isinstance(field.expr, ast.Star):
+                wanted = field.expr.table
+                for alias, col in source_columns:
+                    if wanted is not None and alias != wanted.lower():
+                        continue
+                    columns.append(col)
+                    extractors.append(_column_extractor(alias, col))
+                if wanted is not None and not any(
+                    alias == wanted.lower() for alias, _ in source_columns
+                ):
+                    raise ExecutionError("Unknown table '%s'" % wanted)
+            else:
+                columns.append(field.alias or _field_label(field.expr))
+                extractors.append(_expr_extractor(field.expr, ctx))
+        pairs = []
+        for row in rows:
+            out = tuple(fn(row) for fn in extractors)
+            pairs.append((row, out))
+        return columns, pairs
+
+    def _order(self, stmt, pairs, columns, ctx):
+        lowered = [c.lower() for c in columns]
+
+        def keys_for(pair):
+            src, out = pair
+            key = []
+            for order in stmt.order_by:
+                expr = order.expr
+                if isinstance(expr, ast.Literal) and expr.type_tag == "int":
+                    idx = expr.value - 1
+                    if idx < 0 or idx >= len(out):
+                        raise ExecutionError(
+                            "Unknown column '%d' in 'order clause'"
+                            % expr.value
+                        )
+                    value = out[idx]
+                elif (
+                    isinstance(expr, ast.ColumnRef)
+                    and expr.table is None
+                    and expr.name.lower() in lowered
+                ):
+                    value = out[lowered.index(expr.name.lower())]
+                else:
+                    value = evaluate(expr, ctx.child(src))
+                key.append(
+                    (sort_key(value), order.direction == "DESC")
+                )
+            return key
+
+        decorated = [(keys_for(pair), i, pair)
+                     for i, pair in enumerate(pairs)]
+        # stable multi-key sort honouring per-key direction
+        for pos in range(len(stmt.order_by) - 1, -1, -1):
+            reverse = stmt.order_by[pos].direction == "DESC"
+            decorated.sort(key=lambda item: item[0][pos][0], reverse=reverse)
+        return [pair for _, _, pair in decorated]
+
+    # -- DML --------------------------------------------------------------------
+
+    def _insert(self, stmt, ctx):
+        table = self._db.table(stmt.table)
+        columns = stmt.columns or table.column_names()
+        inserted = 0
+        last_id = None
+        for row_exprs in stmt.rows:
+            if len(row_exprs) != len(columns):
+                raise ExecutionError(
+                    "Column count doesn't match value count", errno=1136
+                )
+            values = {}
+            for col, expr in zip(columns, row_exprs):
+                values[col.lower()] = evaluate(expr, ctx)
+            if stmt.replace:
+                # REPLACE INTO: delete any row conflicting on a unique
+                # key, then insert (affected = deleted + inserted)
+                inserted += self._delete_conflicting(table, values)
+            try:
+                auto = table.insert(values)
+            except ExecutionError as exc:
+                if exc.errno == 1062 and stmt.on_duplicate:
+                    inserted += self._apply_on_duplicate(
+                        table, stmt.on_duplicate, values, ctx
+                    )
+                    continue
+                if stmt.ignore:
+                    continue
+                raise
+            if auto is not None:
+                last_id = auto
+            inserted += 1
+        if last_id is not None:
+            self._db.last_insert_id = last_id
+        return ExecutionResult(
+            affected_rows=inserted,
+            last_insert_id=last_id,
+            sleep_seconds=ctx.sleep_seconds,
+        )
+
+    def _delete_conflicting(self, table, values):
+        keys = [c.name for c in table.columns if c.primary_key or c.unique]
+        removed = 0
+        keep = []
+        for row in table.rows:
+            conflict = any(
+                values.get(key) is not None
+                and row.get(key) == table.convert(key, values[key])
+                for key in keys
+            )
+            if conflict:
+                removed += 1
+            else:
+                keep.append(row)
+        table.rows = keep
+        if removed:
+            table.touch()
+        return removed
+
+    def _apply_on_duplicate(self, table, assignments, new_values, ctx):
+        """ON DUPLICATE KEY UPDATE: update the conflicting row.
+
+        ``VALUES(col)`` inside an assignment refers to the value the
+        failed insert attempted for *col* (MySQL semantics).
+        """
+        keys = [c.name for c in table.columns if c.primary_key or c.unique]
+        target = None
+        for row in table.rows:
+            if any(
+                new_values.get(key) is not None
+                and row.get(key) == table.convert(key, new_values[key])
+                for key in keys
+            ):
+                target = row
+                break
+        if target is None:
+            return 0
+        env = {"%s.%s" % (table.name, k): v for k, v in target.items()}
+        changed = False
+        for col, expr in assignments:
+            resolved = _resolve_values_refs(expr, new_values)
+            value = table.convert(col, evaluate(resolved, ctx.child(env)))
+            if target.get(col.lower()) != value:
+                target[col.lower()] = value
+                changed = True
+        if changed:
+            table.touch()
+        # MySQL reports 2 affected rows when an ODKU update changed one
+        return 2 if changed else 0
+
+    def _update(self, stmt, ctx):
+        table = self._db.table(stmt.table)
+        alias = table.name
+        changed = 0
+        targets = []
+        for stored in table.rows:
+            env = {"%s.%s" % (alias, k): v for k, v in stored.items()}
+            if stmt.where is None or is_truthy(
+                evaluate(stmt.where, ctx.child(env))
+            ):
+                targets.append((stored, env))
+        targets = self._order_dml_targets(stmt.order_by, targets, ctx)
+        if stmt.limit is not None:
+            count = int(evaluate(stmt.limit.count, ctx))
+            targets = targets[: max(count, 0)]
+        for stored, env in targets:
+            updates = {}
+            for col, expr in stmt.assignments:
+                if not table.has_column(col):
+                    raise ExecutionError(
+                        "Unknown column '%s' in 'field list'" % col,
+                        errno=1054,
+                    )
+                updates[col.lower()] = table.convert(
+                    col, evaluate(expr, ctx.child(env))
+                )
+            if any(stored.get(k) != v for k, v in updates.items()):
+                stored.update(updates)
+                changed += 1
+        if changed:
+            table.touch()
+        return ExecutionResult(
+            affected_rows=changed, sleep_seconds=ctx.sleep_seconds
+        )
+
+    def _delete(self, stmt, ctx):
+        table = self._db.table(stmt.table)
+        alias = table.name
+        targets = []
+        for stored in table.rows:
+            env = {"%s.%s" % (alias, k): v for k, v in stored.items()}
+            if stmt.where is None or is_truthy(
+                evaluate(stmt.where, ctx.child(env))
+            ):
+                targets.append((stored, env))
+        targets = self._order_dml_targets(stmt.order_by, targets, ctx)
+        if stmt.limit is not None:
+            count = int(evaluate(stmt.limit.count, ctx))
+            targets = targets[: max(count, 0)]
+        doomed = {id(stored) for stored, _ in targets}
+        table.rows = [row for row in table.rows if id(row) not in doomed]
+        if doomed:
+            table.touch()
+        return ExecutionResult(
+            affected_rows=len(doomed), sleep_seconds=ctx.sleep_seconds
+        )
+
+    def _order_dml_targets(self, order_by, targets, ctx):
+        """ORDER BY for UPDATE/DELETE target selection (matters with
+        LIMIT: MySQL deletes/updates the first N *in order*)."""
+        if not order_by:
+            return targets
+        decorated = list(targets)
+        for item in reversed(order_by):
+            reverse = item.direction == "DESC"
+            decorated.sort(
+                key=lambda pair: sort_key(
+                    evaluate(item.expr, ctx.child(pair[1]))
+                ),
+                reverse=reverse,
+            )
+        return decorated
+
+    # -- DDL ----------------------------------------------------------------------
+
+    def _create_table(self, stmt):
+        name = stmt.name.lower()
+        if name in self._db.tables:
+            if stmt.if_not_exists:
+                return ExecutionResult(affected_rows=0)
+            raise ExecutionError(
+                "Table '%s' already exists" % stmt.name, errno=1050
+            )
+        columns = []
+        for cdef in stmt.columns:
+            default = None
+            if cdef.default is not None:
+                default = cdef.default.value
+            columns.append(
+                Column(
+                    cdef.name,
+                    cdef.type_name,
+                    length=cdef.length,
+                    not_null=cdef.not_null,
+                    primary_key=cdef.primary_key,
+                    auto_increment=cdef.auto_increment,
+                    default=default,
+                    unique=cdef.unique,
+                )
+            )
+        self._db.create_table(name, columns)
+        return ExecutionResult(affected_rows=0)
+
+    def _drop_table(self, stmt):
+        name = stmt.name.lower()
+        if name not in self._db.tables:
+            if stmt.if_exists:
+                return ExecutionResult(affected_rows=0)
+            raise ExecutionError("Unknown table '%s'" % stmt.name, errno=1051)
+        del self._db.tables[name]
+        return ExecutionResult(affected_rows=0)
+
+    def _alter_add_column(self, stmt):
+        table = self._db.table(stmt.table)
+        cdef = stmt.column_def
+        if table.has_column(cdef.name):
+            raise ExecutionError(
+                "Duplicate column name '%s'" % cdef.name, errno=1060
+            )
+        default = cdef.default.value if cdef.default is not None else None
+        column = Column(
+            cdef.name, cdef.type_name, length=cdef.length,
+            not_null=cdef.not_null, primary_key=cdef.primary_key,
+            auto_increment=cdef.auto_increment, default=default,
+            unique=cdef.unique,
+        )
+        table.columns.append(column)
+        table._by_name[column.name] = column
+        from repro.sqldb.types import store_convert
+        fill = None
+        if default is not None:
+            fill = store_convert(default, column.type_name, column.length)
+        elif column.not_null:
+            fill = "" if column.type_name in ("VARCHAR", "TEXT",
+                                              "CHAR") else 0
+        for row in table.rows:
+            row[column.name] = fill
+        table.touch()
+        return ExecutionResult(affected_rows=len(table.rows))
+
+    def _alter_drop_column(self, stmt):
+        table = self._db.table(stmt.table)
+        name = stmt.column.lower()
+        if not table.has_column(name):
+            raise ExecutionError(
+                "Can't DROP '%s'; check that column/key exists"
+                % stmt.column, errno=1091,
+            )
+        if len(table.columns) == 1:
+            raise ExecutionError(
+                "A table must have at least 1 column", errno=1090
+            )
+        table.columns = [c for c in table.columns if c.name != name]
+        del table._by_name[name]
+        for row in table.rows:
+            row.pop(name, None)
+        table.touch()
+        return ExecutionResult(affected_rows=len(table.rows))
+
+    def _describe(self, stmt):
+        table = self._db.table(stmt.table)
+        rows = []
+        for col in table.columns:
+            type_text = col.type_name.lower()
+            if col.length is not None:
+                type_text += "(%d)" % col.length
+            rows.append(
+                (
+                    col.name,
+                    type_text,
+                    "NO" if col.not_null else "YES",
+                    "PRI" if col.primary_key else
+                    ("UNI" if col.unique else ""),
+                    col.default,
+                    "auto_increment" if col.auto_increment else "",
+                )
+            )
+        return ExecutionResult(
+            result_set=ResultSet(
+                ["Field", "Type", "Null", "Key", "Default", "Extra"], rows
+            )
+        )
+
+
+def _resolve_values_refs(expr, new_values):
+    """Replace ``VALUES(col)`` calls with the attempted insert value."""
+    if isinstance(expr, ast.FuncCall) and expr.name == "VALUES" and \
+            len(expr.args) == 1 and isinstance(expr.args[0], ast.ColumnRef):
+        value = new_values.get(expr.args[0].name.lower())
+        from repro.sqldb.prepared import literal_for
+        return literal_for(value)
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            expr.op,
+            _resolve_values_refs(expr.left, new_values),
+            _resolve_values_refs(expr.right, new_values),
+        )
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            expr.name,
+            [_resolve_values_refs(a, new_values) for a in expr.args],
+            expr.distinct,
+        )
+    return expr
+
+
+def _equality_pair(expr, alias):
+    """``col = literal`` (either side) scoped to *alias*, else ``None``."""
+    if not isinstance(expr, ast.BinaryOp) or expr.op != "=":
+        return None
+    column, literal = None, None
+    for left, right in ((expr.left, expr.right), (expr.right, expr.left)):
+        if isinstance(left, ast.ColumnRef) and isinstance(right,
+                                                          ast.Literal):
+            if left.table is None or left.table.lower() == alias:
+                column, literal = left.name.lower(), right.value
+                break
+    if column is None or literal is None and not isinstance(
+        literal, (int, float, str)
+    ):
+        return None
+    if literal is None:
+        return None  # NULL never matches through '='
+    return column, literal
+
+
+def _merge(a, b):
+    merged = dict(a)
+    merged.update(b)
+    return merged
+
+
+def _group_key(value):
+    if isinstance(value, str):
+        return ("s", value.lower())
+    if value is None:
+        return ("n", None)
+    return ("v", float(value))
+
+
+def _column_extractor(alias, col):
+    key = "%s.%s" % (alias, col)
+
+    def extract(row):
+        return row.get(key)
+
+    return extract
+
+
+def _expr_extractor(expr, ctx):
+    def extract(row):
+        return evaluate(expr, ctx.child(row))
+
+    return extract
+
+
+def _field_label(expr):
+    """Column heading MySQL would produce for an unaliased expression."""
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FuncCall):
+        return "%s(...)" % expr.name.lower()
+    if isinstance(expr, ast.Literal):
+        from repro.sqldb.types import render_value
+        return render_value(expr.value)
+    return type(expr).__name__.lower()

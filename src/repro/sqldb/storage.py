@@ -1,0 +1,223 @@
+"""In-memory storage engine: tables, columns, rows, result sets."""
+
+from repro.sqldb.errors import ExecutionError
+from repro.sqldb.types import store_convert
+
+
+class Column(object):
+    """Schema of one column."""
+
+    __slots__ = (
+        "name", "type_name", "length", "not_null", "primary_key",
+        "auto_increment", "default", "unique",
+    )
+
+    def __init__(self, name, type_name, length=None, not_null=False,
+                 primary_key=False, auto_increment=False, default=None,
+                 unique=False):
+        self.name = name.lower()
+        self.type_name = type_name.upper()
+        self.length = length
+        self.not_null = not_null
+        self.primary_key = primary_key
+        self.auto_increment = auto_increment
+        self.default = default
+        self.unique = unique
+
+    def __repr__(self):
+        return "Column(%r, %r)" % (self.name, self.type_name)
+
+
+class Table(object):
+    """One table: schema plus a list of row dicts (column name → value)."""
+
+    def __init__(self, name, columns):
+        self.name = name.lower()
+        self.columns = columns
+        self.rows = []
+        self._auto_counter = 0
+        self._by_name = {col.name: col for col in columns}
+        if len(self._by_name) != len(columns):
+            raise ExecutionError("Duplicate column name in table %r" % name)
+        #: secondary indexes: index name -> column name
+        self.indexes = {}
+        #: bumped on every mutation; index maps rebuild lazily
+        self.version = 0
+        self._index_cache = {}      # column -> (version, {key: [row,...]})
+
+    def has_column(self, name):
+        return name.lower() in self._by_name
+
+    def column(self, name):
+        return self._by_name[name.lower()]
+
+    def column_names(self):
+        return [col.name for col in self.columns]
+
+    def insert(self, values):
+        """Insert a row from a ``{column: value}`` mapping.
+
+        Applies type conversion (including silent VARCHAR truncation),
+        auto-increment, defaults, NOT NULL and UNIQUE/PRIMARY KEY checks.
+        Returns the auto-increment id used (or ``None``).
+        """
+        row = {}
+        used_auto = None
+        for col in self.columns:
+            if col.name in values:
+                value = store_convert(
+                    values[col.name], col.type_name, col.length
+                )
+            elif col.auto_increment:
+                value = None
+            elif col.default is not None:
+                value = store_convert(col.default, col.type_name, col.length)
+            else:
+                value = None
+            if value is None and col.auto_increment:
+                self._auto_counter += 1
+                value = self._auto_counter
+                used_auto = value
+            if value is None and col.not_null:
+                if col.type_name in ("VARCHAR", "TEXT", "CHAR"):
+                    value = ""
+                elif col.type_name in ("DATETIME", "DATE"):
+                    value = "0000-00-00 00:00:00"
+                else:
+                    value = 0
+            row[col.name] = value
+            if col.auto_increment and isinstance(value, int):
+                self._auto_counter = max(self._auto_counter, value)
+        self._check_unique(row)
+        self.rows.append(row)
+        self.version += 1
+        return used_auto
+
+    def touch(self):
+        """Record a mutation done outside :meth:`insert` (UPDATE/DELETE
+        paths mutate row dicts directly)."""
+        self.version += 1
+
+    # -- secondary indexes ------------------------------------------------
+
+    def create_index(self, name, column):
+        if not self.has_column(column):
+            raise ExecutionError(
+                "Key column '%s' doesn't exist in table" % column,
+                errno=1072,
+            )
+        if name.lower() in self.indexes:
+            raise ExecutionError(
+                "Duplicate key name '%s'" % name, errno=1061
+            )
+        self.indexes[name.lower()] = column.lower()
+
+    def drop_index(self, name):
+        if name.lower() not in self.indexes:
+            raise ExecutionError(
+                "Can't DROP '%s'; check that column/key exists" % name,
+                errno=1091,
+            )
+        del self.indexes[name.lower()]
+
+    def indexed_columns(self):
+        """Columns reachable through an index (incl. PK/unique)."""
+        columns = set(self.indexes.values())
+        for col in self.columns:
+            if col.primary_key or col.unique:
+                columns.add(col.name)
+        return columns
+
+    def index_lookup(self, column, value):
+        """Rows whose *column* equals *value* (hash-map access).
+
+        The map rebuilds when the table version moved; equality follows
+        storage representation (exact match after conversion).
+        """
+        column = column.lower()
+        cached = self._index_cache.get(column)
+        if cached is None or cached[0] != self.version:
+            mapping = {}
+            for row in self.rows:
+                mapping.setdefault(_index_key(row.get(column)), []).append(
+                    row
+                )
+            self._index_cache[column] = (self.version, mapping)
+            cached = self._index_cache[column]
+        return cached[1].get(_index_key(self.convert(column, value)), [])
+
+    def _check_unique(self, new_row, ignore_row=None):
+        keys = [c.name for c in self.columns if c.primary_key or c.unique]
+        for key in keys:
+            value = new_row.get(key)
+            if value is None:
+                continue
+            for row in self.rows:
+                if row is ignore_row:
+                    continue
+                if row.get(key) == value:
+                    raise ExecutionError(
+                        "Duplicate entry '%s' for key '%s'" % (value, key),
+                        errno=1062,
+                    )
+
+    def convert(self, column_name, value):
+        col = self._by_name[column_name.lower()]
+        return store_convert(value, col.type_name, col.length)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __repr__(self):
+        return "Table(%r, %d cols, %d rows)" % (
+            self.name, len(self.columns), len(self.rows)
+        )
+
+
+def _index_key(value):
+    if isinstance(value, str):
+        return ("s", value.lower())
+    if isinstance(value, bool):
+        return ("n", float(value))
+    if isinstance(value, (int, float)):
+        return ("n", float(value))
+    return ("x", value)
+
+
+class ResultSet(object):
+    """Rows returned to the client: column names + list of value tuples."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns, rows):
+        self.columns = list(columns)
+        self.rows = [tuple(r) for r in rows]
+
+    def rows_as_dicts(self):
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def scalar(self):
+        """First column of the first row, or ``None`` if empty."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def column(self, name):
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ResultSet)
+            and self.columns == other.columns
+            and self.rows == other.rows
+        )
+
+    def __repr__(self):
+        return "ResultSet(%r, %d rows)" % (self.columns, len(self.rows))

@@ -1,0 +1,164 @@
+"""MySQL-flavoured value semantics: coercion, comparison, truthiness.
+
+These rules are a deliberate part of the substrate because several of them
+feed the *semantic mismatch*:
+
+* a string compared with a number is coerced by **prefix parsing**
+  (``'1abc' = 1`` is true, ``'abc' = 0`` is true);
+* default-collation string comparison is **case-insensitive** and folds the
+  unicode confusables of :mod:`repro.sqldb.charset`;
+* any value used as a boolean is first coerced to a number.
+"""
+
+from repro.sqldb.charset import fold_confusables
+
+_NUM_CHARS = frozenset("0123456789")
+
+
+def coerce_to_number(value):
+    """MySQL's implicit string→number conversion (prefix parse)."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    text = str(value).strip()
+    i = 0
+    n = len(text)
+    if i < n and text[i] in "+-":
+        i += 1
+    start_digits = i
+    while i < n and text[i] in _NUM_CHARS:
+        i += 1
+    int_end = i
+    if i < n and text[i] == ".":
+        i += 1
+        while i < n and text[i] in _NUM_CHARS:
+            i += 1
+    frac_end = i
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j] in _NUM_CHARS:
+            while j < n and text[j] in _NUM_CHARS:
+                j += 1
+            i = j
+    prefix = text[:i]
+    if int_end == start_digits and frac_end == int_end + 1:
+        return 0  # just a sign or a lone dot
+    if not prefix or prefix in ("+", "-", ".", "+.", "-."):
+        return 0
+    try:
+        if any(ch in prefix for ch in ".eE"):
+            return float(prefix)
+        return int(prefix)
+    except ValueError:
+        return 0
+
+
+def is_truthy(value):
+    """MySQL boolean context: NULL is neither true nor false (None)."""
+    if value is None:
+        return None
+    num = coerce_to_number(value)
+    return bool(num)
+
+
+def _fold_string(value):
+    return fold_confusables(str(value)).lower()
+
+
+def compare(left, right):
+    """Three-way compare under MySQL coercion rules.
+
+    Returns ``-1``, ``0`` or ``1``, or ``None`` when either side is NULL
+    (SQL NULL comparison semantics).
+    """
+    if left is None or right is None:
+        return None
+    left_str = isinstance(left, str)
+    right_str = isinstance(right, str)
+    if left_str and right_str:
+        a, b = _fold_string(left), _fold_string(right)
+    else:
+        a, b = coerce_to_number(left), coerce_to_number(right)
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def null_safe_equal(left, right):
+    """The ``<=>`` operator: NULL <=> NULL is true."""
+    if left is None and right is None:
+        return 1
+    if left is None or right is None:
+        return 0
+    return 1 if compare(left, right) == 0 else 0
+
+
+def sort_key(value):
+    """Key usable by ``sorted`` that matches :func:`compare` ordering.
+
+    NULLs sort first (MySQL ASC behaviour); numbers before being compared
+    with strings get bucketed by type like MySQL's result ordering does in
+    the common (homogeneous column) case.
+    """
+    if value is None:
+        return (0, 0, "")
+    if isinstance(value, bool):
+        return (1, int(value), "")
+    if isinstance(value, (int, float)):
+        return (1, value, "")
+    return (2, 0, _fold_string(value))
+
+
+# ---------------------------------------------------------------------------
+# Column types
+# ---------------------------------------------------------------------------
+
+_INT_TYPES = frozenset(["INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT",
+                        "BOOLEAN", "BOOL"])
+_FLOAT_TYPES = frozenset(["FLOAT", "DOUBLE", "DECIMAL"])
+_STRING_TYPES = frozenset(["VARCHAR", "TEXT", "CHAR", "DATETIME", "DATE"])
+
+
+def store_convert(value, type_name, length=None):
+    """Convert *value* for storage in a column of *type_name*.
+
+    Mirrors MySQL's non-strict mode: out-of-range/garbage becomes a best
+    effort value and **over-long strings are silently truncated** — the
+    truncation is itself a known injection vector, so we keep it faithful.
+    """
+    upper = type_name.upper()
+    if value is None:
+        return None
+    if upper in _INT_TYPES:
+        num = coerce_to_number(value)
+        return int(num)
+    if upper in _FLOAT_TYPES:
+        return float(coerce_to_number(value))
+    if upper in _STRING_TYPES:
+        text = value if isinstance(value, str) else _render(value)
+        if upper in ("VARCHAR", "CHAR") and length is not None:
+            return text[:length]
+        return text
+    raise ValueError("unknown column type %r" % type_name)
+
+
+def _render(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def render_value(value):
+    """Render a value the way the client would see it in a result set."""
+    if value is None:
+        return "NULL"
+    return _render(value) if not isinstance(value, str) else value

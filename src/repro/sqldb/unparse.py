@@ -1,0 +1,253 @@
+"""AST → SQL text (the inverse of the parser).
+
+Used for diagnostics (render the statement SEPTIC actually inspected)
+and by the test suite's strongest parser property:
+``parse(unparse(parse(sql))) == parse(sql)``.
+
+The output is canonical-form SQL: upper-case keywords, explicit
+parentheses where precedence could be ambiguous, backslash-escaped
+string literals.
+"""
+
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.charset import escape_string
+
+
+def to_sql(node):
+    """Render a statement or expression node as SQL text."""
+    renderer = _RENDERERS.get(type(node))
+    if renderer is None:
+        raise TypeError("cannot unparse %r" % type(node).__name__)
+    return renderer(node)
+
+
+# -- literals & simple expressions -------------------------------------------
+
+def _literal(node):
+    if node.type_tag == "null":
+        return "NULL"
+    if node.type_tag == "bool":
+        return "TRUE" if node.value else "FALSE"
+    if node.type_tag == "string":
+        return "'%s'" % escape_string(node.value)
+    if node.type_tag == "float":
+        return repr(float(node.value))
+    return str(node.value)
+
+
+def _column(node):
+    if node.table:
+        return "%s.%s" % (node.table, node.name)
+    return node.name
+
+
+def _star(node):
+    return "%s.*" % node.table if node.table else "*"
+
+
+def _func(node):
+    inner = ", ".join(to_sql(arg) for arg in node.args)
+    if node.distinct:
+        inner = "DISTINCT " + inner
+    return "%s(%s)" % (node.name, inner)
+
+
+def _unary(node):
+    return "%s(%s)" % (node.op, to_sql(node.operand))
+
+
+def _binary(node):
+    return "(%s %s %s)" % (to_sql(node.left), node.op, to_sql(node.right))
+
+
+def _cond(node):
+    joiner = " %s " % node.op
+    return "(%s)" % joiner.join(to_sql(op) for op in node.operands)
+
+
+def _not(node):
+    return "(NOT %s)" % to_sql(node.operand)
+
+
+def _in_list(node):
+    if isinstance(node.items, ast.Subquery):
+        inner = to_sql(node.items.select)
+    else:
+        inner = ", ".join(to_sql(item) for item in node.items)
+    keyword = "NOT IN" if node.negated else "IN"
+    return "(%s %s (%s))" % (to_sql(node.expr), keyword, inner)
+
+
+def _between(node):
+    keyword = "NOT BETWEEN" if node.negated else "BETWEEN"
+    return "(%s %s %s AND %s)" % (
+        to_sql(node.expr), keyword, to_sql(node.low), to_sql(node.high)
+    )
+
+
+def _is_null(node):
+    keyword = "IS NOT NULL" if node.negated else "IS NULL"
+    return "(%s %s)" % (to_sql(node.expr), keyword)
+
+
+def _like(node):
+    keyword = node.op if not node.negated else "NOT " + node.op
+    return "(%s %s %s)" % (to_sql(node.expr), keyword,
+                           to_sql(node.pattern))
+
+
+def _case(node):
+    parts = ["CASE"]
+    if node.operand is not None:
+        parts.append(to_sql(node.operand))
+    for cond, result in node.whens:
+        parts.append("WHEN %s THEN %s" % (to_sql(cond), to_sql(result)))
+    if node.default is not None:
+        parts.append("ELSE %s" % to_sql(node.default))
+    parts.append("END")
+    return " ".join(parts)
+
+
+def _cast(node):
+    return "CAST(%s AS %s)" % (to_sql(node.expr), node.type_name)
+
+
+def _subquery(node):
+    return "(%s)" % to_sql(node.select)
+
+
+def _exists(node):
+    keyword = "NOT EXISTS" if node.negated else "EXISTS"
+    return "%s (%s)" % (keyword, to_sql(node.select))
+
+
+def _param(node):
+    return "?"
+
+
+# -- statement pieces ----------------------------------------------------------
+
+def _table_source(ref):
+    if isinstance(ref, ast.DerivedTable):
+        return "(%s) AS %s" % (to_sql(ref.select), ref.alias)
+    if ref.alias:
+        return "%s AS %s" % (ref.name, ref.alias)
+    return ref.name
+
+
+def _order_clause(order_by):
+    if not order_by:
+        return ""
+    items = ", ".join(
+        "%s %s" % (to_sql(item.expr), item.direction) for item in order_by
+    )
+    return " ORDER BY " + items
+
+
+def _limit_clause(limit):
+    if limit is None:
+        return ""
+    if limit.offset is not None:
+        return " LIMIT %s OFFSET %s" % (
+            to_sql(limit.count), to_sql(limit.offset)
+        )
+    return " LIMIT %s" % to_sql(limit.count)
+
+
+def _select(node):
+    fields = ", ".join(
+        to_sql(field.expr) + (" AS %s" % field.alias if field.alias else "")
+        for field in node.fields
+    )
+    parts = ["SELECT "]
+    if node.distinct:
+        parts.append("DISTINCT ")
+    parts.append(fields)
+    if node.tables:
+        parts.append(" FROM ")
+        parts.append(", ".join(_table_source(t) for t in node.tables))
+    for join in node.joins:
+        parts.append(" %s JOIN %s" % (join.kind, _table_source(join.table)))
+        if join.on is not None:
+            parts.append(" ON %s" % to_sql(join.on))
+    if node.where is not None:
+        parts.append(" WHERE %s" % to_sql(node.where))
+    if node.group_by:
+        parts.append(" GROUP BY " +
+                     ", ".join(to_sql(g) for g in node.group_by))
+        if node.having is not None:
+            parts.append(" HAVING %s" % to_sql(node.having))
+    parts.append(_order_clause(node.order_by))
+    parts.append(_limit_clause(node.limit))
+    text = "".join(parts)
+    for all_flag, branch in node.unions:
+        text += " UNION %s%s" % ("ALL " if all_flag else "",
+                                 to_sql(branch))
+    return text
+
+
+def _insert(node):
+    verb = "REPLACE" if node.replace else "INSERT"
+    if node.ignore:
+        verb += " IGNORE"
+    columns = ""
+    if node.columns:
+        columns = " (%s)" % ", ".join(node.columns)
+    rows = ", ".join(
+        "(%s)" % ", ".join(to_sql(expr) for expr in row)
+        for row in node.rows
+    )
+    text = "%s INTO %s%s VALUES %s" % (verb, node.table, columns, rows)
+    if node.on_duplicate:
+        text += " ON DUPLICATE KEY UPDATE " + ", ".join(
+            "%s = %s" % (col, to_sql(expr))
+            for col, expr in node.on_duplicate
+        )
+    return text
+
+
+def _update(node):
+    text = "UPDATE %s SET %s" % (
+        node.table,
+        ", ".join("%s = %s" % (col, to_sql(expr))
+                  for col, expr in node.assignments),
+    )
+    if node.where is not None:
+        text += " WHERE %s" % to_sql(node.where)
+    text += _order_clause(node.order_by)
+    text += _limit_clause(node.limit)
+    return text
+
+
+def _delete(node):
+    text = "DELETE FROM %s" % node.table
+    if node.where is not None:
+        text += " WHERE %s" % to_sql(node.where)
+    text += _order_clause(node.order_by)
+    text += _limit_clause(node.limit)
+    return text
+
+
+_RENDERERS = {
+    ast.Literal: _literal,
+    ast.Param: _param,
+    ast.ColumnRef: _column,
+    ast.Star: _star,
+    ast.FuncCall: _func,
+    ast.UnaryOp: _unary,
+    ast.BinaryOp: _binary,
+    ast.Cond: _cond,
+    ast.Not: _not,
+    ast.InList: _in_list,
+    ast.Between: _between,
+    ast.IsNull: _is_null,
+    ast.Like: _like,
+    ast.Case: _case,
+    ast.Cast: _cast,
+    ast.Subquery: _subquery,
+    ast.Exists: _exists,
+    ast.Select: _select,
+    ast.Insert: _insert,
+    ast.Update: _update,
+    ast.Delete: _delete,
+}

@@ -1,0 +1,363 @@
+"""Semantic validation and item-stack construction.
+
+``validate(statement, catalog)`` checks table and column references against
+the catalog (raising :class:`repro.sqldb.errors.ValidationError` on unknown
+names, like MySQL's error 1054) and flattens the statement into the item
+stack described in :mod:`repro.sqldb.items`.
+
+Stack layout (bottom → top), matching the paper's Figure 2:
+
+* SELECT:  ``FROM_TABLE`` per table, ``JOIN_ITEM`` + join table + ON
+  condition per join, select fields, WHERE condition in postfix order,
+  GROUP/HAVING/ORDER/LIMIT markers, UNION branches.
+* Expressions are emitted in **postorder** (operands before operator), so
+  ``reservID = 'ID34FG' AND creditCard = 1234`` becomes::
+
+      FIELD_ITEM reservID / STRING_ITEM ID34FG / FUNC_ITEM = /
+      FIELD_ITEM creditCard / INT_ITEM 1234 / FUNC_ITEM = / COND_ITEM AND
+"""
+
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.errors import ValidationError
+from repro.sqldb.items import Item, ItemKind
+
+
+def validate(statement, catalog=None):
+    """Validate *statement* and return its item stack (a list, bottom→top).
+
+    *catalog* is a mapping ``table_name -> Table`` (or ``None`` to skip
+    name resolution — used by unit tests that only care about the stack
+    shape).
+    """
+    builder = _StackBuilder(catalog)
+    return builder.build(statement)
+
+
+class _StackBuilder(object):
+    def __init__(self, catalog):
+        self._catalog = catalog
+        self._stack = []
+        #: tables in scope, innermost query last; each entry is a dict
+        #: alias -> table_name
+        self._scopes = []
+        #: select-list aliases in scope (ORDER BY / HAVING may name them)
+        self._alias_scopes = []
+
+    # -- public ----------------------------------------------------------
+
+    def build(self, statement):
+        self._dispatch_statement(statement)
+        return self._stack
+
+    # -- helpers -----------------------------------------------------------
+
+    def _push(self, kind, value):
+        self._stack.append(Item(kind, value))
+
+    def _check_table(self, name):
+        if self._catalog is not None and name.lower() not in self._catalog:
+            raise ValidationError("Table '%s' doesn't exist" % name)
+        return name.lower()
+
+    def _check_column(self, name, table=None):
+        """Resolve a column against the tables in scope."""
+        if self._catalog is None or not self._scopes:
+            return name.lower()
+        scope = self._scopes[-1]
+        lname = name.lower()
+        if table is None and self._alias_scopes and \
+                lname in self._alias_scopes[-1]:
+            return lname
+        if table is not None:
+            tkey = table.lower()
+            found = None
+            for candidate in [scope] + list(reversed(self._scopes[:-1])):
+                if tkey in candidate:
+                    found = candidate
+                    break
+            if found is None:
+                raise ValidationError("Unknown table '%s'" % table)
+            real = found[tkey]
+            if real is None:  # derived table: columns unchecked
+                return lname
+            if not self._catalog[real].has_column(lname):
+                raise ValidationError(
+                    "Unknown column '%s.%s' in 'field list'" % (table, name)
+                )
+            return lname
+        for real in scope.values():
+            if real is None or self._catalog[real].has_column(lname):
+                return lname
+        # allow resolution against any outer scope (correlated subqueries)
+        for outer in reversed(self._scopes[:-1]):
+            for real in outer.values():
+                if real is None or self._catalog[real].has_column(lname):
+                    return lname
+        raise ValidationError("Unknown column '%s' in 'field list'" % name)
+
+    # -- statements ----------------------------------------------------------
+
+    def _dispatch_statement(self, stmt):
+        if isinstance(stmt, ast.Select):
+            self._build_select(stmt)
+        elif isinstance(stmt, ast.Insert):
+            self._build_insert(stmt)
+        elif isinstance(stmt, ast.Update):
+            self._build_update(stmt)
+        elif isinstance(stmt, ast.Delete):
+            self._build_delete(stmt)
+        elif isinstance(stmt, ast.Explain):
+            # EXPLAIN validates (and models) like the underlying SELECT
+            self._build_select(stmt.select)
+        elif isinstance(stmt, (ast.CreateTable, ast.DropTable,
+                               ast.ShowTables, ast.Describe, ast.Begin,
+                               ast.Commit, ast.Rollback, ast.CreateIndex,
+                               ast.DropIndex, ast.AlterTableAddColumn,
+                               ast.AlterTableDropColumn,
+                               ast.TruncateTable)):
+            # DDL/metadata statements have no user-data nodes; SEPTIC does
+            # not model them, but the engine still validates them.
+            pass
+        else:
+            raise ValidationError(
+                "cannot validate statement %r" % type(stmt).__name__
+            )
+
+    def _open_scope(self, tables, joins):
+        scope = {}
+        for ref in tables:
+            self._scope_add(scope, ref)
+        for join in joins:
+            self._scope_add(scope, join.table)
+        self._scopes.append(scope)
+
+    def _scope_add(self, scope, ref):
+        if isinstance(ref, ast.DerivedTable):
+            # a derived table's columns come from its select list; we
+            # mark the alias as an unchecked scope entry (None)
+            scope[ref.alias.lower()] = None
+        else:
+            scope[(ref.alias or ref.name).lower()] = \
+                self._check_table(ref.name)
+
+    def _build_select(self, stmt):
+        self._open_scope(stmt.tables, stmt.joins)
+        self._alias_scopes.append(
+            {f.alias.lower() for f in stmt.fields if f.alias}
+        )
+        try:
+            for ref in stmt.tables:
+                self._push_table_source(ref)
+            for join in stmt.joins:
+                self._push(ItemKind.JOIN_ITEM, join.kind)
+                self._push_table_source(join.table)
+                if join.on is not None:
+                    self._expr(join.on)
+            for field in stmt.fields:
+                if isinstance(field.expr, ast.Star):
+                    self._push(ItemKind.SELECT_FIELD, "*")
+                else:
+                    self._expr(field.expr)
+            if stmt.where is not None:
+                self._expr(stmt.where)
+            for expr in stmt.group_by:
+                self._push(ItemKind.GROUP_ITEM, "GROUP")
+                self._expr(expr)
+            if stmt.having is not None:
+                self._push(ItemKind.HAVING_ITEM, "HAVING")
+                self._expr(stmt.having)
+            for order in stmt.order_by:
+                self._push(ItemKind.ORDER_ITEM, order.direction)
+                self._expr(order.expr)
+            if stmt.limit is not None:
+                self._push(ItemKind.LIMIT_ITEM, "LIMIT")
+                self._expr(stmt.limit.count)
+                if stmt.limit.offset is not None:
+                    self._expr(stmt.limit.offset)
+        finally:
+            self._scopes.pop()
+            self._alias_scopes.pop()
+        for all_flag, branch in stmt.unions:
+            self._push(ItemKind.UNION_ITEM, "ALL" if all_flag else "DISTINCT")
+            self._build_select(branch)
+
+    def _push_table_source(self, ref):
+        if isinstance(ref, ast.DerivedTable):
+            self._push(ItemKind.SUBSELECT_ITEM, "BEGIN")
+            self._build_select(ref.select)
+            self._push(ItemKind.SUBSELECT_ITEM, "END")
+            self._push(ItemKind.FROM_TABLE, ref.alias.lower())
+        else:
+            self._push(ItemKind.FROM_TABLE, ref.name.lower())
+
+    def _build_insert(self, stmt):
+        table = self._check_table(stmt.table)
+        kind = ItemKind.REPLACE_TABLE if stmt.replace \
+            else ItemKind.INSERT_TABLE
+        self._push(kind, table)
+        self._scopes.append({table: table})
+        try:
+            columns = stmt.columns
+            if not columns and self._catalog is not None:
+                columns = self._catalog[table].column_names()
+            for col in columns:
+                self._push(
+                    ItemKind.INSERT_FIELD, self._check_column(col, table)
+                )
+            for row in stmt.rows:
+                if columns and len(row) != len(columns):
+                    raise ValidationError(
+                        "Column count doesn't match value count"
+                    )
+                self._push(ItemKind.ROW_ITEM, "ROW")
+                for expr in row:
+                    self._expr(expr)
+            for col, expr in stmt.on_duplicate:
+                self._push(
+                    ItemKind.UPDATE_FIELD, self._check_column(col, table)
+                )
+                self._expr(expr)
+        finally:
+            self._scopes.pop()
+
+    def _build_update(self, stmt):
+        table = self._check_table(stmt.table)
+        self._push(ItemKind.UPDATE_TABLE, table)
+        self._scopes.append({table: table})
+        try:
+            for col, expr in stmt.assignments:
+                self._push(
+                    ItemKind.UPDATE_FIELD, self._check_column(col, table)
+                )
+                self._expr(expr)
+            if stmt.where is not None:
+                self._expr(stmt.where)
+            for order in stmt.order_by:
+                self._push(ItemKind.ORDER_ITEM, order.direction)
+                self._expr(order.expr)
+            if stmt.limit is not None:
+                self._push(ItemKind.LIMIT_ITEM, "LIMIT")
+                self._expr(stmt.limit.count)
+        finally:
+            self._scopes.pop()
+
+    def _build_delete(self, stmt):
+        table = self._check_table(stmt.table)
+        self._push(ItemKind.DELETE_TABLE, table)
+        self._scopes.append({table: table})
+        try:
+            if stmt.where is not None:
+                self._expr(stmt.where)
+            for order in stmt.order_by:
+                self._push(ItemKind.ORDER_ITEM, order.direction)
+                self._expr(order.expr)
+            if stmt.limit is not None:
+                self._push(ItemKind.LIMIT_ITEM, "LIMIT")
+                self._expr(stmt.limit.count)
+        finally:
+            self._scopes.pop()
+
+    # -- expressions (postorder) ----------------------------------------------
+
+    def _expr(self, node):
+        if isinstance(node, ast.Literal):
+            self._literal(node)
+        elif isinstance(node, ast.Param):
+            self._push(ItemKind.PARAM_ITEM, "?")
+        elif isinstance(node, ast.ColumnRef):
+            self._push(
+                ItemKind.FIELD_ITEM, self._check_column(node.name, node.table)
+            )
+        elif isinstance(node, ast.Star):
+            self._push(ItemKind.SELECT_FIELD, "*")
+        elif isinstance(node, ast.FuncCall):
+            for arg in node.args:
+                self._expr(arg)
+            self._push(ItemKind.FUNC_ITEM, node.name)
+        elif isinstance(node, ast.UnaryOp):
+            self._expr(node.operand)
+            self._push(ItemKind.FUNC_ITEM, node.op)
+        elif isinstance(node, ast.BinaryOp):
+            self._expr(node.left)
+            self._expr(node.right)
+            self._push(ItemKind.FUNC_ITEM, node.op)
+        elif isinstance(node, ast.Cond):
+            for operand in node.operands:
+                self._expr(operand)
+            self._push(ItemKind.COND_ITEM, node.op)
+        elif isinstance(node, ast.Not):
+            self._expr(node.operand)
+            self._push(ItemKind.FUNC_ITEM, "NOT")
+        elif isinstance(node, ast.InList):
+            self._expr(node.expr)
+            if isinstance(node.items, ast.Subquery):
+                self._expr(node.items)
+            else:
+                for item in node.items:
+                    self._expr(item)
+            self._push(
+                ItemKind.FUNC_ITEM, "NOT IN" if node.negated else "IN"
+            )
+        elif isinstance(node, ast.Between):
+            self._expr(node.expr)
+            self._expr(node.low)
+            self._expr(node.high)
+            self._push(
+                ItemKind.FUNC_ITEM,
+                "NOT BETWEEN" if node.negated else "BETWEEN",
+            )
+        elif isinstance(node, ast.IsNull):
+            self._expr(node.expr)
+            self._push(
+                ItemKind.FUNC_ITEM,
+                "IS NOT NULL" if node.negated else "IS NULL",
+            )
+        elif isinstance(node, ast.Like):
+            self._expr(node.expr)
+            self._expr(node.pattern)
+            op = node.op if not node.negated else "NOT " + node.op
+            self._push(ItemKind.FUNC_ITEM, op)
+        elif isinstance(node, ast.Cast):
+            self._expr(node.expr)
+            self._push(ItemKind.FUNC_ITEM, "CAST %s" % node.type_name)
+        elif isinstance(node, ast.Case):
+            self._push(ItemKind.CASE_ITEM, "CASE")
+            if node.operand is not None:
+                self._expr(node.operand)
+            for cond, result in node.whens:
+                self._expr(cond)
+                self._expr(result)
+            if node.default is not None:
+                self._expr(node.default)
+            self._push(ItemKind.CASE_ITEM, "END")
+        elif isinstance(node, ast.Subquery):
+            self._push(ItemKind.SUBSELECT_ITEM, "BEGIN")
+            self._build_select(node.select)
+            self._push(ItemKind.SUBSELECT_ITEM, "END")
+        elif isinstance(node, ast.Exists):
+            self._push(ItemKind.SUBSELECT_ITEM, "BEGIN")
+            self._build_select(node.select)
+            self._push(ItemKind.SUBSELECT_ITEM, "END")
+            self._push(
+                ItemKind.FUNC_ITEM,
+                "NOT EXISTS" if node.negated else "EXISTS",
+            )
+        else:
+            raise ValidationError(
+                "cannot build items for %r" % type(node).__name__
+            )
+
+    def _literal(self, node):
+        if node.type_tag == "int":
+            self._push(ItemKind.INT_ITEM, node.value)
+        elif node.type_tag == "float":
+            self._push(ItemKind.REAL_ITEM, node.value)
+        elif node.type_tag == "string":
+            self._push(ItemKind.STRING_ITEM, node.value)
+        elif node.type_tag == "null":
+            self._push(ItemKind.NULL_ITEM, None)
+        elif node.type_tag == "bool":
+            # MySQL represents TRUE/FALSE as Item_int 1/0.
+            self._push(ItemKind.INT_ITEM, 1 if node.value else 0)
+        else:
+            raise ValidationError("unknown literal tag %r" % node.type_tag)

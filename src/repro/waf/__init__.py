@@ -1,0 +1,21 @@
+"""Protection-component baselines the paper compares SEPTIC against.
+
+* :mod:`repro.waf.modsecurity` — a ModSecurity-like WAF scoring requests
+  against an OWASP-CRS-style rule set at the HTTP layer;
+* :mod:`repro.waf.dbfirewall` — a GreenSQL-like SQL proxy / database
+  firewall whitelisting query fingerprints *between* the application and
+  the DBMS.
+
+Both live **outside** the DBMS, which is precisely why semantic-mismatch
+attacks slip past them: they inspect data before the DBMS decodes it.
+"""
+
+from repro.waf.modsecurity import ModSecurity, WafVerdict
+from repro.waf.dbfirewall import DatabaseFirewall, FirewallBlocked
+
+__all__ = [
+    "ModSecurity",
+    "WafVerdict",
+    "DatabaseFirewall",
+    "FirewallBlocked",
+]

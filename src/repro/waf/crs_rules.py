@@ -1,0 +1,105 @@
+"""OWASP CRS 3.0-style rule set for the ModSecurity baseline.
+
+Each rule is (id, paranoia_level, severity_score, description, compiled
+regex).  The patterns are modelled on the CRS SQLI/XSS rule files
+(942xxx / 941xxx): they are deliberately **ASCII-minded**, matching the
+quote/keyword shapes attackers usually send — and therefore blind to the
+unicode-confusable and second-order channels the paper exploits.  That
+blindness is the behaviour under test, not an implementation shortcut.
+
+Scores follow CRS: critical=5, error=4, warning=3, notice=2.  The default
+inbound anomaly threshold is 5 (one critical rule is enough to block).
+"""
+
+import re
+
+
+class Rule(object):
+    __slots__ = ("rule_id", "paranoia", "score", "description", "regex")
+
+    def __init__(self, rule_id, paranoia, score, description, pattern,
+                 flags=re.IGNORECASE):
+        self.rule_id = rule_id
+        self.paranoia = paranoia
+        self.score = score
+        self.description = description
+        self.regex = re.compile(pattern, flags)
+
+    def matches(self, text):
+        return self.regex.search(text) is not None
+
+    def __repr__(self):
+        return "Rule(%s, PL%d, %d)" % (self.rule_id, self.paranoia, self.score)
+
+
+#: modelled on CRS REQUEST-942-APPLICATION-ATTACK-SQLI and 941 (XSS)
+DEFAULT_RULES = [
+    # --- SQLI: classic quote + logic ------------------------------------
+    Rule("942100", 1, 5, "SQLi via libinjection-style quote/keyword combo",
+         r"['\"`]\s*(?:or|and|xor|\|\||&&)\s*['\"0-9]"),
+    Rule("942110", 1, 3, "quote followed by SQL comment",
+         r"['\"`][^'\"`]*(?:--|#|/\*)"),
+    Rule("942120", 1, 5, "SQL operator tautology with quotes",
+         r"['\"`]\s*(?:=|<|>|like)\s*['\"`]"),
+    Rule("942130", 1, 5, "classic 1=1 style tautology after quote",
+         r"['\"`]\s*(?:or|and)\s+[\w'\"]+\s*=\s*[\w'\"]+"),
+    Rule("942140", 1, 5, "DB names / information_schema access",
+         r"\b(?:information_schema|mysql\.user|pg_catalog)\b"),
+    # --- SQLI: UNION / piggyback -----------------------------------------
+    Rule("942190", 1, 5, "UNION SELECT injection",
+         r"\bunion\b.{0,40}\bselect\b"),
+    Rule("942200", 1, 5, "stacked query / piggyback",
+         r";\s*(?:select|insert|update|delete|drop|create|alter)\b"),
+    Rule("942210", 1, 5, "chained SQL keywords after terminator",
+         r"'\s*;\s*\w"),
+    # --- SQLI: functions & blind channels ---------------------------------
+    Rule("942220", 1, 5, "time-based blind functions",
+         r"\b(?:sleep|benchmark|pg_sleep|waitfor\s+delay)\s*\("),
+    Rule("942230", 1, 4, "conditional/blind probing functions",
+         r"\b(?:if|case\s+when|ifnull|nullif)\s*\(.{0,60}\b(?:select|sleep)\b"),
+    Rule("942240", 1, 4, "string-assembly functions used for evasion",
+         r"\b(?:concat(?:_ws)?|group_concat|char|chr|unhex|0x[0-9a-f]{4,})\s*\(?"),
+    Rule("942250", 1, 5, "EXEC/EXECUTE and stored procedure calls",
+         r"\b(?:exec(?:ute)?\s+(?:immediate|master)|xp_cmdshell|sp_executesql)\b"),
+    # --- SQLI: comment & whitespace evasion ------------------------------
+    Rule("942260", 2, 3, "inline comment obfuscation",
+         r"/\*!?\d*.{0,20}\*/"),
+    Rule("942270", 1, 5, "basic sql injection 'or 1=1' without quotes",
+         r"\b(?:or|and)\s+\d+\s*=\s*\d+"),
+    Rule("942280", 2, 3, "double-encoded or percent-encoded quote",
+         r"%2(?:2|7)|%u00(?:22|27)"),
+    # --- SQLI: boolean context without quotes (numeric context) ----------
+    Rule("942300", 2, 5, "numeric-context boolean injection",
+         r"\b\d+\s+(?:or|and)\s+[\w]"),
+    Rule("942310", 2, 3, "ORDER BY / GROUP BY probing",
+         r"\b(?:order|group)\s+by\s+\d+"),
+    # --- XSS (941xxx) -------------------------------------------------------
+    Rule("941100", 1, 5, "script tag",
+         r"<\s*script[^>]*>"),
+    Rule("941110", 1, 5, "event handler attribute",
+         r"\bon(?:error|load|click|mouseover|focus|submit)\s*="),
+    Rule("941120", 1, 5, "javascript: URI",
+         r"javascript\s*:"),
+    Rule("941130", 1, 4, "iframe/object/embed vector",
+         r"<\s*(?:iframe|object|embed|svg|img)\b"),
+    Rule("941140", 2, 3, "html entity obfuscated angle bracket",
+         r"&(?:lt|gt|#x3c|#60);",),
+    # --- file inclusion / command injection (930/932 family) --------------
+    Rule("930100", 1, 5, "path traversal",
+         r"(?:\.\./|\.\.\\|%2e%2e%2f)"),
+    Rule("930120", 1, 5, "OS sensitive file access",
+         r"(?:/etc/(?:passwd|shadow)|boot\.ini|/proc/self)"),
+    Rule("931100", 1, 5, "RFI: URL in parameter with script extension",
+         r"(?:ht|f)tps?://[^\s]+\.(?:php|phtml|txt)\b"),
+    Rule("932100", 1, 5, "unix command injection",
+         r"(?:;|\||`|\$\()\s*(?:cat|ls|id|whoami|wget|curl|nc|bash|sh)\b"),
+    Rule("933100", 1, 5, "PHP code injection",
+         r"<\?php|\b(?:eval|system|passthru|shell_exec)\s*\("),
+]
+
+
+def rules_for_paranoia(level, rules=None):
+    """Rules active at CRS paranoia level *level* (1..4)."""
+    return [
+        rule for rule in (rules or DEFAULT_RULES) if rule.paranoia <= level
+    ]

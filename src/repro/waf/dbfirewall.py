@@ -1,0 +1,91 @@
+"""GreenSQL-style SQL proxy / database firewall.
+
+Sits *between* the application and the DBMS (paper §I: "SQL proxies or
+database firewalls [...] operating between the application and the
+DBMS").  It learns a whitelist of query *fingerprints* — the raw SQL
+text with literals normalized away — and, in enforcement mode, blocks
+queries whose fingerprint was never learned.
+
+Because it fingerprints the query **before** the DBMS decodes it, a
+payload smuggled through a unicode confusable produces *the same
+fingerprint as the benign query* (the U+02BC is just another character
+inside a string literal to the proxy), so the attack sails through —
+the outside-the-DBMS blind spot SEPTIC closes.
+"""
+
+import re
+
+from repro.sqldb.errors import SQLError
+
+
+class FirewallBlocked(SQLError):
+    """Raised when the proxy rejects an unknown query fingerprint."""
+
+    errno = 4042
+
+
+_STRING_RE = re.compile(r"'(?:[^'\\]|\\.)*'|\"(?:[^\"\\]|\\.)*\"")
+_NUMBER_RE = re.compile(r"\b\d+(?:\.\d+)?\b")
+_COMMENT_RE = re.compile(r"/\*.*?\*/|--[^\n]*|#[^\n]*", re.DOTALL)
+_WS_RE = re.compile(r"\s+")
+
+
+def fingerprint(sql):
+    """Normalize *sql* into a literal-free fingerprint.
+
+    The proxy operates on the raw client bytes: string literals become
+    ``?`` by scanning for ASCII quotes only — exactly what GreenSQL-era
+    pattern learning did, and exactly why DBMS-side decoding defeats it.
+    """
+    # strings first: comment markers inside a literal are literal content
+    text = _STRING_RE.sub("?", sql)
+    text = _COMMENT_RE.sub(" ", text)
+    text = _NUMBER_RE.sub("?", text)
+    text = _WS_RE.sub(" ", text)
+    return text.strip().lower()
+
+
+class DatabaseFirewall(object):
+    """Learning whitelist proxy wrapping a connection-like object."""
+
+    MODE_LEARNING = "LEARNING"
+    MODE_ENFORCING = "ENFORCING"
+
+    def __init__(self, connection, mode=MODE_LEARNING):
+        self._connection = connection
+        self.mode = mode
+        self.known = set()
+        self.blocked_queries = []
+        self.queries_seen = 0
+
+    def learn(self, sql):
+        self.known.add(fingerprint(sql))
+
+    def query(self, sql):
+        """Proxy one query to the backend, enforcing the whitelist."""
+        self.queries_seen += 1
+        print_ = fingerprint(sql)
+        if self.mode == self.MODE_LEARNING:
+            self.known.add(print_)
+            return self._connection.query(sql)
+        if print_ not in self.known:
+            self.blocked_queries.append(sql)
+            from repro.sqldb.connection import QueryOutcome
+            return QueryOutcome(
+                error=FirewallBlocked(
+                    "query rejected by database firewall "
+                    "(unknown fingerprint)"
+                )
+            )
+        return self._connection.query(sql)
+
+    def enforce(self):
+        self.mode = self.MODE_ENFORCING
+
+    def __len__(self):
+        return len(self.known)
+
+    def __getattr__(self, name):
+        # transparent proxy: everything but query() passes through to
+        # the real connection (escape_string, last_insert_id, ...)
+        return getattr(self._connection, name)

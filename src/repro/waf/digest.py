@@ -1,0 +1,104 @@
+"""Percona-toolkit-style query digest (the paper's other related work).
+
+§II-B compares SEPTIC's learning with "GreenSQL [5] and Percona Tools
+[12]" — pt-query-digest groups a query log by normalized fingerprint and
+reports per-class statistics.  :class:`QueryDigest` does the same over
+our engine's traffic: attach it to a database (it wraps the SEPTIC hook
+chain transparently), and it accumulates per-fingerprint counts and
+timings — the workflow an administrator would use to review the queries
+SEPTIC flags for incremental-learning approval.
+"""
+
+import time
+
+from repro.waf.dbfirewall import fingerprint
+
+
+class DigestEntry(object):
+    """Aggregate statistics for one query class."""
+
+    __slots__ = ("fingerprint", "count", "total_seconds", "first_seen_seq",
+                 "samples")
+
+    def __init__(self, fp, sequence):
+        self.fingerprint = fp
+        self.count = 0
+        self.total_seconds = 0.0
+        self.first_seen_seq = sequence
+        #: a few raw examples (most recent kept)
+        self.samples = []
+
+    @property
+    def avg_seconds(self):
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def record(self, sql, seconds):
+        self.count += 1
+        self.total_seconds += seconds
+        self.samples.append(sql)
+        if len(self.samples) > 3:
+            self.samples.pop(0)
+
+    def __repr__(self):
+        return "DigestEntry(%r, n=%d)" % (self.fingerprint[:40], self.count)
+
+
+class QueryDigest(object):
+    """Collects query-class statistics from a live database.
+
+    Wraps the database's existing SEPTIC hook (if any): the digest
+    observes, then delegates — so it composes with SEPTIC instead of
+    replacing it.
+    """
+
+    def __init__(self, database=None):
+        self._entries = {}
+        self._sequence = 0
+        self._inner = None
+        if database is not None:
+            self.attach(database)
+
+    def attach(self, database):
+        """Interpose on *database*'s hook chain."""
+        self._inner = database.septic
+        database.septic = self
+        return self
+
+    # -- hook interface -----------------------------------------------------
+
+    def process_query(self, context):
+        self._sequence += 1
+        fp = fingerprint(context.sql)
+        entry = self._entries.get(fp)
+        if entry is None:
+            entry = DigestEntry(fp, self._sequence)
+            self._entries[fp] = entry
+        start = time.perf_counter()
+        try:
+            if self._inner is not None:
+                self._inner.process_query(context)
+        finally:
+            entry.record(context.sql, time.perf_counter() - start)
+
+    # -- reporting -------------------------------------------------------------
+
+    def __len__(self):
+        return len(self._entries)
+
+    def entries(self):
+        """Entries ordered by count (descending), pt-query-digest style."""
+        return sorted(
+            self._entries.values(),
+            key=lambda e: (-e.count, e.first_seen_seq),
+        )
+
+    def report(self, top=10):
+        """Text report of the top query classes."""
+        lines = ["# rank  count  avg(hook)  fingerprint"]
+        for rank, entry in enumerate(self.entries()[:top], start=1):
+            lines.append(
+                "# %4d  %5d  %7.1fµs  %s"
+                % (rank, entry.count, entry.avg_seconds * 1e6,
+                   entry.fingerprint[:70])
+            )
+        return "\n".join(lines)

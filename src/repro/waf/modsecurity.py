@@ -1,0 +1,108 @@
+"""ModSecurity-like web application firewall with CRS anomaly scoring.
+
+Mirrors the demo's ModSecurity 2.9.1 + OWASP CRS 3.0 deployment: rules
+run over every request parameter (and the raw query string), matched rule
+scores are summed, and the request is blocked when the inbound anomaly
+score reaches the threshold (CRS default 5).
+
+Crucially, the WAF sees parameters **as transmitted** — before PHP
+processes them and long before MySQL decodes them — so payloads whose
+maliciousness only materialises after DBMS-side decoding (unicode
+confusables, GBK escape-eating, second-order retrieval) score zero here.
+"""
+
+import urllib.parse
+
+from repro.waf.crs_rules import DEFAULT_RULES, rules_for_paranoia
+
+
+class WafVerdict(object):
+    """Outcome of evaluating one request."""
+
+    __slots__ = ("blocked", "score", "matched", "rule_ids")
+
+    def __init__(self, blocked, score, matched):
+        self.blocked = blocked
+        self.score = score
+        #: list of (rule, parameter_name) pairs
+        self.matched = matched
+        self.rule_ids = ",".join(sorted({r.rule_id for r, _ in matched}))
+
+    def __repr__(self):
+        if not self.blocked:
+            return "WafVerdict(pass, score=%d)" % self.score
+        return "WafVerdict(BLOCK, score=%d, rules=%s)" % (
+            self.score, self.rule_ids
+        )
+
+
+class ModSecurity(object):
+    """The WAF engine."""
+
+    name = "ModSecurity"
+
+    def __init__(self, paranoia_level=1, inbound_threshold=5, rules=None,
+                 enabled=True):
+        self.paranoia_level = paranoia_level
+        self.inbound_threshold = inbound_threshold
+        self._all_rules = list(rules or DEFAULT_RULES)
+        self.enabled = enabled
+        #: audit log of (request, verdict) for blocked requests
+        self.audit_log = []
+        self.requests_evaluated = 0
+
+    @property
+    def rules(self):
+        return rules_for_paranoia(self.paranoia_level, self._all_rules)
+
+    def evaluate(self, request):
+        """Score one request; record blocked ones in the audit log."""
+        self.requests_evaluated += 1
+        matched = []
+        score = 0
+        rules = self.rules
+        for name, raw_value in request.params.items():
+            for candidate in self._transformations(raw_value):
+                hit_this_value = set()
+                for rule in rules:
+                    if rule.rule_id in hit_this_value:
+                        continue
+                    if rule.matches(candidate):
+                        hit_this_value.add(rule.rule_id)
+                        already = any(
+                            r.rule_id == rule.rule_id and p == name
+                            for r, p in matched
+                        )
+                        if not already:
+                            matched.append((rule, name))
+                            score += rule.score
+        blocked = score >= self.inbound_threshold
+        verdict = WafVerdict(blocked, score, matched)
+        if blocked:
+            self.audit_log.append((request, verdict))
+        return verdict
+
+    def _transformations(self, value):
+        """CRS-style input transformations: raw + url-decoded (once).
+
+        ModSecurity applies ``t:urlDecodeUni`` etc.; we decode percent
+        encoding once, like the default CRS chain, so single-encoded
+        payloads are caught but the DBMS-side decodings are (faithfully)
+        not reproduced here.
+        """
+        text = str(value)
+        yield text
+        decoded = urllib.parse.unquote_plus(text)
+        if decoded != text:
+            yield decoded
+
+    # -- demo controls -------------------------------------------------------
+
+    def turn_on(self):
+        self.enabled = True
+
+    def turn_off(self):
+        self.enabled = False
+
+    def clear_log(self):
+        self.audit_log = []

@@ -1,0 +1,27 @@
+"""Web application substrate.
+
+Simulates the demo's Apache + Zend + PHP stack:
+
+* :mod:`repro.web.http` — request/response objects;
+* :mod:`repro.web.sanitize` — PHP's sanitization functions with their
+  *faithful weaknesses* (what they do and do not escape);
+* :mod:`repro.web.app` — a tiny routing framework plus the ``PhpRuntime``
+  (the Zend-engine shim that can attach SEPTIC external identifiers to
+  queries);
+* :mod:`repro.web.server` — the web server front door, where a WAF
+  (ModSecurity) can be installed.
+"""
+
+from repro.web.http import Request, Response
+from repro.web.app import WebApplication, PhpRuntime, FormSpec, FieldSpec
+from repro.web.server import WebServer
+
+__all__ = [
+    "Request",
+    "Response",
+    "WebApplication",
+    "PhpRuntime",
+    "FormSpec",
+    "FieldSpec",
+    "WebServer",
+]

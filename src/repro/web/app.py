@@ -1,0 +1,180 @@
+"""Application framework + the Zend-engine shim.
+
+:class:`WebApplication` is the base class for the demo applications: it
+routes requests to handler methods and declares its forms (so the SEPTIC
+trainer and the attack drivers can discover entry points, like a crawler
+would).
+
+:class:`PhpRuntime` plays the role of PHP/Zend for database access.  Its
+key SEPTIC-relevant feature is the *external identifier* support: when
+``send_external_ids`` is on (the paper's "minimal and optional support at
+server-side language engine level"), every query is prefixed with a
+``/* septic:<app>:<site> */`` comment naming the call site — prefixed,
+not suffixed, so ``--``-style payloads cannot comment it away.
+"""
+
+from repro.sqldb.connection import Connection
+from repro.web.http import Response
+
+
+class FieldSpec(object):
+    """One form field: name, kind and a benign sample for training."""
+
+    __slots__ = ("name", "kind", "sample")
+
+    def __init__(self, name, kind="text", sample="abc"):
+        self.name = name
+        self.kind = kind  # "text" | "int" | "hidden"
+        self.sample = sample
+
+    def __repr__(self):
+        return "FieldSpec(%r, %r)" % (self.name, self.kind)
+
+
+class FormSpec(object):
+    """One discoverable form (an application entry point)."""
+
+    __slots__ = ("path", "method", "fields", "label")
+
+    def __init__(self, path, method, fields, label=None):
+        self.path = path
+        self.method = method.upper()
+        self.fields = list(fields)
+        self.label = label or path.strip("/")
+
+    def benign_params(self):
+        return {field.name: field.sample for field in self.fields}
+
+    def __repr__(self):
+        return "FormSpec(%s %s)" % (self.method, self.path)
+
+
+class PhpRuntime(object):
+    """The PHP/Zend database layer of one application instance."""
+
+    def __init__(self, database, app_name, send_external_ids=True,
+                 charset=None):
+        self.connection = Connection(database, charset=charset)
+        self.app_name = app_name
+        #: SSLE-level SEPTIC support: attach call-site identifiers
+        self.send_external_ids = send_external_ids
+        #: count of queries issued (the BenchLab harness reads this)
+        self.queries_issued = 0
+        self.last_outcome = None
+
+    def mysql_query(self, sql, site):
+        """Run *sql*; *site* is the call-site label (file:line stand-in).
+
+        Returns a :class:`repro.sqldb.connection.QueryOutcome` — errors
+        (including SEPTIC drops) are reported, not raised, like
+        ``mysql_query`` returning FALSE.
+        """
+        if self.send_external_ids:
+            sql = "/* septic:%s:%s */ %s" % (self.app_name, site, sql)
+        self.queries_issued += 1
+        outcome = self.connection.query(sql)
+        self.last_outcome = outcome
+        return outcome
+
+    def escape(self, value):
+        """``mysql_real_escape_string`` through the live connection."""
+        return self.connection.escape_string(str(value))
+
+    @property
+    def insert_id(self):
+        return self.connection.last_insert_id
+
+
+class WebApplication(object):
+    """Base class for the demo applications.
+
+    Subclasses set :attr:`name`, implement :meth:`setup_schema` /
+    :meth:`seed_data`, register routes in :meth:`register` and declare
+    :attr:`forms`.
+    """
+
+    name = "app"
+
+    def __init__(self, database, send_external_ids=True, charset=None,
+                 magic_quotes=False):
+        self.database = database
+        self.php = PhpRuntime(
+            database,
+            self.name,
+            send_external_ids=send_external_ids,
+            charset=charset,
+        )
+        #: PHP's historical ``magic_quotes_gpc``: every request parameter
+        #: gets addslashes() applied before the handler sees it.  Kept for
+        #: fidelity experiments — it suffers exactly the weaknesses of
+        #: addslashes (GBK escape-eating, unicode confusables).
+        self.magic_quotes = magic_quotes
+        self._routes = {}
+        self.forms = []
+        self.register()
+        self.setup_schema()
+        self.seed_data()
+
+    # -- subclass surface ---------------------------------------------------
+
+    def register(self):
+        """Register routes and forms (subclasses override)."""
+
+    def setup_schema(self):
+        """Create tables (subclasses override)."""
+
+    def seed_data(self):
+        """Insert seed rows (subclasses override)."""
+
+    # -- routing --------------------------------------------------------------
+
+    def route(self, method, path, handler):
+        self._routes[(method.upper(), path)] = handler
+
+    def form(self, path, method, fields, label=None):
+        self.forms.append(FormSpec(path, method, fields, label))
+
+    def handle(self, request):
+        """Dispatch one request to its handler; 404 on unknown routes."""
+        handler = self._routes.get((request.method, request.path))
+        if handler is None:
+            return Response.not_found()
+        if self.magic_quotes:
+            from repro.web.http import Request
+            from repro.web.sanitize import addslashes
+
+            request = Request(
+                request.method,
+                request.path,
+                {name: addslashes(value)
+                 for name, value in request.params.items()},
+                cookies=request.cookies,
+                client=request.client,
+            )
+        return handler(request)
+
+    def routes(self):
+        return sorted(self._routes)
+
+    # -- helpers shared by the demo apps ----------------------------------------
+
+    def admin_seed(self, script):
+        """Seed data bypassing nothing — the script still flows through the
+        full DBMS pipeline (and trains SEPTIC if it is in training mode)."""
+        self.database.seed(script)
+
+    def render_rows(self, title, result_set):
+        """Tiny HTML rendering of a result set (enough for the demo to
+        observe attack output in the 'browser')."""
+        if result_set is None:
+            return "<h1>%s</h1><p>no results</p>" % title
+        rows = [
+            "<tr>%s</tr>"
+            % "".join("<td>%s</td>" % _cell(v) for v in row)
+            for row in result_set.rows
+        ]
+        return "<h1>%s</h1><table>%s</table>" % (title, "".join(rows))
+
+
+def _cell(value):
+    return "NULL" if value is None else str(value)

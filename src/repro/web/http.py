@@ -1,0 +1,75 @@
+"""Minimal HTTP request/response model.
+
+Requests carry parameters the way PHP sees them (``$_GET``/``$_POST``
+merged into the handler's view); the WAF inspects the same parameters
+the way ModSecurity sees them (raw, before the application decodes
+anything).
+"""
+
+import urllib.parse
+
+
+class Request(object):
+    """One HTTP request."""
+
+    __slots__ = ("method", "path", "params", "cookies", "client")
+
+    def __init__(self, method, path, params=None, cookies=None,
+                 client="127.0.0.1"):
+        self.method = method.upper()
+        self.path = path
+        #: parameter dict (string → string), like ``$_REQUEST``
+        self.params = dict(params or {})
+        self.cookies = dict(cookies or {})
+        self.client = client
+
+    @classmethod
+    def get(cls, path, params=None, **kwargs):
+        return cls("GET", path, params, **kwargs)
+
+    @classmethod
+    def post(cls, path, params=None, **kwargs):
+        return cls("POST", path, params, **kwargs)
+
+    def param(self, name, default=""):
+        """PHP-style access: absent parameters become the default (usually
+        the empty string), never an error."""
+        return self.params.get(name, default)
+
+    def query_string(self):
+        """URL-encoded rendering of the parameters (what a WAF sees on the
+        wire for GET requests)."""
+        return urllib.parse.urlencode(self.params)
+
+    def __repr__(self):
+        return "Request(%s %s %r)" % (self.method, self.path, self.params)
+
+
+class Response(object):
+    """One HTTP response."""
+
+    __slots__ = ("status", "body", "headers")
+
+    def __init__(self, body="", status=200, headers=None):
+        self.status = status
+        self.body = body
+        self.headers = dict(headers or {})
+
+    @classmethod
+    def forbidden(cls, reason="Forbidden"):
+        return cls(body=reason, status=403)
+
+    @classmethod
+    def error(cls, reason="Internal Server Error"):
+        return cls(body=reason, status=500)
+
+    @classmethod
+    def not_found(cls):
+        return cls(body="Not Found", status=404)
+
+    @property
+    def ok(self):
+        return 200 <= self.status < 300
+
+    def __repr__(self):
+        return "Response(%d, %d bytes)" % (self.status, len(self.body))

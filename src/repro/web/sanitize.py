@@ -1,0 +1,150 @@
+"""PHP sanitization functions, faithful weaknesses included.
+
+The demo's first phase shows that an application using these functions on
+*every* entry point is still attackable.  The functions below behave like
+their PHP originals — in particular:
+
+* :func:`mysql_real_escape_string` escapes the seven characters MySQL's C
+  API escapes and **nothing else**: unicode confusables (``U+02BC`` …)
+  pass through untouched, and values used in *numeric* context remain
+  injectable because no quote is needed there;
+* :func:`addslashes` is byte-blind: against a GBK connection its inserted
+  backslash is eaten by the multibyte decoder;
+* :func:`intval` stops at the first non-numeric character — safe for
+  numeric context, which is why the paper's apps are only vulnerable
+  where developers *believed* escaping was equivalent;
+* :func:`htmlspecialchars` (without ``ENT_QUOTES``) leaves single quotes
+  alone, a classic stored-XSS residue.
+"""
+
+_REAL_ESCAPE = {
+    "\0": "\\0",
+    "\n": "\\n",
+    "\r": "\\r",
+    "\\": "\\\\",
+    "'": "\\'",
+    '"': '\\"',
+    "\x1a": "\\Z",
+}
+
+
+def mysql_real_escape_string(value):
+    """PHP ``mysql_real_escape_string`` (ASCII-quote aware only)."""
+    return "".join(_REAL_ESCAPE.get(ch, ch) for ch in str(value))
+
+
+_ADDSLASHES = {
+    "'": "\\'",
+    '"': '\\"',
+    "\\": "\\\\",
+    "\0": "\\0",
+}
+
+
+def addslashes(value):
+    """PHP ``addslashes``."""
+    return "".join(_ADDSLASHES.get(ch, ch) for ch in str(value))
+
+
+_ASCII_DIGITS = frozenset("0123456789")
+
+
+def intval(value):
+    """PHP ``intval``: parse a leading ASCII integer, else 0.
+
+    ASCII only — ``str.isdigit`` would also accept unicode digits like
+    ``²`` that PHP (and ``int()``) reject.
+    """
+    text = str(value).strip()
+    sign = 1
+    i = 0
+    if i < len(text) and text[i] in "+-":
+        sign = -1 if text[i] == "-" else 1
+        i += 1
+    j = i
+    while j < len(text) and text[j] in _ASCII_DIGITS:
+        j += 1
+    if j == i:
+        return 0
+    return sign * int(text[i:j])
+
+
+def floatval(value):
+    """PHP ``floatval``: parse a leading float, else 0.0."""
+    import re
+
+    match = re.match(r"\s*[-+]?\d*\.?\d+(?:[eE][-+]?\d+)?", str(value))
+    return float(match.group(0)) if match else 0.0
+
+
+def is_numeric(value):
+    """PHP ``is_numeric``."""
+    text = str(value).strip()
+    if not text:
+        return False
+    try:
+        float(text)
+        return True
+    except ValueError:
+        if text.lower().startswith("0x"):
+            try:
+                int(text, 16)
+                return True
+            except ValueError:
+                return False
+        return False
+
+
+_HTML_BASE = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def htmlspecialchars(value, ent_quotes=False):
+    """PHP ``htmlspecialchars``; single quotes escaped only with
+    ``ENT_QUOTES`` (the default PHP flag set leaves them alone)."""
+    out = []
+    for ch in str(value):
+        if ch in _HTML_BASE:
+            out.append(_HTML_BASE[ch])
+        elif ch == "'" and ent_quotes:
+            out.append("&#039;")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def htmlentities(value, ent_quotes=False):
+    """PHP ``htmlentities`` (we only translate the special set — enough
+    for markup neutralization semantics)."""
+    return htmlspecialchars(value, ent_quotes)
+
+
+def strip_tags(value):
+    """PHP ``strip_tags``: drop anything between ``<`` and ``>``.
+
+    Keeps PHP's known blind spot: an unterminated ``<`` eats the rest of
+    the string, and attribute payloads inside allowed text survive.
+    """
+    out = []
+    depth = 0
+    for ch in str(value):
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            if depth:
+                depth -= 1
+        elif not depth:
+            out.append(ch)
+    return "".join(out)
+
+
+def quote_smart(value):
+    """The classic PHP cookbook helper: quote strings, pass numerics raw.
+
+    This is the *semantic mismatch in function form*: a "numeric-looking"
+    payload such as ``0 OR 1=1`` is not numeric so it gets quoted — but
+    ``intval``-less code paths that trust ``is_numeric`` will inline
+    values like ``0x35`` or ``1e309`` with surprising results.
+    """
+    if is_numeric(value):
+        return str(value)
+    return "'" + mysql_real_escape_string(value) + "'"

@@ -1,0 +1,37 @@
+"""The web server front door (the demo's Apache).
+
+A :class:`WebServer` wraps an application and optionally a WAF
+(ModSecurity): incoming requests are checked by the WAF *before* they
+reach the application — the placement the paper draws in Figure 6.
+"""
+
+from repro.web.http import Response
+
+
+class WebServer(object):
+    """Apache-alike: WAF first, application second."""
+
+    def __init__(self, app, waf=None):
+        self.app = app
+        self.waf = waf
+        self.requests_served = 0
+        self.requests_blocked = 0
+
+    def handle(self, request):
+        """Process one request, returning a :class:`Response`."""
+        self.requests_served += 1
+        if self.waf is not None and self.waf.enabled:
+            verdict = self.waf.evaluate(request)
+            if verdict.blocked:
+                self.requests_blocked += 1
+                return Response.forbidden(
+                    "Request blocked by %s (rule %s, score %d)"
+                    % (self.waf.name, verdict.rule_ids, verdict.score)
+                )
+        return self.app.handle(request)
+
+    def restart(self):
+        """The demo restarts Apache when toggling ModSecurity; restarting
+        only resets counters here (state lives in the app/database)."""
+        self.requests_served = 0
+        self.requests_blocked = 0

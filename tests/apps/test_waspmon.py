@@ -1,0 +1,174 @@
+"""Tests for the WaspMon demo application."""
+
+import hashlib
+
+import pytest
+
+from repro.apps.waspmon import WaspMon
+from repro.sqldb.engine import Database
+from repro.web.http import Request
+
+
+@pytest.fixture
+def app():
+    return WaspMon(Database())
+
+
+class TestBenignBehaviour(object):
+    def test_login_success(self, app):
+        response = app.handle(
+            Request.post("/login", {"username": "alice",
+                                    "password": "alicepw"})
+        )
+        assert response.ok and "Alice" in response.body
+
+    def test_login_failure(self, app):
+        response = app.handle(
+            Request.post("/login", {"username": "alice",
+                                    "password": "wrong"})
+        )
+        assert response.status == 401
+
+    def test_dashboard(self, app):
+        response = app.handle(Request.get("/"))
+        assert response.ok
+        assert "devices online" in response.body
+
+    def test_device_lookup_requires_correct_pin(self, app):
+        right = app.handle(Request.get(
+            "/device", {"serial": "WM-100-A", "pin": "1234"}
+        ))
+        wrong = app.handle(Request.get(
+            "/device", {"serial": "WM-100-A", "pin": "1111"}
+        ))
+        assert "WM-100-A" in right.body
+        assert "WM-100-A" not in wrong.body
+
+    def test_history(self, app):
+        response = app.handle(Request.get("/history",
+                                          {"serial": "WM-100-A"}))
+        assert response.ok and "120.5" in response.body
+
+    def test_history_scoped_to_device(self, app):
+        response = app.handle(Request.get("/history",
+                                          {"serial": "WM-100-A"}))
+        assert "7200" not in response.body  # bob's charger not included
+
+    def test_register_and_lookup_device(self, app):
+        app.handle(Request.post("/device/new", {
+            "serial": "WM-500-E", "pin": "2468",
+            "name": "pool pump", "location": "garden",
+        }))
+        response = app.handle(Request.get(
+            "/device", {"serial": "WM-500-E", "pin": "2468"}
+        ))
+        assert "WM-500-E" in response.body
+
+    def test_add_reading_then_history(self, app):
+        app.handle(Request.post("/reading", {
+            "serial": "WM-100-A", "watts": "321.5", "comment": "test",
+        }))
+        response = app.handle(Request.get("/history",
+                                          {"serial": "WM-100-A"}))
+        assert "321.5" in response.body
+
+    def test_search_range_and_sort(self, app):
+        response = app.handle(Request.get("/search", {
+            "min_watts": "0", "max_watts": "1000", "sort": "watts",
+        }))
+        assert response.ok
+
+    def test_update_notes(self, app):
+        response = app.handle(Request.post("/device/notes", {
+            "serial": "WM-100-A", "pin": "1234", "notes": "serviced",
+        }))
+        assert "1" in response.body
+
+    def test_update_notes_wrong_pin_noop(self, app):
+        response = app.handle(Request.post("/device/notes", {
+            "serial": "WM-100-A", "pin": "9", "notes": "hacked",
+        }))
+        assert "0" in response.body
+
+    def test_disconnect(self, app):
+        app.handle(Request.get("/device/disconnect", {"device_id": "1"}))
+        rows = app.database.table("devices").rows
+        assert rows[0]["connected"] == 0
+
+    def test_feedback_roundtrip(self, app):
+        app.handle(Request.post("/feedback", {
+            "author": "bob", "message": "nice work",
+        }))
+        listing = app.handle(Request.get("/feedback/list"))
+        assert "nice work" in listing.body
+
+    def test_benign_requests_all_succeed(self, app):
+        for request in app.benign_requests():
+            assert app.handle(request).status < 500
+
+
+class TestVulnerabilitiesWithoutSeptic(object):
+    """Every sanitized-yet-vulnerable handler is actually exploitable
+    (the premise of demo phase A)."""
+
+    def test_v2_numeric_context(self, app):
+        response = app.handle(Request.get(
+            "/device", {"serial": "x", "pin": "0 OR 1=1"}
+        ))
+        assert "WM-200-B" in response.body  # other people's devices
+
+    def test_v3_unicode_direct(self, app):
+        response = app.handle(Request.get(
+            "/history", {"serial": "xʼ OR ʼ1ʼ=ʼ1"}
+        ))
+        assert "7200" in response.body      # all readings dumped
+
+    def test_v3_ascii_quote_is_safe(self, app):
+        # the ASCII flavour IS stopped by the escaping
+        response = app.handle(Request.get(
+            "/history", {"serial": "x' OR '1'='1"}
+        ))
+        assert response.ok and "7200" not in response.body
+
+    def test_v4_gbk_escape_eating(self, app):
+        alice_hash = hashlib.md5(b"alicepw").hexdigest()
+        app.handle(Request.post("/feedback", {
+            "author": "eve",
+            "message": "¿'), (0x65, (SELECT password FROM users "
+                       "WHERE id = 1))-- ",
+        }))
+        rows = app.database.table("feedback").rows
+        assert any(row["message"] == alice_hash for row in rows)
+
+    def test_v5_stored_xss(self, app):
+        app.handle(Request.post("/reading", {
+            "serial": "WM-100-A", "watts": "1",
+            "comment": "<script>alert(1)</script>",
+        }))
+        response = app.handle(Request.get("/history",
+                                          {"serial": "WM-100-A"}))
+        assert "<script>" in response.body   # raw, executable
+
+    def test_v6_orderby_subquery_runs(self, app):
+        response = app.handle(Request.get("/search", {
+            "min_watts": "0", "max_watts": "10000",
+            "sort": "(SELECT 1)",
+        }))
+        assert response.ok
+
+
+class TestGbkVsUtf8Control(object):
+    def test_same_payload_is_harmless_on_utf8(self):
+        """Control: the V4 payload only works because of the GBK
+        connection; addslashes holds on a UTF-8 connection."""
+        app = WaspMon(Database())
+        app.php_gbk.connection.charset = "utf8_strict"
+        app.handle(Request.post("/feedback", {
+            "author": "eve",
+            "message": "¿'), (0x65, (SELECT password FROM users "
+                       "WHERE id = 1))-- ",
+        }))
+        rows = app.database.table("feedback").rows
+        # stored as literal text, no second row appeared
+        assert len(rows) == 1
+        assert "SELECT password" in rows[0]["message"]

@@ -1,0 +1,141 @@
+"""Tests for the three performance-evaluation applications."""
+
+import pytest
+
+from repro.apps import AddressBook, Refbase, ZeroCMS
+from repro.sqldb.engine import Database
+from repro.web.http import Request
+
+ALL_APPS = [AddressBook, Refbase, ZeroCMS]
+
+
+@pytest.mark.parametrize("app_class", ALL_APPS)
+class TestWorkloads(object):
+    def test_workload_sizes_match_paper(self, app_class):
+        # §II-F: Address Book 12 requests, refbase 14, ZeroCMS 26
+        expected = {"addressbook": 12, "refbase": 14, "zerocms": 26}
+        app = app_class(Database())
+        assert len(app.workload_requests()) == expected[app.name]
+
+    def test_workload_replays_cleanly(self, app_class):
+        app = app_class(Database())
+        for request in app.workload_requests():
+            response = app.handle(request)
+            assert response.status == 200, (request, response.body[:120])
+
+    def test_workload_loops(self, app_class):
+        app = app_class(Database())
+        for _ in range(3):
+            for request in app.workload_requests():
+                assert app.handle(request).status == 200
+
+    def test_workload_has_static_objects(self, app_class):
+        app = app_class(Database())
+        statics = [r for r in app.workload_requests()
+                   if r.path.startswith("/static/")]
+        assert statics, "the paper's workloads download web objects"
+
+
+class TestAddressBook(object):
+    def test_list_sorted_by_name(self):
+        app = AddressBook(Database())
+        response = app.handle(Request.get("/"))
+        assert response.body.index("Ann Smith") < \
+            response.body.index("Carl Jones")
+
+    def test_view_joins_group(self):
+        app = AddressBook(Database())
+        response = app.handle(Request.get("/view", {"id": "1"}))
+        assert "family" in response.body
+
+    def test_search_like(self):
+        app = AddressBook(Database())
+        response = app.handle(Request.get("/search", {"q": "smith"}))
+        assert "Ann Smith" in response.body
+        assert "Carl Jones" not in response.body
+
+    def test_add_then_visible(self):
+        app = AddressBook(Database())
+        app.handle(Request.post("/add", {
+            "name": "Zoe Park", "email": "z@e.com",
+            "phone": "555-0110", "group_id": "1",
+        }))
+        assert "Zoe Park" in app.handle(Request.get("/")).body
+
+    def test_edit_updates_phone(self):
+        app = AddressBook(Database())
+        app.handle(Request.post("/edit", {"id": "1", "phone": "999"}))
+        response = app.handle(Request.get("/view", {"id": "1"}))
+        assert "999" in response.body
+
+
+class TestRefbase(object):
+    def test_browse_ordered_by_year_desc(self):
+        app = Refbase(Database())
+        body = app.handle(Request.get("/")).body
+        assert body.index("2016") < body.index("2004")
+
+    def test_years_aggregation(self):
+        app = Refbase(Database())
+        response = app.handle(Request.get("/years"))
+        assert response.ok
+
+    def test_search_by_author_year(self):
+        app = Refbase(Database())
+        response = app.handle(Request.get(
+            "/search", {"author": "medeiros", "year": "2016"}
+        ))
+        assert "Hacking the DBMS" in response.body
+
+    def test_export_plain_text(self):
+        app = Refbase(Database())
+        response = app.handle(Request.get("/export", {"year": "2013"}))
+        assert "Diglossia" in response.body
+        assert response.headers["Content-Type"] == "text/plain"
+
+    def test_add_assigns_serial(self):
+        app = Refbase(Database())
+        response = app.handle(Request.post("/record/add", {
+            "author": "New, A.", "title": "T", "journal": "J",
+            "year": "2017",
+        }))
+        assert "record 6 added" in response.body
+
+
+class TestZeroCMS(object):
+    def test_article_increments_views(self):
+        app = ZeroCMS(Database())
+        before = app.database.table("articles").rows[0]["views"]
+        app.handle(Request.get("/article", {"id": "1"}))
+        after = app.database.table("articles").rows[0]["views"]
+        assert after == before + 1
+
+    def test_comment_insert_and_delete(self):
+        app = ZeroCMS(Database())
+        app.handle(Request.post("/comment", {
+            "article_id": "1", "author": "t", "body": "hello",
+        }))
+        assert len(app.database.table("comments")) == 4
+        app.handle(Request.post("/comment/delete", {"comment_id": "4"}))
+        assert len(app.database.table("comments")) == 3
+
+    def test_search_title_or_body(self):
+        app = ZeroCMS(Database())
+        response = app.handle(Request.get("/search", {"q": "lorem"}))
+        assert "Welcome" in response.body
+
+    def test_workload_covers_all_query_types(self):
+        """The paper: 'queries of several types (SELECT, UPDATE, INSERT
+        and DELETE)'."""
+        app = ZeroCMS(Database())
+        commands = set()
+        original = app.php.mysql_query
+
+        def spy(sql, site):
+            commands.add(sql.strip().split()[0].upper())
+            return original(sql, site)
+
+        app.php.mysql_query = spy
+        for request in app.workload_requests():
+            app.handle(request)
+        assert {"SELECT", "UPDATE", "INSERT", "DELETE"} <= commands

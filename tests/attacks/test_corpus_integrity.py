@@ -1,0 +1,98 @@
+"""Meta-tests over the attack corpus itself: coverage and consistency."""
+
+from repro.attacks.corpus import benign_cases, waspmon_attacks
+from repro.attacks.scenario import PROTECTIONS, build_scenario
+
+
+class TestCorpusIntegrity(object):
+    def test_names_unique(self):
+        names = [case.name for case in waspmon_attacks()]
+        assert len(names) == len(set(names))
+
+    def test_descriptions_non_trivial(self):
+        for case in waspmon_attacks():
+            assert len(case.description) > 30, case.name
+
+    def test_every_mismatch_channel_covered(self):
+        channels = {case.channel for case in waspmon_attacks()}
+        for needed in ("second-order", "numeric-context", "unicode",
+                       "gbk", "identifier-context", "stored", "classic"):
+            assert any(needed in channel for channel in channels), needed
+
+    def test_every_paper_stored_class_covered(self):
+        categories = {case.category for case in waspmon_attacks()}
+        assert {"STORED_XSS", "STORED_RFI", "STORED_LFI", "STORED_OSCI",
+                "STORED_RCE"} <= categories
+
+    def test_requests_target_declared_routes(self):
+        scenario = build_scenario("none")
+        routes = set(scenario.app.routes())
+        for case in waspmon_attacks():
+            for item in case.requests:
+                request = item(scenario.app) if callable(item) else item
+                assert (request.method, request.path) in routes, case.name
+
+    def test_expected_detections_annotated(self):
+        annotated = [case for case in waspmon_attacks()
+                     if case.expected_detection is not None]
+        assert len(annotated) >= 17
+
+    def test_benign_cases_cover_every_benign_request(self):
+        scenario = build_scenario("none")
+        cases = benign_cases(scenario.app)
+        assert len(cases) == len(scenario.app.benign_requests())
+
+
+class TestScenarioBuilder(object):
+    def test_all_protections_buildable(self):
+        for protection in PROTECTIONS:
+            scenario = build_scenario(protection)
+            assert scenario.protection == protection
+            assert scenario.app.handle(
+                scenario.app.benign_requests()[1]
+            ).status == 200
+
+    def test_unknown_protection_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            build_scenario("tinfoil")
+
+    def test_database_contents_comparable_across_scenarios(self):
+        """All scenarios warm the app identically, so oracles measure the
+        protection, not divergent data."""
+        counts = {}
+        for protection in ("none", "modsec", "septic"):
+            scenario = build_scenario(protection)
+            counts[protection] = {
+                name: len(table)
+                for name, table in scenario.database.tables.items()
+            }
+        assert counts["none"] == counts["modsec"] == counts["septic"]
+
+    def test_septic_mode_configurable(self):
+        from repro.core.septic import Mode
+
+        scenario = build_scenario("septic", septic_mode=Mode.DETECTION)
+        assert scenario.septic.mode == Mode.DETECTION
+
+
+class TestDefenseInDepthComposition(object):
+    """WAF + SEPTIC + query digest, all at once: every layer keeps its
+    role, nothing shadows anything."""
+
+    def test_three_layers_compose(self):
+        from repro.attacks.corpus import run_case
+        from repro.waf.digest import QueryDigest
+
+        scenario = build_scenario("septic+modsec")
+        digest = QueryDigest(scenario.database)
+        outcomes = [run_case(scenario.server, scenario.app, case)
+                    for case in waspmon_attacks()]
+        assert not any(o.succeeded for o in outcomes)
+        assert any(o.waf_blocked for o in outcomes)
+        assert any(o.septic_blocked for o in outcomes)
+        assert len(digest) > 0   # the digest saw the queries that got past
+        # benign traffic still flows through all three layers
+        for request in scenario.app.benign_requests():
+            assert scenario.server.handle(request).status == 200

@@ -1,0 +1,97 @@
+"""Integration tests: the GreenSQL-style SQL proxy deployment.
+
+The paper's related-work argument (§I, §II-B): protection components
+*between* the application and the DBMS fingerprint queries before the
+DBMS decodes them, so decoding-dependent attacks and data-only (stored)
+attacks pass.  SEPTIC, inside the DBMS, sees the decoded query.
+"""
+
+import pytest
+
+from repro.attacks.corpus import benign_cases, run_case, waspmon_attacks
+from repro.attacks.scenario import build_scenario
+
+#: attacks whose query text structurally changes BEFORE any decoding —
+#: the proxy catches these
+TEXT_LEVEL = {
+    "second_order_unicode",       # stage-1 INSERT text changes shape
+    "second_order_classic",
+    "numeric_tautology",
+    "numeric_tautology_evasive",
+    "numeric_union_dump",
+    "numeric_piggyback",
+    "numeric_sleep_blind",
+    "numeric_sleep_evasive",
+    "orderby_blind",
+}
+
+#: attacks invisible to a pre-decoding fingerprint: unicode/GBK channels
+#: (the quote is literal content to the proxy) and stored injection
+#: (pure data, shape unchanged)
+DECODE_OR_DATA_LEVEL = {
+    "unicode_tautology",
+    "unicode_mimicry",
+    "unicode_union",
+    "gbk_exfiltration",
+    "stored_xss_script",
+    "stored_xss_evasive",
+    "stored_rfi",
+    "stored_lfi",
+    "stored_osci",
+    "stored_rce_php",
+    "stored_rce_serialized",
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    scenario = build_scenario("dbfirewall")
+    outcomes = {
+        case.name: run_case(scenario.server, scenario.app, case)
+        for case in waspmon_attacks()
+    }
+    return scenario, outcomes
+
+
+class TestDbFirewallScenario(object):
+    def test_text_level_attacks_blocked(self, results):
+        _, outcomes = results
+        for name in TEXT_LEVEL:
+            assert outcomes[name].firewall_blocked, name
+
+    def test_decode_and_data_level_attacks_pass(self, results):
+        _, outcomes = results
+        for name in DECODE_OR_DATA_LEVEL:
+            outcome = outcomes[name]
+            assert not outcome.firewall_blocked, name
+            assert outcome.succeeded, name
+
+    def test_firewall_strictly_weaker_than_septic(self, results):
+        _, fw_outcomes = results
+        scenario = build_scenario("septic")
+        septic_outcomes = {
+            case.name: run_case(scenario.server, scenario.app, case)
+            for case in waspmon_attacks()
+        }
+        fw_missed = {n for n, o in fw_outcomes.items() if o.succeeded}
+        septic_missed = {n for n, o in septic_outcomes.items()
+                         if o.succeeded}
+        assert septic_missed == set()
+        assert len(fw_missed) >= 10
+
+    def test_no_false_positives_on_benign(self, results):
+        scenario, _ = results
+        for case in benign_cases(scenario.app):
+            outcome = run_case(scenario.server, scenario.app, case)
+            assert outcome.succeeded and not outcome.blocked, case.name
+
+    def test_proxies_interposed_on_every_runtime(self, results):
+        scenario, _ = results
+        # WaspMon has two connectors (utf8 + legacy GBK); both proxied
+        assert len(scenario.firewalls) == 2
+        assert all(fw.mode == "ENFORCING" for fw in scenario.firewalls)
+
+    def test_firewall_learned_the_workload(self, results):
+        scenario, _ = results
+        assert sum(len(fw) for fw in scenario.firewalls) >= 12
+        assert all(fw.queries_seen > 0 for fw in scenario.firewalls)

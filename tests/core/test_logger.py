@@ -1,0 +1,72 @@
+"""Tests for the logger / event register."""
+
+from repro.core.logger import EventKind, EventRecord, SepticLogger
+
+
+class TestLogger(object):
+    def test_significant_events_always_recorded(self):
+        logger = SepticLogger(verbose=False)
+        logger.log(EventKind.ATTACK_DETECTED, query="q")
+        logger.log(EventKind.QM_CREATED, query="q")
+        logger.log(EventKind.QUERY_DROPPED, query="q")
+        logger.log(EventKind.MODE_CHANGED, detail="x")
+        assert len(logger) == 4
+
+    def test_verbose_off_drops_chatter(self):
+        logger = SepticLogger(verbose=False)
+        logger.log(EventKind.QS_BUILT)
+        logger.log(EventKind.ID_GENERATED)
+        logger.log(EventKind.QUERY_EXECUTED)
+        assert len(logger) == 0
+
+    def test_verbose_on_records_everything(self):
+        logger = SepticLogger(verbose=True)
+        logger.log(EventKind.QS_BUILT)
+        logger.log(EventKind.QUERY_EXECUTED)
+        assert len(logger) == 2
+
+    def test_sequence_monotonic_even_when_skipped(self):
+        logger = SepticLogger(verbose=False)
+        logger.log(EventKind.QS_BUILT)           # skipped, still counted
+        record = logger.log(EventKind.ATTACK_DETECTED)
+        assert record.sequence == 2
+
+    def test_accessors(self):
+        logger = SepticLogger()
+        logger.log(EventKind.ATTACK_DETECTED, attack_type="SQLI", step=1)
+        logger.log(EventKind.QM_CREATED)
+        logger.log(EventKind.QUERY_DROPPED)
+        assert len(logger.attacks) == 1
+        assert len(logger.new_models) == 1
+        assert len(logger.drops) == 1
+
+    def test_sink_receives_formatted_lines(self):
+        lines = []
+        logger = SepticLogger(verbose=True, sink=lines.append)
+        logger.log(EventKind.ATTACK_DETECTED, attack_type="SQLI", step=2,
+                   query_id="id9", detail="node 5 mismatch")
+        assert len(lines) == 1
+        assert "ATTACK_DETECTED" in lines[0]
+        assert "syntactical" in lines[0]
+        assert "id9" in lines[0]
+
+    def test_format_structural_label(self):
+        record = EventRecord(EventKind.ATTACK_DETECTED, step=1, sequence=1)
+        assert "structural" in record.format()
+
+    def test_long_query_truncated_in_format(self):
+        record = EventRecord(EventKind.ATTACK_DETECTED, query="x" * 500,
+                             sequence=1)
+        assert len(record.format()) < 250
+
+    def test_max_events_bounds_memory(self):
+        logger = SepticLogger(verbose=True, max_events=5)
+        for _ in range(10):
+            logger.log(EventKind.QM_CREATED)
+        assert len(logger.events) == 5
+
+    def test_clear(self):
+        logger = SepticLogger()
+        logger.log(EventKind.QM_CREATED)
+        logger.clear()
+        assert len(logger) == 0

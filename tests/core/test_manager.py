@@ -1,0 +1,72 @@
+"""Tests for the QS&QM manager module (Figure 1)."""
+
+from repro.core.manager import QSQMManager
+from repro.sqldb.engine import Database, QueryContext
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+
+
+def context_for(sql, comments=()):
+    stmt = parse_one(sql)
+    stack = validate(stmt)
+    return QueryContext(sql, stmt, stack, list(comments), None)
+
+
+class TestReceive(object):
+    def test_builds_structure_and_model(self):
+        manager = QSQMManager()
+        lookup = manager.receive(
+            context_for("SELECT a FROM t WHERE b = 1")
+        )
+        assert len(lookup.structure) == len(lookup.model_of_query) == 5
+        assert lookup.query_id.internal
+        assert not lookup.known
+
+    def test_exact_hit_after_learning(self):
+        manager = QSQMManager()
+        first = manager.receive(context_for("SELECT a FROM t WHERE b = 1"))
+        assert manager.learn(first)
+        second = manager.receive(
+            context_for("SELECT a FROM t WHERE b = 999")
+        )
+        assert second.known
+        assert second.model == first.model_of_query
+
+    def test_learning_is_idempotent(self):
+        manager = QSQMManager()
+        lookup = manager.receive(context_for("SELECT 1 FROM t"))
+        assert manager.learn(lookup)
+        assert not manager.learn(lookup)
+        assert len(manager.store) == 1
+
+    def test_candidates_surface_on_structural_miss(self):
+        manager = QSQMManager()
+        trained = manager.receive(
+            context_for("SELECT a FROM t WHERE b = 1", ["septic:site"])
+        )
+        manager.learn(trained)
+        mutated = manager.receive(
+            context_for("SELECT a FROM t WHERE b = 1 OR 1=1",
+                        ["septic:site"])
+        )
+        assert not mutated.known
+        assert mutated.candidates == [trained.model_of_query]
+
+    def test_no_candidates_without_external_id(self):
+        manager = QSQMManager()
+        trained = manager.receive(
+            context_for("SELECT a FROM t WHERE b = 1")
+        )
+        manager.learn(trained)
+        mutated = manager.receive(
+            context_for("SELECT a FROM t WHERE b = 1 OR 1=1")
+        )
+        assert not mutated.known
+        assert mutated.candidates == []
+
+    def test_septic_exposes_manager_collaborators(self):
+        from repro.core.septic import Septic
+
+        septic = Septic()
+        assert septic.store is septic.manager.store
+        assert septic.id_generator is septic.manager.id_generator

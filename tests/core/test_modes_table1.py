@@ -1,0 +1,164 @@
+"""Table I — operation modes and the actions SEPTIC takes.
+
+The paper's Table I::
+
+              | Query model      | Attack detection      | Query
+              | T   I   Log      | SQLI  StoredInj  Log  | Drop  Exec
+   Training   | x       x        |                       |        x
+   Prevention |     x   x        | x     x          x    | x
+   Detection  |     x   x        | x     x          x    |        x
+
+Each test pins one cell of that matrix.
+"""
+
+import pytest
+
+from repro.core.logger import EventKind, SepticLogger
+from repro.core.septic import Mode, Septic
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+
+SCHEMA = """
+CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, name VARCHAR(40),
+                val INT);
+INSERT INTO t (name, val) VALUES ('a', 1);
+"""
+
+TRAINED = "/* septic:site:1 */ SELECT * FROM t WHERE name = '%s' AND val = %s"
+SQLI_ATTACK = TRAINED % ("a' OR 1=1-- ", "0")
+STORED_ATTACK = (
+    "/* septic:site:2 */ INSERT INTO t (name, val) "
+    "VALUES ('<script>alert(1)</script>', 1)"
+)
+TRAINED_INSERT = "/* septic:site:2 */ INSERT INTO t (name, val) " \
+                 "VALUES ('%s', %s)"
+
+
+@pytest.fixture
+def stack():
+    septic = Septic(mode=Mode.TRAINING, logger=SepticLogger(verbose=True))
+    database = Database(septic=septic)
+    database.seed(SCHEMA)
+    connection = Connection(database)
+    return septic, database, connection
+
+
+def train(septic, connection):
+    connection.query(TRAINED % ("a", "1"))
+    connection.query(TRAINED_INSERT % ("b", "2"))
+
+
+class TestTrainingMode(object):
+    def test_learns_and_logs_models(self, stack):
+        septic, _, connection = stack
+        before = len(septic.store)
+        train(septic, connection)
+        assert len(septic.store) == before + 2       # QM column: T
+        assert septic.logger.new_models               # Log column
+
+    def test_no_detection(self, stack):
+        septic, _, connection = stack
+        train(septic, connection)
+        outcome = connection.query(SQLI_ATTACK)
+        assert outcome.ok                             # no Drop
+        assert septic.stats.attacks_detected == 0     # no detection
+
+    def test_query_executes(self, stack):
+        septic, database, connection = stack
+        outcome = connection.query(TRAINED % ("a", "1"))
+        assert outcome.ok and len(outcome.rows) == 1  # Exec column
+
+    def test_duplicate_query_single_model(self, stack):
+        septic, _, connection = stack
+        train(septic, connection)
+        count = len(septic.store)
+        train(septic, connection)                     # same queries again
+        assert len(septic.store) == count
+
+
+class TestPreventionMode(object):
+    def test_sqli_detected_logged_dropped(self, stack):
+        septic, _, connection = stack
+        train(septic, connection)
+        septic.mode = Mode.PREVENTION
+        outcome = connection.query(SQLI_ATTACK)
+        assert not outcome.ok                         # Drop column
+        assert septic.stats.attacks_detected == 1     # SQLI column
+        assert septic.logger.attacks                  # Log column
+        assert septic.logger.drops
+
+    def test_stored_injection_detected_dropped(self, stack):
+        septic, database, connection = stack
+        train(septic, connection)
+        septic.mode = Mode.PREVENTION
+        outcome = connection.query(STORED_ATTACK)
+        assert not outcome.ok                         # StoredInj + Drop
+        rows = database.table("t").rows
+        assert not any("script" in (r["name"] or "") for r in rows)
+
+    def test_dropped_query_not_executed(self, stack):
+        septic, database, connection = stack
+        train(septic, connection)
+        septic.mode = Mode.PREVENTION
+        executed_before = database.statements_executed
+        connection.query(SQLI_ATTACK)
+        assert database.statements_executed == executed_before
+
+    def test_benign_executes(self, stack):
+        septic, _, connection = stack
+        train(septic, connection)
+        septic.mode = Mode.PREVENTION
+        assert connection.query(TRAINED % ("zzz", "9")).ok
+
+    def test_incremental_learning(self, stack):
+        septic, _, connection = stack
+        train(septic, connection)
+        septic.mode = Mode.PREVENTION
+        before = len(septic.store)
+        outcome = connection.query(
+            "/* septic:site:99 */ SELECT COUNT(*) FROM t"
+        )
+        assert outcome.ok
+        assert len(septic.store) == before + 1        # QM column: I
+        assert septic.logger.new_models[-1].detail == "incremental"
+
+
+class TestDetectionMode(object):
+    def test_attack_logged_but_executed(self, stack):
+        septic, database, connection = stack
+        train(septic, connection)
+        septic.mode = Mode.DETECTION
+        outcome = connection.query(SQLI_ATTACK)
+        assert outcome.ok                             # Exec column
+        assert len(outcome.rows) == 2                 # tautology dumped all
+        assert septic.stats.attacks_detected == 1     # SQLI + Log
+        assert septic.stats.queries_dropped == 0      # no Drop
+
+    def test_stored_attack_executes_but_logged(self, stack):
+        septic, database, connection = stack
+        train(septic, connection)
+        septic.mode = Mode.DETECTION
+        outcome = connection.query(STORED_ATTACK)
+        assert outcome.ok
+        assert septic.logger.attacks
+
+    def test_incremental_learning_also_active(self, stack):
+        septic, _, connection = stack
+        train(septic, connection)
+        septic.mode = Mode.DETECTION
+        before = len(septic.store)
+        connection.query("/* septic:site:42 */ SELECT MAX(val) FROM t")
+        assert len(septic.store) == before + 1
+
+
+class TestModeManagement(object):
+    def test_invalid_mode_rejected(self, stack):
+        septic, _, _ = stack
+        with pytest.raises(ValueError):
+            septic.mode = "PARANOID"
+
+    def test_mode_change_logged(self, stack):
+        septic, _, _ = stack
+        septic.mode = Mode.PREVENTION
+        changes = septic.logger.by_kind(EventKind.MODE_CHANGED)
+        assert changes and "PREVENTION" in changes[-1].detail

@@ -1,0 +1,128 @@
+"""Pin the paper's figures exactly (experiments E2–E4).
+
+Each test reproduces one figure of the paper end to end — from the SQL
+text through decoding, parsing, validation, QS/QM construction and the
+detection algorithm — and asserts the artefact the paper prints.
+"""
+
+from repro.core.detector import AttackDetector
+from repro.core.query_model import BOTTOM, QueryModel
+from repro.core.query_structure import QueryStructure
+from repro.sqldb.charset import decode_query
+from repro.sqldb.items import ItemKind
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+
+TICKET_SQL = ("SELECT * FROM tickets WHERE reservID = 'ID34FG' "
+              "AND creditCard = 1234")
+
+
+def qs_of(sql, catalog=None):
+    return QueryStructure.from_stack(
+        validate(parse_one(decode_query(sql)), catalog)
+    )
+
+
+class TestFigure2(object):
+    """QS and QM of the ticket query."""
+
+    def test_qs_nodes_bottom_to_top(self, db):
+        qs = qs_of(TICKET_SQL, db.tables)
+        assert [(n.kind, n.value) for n in qs] == [
+            (ItemKind.FROM_TABLE, "tickets"),
+            (ItemKind.SELECT_FIELD, "*"),
+            (ItemKind.FIELD_ITEM, "reservid"),
+            (ItemKind.STRING_ITEM, "ID34FG"),
+            (ItemKind.FUNC_ITEM, "="),
+            (ItemKind.FIELD_ITEM, "creditcard"),
+            (ItemKind.INT_ITEM, 1234),
+            (ItemKind.FUNC_ITEM, "="),
+            (ItemKind.COND_ITEM, "AND"),
+        ]
+
+    def test_qm_replaces_data_with_bottom(self, db):
+        qm = QueryModel.from_structure(qs_of(TICKET_SQL, db.tables))
+        assert qm[3].kind == ItemKind.STRING_ITEM
+        assert qm[3].value is BOTTOM
+        assert qm[6].kind == ItemKind.INT_ITEM
+        assert qm[6].value is BOTTOM
+        # element nodes keep their data
+        assert qm[2].value == "reservid"
+        assert qm[8].value == "AND"
+
+    def test_rendering_matches_paper_layout(self, db):
+        qs = qs_of(TICKET_SQL, db.tables)
+        lines = qs.render().splitlines()
+        # the paper prints top of stack first: COND_ITEM AND on top,
+        # FROM_TABLE tickets at the bottom
+        assert lines[0].split() == ["COND_ITEM", "AND"]
+        assert lines[-1].split() == ["FROM_TABLE", "tickets"]
+
+
+class TestFigure3(object):
+    """Second-order attack: ID34FG'-- via U+02BC; structural detection."""
+
+    ATTACK_SQL = ("SELECT * FROM tickets WHERE reservID = 'ID34FGʼ-- ' "
+                  "AND creditCard = 0")
+
+    def test_decoding_rewrites_the_query(self):
+        decoded = decode_query(self.ATTACK_SQL)
+        assert "ID34FG'-- " in decoded
+
+    def test_attack_qs_is_figure3(self, db):
+        qs = qs_of(self.ATTACK_SQL, db.tables)
+        assert [(n.kind, n.value) for n in qs] == [
+            (ItemKind.FROM_TABLE, "tickets"),
+            (ItemKind.SELECT_FIELD, "*"),
+            (ItemKind.FIELD_ITEM, "reservid"),
+            (ItemKind.STRING_ITEM, "ID34FG"),
+            (ItemKind.FUNC_ITEM, "="),
+        ]
+
+    def test_detected_in_step_1(self, db):
+        qm = QueryModel.from_structure(qs_of(TICKET_SQL, db.tables))
+        detection = AttackDetector().detect_sqli(
+            qs_of(self.ATTACK_SQL, db.tables), qm
+        )
+        assert detection.is_attack
+        assert detection.step == 1
+        assert "5" in detection.detail and "9" in detection.detail
+
+
+class TestFigure4(object):
+    """Syntax mimicry: ID34FG' AND 1=1-- ; syntactical detection."""
+
+    ATTACK_SQL = ("SELECT * FROM tickets WHERE reservID = "
+                  "'ID34FGʼ AND 1=1-- ' AND creditCard = 0")
+
+    def test_attack_qs_is_figure4(self, db):
+        qs = qs_of(self.ATTACK_SQL, db.tables)
+        assert [(n.kind, n.value) for n in qs] == [
+            (ItemKind.FROM_TABLE, "tickets"),
+            (ItemKind.SELECT_FIELD, "*"),
+            (ItemKind.FIELD_ITEM, "reservid"),
+            (ItemKind.STRING_ITEM, "ID34FG"),
+            (ItemKind.FUNC_ITEM, "="),
+            (ItemKind.INT_ITEM, 1),
+            (ItemKind.INT_ITEM, 1),
+            (ItemKind.FUNC_ITEM, "="),
+            (ItemKind.COND_ITEM, "AND"),
+        ]
+
+    def test_node_counts_equal(self, db):
+        qm = QueryModel.from_structure(qs_of(TICKET_SQL, db.tables))
+        qs = qs_of(self.ATTACK_SQL, db.tables)
+        assert len(qs) == len(qm) == 9
+
+    def test_detected_in_step_2_at_node_5(self, db):
+        qm = QueryModel.from_structure(qs_of(TICKET_SQL, db.tables))
+        detection = AttackDetector().detect_sqli(
+            qs_of(self.ATTACK_SQL, db.tables), qm
+        )
+        assert detection.is_attack
+        assert detection.step == 2
+        # the paper: <INT_ITEM, 1> from QS does not match
+        # <FIELD_ITEM, creditCard> from QM (fourth row top-down = node 5)
+        assert "node 5" in detection.detail
+        assert "INT_ITEM" in detection.detail
+        assert "creditcard" in detection.detail

@@ -1,0 +1,111 @@
+"""Tests for QS construction and QM abstraction."""
+
+from repro.core.query_model import BOTTOM, QueryModel, _Bottom
+from repro.core.query_structure import QueryStructure
+from repro.sqldb.items import Item, ItemKind
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+
+
+def qs_of(sql, catalog=None):
+    return QueryStructure.from_stack(validate(parse_one(sql), catalog))
+
+
+class TestQueryStructure(object):
+    def test_from_stack_copies_items(self, db):
+        stack = validate(parse_one("SELECT * FROM tickets"), db.tables)
+        qs = QueryStructure.from_stack(stack)
+        assert list(qs) == stack
+        assert qs[0] is not stack[0]  # a copy, not MySQL's own stack
+
+    def test_len_and_indexing(self):
+        qs = qs_of("SELECT a FROM t WHERE a = 1")
+        assert len(qs) == 5
+        assert qs[0].kind == ItemKind.FROM_TABLE
+
+    def test_data_nodes(self):
+        qs = qs_of("SELECT * FROM t WHERE a = 1 AND b = 'x'")
+        data = qs.data_nodes()
+        assert [(n.kind, n.value) for n in data] == [
+            (ItemKind.INT_ITEM, 1), (ItemKind.STRING_ITEM, "x"),
+        ]
+
+    def test_command_detection(self):
+        assert qs_of("SELECT * FROM t").command() == "SELECT"
+        assert qs_of("INSERT INTO t (a) VALUES (1)").command() == "INSERT"
+        assert qs_of("UPDATE t SET a = 1").command() == "UPDATE"
+        assert qs_of("DELETE FROM t").command() == "DELETE"
+
+    def test_tables(self):
+        qs = qs_of("SELECT * FROM a JOIN b ON a.x = b.x")
+        assert qs.tables() == ["a", "b"]
+
+    def test_render_top_of_stack_first(self):
+        qs = qs_of("SELECT * FROM t WHERE a = 1")
+        lines = qs.render().splitlines()
+        assert lines[0].startswith("FUNC_ITEM")
+        assert lines[-1].startswith("FROM_TABLE")
+
+    def test_equality(self):
+        assert qs_of("SELECT a FROM t") == qs_of("SELECT a FROM t")
+        assert qs_of("SELECT a FROM t") != qs_of("SELECT b FROM t")
+
+
+class TestQueryModel(object):
+    def test_data_replaced_by_bottom(self):
+        qs = qs_of("SELECT * FROM t WHERE a = 'secret' AND b = 42")
+        qm = QueryModel.from_structure(qs)
+        for node in qm:
+            if node.kind in (ItemKind.STRING_ITEM, ItemKind.INT_ITEM):
+                assert node.value is BOTTOM
+        assert "secret" not in qm.canonical()
+
+    def test_element_nodes_keep_values(self):
+        qs = qs_of("SELECT * FROM t WHERE a = 1")
+        qm = QueryModel.from_structure(qs)
+        assert qm[2] == Item(ItemKind.FIELD_ITEM, "a")
+
+    def test_same_length_as_structure(self):
+        qs = qs_of("SELECT a, b FROM t WHERE a IN (1,2,3)")
+        assert len(QueryModel.from_structure(qs)) == len(qs)
+
+    def test_bottom_is_singleton(self):
+        assert _Bottom() is BOTTOM
+        assert repr(BOTTOM) == "⊥"
+
+    def test_bottom_not_equal_to_values(self):
+        assert BOTTOM != "⊥"
+        assert BOTTOM != 0
+        assert BOTTOM is not None
+
+    def test_models_of_different_data_equal(self):
+        a = QueryModel.from_structure(qs_of("SELECT * FROM t WHERE a = 1"))
+        b = QueryModel.from_structure(qs_of("SELECT * FROM t WHERE a = 99"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_models_of_different_types_differ(self):
+        a = QueryModel.from_structure(qs_of("SELECT * FROM t WHERE a = 1"))
+        b = QueryModel.from_structure(qs_of("SELECT * FROM t WHERE a = 'x'"))
+        assert a != b
+
+    def test_serialization_roundtrip(self):
+        qm = QueryModel.from_structure(
+            qs_of("SELECT a FROM t WHERE b = 'x' AND c = 2.5")
+        )
+        assert QueryModel.from_dict(qm.to_dict()) == qm
+
+    def test_serialization_preserves_bottom_identity(self):
+        qm = QueryModel.from_structure(qs_of("SELECT * FROM t WHERE a = 1"))
+        loaded = QueryModel.from_dict(qm.to_dict())
+        data_nodes = [n for n in loaded if n.kind == ItemKind.INT_ITEM]
+        assert data_nodes[0].value is BOTTOM
+
+    def test_canonical_stable(self):
+        qm = QueryModel.from_structure(qs_of("SELECT a FROM t"))
+        assert qm.canonical() == qm.canonical()
+        assert "FROM_TABLE=t" in qm.canonical()
+
+    def test_render_shows_bottom(self):
+        qm = QueryModel.from_structure(qs_of("SELECT * FROM t WHERE a=1"))
+        assert "⊥" in qm.render()

@@ -1,0 +1,161 @@
+"""End-to-end tests for the SEPTIC facade."""
+
+import pytest
+
+from repro.core.logger import SepticLogger
+from repro.core.septic import Mode, Septic, SepticConfig
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+from tests.conftest import TICKET_QUERY, TICKETS_SCHEMA
+
+
+class TestConfigFlags(object):
+    def test_from_flags(self):
+        config = SepticConfig.from_flags("YN")
+        assert config.detect_sqli and not config.detect_stored
+        assert config.flags == "YN"
+
+    def test_from_flags_lowercase(self):
+        assert SepticConfig.from_flags("ny").flags == "NY"
+
+    @pytest.mark.parametrize("bad", ["Y", "YYY", "AB", ""])
+    def test_invalid_flags(self, bad):
+        with pytest.raises(ValueError):
+            SepticConfig.from_flags(bad)
+
+    def test_defaults(self):
+        config = SepticConfig()
+        assert config.flags == "YY"
+        assert config.incremental_learning
+
+
+class TestDetectionPaths(object):
+    def test_attack_detected_via_exact_model(self, septic_db):
+        septic, _, conn = septic_db
+        outcome = conn.query(TICKET_QUERY % ("x' AND 1=1-- ", "0"))
+        assert not outcome.ok
+        assert septic.stats.sqli_detected == 1
+
+    def test_attack_detected_via_call_site_candidates(self, septic_db):
+        septic, _, conn = septic_db
+        # the structural change means the exact full ID misses; the
+        # external identifier routes to the trained call-site models
+        outcome = conn.query(TICKET_QUERY % ("x'-- ", "0"))
+        assert not outcome.ok
+
+    def test_attack_without_external_id_learned_for_review(self):
+        septic = Septic(mode=Mode.TRAINING)
+        database = Database(septic=septic)
+        database.seed(TICKETS_SCHEMA)
+        conn = Connection(database)
+        conn.query("SELECT * FROM tickets WHERE reservID = 'a'")
+        septic.mode = Mode.PREVENTION
+        before = len(septic.store)
+        # mutated query, no call-site comment: SEPTIC cannot attribute it
+        # to a known model, so it is learned incrementally and flagged
+        outcome = conn.query(
+            "SELECT * FROM tickets WHERE reservID = 'a' OR 1=1"
+        )
+        assert outcome.ok
+        assert len(septic.store) == before + 1
+        assert septic.stats.unknown_queries == 1
+
+    def test_incremental_learning_can_be_disabled(self):
+        septic = Septic(
+            mode=Mode.PREVENTION,
+            config=SepticConfig(incremental_learning=False),
+        )
+        database = Database(septic=septic)
+        database.seed(TICKETS_SCHEMA)
+        conn = Connection(database)
+        before = len(septic.store)
+        assert conn.query("SELECT COUNT(*) FROM tickets").ok
+        assert len(septic.store) == before
+
+    def test_sqli_detection_disabled(self, septic_db):
+        septic, _, conn = septic_db
+        septic.config.detect_sqli = False
+        outcome = conn.query(TICKET_QUERY % ("x' AND 1=1-- ", "0"))
+        assert outcome.ok  # nothing watches the structure
+
+    def test_stored_detection_disabled(self):
+        septic = Septic(mode=Mode.PREVENTION,
+                        config=SepticConfig.from_flags("YN"))
+        database = Database(septic=septic)
+        database.seed(TICKETS_SCHEMA)
+        conn = Connection(database)
+        outcome = conn.query(
+            "INSERT INTO tickets (reservID, creditCard) "
+            "VALUES ('<script>x</script>', 1)"
+        )
+        assert outcome.ok
+
+    def test_stored_detection_runs_even_without_model(self):
+        septic = Septic(mode=Mode.PREVENTION)
+        database = Database(septic=septic)
+        database.seed(TICKETS_SCHEMA)
+        conn = Connection(database)
+        outcome = conn.query(
+            "INSERT INTO tickets (reservID, creditCard) "
+            "VALUES ('<script>x</script>', 1)"
+        )
+        assert not outcome.ok
+
+    def test_malicious_unknown_query_not_learned(self):
+        septic = Septic(mode=Mode.PREVENTION)
+        database = Database(septic=septic)
+        database.seed(TICKETS_SCHEMA)
+        conn = Connection(database)
+        before = len(septic.store)
+        conn.query(
+            "INSERT INTO tickets (reservID, creditCard) "
+            "VALUES ('<script>x</script>', 1)"
+        )
+        assert len(septic.store) == before
+
+
+class TestStats(object):
+    def test_counters(self, septic_db):
+        septic, _, conn = septic_db
+        base = septic.stats.queries_processed
+        conn.query(TICKET_QUERY % ("ok", "1"))
+        conn.query(TICKET_QUERY % ("x' AND 1=1-- ", "0"))
+        stats = septic.stats.as_dict()
+        assert stats["queries_processed"] == base + 2
+        assert stats["attacks_detected"] == 1
+        assert stats["queries_dropped"] == 1
+
+    def test_blocked_record_attached_to_error(self, septic_db):
+        septic, _, conn = septic_db
+        outcome = conn.query(TICKET_QUERY % ("x' AND 1=1-- ", "0"))
+        assert outcome.error.record is not None
+        assert outcome.error.record.attack_type == "SQLI"
+
+    def test_ddl_not_processed_by_septic(self, septic_db):
+        septic, _, conn = septic_db
+        before = septic.stats.queries_processed
+        conn.query("SHOW TABLES")
+        assert septic.stats.queries_processed == before
+
+
+class TestMultipleShapesPerCallSite(object):
+    def test_two_trained_shapes_both_pass(self):
+        septic = Septic(mode=Mode.TRAINING, logger=SepticLogger())
+        database = Database(septic=septic)
+        database.seed(TICKETS_SCHEMA)
+        conn = Connection(database)
+        # a call site that legitimately builds two query shapes
+        conn.query("/* septic:s:1 */ SELECT * FROM tickets "
+                   "WHERE reservID = 'a'")
+        conn.query("/* septic:s:1 */ SELECT * FROM tickets "
+                   "WHERE reservID = 'a' AND creditCard = 1")
+        septic.mode = Mode.PREVENTION
+        assert conn.query("/* septic:s:1 */ SELECT * FROM tickets "
+                          "WHERE reservID = 'b'").ok
+        assert conn.query("/* septic:s:1 */ SELECT * FROM tickets "
+                          "WHERE reservID = 'b' AND creditCard = 2").ok
+        # but a third shape from the same site is an attack
+        assert not conn.query(
+            "/* septic:s:1 */ SELECT * FROM tickets "
+            "WHERE reservID = 'b' OR 1=1"
+        ).ok

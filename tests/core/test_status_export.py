@@ -1,0 +1,50 @@
+"""Tests for the status display and the event-register export."""
+
+import json
+
+from repro.core.logger import EventKind, SepticLogger
+from repro.core.septic import Mode, Septic, SepticConfig
+from tests.conftest import TICKET_QUERY
+
+
+class TestStatus(object):
+    def test_status_snapshot(self, septic_db):
+        septic, _, conn = septic_db
+        conn.query(TICKET_QUERY % ("x' OR 1=1-- ", "0"))
+        status = septic.status()
+        assert status["mode"] == Mode.PREVENTION
+        assert status["detect_sqli"] is True
+        assert status["models"] >= 1
+        assert status["stats"]["attacks_detected"] == 1
+        assert "StoredXSSPlugin" in status["plugins"]
+
+    def test_status_reflects_config(self):
+        septic = Septic(config=SepticConfig.from_flags("NY"))
+        status = septic.status()
+        assert status["detect_sqli"] is False
+        assert status["detect_stored"] is True
+
+
+class TestExport(object):
+    def test_export_json_roundtrip(self, tmp_path, septic_db):
+        septic, _, conn = septic_db
+        conn.query(TICKET_QUERY % ("x' OR 1=1-- ", "0"))
+        path = str(tmp_path / "events.json")
+        septic.logger.export_json(path)
+        with open(path) as handle:
+            events = json.load(handle)
+        kinds = [event["kind"] for event in events]
+        assert EventKind.ATTACK_DETECTED in kinds
+        assert EventKind.QUERY_DROPPED in kinds
+        attack = next(e for e in events
+                      if e["kind"] == EventKind.ATTACK_DETECTED)
+        assert attack["attack_type"] == "SQLI"
+        assert attack["step"] in (1, 2)
+        assert attack["query_id"]
+
+    def test_export_empty_register(self, tmp_path):
+        logger = SepticLogger()
+        path = str(tmp_path / "empty.json")
+        logger.export_json(path)
+        with open(path) as handle:
+            assert json.load(handle) == []

@@ -1,0 +1,118 @@
+"""Tests for the QM learned store."""
+
+import os
+
+from repro.core.id_generator import IdGenerator, QueryId
+from repro.core.query_model import QueryModel
+from repro.core.query_structure import QueryStructure
+from repro.core.store import QMStore
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+
+
+def model_of(sql):
+    qs = QueryStructure.from_stack(validate(parse_one(sql)))
+    return QueryModel.from_structure(qs)
+
+
+def qid_for(sql, external=None):
+    model = model_of(sql)
+    gen = IdGenerator()
+    return QueryId(gen.internal_id(model), external), model
+
+
+class TestStoreBasics(object):
+    def test_put_and_get(self):
+        store = QMStore()
+        qid, model = qid_for("SELECT a FROM t")
+        assert store.put(qid, model)
+        assert store.get(qid) == model
+        assert qid in store
+        assert len(store) == 1
+
+    def test_put_twice_returns_false(self):
+        # the demo: a query processed twice creates its model only once
+        store = QMStore()
+        qid, model = qid_for("SELECT a FROM t")
+        assert store.put(qid, model)
+        assert not store.put(qid, model)
+        assert len(store) == 1
+
+    def test_get_missing_is_none(self):
+        store = QMStore()
+        qid, _ = qid_for("SELECT a FROM t")
+        assert store.get(qid) is None
+
+    def test_models_for_external(self):
+        store = QMStore()
+        qid1, m1 = qid_for("SELECT a FROM t WHERE b = 1", external="site")
+        qid2, m2 = qid_for("SELECT a FROM t", external="site")
+        qid3, m3 = qid_for("SELECT c FROM u", external="other")
+        store.put(qid1, m1)
+        store.put(qid2, m2)
+        store.put(qid3, m3)
+        assert sorted(store.models_for_external("site"), key=id) == \
+            sorted([m1, m2], key=id)
+        assert store.models_for_external("missing") == []
+        assert store.models_for_external(None) == []
+
+    def test_clear(self):
+        store = QMStore()
+        qid, model = qid_for("SELECT 1 FROM t")
+        store.put(qid, model)
+        store.clear()
+        assert len(store) == 0
+        assert store.models_for_external("x") == []
+
+    def test_ids_sorted(self):
+        store = QMStore()
+        for sql in ("SELECT a FROM t", "SELECT a, b FROM t"):
+            qid, model = qid_for(sql)
+            store.put(qid, model)
+        assert store.ids() == sorted(store.ids())
+
+
+class TestPersistence(object):
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "models.json")
+        store = QMStore(path=path)
+        qid1, m1 = qid_for("SELECT a FROM t WHERE b = 'x'", external="s1")
+        qid2, m2 = qid_for("INSERT INTO t (a) VALUES (1)")
+        store.put(qid1, m1)
+        store.put(qid2, m2)
+        store.save()
+
+        fresh = QMStore(path=path)
+        assert fresh.load() == 2
+        assert fresh.get(qid1) == m1
+        assert fresh.get(qid2) == m2
+        assert fresh.models_for_external("s1") == [m1]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        store = QMStore(path=str(tmp_path / "absent.json"))
+        assert store.load() == 0
+        assert len(store) == 0
+
+    def test_save_explicit_path(self, tmp_path):
+        store = QMStore()
+        qid, model = qid_for("SELECT 1 FROM t")
+        store.put(qid, model)
+        target = str(tmp_path / "out.json")
+        assert store.save(target) == target
+        assert os.path.exists(target)
+
+    def test_save_without_path_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            QMStore().save()
+        with pytest.raises(ValueError):
+            QMStore().load()
+
+    def test_save_is_atomic_no_tmp_left(self, tmp_path):
+        path = str(tmp_path / "models.json")
+        store = QMStore(path=path)
+        qid, model = qid_for("SELECT 1 FROM t")
+        store.put(qid, model)
+        store.save()
+        assert not os.path.exists(path + ".tmp")

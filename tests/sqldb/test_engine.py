@@ -1,0 +1,105 @@
+"""Tests for the Database engine object and pipeline mechanics."""
+
+import pytest
+
+from repro.sqldb.connection import Connection, QueryOutcome
+from repro.sqldb.engine import Database, QueryContext
+from repro.sqldb.errors import MultiStatementError, SQLError
+
+
+class TestPipeline(object):
+    def test_run_returns_one_result_per_statement(self):
+        database = Database()
+        results = database.run("SELECT 1; SELECT 2", multi=True)
+        assert [r.result_set.scalar() for r in results] == [1, 2]
+
+    def test_multi_disabled_raises(self):
+        database = Database()
+        with pytest.raises(MultiStatementError):
+            database.run("SELECT 1; SELECT 2")
+
+    def test_charset_override_per_call(self):
+        database = Database(charset="utf8")
+        # strict decoding leaves the confusable alone -> it stays inside
+        # the string literal as data
+        result = database.run("SELECT 'xʼy'", charset="utf8_strict")[0]
+        assert result.result_set.scalar() == "xʼy"
+        # the MySQL-like decoder folds it into a quote that terminates
+        # the literal early — the same query is now malformed SQL (the
+        # semantic mismatch in miniature)
+        with pytest.raises(SQLError):
+            database.run("SELECT 'xʼy'")
+
+    def test_statements_received_counts_blocked(self):
+        from repro.core.septic import Mode, Septic
+
+        septic = Septic(mode=Mode.TRAINING)
+        database = Database(septic=septic)
+        database.seed("CREATE TABLE t (a INT)")
+        conn = Connection(database)
+        conn.query("/* septic:s:1 */ SELECT * FROM t WHERE a = 1")
+        septic.mode = Mode.PREVENTION
+        received = database.statements_received
+        executed = database.statements_executed
+        conn.query("/* septic:s:1 */ SELECT * FROM t WHERE a = 1 OR 1=1")
+        assert database.statements_received == received + 1
+        assert database.statements_executed == executed  # dropped
+
+    def test_seed_is_multi_statement(self):
+        database = Database()
+        database.seed("CREATE TABLE a (x INT); CREATE TABLE b (y INT);")
+        assert set(database.tables) == {"a", "b"}
+
+    def test_table_lookup_error(self):
+        database = Database()
+        with pytest.raises(SQLError) as err:
+            database.table("ghost")
+        assert err.value.errno == 1146
+
+
+class TestEnvironment(object):
+    def test_clock_monotonic_and_deterministic(self):
+        a = Database()
+        b = Database()
+        series_a = [a.now() for _ in range(3)]
+        series_b = [b.now() for _ in range(3)]
+        assert series_a == series_b
+        assert series_a == sorted(series_a)
+
+    def test_rand_seed_controls_sequence(self):
+        assert Database(seed=3).rand() == Database(seed=3).rand()
+        assert Database(seed=3).rand() != Database(seed=4).rand()
+
+    def test_version_and_user(self):
+        database = Database(name="shop")
+        assert "repro" in database.version
+        assert database.name == "shop"
+
+
+class TestQueryContext(object):
+    def test_command_property(self):
+        from repro.sqldb.parser import parse_one
+
+        stmt = parse_one("SELECT 1")
+        context = QueryContext("SELECT 1", stmt, [], [], None)
+        assert context.command == "SELECT"
+
+
+class TestQueryOutcome(object):
+    def test_ok_and_rows(self):
+        outcome = QueryOutcome(affected_rows=3)
+        assert outcome.ok and outcome.rows == []
+
+    def test_error_repr(self):
+        outcome = QueryOutcome(error=SQLError("boom"))
+        assert not outcome.ok
+        assert "boom" in repr(outcome)
+
+    def test_last_error_tracking(self):
+        database = Database()
+        database.seed("CREATE TABLE t (a INT)")
+        conn = Connection(database)
+        conn.query("SELECT * FROM nope")
+        assert conn.last_error is not None
+        conn.query("SELECT * FROM t")
+        assert conn.last_error is None

@@ -1,0 +1,504 @@
+"""Tests for statement execution."""
+
+import pytest
+
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+from repro.sqldb.errors import ExecutionError, SQLError
+
+
+@pytest.fixture
+def shop():
+    """A two-table database with known contents."""
+    database = Database()
+    database.seed(
+        """
+        CREATE TABLE products (
+            id INT PRIMARY KEY AUTO_INCREMENT,
+            name VARCHAR(40) NOT NULL,
+            price FLOAT,
+            category VARCHAR(20)
+        );
+        CREATE TABLE orders (
+            id INT PRIMARY KEY AUTO_INCREMENT,
+            product_id INT,
+            quantity INT
+        );
+        INSERT INTO products (name, price, category) VALUES
+            ('apple', 1.0, 'fruit'),
+            ('banana', 0.5, 'fruit'),
+            ('carrot', 0.3, 'veg'),
+            ('donut', 2.0, NULL);
+        INSERT INTO orders (product_id, quantity) VALUES
+            (1, 3), (1, 2), (2, 10), (99, 1);
+        """
+    )
+    return database
+
+
+@pytest.fixture
+def shop_conn(shop):
+    return Connection(shop)
+
+
+def rows(conn, sql):
+    outcome = conn.query(sql)
+    if not outcome.ok:
+        raise outcome.error
+    return outcome.result_set.rows
+
+
+class TestSelect(object):
+    def test_select_star_columns(self, shop_conn):
+        outcome = shop_conn.query("SELECT * FROM products")
+        assert outcome.result_set.columns == \
+            ["id", "name", "price", "category"]
+        assert len(outcome.rows) == 4
+
+    def test_where_filter(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name FROM products WHERE category = 'fruit'")
+        assert got == [("apple",), ("banana",)]
+
+    def test_where_null_excluded(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name FROM products WHERE category != 'fruit'")
+        assert got == [("carrot",)]  # NULL category row not matched
+
+    def test_is_null(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name FROM products WHERE category IS NULL")
+        assert got == [("donut",)]
+
+    def test_projection_expressions(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name, price * 2 AS double_price FROM products "
+                   "WHERE id = 1")
+        assert got == [("apple", 2.0)]
+
+    def test_order_by_column(self, shop_conn):
+        got = rows(shop_conn, "SELECT name FROM products ORDER BY price")
+        assert got[0] == ("carrot",)
+        assert got[-1] == ("donut",)
+
+    def test_order_by_desc(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name FROM products ORDER BY price DESC")
+        assert got[0] == ("donut",)
+
+    def test_order_by_position(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name, price FROM products ORDER BY 2")
+        assert got[0][0] == "carrot"
+
+    def test_order_by_alias(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name, price * 10 AS deci FROM products "
+                   "ORDER BY deci DESC")
+        assert got[0][0] == "donut"
+
+    def test_order_by_bad_position(self, shop_conn):
+        with pytest.raises(SQLError):
+            rows(shop_conn, "SELECT name FROM products ORDER BY 9")
+
+    def test_multi_key_order(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT category, name FROM products "
+                   "ORDER BY category DESC, name DESC")
+        assert got[0] == ("veg", "carrot")
+
+    def test_limit_offset(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name FROM products ORDER BY id LIMIT 1, 2")
+        assert got == [("banana",), ("carrot",)]
+
+    def test_limit_zero(self, shop_conn):
+        assert rows(shop_conn, "SELECT name FROM products LIMIT 0") == []
+
+    def test_distinct(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT DISTINCT category FROM products "
+                   "WHERE category IS NOT NULL")
+        assert sorted(got) == [("fruit",), ("veg",)]
+
+    def test_select_no_from(self, shop_conn):
+        assert rows(shop_conn, "SELECT 40 + 2") == [(42,)]
+
+    def test_like_filter(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name FROM products WHERE name LIKE '%an%'")
+        assert got == [("banana",)]
+
+    def test_unknown_column_in_where(self, shop_conn):
+        outcome = shop_conn.query("SELECT * FROM products WHERE nope = 1")
+        assert not outcome.ok
+
+    def test_unknown_table(self, shop_conn):
+        outcome = shop_conn.query("SELECT * FROM nope")
+        assert not outcome.ok
+
+
+class TestAggregates(object):
+    def test_count_star(self, shop_conn):
+        assert rows(shop_conn, "SELECT COUNT(*) FROM products") == [(4,)]
+
+    def test_count_column_skips_null(self, shop_conn):
+        assert rows(shop_conn,
+                    "SELECT COUNT(category) FROM products") == [(3,)]
+
+    def test_count_distinct(self, shop_conn):
+        assert rows(shop_conn,
+                    "SELECT COUNT(DISTINCT category) FROM products") == [(2,)]
+
+    def test_sum_avg_min_max(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT SUM(price), AVG(price), MIN(price), MAX(price) "
+                   "FROM products")[0]
+        assert got == (3.8, 0.95, 0.3, 2.0)
+
+    def test_aggregate_on_empty_set(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT COUNT(*), SUM(price) FROM products "
+                   "WHERE id > 100")[0]
+        assert got == (0, None)
+
+    def test_group_by(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT category, COUNT(*) FROM products "
+                   "WHERE category IS NOT NULL "
+                   "GROUP BY category ORDER BY category")
+        assert got == [("fruit", 2), ("veg", 1)]
+
+    def test_group_by_having(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT category, COUNT(*) FROM products "
+                   "GROUP BY category HAVING COUNT(*) > 1")
+        assert got == [("fruit", 2)]
+
+    def test_group_concat(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT GROUP_CONCAT(name) FROM products "
+                   "WHERE category = 'fruit'")
+        assert got == [("apple,banana",)]
+
+    def test_aggregate_in_expression(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT MAX(price) - MIN(price) FROM products")
+        assert got == [(1.7,)]
+
+
+class TestJoins(object):
+    def test_inner_join(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT p.name, o.quantity FROM orders o "
+                   "JOIN products p ON o.product_id = p.id "
+                   "ORDER BY o.id")
+        assert got == [("apple", 3), ("apple", 2), ("banana", 10)]
+
+    def test_left_join_null_fill(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT o.id, p.name FROM orders o "
+                   "LEFT JOIN products p ON o.product_id = p.id "
+                   "ORDER BY o.id")
+        assert got[-1] == (4, None)
+
+    def test_right_join(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT p.name, o.quantity FROM orders o "
+                   "RIGHT JOIN products p ON o.product_id = p.id "
+                   "ORDER BY p.id")
+        names = [row[0] for row in got]
+        assert "carrot" in names and "donut" in names
+
+    def test_cross_join_cardinality(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT COUNT(*) FROM products CROSS JOIN orders")
+        assert got == [(16,)]
+
+    def test_comma_join_with_where(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT p.name FROM products p, orders o "
+                   "WHERE p.id = o.product_id AND o.quantity = 10")
+        assert got == [("banana",)]
+
+    def test_self_join_with_aliases(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT a.name, b.name FROM products a "
+                   "JOIN products b ON a.price < b.price "
+                   "WHERE b.name = 'donut' ORDER BY a.id")
+        assert [row[0] for row in got] == ["apple", "banana", "carrot"]
+
+
+class TestSubqueries(object):
+    def test_scalar_subquery(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name FROM products "
+                   "WHERE price = (SELECT MAX(price) FROM products)")
+        assert got == [("donut",)]
+
+    def test_in_subquery(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name FROM products WHERE id IN "
+                   "(SELECT product_id FROM orders) ORDER BY id")
+        assert got == [("apple",), ("banana",)]
+
+    def test_exists_correlated(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name FROM products p WHERE EXISTS "
+                   "(SELECT 1 FROM orders o WHERE o.product_id = p.id "
+                   "AND o.quantity > 5)")
+        assert got == [("banana",)]
+
+    def test_not_exists(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT COUNT(*) FROM products p WHERE NOT EXISTS "
+                   "(SELECT 1 FROM orders o WHERE o.product_id = p.id)")
+        assert got == [(2,)]
+
+    def test_scalar_subquery_multiple_rows_error(self, shop_conn):
+        outcome = shop_conn.query(
+            "SELECT (SELECT id FROM products) FROM products"
+        )
+        assert not outcome.ok
+        assert outcome.error.errno == 1242
+
+    def test_subquery_in_insert_values(self, shop_conn):
+        outcome = shop_conn.query(
+            "INSERT INTO orders (product_id, quantity) "
+            "VALUES ((SELECT id FROM products WHERE name = 'carrot'), 7)"
+        )
+        assert outcome.ok
+        got = rows(shop_conn,
+                   "SELECT quantity FROM orders WHERE product_id = 3")
+        assert got == [(7,)]
+
+
+class TestUnion(object):
+    def test_union_dedupes(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT category FROM products WHERE category='fruit' "
+                   "UNION SELECT category FROM products "
+                   "WHERE category='fruit'")
+        assert got == [("fruit",)]
+
+    def test_union_all_keeps_duplicates(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT category FROM products WHERE category='fruit' "
+                   "UNION ALL SELECT category FROM products "
+                   "WHERE category='fruit'")
+        assert len(got) == 4
+
+    def test_union_column_count_mismatch(self, shop_conn):
+        outcome = shop_conn.query(
+            "SELECT id FROM products UNION SELECT id, name FROM products"
+        )
+        assert not outcome.ok
+        assert outcome.error.errno == 1222
+
+    def test_union_order_by_applies_to_whole(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name FROM products WHERE id = 1 "
+                   "UNION SELECT name FROM products WHERE id = 4 "
+                   "ORDER BY 1 DESC")
+        assert got == [("donut",), ("apple",)]
+
+    def test_union_limit(self, shop_conn):
+        got = rows(shop_conn,
+                   "SELECT name FROM products UNION ALL "
+                   "SELECT name FROM products LIMIT 3")
+        assert len(got) == 3
+
+
+class TestInsert(object):
+    def test_insert_returns_affected(self, shop_conn):
+        outcome = shop_conn.query(
+            "INSERT INTO products (name, price) VALUES ('egg', 0.2)"
+        )
+        assert outcome.affected_rows == 1
+
+    def test_auto_increment(self, shop_conn):
+        shop_conn.query("INSERT INTO products (name) VALUES ('x')")
+        assert shop_conn.last_insert_id == 5
+        shop_conn.query("INSERT INTO products (name) VALUES ('y')")
+        assert shop_conn.last_insert_id == 6
+
+    def test_multi_row(self, shop_conn):
+        outcome = shop_conn.query(
+            "INSERT INTO orders (product_id, quantity) VALUES (1,1), (2,2)"
+        )
+        assert outcome.affected_rows == 2
+
+    def test_insert_set_form(self, shop_conn):
+        outcome = shop_conn.query(
+            "INSERT INTO products SET name = 'fig', price = 3.0"
+        )
+        assert outcome.ok
+
+    def test_not_null_default(self, shop):
+        table = shop.table("products")
+        table.insert({"price": 1.0})
+        assert table.rows[-1]["name"] == ""  # NOT NULL text defaults to ''
+
+    def test_duplicate_primary_key(self, shop_conn):
+        outcome = shop_conn.query(
+            "INSERT INTO products (id, name) VALUES (1, 'dup')"
+        )
+        assert not outcome.ok
+        assert outcome.error.errno == 1062
+
+    def test_insert_ignore_skips_duplicates(self, shop_conn):
+        outcome = shop_conn.query(
+            "INSERT IGNORE INTO products (id, name) VALUES (1, 'dup'), "
+            "(50, 'ok')"
+        )
+        assert outcome.ok
+        assert outcome.affected_rows == 1
+
+    def test_column_count_mismatch(self, shop_conn):
+        outcome = shop_conn.query(
+            "INSERT INTO products (name) VALUES ('a', 1)"
+        )
+        assert not outcome.ok
+
+    def test_varchar_truncation_on_insert(self, shop_conn):
+        shop_conn.query(
+            "INSERT INTO products (name) VALUES ('%s')" % ("x" * 60,)
+        )
+        got = rows(shop_conn,
+                   "SELECT name FROM products ORDER BY id DESC LIMIT 1")
+        assert got == [("x" * 40,)]
+
+
+class TestUpdateDelete(object):
+    def test_update_count_changed_only(self, shop_conn):
+        outcome = shop_conn.query(
+            "UPDATE products SET category = 'fruit' "
+            "WHERE category = 'fruit'"
+        )
+        assert outcome.affected_rows == 0  # values unchanged
+
+    def test_update_with_expression(self, shop_conn):
+        shop_conn.query("UPDATE products SET price = price * 2 WHERE id = 1")
+        assert rows(shop_conn,
+                    "SELECT price FROM products WHERE id = 1") == [(2.0,)]
+
+    def test_update_all_rows(self, shop_conn):
+        outcome = shop_conn.query("UPDATE orders SET quantity = 1")
+        assert outcome.affected_rows == 3  # one row already has quantity 1
+
+    def test_update_limit(self, shop_conn):
+        outcome = shop_conn.query(
+            "UPDATE products SET price = 9.9 LIMIT 2"
+        )
+        assert outcome.affected_rows == 2
+
+    def test_update_unknown_column(self, shop_conn):
+        outcome = shop_conn.query("UPDATE products SET nope = 1")
+        assert not outcome.ok
+
+    def test_delete_where(self, shop_conn):
+        outcome = shop_conn.query("DELETE FROM orders WHERE quantity > 5")
+        assert outcome.affected_rows == 1
+        assert rows(shop_conn, "SELECT COUNT(*) FROM orders") == [(3,)]
+
+    def test_delete_all(self, shop_conn):
+        outcome = shop_conn.query("DELETE FROM orders")
+        assert outcome.affected_rows == 4
+
+    def test_delete_limit(self, shop_conn):
+        outcome = shop_conn.query("DELETE FROM orders LIMIT 2")
+        assert outcome.affected_rows == 2
+        assert rows(shop_conn, "SELECT COUNT(*) FROM orders") == [(2,)]
+
+
+class TestDdlAndMeta(object):
+    def test_create_and_use(self, shop_conn):
+        shop_conn.query("CREATE TABLE notes (id INT, body TEXT)")
+        assert shop_conn.query("INSERT INTO notes VALUES (1, 'x')").ok
+
+    def test_create_duplicate(self, shop_conn):
+        outcome = shop_conn.query("CREATE TABLE products (id INT)")
+        assert not outcome.ok and outcome.error.errno == 1050
+
+    def test_create_if_not_exists(self, shop_conn):
+        assert shop_conn.query(
+            "CREATE TABLE IF NOT EXISTS products (id INT)"
+        ).ok
+
+    def test_drop(self, shop_conn):
+        assert shop_conn.query("DROP TABLE orders").ok
+        assert not shop_conn.query("SELECT * FROM orders").ok
+
+    def test_drop_missing(self, shop_conn):
+        outcome = shop_conn.query("DROP TABLE nope")
+        assert not outcome.ok and outcome.error.errno == 1051
+        assert shop_conn.query("DROP TABLE IF EXISTS nope").ok
+
+    def test_show_tables(self, shop_conn):
+        got = rows(shop_conn, "SHOW TABLES")
+        assert ("orders",) in got and ("products",) in got
+
+    def test_describe(self, shop_conn):
+        got = rows(shop_conn, "DESCRIBE products")
+        assert got[0][0] == "id"
+        assert got[0][3] == "PRI"
+        assert got[0][5] == "auto_increment"
+        assert got[1][1] == "varchar(40)"
+
+
+class TestEngineBehaviour(object):
+    def test_multi_statement_rejected_by_default(self, shop_conn):
+        outcome = shop_conn.query("SELECT 1; DROP TABLE products")
+        assert not outcome.ok
+        assert "products" in shop_conn.database.tables
+
+    def test_multi_query_optin(self, shop):
+        conn = Connection(shop, multi_statements=True)
+        outcomes = conn.multi_query("SELECT 1; SELECT 2")
+        assert [o.result_set.scalar() for o in outcomes] == [1, 2]
+
+    def test_query_or_raise(self, shop_conn):
+        with pytest.raises(SQLError):
+            shop_conn.query_or_raise("SELECT * FROM nope")
+
+    def test_statement_counters(self, shop):
+        before = shop.statements_executed
+        Connection(shop).query("SELECT 1")
+        assert shop.statements_executed == before + 1
+
+    def test_ambiguous_column(self, shop_conn):
+        outcome = shop_conn.query(
+            "SELECT id FROM products p JOIN orders o ON p.id = o.product_id"
+        )
+        assert not outcome.ok  # 'id' exists on both sides
+
+
+class TestOrderedDml(object):
+    def test_delete_order_by_limit(self, shop_conn):
+        # delete the single cheapest product
+        outcome = shop_conn.query(
+            "DELETE FROM products ORDER BY price LIMIT 1"
+        )
+        assert outcome.affected_rows == 1
+        remaining = rows(shop_conn, "SELECT name FROM products ORDER BY id")
+        assert ("carrot",) not in remaining
+
+    def test_delete_order_by_desc_limit(self, shop_conn):
+        shop_conn.query("DELETE FROM products ORDER BY price DESC LIMIT 1")
+        remaining = rows(shop_conn, "SELECT name FROM products ORDER BY id")
+        assert ("donut",) not in remaining
+
+    def test_update_order_by_limit(self, shop_conn):
+        # discount the two most expensive products
+        outcome = shop_conn.query(
+            "UPDATE products SET price = 0.1 ORDER BY price DESC LIMIT 2"
+        )
+        assert outcome.affected_rows == 2
+        cheap = rows(shop_conn,
+                     "SELECT name FROM products WHERE price = 0.1 "
+                     "ORDER BY name")
+        assert cheap == [("apple",), ("donut",)]
+
+    def test_delete_without_order_behaves_as_before(self, shop_conn):
+        outcome = shop_conn.query("DELETE FROM orders LIMIT 2")
+        assert outcome.affected_rows == 2

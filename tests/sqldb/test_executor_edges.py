@@ -1,0 +1,143 @@
+"""Additional executor behavior pinning: aliases in HAVING, expression
+grouping, nested subqueries, LIKE escapes, coercion in joins."""
+
+import pytest
+
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+
+
+@pytest.fixture
+def sales():
+    database = Database()
+    database.seed(
+        """
+        CREATE TABLE sales (
+            id INT PRIMARY KEY AUTO_INCREMENT,
+            region VARCHAR(20),
+            amount INT,
+            pct VARCHAR(10)
+        );
+        INSERT INTO sales (region, amount, pct) VALUES
+            ('north', 100, '10%'),
+            ('north', 200, '20%'),
+            ('south', 50, '5%'),
+            ('south', 70, '50_0'),
+            ('east', 300, 'n/a');
+        """
+    )
+    return Connection(database)
+
+
+def rows(conn, sql):
+    outcome = conn.query(sql)
+    if not outcome.ok:
+        raise outcome.error
+    return outcome.result_set.rows
+
+
+class TestGroupingEdges(object):
+    def test_having_filters_groups(self, sales):
+        got = rows(sales,
+                   "SELECT region, SUM(amount) AS total FROM sales "
+                   "GROUP BY region HAVING SUM(amount) > 150 "
+                   "ORDER BY region")
+        assert got == [("east", 300), ("north", 300)]
+
+    def test_group_by_expression(self, sales):
+        got = rows(sales,
+                   "SELECT amount DIV 100, COUNT(*) FROM sales "
+                   "GROUP BY amount DIV 100 ORDER BY 1")
+        assert got == [(0, 2), (1, 1), (2, 1), (3, 1)]
+
+    def test_group_by_string_case_insensitive(self, sales):
+        sales.query_or_raise(
+            "INSERT INTO sales (region, amount, pct) "
+            "VALUES ('NORTH', 1, '')"
+        )
+        got = rows(sales,
+                   "SELECT COUNT(*) FROM sales GROUP BY region "
+                   "ORDER BY 1 DESC")
+        assert got[0] == (3,)   # 'north' and 'NORTH' share a group
+
+    def test_aggregate_inside_order_by(self, sales):
+        got = rows(sales,
+                   "SELECT region FROM sales GROUP BY region "
+                   "ORDER BY MAX(amount) DESC")
+        assert got[0] == ("east",)
+
+    def test_count_over_empty_group_filter(self, sales):
+        got = rows(sales,
+                   "SELECT region, COUNT(*) FROM sales "
+                   "WHERE amount > 1000 GROUP BY region")
+        assert got == []
+
+
+class TestSubqueryEdges(object):
+    def test_nested_two_levels(self, sales):
+        got = rows(sales,
+                   "SELECT region FROM sales WHERE amount = "
+                   "(SELECT MAX(amount) FROM sales WHERE amount < "
+                   "(SELECT MAX(amount) FROM sales))")
+        assert got == [("north",)]
+
+    def test_in_subquery_with_where(self, sales):
+        got = rows(sales,
+                   "SELECT DISTINCT region FROM sales WHERE id IN "
+                   "(SELECT id FROM sales WHERE amount >= 200) "
+                   "ORDER BY region")
+        assert got == [("east",), ("north",)]
+
+    def test_scalar_subquery_in_select_list(self, sales):
+        got = rows(sales,
+                   "SELECT region, (SELECT MAX(amount) FROM sales) "
+                   "FROM sales WHERE id = 1")
+        assert got == [("north", 300)]
+
+    def test_correlated_in_select_list(self, sales):
+        got = rows(sales,
+                   "SELECT s.region, (SELECT COUNT(*) FROM sales t "
+                   "WHERE t.region = s.region) FROM sales s "
+                   "WHERE s.id IN (1, 3) ORDER BY s.id")
+        assert got == [("north", 2), ("south", 2)]
+
+
+class TestLikeEdges(object):
+    def test_escaped_percent(self, sales):
+        got = rows(sales,
+                   "SELECT COUNT(*) FROM sales WHERE pct LIKE '%\\\\%'")
+        assert got == [(3,)]   # values ending in a literal %
+
+    def test_escaped_underscore(self, sales):
+        got = rows(sales,
+                   "SELECT pct FROM sales WHERE pct LIKE '50\\\\_0'")
+        assert got == [("50_0",)]
+
+    def test_underscore_wildcard(self, sales):
+        got = rows(sales,
+                   "SELECT COUNT(*) FROM sales WHERE pct LIKE '_0%'")
+        assert got == [(3,)]   # '10%', '20%' and '50_0' (the _ is the 5)
+
+    def test_like_against_number_column(self, sales):
+        # LIKE stringifies the number: only 100 starts with '1'
+        got = rows(sales,
+                   "SELECT COUNT(*) FROM sales WHERE amount LIKE '1%'")
+        assert got == [(1,)]
+
+
+class TestCoercionInPredicates(object):
+    def test_string_column_vs_number(self, sales):
+        got = rows(sales,
+                   "SELECT COUNT(*) FROM sales WHERE pct = 10")
+        assert got == [(1,)]   # '10%' coerces to 10
+
+    def test_join_on_coerced_values(self, sales):
+        database = sales.database
+        database.seed(
+            "CREATE TABLE targets (region VARCHAR(20), goal VARCHAR(10));"
+            "INSERT INTO targets VALUES ('north', '300'), ('east', '1');"
+        )
+        got = rows(sales,
+                   "SELECT t.region FROM targets t JOIN sales s "
+                   "ON s.amount = t.goal WHERE s.region = 'east'")
+        assert got == [("north",)]

@@ -1,0 +1,286 @@
+"""Tests for the extended SQL surface: REPLACE INTO, ON DUPLICATE KEY
+UPDATE, derived tables, CAST/CONVERT."""
+
+import pytest
+
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+from repro.sqldb.items import ItemKind
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+
+
+@pytest.fixture
+def kv():
+    database = Database()
+    database.seed(
+        """
+        CREATE TABLE kv (
+            k VARCHAR(20) PRIMARY KEY,
+            v INT,
+            hits INT DEFAULT 0
+        );
+        INSERT INTO kv (k, v, hits) VALUES ('a', 1, 10), ('b', 2, 20);
+        """
+    )
+    return database, Connection(database)
+
+
+class TestReplaceInto(object):
+    def test_parse(self):
+        stmt = parse_one("REPLACE INTO t (a) VALUES (1)")
+        assert isinstance(stmt, ast.Insert) and stmt.replace
+
+    def test_replace_new_row_inserts(self, kv):
+        database, conn = kv
+        outcome = conn.query("REPLACE INTO kv (k, v) VALUES ('c', 3)")
+        assert outcome.ok and outcome.affected_rows == 1
+        assert len(database.table("kv")) == 3
+
+    def test_replace_existing_row_swaps(self, kv):
+        database, conn = kv
+        outcome = conn.query("REPLACE INTO kv (k, v) VALUES ('a', 99)")
+        assert outcome.ok
+        assert outcome.affected_rows == 2   # MySQL: delete + insert
+        rows = {r["k"]: r for r in database.table("kv").rows}
+        assert rows["a"]["v"] == 99
+        assert rows["a"]["hits"] == 0       # defaults, not the old row's
+
+    def test_replace_stack_kind(self, kv):
+        database, _ = kv
+        stack = validate(
+            parse_one("REPLACE INTO kv (k, v) VALUES ('a', 1)"),
+            database.tables,
+        )
+        assert stack[0].kind == ItemKind.REPLACE_TABLE
+
+    def test_replace_differs_from_insert_model(self, kv):
+        """SEPTIC must distinguish INSERT from REPLACE at the same table
+        (an attacker rewriting one into the other changes the model)."""
+        database, _ = kv
+        insert_stack = validate(
+            parse_one("INSERT INTO kv (k, v) VALUES ('a', 1)"),
+            database.tables,
+        )
+        replace_stack = validate(
+            parse_one("REPLACE INTO kv (k, v) VALUES ('a', 1)"),
+            database.tables,
+        )
+        assert insert_stack[0] != replace_stack[0]
+
+
+class TestOnDuplicateKeyUpdate(object):
+    def test_parse(self):
+        stmt = parse_one(
+            "INSERT INTO t (a) VALUES (1) "
+            "ON DUPLICATE KEY UPDATE b = b + 1"
+        )
+        assert len(stmt.on_duplicate) == 1
+
+    def test_no_conflict_inserts(self, kv):
+        database, conn = kv
+        outcome = conn.query(
+            "INSERT INTO kv (k, v) VALUES ('z', 9) "
+            "ON DUPLICATE KEY UPDATE v = 0"
+        )
+        assert outcome.affected_rows == 1
+        assert len(database.table("kv")) == 3
+
+    def test_conflict_updates(self, kv):
+        database, conn = kv
+        outcome = conn.query(
+            "INSERT INTO kv (k, v) VALUES ('a', 5) "
+            "ON DUPLICATE KEY UPDATE hits = hits + 1"
+        )
+        assert outcome.affected_rows == 2   # MySQL's convention
+        rows = {r["k"]: r for r in database.table("kv").rows}
+        assert rows["a"]["hits"] == 11
+        assert rows["a"]["v"] == 1          # untouched column
+
+    def test_values_function(self, kv):
+        database, conn = kv
+        conn.query(
+            "INSERT INTO kv (k, v) VALUES ('a', 123) "
+            "ON DUPLICATE KEY UPDATE v = VALUES(v)"
+        )
+        rows = {r["k"]: r for r in database.table("kv").rows}
+        assert rows["a"]["v"] == 123
+
+    def test_odku_stack_includes_update_fields(self, kv):
+        database, _ = kv
+        stack = validate(
+            parse_one("INSERT INTO kv (k, v) VALUES ('a', 1) "
+                      "ON DUPLICATE KEY UPDATE hits = hits + 1"),
+            database.tables,
+        )
+        assert any(item.kind == ItemKind.UPDATE_FIELD for item in stack)
+
+    def test_insert_set_form_with_odku(self, kv):
+        database, conn = kv
+        outcome = conn.query(
+            "INSERT INTO kv SET k = 'a', v = 7 "
+            "ON DUPLICATE KEY UPDATE v = 7"
+        )
+        assert outcome.ok
+        rows = {r["k"]: r for r in database.table("kv").rows}
+        assert rows["a"]["v"] == 7
+
+
+class TestDerivedTables(object):
+    def test_parse_requires_alias(self):
+        with pytest.raises(Exception):
+            parse_one("SELECT * FROM (SELECT 1)")
+
+    def test_basic(self, kv):
+        _, conn = kv
+        outcome = conn.query(
+            "SELECT total FROM (SELECT SUM(v) AS total FROM kv) sums"
+        )
+        assert outcome.rows == [(3,)]
+
+    def test_filter_over_derived(self, kv):
+        _, conn = kv
+        outcome = conn.query(
+            "SELECT d.k FROM (SELECT k, v * 10 AS score FROM kv) AS d "
+            "WHERE d.score > 15"
+        )
+        assert outcome.rows == [("b",)]
+
+    def test_join_with_real_table(self, kv):
+        _, conn = kv
+        outcome = conn.query(
+            "SELECT kv.k, m.mx FROM kv "
+            "JOIN (SELECT MAX(v) AS mx FROM kv) m ON kv.v = m.mx"
+        )
+        assert outcome.rows == [("b", 2)]
+
+    def test_stack_contains_subselect_markers(self, kv):
+        database, _ = kv
+        stack = validate(
+            parse_one("SELECT total FROM (SELECT SUM(v) AS total "
+                      "FROM kv) sums"),
+            database.tables,
+        )
+        kinds = [item.kind for item in stack]
+        assert ItemKind.SUBSELECT_ITEM in kinds
+
+
+class TestCast(object):
+    def test_parse_cast(self):
+        expr = parse_one("SELECT CAST(a AS SIGNED) FROM t").fields[0].expr
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "SIGNED"
+
+    def test_parse_convert(self):
+        expr = parse_one("SELECT CONVERT(a, CHAR) FROM t").fields[0].expr
+        assert isinstance(expr, ast.Cast) and expr.type_name == "CHAR"
+
+    def test_cast_signed(self, kv):
+        _, conn = kv
+        assert conn.query(
+            "SELECT CAST('12abc' AS SIGNED)"
+        ).result_set.scalar() == 12
+
+    def test_cast_unsigned_wraps(self, kv):
+        _, conn = kv
+        assert conn.query(
+            "SELECT CAST(-1 AS UNSIGNED)"
+        ).result_set.scalar() == (1 << 64) - 1
+
+    def test_cast_char(self, kv):
+        _, conn = kv
+        assert conn.query(
+            "SELECT CAST(42 AS CHAR)"
+        ).result_set.scalar() == "42"
+
+    def test_cast_null(self, kv):
+        _, conn = kv
+        assert conn.query(
+            "SELECT CAST(NULL AS SIGNED)"
+        ).result_set.scalar() is None
+
+    def test_cast_with_length(self, kv):
+        _, conn = kv
+        assert conn.query(
+            "SELECT CAST(42 AS CHAR(10))"
+        ).result_set.scalar() == "42"
+
+    def test_cast_in_stack(self):
+        stack = validate(parse_one("SELECT CAST(a AS SIGNED) FROM t"))
+        assert any(
+            item.kind == ItemKind.FUNC_ITEM and item.value == "CAST SIGNED"
+            for item in stack
+        )
+
+    def test_left_right_functions_still_work(self, kv):
+        # LEFT/RIGHT became keywords (joins) but stay callable
+        _, conn = kv
+        outcome = conn.query("SELECT LEFT('hello', 2), RIGHT('hello', 2)")
+        assert outcome.rows == [("he", "lo")]
+
+
+class TestAlterTruncate(object):
+    def test_alter_add_column(self, kv):
+        database, conn = kv
+        outcome = conn.query(
+            "ALTER TABLE kv ADD COLUMN note VARCHAR(20) DEFAULT 'n/a'"
+        )
+        assert outcome.ok
+        assert database.table("kv").has_column("note")
+        got = conn.query("SELECT note FROM kv WHERE k = 'a'")
+        assert got.rows == [("n/a",)]
+
+    def test_alter_add_not_null_backfills(self, kv):
+        database, conn = kv
+        conn.query_or_raise("ALTER TABLE kv ADD score INT NOT NULL")
+        got = conn.query("SELECT score FROM kv WHERE k = 'a'")
+        assert got.rows == [(0,)]
+
+    def test_alter_add_duplicate_column(self, kv):
+        _, conn = kv
+        outcome = conn.query("ALTER TABLE kv ADD v INT")
+        assert not outcome.ok and outcome.error.errno == 1060
+
+    def test_alter_drop_column(self, kv):
+        database, conn = kv
+        conn.query_or_raise("ALTER TABLE kv DROP COLUMN hits")
+        assert not database.table("kv").has_column("hits")
+        assert not conn.query("SELECT hits FROM kv").ok
+        assert conn.query("SELECT v FROM kv").ok
+
+    def test_alter_drop_missing_column(self, kv):
+        _, conn = kv
+        outcome = conn.query("ALTER TABLE kv DROP COLUMN nope")
+        assert not outcome.ok and outcome.error.errno == 1091
+
+    def test_new_column_usable_in_dml(self, kv):
+        _, conn = kv
+        conn.query_or_raise("ALTER TABLE kv ADD note TEXT")
+        conn.query_or_raise("UPDATE kv SET note = 'hello' WHERE k = 'a'")
+        got = conn.query("SELECT note FROM kv WHERE k = 'a'")
+        assert got.rows == [("hello",)]
+
+    def test_truncate(self, kv):
+        database, conn = kv
+        outcome = conn.query("TRUNCATE TABLE kv")
+        assert outcome.ok and outcome.affected_rows == 2
+        assert len(database.table("kv")) == 0
+
+    def test_truncate_resets_auto_increment(self):
+        from repro.sqldb.engine import Database
+        from repro.sqldb.connection import Connection
+
+        database = Database()
+        database.seed(
+            "CREATE TABLE s (id INT PRIMARY KEY AUTO_INCREMENT, x INT);"
+            "INSERT INTO s (x) VALUES (1), (2);"
+        )
+        conn = Connection(database)
+        conn.query_or_raise("TRUNCATE s")
+        conn.query_or_raise("INSERT INTO s (x) VALUES (9)")
+        assert conn.last_insert_id == 1
+
+    def test_truncate_missing_table(self, kv):
+        _, conn = kv
+        assert not conn.query("TRUNCATE TABLE nope").ok

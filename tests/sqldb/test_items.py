@@ -1,0 +1,38 @@
+"""Tests for the item-stack primitives."""
+
+from repro.sqldb.items import DATA_KINDS, Item, ItemKind
+
+
+class TestItem(object):
+    def test_equality_and_hash(self):
+        a = Item(ItemKind.FIELD_ITEM, "name")
+        b = Item(ItemKind.FIELD_ITEM, "name")
+        c = Item(ItemKind.FIELD_ITEM, "other")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != ("FIELD_ITEM", "name")   # not equal to tuples
+
+    def test_is_data_partition(self):
+        assert Item(ItemKind.INT_ITEM, 1).is_data
+        assert Item(ItemKind.STRING_ITEM, "x").is_data
+        assert Item(ItemKind.NULL_ITEM, None).is_data
+        assert not Item(ItemKind.FIELD_ITEM, "x").is_data
+        assert not Item(ItemKind.FUNC_ITEM, "=").is_data
+        assert not Item(ItemKind.FROM_TABLE, "t").is_data
+
+    def test_repr_is_paper_format(self):
+        assert repr(Item(ItemKind.COND_ITEM, "AND")) == "<COND_ITEM, AND>"
+
+    def test_data_kinds_are_exactly_the_literal_kinds(self):
+        assert DATA_KINDS == frozenset([
+            ItemKind.INT_ITEM, ItemKind.REAL_ITEM, ItemKind.DECIMAL_ITEM,
+            ItemKind.STRING_ITEM, ItemKind.NULL_ITEM, ItemKind.PARAM_ITEM,
+        ])
+
+    def test_element_kinds_disjoint_from_data_kinds(self):
+        element_kinds = {
+            value for name, value in vars(ItemKind).items()
+            if not name.startswith("_") and isinstance(value, str)
+        } - DATA_KINDS
+        assert ItemKind.FIELD_ITEM in element_kinds
+        assert not element_kinds & DATA_KINDS

@@ -1,0 +1,160 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sqldb.errors import LexerError
+from repro.sqldb.lexer import Token, TokenType, tokenize
+
+
+def types_of(sql):
+    return [t.type for t in tokenize(sql).tokens[:-1]]
+
+
+def values_of(sql):
+    return [t.value for t in tokenize(sql).tokens[:-1]]
+
+
+class TestBasicTokens(object):
+    def test_keywords_uppercased(self):
+        assert values_of("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+        assert types_of("select") == [TokenType.KEYWORD]
+
+    def test_identifier_case_preserved(self):
+        assert values_of("myTable") == ["myTable"]
+        assert types_of("myTable") == [TokenType.IDENT]
+
+    def test_backtick_identifier(self):
+        tokens = tokenize("`weird name`").tokens
+        assert tokens[0] == Token(TokenType.IDENT, "weird name", 0)
+
+    def test_unterminated_backtick(self):
+        with pytest.raises(LexerError):
+            tokenize("`oops")
+
+    def test_param_placeholder(self):
+        assert types_of("?") == [TokenType.PARAM]
+
+    def test_eof_always_last(self):
+        assert tokenize("").tokens[-1].type == TokenType.EOF
+
+    def test_operators_maximal_munch(self):
+        assert values_of("<= <> <=> << !=") == ["<=", "<>", "<=>", "<<", "!="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT \x01")
+
+
+class TestNumbers(object):
+    def test_integer(self):
+        tokens = tokenize("42").tokens
+        assert tokens[0] == Token(TokenType.INT, "42", 0)
+
+    def test_float(self):
+        assert tokenize("3.14").tokens[0].type == TokenType.FLOAT
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5").tokens[0] == Token(TokenType.FLOAT, ".5", 0)
+
+    def test_scientific_notation(self):
+        assert tokenize("1e3").tokens[0] == Token(TokenType.FLOAT, "1e3", 0)
+        assert tokenize("2.5E-2").tokens[0].value == "2.5E-2"
+
+    def test_e_not_followed_by_digit_is_ident(self):
+        # "1e" -> INT 1, IDENT e
+        assert types_of("1e") == [TokenType.INT, TokenType.IDENT]
+
+    def test_number_then_dot_dot(self):
+        # "1..2" -> FLOAT "1." then FLOAT ".2"
+        assert types_of("1..2") == [TokenType.FLOAT, TokenType.FLOAT]
+
+
+class TestStrings(object):
+    def test_single_quoted(self):
+        assert tokenize("'abc'").tokens[0] == Token(TokenType.STRING, "abc", 0)
+
+    def test_double_quoted(self):
+        assert tokenize('"abc"').tokens[0].value == "abc"
+
+    def test_backslash_escapes(self):
+        assert tokenize(r"'a\'b'").tokens[0].value == "a'b"
+        assert tokenize(r"'a\nb'").tokens[0].value == "a\nb"
+        assert tokenize(r"'a\\b'").tokens[0].value == "a\\b"
+
+    def test_doubled_quote(self):
+        assert tokenize("'a''b'").tokens[0].value == "a'b"
+
+    def test_unknown_escape_drops_backslash(self):
+        # MySQL: \x -> x for unknown escapes
+        assert tokenize(r"'a\xb'").tokens[0].value == "axb"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_unterminated_after_escape(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops\\'")
+
+
+class TestHexLiterals(object):
+    def test_0x_form(self):
+        assert tokenize("0x414243").tokens[0] == \
+            Token(TokenType.HEX, "ABC", 0)
+
+    def test_x_quote_form(self):
+        assert tokenize("x'4142'").tokens[0].value == "AB"
+
+    def test_bare_0x_is_int_then_ident(self):
+        types = types_of("0x")
+        assert types[0] == TokenType.INT
+
+    def test_unterminated_x_quote(self):
+        with pytest.raises(LexerError):
+            tokenize("x'41")
+
+
+class TestComments(object):
+    def test_dashdash_comment(self):
+        result = tokenize("SELECT 1 -- trailing words")
+        assert [t.value for t in result.tokens[:-1]] == ["SELECT", "1"]
+        assert result.comments == ["trailing words"]
+
+    def test_dashdash_requires_space(self):
+        # a--b is "a", "-", "-", "b" in MySQL
+        result = tokenize("a--b")
+        assert [t.value for t in result.tokens[:-1]] == ["a", "-", "-", "b"]
+        assert result.comments == []
+
+    def test_dashdash_at_end_of_input(self):
+        result = tokenize("SELECT 1 --")
+        assert result.comments == [""]
+
+    def test_hash_comment(self):
+        result = tokenize("SELECT 1 # note\n+ 2")
+        assert [t.value for t in result.tokens[:-1]] == \
+            ["SELECT", "1", "+", "2"]
+        assert result.comments == ["note"]
+
+    def test_c_style_comment_captured(self):
+        result = tokenize("/* septic:app:1 */ SELECT 1")
+        assert result.comments == ["septic:app:1"]
+        assert result.tokens[0].value == "SELECT"
+
+    def test_unterminated_c_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT /* oops")
+
+    def test_version_comment_content_executed(self):
+        # /*!50000 UNION */ contributes tokens, like MySQL
+        result = tokenize("SELECT 1 /*!50000 UNION SELECT 2*/")
+        values = [t.value for t in result.tokens[:-1]]
+        assert "UNION" in values and values.count("SELECT") == 2
+
+    def test_version_comment_without_number(self):
+        result = tokenize("/*! SELECT*/ 1")
+        assert result.tokens[0].value == "SELECT"
+
+    def test_multiple_comments_in_order(self):
+        result = tokenize("/* a */ SELECT 1 /* b */ -- c")
+        assert result.comments == ["a", "b", "c"]

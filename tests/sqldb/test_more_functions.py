@@ -1,0 +1,75 @@
+"""Tests for the extended builtin function set."""
+
+import pytest
+
+from repro.sqldb.connection import Connection
+
+
+@pytest.fixture
+def q(db):
+    connection = Connection(db)
+
+    def run(expression):
+        outcome = connection.query("SELECT %s" % expression)
+        if not outcome.ok:
+            raise outcome.error
+        return outcome.result_set.scalar()
+
+    return run
+
+
+class TestStringBatch(object):
+    def test_left_right(self, q):
+        assert q("LEFT('hello', 2)") == "he"
+        assert q("RIGHT('hello', 3)") == "llo"
+        assert q("LEFT('hello', 0)") == ""
+        assert q("RIGHT('hello', 0)") == ""
+        assert q("LEFT(NULL, 1)") is None
+
+    def test_lpad_rpad(self, q):
+        assert q("LPAD('5', 3, '0')") == "005"
+        assert q("RPAD('ab', 5, 'xy')") == "abxyx"
+        assert q("LPAD('hello', 3, '0')") == "hel"   # truncates
+        assert q("LPAD('a', 3, '')") is None          # empty pad
+
+    def test_repeat_reverse_space(self, q):
+        assert q("REPEAT('ab', 3)") == "ababab"
+        assert q("REPEAT('ab', -1)") == ""
+        assert q("REVERSE('abc')") == "cba"
+        assert q("SPACE(3)") == "   "
+
+    def test_instr_locate(self, q):
+        assert q("INSTR('foobar', 'bar')") == 4
+        assert q("INSTR('foobar', 'zzz')") == 0
+        assert q("LOCATE('bar', 'foobar')") == 4
+        assert q("LOCATE('o', 'foobar', 4)") == 0
+        assert q("LOCATE('O', 'foobar')") == 2   # case-insensitive
+
+    def test_strcmp(self, q):
+        assert q("STRCMP('a', 'b')") == -1
+        assert q("STRCMP('b', 'a')") == 1
+        assert q("STRCMP('A', 'a')") == 0        # ci collation
+
+
+class TestDateBatch(object):
+    def test_parts(self, q):
+        assert q("YEAR('2016-07-05 12:30:45')") == 2016
+        assert q("MONTH('2016-07-05 12:30:45')") == 7
+        assert q("DAY('2016-07-05 12:30:45')") == 5
+        assert q("HOUR('2016-07-05 12:30:45')") == 12
+        assert q("MINUTE('2016-07-05 12:30:45')") == 30
+        assert q("SECOND('2016-07-05 12:30:45')") == 45
+
+    def test_date_only_string(self, q):
+        assert q("YEAR('2016-07-05')") == 2016
+        assert q("HOUR('2016-07-05')") == 0
+
+    def test_date_function(self, q):
+        assert q("DATE('2016-07-05 12:30:45')") == "2016-07-05"
+
+    def test_null_propagates(self, q):
+        assert q("YEAR(NULL)") is None
+        assert q("DATE(NULL)") is None
+
+    def test_on_now(self, q, db):
+        assert q("YEAR(NOW())") == 2016

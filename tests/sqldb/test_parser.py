@@ -1,0 +1,410 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.errors import ParseError
+from repro.sqldb.parser import parse_one, parse_sql
+
+
+class TestSelectBasics(object):
+    def test_select_star(self):
+        stmt = parse_one("SELECT * FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert isinstance(stmt.fields[0].expr, ast.Star)
+        assert stmt.tables == [ast.TableRef("t")]
+
+    def test_select_columns_and_aliases(self):
+        stmt = parse_one("SELECT a, b AS bee, c cee FROM t")
+        assert stmt.fields[0].alias is None
+        assert stmt.fields[1].alias == "bee"
+        assert stmt.fields[2].alias == "cee"
+
+    def test_select_qualified_star(self):
+        stmt = parse_one("SELECT t.* FROM t")
+        assert stmt.fields[0].expr == ast.Star(table="t")
+
+    def test_select_without_from(self):
+        stmt = parse_one("SELECT 1 + 1")
+        assert stmt.tables == []
+
+    def test_distinct(self):
+        assert parse_one("SELECT DISTINCT a FROM t").distinct
+        assert not parse_one("SELECT a FROM t").distinct
+
+    def test_table_alias(self):
+        stmt = parse_one("SELECT * FROM t AS x")
+        assert stmt.tables[0].alias == "x"
+
+    def test_where(self):
+        stmt = parse_one("SELECT * FROM t WHERE a = 1")
+        assert stmt.where == ast.BinaryOp(
+            "=", ast.ColumnRef("a"), ast.Literal(1, "int")
+        )
+
+    def test_group_by_having(self):
+        stmt = parse_one(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1"
+        )
+        assert stmt.group_by == [ast.ColumnRef("a")]
+        assert isinstance(stmt.having, ast.BinaryOp)
+
+    def test_order_by_directions(self):
+        stmt = parse_one("SELECT * FROM t ORDER BY a DESC, b, c ASC")
+        assert [o.direction for o in stmt.order_by] == ["DESC", "ASC", "ASC"]
+
+    def test_limit_forms(self):
+        assert parse_one("SELECT * FROM t LIMIT 5").limit == \
+            ast.Limit(ast.Literal(5, "int"))
+        two = parse_one("SELECT * FROM t LIMIT 2, 5").limit
+        assert two.offset == ast.Literal(2, "int")
+        assert two.count == ast.Literal(5, "int")
+        off = parse_one("SELECT * FROM t LIMIT 5 OFFSET 2").limit
+        assert off.offset == ast.Literal(2, "int")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ParseError):
+            parse_one("")
+        with pytest.raises(ParseError):
+            parse_one("   ;;  ")
+
+
+class TestJoins(object):
+    def test_inner_join(self):
+        stmt = parse_one("SELECT * FROM a JOIN b ON a.x = b.x")
+        assert stmt.joins[0].kind == "INNER"
+        assert stmt.joins[0].table.name == "b"
+
+    def test_inner_keyword(self):
+        assert parse_one(
+            "SELECT * FROM a INNER JOIN b ON a.x = b.x"
+        ).joins[0].kind == "INNER"
+
+    def test_left_outer(self):
+        stmt = parse_one("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x")
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_right_join(self):
+        assert parse_one(
+            "SELECT * FROM a RIGHT JOIN b ON a.x = b.x"
+        ).joins[0].kind == "RIGHT"
+
+    def test_cross_join_no_on(self):
+        stmt = parse_one("SELECT * FROM a CROSS JOIN b")
+        assert stmt.joins[0].kind == "CROSS"
+        assert stmt.joins[0].on is None
+
+    def test_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse_one("SELECT * FROM a JOIN b")
+
+    def test_comma_join(self):
+        stmt = parse_one("SELECT * FROM a, b WHERE a.x = b.x")
+        assert len(stmt.tables) == 2
+
+
+class TestExpressions(object):
+    def test_precedence_or_and(self):
+        stmt = parse_one("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, ast.Cond)
+        assert stmt.where.op == "OR"
+        assert isinstance(stmt.where.operands[1], ast.Cond)
+        assert stmt.where.operands[1].op == "AND"
+
+    def test_and_chain_flattened(self):
+        stmt = parse_one("SELECT * FROM t WHERE a=1 AND b=2 AND c=3")
+        assert stmt.where.op == "AND"
+        assert len(stmt.where.operands) == 3
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_one("SELECT 1 + 2 * 3")
+        expr = stmt.fields[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_one("SELECT (1 + 2) * 3").fields[0].expr
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = parse_one("SELECT -x").fields[0].expr
+        assert expr == ast.UnaryOp("-", ast.ColumnRef("x"))
+
+    def test_not_variants(self):
+        where = parse_one("SELECT * FROM t WHERE NOT a = 1").where
+        assert isinstance(where, ast.Not)
+
+    def test_in_list(self):
+        where = parse_one("SELECT * FROM t WHERE a IN (1, 2, 3)").where
+        assert isinstance(where, ast.InList)
+        assert len(where.items) == 3
+
+    def test_not_in(self):
+        where = parse_one("SELECT * FROM t WHERE a NOT IN (1)").where
+        assert where.negated
+
+    def test_in_subquery(self):
+        where = parse_one(
+            "SELECT * FROM t WHERE a IN (SELECT b FROM u)"
+        ).where
+        assert isinstance(where.items, ast.Subquery)
+
+    def test_between(self):
+        where = parse_one("SELECT * FROM t WHERE a BETWEEN 1 AND 5").where
+        assert isinstance(where, ast.Between)
+        assert not where.negated
+
+    def test_not_between(self):
+        where = parse_one(
+            "SELECT * FROM t WHERE a NOT BETWEEN 1 AND 5"
+        ).where
+        assert where.negated
+
+    def test_like_and_not_like(self):
+        like = parse_one("SELECT * FROM t WHERE a LIKE 'x%'").where
+        assert isinstance(like, ast.Like) and like.op == "LIKE"
+        nlike = parse_one("SELECT * FROM t WHERE a NOT LIKE 'x%'").where
+        assert nlike.negated
+
+    def test_regexp(self):
+        where = parse_one("SELECT * FROM t WHERE a REGEXP '^x'").where
+        assert where.op == "REGEXP"
+
+    def test_is_null_and_not_null(self):
+        where = parse_one("SELECT * FROM t WHERE a IS NULL").where
+        assert isinstance(where, ast.IsNull) and not where.negated
+        where2 = parse_one("SELECT * FROM t WHERE a IS NOT NULL").where
+        assert where2.negated
+
+    def test_null_safe_equal(self):
+        where = parse_one("SELECT * FROM t WHERE a <=> NULL").where
+        assert where.op == "<=>"
+
+    def test_function_call(self):
+        expr = parse_one("SELECT CONCAT(a, 'x', 1)").fields[0].expr
+        assert expr == ast.FuncCall(
+            "CONCAT",
+            [ast.ColumnRef("a"), ast.Literal("x", "string"),
+             ast.Literal(1, "int")],
+        )
+
+    def test_count_star(self):
+        expr = parse_one("SELECT COUNT(*) FROM t").fields[0].expr
+        assert expr.name == "COUNT"
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        expr = parse_one("SELECT COUNT(DISTINCT a) FROM t").fields[0].expr
+        assert expr.distinct
+
+    def test_keyword_named_functions(self):
+        assert parse_one("SELECT IF(1, 2, 3)").fields[0].expr.name == "IF"
+        assert parse_one("SELECT CHAR(39)").fields[0].expr.name == "CHAR"
+        assert parse_one("SELECT MOD(7, 3)").fields[0].expr.name == "MOD"
+
+    def test_case_searched(self):
+        expr = parse_one(
+            "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t"
+        ).fields[0].expr
+        assert isinstance(expr, ast.Case)
+        assert expr.operand is None
+        assert len(expr.whens) == 1
+
+    def test_case_with_operand(self):
+        expr = parse_one(
+            "SELECT CASE a WHEN 1 THEN 'x' WHEN 2 THEN 'y' END FROM t"
+        ).fields[0].expr
+        assert expr.operand == ast.ColumnRef("a")
+        assert len(expr.whens) == 2
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_one("SELECT CASE ELSE 1 END")
+
+    def test_exists(self):
+        where = parse_one(
+            "SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u)"
+        ).where
+        assert isinstance(where, ast.Exists)
+
+    def test_scalar_subquery(self):
+        expr = parse_one("SELECT (SELECT MAX(a) FROM t)").fields[0].expr
+        assert isinstance(expr, ast.Subquery)
+
+    def test_qualified_column(self):
+        expr = parse_one("SELECT t.a FROM t").fields[0].expr
+        assert expr == ast.ColumnRef("a", table="t")
+
+    def test_true_false_null_literals(self):
+        fields = parse_one("SELECT TRUE, FALSE, NULL").fields
+        assert fields[0].expr == ast.Literal(True, "bool")
+        assert fields[1].expr == ast.Literal(False, "bool")
+        assert fields[2].expr == ast.Literal(None, "null")
+
+
+class TestUnion(object):
+    def test_union_distinct_default(self):
+        stmt = parse_one("SELECT a FROM t UNION SELECT b FROM u")
+        assert len(stmt.unions) == 1
+        all_flag, branch = stmt.unions[0]
+        assert not all_flag
+        assert isinstance(branch, ast.Select)
+
+    def test_union_all(self):
+        stmt = parse_one("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert stmt.unions[0][0] is True
+
+    def test_union_chain(self):
+        stmt = parse_one(
+            "SELECT a FROM t UNION SELECT b FROM u UNION SELECT c FROM v"
+        )
+        assert len(stmt.unions) == 2
+
+    def test_union_trailing_order_by(self):
+        stmt = parse_one(
+            "SELECT a FROM t UNION SELECT b FROM u ORDER BY 1"
+        )
+        assert stmt.order_by
+
+
+class TestDml(object):
+    def test_insert_values(self):
+        stmt = parse_one("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert stmt.table == "t"
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 1
+
+    def test_insert_multi_row(self):
+        stmt = parse_one("INSERT INTO t (a) VALUES (1), (2), (3)")
+        assert len(stmt.rows) == 3
+
+    def test_insert_without_columns(self):
+        stmt = parse_one("INSERT INTO t VALUES (1, 2)")
+        assert stmt.columns == []
+
+    def test_insert_set_form(self):
+        stmt = parse_one("INSERT INTO t SET a = 1, b = 'x'")
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 1
+
+    def test_insert_ignore(self):
+        assert parse_one("INSERT IGNORE INTO t (a) VALUES (1)").ignore
+
+    def test_update(self):
+        stmt = parse_one("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert stmt.table == "t"
+        assert [col for col, _ in stmt.assignments] == ["a", "b"]
+        assert stmt.where is not None
+
+    def test_update_with_limit(self):
+        stmt = parse_one("UPDATE t SET a = 1 LIMIT 2")
+        assert stmt.limit.count == ast.Literal(2, "int")
+
+    def test_delete(self):
+        stmt = parse_one("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_delete_without_where(self):
+        assert parse_one("DELETE FROM t").where is None
+
+
+class TestDdl(object):
+    def test_create_table(self):
+        stmt = parse_one(
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, "
+            "name VARCHAR(40) NOT NULL, note TEXT, score FLOAT DEFAULT 0)"
+        )
+        assert stmt.name == "t"
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[0].auto_increment
+        assert stmt.columns[1].length == 40
+        assert stmt.columns[1].not_null
+        assert stmt.columns[3].default.value == 0
+
+    def test_create_if_not_exists(self):
+        assert parse_one(
+            "CREATE TABLE IF NOT EXISTS t (a INT)"
+        ).if_not_exists
+
+    def test_primary_key_clause(self):
+        stmt = parse_one("CREATE TABLE t (a INT, b INT, PRIMARY KEY (b))")
+        assert not stmt.columns[0].primary_key
+        assert stmt.columns[1].primary_key
+
+    def test_primary_key_unknown_column(self):
+        with pytest.raises(ParseError):
+            parse_one("CREATE TABLE t (a INT, PRIMARY KEY (zz))")
+
+    def test_drop_table(self):
+        stmt = parse_one("DROP TABLE t")
+        assert isinstance(stmt, ast.DropTable) and not stmt.if_exists
+
+    def test_drop_if_exists(self):
+        assert parse_one("DROP TABLE IF EXISTS t").if_exists
+
+    def test_show_tables(self):
+        assert isinstance(parse_one("SHOW TABLES"), ast.ShowTables)
+
+    def test_describe(self):
+        assert parse_one("DESCRIBE t").table == "t"
+
+
+class TestMultiStatement(object):
+    def test_two_statements(self):
+        statements, _ = parse_sql("SELECT 1; SELECT 2")
+        assert len(statements) == 2
+
+    def test_trailing_semicolons(self):
+        statements, _ = parse_sql("SELECT 1;;;")
+        assert len(statements) == 1
+
+    def test_comments_surface(self):
+        _, comments = parse_sql("/* id:9 */ SELECT 1 -- tail")
+        assert comments == ["id:9", "tail"]
+
+    def test_garbage_after_statement(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT 1 SELECT 2")
+
+    def test_statement_must_start_with_keyword(self):
+        with pytest.raises(ParseError):
+            parse_one("foo bar")
+
+    def test_parse_one_rejects_two(self):
+        with pytest.raises(ParseError):
+            parse_one("SELECT 1; SELECT 2")
+
+
+class TestTransactionAndIndexStatements(object):
+    def test_begin_variants(self):
+        assert isinstance(parse_one("BEGIN"), ast.Begin)
+        assert isinstance(parse_one("START TRANSACTION"), ast.Begin)
+
+    def test_commit_rollback(self):
+        assert isinstance(parse_one("COMMIT"), ast.Commit)
+        assert isinstance(parse_one("ROLLBACK"), ast.Rollback)
+
+    def test_create_index(self):
+        stmt = parse_one("CREATE INDEX idx ON t (col)")
+        assert isinstance(stmt, ast.CreateIndex)
+        assert (stmt.name, stmt.table, stmt.column) == ("idx", "t", "col")
+
+    def test_create_unique_index(self):
+        stmt = parse_one("CREATE UNIQUE INDEX idx ON t (col)")
+        assert isinstance(stmt, ast.CreateIndex)
+
+    def test_drop_index(self):
+        stmt = parse_one("DROP INDEX idx ON t")
+        assert isinstance(stmt, ast.DropIndex)
+        assert stmt.name == "idx" and stmt.table == "t"
+
+    def test_explain(self):
+        stmt = parse_one("EXPLAIN SELECT * FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Explain)
+        assert isinstance(stmt.select, ast.Select)
+
+    def test_replace_statement_vs_function(self):
+        stmt = parse_one("REPLACE INTO t (a) VALUES (REPLACE('x','x','y'))")
+        assert stmt.replace
+        assert stmt.rows[0][0].name == "REPLACE"

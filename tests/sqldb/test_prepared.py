@@ -1,0 +1,178 @@
+"""Tests for prepared statements and their SEPTIC interplay."""
+
+import pytest
+
+from repro.core.septic import Mode, Septic
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+from repro.sqldb.errors import SQLError
+from repro.sqldb.prepared import bind_params, count_params, literal_for
+from repro.sqldb.parser import parse_one
+from repro.sqldb import ast_nodes as ast
+from tests.conftest import TICKETS_SCHEMA
+
+
+class TestBinding(object):
+    def test_count_params(self):
+        stmt = parse_one("SELECT * FROM t WHERE a = ? AND b = ?")
+        assert count_params(stmt) == 2
+
+    def test_bind_in_order(self):
+        stmt = parse_one("SELECT * FROM t WHERE a = ? AND b = ?")
+        bound = bind_params(stmt, ["x", 5])
+        assert bound.where.operands[0].right == ast.Literal("x", "string")
+        assert bound.where.operands[1].right == ast.Literal(5, "int")
+
+    def test_bind_does_not_mutate_original(self):
+        stmt = parse_one("SELECT * FROM t WHERE a = ?")
+        bind_params(stmt, [1])
+        assert count_params(stmt) == 1
+
+    def test_bind_in_insert_values(self):
+        stmt = parse_one("INSERT INTO t (a, b) VALUES (?, ?)")
+        bound = bind_params(stmt, [1, "x"])
+        assert bound.rows[0][0] == ast.Literal(1, "int")
+
+    def test_bind_in_update_assignment(self):
+        stmt = parse_one("UPDATE t SET a = ? WHERE b = ?")
+        bound = bind_params(stmt, ["v", 2])
+        col, expr = bound.assignments[0]
+        assert expr == ast.Literal("v", "string")
+
+    def test_bind_in_limit(self):
+        stmt = parse_one("SELECT * FROM t LIMIT ?")
+        bound = bind_params(stmt, [3])
+        assert bound.limit.count == ast.Literal(3, "int")
+
+    def test_param_count_mismatch(self):
+        stmt = parse_one("SELECT * FROM t WHERE a = ?")
+        with pytest.raises(SQLError):
+            bind_params(stmt, [1, 2])
+        with pytest.raises(SQLError):
+            bind_params(stmt, [])
+
+    def test_literal_types(self):
+        assert literal_for(None).type_tag == "null"
+        assert literal_for(True).type_tag == "bool"
+        assert literal_for(3).type_tag == "int"
+        assert literal_for(2.5).type_tag == "float"
+        assert literal_for("s").type_tag == "string"
+        with pytest.raises(SQLError):
+            literal_for(object())
+
+
+class TestExecution(object):
+    def test_prepare_and_execute(self, db, conn):
+        ps = conn.prepare(
+            "SELECT reservID FROM tickets WHERE creditCard = ?"
+        )
+        assert ps.param_count == 1
+        outcome = conn.execute_prepared(ps, 1234)
+        assert outcome.rows == [("ID34FG",)]
+
+    def test_reuse_with_different_params(self, conn):
+        ps = conn.prepare(
+            "SELECT reservID FROM tickets WHERE creditCard = ?"
+        )
+        assert conn.execute_prepared(ps, 1234).rows == [("ID34FG",)]
+        assert conn.execute_prepared(ps, 9999).rows == [("ZZ11AA",)]
+
+    def test_prepared_insert(self, db, conn):
+        ps = conn.prepare(
+            "INSERT INTO tickets (reservID, creditCard) VALUES (?, ?)"
+        )
+        outcome = conn.execute_prepared(ps, "NEW001", 42)
+        assert outcome.affected_rows == 1
+        assert len(db.table("tickets")) == 4
+
+    def test_params_as_sequence(self, conn):
+        ps = conn.prepare(
+            "SELECT COUNT(*) FROM tickets WHERE creditCard > ?"
+        )
+        assert ps.execute([2000]).result_set.scalar() == 2
+
+    def test_multi_statement_prepare_rejected(self, conn):
+        with pytest.raises(SQLError):
+            conn.prepare("SELECT 1; SELECT 2")
+
+    def test_unbound_param_cannot_execute_directly(self, conn):
+        outcome = conn.query("SELECT * FROM tickets WHERE id = ?")
+        assert not outcome.ok
+
+
+class TestInjectionImmunity(object):
+    def test_quote_in_parameter_is_data(self, conn):
+        ps = conn.prepare(
+            "SELECT COUNT(*) FROM tickets WHERE reservID = ?"
+        )
+        outcome = conn.execute_prepared(ps, "x' OR '1'='1")
+        assert outcome.result_set.scalar() == 0  # matched nothing, no dump
+
+    def test_unicode_confusable_in_parameter_stays_verbatim(self, db,
+                                                            conn):
+        """Binary-protocol binding: the decoder never sees parameters, so
+        U+02BC remains data — the channel that beats escaping does not
+        exist here."""
+        ps = conn.prepare(
+            "INSERT INTO tickets (reservID, creditCard) VALUES (?, ?)"
+        )
+        conn.execute_prepared(ps, "IDʼ-- ", 1)
+        stored = db.table("tickets").rows[-1]["reservid"]
+        assert stored == "IDʼ-- "  # the prime survived, unfolded
+
+    def test_numeric_context_payload_is_coerced_not_executed(self, conn):
+        ps = conn.prepare(
+            "SELECT COUNT(*) FROM tickets WHERE creditCard = ?"
+        )
+        outcome = conn.execute_prepared(ps, "0 OR 1=1")
+        # the string is DATA compared against an INT column: coerces to 0
+        assert outcome.result_set.scalar() == 0
+
+
+class TestSepticInterplay(object):
+    def test_literal_training_covers_prepared_execution(self):
+        """A model learned from a literal query matches the prepared
+        execution of the same statement (same stack shape)."""
+        septic = Septic(mode=Mode.TRAINING)
+        database = Database(septic=septic)
+        database.seed(TICKETS_SCHEMA)
+        conn = Connection(database)
+        conn.query("/* septic:s:1 */ SELECT * FROM tickets "
+                   "WHERE reservID = 'a' AND creditCard = 1")
+        septic.mode = Mode.PREVENTION
+        ps = conn.prepare("/* septic:s:1 */ SELECT * FROM tickets "
+                          "WHERE reservID = ? AND creditCard = ?")
+        outcome = conn.execute_prepared(ps, "ID34FG", 1234)
+        assert outcome.ok
+        assert outcome.rows == [(1, "ID34FG", 1234)]
+        assert septic.stats.attacks_detected == 0
+
+    def test_prepared_training_covers_literal_queries(self):
+        septic = Septic(mode=Mode.TRAINING)
+        database = Database(septic=septic)
+        database.seed(TICKETS_SCHEMA)
+        conn = Connection(database)
+        ps = conn.prepare("/* septic:s:2 */ SELECT * FROM tickets "
+                          "WHERE reservID = ? AND creditCard = ?")
+        conn.execute_prepared(ps, "a", 1)
+        septic.mode = Mode.PREVENTION
+        outcome = conn.query(
+            "/* septic:s:2 */ SELECT * FROM tickets "
+            "WHERE reservID = 'b' AND creditCard = 2"
+        )
+        assert outcome.ok
+
+    def test_attack_through_literal_still_blocked(self):
+        septic = Septic(mode=Mode.TRAINING)
+        database = Database(septic=septic)
+        database.seed(TICKETS_SCHEMA)
+        conn = Connection(database)
+        ps = conn.prepare("/* septic:s:3 */ SELECT * FROM tickets "
+                          "WHERE reservID = ? AND creditCard = ?")
+        conn.execute_prepared(ps, "a", 1)
+        septic.mode = Mode.PREVENTION
+        outcome = conn.query(
+            "/* septic:s:3 */ SELECT * FROM tickets "
+            "WHERE reservID = 'b' AND 1=1-- ' AND creditCard = 2"
+        )
+        assert not outcome.ok  # mimicry against the prepared-learned model

@@ -1,0 +1,103 @@
+"""Direct tests for the storage engine (Table/Column/ResultSet)."""
+
+import pytest
+
+from repro.sqldb.errors import ExecutionError
+from repro.sqldb.storage import Column, ResultSet, Table
+
+
+def make_table():
+    return Table("t", [
+        Column("id", "INT", primary_key=True, auto_increment=True),
+        Column("name", "VARCHAR", length=10, not_null=True),
+        Column("score", "FLOAT", default=1.5),
+        Column("tag", "VARCHAR", length=5, unique=True),
+    ])
+
+
+class TestTable(object):
+    def test_auto_increment_sequence(self):
+        table = make_table()
+        assert table.insert({"name": "a"}) == 1
+        assert table.insert({"name": "b"}) == 2
+        assert len(table) == 2
+
+    def test_explicit_id_advances_counter(self):
+        table = make_table()
+        table.insert({"id": 10, "name": "a"})
+        assert table.insert({"name": "b"}) == 11
+
+    def test_default_applied(self):
+        table = make_table()
+        table.insert({"name": "a"})
+        assert table.rows[0]["score"] == 1.5
+
+    def test_not_null_text_backfill(self):
+        table = make_table()
+        table.insert({})
+        assert table.rows[0]["name"] == ""
+
+    def test_varchar_truncation(self):
+        table = make_table()
+        table.insert({"name": "abcdefghijKLMNOP"})
+        assert table.rows[0]["name"] == "abcdefghij"
+
+    def test_primary_key_conflict(self):
+        table = make_table()
+        table.insert({"id": 1, "name": "a"})
+        with pytest.raises(ExecutionError) as err:
+            table.insert({"id": 1, "name": "b"})
+        assert err.value.errno == 1062
+
+    def test_unique_conflict(self):
+        table = make_table()
+        table.insert({"name": "a", "tag": "x"})
+        with pytest.raises(ExecutionError):
+            table.insert({"name": "b", "tag": "x"})
+
+    def test_unique_allows_null_duplicates(self):
+        table = make_table()
+        table.insert({"name": "a"})
+        table.insert({"name": "b"})  # both tags NULL: fine
+        assert len(table) == 2
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(ExecutionError):
+            Table("bad", [Column("x", "INT"), Column("x", "INT")])
+
+    def test_has_column_and_names(self):
+        table = make_table()
+        assert table.has_column("NAME")       # case-insensitive
+        assert not table.has_column("nope")
+        assert table.column_names() == ["id", "name", "score", "tag"]
+
+    def test_convert_uses_column_type(self):
+        table = make_table()
+        assert table.convert("score", "2.5x") == 2.5
+        assert table.convert("name", 123) == "123"
+
+
+class TestResultSet(object):
+    def test_accessors(self):
+        rs = ResultSet(["a", "b"], [(1, "x"), (2, "y")])
+        assert len(rs) == 2
+        assert rs.scalar() == 1
+        assert rs.column("b") == ["x", "y"]
+        assert rs.rows_as_dicts() == [
+            {"a": 1, "b": "x"}, {"a": 2, "b": "y"},
+        ]
+
+    def test_scalar_of_empty(self):
+        assert ResultSet(["a"], []).scalar() is None
+
+    def test_equality(self):
+        assert ResultSet(["a"], [(1,)]) == ResultSet(["a"], [(1,)])
+        assert ResultSet(["a"], [(1,)]) != ResultSet(["a"], [(2,)])
+
+    def test_rows_are_tuples(self):
+        rs = ResultSet(["a"], [[1], [2]])
+        assert all(isinstance(row, tuple) for row in rs.rows)
+
+    def test_iteration(self):
+        rs = ResultSet(["a"], [(1,), (2,)])
+        assert [row[0] for row in rs] == [1, 2]

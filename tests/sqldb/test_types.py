@@ -1,0 +1,150 @@
+"""Tests for MySQL-flavoured value semantics."""
+
+import pytest
+
+from repro.sqldb.types import (
+    coerce_to_number,
+    compare,
+    is_truthy,
+    null_safe_equal,
+    render_value,
+    sort_key,
+    store_convert,
+)
+
+
+class TestCoerceToNumber(object):
+    def test_none(self):
+        assert coerce_to_number(None) is None
+
+    def test_int_float_passthrough(self):
+        assert coerce_to_number(5) == 5
+        assert coerce_to_number(2.5) == 2.5
+
+    def test_bool(self):
+        assert coerce_to_number(True) == 1
+
+    def test_prefix_int(self):
+        assert coerce_to_number("1abc") == 1
+
+    def test_prefix_float(self):
+        assert coerce_to_number("12.5x") == 12.5
+
+    def test_garbage_is_zero(self):
+        assert coerce_to_number("abc") == 0
+
+    def test_empty_is_zero(self):
+        assert coerce_to_number("") == 0
+
+    def test_whitespace_stripped(self):
+        assert coerce_to_number("  42  ") == 42
+
+    def test_sign(self):
+        assert coerce_to_number("-3") == -3
+        assert coerce_to_number("+7") == 7
+
+    def test_lone_sign_is_zero(self):
+        assert coerce_to_number("-") == 0
+
+    def test_scientific(self):
+        assert coerce_to_number("1e3") == 1000.0
+
+    def test_dot_only(self):
+        assert coerce_to_number(".") == 0
+
+    def test_leading_dot(self):
+        assert coerce_to_number(".5x") == 0.5
+
+
+class TestCompare(object):
+    def test_null_propagates(self):
+        assert compare(None, 1) is None
+        assert compare("x", None) is None
+
+    def test_numeric(self):
+        assert compare(1, 2) == -1
+        assert compare(2, 1) == 1
+        assert compare(2, 2) == 0
+
+    def test_string_numeric_coercion(self):
+        # the classic: '1abc' = 1 is true in MySQL
+        assert compare("1abc", 1) == 0
+        assert compare("abc", 0) == 0
+
+    def test_string_string_case_insensitive(self):
+        assert compare("Admin", "admin") == 0
+        assert compare("a", "b") == -1
+
+    def test_string_confusable_folding(self):
+        # utf8_general_ci treats U+02BC like the ASCII quote
+        assert compare("oʼbrien", "o'brien") == 0
+
+    def test_null_safe_equal(self):
+        assert null_safe_equal(None, None) == 1
+        assert null_safe_equal(None, 1) == 0
+        assert null_safe_equal(3, "3") == 1
+
+
+class TestTruthiness(object):
+    def test_null_is_none(self):
+        assert is_truthy(None) is None
+
+    def test_nonzero_number(self):
+        assert is_truthy(5) is True
+        assert is_truthy(0) is False
+
+    def test_string_prefix(self):
+        assert is_truthy("1x") is True
+        assert is_truthy("x") is False  # 'x' coerces to 0
+
+
+class TestSortKey(object):
+    def test_nulls_first(self):
+        values = ["b", None, 1, "a"]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None
+
+    def test_numbers_before_strings(self):
+        assert sorted(["z", 5], key=sort_key) == [5, "z"]
+
+    def test_case_insensitive_strings(self):
+        assert sorted(["B", "a"], key=sort_key) == ["a", "B"]
+
+
+class TestStoreConvert(object):
+    def test_int_from_string(self):
+        assert store_convert("42abc", "INT") == 42
+
+    def test_float(self):
+        assert store_convert("2.5", "FLOAT") == 2.5
+
+    def test_varchar_silent_truncation(self):
+        assert store_convert("abcdef", "VARCHAR", 3) == "abc"
+
+    def test_text_not_truncated(self):
+        assert store_convert("x" * 100, "TEXT", 3) == "x" * 100
+
+    def test_null_passthrough(self):
+        assert store_convert(None, "INT") is None
+
+    def test_number_to_string(self):
+        assert store_convert(5, "VARCHAR", 10) == "5"
+        assert store_convert(5.0, "VARCHAR", 10) == "5"
+
+    def test_bool_to_int(self):
+        assert store_convert(True, "BOOLEAN") == 1
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            store_convert("x", "BLOB")
+
+
+class TestRenderValue(object):
+    def test_null(self):
+        assert render_value(None) == "NULL"
+
+    def test_float_integral(self):
+        assert render_value(3.0) == "3"
+
+    def test_string_passthrough(self):
+        assert render_value("x") == "x"

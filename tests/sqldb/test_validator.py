@@ -1,0 +1,243 @@
+"""Tests for semantic validation and item-stack construction."""
+
+import pytest
+
+from repro.sqldb.errors import ValidationError
+from repro.sqldb.items import Item, ItemKind
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+
+
+def stack_of(sql, catalog=None):
+    return validate(parse_one(sql), catalog)
+
+
+def shape(stack):
+    return [(item.kind, item.value) for item in stack]
+
+
+class TestPaperFigure2(object):
+    """The exact stack of the paper's Figure 2a."""
+
+    def test_ticket_query_stack(self, db):
+        stack = stack_of(
+            "SELECT * FROM tickets WHERE reservID = 'ID34FG' "
+            "AND creditCard = 1234",
+            db.tables,
+        )
+        assert shape(stack) == [
+            (ItemKind.FROM_TABLE, "tickets"),
+            (ItemKind.SELECT_FIELD, "*"),
+            (ItemKind.FIELD_ITEM, "reservid"),
+            (ItemKind.STRING_ITEM, "ID34FG"),
+            (ItemKind.FUNC_ITEM, "="),
+            (ItemKind.FIELD_ITEM, "creditcard"),
+            (ItemKind.INT_ITEM, 1234),
+            (ItemKind.FUNC_ITEM, "="),
+            (ItemKind.COND_ITEM, "AND"),
+        ]
+
+    def test_figure3_attack_stack_is_five_nodes(self, db):
+        stack = stack_of(
+            "SELECT * FROM tickets WHERE reservID = 'ID34FG'", db.tables
+        )
+        assert len(stack) == 5
+
+    def test_figure4_mimicry_stack_same_count(self, db):
+        benign = stack_of(
+            "SELECT * FROM tickets WHERE reservID = 'x' "
+            "AND creditCard = 1",
+            db.tables,
+        )
+        mimicry = stack_of(
+            "SELECT * FROM tickets WHERE reservID = 'ID34FG' AND 1=1",
+            db.tables,
+        )
+        assert len(benign) == len(mimicry)
+        # node 5 (0-based) differs: INT_ITEM 1 vs FIELD_ITEM creditcard
+        assert mimicry[5] == Item(ItemKind.INT_ITEM, 1)
+        assert benign[5] == Item(ItemKind.FIELD_ITEM, "creditcard")
+
+
+class TestExpressionsPostorder(object):
+    def test_operands_before_operator(self):
+        stack = stack_of("SELECT a + b * 2 FROM t")
+        assert shape(stack)[1:] == [
+            (ItemKind.FIELD_ITEM, "a"),
+            (ItemKind.FIELD_ITEM, "b"),
+            (ItemKind.INT_ITEM, 2),
+            (ItemKind.FUNC_ITEM, "*"),
+            (ItemKind.FUNC_ITEM, "+"),
+        ]
+
+    def test_cond_flattening_one_node(self):
+        stack = stack_of("SELECT * FROM t WHERE a=1 AND b=2 AND c=3")
+        conds = [i for i in stack if i.kind == ItemKind.COND_ITEM]
+        assert len(conds) == 1 and conds[0].value == "AND"
+
+    def test_function_call(self):
+        stack = stack_of("SELECT CONCAT(a, 'x') FROM t")
+        assert (ItemKind.FUNC_ITEM, "CONCAT") in shape(stack)
+
+    def test_in_list(self):
+        stack = stack_of("SELECT * FROM t WHERE a IN (1, 2)")
+        assert shape(stack)[-1] == (ItemKind.FUNC_ITEM, "IN")
+
+    def test_not_in(self):
+        stack = stack_of("SELECT * FROM t WHERE a NOT IN (1)")
+        assert shape(stack)[-1] == (ItemKind.FUNC_ITEM, "NOT IN")
+
+    def test_between(self):
+        stack = stack_of("SELECT * FROM t WHERE a BETWEEN 1 AND 2")
+        assert shape(stack)[-1] == (ItemKind.FUNC_ITEM, "BETWEEN")
+
+    def test_is_null(self):
+        stack = stack_of("SELECT * FROM t WHERE a IS NULL")
+        assert shape(stack)[-1] == (ItemKind.FUNC_ITEM, "IS NULL")
+
+    def test_like(self):
+        stack = stack_of("SELECT * FROM t WHERE a LIKE 'x%'")
+        assert shape(stack)[-1] == (ItemKind.FUNC_ITEM, "LIKE")
+
+    def test_bool_literal_is_int_item(self):
+        stack = stack_of("SELECT * FROM t WHERE a = TRUE")
+        assert (ItemKind.INT_ITEM, 1) in shape(stack)
+
+    def test_null_literal(self):
+        stack = stack_of("SELECT * FROM t WHERE a <=> NULL")
+        assert (ItemKind.NULL_ITEM, None) in shape(stack)
+
+    def test_param_item(self):
+        stack = stack_of("SELECT * FROM t WHERE a = ?")
+        assert (ItemKind.PARAM_ITEM, "?") in shape(stack)
+
+    def test_subquery_markers(self):
+        stack = stack_of(
+            "SELECT * FROM t WHERE a IN (SELECT b FROM u)"
+        )
+        kinds = [item.kind for item in stack]
+        begin = kinds.index(ItemKind.SUBSELECT_ITEM)
+        assert stack[begin].value == "BEGIN"
+        assert any(
+            item.kind == ItemKind.SUBSELECT_ITEM and item.value == "END"
+            for item in stack
+        )
+
+    def test_case_markers(self):
+        stack = stack_of("SELECT CASE WHEN a=1 THEN 2 ELSE 3 END FROM t")
+        case_nodes = [i for i in stack if i.kind == ItemKind.CASE_ITEM]
+        assert [n.value for n in case_nodes] == ["CASE", "END"]
+
+
+class TestStatementShapes(object):
+    def test_insert_stack(self, db):
+        stack = stack_of(
+            "INSERT INTO tickets (reservID, creditCard) "
+            "VALUES ('AA', 1), ('BB', 2)",
+            db.tables,
+        )
+        assert shape(stack) == [
+            (ItemKind.INSERT_TABLE, "tickets"),
+            (ItemKind.INSERT_FIELD, "reservid"),
+            (ItemKind.INSERT_FIELD, "creditcard"),
+            (ItemKind.ROW_ITEM, "ROW"),
+            (ItemKind.STRING_ITEM, "AA"),
+            (ItemKind.INT_ITEM, 1),
+            (ItemKind.ROW_ITEM, "ROW"),
+            (ItemKind.STRING_ITEM, "BB"),
+            (ItemKind.INT_ITEM, 2),
+        ]
+
+    def test_insert_without_columns_expands(self, db):
+        stack = stack_of("INSERT INTO tickets VALUES (1, 'AA', 2)",
+                         db.tables)
+        fields = [i.value for i in stack
+                  if i.kind == ItemKind.INSERT_FIELD]
+        assert fields == ["id", "reservid", "creditcard"]
+
+    def test_insert_column_count_mismatch(self, db):
+        with pytest.raises(ValidationError):
+            stack_of("INSERT INTO tickets (reservID) VALUES ('A', 1)",
+                     db.tables)
+
+    def test_update_stack(self, db):
+        stack = stack_of(
+            "UPDATE tickets SET creditCard = 5 WHERE reservID = 'x'",
+            db.tables,
+        )
+        assert shape(stack)[0] == (ItemKind.UPDATE_TABLE, "tickets")
+        assert (ItemKind.UPDATE_FIELD, "creditcard") in shape(stack)
+
+    def test_delete_stack(self, db):
+        stack = stack_of("DELETE FROM tickets WHERE id = 1", db.tables)
+        assert shape(stack)[0] == (ItemKind.DELETE_TABLE, "tickets")
+
+    def test_join_markers(self):
+        stack = stack_of("SELECT * FROM a JOIN b ON a.x = b.x")
+        assert (ItemKind.JOIN_ITEM, "INNER") in shape(stack)
+        tables = [i.value for i in stack if i.kind == ItemKind.FROM_TABLE]
+        assert tables == ["a", "b"]
+
+    def test_order_group_limit_markers(self):
+        stack = stack_of(
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 0 "
+            "ORDER BY a DESC LIMIT 5"
+        )
+        kinds = [item.kind for item in stack]
+        assert ItemKind.GROUP_ITEM in kinds
+        assert ItemKind.HAVING_ITEM in kinds
+        assert ItemKind.ORDER_ITEM in kinds
+        assert ItemKind.LIMIT_ITEM in kinds
+        order = next(i for i in stack if i.kind == ItemKind.ORDER_ITEM)
+        assert order.value == "DESC"
+
+    def test_union_marker(self):
+        stack = stack_of("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert (ItemKind.UNION_ITEM, "ALL") in shape(stack)
+
+    def test_ddl_produces_empty_stack(self, db):
+        assert stack_of("DROP TABLE tickets", db.tables) == []
+        assert stack_of("SHOW TABLES", db.tables) == []
+
+
+class TestNameResolution(object):
+    def test_unknown_table(self, db):
+        with pytest.raises(ValidationError):
+            stack_of("SELECT * FROM nope", db.tables)
+
+    def test_unknown_column(self, db):
+        with pytest.raises(ValidationError):
+            stack_of("SELECT nope FROM tickets", db.tables)
+
+    def test_unknown_qualified_column(self, db):
+        with pytest.raises(ValidationError):
+            stack_of("SELECT tickets.nope FROM tickets", db.tables)
+
+    def test_unknown_alias(self, db):
+        with pytest.raises(ValidationError):
+            stack_of("SELECT x.id FROM tickets t", db.tables)
+
+    def test_alias_resolution(self, db):
+        stack = stack_of("SELECT t.id FROM tickets t", db.tables)
+        assert (ItemKind.FIELD_ITEM, "id") in shape(stack)
+
+    def test_case_insensitive_names(self, db):
+        stack = stack_of("SELECT RESERVID FROM TICKETS", db.tables)
+        assert (ItemKind.FIELD_ITEM, "reservid") in shape(stack)
+
+    def test_no_catalog_skips_resolution(self):
+        stack = stack_of("SELECT whatever FROM wherever")
+        assert (ItemKind.FIELD_ITEM, "whatever") in shape(stack)
+
+    def test_correlated_subquery_outer_column(self, db):
+        # inner query may reference the outer scope
+        stack = stack_of(
+            "SELECT * FROM tickets t WHERE EXISTS "
+            "(SELECT 1 FROM tickets u WHERE u.id = t.id)",
+            db.tables,
+        )
+        assert len(stack) > 0
+
+    def test_update_unknown_column(self, db):
+        with pytest.raises(ValidationError):
+            stack_of("UPDATE tickets SET nope = 1", db.tables)

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import io
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser(object):
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_attack_protection_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--protection", "magic"])
+
+
+class TestCommands(object):
+    def test_demo(self):
+        code, text = run_cli(["demo"])
+        assert code == 0
+        assert "second_order_unicode" in text
+        assert "septic-block" in text
+        assert "0 false positives" in text
+
+    def test_attack_septic_blocks_everything(self):
+        code, text = run_cli(["attack", "--protection", "septic"])
+        assert code == 0
+        assert "0 succeeded" in text
+
+    def test_attack_none_reports_successes(self):
+        code, text = run_cli(["attack", "--protection", "none"])
+        assert code == 0
+        assert "SUCCESS" in text
+
+    def test_attack_modsec_nonzero_exit_on_misses(self):
+        code, text = run_cli(["attack", "--protection", "modsec"])
+        assert code == 1           # false negatives -> failure exit code
+        assert "waf-blocked" in text
+
+    def test_train_persists_store(self, tmp_path):
+        store = str(tmp_path / "models.json")
+        code, text = run_cli(["train", "--store", store, "--passes", "1"])
+        assert code == 0
+        assert os.path.exists(store)
+        assert "models" in text
+
+    def test_status(self):
+        code, text = run_cli(["status"])
+        assert code == 0
+        assert "mode:" in text and "PREVENTION" in text
+        assert "stats.attacks_detected" in text
+
+    def test_scan_smoke(self):
+        code, text = run_cli(["scan", "--protection", "septic"])
+        assert code == 0
+        assert "probe requests" in text

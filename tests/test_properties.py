@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These pin the contracts everything else relies on:
+
+* escaping + lexing round-trips arbitrary strings;
+* QS→QM abstraction preserves shape and erases data;
+* the detector is reflexive (a query always matches its own model);
+* query IDs are data-independent but structure-sensitive;
+* the store round-trips through JSON;
+* coercion/comparison semantics are total and consistent.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detector import AttackDetector
+from repro.core.id_generator import IdGenerator
+from repro.core.query_model import BOTTOM, QueryModel
+from repro.core.query_structure import QueryStructure
+from repro.core.store import QMStore
+from repro.sqldb.charset import decode_query, escape_string
+from repro.sqldb.items import DATA_KINDS
+from repro.sqldb.lexer import TokenType, tokenize
+from repro.sqldb.parser import parse_one
+from repro.sqldb.types import coerce_to_number, compare, is_truthy
+from repro.sqldb.validator import validate
+from repro.waf.dbfirewall import fingerprint
+from repro.web.sanitize import intval, mysql_real_escape_string
+
+# text without the unicode confusables (those intentionally change
+# meaning inside the DBMS decoder)
+plain_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",),
+                           blacklist_characters="ʼʹ‘’′＇“”″＂＜＞；－＃"),
+    max_size=60,
+)
+
+from repro.sqldb.lexer import KEYWORDS
+
+identifiers = st.text(alphabet=string.ascii_lowercase, min_size=1,
+                      max_size=10).filter(
+    lambda s: s.upper() not in KEYWORDS
+)
+# non-negative: a literal -5 parses as unary minus over 5, which adds a
+# FUNC_ITEM node — a real structural difference, not an invariant breach
+numbers = st.integers(min_value=0, max_value=10**9)
+
+
+@given(plain_text)
+def test_escape_then_lex_roundtrips_value(value):
+    """For any string, quoting its escaped form lexes back to exactly one
+    STRING token holding the original value — the contract that makes
+    ``mysql_real_escape_string`` correct for ASCII."""
+    sql = "'" + escape_string(value) + "'"
+    tokens = tokenize(sql).tokens
+    assert len(tokens) == 2  # STRING + EOF
+    assert tokens[0].type == TokenType.STRING
+    assert tokens[0].value == value
+
+
+@given(plain_text)
+def test_php_escape_matches_server_escape(value):
+    assert mysql_real_escape_string(value) == escape_string(value)
+
+
+@given(identifiers, identifiers, plain_text, numbers)
+def test_qs_qm_shape_invariants(table, column, text_value, int_value):
+    sql = "SELECT * FROM %s WHERE %s = '%s' AND x = %d" % (
+        table, column, escape_string(text_value), int_value
+    )
+    qs = QueryStructure.from_stack(validate(parse_one(sql)))
+    qm = QueryModel.from_structure(qs)
+    assert len(qs) == len(qm)
+    for qs_node, qm_node in zip(qs, qm):
+        assert qs_node.kind == qm_node.kind
+        if qs_node.kind in DATA_KINDS:
+            assert qm_node.value is BOTTOM
+        else:
+            assert qm_node.value == qs_node.value
+
+
+@given(identifiers, plain_text, numbers)
+def test_detector_reflexive(column, text_value, int_value):
+    """A query always matches the model built from itself (no false
+    positives by construction)."""
+    sql = "SELECT * FROM t WHERE %s = '%s' AND y = %d" % (
+        column, escape_string(text_value), int_value
+    )
+    qs = QueryStructure.from_stack(validate(parse_one(sql)))
+    qm = QueryModel.from_structure(qs)
+    assert not AttackDetector().detect_sqli(qs, qm).is_attack
+
+
+@given(plain_text, plain_text, numbers, numbers)
+def test_internal_id_data_independent(text_a, text_b, int_a, int_b):
+    gen = IdGenerator()
+    template = "SELECT * FROM t WHERE a = '%s' AND b = %d"
+
+    def internal(text, number):
+        sql = template % (escape_string(text), number)
+        qs = QueryStructure.from_stack(validate(parse_one(sql)))
+        return gen.internal_id(QueryModel.from_structure(qs))
+
+    assert internal(text_a, int_a) == internal(text_b, int_b)
+
+
+@given(st.lists(st.sampled_from([
+    "SELECT a FROM t",
+    "SELECT a, b FROM t",
+    "SELECT a FROM t WHERE b = 1",
+    "SELECT a FROM t WHERE b = 'x'",
+    "INSERT INTO t (a) VALUES (1)",
+    "UPDATE t SET a = 1 WHERE b = 2",
+    "DELETE FROM t WHERE a = 1",
+]), min_size=1, max_size=7, unique=True))
+def test_store_roundtrip(tmp_path_factory, sqls):
+    gen = IdGenerator()
+    store = QMStore()
+    for sql in sqls:
+        qs = QueryStructure.from_stack(validate(parse_one(sql)))
+        qm = QueryModel.from_structure(qs)
+        store.put(gen.generate([], qm), qm)
+    path = str(tmp_path_factory.mktemp("qm") / "store.json")
+    store.save(path)
+    fresh = QMStore()
+    assert fresh.load(path) == len(store)
+    assert fresh.ids() == store.ids()
+
+
+@given(st.one_of(st.none(), st.booleans(), numbers,
+                 st.floats(allow_nan=False, allow_infinity=False),
+                 plain_text))
+def test_coerce_to_number_total(value):
+    result = coerce_to_number(value)
+    assert result is None or isinstance(result, (int, float))
+
+
+@given(plain_text)
+def test_intval_prefix_of_coercion(value):
+    """PHP intval and MySQL coercion agree on pure-integer prefixes."""
+    php = intval(value)
+    mysql = coerce_to_number(value)
+    if isinstance(mysql, int):
+        assert php == mysql
+
+
+@given(st.one_of(numbers, plain_text),
+       st.one_of(numbers, plain_text))
+def test_compare_antisymmetric(a, b):
+    ab = compare(a, b)
+    ba = compare(b, a)
+    assert ab == -ba
+
+
+@given(st.one_of(numbers, plain_text))
+def test_compare_reflexive(a):
+    assert compare(a, a) == 0
+
+
+@given(st.one_of(st.none(), numbers, plain_text))
+def test_is_truthy_total(value):
+    assert is_truthy(value) in (True, False, None)
+
+
+@given(plain_text, numbers)
+def test_fingerprint_literal_independent(text_value, number):
+    a = fingerprint("SELECT * FROM t WHERE a = '%s' AND b = %d"
+                    % (escape_string(text_value), number))
+    b = fingerprint("SELECT * FROM t WHERE a = 'fixed' AND b = 0")
+    assert a == b
+
+
+@given(plain_text)
+def test_decode_query_idempotent(text):
+    once = decode_query(text)
+    assert decode_query(once) == once
+
+
+@settings(max_examples=30)
+@given(st.text(max_size=80))
+def test_stored_plugins_never_crash(text):
+    """Plugins must be total over arbitrary input (they face attacker
+    controlled bytes)."""
+    from repro.core.plugins import default_plugins
+
+    for plugin in default_plugins():
+        assert plugin.inspect(text) in (True, False)
+
+
+@given(plain_text, numbers)
+def test_prepared_equals_literal(text_value, number):
+    """Executing a prepared statement with bound parameters returns the
+    same rows as the equivalent literal query (with proper escaping)."""
+    from repro.sqldb.connection import Connection
+    from repro.sqldb.engine import Database
+
+    database = Database()
+    database.seed(
+        "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, "
+        "name VARCHAR(60), val INT);"
+    )
+    conn = Connection(database)
+    conn.query_or_raise(
+        "INSERT INTO t (name, val) VALUES ('%s', %d)"
+        % (escape_string(text_value), number)
+    )
+    literal = conn.query_or_raise(
+        "SELECT id FROM t WHERE name = '%s' AND val = %d"
+        % (escape_string(text_value), number)
+    ).result_set.rows
+    prepared = conn.prepare("SELECT id FROM t WHERE name = ? AND val = ?")
+    bound = conn.execute_prepared(prepared, text_value, number)
+    assert bound.result_set.rows == literal

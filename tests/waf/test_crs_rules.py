@@ -1,0 +1,61 @@
+"""Rule-by-rule tests of the CRS-style rule set: each rule must catch
+its canonical payload and stay quiet on a near-miss."""
+
+import pytest
+
+from repro.waf.crs_rules import DEFAULT_RULES
+
+#: rule id -> (payload it must match, near-miss it must not match)
+RULE_MATRIX = {
+    "942100": ("' or '1", "just a quote '"),
+    "942110": ("x' -- cut", "no quotes -- here"),
+    "942120": ("' = '", "a = b"),
+    "942130": ("' OR name = pass", "OR without a quote"),
+    "942140": ("information_schema.tables", "information desk"),
+    "942190": ("UNION ALL SELECT 1", "a union of states"),
+    "942200": ("; DROP TABLE users", "semicolon; plain words"),
+    "942210": ("' ; x", "quote ' alone"),
+    "942220": ("SLEEP(5)", "asleep at the wheel"),
+    "942230": ("IF((SELECT 1), 1, 1)", "if only"),
+    "942240": ("CONCAT(a,b)", "con cat"),
+    "942250": ("EXEC master..xp_cmdshell", "execute the plan"),
+    "942260": ("/*!50000x*/", "slash star nothing"),
+    "942270": ("or 1=1", "or one equals one"),
+    "942280": ("%27 OR", "percent 27%"),
+    "942300": ("0 OR pin", "zero or nothing="),
+    "942310": ("ORDER BY 5", "order by name"),
+    "941100": ("<script>x</script>", "script of a movie"),
+    "941110": ("onerror=alert(1)", "on error we retry"),
+    "941120": ("javascript:alert(1)", "java script language"),
+    "941130": ("<iframe src=x>", "the frame was nice"),
+    "941140": ("&lt;script", "a & b"),
+    "930100": ("../../x", ".. well"),
+    "930120": ("/etc/passwd", "etc passwd words"),
+    "931100": ("http://evil/x.php", "http://example.com/page"),
+    "932100": ("; cat /etc/passwd", "a cat on the mat"),
+    "933100": ("<?php echo 1;", "php is a language"),
+}
+
+
+@pytest.mark.parametrize("rule", DEFAULT_RULES,
+                         ids=[r.rule_id for r in DEFAULT_RULES])
+def test_rule_catches_its_payload(rule):
+    payload, _ = RULE_MATRIX[rule.rule_id]
+    assert rule.matches(payload), (rule.rule_id, payload)
+
+
+@pytest.mark.parametrize("rule", DEFAULT_RULES,
+                         ids=[r.rule_id for r in DEFAULT_RULES])
+def test_rule_quiet_on_near_miss(rule):
+    _, near_miss = RULE_MATRIX[rule.rule_id]
+    assert not rule.matches(near_miss), (rule.rule_id, near_miss)
+
+
+def test_matrix_covers_every_rule():
+    assert {r.rule_id for r in DEFAULT_RULES} == set(RULE_MATRIX)
+
+
+def test_scores_follow_crs_bands():
+    for rule in DEFAULT_RULES:
+        assert rule.score in (2, 3, 4, 5), rule.rule_id
+        assert rule.paranoia in (1, 2, 3, 4), rule.rule_id

@@ -1,0 +1,96 @@
+"""Tests for the GreenSQL-like database firewall baseline."""
+
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+from repro.waf.dbfirewall import DatabaseFirewall, fingerprint
+from tests.conftest import TICKETS_SCHEMA
+
+
+def make_proxy():
+    database = Database()
+    database.seed(TICKETS_SCHEMA)
+    return DatabaseFirewall(Connection(database))
+
+
+class TestFingerprint(object):
+    def test_literals_normalized(self):
+        a = fingerprint("SELECT * FROM t WHERE a = 'x' AND b = 1")
+        b = fingerprint("SELECT * FROM t WHERE a = 'other' AND b = 999")
+        assert a == b
+
+    def test_structure_distinguishes(self):
+        a = fingerprint("SELECT * FROM t WHERE a = 'x'")
+        b = fingerprint("SELECT * FROM t WHERE a = 'x' OR 1=1")
+        assert a != b
+
+    def test_comments_stripped(self):
+        assert fingerprint("SELECT 1 /* hi */") == \
+            fingerprint("SELECT 1 -- bye")
+
+    def test_case_and_whitespace_normalized(self):
+        assert fingerprint("SELECT  *\nFROM T") == \
+            fingerprint("select * from t")
+
+    def test_escaped_quote_stays_inside_literal(self):
+        a = fingerprint(r"SELECT * FROM t WHERE a = 'x\'y'")
+        b = fingerprint("SELECT * FROM t WHERE a = 'plain'")
+        assert a == b
+
+    def test_unicode_confusable_invisible(self):
+        # THE blind spot: the proxy sees U+02BC as literal content
+        benign = fingerprint("SELECT * FROM t WHERE a = 'x'")
+        attack = fingerprint("SELECT * FROM t WHERE a = 'xʼ OR 1=1-- '")
+        assert benign == attack
+
+
+class TestProxyModes(object):
+    def test_learning_mode_learns_and_passes(self):
+        proxy = make_proxy()
+        outcome = proxy.query("SELECT * FROM tickets WHERE id = 1")
+        assert outcome.ok
+        assert len(proxy) == 1
+
+    def test_enforcing_blocks_unknown(self):
+        proxy = make_proxy()
+        proxy.query("SELECT * FROM tickets WHERE id = 1")
+        proxy.enforce()
+        outcome = proxy.query("SELECT * FROM tickets WHERE id = 1 OR 1=1")
+        assert not outcome.ok
+        assert "firewall" in str(outcome.error)
+        assert proxy.blocked_queries
+
+    def test_enforcing_passes_known_shape_new_literals(self):
+        proxy = make_proxy()
+        proxy.query("SELECT * FROM tickets WHERE reservID = 'a'")
+        proxy.enforce()
+        assert proxy.query(
+            "SELECT * FROM tickets WHERE reservID = 'zzz'"
+        ).ok
+
+    def test_unicode_attack_sails_through(self):
+        """The outside-the-DBMS placement fails exactly where the paper
+        says it does: the proxy's fingerprint matches, the DBMS decodes
+        the quote, the injection runs."""
+        proxy = make_proxy()
+        proxy.query("SELECT * FROM tickets WHERE reservID = 'ID34FG'")
+        proxy.enforce()
+        outcome = proxy.query(
+            "SELECT * FROM tickets WHERE reservID = 'xʼ OR ʼ1ʼ=ʼ1'"
+        )
+        assert outcome.ok                     # proxy saw nothing wrong
+        assert len(outcome.rows) == 3         # tautology dumped the table
+
+    def test_learn_explicit(self):
+        proxy = make_proxy()
+        proxy.learn("SELECT COUNT(*) FROM tickets")
+        proxy.enforce()
+        assert proxy.query("SELECT COUNT(*) FROM tickets").ok
+
+    def test_counters(self):
+        proxy = make_proxy()
+        proxy.query("SELECT 1")
+        proxy.enforce()
+        proxy.query("SELECT 2")     # same fingerprint (number normalized)
+        proxy.query("SELECT 1, 2")  # new shape -> blocked
+        assert proxy.queries_seen == 3
+        assert len(proxy.blocked_queries) == 1

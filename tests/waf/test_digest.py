@@ -1,0 +1,68 @@
+"""Tests for the Percona-style query digest."""
+
+from repro.apps import AddressBook
+from repro.core.septic import Mode, Septic
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+from repro.waf.digest import QueryDigest
+
+
+class TestDigestStandalone(object):
+    def test_groups_by_fingerprint(self):
+        database = Database()
+        database.seed("CREATE TABLE t (a INT, b VARCHAR(10))")
+        digest = QueryDigest(database)
+        conn = Connection(database)
+        conn.query("SELECT * FROM t WHERE a = 1")
+        conn.query("SELECT * FROM t WHERE a = 2")
+        conn.query("SELECT * FROM t WHERE a = 3")
+        conn.query("SELECT b FROM t")
+        assert len(digest) == 2
+        top = digest.entries()[0]
+        assert top.count == 3
+        assert "where a = ?" in top.fingerprint
+
+    def test_keeps_recent_samples(self):
+        database = Database()
+        database.seed("CREATE TABLE t (a INT)")
+        digest = QueryDigest(database)
+        conn = Connection(database)
+        for value in range(5):
+            conn.query("SELECT * FROM t WHERE a = %d" % value)
+        entry = digest.entries()[0]
+        assert len(entry.samples) == 3
+        assert "a = 4" in entry.samples[-1]
+
+    def test_report_format(self):
+        database = Database()
+        database.seed("CREATE TABLE t (a INT)")
+        digest = QueryDigest(database)
+        Connection(database).query("SELECT * FROM t")
+        text = digest.report()
+        assert "rank" in text and "select * from t" in text
+
+
+class TestDigestComposesWithSeptic(object):
+    def test_septic_still_blocks_through_digest(self):
+        septic = Septic(mode=Mode.TRAINING)
+        database = Database(septic=septic)
+        database.seed("CREATE TABLE t (a INT, b VARCHAR(20))")
+        conn = Connection(database)
+        conn.query("/* septic:s:1 */ SELECT * FROM t WHERE a = 1")
+        septic.mode = Mode.PREVENTION
+        digest = QueryDigest(database)       # interpose AFTER training
+        attack = conn.query(
+            "/* septic:s:1 */ SELECT * FROM t WHERE a = 1 OR 1=1"
+        )
+        assert not attack.ok                 # SEPTIC verdict preserved
+        assert len(digest) == 1              # and the digest observed it
+
+    def test_digest_observes_whole_workload(self):
+        septic = Septic(mode=Mode.TRAINING)
+        database = Database(septic=septic)
+        app = AddressBook(database)
+        digest = QueryDigest(database)
+        for request in app.workload_requests():
+            app.handle(request)
+        assert len(digest) == 6              # one class per call site
+        assert sum(e.count for e in digest.entries()) == 9

@@ -1,0 +1,134 @@
+"""Tests for the ModSecurity-like WAF and its CRS-style rule set."""
+
+import pytest
+
+from repro.waf.crs_rules import DEFAULT_RULES, rules_for_paranoia
+from repro.waf.modsecurity import ModSecurity
+from repro.web.http import Request
+
+
+def verdict_for(value, paranoia=1, param="q"):
+    waf = ModSecurity(paranoia_level=paranoia)
+    return waf.evaluate(Request.get("/x", {param: value}))
+
+
+class TestRuleSet(object):
+    def test_rule_ids_unique(self):
+        ids = [rule.rule_id for rule in DEFAULT_RULES]
+        assert len(ids) == len(set(ids))
+
+    def test_paranoia_filtering(self):
+        pl1 = rules_for_paranoia(1)
+        pl2 = rules_for_paranoia(2)
+        assert len(pl2) > len(pl1)
+        assert all(rule.paranoia == 1 for rule in pl1)
+
+
+class TestClassicAttacksBlocked(object):
+    @pytest.mark.parametrize("payload", [
+        "' OR '1'='1",
+        "x' OR 1=1-- ",
+        "0 OR 1=1",
+        "1 UNION SELECT username, password FROM users",
+        "'; DROP TABLE users-- ",
+        "0 OR SLEEP(2)",
+        "<script>alert(1)</script>",
+        "<img src=x onerror=alert(1)>",
+        "javascript:alert(1)",
+        "../../../etc/passwd",
+        "http://evil.example/shell.php",
+        "; cat /etc/passwd",
+        "<?php system('id'); ?>",
+        "SELECT * FROM information_schema.tables",
+    ])
+    def test_blocked_at_pl1(self, payload):
+        assert verdict_for(payload).blocked
+
+
+class TestSemanticMismatchBlindSpots(object):
+    """The false negatives that motivate SEPTIC (faithful CRS behaviour)."""
+
+    def test_unicode_quote_tautology_passes(self):
+        assert not verdict_for("xʼ OR ʼ1ʼ=ʼ1").blocked
+
+    def test_sleep_with_inline_comment_passes(self):
+        assert not verdict_for("0 OR SLEEP/**/(2)").blocked
+
+    def test_numeric_no_equals_passes_pl1(self):
+        assert not verdict_for("0 OR pin").blocked
+
+    def test_numeric_no_equals_caught_at_pl2(self):
+        assert verdict_for("0 OR pin", paranoia=2).blocked
+
+    def test_ontoggle_xss_passes(self):
+        assert not verdict_for(
+            "<details open ontoggle=alert(1)>x</details>"
+        ).blocked
+
+    def test_serialized_php_object_passes(self):
+        assert not verdict_for(
+            'O:8:"Evil_Obj":1:{s:3:"cmd";s:6:"whoami";}'
+        ).blocked
+
+
+class TestBenignTraffic(object):
+    @pytest.mark.parametrize("value", [
+        "alice",
+        "kitchen fridge",
+        "john@example.com",
+        "2016-07-05",
+        "a perfectly normal sentence",
+        "555-0101",
+        "O'Neil",          # a lone quote scores below the threshold
+    ])
+    def test_not_blocked(self, value):
+        assert not verdict_for(value).blocked
+
+
+class TestEngineMechanics(object):
+    def test_anomaly_score_accumulates_across_params(self):
+        waf = ModSecurity(inbound_threshold=6)
+        request = Request.get("/x", {
+            "a": "x' -- comment",      # 942110, score 3
+            "b": "y' -- comment",      # same rule, different param: +3
+        })
+        verdict = waf.evaluate(request)
+        assert verdict.score >= 6
+        assert verdict.blocked
+
+    def test_same_rule_same_param_counted_once(self):
+        waf = ModSecurity(inbound_threshold=100)
+        verdict = waf.evaluate(
+            Request.get("/x", {"a": "x' -- one' -- two"})
+        )
+        hits = [r for r, p in verdict.matched if r.rule_id == "942110"]
+        assert len(hits) == 1
+
+    def test_url_encoded_payload_decoded_once(self):
+        assert verdict_for("%27%20OR%20%271%27%3D%271").blocked
+
+    def test_audit_log_records_blocks(self):
+        waf = ModSecurity()
+        waf.evaluate(Request.get("/x", {"q": "' OR '1'='1"}))
+        waf.evaluate(Request.get("/x", {"q": "hello"}))
+        assert len(waf.audit_log) == 1
+        waf.clear_log()
+        assert waf.audit_log == []
+
+    def test_threshold_configurable(self):
+        strict = ModSecurity(inbound_threshold=3)
+        assert strict.evaluate(
+            Request.get("/x", {"q": "x' -- y"})
+        ).blocked
+
+    def test_turn_on_off(self):
+        waf = ModSecurity()
+        waf.turn_off()
+        assert not waf.enabled
+        waf.turn_on()
+        assert waf.enabled
+
+    def test_verdict_repr(self):
+        verdict = verdict_for("' OR '1'='1")
+        assert "BLOCK" in repr(verdict)
+        assert verdict.rule_ids

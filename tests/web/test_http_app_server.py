@@ -1,0 +1,205 @@
+"""Tests for the HTTP layer, application framework and web server."""
+
+from repro.sqldb.engine import Database
+from repro.waf.modsecurity import ModSecurity
+from repro.web.app import FieldSpec, FormSpec, PhpRuntime, WebApplication
+from repro.web.http import Request, Response
+from repro.web.server import WebServer
+
+
+class EchoApp(WebApplication):
+    name = "echo"
+
+    def register(self):
+        self.route("GET", "/hello", self.hello)
+        self.route("POST", "/data", self.data)
+        self.form("/data", "POST", [FieldSpec("x", sample="1")])
+
+    def hello(self, request):
+        return Response("hi %s" % request.param("name", "world"))
+
+    def data(self, request):
+        return Response("got %s" % request.param("x"))
+
+
+def make_app():
+    return EchoApp(Database())
+
+
+class TestRequestResponse(object):
+    def test_request_params_default(self):
+        request = Request.get("/x")
+        assert request.param("missing") == ""
+        assert request.param("missing", "d") == "d"
+
+    def test_methods_uppercased(self):
+        assert Request("post", "/x").method == "POST"
+
+    def test_query_string(self):
+        request = Request.get("/x", {"a": "1", "b": "two words"})
+        assert "a=1" in request.query_string()
+        assert "two+words" in request.query_string()
+
+    def test_response_predicates(self):
+        assert Response("x").ok
+        assert not Response.forbidden().ok
+        assert Response.forbidden().status == 403
+        assert Response.error().status == 500
+        assert Response.not_found().status == 404
+
+
+class TestWebApplication(object):
+    def test_routing(self):
+        app = make_app()
+        assert app.handle(Request.get("/hello")).body == "hi world"
+        assert app.handle(
+            Request.get("/hello", {"name": "bob"})
+        ).body == "hi bob"
+
+    def test_unknown_route_404(self):
+        assert make_app().handle(Request.get("/nope")).status == 404
+
+    def test_method_mismatch_404(self):
+        assert make_app().handle(Request.get("/data")).status == 404
+
+    def test_forms_declared(self):
+        app = make_app()
+        assert len(app.forms) == 1
+        form = app.forms[0]
+        assert isinstance(form, FormSpec)
+        assert form.benign_params() == {"x": "1"}
+
+    def test_routes_listing(self):
+        assert ("GET", "/hello") in make_app().routes()
+
+
+class TestPhpRuntime(object):
+    def test_external_id_prefixed(self):
+        database = Database()
+        database.seed("CREATE TABLE t (a INT); INSERT INTO t VALUES (1);")
+        php = PhpRuntime(database, "myapp", send_external_ids=True)
+        captured = []
+        original = php.connection.query
+
+        def spy(sql):
+            captured.append(sql)
+            return original(sql)
+
+        php.connection.query = spy
+        php.mysql_query("SELECT * FROM t", site="page:3")
+        assert captured[0].startswith("/* septic:myapp:page:3 */ ")
+
+    def test_external_ids_can_be_disabled(self):
+        database = Database()
+        database.seed("CREATE TABLE t (a INT)")
+        php = PhpRuntime(database, "myapp", send_external_ids=False)
+        outcome = php.mysql_query("SELECT * FROM t", site="page:3")
+        assert outcome.ok
+        assert php.queries_issued == 1
+
+    def test_escape_helper(self):
+        php = PhpRuntime(Database(), "x")
+        assert php.escape("a'b") == "a\\'b"
+
+    def test_error_surfaces_as_outcome(self):
+        php = PhpRuntime(Database(), "x")
+        outcome = php.mysql_query("SELECT * FROM missing", site="s")
+        assert not outcome.ok
+        assert php.last_outcome is outcome
+
+
+class TestWebServer(object):
+    def test_no_waf_passthrough(self):
+        server = WebServer(make_app())
+        assert server.handle(Request.get("/hello")).ok
+        assert server.requests_served == 1
+
+    def test_waf_blocks_before_app(self):
+        app = make_app()
+        server = WebServer(app, waf=ModSecurity())
+        response = server.handle(
+            Request.post("/data", {"x": "' OR '1'='1"})
+        )
+        assert response.status == 403
+        assert "ModSecurity" in response.body
+        assert server.requests_blocked == 1
+
+    def test_disabled_waf_passes(self):
+        app = make_app()
+        waf = ModSecurity(enabled=False)
+        server = WebServer(app, waf=waf)
+        response = server.handle(
+            Request.post("/data", {"x": "' OR '1'='1"})
+        )
+        assert response.ok
+
+    def test_restart_resets_counters(self):
+        server = WebServer(make_app())
+        server.handle(Request.get("/hello"))
+        server.restart()
+        assert server.requests_served == 0
+
+
+class TestMagicQuotes(object):
+    def _vulnerable_app(self, magic_quotes):
+        from repro.web.sanitize import htmlspecialchars
+
+        class RawApp(WebApplication):
+            """A sloppy app relying on magic_quotes instead of escaping."""
+
+            name = "rawapp"
+
+            def register(self):
+                self.route("GET", "/find", self.find)
+                self.form("/find", "GET", [FieldSpec("name", sample="x")])
+
+            def setup_schema(self):
+                self.admin_seed(
+                    "CREATE TABLE people (id INT PRIMARY KEY "
+                    "AUTO_INCREMENT, name VARCHAR(40), secret INT);"
+                    "INSERT INTO people (name, secret) VALUES "
+                    "('ann', 1), ('bob', 2);"
+                )
+
+            def find(self, request):
+                # NO escaping here: the dev trusts magic_quotes
+                out = self.php.mysql_query(
+                    "SELECT name FROM people WHERE name = '%s'"
+                    % request.param("name"),
+                    site="find:9",
+                )
+                if not out.ok:
+                    return Response.error(str(out.error))
+                return Response(
+                    ",".join(htmlspecialchars(r[0]) for r in out.rows)
+                )
+
+        return RawApp(Database(), magic_quotes=magic_quotes)
+
+    def test_without_magic_quotes_raw_app_is_injectable(self):
+        app = self._vulnerable_app(magic_quotes=False)
+        response = app.handle(
+            Request.get("/find", {"name": "x' OR '1'='1"})
+        )
+        assert "ann" in response.body and "bob" in response.body
+
+    def test_magic_quotes_stops_ascii_quotes(self):
+        app = self._vulnerable_app(magic_quotes=True)
+        response = app.handle(
+            Request.get("/find", {"name": "x' OR '1'='1"})
+        )
+        assert response.ok
+        assert "ann" not in response.body
+
+    def test_magic_quotes_misses_unicode_channel(self):
+        # the historical lesson: magic_quotes never fixed the mismatch
+        app = self._vulnerable_app(magic_quotes=True)
+        response = app.handle(
+            Request.get("/find", {"name": "xʼ OR ʼ1ʼ=ʼ1"})
+        )
+        assert "ann" in response.body and "bob" in response.body
+
+    def test_benign_values_unharmed(self):
+        app = self._vulnerable_app(magic_quotes=True)
+        response = app.handle(Request.get("/find", {"name": "ann"}))
+        assert response.body == "ann"

@@ -1,0 +1,140 @@
+"""Tests for the PHP sanitization functions (weaknesses included)."""
+
+from repro.web.sanitize import (
+    addslashes,
+    floatval,
+    htmlentities,
+    htmlspecialchars,
+    intval,
+    is_numeric,
+    mysql_real_escape_string,
+    quote_smart,
+    strip_tags,
+)
+
+
+class TestMysqlRealEscapeString(object):
+    def test_escapes_the_seven(self):
+        assert mysql_real_escape_string("a'b") == "a\\'b"
+        assert mysql_real_escape_string('a"b') == 'a\\"b'
+        assert mysql_real_escape_string("a\\b") == "a\\\\b"
+        assert mysql_real_escape_string("a\nb") == "a\\nb"
+        assert mysql_real_escape_string("a\rb") == "a\\rb"
+        assert mysql_real_escape_string("a\0b") == "a\\0b"
+        assert mysql_real_escape_string("a\x1ab") == "a\\Zb"
+
+    def test_passes_unicode_confusables(self):
+        # THE weakness the paper exploits
+        assert mysql_real_escape_string("ʼ") == "ʼ"
+        assert mysql_real_escape_string("’") == "’"
+
+    def test_numbers_coerced_to_string(self):
+        assert mysql_real_escape_string(42) == "42"
+
+
+class TestAddslashes(object):
+    def test_escapes_quotes_and_backslash(self):
+        assert addslashes("a'b\"c\\d") == "a\\'b\\\"c\\\\d"
+
+    def test_does_not_escape_newline(self):
+        # unlike mysql_real_escape_string
+        assert addslashes("a\nb") == "a\nb"
+
+    def test_nul(self):
+        assert addslashes("\0") == "\\0"
+
+
+class TestIntval(object):
+    def test_plain_integer(self):
+        assert intval("42") == 42
+
+    def test_prefix_parse(self):
+        assert intval("42abc") == 42
+
+    def test_garbage_is_zero(self):
+        assert intval("abc") == 0
+        assert intval("") == 0
+
+    def test_signs(self):
+        assert intval("-7") == -7
+        assert intval("+7") == 7
+        assert intval("-") == 0
+
+    def test_whitespace(self):
+        assert intval("  13 ") == 13
+
+    def test_float_string_truncates(self):
+        assert intval("3.9") == 3
+
+    def test_injection_payload_neutralized(self):
+        assert intval("0 OR 1=1") == 0
+        assert intval("1; DROP TABLE x") == 1
+
+
+class TestFloatval(object):
+    def test_plain(self):
+        assert floatval("2.5") == 2.5
+
+    def test_prefix(self):
+        assert floatval("2.5abc") == 2.5
+
+    def test_garbage(self):
+        assert floatval("abc") == 0.0
+
+    def test_scientific(self):
+        assert floatval("1e2") == 100.0
+
+
+class TestIsNumeric(object):
+    def test_numbers(self):
+        assert is_numeric("42")
+        assert is_numeric("-3.5")
+        assert is_numeric("1e4")
+        assert is_numeric("0x1A")
+
+    def test_non_numbers(self):
+        assert not is_numeric("")
+        assert not is_numeric("42abc")
+        assert not is_numeric("0 OR 1=1")
+
+
+class TestHtmlEscaping(object):
+    def test_specialchars_basic(self):
+        assert htmlspecialchars('<a href="x">') == \
+            "&lt;a href=&quot;x&quot;&gt;"
+
+    def test_single_quote_kept_by_default(self):
+        # PHP's default flag set: the classic residue
+        assert htmlspecialchars("it's") == "it's"
+
+    def test_ent_quotes(self):
+        assert htmlspecialchars("it's", ent_quotes=True) == "it&#039;s"
+
+    def test_ampersand(self):
+        assert htmlentities("a & b") == "a &amp; b"
+
+
+class TestStripTags(object):
+    def test_removes_tags_keeps_content(self):
+        assert strip_tags("a<b>bold</b>c") == "aboldc"
+
+    def test_unterminated_tag_eats_rest(self):
+        assert strip_tags("hello <oops everything gone") == "hello "
+
+    def test_nested(self):
+        assert strip_tags("<<x>y>z") == "z"
+
+
+class TestQuoteSmart(object):
+    def test_numeric_unquoted(self):
+        assert quote_smart("42") == "42"
+
+    def test_string_quoted_and_escaped(self):
+        assert quote_smart("o'neil") == "'o\\'neil'"
+
+    def test_injection_string_is_quoted(self):
+        assert quote_smart("0 OR 1=1") == "'0 OR 1=1'"
+
+    def test_hex_passes_raw(self):
+        # the documented trap: is_numeric accepts 0x..., so it is inlined
+        assert quote_smart("0x35") == "0x35"
