@@ -1,0 +1,177 @@
+"""The pipeline cache — cold vs warm query latency and threaded throughput.
+
+The tentpole claim: after the first execution of a query shape, the
+decode→parse→validate pipeline and the SEPTIC QS/QM/ID derivation are
+memoized, so the per-query cost converges to a cache lookup plus the
+model-store comparison.  This bench measures:
+
+* **cold** — every query through a cache-disabled database
+  (``cache_size=0``), i.e. the seed repo's hot path;
+* **warm** — the same query mix through a cached database after one
+  priming pass;
+* **threaded** — four sessions hammering a shared SEPTIC-enabled
+  database concurrently, asserting the stats come out exact (the
+  counters are lock-protected, so nothing is lost to races).
+
+Acceptance: warm must be at least 3× faster than cold per query.
+"""
+
+import threading
+import time
+
+from repro.core.logger import SepticLogger
+from repro.core.septic import Mode, Septic
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+
+SCHEMA = """
+CREATE TABLE tickets (
+    id INT PRIMARY KEY AUTO_INCREMENT,
+    reservID VARCHAR(20),
+    creditCard INT,
+    holder VARCHAR(40),
+    price INT,
+    issued VARCHAR(20)
+);
+INSERT INTO tickets (reservID, creditCard, holder, price, issued) VALUES
+    ('ID34FG', 1234, 'alice', 120, '2016-07-01'),
+    ('ZZ11AA', 9999, 'bob', 250, '2016-07-02'),
+    ('QQ77MM', 4321, 'carol', 80, '2016-07-03');
+"""
+
+#: a web-application-shaped mix: the query *shapes* a handful of PHP call
+#: sites issue over and over — long texts (the pipeline cost the cache
+#: removes scales with text size), small result sets
+QUERY_MIX = [
+    "/* septic:report.php:12 */ SELECT reservID, holder, price, issued "
+    "FROM tickets WHERE (creditCard = 1234 OR creditCard = 9999) "
+    "AND price > 50 AND price < 500 AND holder <> 'mallory' "
+    "AND reservID LIKE 'ID%' ORDER BY price DESC, holder ASC LIMIT 5",
+    "/* septic:stats.php:9 */ SELECT COUNT(*), MIN(price), MAX(price), "
+    "SUM(price) FROM tickets WHERE issued >= '2016-07-01' "
+    "AND issued <= '2016-07-31' AND creditCard > 0",
+    "/* septic:search.php:22 */ SELECT id, reservID FROM tickets "
+    "WHERE holder = 'alice' AND (price BETWEEN 100 AND 300) "
+    "UNION SELECT id, reservID FROM tickets WHERE holder = 'bob' "
+    "AND creditCard = 9999",
+    "/* septic:detail.php:31 */ SELECT UPPER(holder), LENGTH(reservID), "
+    "price * 2, CONCAT(reservID, '-', holder) FROM tickets "
+    "WHERE id = 2 AND creditCard = 9999 AND price >= 0",
+]
+
+LOOPS = 200
+THREADS = 4
+THREAD_LOOPS = 50
+
+
+def _build(cache_size):
+    septic = Septic(mode=Mode.TRAINING, logger=SepticLogger(verbose=False))
+    database = Database(septic=septic, cache_size=cache_size)
+    database.seed(SCHEMA)
+    conn = Connection(database)
+    for sql in QUERY_MIX:
+        conn.query_or_raise(sql)
+    septic.mode = Mode.PREVENTION
+    return septic, database, conn
+
+
+def _time_loop(conn, loops):
+    start = time.perf_counter()
+    for _ in range(loops):
+        for sql in QUERY_MIX:
+            conn.query(sql)
+    return time.perf_counter() - start
+
+
+def test_pipeline_cache_artifact(report, benchmark):
+    def run_cold_and_warm():
+        _, _, cold_conn = _build(cache_size=0)
+        _, warm_db, warm_conn = _build(cache_size=512)
+        _time_loop(warm_conn, 1)  # priming pass
+        cold = _time_loop(cold_conn, LOOPS)
+        warm = _time_loop(warm_conn, LOOPS)
+        return cold, warm, warm_db.pipeline_cache.stats_dict()
+
+    cold, warm, cache_stats = benchmark.pedantic(run_cold_and_warm,
+                                                 rounds=1, iterations=1)
+    queries = LOOPS * len(QUERY_MIX)
+    cold_us = 1e6 * cold / queries
+    warm_us = 1e6 * warm / queries
+    speedup = cold / warm if warm else float("inf")
+
+    # -- threaded run: exact stats under concurrency ----------------------
+    septic, database, _ = _build(cache_size=512)
+    attack = ("/* septic:detail.php:31 */ SELECT UPPER(holder), "
+              "LENGTH(reservID), price * 2, CONCAT(reservID, '-', holder) "
+              "FROM tickets WHERE id = 0 OR 1=1 -- AND creditCard = 9999")
+    base = septic.stats.as_dict()
+    errors = []
+
+    def worker():
+        conn = Connection(database)
+        for _ in range(THREAD_LOOPS):
+            for sql in QUERY_MIX:
+                if not conn.query(sql).ok:
+                    errors.append("legit blocked")
+            if conn.query(attack).ok:
+                errors.append("attack passed")
+
+    threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    threaded_elapsed = time.perf_counter() - start
+    stats = septic.stats.as_dict()
+    threaded_queries = THREADS * THREAD_LOOPS * (len(QUERY_MIX) + 1)
+    expected_processed = base["queries_processed"] + threaded_queries
+    expected_attacks = base["attacks_detected"] + THREADS * THREAD_LOOPS
+
+    report.line("Pipeline cache — cold vs warm hot path")
+    report.line("(%d queries per side, %d query shapes)" %
+                (queries, len(QUERY_MIX)))
+    report.line()
+    report.table(
+        ["path", "total (s)", "per query (us)", "speedup"],
+        [
+            ["cold (cache off)", "%.4f" % cold, "%.1f" % cold_us, "1.0x"],
+            ["warm (cache on)", "%.4f" % warm, "%.1f" % warm_us,
+             "%.1fx" % speedup],
+        ],
+        widths=[20, 12, 16, 10],
+    )
+    report.line()
+    report.line("warm cache counters: entries=%d hits=%d misses=%d "
+                "hit_rate=%.3f" % (cache_stats["entries"],
+                                   cache_stats["hits"],
+                                   cache_stats["misses"],
+                                   cache_stats["hit_rate"]))
+    report.line()
+    report.line("Threaded run — %d threads x %d loops over a shared "
+                "SEPTIC database" % (THREADS, THREAD_LOOPS))
+    report.table(
+        ["counter", "expected", "observed"],
+        [
+            ["queries_processed", expected_processed,
+             stats["queries_processed"]],
+            ["attacks_detected", expected_attacks,
+             stats["attacks_detected"]],
+            ["queries_dropped", expected_attacks,
+             stats["queries_dropped"]],
+            ["errors", 0, len(errors)],
+        ],
+        widths=[20, 12, 12],
+    )
+    report.line()
+    report.line("threaded: %d queries in %.3f s (%.0f q/s)" %
+                (threaded_queries, threaded_elapsed,
+                 threaded_queries / threaded_elapsed if threaded_elapsed
+                 else 0.0))
+
+    assert errors == []
+    assert stats["queries_processed"] == expected_processed
+    assert stats["attacks_detected"] == expected_attacks
+    assert stats["queries_dropped"] == expected_attacks
+    # acceptance: the warm path must be at least 3x faster than cold
+    assert speedup >= 3.0, "warm path only %.1fx faster" % speedup

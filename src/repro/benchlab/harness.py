@@ -28,14 +28,20 @@ class BenchLabResult(object):
     """Latency statistics of one testbed run."""
 
     __slots__ = ("label", "latencies", "virtual_duration",
-                 "measured_seconds", "requests")
+                 "measured_seconds", "requests", "cache_stats")
 
-    def __init__(self, label, latencies, virtual_duration, measured_seconds):
+    def __init__(self, label, latencies, virtual_duration, measured_seconds,
+                 cache_stats=None):
         self.label = label
         self.latencies = latencies
         self.virtual_duration = virtual_duration
         self.measured_seconds = measured_seconds
         self.requests = len(latencies)
+        #: pipeline-cache counters of the database under test (``None``
+        #: when the cache is disabled); the replayed workload loops over
+        #: a fixed query mix, so the hit rate shows how much of the
+        #: request cost the cache absorbed
+        self.cache_stats = cache_stats
 
     @property
     def avg_latency(self):
@@ -71,12 +77,14 @@ class BenchLabResult(object):
 
 
 def build_stack(app_class, septic_flags=None, mode=Mode.PREVENTION,
-                training_passes=1):
+                training_passes=1, cache_size=512):
     """Build (server, app, septic) for one configuration.
 
     *septic_flags* is ``None`` for the original server (no SEPTIC) or a
     two-letter Y/N string (Figure 5 notation).  SEPTIC stacks are trained
     by replaying the workload in training mode first, like the demo.
+    *cache_size* sizes the database's pipeline cache (``0`` disables it,
+    for cold-path ablations).
     """
     septic = None
     if septic_flags is not None:
@@ -85,7 +93,8 @@ def build_stack(app_class, septic_flags=None, mode=Mode.PREVENTION,
             config=SepticConfig.from_flags(septic_flags),
             logger=SepticLogger(verbose=False),
         )
-    database = Database(name=app_class.name, septic=septic)
+    database = Database(name=app_class.name, septic=septic,
+                        cache_size=cache_size)
     app = app_class(database)
     if septic is not None:
         for _ in range(training_passes):
@@ -119,11 +128,13 @@ def run_benchlab(app_class, septic_flags=None, machines=4,
     latencies = []
     for browser in browsers:
         latencies.extend(browser.latencies)
+    cache = app.database.pipeline_cache
     return BenchLabResult(
         label or (septic_flags or "baseline"),
         latencies,
         simulator.now,
         station.septic_seconds,
+        cache_stats=cache.stats_dict() if cache is not None else None,
     )
 
 

@@ -8,6 +8,8 @@ register showing every action taken (query model creation, query
 processing, attack detection); ``verbose=True`` enables that behaviour.
 """
 
+import threading
+
 
 class EventKind(object):
     """Event type tags."""
@@ -70,7 +72,19 @@ class EventRecord(object):
 
 
 class SepticLogger(object):
-    """Collects :class:`EventRecord` objects; optionally tees to a sink."""
+    """Collects :class:`EventRecord` objects; optionally tees to a sink.
+
+    The register is bounded by ``max_events``, but attack evidence must
+    never be the casualty of the bound: when the register is full, an
+    incoming *significant* record (attack detected, query dropped, model
+    created, mode changed) evicts the oldest non-significant record —
+    or, if only significant records remain, the oldest of those — so the
+    newest evidence is always retained.  Incoming non-significant
+    records are discarded instead.  Every record lost either way is
+    counted in :attr:`dropped_events`.
+
+    Thread-safe: one logger serves every session of a database instance.
+    """
 
     def __init__(self, verbose=False, sink=None, max_events=100000):
         self.verbose = verbose
@@ -78,15 +92,24 @@ class SepticLogger(object):
         self.sink = sink
         self.max_events = max_events
         self.events = []
+        #: count of records lost to the max_events bound (evicted or
+        #: discarded), exposed so operators can tell the register is lossy
+        self.dropped_events = 0
         self._sequence = 0
+        self._lock = threading.Lock()
 
     def log(self, kind, **fields):
-        self._sequence += 1
-        if not self.verbose and kind not in _SIGNIFICANT:
-            return None
-        record = EventRecord(kind, sequence=self._sequence, **fields)
-        if len(self.events) < self.max_events:
-            self.events.append(record)
+        with self._lock:
+            self._sequence += 1
+            if not self.verbose and kind not in _SIGNIFICANT:
+                return None
+            record = EventRecord(kind, sequence=self._sequence, **fields)
+            if len(self.events) < self.max_events:
+                self.events.append(record)
+            elif kind in _SIGNIFICANT:
+                self._evict_for(record)
+            else:
+                self.dropped_events += 1
         if self.sink is not None:
             try:
                 self.sink(record.format())
@@ -94,6 +117,19 @@ class SepticLogger(object):
                 # a broken display/sink must never break query processing
                 self.sink = None
         return record
+
+    def _evict_for(self, record):
+        """Make room for a significant *record* in a full register."""
+        victim = None
+        for index, event in enumerate(self.events):
+            if event.kind not in _SIGNIFICANT:
+                victim = index
+                break
+        # no expendable record: sacrifice the oldest significant one so
+        # the newest evidence survives
+        del self.events[victim if victim is not None else 0]
+        self.dropped_events += 1
+        self.events.append(record)
 
     # -- queries over the register ----------------------------------------
 
@@ -113,7 +149,9 @@ class SepticLogger(object):
         return self.by_kind(EventKind.QUERY_DROPPED)
 
     def clear(self):
-        self.events = []
+        with self._lock:
+            self.events = []
+            self.dropped_events = 0
 
     def export_json(self, path):
         """Dump the event register as JSON (SIEM-style export)."""
@@ -125,6 +163,11 @@ class SepticLogger(object):
                 "kind": event.kind,
                 "query": event.query,
                 "query_id": event.query_id,
+                "model": (
+                    event.model.canonical()
+                    if hasattr(event.model, "canonical")
+                    else event.model
+                ),
                 "attack_type": event.attack_type,
                 "step": event.step,
                 "detail": event.detail,

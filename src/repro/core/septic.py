@@ -16,6 +16,8 @@ The two detection switches (``detect_sqli`` / ``detect_stored``) give the
 four configurations evaluated in the paper's Figure 5 (NN, YN, NY, YY).
 """
 
+import threading
+
 from repro.core.detector import AttackDetector, AttackType
 from repro.core.id_generator import IdGenerator
 from repro.core.logger import EventKind, SepticLogger
@@ -68,23 +70,32 @@ class SepticConfig(object):
 
 
 class SepticStats(object):
-    """Counters exposed for the evaluation harness."""
+    """Counters exposed for the evaluation harness.
 
-    __slots__ = ("queries_processed", "models_learned", "attacks_detected",
+    Increments go through :meth:`bump` under a lock: a ``+=`` on an
+    attribute is a read-modify-write, and with the hook running on many
+    sessions concurrently lost updates would make the paper's exact
+    counts (Table I, Figure 5) non-reproducible.
+    """
+
+    _COUNTERS = ("queries_processed", "models_learned", "attacks_detected",
                  "queries_dropped", "sqli_detected", "stored_detected",
                  "unknown_queries")
 
+    __slots__ = _COUNTERS + ("_lock",)
+
     def __init__(self):
-        self.queries_processed = 0
-        self.models_learned = 0
-        self.attacks_detected = 0
-        self.queries_dropped = 0
-        self.sqli_detected = 0
-        self.stored_detected = 0
-        self.unknown_queries = 0
+        self._lock = threading.Lock()
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+
+    def bump(self, name, amount=1):
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
 
     def as_dict(self):
-        return {name: getattr(self, name) for name in self.__slots__}
+        with self._lock:
+            return {name: getattr(self, name) for name in self._COUNTERS}
 
 
 class Septic(object):
@@ -150,7 +161,7 @@ class Septic(object):
         Raises :class:`QueryBlocked` to drop the query (prevention mode
         only); returns normally to let execution proceed.
         """
-        self.stats.queries_processed += 1
+        self.stats.bump("queries_processed")
         lookup = self.manager.receive(context)
         self.logger.log(EventKind.QS_BUILT,
                         query=context.sql,
@@ -167,7 +178,7 @@ class Septic(object):
     def _learn(self, lookup, context, training):
         created = self.manager.learn(lookup)
         if created:
-            self.stats.models_learned += 1
+            self.stats.bump("models_learned")
             self.logger.log(
                 EventKind.QM_CREATED,
                 query=context.sql,
@@ -208,7 +219,7 @@ class Septic(object):
         if not known and not self.store.get(query_id):
             # Unknown query: incremental learning (administrator reviews
             # these later, paper §II-E).
-            self.stats.unknown_queries += 1
+            self.stats.bump("unknown_queries")
             if self.config.incremental_learning:
                 self._learn(lookup, context, training=False)
         self.logger.log(EventKind.QUERY_EXECUTED, query_id=query_id.value)
@@ -235,11 +246,11 @@ class Septic(object):
         return None
 
     def _handle_attack(self, detection, query_id, context, model):
-        self.stats.attacks_detected += 1
+        self.stats.bump("attacks_detected")
         if detection.attack_type == AttackType.SQLI:
-            self.stats.sqli_detected += 1
+            self.stats.bump("sqli_detected")
         else:
-            self.stats.stored_detected += 1
+            self.stats.bump("stored_detected")
         record = self.logger.log(
             EventKind.ATTACK_DETECTED,
             query=context.sql,
@@ -250,7 +261,7 @@ class Septic(object):
             detail=detection.detail,
         )
         if self._mode == Mode.PREVENTION:
-            self.stats.queries_dropped += 1
+            self.stats.bump("queries_dropped")
             self.logger.log(
                 EventKind.QUERY_DROPPED,
                 query=context.sql,

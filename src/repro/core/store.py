@@ -10,12 +10,18 @@ file — the demo restarts MySQL between training and normal mode and the
 
 import json
 import os
+import threading
 
 from repro.core.query_model import QueryModel
 
 
 class QMStore(object):
-    """In-memory store of learned query models with JSON persistence."""
+    """In-memory store of learned query models with JSON persistence.
+
+    Thread-safe: one store serves every session of a database instance,
+    and :meth:`put` must decide "new model?" atomically so concurrent
+    learners of the same query count exactly one creation.
+    """
 
     def __init__(self, path=None):
         #: full ID value -> QueryModel
@@ -24,6 +30,7 @@ class QMStore(object):
         self._by_external = {}
         #: optional persistence file
         self._path = path
+        self._lock = threading.RLock()
 
     def __len__(self):
         return len(self._models)
@@ -39,9 +46,11 @@ class QMStore(object):
         """All models learned for an external identifier (call site)."""
         if external is None:
             return []
-        return [
-            self._models[full] for full in self._by_external.get(external, [])
-        ]
+        with self._lock:
+            return [
+                self._models[full]
+                for full in self._by_external.get(external, [])
+            ]
 
     def put(self, query_id, model):
         """Store *model* under *query_id*.
@@ -50,21 +59,24 @@ class QMStore(object):
         with this ID already existed (the demo shows a query processed
         twice creates its model only once).
         """
-        if query_id.value in self._models:
-            return False
-        self._models[query_id.value] = model
-        if query_id.external is not None:
-            self._by_external.setdefault(query_id.external, []).append(
-                query_id.value
-            )
-        return True
+        with self._lock:
+            if query_id.value in self._models:
+                return False
+            self._models[query_id.value] = model
+            if query_id.external is not None:
+                self._by_external.setdefault(query_id.external, []).append(
+                    query_id.value
+                )
+            return True
 
     def clear(self):
-        self._models.clear()
-        self._by_external.clear()
+        with self._lock:
+            self._models.clear()
+            self._by_external.clear()
 
     def ids(self):
-        return sorted(self._models)
+        with self._lock:
+            return sorted(self._models)
 
     # -- persistence -------------------------------------------------------
 
@@ -73,13 +85,17 @@ class QMStore(object):
         target = path or self._path
         if target is None:
             raise ValueError("no persistence path configured")
-        payload = {
-            "models": {
-                full: model.to_dict()
-                for full, model in self._models.items()
-            },
-            "externals": self._by_external,
-        }
+        with self._lock:
+            payload = {
+                "models": {
+                    full: model.to_dict()
+                    for full, model in self._models.items()
+                },
+                "externals": {
+                    ext: list(fulls)
+                    for ext, fulls in self._by_external.items()
+                },
+            }
         tmp = target + ".tmp"
         with open(tmp, "w") as handle:
             json.dump(payload, handle, indent=1, sort_keys=True)
@@ -118,6 +134,7 @@ class QMStore(object):
                 "QM store file %r has an unexpected layout: %s"
                 % (source, exc)
             )
-        self._models = models
-        self._by_external = externals
-        return len(self._models)
+        with self._lock:
+            self._models = models
+            self._by_external = externals
+            return len(self._models)

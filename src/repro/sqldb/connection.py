@@ -51,14 +51,20 @@ class Connection(object):
         self.charset = charset or database.charset
         self.multi_statements = multi_statements
         self.last_error = None
+        #: server-side per-connection state (transactions, insert id)
+        self._session = database.create_session(self.charset)
 
     @property
     def database(self):
         return self._db
 
     @property
+    def session(self):
+        return self._session
+
+    @property
     def last_insert_id(self):
-        return self._db.last_insert_id
+        return self._session.last_insert_id
 
     def escape_string(self, value):
         """``mysql_real_escape_string`` equivalent (see the charset module
@@ -73,12 +79,17 @@ class Connection(object):
         """
         try:
             results = self._db.run(
-                sql, multi=self.multi_statements, charset=self.charset
+                sql, multi=self.multi_statements, charset=self.charset,
+                session=self._session,
             )
         except SQLError as exc:
             self.last_error = exc
             return QueryOutcome(error=exc)
         self.last_error = None
+        if not results:
+            # comment-only or empty input: nothing executed, no error —
+            # like mysql_query on a query that is all whitespace/comments
+            return QueryOutcome()
         last = results[-1]
         return QueryOutcome(
             result_set=last.result_set,
@@ -90,11 +101,14 @@ class Connection(object):
         """Run several ``;``-separated statements (opt-in, like
         ``mysqli_multi_query``).  Returns a list of outcomes."""
         try:
-            results = self._db.run(sql, multi=True, charset=self.charset)
+            results = self._db.run(sql, multi=True, charset=self.charset,
+                                   session=self._session)
         except SQLError as exc:
             self.last_error = exc
             return [QueryOutcome(error=exc)]
         self.last_error = None
+        if not results:
+            return [QueryOutcome()]
         return [
             QueryOutcome(
                 result_set=r.result_set,
@@ -114,7 +128,8 @@ class Connection(object):
         """
         from repro.sqldb.prepared import parse_prepared
 
-        return parse_prepared(self._db, sql, self.charset)
+        return parse_prepared(self._db, sql, self.charset,
+                              session=self._session)
 
     def execute_prepared(self, prepared, *params):
         """Execute a prepared statement, returning a

@@ -9,12 +9,28 @@ The hook sits *after* all query modifications (charset decoding, version
 comment expansion, escape processing) and *before* execution — the exact
 placement the paper requires so that SEPTIC sees queries the way they will
 actually run, closing the semantic mismatch.
+
+Two scale-oriented layers sit around that pipeline:
+
+* a **pipeline cache** (:mod:`repro.sqldb.cache`): the decode/parse/
+  validate products of each distinct ``(charset, raw SQL)`` pair are
+  memoized per catalog :attr:`~Database.schema_version`, so repeated
+  query shapes skip straight to the SEPTIC hook and the executor.  DDL
+  bumps the schema version, which invalidates by construction;
+* a **per-session execution layer** (:class:`Session`): connection-scoped
+  state — the open transaction snapshot, the connection charset and
+  ``LAST_INSERT_ID()`` — lives on a session object created per
+  connection, so one server instance can serve concurrent clients
+  without sharing what MySQL scopes per connection.
 """
 
 import random
+import threading
 import time
+from datetime import datetime, timedelta
 
 from repro.sqldb import charset as charset_mod
+from repro.sqldb.cache import CacheEntry, PipelineCache
 from repro.sqldb.errors import (
     ExecutionError,
     MultiStatementError,
@@ -29,9 +45,11 @@ from repro.sqldb.validator import validate
 class QueryContext(object):
     """Everything SEPTIC's hook receives about one statement."""
 
-    __slots__ = ("sql", "statement", "stack", "comments", "database")
+    __slots__ = ("sql", "statement", "stack", "comments", "database",
+                 "memo")
 
-    def __init__(self, sql, statement, stack, comments, database):
+    def __init__(self, sql, statement, stack, comments, database,
+                 memo=None):
         #: the decoded query text (post charset decoding)
         self.sql = sql
         #: the parsed AST statement
@@ -41,10 +59,83 @@ class QueryContext(object):
         #: comment bodies found in the query (external ID channel)
         self.comments = comments
         self.database = database
+        #: pipeline-cache memo slot (:class:`repro.sqldb.cache.SepticMemo`)
+        #: the QS&QM manager fills on first sight; ``None`` when uncached
+        self.memo = memo
 
     @property
     def command(self):
         return type(self.statement).__name__.upper()
+
+
+class Session(object):
+    """Per-connection server-side state (what MySQL scopes per session).
+
+    Holds the connection charset, ``LAST_INSERT_ID()`` and the open
+    transaction snapshot.  :class:`repro.sqldb.connection.Connection`
+    creates one per connection; callers that talk to the
+    :class:`Database` directly use its default session.
+    """
+
+    __slots__ = ("database", "charset", "last_insert_id", "_tx_snapshot")
+
+    def __init__(self, database, charset=None):
+        self.database = database
+        self.charset = charset or database.charset
+        self.last_insert_id = 0
+        self._tx_snapshot = None
+
+    # -- transactions ----------------------------------------------------
+    #
+    # Snapshot semantics: BEGIN copies the catalog and every table's
+    # rows; ROLLBACK restores both (tables created mid-transaction
+    # vanish, tables dropped mid-transaction come back with their rows);
+    # COMMIT discards the snapshot.  A BEGIN inside an open transaction
+    # implicitly commits it (MySQL behaviour).
+
+    def begin(self):
+        if self._tx_snapshot is not None:
+            self.commit()  # implicit commit, like MySQL
+        db = self.database
+        with db.catalog_lock:
+            catalog = dict(db.tables)
+            rows = {}
+            for name, table in catalog.items():
+                rows[name] = (
+                    [dict(row) for row in table.rows],
+                    table._auto_counter,
+                )
+        self._tx_snapshot = (catalog, rows)
+        db._tx_sessions.add(self)
+
+    def commit(self):
+        self._tx_snapshot = None
+        self.database._tx_sessions.discard(self)
+
+    def rollback(self):
+        snapshot = self._tx_snapshot
+        if snapshot is None:
+            return  # ROLLBACK outside a transaction is a no-op
+        catalog, rows = snapshot
+        db = self.database
+        with db.catalog_lock:
+            catalog_changed = set(db.tables) != set(catalog)
+            # restore the catalog: tables created mid-transaction are
+            # dropped, tables dropped mid-transaction reappear
+            db.tables = dict(catalog)
+            for name, (saved_rows, auto) in rows.items():
+                table = db.tables[name]
+                table.rows = [dict(row) for row in saved_rows]
+                table._auto_counter = auto
+                table.touch()
+            if catalog_changed:
+                db.bump_schema_version()
+        self._tx_snapshot = None
+        db._tx_sessions.discard(self)
+
+    @property
+    def in_transaction(self):
+        return self._tx_snapshot is not None
 
 
 class Database(object):
@@ -54,13 +145,17 @@ class Database(object):
     ``process_query(QueryContext)`` — normally a
     :class:`repro.core.septic.Septic` instance.  When it raises
     :class:`repro.sqldb.errors.QueryBlocked` the statement is dropped.
+
+    ``cache_size`` sizes the query-pipeline cache (LRU entries); ``0``
+    disables caching entirely (every statement re-decodes, re-parses and
+    re-validates — the cold path, kept for benchmarks and ablations).
     """
 
     #: virtual clock start, kept fixed for reproducibility
     _EPOCH = "2016-07-05 12:00:00"
 
     def __init__(self, name="repro", septic=None, charset="utf8", seed=1,
-                 septic_fail_open=False):
+                 septic_fail_open=False, cache_size=512):
         self.name = name
         #: policy when the SEPTIC hook itself crashes (not a QueryBlocked):
         #: fail-closed (default) re-raises and the query does not execute;
@@ -70,12 +165,30 @@ class Database(object):
         self.version = "5.7.16-repro"
         self.user = "webapp@localhost"
         self.tables = {}
+        #: bumped by every DDL change; part of the pipeline-cache key, so
+        #: cached validations of the old catalog stop matching instantly
+        self.schema_version = 0
+        #: guards the catalog (``tables`` and ``schema_version``) against
+        #: concurrent DDL/validation/transaction snapshots
+        self.catalog_lock = threading.RLock()
         self.septic = septic
         self.charset = charset
-        self.last_insert_id = 0
         self._executor = Executor(self)
         self._rand = random.Random(seed)
         self._clock_ticks = 0
+        self._clock_lock = threading.Lock()
+        self._epoch_moment = datetime.strptime(
+            self._EPOCH, "%Y-%m-%d %H:%M:%S"
+        )
+        #: the query-pipeline cache (``None`` when disabled)
+        self.pipeline_cache = (
+            PipelineCache(cache_size) if cache_size else None
+        )
+        #: the session used when a caller does not bring its own
+        self._default_session = Session(self, charset)
+        #: sessions currently holding an open transaction (any session)
+        self._tx_sessions = set()
+        self._stats_lock = threading.Lock()
         #: count of statements actually executed (not dropped)
         self.statements_executed = 0
         #: count of statements that entered the pipeline (incl. dropped)
@@ -84,12 +197,44 @@ class Database(object):
         #: (measured live; the BenchLab harness reads this)
         self.septic_seconds_total = 0.0
 
+    # -- sessions ----------------------------------------------------------
+
+    @property
+    def default_session(self):
+        return self._default_session
+
+    def create_session(self, charset=None):
+        """A fresh :class:`Session` (one per client connection)."""
+        return Session(self, charset)
+
+    #: per-connection state kept reachable through the server object for
+    #: callers that treat the Database as a single-client engine
+    @property
+    def last_insert_id(self):
+        return self._default_session.last_insert_id
+
+    @last_insert_id.setter
+    def last_insert_id(self, value):
+        self._default_session.last_insert_id = value
+
     # -- catalog -----------------------------------------------------------
 
     def create_table(self, name, columns):
         table = Table(name, columns)
-        self.tables[table.name] = table
+        with self.catalog_lock:
+            self.tables[table.name] = table
+            self.schema_version += 1
         return table
+
+    def drop_table(self, name):
+        with self.catalog_lock:
+            del self.tables[name.lower()]
+            self.schema_version += 1
+
+    def bump_schema_version(self):
+        """Record a catalog change done in place (ALTER TABLE paths)."""
+        with self.catalog_lock:
+            self.schema_version += 1
 
     def table(self, name):
         table = self.tables.get(name.lower())
@@ -101,81 +246,89 @@ class Database(object):
 
     # -- transactions ----------------------------------------------------
     #
-    # Single-session transactions with snapshot semantics: BEGIN copies
-    # every table's rows; ROLLBACK restores the copies; COMMIT discards
-    # them.  A BEGIN inside an open transaction implicitly commits it
-    # (MySQL behaviour).
+    # Delegates of the default session, for direct-engine callers.
 
     def begin(self):
-        if getattr(self, "_tx_snapshot", None) is not None:
-            self.commit()  # implicit commit, like MySQL
-        snapshot = {}
-        for name, table in self.tables.items():
-            snapshot[name] = (
-                [dict(row) for row in table.rows],
-                table._auto_counter,
-            )
-        self._tx_snapshot = snapshot
+        self._default_session.begin()
 
     def commit(self):
-        self._tx_snapshot = None
+        self._default_session.commit()
 
     def rollback(self):
-        snapshot = getattr(self, "_tx_snapshot", None)
-        if snapshot is None:
-            return  # ROLLBACK outside a transaction is a no-op
-        for name, (rows, auto) in snapshot.items():
-            table = self.tables.get(name)
-            if table is not None:
-                table.rows = [dict(row) for row in rows]
-                table._auto_counter = auto
-                table.touch()
-        self._tx_snapshot = None
+        self._default_session.rollback()
 
     @property
     def in_transaction(self):
-        return getattr(self, "_tx_snapshot", None) is not None
+        """True while *any* session holds an open transaction."""
+        return bool(self._tx_sessions)
 
     # -- environment ---------------------------------------------------------
 
     def now(self):
-        """Deterministic virtual clock (advances one second per call)."""
-        self._clock_ticks += 1
-        base_seconds = self._clock_ticks
-        minutes, seconds = divmod(base_seconds, 60)
-        hours, minutes = divmod(minutes, 60)
-        return "2016-07-05 %02d:%02d:%02d" % (12 + hours % 12, minutes,
-                                              seconds)
+        """Deterministic virtual clock (advances one second per call,
+        with proper day/month rollover — it never runs backwards)."""
+        with self._clock_lock:
+            self._clock_ticks += 1
+            ticks = self._clock_ticks
+        moment = self._epoch_moment + timedelta(seconds=ticks)
+        return moment.strftime("%Y-%m-%d %H:%M:%S")
 
     def rand(self):
         return self._rand.random()
 
     # -- query pipeline --------------------------------------------------------
 
-    def run(self, sql, multi=False, charset=None):
+    def run(self, sql, multi=False, charset=None, session=None):
         """Run *sql* through the full pipeline.
 
         Returns a list of :class:`repro.sqldb.executor.ExecutionResult`,
-        one per statement.  With ``multi=False`` (the default, matching
-        ``mysql_query``) more than one statement raises
-        :class:`MultiStatementError` — the classic reason piggy-backed
-        injection fails against the PHP ``mysql_*`` API.
+        one per statement (empty for comment-only/empty input).  With
+        ``multi=False`` (the default, matching ``mysql_query``) more than
+        one statement raises :class:`MultiStatementError` — the classic
+        reason piggy-backed injection fails against the PHP ``mysql_*``
+        API.  *session* scopes transaction/LAST_INSERT_ID state; the
+        database's default session is used when omitted.
         """
-        decoded = charset_mod.decode_query(sql, charset or self.charset)
-        statements, comments = parse_sql(decoded)
-        if len(statements) > 1 and not multi:
+        if session is None:
+            session = self._default_session
+        effective_charset = charset or session.charset
+        cache = self.pipeline_cache
+        entry = None
+        if cache is not None:
+            entry = cache.get(effective_charset, sql, self.schema_version)
+        if entry is None:
+            decoded = charset_mod.decode_query(sql, effective_charset)
+            statements, comments = parse_sql(decoded)
+            entry = CacheEntry(decoded, statements, comments)
+            if cache is not None:
+                # put() returns the winning entry on a racy double-fill,
+                # so every thread shares one SEPTIC memo per key
+                entry = cache.put(
+                    effective_charset, sql, self.schema_version, entry
+                )
+        if len(entry.statements) > 1 and not multi:
             raise MultiStatementError(
                 "You have an error in your SQL syntax near ';' "
                 "(multi-statements are disabled on this connection)"
             )
+        # stacks are memoized for single-statement entries only: a
+        # multi-statement script may create tables its later statements
+        # need, so those validate per execution, mid-script
+        memo_entry = (
+            entry if cache is not None and entry.single_statement else None
+        )
         results = []
-        for stmt in statements:
+        for stmt in entry.statements:
             results.append(
-                self._run_statement(decoded, stmt, comments)
+                self._run_statement(
+                    entry.decoded, stmt, entry.comments,
+                    session=session, entry=memo_entry,
+                )
             )
         return results
 
-    def run_statement(self, statement, comments=(), sql_text=None):
+    def run_statement(self, statement, comments=(), sql_text=None,
+                      session=None):
         """Run an already-parsed statement through validation, the SEPTIC
         hook and execution (the prepared-statement execute path)."""
         if sql_text is None:
@@ -185,13 +338,25 @@ class Database(object):
                 sql_text = to_sql(statement)
             except TypeError:
                 sql_text = "<prepared:%s>" % type(statement).__name__
-        return self._run_statement(sql_text, statement, list(comments))
+        return self._run_statement(sql_text, statement, list(comments),
+                                   session=session)
 
-    def _run_statement(self, decoded_sql, stmt, comments):
-        self.statements_received += 1
-        stack = validate(stmt, self.tables)
+    def _run_statement(self, decoded_sql, stmt, comments, session=None,
+                       entry=None):
+        if session is None:
+            session = self._default_session
+        with self._stats_lock:
+            self.statements_received += 1
+        stack = entry.stack if entry is not None else None
+        if stack is None:
+            with self.catalog_lock:
+                stack = validate(stmt, self.tables)
+            if entry is not None:
+                entry.stack = stack
         if self.septic is not None and stack:
-            context = QueryContext(decoded_sql, stmt, stack, comments, self)
+            memo = entry.septic_memo if entry is not None else None
+            context = QueryContext(decoded_sql, stmt, stack, comments, self,
+                                   memo=memo)
             start = time.perf_counter()
             try:
                 self.septic.process_query(context)
@@ -204,11 +369,14 @@ class Database(object):
                         "(%s: %s)" % (type(exc).__name__, exc)
                     )
             finally:
-                self.septic_seconds_total += time.perf_counter() - start
-        result = self._executor.execute(stmt)
-        self.statements_executed += 1
+                elapsed = time.perf_counter() - start
+                with self._stats_lock:
+                    self.septic_seconds_total += elapsed
+        result = self._executor.execute(stmt, session=session)
+        with self._stats_lock:
+            self.statements_executed += 1
         if result.last_insert_id is not None:
-            self.last_insert_id = result.last_insert_id
+            session.last_insert_id = result.last_insert_id
         return result
 
     # -- convenience -------------------------------------------------------------

@@ -40,8 +40,10 @@ class Executor(object):
 
     # -- entry point -----------------------------------------------------
 
-    def execute(self, stmt):
-        ctx = EvalContext(self._db, executor=self)
+    def execute(self, stmt, session=None):
+        if session is None:
+            session = self._db.default_session
+        ctx = EvalContext(self._db, executor=self, session=session)
         if isinstance(stmt, ast.Select):
             rs = self._select(stmt, ctx)
             return ExecutionResult(result_set=rs,
@@ -65,13 +67,13 @@ class Executor(object):
         if isinstance(stmt, ast.Describe):
             return self._describe(stmt)
         if isinstance(stmt, ast.Begin):
-            self._db.begin()
+            session.begin()
             return ExecutionResult(affected_rows=0)
         if isinstance(stmt, ast.Commit):
-            self._db.commit()
+            session.commit()
             return ExecutionResult(affected_rows=0)
         if isinstance(stmt, ast.Rollback):
-            self._db.rollback()
+            session.rollback()
             return ExecutionResult(affected_rows=0)
         if isinstance(stmt, ast.CreateIndex):
             self._db.table(stmt.table).create_index(stmt.name, stmt.column)
@@ -98,7 +100,8 @@ class Executor(object):
 
     def run_select_rows(self, select, outer_ctx=None):
         """Run a subquery SELECT, returning raw row tuples."""
-        ctx = EvalContext(self._db, executor=self)
+        session = outer_ctx.session if outer_ctx is not None else None
+        ctx = EvalContext(self._db, executor=self, session=session)
         if outer_ctx is not None:
             ctx._parent = outer_ctx
             ctx.row = dict(outer_ctx.row)
@@ -111,13 +114,12 @@ class Executor(object):
         if not stmt.unions:
             return self._select_single(stmt, ctx, outer_row)
         # UNION: evaluate every branch without the union-level ORDER BY /
-        # LIMIT, merge, then order and trim the merged rows.
-        order_by, stmt.order_by = stmt.order_by, []
-        limit, stmt.limit = stmt.limit, None
-        try:
-            rs = self._select_single(stmt, ctx, outer_row)
-        finally:
-            stmt.order_by, stmt.limit = order_by, limit
+        # LIMIT, merge, then order and trim the merged rows.  The head is
+        # evaluated with skip_order_limit rather than by blanking the AST
+        # fields: cached statements are shared between executions (and
+        # threads), so execution must never mutate them.
+        order_by, limit = stmt.order_by, stmt.limit
+        rs = self._select_single(stmt, ctx, outer_row, skip_order_limit=True)
         rows = list(rs.rows)
         dedupe = False
         for all_flag, branch in stmt.unions:
@@ -177,7 +179,8 @@ class Executor(object):
             rows.sort(key=lambda row: sort_key(row[idx]), reverse=reverse)
         return rows
 
-    def _select_single(self, stmt, ctx, outer_row=None):
+    def _select_single(self, stmt, ctx, outer_row=None,
+                       skip_order_limit=False):
         source_rows, source_columns = self._build_sources(stmt, ctx,
                                                           outer_row)
         # WHERE
@@ -209,10 +212,10 @@ class Executor(object):
                     deduped.append((src, out))
             pairs = deduped
         # ORDER BY
-        if stmt.order_by:
+        if stmt.order_by and not skip_order_limit:
             pairs = self._order(stmt, pairs, columns, ctx)
         # LIMIT
-        if stmt.limit is not None:
+        if stmt.limit is not None and not skip_order_limit:
             count = int(evaluate(stmt.limit.count, ctx))
             offset = 0
             if stmt.limit.offset is not None:
@@ -600,7 +603,7 @@ class Executor(object):
                 last_id = auto
             inserted += 1
         if last_id is not None:
-            self._db.last_insert_id = last_id
+            ctx.session.last_insert_id = last_id
         return ExecutionResult(
             affected_rows=inserted,
             last_insert_id=last_id,
@@ -766,7 +769,7 @@ class Executor(object):
             if stmt.if_exists:
                 return ExecutionResult(affected_rows=0)
             raise ExecutionError("Unknown table '%s'" % stmt.name, errno=1051)
-        del self._db.tables[name]
+        self._db.drop_table(name)
         return ExecutionResult(affected_rows=0)
 
     def _alter_add_column(self, stmt):
@@ -795,6 +798,7 @@ class Executor(object):
         for row in table.rows:
             row[column.name] = fill
         table.touch()
+        self._db.bump_schema_version()
         return ExecutionResult(affected_rows=len(table.rows))
 
     def _alter_drop_column(self, stmt):
@@ -814,6 +818,7 @@ class Executor(object):
         for row in table.rows:
             row.pop(name, None)
         table.touch()
+        self._db.bump_schema_version()
         return ExecutionResult(affected_rows=len(table.rows))
 
     def _describe(self, stmt):

@@ -20,16 +20,21 @@ from repro.sqldb.types import (
 class EvalContext(object):
     """Everything an expression needs to evaluate against one row."""
 
-    def __init__(self, database, row=None, executor=None):
+    def __init__(self, database, row=None, executor=None, session=None):
         self.database = database
         self.row = row or {}
         #: executor is needed to run subqueries; None forbids them.
         self.executor = executor
+        #: the per-connection session (LAST_INSERT_ID, transactions);
+        #: defaults to the database's own when not supplied
+        if session is None and database is not None:
+            session = database.default_session
+        self.session = session
         #: accumulated simulated SLEEP() seconds for this statement
         self.sleep_seconds = 0.0
 
     def child(self, row):
-        ctx = EvalContext(self.database, row, self.executor)
+        ctx = EvalContext(self.database, row, self.executor, self.session)
         ctx._parent = self
         return ctx
 

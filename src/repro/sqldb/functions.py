@@ -440,6 +440,8 @@ def call_scalar(name, args, context):
     if upper in ("USER", "CURRENT_USER"):
         return context.database.user
     if upper == "LAST_INSERT_ID":
+        if context.session is not None:
+            return context.session.last_insert_id
         return context.database.last_insert_id
     if upper == "SLEEP":
         context.record_sleep(float(coerce_to_number(args[0])))

@@ -122,8 +122,9 @@ class Parser(object):
                     "unexpected %r after statement at position %d"
                     % (tok.value, tok.pos)
                 )
-        if not statements:
-            raise ParseError("empty query")
+        # comment-only/empty input parses to zero statements; callers
+        # decide (mysql_query reports an empty OK result, parse_one
+        # rejects it)
         return statements
 
     def _parse_statement(self):

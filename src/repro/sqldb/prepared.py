@@ -114,11 +114,15 @@ class PreparedStatement(object):
     Created by :meth:`repro.sqldb.connection.Connection.prepare`.
     """
 
-    def __init__(self, database, statement, comments, charset):
+    def __init__(self, database, statement, comments, charset,
+                 session=None):
         self._database = database
         self._statement = statement
         self._comments = comments
         self._charset = charset
+        #: the owning connection's session (LAST_INSERT_ID scope);
+        #: ``None`` falls back to the database's default session
+        self._session = session
         self.param_count = count_params(statement)
 
     def execute(self, *params):
@@ -128,11 +132,11 @@ class PreparedStatement(object):
             params = tuple(params[0])
         bound = bind_params(self._statement, params)
         return self._database.run_statement(
-            bound, comments=self._comments
+            bound, comments=self._comments, session=self._session
         )
 
 
-def parse_prepared(database, sql, charset):
+def parse_prepared(database, sql, charset, session=None):
     """Parse *sql* (single statement) for later execution."""
     from repro.sqldb import charset as charset_mod
     from repro.sqldb.parser import parse_sql
@@ -141,4 +145,5 @@ def parse_prepared(database, sql, charset):
     statements, comments = parse_sql(decoded)
     if len(statements) != 1:
         raise ParseError("can only prepare a single statement")
-    return PreparedStatement(database, statements[0], comments, charset)
+    return PreparedStatement(database, statements[0], comments, charset,
+                             session=session)

@@ -70,3 +70,89 @@ class TestLogger(object):
         logger.log(EventKind.QM_CREATED)
         logger.clear()
         assert len(logger) == 0
+
+
+class TestBoundedRegisterKeepsEvidence(object):
+    """Regression tests: a full register used to silently discard
+    ATTACK_DETECTED / QUERY_DROPPED records — the one thing the paper's
+    administrator workflow depends on seeing."""
+
+    def test_attack_evicts_oldest_chatter_when_full(self):
+        logger = SepticLogger(verbose=True, max_events=3)
+        for _ in range(3):
+            logger.log(EventKind.QUERY_EXECUTED)
+        logger.log(EventKind.ATTACK_DETECTED, query="evil")
+        kinds = [e.kind for e in logger.events]
+        assert kinds == [EventKind.QUERY_EXECUTED, EventKind.QUERY_EXECUTED,
+                        EventKind.ATTACK_DETECTED]
+        assert logger.dropped_events == 1
+
+    def test_attack_survives_arbitrary_chatter_flood(self):
+        logger = SepticLogger(verbose=True, max_events=4)
+        logger.log(EventKind.ATTACK_DETECTED, query="evil")
+        for _ in range(50):
+            logger.log(EventKind.QUERY_EXECUTED)
+        assert len(logger.attacks) == 1
+        assert logger.attacks[0].query == "evil"
+
+    def test_full_register_of_evidence_evicts_oldest_evidence(self):
+        logger = SepticLogger(verbose=False, max_events=2)
+        logger.log(EventKind.ATTACK_DETECTED, query="first")
+        logger.log(EventKind.ATTACK_DETECTED, query="second")
+        logger.log(EventKind.ATTACK_DETECTED, query="third")
+        assert [e.query for e in logger.events] == ["second", "third"]
+        assert logger.dropped_events == 1
+
+    def test_incoming_chatter_is_dropped_not_evicting(self):
+        logger = SepticLogger(verbose=True, max_events=2)
+        logger.log(EventKind.ATTACK_DETECTED, query="evil")
+        logger.log(EventKind.QM_CREATED)
+        logger.log(EventKind.QUERY_EXECUTED)   # register full: discarded
+        logger.log(EventKind.QS_BUILT)
+        assert [e.kind for e in logger.events] == [
+            EventKind.ATTACK_DETECTED, EventKind.QM_CREATED]
+        assert logger.dropped_events == 2
+
+    def test_dropped_events_zero_when_register_has_room(self):
+        logger = SepticLogger(verbose=True, max_events=10)
+        for _ in range(5):
+            logger.log(EventKind.QUERY_EXECUTED)
+        assert logger.dropped_events == 0
+
+    def test_clear_resets_dropped_counter(self):
+        logger = SepticLogger(verbose=True, max_events=1)
+        logger.log(EventKind.QUERY_EXECUTED)
+        logger.log(EventKind.QUERY_EXECUTED)
+        assert logger.dropped_events == 1
+        logger.clear()
+        assert logger.dropped_events == 0
+
+
+class TestExportJson(object):
+    def test_export_includes_model_field(self, tmp_path):
+        import json
+
+        from repro.core.query_model import QueryModel
+        from repro.sqldb.items import Item, ItemKind
+
+        logger = SepticLogger()
+        model = QueryModel([Item(ItemKind.SELECT_FIELD, "a")])
+        logger.log(EventKind.ATTACK_DETECTED, query="q", query_id="id1",
+                   model=model, attack_type="SQLI", step=2)
+        path = str(tmp_path / "events.json")
+        logger.export_json(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload[0]["model"] == model.canonical()
+        assert payload[0]["attack_type"] == "SQLI"
+
+    def test_export_tolerates_missing_model(self, tmp_path):
+        import json
+
+        logger = SepticLogger()
+        logger.log(EventKind.MODE_CHANGED, detail="mode=PREVENTION")
+        path = str(tmp_path / "events.json")
+        logger.export_json(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload[0]["model"] is None

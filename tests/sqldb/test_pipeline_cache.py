@@ -1,0 +1,391 @@
+"""Tests for the query-pipeline cache and the per-session layer.
+
+Covers the cache contract (hit/miss accounting, LRU eviction,
+schema-version invalidation, SEPTIC memoization), per-connection session
+isolation, and the multi-session concurrency guarantees (exact SEPTIC
+stats under a thread storm).
+"""
+
+import threading
+
+import pytest
+
+from repro.core.logger import SepticLogger
+from repro.core.septic import Mode, Septic
+from repro.sqldb.cache import CacheEntry, PipelineCache
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+
+from tests.conftest import TICKET_QUERY, TICKETS_SCHEMA
+
+
+def _fresh_db():
+    database = Database()
+    database.seed(TICKETS_SCHEMA)
+    return database
+
+
+class TestPipelineCacheUnit(object):
+    def _entry(self):
+        return CacheEntry("SELECT 1", ["stmt"], [])
+
+    def test_miss_then_hit(self):
+        cache = PipelineCache(4)
+        assert cache.get("utf8", "SELECT 1", 0) is None
+        entry = self._entry()
+        cache.put("utf8", "SELECT 1", 0, entry)
+        assert cache.get("utf8", "SELECT 1", 0) is entry
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_key_includes_charset_and_schema_version(self):
+        cache = PipelineCache(8)
+        cache.put("utf8", "SELECT 1", 0, self._entry())
+        assert cache.get("gbk", "SELECT 1", 0) is None
+        assert cache.get("utf8", "SELECT 1", 1) is None
+
+    def test_lru_eviction_order(self):
+        cache = PipelineCache(2)
+        first, second, third = (self._entry() for _ in range(3))
+        cache.put("c", "q1", 0, first)
+        cache.put("c", "q2", 0, second)
+        cache.get("c", "q1", 0)          # refresh q1 → q2 is now LRU
+        cache.put("c", "q3", 0, third)
+        assert cache.get("c", "q2", 0) is None
+        assert cache.get("c", "q1", 0) is first
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_racy_double_fill_keeps_first_entry(self):
+        cache = PipelineCache(4)
+        winner, loser = self._entry(), self._entry()
+        assert cache.put("c", "q", 0, winner) is winner
+        assert cache.put("c", "q", 0, loser) is winner
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineCache(0)
+
+    def test_stats_dict(self):
+        cache = PipelineCache(4)
+        cache.put("c", "q", 0, self._entry())
+        cache.get("c", "q", 0)
+        cache.get("c", "nope", 0)
+        stats = cache.stats_dict()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+
+class TestDatabaseCacheIntegration(object):
+    def test_repeated_query_hits_cache(self):
+        database = _fresh_db()
+        cache = database.pipeline_cache
+        cache.hits = cache.misses = 0
+        for _ in range(5):
+            database.run("SELECT * FROM tickets")
+        assert cache.misses == 1
+        assert cache.hits == 4
+
+    def test_cache_can_be_disabled(self):
+        database = Database(cache_size=0)
+        assert database.pipeline_cache is None
+        database.seed(TICKETS_SCHEMA)
+        rows = database.run("SELECT * FROM tickets")[0].result_set.rows
+        assert len(rows) == 3
+
+    def test_cached_and_uncached_results_identical(self):
+        cached, uncached = _fresh_db(), Database(cache_size=0)
+        uncached.seed(TICKETS_SCHEMA)
+        sql = "SELECT reservID FROM tickets WHERE creditCard > 2000 " \
+              "ORDER BY reservID"
+        for _ in range(3):
+            a = cached.run(sql)[0].result_set.rows
+            b = uncached.run(sql)[0].result_set.rows
+            assert a == b
+
+    def test_ddl_between_identical_queries_revalidates(self):
+        database = _fresh_db()
+        sql = "SELECT * FROM tickets"
+        before = database.run(sql)[0].result_set
+        assert "notes" not in before.columns
+        database.run("ALTER TABLE tickets ADD COLUMN notes VARCHAR(50)")
+        after = database.run(sql)[0].result_set
+        assert "notes" in after.columns  # stale star-expansion would miss it
+
+    def test_ddl_makes_previously_invalid_query_valid(self):
+        database = _fresh_db()
+        sql = "SELECT notes FROM tickets"
+        conn = Connection(database)
+        assert not conn.query(sql).ok          # column does not exist yet
+        conn.query("ALTER TABLE tickets ADD COLUMN notes VARCHAR(50)")
+        assert conn.query(sql).ok              # must re-validate, not replay
+
+    def test_drop_table_invalidates(self):
+        database = _fresh_db()
+        conn = Connection(database)
+        assert conn.query("SELECT * FROM tickets").ok
+        conn.query("DROP TABLE tickets")
+        assert not conn.query("SELECT * FROM tickets").ok
+
+    def test_schema_version_bumps_on_ddl_only(self):
+        database = _fresh_db()
+        version = database.schema_version
+        database.run("SELECT * FROM tickets")
+        database.run("INSERT INTO tickets (reservID, creditCard) "
+                     "VALUES ('NEW', 1)")
+        assert database.schema_version == version
+        database.run("ALTER TABLE tickets ADD COLUMN c INT")
+        assert database.schema_version == version + 1
+
+    def test_validation_stack_memoized_for_single_statements(self):
+        database = _fresh_db()
+        database.run("SELECT * FROM tickets")
+        entry = database.pipeline_cache.get(
+            database.charset, "SELECT * FROM tickets",
+            database.schema_version)
+        assert entry is not None
+        assert entry.stack is not None
+        assert entry.single_statement
+
+    def test_multi_statement_scripts_not_stack_memoized(self):
+        database = _fresh_db()
+        script = "CREATE TABLE s1 (x INT); INSERT INTO s1 (x) VALUES (1)"
+        database.run(script, multi=True)
+        # the script's second statement only validates once the first has
+        # executed, so its stack must never be frozen into the cache
+        entry = database.pipeline_cache.get(
+            database.charset, script, database.schema_version)
+        if entry is not None:
+            assert entry.stack is None
+
+    def test_failed_validation_not_cached_as_success(self):
+        database = _fresh_db()
+        conn = Connection(database)
+        for _ in range(3):
+            outcome = conn.query("SELECT missing_col FROM tickets")
+            assert not outcome.ok
+            assert "missing_col" in str(outcome.error)
+
+
+class TestSepticMemoization(object):
+    def _stack(self):
+        septic = Septic(mode=Mode.TRAINING,
+                        logger=SepticLogger(verbose=False))
+        database = Database(septic=septic)
+        database.seed(TICKETS_SCHEMA)
+        connection = Connection(database)
+        connection.query(TICKET_QUERY % ("ID34FG", "1234"))
+        septic.mode = Mode.PREVENTION
+        return septic, database, connection
+
+    def test_memo_fills_after_first_hook_pass(self):
+        septic, database, connection = self._stack()
+        sql = TICKET_QUERY % ("ZZ11AA", "9999")
+        connection.query(sql)
+        entry = database.pipeline_cache.get(
+            connection.charset, sql, database.schema_version)
+        assert entry is not None
+        assert entry.septic_memo.ready
+        assert entry.septic_memo.query_id is not None
+
+    def test_memoized_hook_detection_unchanged(self):
+        septic, database, connection = self._stack()
+        legit = TICKET_QUERY % ("ZZ11AA", "9999")
+        attack = TICKET_QUERY % ("x' OR 1=1 -- ", "0")
+        for _ in range(4):
+            assert connection.query(legit).ok
+        for _ in range(4):
+            outcome = connection.query(attack)
+            assert not outcome.ok
+        assert septic.stats.attacks_detected == 4
+        assert septic.stats.queries_dropped == 4
+
+    def test_memoized_id_matches_fresh_id(self):
+        septic, database, connection = self._stack()
+        sql = TICKET_QUERY % ("QQ77MM", "4321")
+        connection.query(sql)
+        entry = database.pipeline_cache.get(
+            connection.charset, sql, database.schema_version)
+        memo_id = entry.septic_memo.query_id
+        # a cold database computes the same composed ID for the same text
+        septic2, database2, connection2 = self._stack()
+        connection2.query(sql)
+        entry2 = database2.pipeline_cache.get(
+            connection2.charset, sql, database2.schema_version)
+        assert entry2.septic_memo.query_id.value == memo_id.value
+
+
+class TestSessionIsolation(object):
+    def test_last_insert_id_is_per_connection(self):
+        database = _fresh_db()
+        a, b = Connection(database), Connection(database)
+        a.query("INSERT INTO tickets (reservID, creditCard) "
+                "VALUES ('AAA', 1)")
+        assert a.last_insert_id == 4
+        assert b.last_insert_id == 0
+        b.query("INSERT INTO tickets (reservID, creditCard) "
+                "VALUES ('BBB', 2)")
+        assert b.last_insert_id == 5
+        assert a.last_insert_id == 4
+
+    def test_last_insert_id_function_uses_own_session(self):
+        database = _fresh_db()
+        a, b = Connection(database), Connection(database)
+        a.query("INSERT INTO tickets (reservID, creditCard) "
+                "VALUES ('AAA', 1)")
+        rows_a = a.query("SELECT LAST_INSERT_ID() AS lid").rows
+        rows_b = b.query("SELECT LAST_INSERT_ID() AS lid").rows
+        assert rows_a[0][0] == 4
+        assert rows_b[0][0] == 0
+
+    def test_transactions_are_per_connection(self):
+        database = _fresh_db()
+        a, b = Connection(database), Connection(database)
+        a.query("BEGIN")
+        a.query("DELETE FROM tickets")
+        b.query("INSERT INTO tickets (reservID, creditCard) "
+                "VALUES ('KEEP', 7)")
+        a.query("ROLLBACK")
+        # a's rollback restores its snapshot; it must not have been
+        # confused by b never being in a transaction
+        assert database.in_transaction is False
+        reservations = {r["reservid"] for r in database.table("tickets").rows}
+        assert {"ID34FG", "ZZ11AA", "QQ77MM"} <= reservations
+
+    def test_in_transaction_true_while_any_session_open(self):
+        database = _fresh_db()
+        a, b = Connection(database), Connection(database)
+        a.query("BEGIN")
+        assert database.in_transaction
+        b.query("BEGIN")
+        a.query("COMMIT")
+        assert database.in_transaction   # b still holds one
+        b.query("ROLLBACK")
+        assert not database.in_transaction
+
+    def test_connection_charset_rides_its_session(self):
+        database = _fresh_db()
+        gbk = Connection(database, charset="gbk")
+        utf8 = Connection(database)
+        assert gbk.session.charset == "gbk"
+        assert utf8.session.charset == database.charset
+
+
+class TestConcurrency(object):
+    THREADS = 4
+    LOOPS = 25
+
+    def _storm(self, worker):
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_exact_stats_under_thread_storm(self):
+        septic = Septic(mode=Mode.TRAINING,
+                        logger=SepticLogger(verbose=False))
+        database = Database(septic=septic)
+        database.seed(TICKETS_SCHEMA)
+        trainer = Connection(database)
+        trainer.query(TICKET_QUERY % ("ID34FG", "1234"))
+        septic.mode = Mode.PREVENTION
+        base = septic.stats.queries_processed
+        errors = []
+
+        def worker(index):
+            try:
+                conn = Connection(database)
+                legit = TICKET_QUERY % ("ZZ11AA", "9999")
+                attack = TICKET_QUERY % ("x' OR 1=1 -- ", "0")
+                for _ in range(self.LOOPS):
+                    if not conn.query(legit).ok:
+                        errors.append("legit blocked")
+                    if conn.query(attack).ok:
+                        errors.append("attack passed")
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(repr(exc))
+
+        self._storm(worker)
+        assert errors == []
+        expected = self.THREADS * self.LOOPS
+        stats = septic.stats.as_dict()
+        assert stats["queries_processed"] == base + 2 * expected
+        assert stats["attacks_detected"] == expected
+        assert stats["queries_dropped"] == expected
+        assert stats["sqli_detected"] == expected
+
+    def test_concurrent_inserts_race_free(self):
+        database = _fresh_db()
+        errors = []
+
+        def worker(index):
+            conn = Connection(database)
+            for _ in range(self.LOOPS):
+                outcome = conn.query(
+                    "INSERT INTO tickets (reservID, creditCard) "
+                    "VALUES ('T%d', %d)" % (index, index))
+                if not outcome.ok:
+                    errors.append(str(outcome.error))
+
+        self._storm(worker)
+        assert errors == []
+        table = database.table("tickets")
+        assert len(table.rows) == 3 + self.THREADS * self.LOOPS
+        ids = [row["id"] for row in table.rows]
+        assert len(set(ids)) == len(ids)  # AUTO_INCREMENT never reused
+        assert database.statements_executed >= self.THREADS * self.LOOPS
+
+    def test_concurrent_reads_share_cache_entry(self):
+        database = _fresh_db()
+        cache = database.pipeline_cache
+        cache.hits = cache.misses = 0
+        barrier = threading.Barrier(self.THREADS)
+        errors = []
+
+        def worker(index):
+            conn = Connection(database)
+            barrier.wait()
+            for _ in range(self.LOOPS):
+                if len(conn.query("SELECT * FROM tickets").rows) != 3:
+                    errors.append("wrong row count")
+
+        self._storm(worker)
+        assert errors == []
+        total = self.THREADS * self.LOOPS
+        assert cache.hits + cache.misses == total
+        # every lookup after the initial fill(s) must hit
+        assert cache.hits >= total - self.THREADS
+        assert len(cache) >= 1
+
+    def test_concurrent_ddl_and_queries_never_crash(self):
+        database = _fresh_db()
+        errors = []
+
+        def reader(index):
+            conn = Connection(database)
+            for _ in range(self.LOOPS):
+                outcome = conn.query("SELECT * FROM tickets")
+                if not outcome.ok:
+                    errors.append(str(outcome.error))
+
+        def ddl_worker(index):
+            conn = Connection(database)
+            for step in range(self.LOOPS):
+                name = "scratch_%d_%d" % (index, step)
+                if not conn.query("CREATE TABLE %s (x INT)" % name).ok:
+                    errors.append("create failed")
+                if not conn.query("DROP TABLE %s" % name).ok:
+                    errors.append("drop failed")
+
+        threads = [threading.Thread(target=reader, args=(i,))
+                   for i in range(2)]
+        threads += [threading.Thread(target=ddl_worker, args=(i,))
+                    for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert "tickets" in database.tables

@@ -1,0 +1,144 @@
+"""Regression tests for the query-path bugfix sweep.
+
+Each test documents a defect that sat on the hot query path:
+
+* ``Connection.query()``/``multi_query()`` crashed with ``IndexError``
+  on comment-only or empty input (``results[-1]`` on an empty list);
+* ``Database.rollback()`` only restored rows of tables that existed at
+  ``BEGIN`` *and* still existed — tables created mid-transaction
+  survived rollback and tables dropped mid-transaction stayed gone;
+* the virtual clock went backwards after 11:59:59 of uptime
+  (``12 + hours % 12`` wrapped 23:59:59 → 12:00:00 of the same day).
+"""
+
+from repro.sqldb.connection import Connection, QueryOutcome
+from repro.sqldb.engine import Database
+
+
+class TestEmptyAndCommentOnlyQueries(object):
+    def _conn(self):
+        return Connection(Database())
+
+    def test_empty_query_returns_empty_ok_outcome(self):
+        outcome = self._conn().query("")
+        assert isinstance(outcome, QueryOutcome)
+        assert outcome.ok
+        assert outcome.rows == []
+        assert outcome.affected_rows == 0
+
+    def test_whitespace_and_semicolons_only(self):
+        outcome = self._conn().query("   ;;  ")
+        assert outcome.ok
+
+    def test_comment_only_query_returns_empty_ok_outcome(self):
+        conn = self._conn()
+        for sql in ("/* just a comment */", "-- nothing here", "# nothing"):
+            outcome = conn.query(sql)
+            assert outcome.ok, sql
+            assert outcome.result_set is None
+
+    def test_multi_query_on_comment_only_input(self):
+        outcomes = self._conn().multi_query("/* a */ ; /* b */")
+        assert len(outcomes) == 1
+        assert outcomes[0].ok
+
+    def test_empty_query_clears_last_error(self):
+        conn = self._conn()
+        conn.query("SELECT broken FROM")  # parse error sets last_error
+        assert conn.last_error is not None
+        assert conn.query("/* ping */").ok
+        assert conn.last_error is None
+
+    def test_run_returns_empty_result_list(self):
+        assert Database().run("/* noop */") == []
+
+
+class TestRollbackCatalogRestore(object):
+    def _db(self):
+        database = Database()
+        database.seed(
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, "
+            "a VARCHAR(10));"
+            "INSERT INTO t (a) VALUES ('x'), ('y');"
+        )
+        return database, Connection(database)
+
+    def test_table_created_mid_transaction_rolls_back(self):
+        database, conn = self._db()
+        conn.query("BEGIN")
+        assert conn.query("CREATE TABLE mid (x INT)").ok
+        assert conn.query("INSERT INTO mid (x) VALUES (1)").ok
+        conn.query("ROLLBACK")
+        assert "mid" not in database.tables
+
+    def test_table_dropped_mid_transaction_is_restored_with_rows(self):
+        database, conn = self._db()
+        conn.query("BEGIN")
+        assert conn.query("DROP TABLE t").ok
+        conn.query("ROLLBACK")
+        assert "t" in database.tables
+        assert len(database.table("t").rows) == 2
+        # and the restored table is live: DML works against it
+        assert conn.query("INSERT INTO t (a) VALUES ('z')").ok
+        assert len(database.table("t")) == 3
+
+    def test_drop_then_recreate_rolls_back_to_original(self):
+        database, conn = self._db()
+        conn.query("BEGIN")
+        conn.query("DROP TABLE t")
+        conn.query("CREATE TABLE t (other INT)")
+        conn.query("INSERT INTO t (other) VALUES (9)")
+        conn.query("ROLLBACK")
+        table = database.table("t")
+        assert table.column_names() == ["id", "a"]
+        assert [r["a"] for r in table.rows] == ["x", "y"]
+
+    def test_commit_keeps_mid_transaction_catalog_changes(self):
+        database, conn = self._db()
+        conn.query("BEGIN")
+        conn.query("CREATE TABLE mid (x INT)")
+        conn.query("DROP TABLE t")
+        conn.query("COMMIT")
+        assert "mid" in database.tables
+        assert "t" not in database.tables
+
+    def test_rollback_of_catalog_change_invalidates_cached_validation(self):
+        database, conn = self._db()
+        conn.query("BEGIN")
+        conn.query("CREATE TABLE mid (x INT)")
+        assert conn.query("SELECT x FROM mid").ok  # validated + cached
+        conn.query("ROLLBACK")
+        outcome = conn.query("SELECT x FROM mid")
+        assert not outcome.ok  # table is gone again; must re-validate
+
+
+class TestVirtualClockMonotonic(object):
+    def test_day_rollover_instead_of_backwards_jump(self):
+        database = Database()
+        database._clock_ticks = 12 * 3600 - 2  # two ticks before midnight
+        stamps = [database.now() for _ in range(4)]
+        assert stamps == [
+            "2016-07-05 23:59:59",
+            "2016-07-06 00:00:00",
+            "2016-07-06 00:00:01",
+            "2016-07-06 00:00:02",
+        ]
+
+    def test_clock_is_strictly_monotonic_across_days(self):
+        database = Database()
+        seen = []
+        for jump in (0, 11 * 3600, 12 * 3600, 86400, 40 * 86400):
+            database._clock_ticks = jump
+            seen.append(database.now())
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+
+    def test_month_rollover(self):
+        database = Database()
+        database._clock_ticks = 27 * 86400  # July 5 + 27 days → August 1
+        assert database.now().startswith("2016-08-01 ")
+
+    def test_first_seconds_unchanged_from_seed_behaviour(self):
+        database = Database()
+        assert database.now() == "2016-07-05 12:00:01"
+        assert database.now() == "2016-07-05 12:00:02"

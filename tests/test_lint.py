@@ -1,0 +1,113 @@
+"""Lint gate for the tier-1 flow.
+
+Two checks over every Python file in ``src/`` (and the test/benchmark
+trees for the byte-compile pass):
+
+* **byte-compilation** — ``compileall`` catches syntax errors anywhere,
+  including files no test imports;
+* **undefined names** — a conservative pyflakes-style pass (the real
+  pyflakes is not vendored): collect every name a module could possibly
+  bind — imports, assignments, function/class defs, comprehension and
+  exception targets, globals of the whole file — and flag any ``Name``
+  load that matches none of them and is not a builtin.  Scope-blind by
+  design, so it only reports names that cannot resolve *anywhere* in
+  the file: real typos, never false positives.
+"""
+
+import ast
+import builtins
+import compileall
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+
+_BUILTINS = set(dir(builtins)) | {"__file__", "__name__", "__doc__",
+                                  "__package__", "__spec__", "__loader__",
+                                  "__builtins__", "__debug__"}
+
+
+def _python_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in ("__pycache__", ".git", "out")]
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def _bound_names(tree):
+    """Every name the module could bind, in any scope."""
+    bound = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                name = alias.asname or alias.name
+                bound.add(name.split(".")[0])
+        elif isinstance(node, ast.arg):
+            bound.add(node.arg)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, ast.Lambda):
+            pass  # its args are ast.arg nodes, already collected
+    return bound
+
+
+def _undefined_loads(path):
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    bound = _bound_names(tree)
+    problems = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+                and node.id not in bound and node.id not in _BUILTINS):
+            problems.append("%s:%d: undefined name %r"
+                            % (os.path.relpath(path, REPO_ROOT),
+                               node.lineno, node.id))
+    return problems
+
+
+def test_src_byte_compiles():
+    ok = compileall.compile_dir(SRC_ROOT, maxlevels=20, quiet=2,
+                                force=False)
+    assert ok, "compileall found syntax errors under src/ (rerun with " \
+               "`python -m compileall src` for details)"
+
+
+@pytest.mark.parametrize("tree_name", ["tests", "benchmarks", "examples"])
+def test_support_trees_byte_compile(tree_name):
+    root = os.path.join(REPO_ROOT, tree_name)
+    if not os.path.isdir(root):
+        pytest.skip("no %s/ tree" % tree_name)
+    ok = compileall.compile_dir(root, maxlevels=20, quiet=2, force=False)
+    assert ok, "compileall found syntax errors under %s/" % tree_name
+
+
+def test_src_has_no_undefined_names():
+    problems = []
+    for path in _python_files(SRC_ROOT):
+        problems.extend(_undefined_loads(path))
+    assert problems == [], "\n".join(problems)
+
+
+def test_lint_gate_catches_a_typo(tmp_path):
+    """The undefined-name pass must actually detect a misspelling."""
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(value):\n    return vlaue + 1\n")
+    problems = _undefined_loads(str(bad))
+    assert len(problems) == 1
+    assert "vlaue" in problems[0]
+
+
+def test_python_version_supported():
+    # the engine relies on dict ordering and OrderedDict.move_to_end
+    assert sys.version_info >= (3, 7)
