@@ -1,0 +1,139 @@
+"""Fault-injection points — what do they cost when nothing is armed?
+
+The chaos subsystem's contract is "zero overhead when disarmed": every
+injection site is guarded by ``if faults.ACTIVE is not None``, one
+module-attribute read and an identity test.  This bench proves the
+contract on the warm cached query path (the hot path PR 1 built):
+
+* measure the warm per-query latency with no plan armed;
+* micro-measure the disarmed guard primitive itself;
+* count how many injection points one warm query actually reaches (an
+  armed *watch* plan with no specs counts ``fire()`` calls without
+  injecting anything);
+* bound the disarmed guard cost per query — conservatively doubled to
+  cover the watchdog/checkpoint ``is not None`` plumbing — and assert
+  it is **< 2%** of the measured warm per-query time.
+
+The armed-watch replay is also timed and reported: that is the
+*observability* price (fire() bookkeeping + store fingerprint checks),
+paid only while a chaos experiment is running.
+"""
+
+import time
+
+from repro import faults
+from repro.core.logger import SepticLogger
+from repro.core.septic import Mode, Septic
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+
+from bench_pipeline_cache import QUERY_MIX, SCHEMA
+
+LOOPS = 300
+REPEATS = 3
+GUARD_ITERATIONS = 2_000_000
+
+
+def _build():
+    septic = Septic(mode=Mode.TRAINING, logger=SepticLogger(verbose=False))
+    database = Database(septic=septic, cache_size=512)
+    database.seed(SCHEMA)
+    conn = Connection(database)
+    for sql in QUERY_MIX:
+        conn.query_or_raise(sql)
+    septic.mode = Mode.PREVENTION
+    return septic, database, conn
+
+
+def _time_loop(conn, loops):
+    start = time.perf_counter()
+    for _ in range(loops):
+        for sql in QUERY_MIX:
+            conn.query(sql)
+    return time.perf_counter() - start
+
+
+def _median_loop(conn, loops, repeats):
+    times = sorted(_time_loop(conn, loops) for _ in range(repeats))
+    return times[len(times) // 2]
+
+
+def _guard_cost(iterations):
+    """Seconds per disarmed guard (attribute read + identity test),
+    with the bare loop overhead subtracted out."""
+    loop = range(iterations)
+    start = time.perf_counter()
+    for _ in loop:
+        if faults.ACTIVE is not None:
+            raise AssertionError("plan armed during micro-bench")
+    guarded = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in loop:
+        pass
+    empty = time.perf_counter() - start
+    return max((guarded - empty) / iterations, 0.0)
+
+
+def test_fault_overhead_artifact(report, benchmark):
+    def run_measurements():
+        _, _, conn = _build()
+        _time_loop(conn, 1)  # priming pass: the cache fills here
+        disarmed = _median_loop(conn, LOOPS, REPEATS)
+
+        # armed watch plan: counts every fire() without injecting
+        watch = faults.FaultPlan()
+        with faults.armed(watch):
+            armed = _median_loop(conn, LOOPS, REPEATS)
+        guard = _guard_cost(GUARD_ITERATIONS)
+        return disarmed, armed, guard, dict(watch.hits_by_site)
+
+    disarmed, armed, guard, hits = benchmark.pedantic(
+        run_measurements, rounds=1, iterations=1
+    )
+    queries = LOOPS * len(QUERY_MIX)
+    disarmed_us = 1e6 * disarmed / queries
+    armed_us = 1e6 * armed / queries
+    fires_per_query = sum(hits.values()) / float(REPEATS * queries)
+    # every fire() site is one guard; double it to cover the watchdog
+    # construction guard and the `checkpoint is not None` plumbing, and
+    # add a flat few for sites short-circuited before fire()
+    guards_per_query = 2.0 * fires_per_query + 4.0
+    guard_cost_us = 1e6 * guard
+    bound_us = guards_per_query * guard_cost_us
+    bound_pct = 100.0 * bound_us / disarmed_us if disarmed_us else 0.0
+    armed_pct = 100.0 * (armed_us - disarmed_us) / disarmed_us \
+        if disarmed_us else 0.0
+
+    report.line("Fault-injection points — disarmed cost on the warm path")
+    report.line("(%d warm queries per side, median of %d runs)"
+                % (queries, REPEATS))
+    report.line()
+    report.table(
+        ["path", "per query (us)", "vs disarmed"],
+        [
+            ["disarmed (production)", "%.2f" % disarmed_us, "--"],
+            ["armed watch plan", "%.2f" % armed_us,
+             "%+.1f%%" % armed_pct],
+        ],
+        widths=[24, 16, 14],
+    )
+    report.line()
+    report.line("guard primitive:    %.1f ns per check (%d iterations)"
+                % (1e3 * guard_cost_us, GUARD_ITERATIONS))
+    report.line("injection points:   %.1f fire() sites reached per warm "
+                "query" % fires_per_query)
+    report.line("sites seen: %s" % ", ".join(sorted(hits)))
+    report.line("guard budget:       %.1f guards x %.1f ns = %.4f us "
+                "per query" % (guards_per_query, 1e3 * guard_cost_us,
+                               bound_us))
+    report.line("disarmed overhead:  %.3f%% of the %.2f us warm query "
+                "(must be < 2%%)" % (bound_pct, disarmed_us))
+
+    # the watch plan must have seen the wired sites (coverage proof)
+    assert hits.get("cache.lookup", 0) > 0
+    assert hits.get("store.get", 0) > 0
+    assert hits.get("detector.run", 0) > 0
+    # acceptance: disarmed injection points cost < 2% of the warm path
+    assert bound_pct < 2.0, (
+        "disarmed guards cost %.3f%% of the warm path" % bound_pct
+    )

@@ -30,6 +30,12 @@ from repro.benchlab.report import (
     format_result_line,
     format_scaling_rows,
 )
+from repro.benchlab.chaos import (
+    ChaosResult,
+    default_chaos_plan,
+    format_chaos_result,
+    run_chaos,
+)
 
 __all__ = [
     "Simulator",
@@ -44,4 +50,8 @@ __all__ = [
     "format_overhead_table",
     "format_result_line",
     "format_scaling_rows",
+    "ChaosResult",
+    "default_chaos_plan",
+    "format_chaos_result",
+    "run_chaos",
 ]

@@ -13,6 +13,7 @@ Two kinds of discovery:
   precise validation second.
 """
 
+from repro import faults as faults_mod
 from repro.core.query_model import BOTTOM
 from repro.core.plugins import default_plugins
 
@@ -77,6 +78,8 @@ class AttackDetector(object):
         Returns a :class:`Detection`; ``step`` reports whether the
         structural (1) or syntactical (2) verification failed.
         """
+        if faults_mod.ACTIVE is not None:
+            faults_mod.fire("detector.run")
         if len(structure) != len(model):
             return Detection(
                 True,
@@ -120,19 +123,27 @@ class AttackDetector(object):
 
     # -- stored injection ------------------------------------------------------
 
-    def detect_stored(self, structure):
+    def detect_stored(self, structure, checkpoint=None):
         """Run the plugins over the user inputs of an INSERT/UPDATE.
 
         User inputs are the string payloads of the structure's data nodes
         (paper: "check if the user inputs provided to INSERT and UPDATE
-        commands are erroneous").
+        commands are erroneous").  *checkpoint*, when given, is called
+        before each plugin run — the SEPTIC watchdog aborts runaway
+        plugin work through it.
         """
+        if faults_mod.ACTIVE is not None:
+            faults_mod.fire("detector.run")
         if structure.command() not in ("INSERT", "UPDATE"):
             return BENIGN
         for node in structure.data_nodes():
             if not isinstance(node.value, str):
                 continue
             for plugin in self.plugins:
+                if checkpoint is not None:
+                    checkpoint()
+                if faults_mod.ACTIVE is not None:
+                    faults_mod.fire("plugin." + plugin.name)
                 if plugin.inspect(node.value):
                     return Detection(
                         True,

@@ -10,6 +10,8 @@ processing, attack detection); ``verbose=True`` enables that behaviour.
 
 import threading
 
+from repro import faults as faults_mod
+
 
 class EventKind(object):
     """Event type tags."""
@@ -23,12 +25,22 @@ class EventKind(object):
     ATTACK_DETECTED = "ATTACK_DETECTED"
     QUERY_DROPPED = "QUERY_DROPPED"
     QUERY_EXECUTED = "QUERY_EXECUTED"
+    # -- resilience events (the fail-policy engine) ---------------------
+    INTERNAL_FAULT = "INTERNAL_FAULT"
+    WATCHDOG_TIMEOUT = "WATCHDOG_TIMEOUT"
+    BREAKER_TRIPPED = "BREAKER_TRIPPED"
+    BREAKER_RESET = "BREAKER_RESET"
+    STORE_RECOVERED = "STORE_RECOVERED"
 
 
-#: kinds always recorded, even when not verbose
+#: kinds always recorded, even when not verbose (attack evidence and
+#: operator-facing resilience incidents)
 _SIGNIFICANT = frozenset(
     [EventKind.MODE_CHANGED, EventKind.QM_CREATED,
-     EventKind.ATTACK_DETECTED, EventKind.QUERY_DROPPED]
+     EventKind.ATTACK_DETECTED, EventKind.QUERY_DROPPED,
+     EventKind.INTERNAL_FAULT, EventKind.WATCHDOG_TIMEOUT,
+     EventKind.BREAKER_TRIPPED, EventKind.BREAKER_RESET,
+     EventKind.STORE_RECOVERED]
 )
 
 
@@ -99,6 +111,8 @@ class SepticLogger(object):
         self._lock = threading.Lock()
 
     def log(self, kind, **fields):
+        if faults_mod.ACTIVE is not None:
+            faults_mod.fire("logger.record")
         with self._lock:
             self._sequence += 1
             if not self.verbose and kind not in _SIGNIFICANT:

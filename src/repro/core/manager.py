@@ -55,7 +55,7 @@ class QSQMManager(object):
             id_generator if id_generator is not None else IdGenerator()
         )
 
-    def receive(self, context):
+    def receive(self, context, checkpoint=None):
         """Process one validated query: build QS/QM, compose the ID, and
         perform the store lookup.  Returns a :class:`LookupResult`.
 
@@ -66,6 +66,10 @@ class QSQMManager(object):
         three products are pure functions of the cached stack+comments;
         ``query_id`` is published last so a concurrently-read memo is
         either complete or ignored.
+
+        *checkpoint*, when given, is the SEPTIC watchdog's deadline
+        check — called after derivation and after the store lookup so a
+        hang in either stage is caught here.
         """
         memo = getattr(context, "memo", None)
         if memo is not None and memo.ready:
@@ -82,10 +86,14 @@ class QSQMManager(object):
                 memo.structure = structure
                 memo.model_of_query = model_of_query
                 memo.query_id = query_id
+        if checkpoint is not None:
+            checkpoint()
         model = self.store.get(query_id)
         candidates = []
         if model is None:
             candidates = self.store.models_for_external(query_id.external)
+        if checkpoint is not None:
+            checkpoint()
         return LookupResult(structure, model_of_query, query_id, model,
                             candidates)
 

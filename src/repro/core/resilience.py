@@ -1,0 +1,195 @@
+"""Resilience primitives for the SEPTIC hook (the fail-policy engine).
+
+The paper's pitch is that SEPTIC runs *inside* the DBMS with negligible
+overhead and no interference.  That claim has a flip side the paper never
+tests: when SEPTIC itself misbehaves — a detector plugin raises, the QM
+store is corrupted, the logger wedges — the query path must not go down
+with it, or operators will simply disable the protection.  This module
+provides the building blocks :class:`repro.core.septic.Septic` uses to
+degrade gracefully instead:
+
+* :class:`VirtualClock` — a deterministic, thread-local clock the
+  watchdog measures against.  It advances only when explicitly charged
+  (by the fault injector's *hang* faults, or by instrumented plugins),
+  so with nothing armed the watchdog can never fire spuriously and the
+  hot path pays nothing.
+* :class:`Watchdog` — a per-query deadline over the virtual clock.
+  Checkpoints sprinkled through the hook call :meth:`Watchdog.check`;
+  exceeding the budget raises :class:`WatchdogTimeout`, which the
+  containment boundary converts into the configured fail-policy outcome.
+* :class:`CircuitBreaker` — trips after ``threshold`` *consecutive*
+  internal faults, degrading SEPTIC from PREVENTION to DETECTION
+  (availability over blocking) until a ``cooldown`` of fault-free
+  queries has passed; then it half-opens and one clean query closes it.
+* :class:`FailPolicy` — what a contained internal fault does to the
+  in-flight query: ``fail_closed`` drops it (security first, the query
+  is refused like an attack), ``fail_open`` lets it run with
+  detection-style logging (availability first) — the two columns of the
+  paper's Table I applied to SEPTIC's own failures.
+"""
+
+import threading
+
+
+class WatchdogTimeout(Exception):
+    """The per-query watchdog budget was exhausted.
+
+    Deliberately *not* an :class:`repro.sqldb.errors.SQLError`: it is an
+    internal signal for the containment boundary, never shown raw to a
+    client.
+    """
+
+
+class VirtualClock(object):
+    """A thread-local virtual clock, in seconds.
+
+    Real wall time never moves it; only explicit :meth:`advance` calls
+    do (hang faults, or plugins charging their own cost).  Per-thread so
+    a hang injected into one session can never trip another session's
+    watchdog — keeps chaos tests deterministic under concurrency.
+    """
+
+    def __init__(self):
+        self._local = threading.local()
+
+    def now(self):
+        return getattr(self._local, "seconds", 0.0)
+
+    def advance(self, seconds):
+        self._local.seconds = self.now() + seconds
+
+
+#: the clock every SEPTIC watchdog measures against (and hang faults charge)
+HOOK_CLOCK = VirtualClock()
+
+
+class Watchdog(object):
+    """A per-query deadline on the virtual clock."""
+
+    __slots__ = ("deadline", "clock", "budget")
+
+    def __init__(self, budget, clock=None):
+        self.clock = clock if clock is not None else HOOK_CLOCK
+        self.budget = budget
+        self.deadline = self.clock.now() + budget
+
+    def check(self):
+        """Raise :class:`WatchdogTimeout` when the budget is exceeded."""
+        if self.clock.now() > self.deadline:
+            raise WatchdogTimeout(
+                "SEPTIC hook exceeded its %.3fs budget" % self.budget
+            )
+
+
+class FailPolicy(object):
+    """What a contained internal SEPTIC fault does to the query."""
+
+    #: drop the query (security over availability)
+    CLOSED = "fail_closed"
+    #: let the query run, detection-style (availability over security)
+    OPEN = "fail_open"
+
+    ALL = (CLOSED, OPEN)
+
+
+class BreakerState(object):
+    """Circuit breaker states."""
+
+    CLOSED = "CLOSED"
+    OPEN = "OPEN"
+    HALF_OPEN = "HALF_OPEN"
+
+
+class CircuitBreaker(object):
+    """Trips PREVENTION down to DETECTION after repeated internal faults.
+
+    State machine::
+
+        CLOSED --threshold consecutive faults--> OPEN
+        OPEN   --cooldown fault-free queries---> HALF_OPEN
+        HALF_OPEN --clean query--> CLOSED   (reset)
+        HALF_OPEN --fault-------> OPEN      (re-trip)
+
+    All transitions happen under one lock so concurrent sessions observe
+    exactly one trip per incident (the counters are exact, which the
+    concurrency tests assert).  ``threshold=None`` disables tripping
+    entirely.
+    """
+
+    def __init__(self, threshold=3, cooldown=8):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = BreakerState.CLOSED
+        self.trips = 0
+        self.resets = 0
+        self._consecutive = 0
+        self._cooldown_left = 0
+        self._lock = threading.Lock()
+
+    @property
+    def is_open(self):
+        return self.state == BreakerState.OPEN
+
+    def on_query(self):
+        """Called once per processed query; walks OPEN toward HALF_OPEN.
+
+        Returns ``True`` when this call transitioned the breaker to
+        HALF_OPEN.
+        """
+        with self._lock:
+            if self.state != BreakerState.OPEN:
+                return False
+            self._cooldown_left -= 1
+            if self._cooldown_left > 0:
+                return False
+            self.state = BreakerState.HALF_OPEN
+            return True
+
+    def record_fault(self):
+        """One internal fault; returns ``True`` when it tripped the
+        breaker (CLOSED/HALF_OPEN → OPEN)."""
+        with self._lock:
+            self._consecutive += 1
+            if self.state == BreakerState.OPEN:
+                # already open: extend the cooldown, no new trip
+                self._cooldown_left = self.cooldown
+                return False
+            if self.threshold is None:
+                return False
+            if (self.state == BreakerState.HALF_OPEN
+                    or self._consecutive >= self.threshold):
+                self.state = BreakerState.OPEN
+                self._cooldown_left = self.cooldown
+                self._consecutive = 0
+                self.trips += 1
+                return True
+            return False
+
+    def record_success(self):
+        """One fault-free query; returns ``True`` when it closed (reset)
+        the breaker out of HALF_OPEN."""
+        with self._lock:
+            self._consecutive = 0
+            if self.state != BreakerState.HALF_OPEN:
+                return False
+            self.state = BreakerState.CLOSED
+            self.resets += 1
+            return True
+
+    def state_dict(self):
+        """Snapshot for ``Septic.status()`` and the tests."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "threshold": self.threshold,
+                "cooldown": self.cooldown,
+                "cooldown_left": self._cooldown_left,
+                "consecutive_faults": self._consecutive,
+                "trips": self.trips,
+                "resets": self.resets,
+            }
+
+    def __repr__(self):
+        return "CircuitBreaker(%s, trips=%d, resets=%d)" % (
+            self.state, self.trips, self.resets
+        )

@@ -14,14 +14,24 @@ query, right before execution:
 
 The two detection switches (``detect_sqli`` / ``detect_stored``) give the
 four configurations evaluated in the paper's Figure 5 (NN, YN, NY, YY).
+
+``process_query`` is additionally a **crash-containment boundary**: an
+internal SEPTIC fault (broken plugin, corrupted store, wedged logger,
+watchdog timeout) never escapes raw.  It is logged, counted, fed to the
+circuit breaker, and converted into the configured fail-policy outcome —
+``fail_closed`` drops the query like an attack, ``fail_open`` lets it
+run detection-style (see :mod:`repro.core.resilience`).
 """
 
 import threading
 
+from repro import faults as faults_mod
+from repro.core import resilience
 from repro.core.detector import AttackDetector, AttackType
 from repro.core.id_generator import IdGenerator
 from repro.core.logger import EventKind, SepticLogger
 from repro.core.manager import QSQMManager
+from repro.core.resilience import FailPolicy
 from repro.core.store import QMStore
 from repro.sqldb.errors import QueryBlocked
 
@@ -80,7 +90,12 @@ class SepticStats(object):
 
     _COUNTERS = ("queries_processed", "models_learned", "attacks_detected",
                  "queries_dropped", "sqli_detected", "stored_detected",
-                 "unknown_queries")
+                 "unknown_queries",
+                 # resilience counters (all zero unless SEPTIC itself
+                 # faulted — the fault-matrix tests assert exact values)
+                 "internal_faults", "watchdog_timeouts", "breaker_trips",
+                 "breaker_resets", "fail_open_passes", "fail_closed_drops",
+                 "store_recoveries")
 
     __slots__ = _COUNTERS + ("_lock",)
 
@@ -102,7 +117,9 @@ class Septic(object):
     """The mechanism, ready to be plugged into a Database's hook point."""
 
     def __init__(self, mode=Mode.TRAINING, config=None, store=None,
-                 logger=None, detector=None, id_generator=None):
+                 logger=None, detector=None, id_generator=None,
+                 fail_policy=FailPolicy.CLOSED, breaker=None,
+                 watchdog_budget=5.0):
         self._mode = mode
         # "X if X is not None else default": several of these collaborators
         # define __len__, so an empty one is falsy and `X or default()`
@@ -117,6 +134,18 @@ class Septic(object):
         self.logger = logger if logger is not None else SepticLogger()
         self.detector = detector if detector is not None else AttackDetector()
         self.stats = SepticStats()
+        if fail_policy not in FailPolicy.ALL:
+            raise ValueError("unknown fail policy %r" % fail_policy)
+        #: what a contained internal fault does to the in-flight query
+        self.fail_policy = fail_policy
+        #: trips PREVENTION down to DETECTION after repeated faults
+        self.breaker = (
+            breaker if breaker is not None else resilience.CircuitBreaker()
+        )
+        #: per-query virtual-clock budget (seconds); None disables
+        self.watchdog_budget = watchdog_budget
+        # a recovered store entry is an operator-relevant incident
+        self.store.on_recover = self._store_recovered
 
     # the manager owns the store and ID generator (Figure 1); keep the
     # flat attributes as aliases for the public API
@@ -141,13 +170,27 @@ class Septic(object):
         self._mode = new_mode
         self.logger.log(EventKind.MODE_CHANGED, detail="mode=%s" % new_mode)
 
+    @property
+    def effective_mode(self):
+        """The mode actually applied to this query: an OPEN circuit
+        breaker degrades PREVENTION to DETECTION (availability first)
+        until the cool-down closes it again."""
+        if self._mode == Mode.PREVENTION and self.breaker.is_open:
+            return Mode.DETECTION
+        return self._mode
+
     def status(self):
         """Snapshot for the demo's "SEPTIC status" display."""
         return {
             "mode": self._mode,
+            "effective_mode": self.effective_mode,
             "detect_sqli": self.config.detect_sqli,
             "detect_stored": self.config.detect_stored,
             "incremental_learning": self.config.incremental_learning,
+            "fail_policy": self.fail_policy,
+            "watchdog_budget": self.watchdog_budget,
+            "breaker": self.breaker.state_dict(),
+            "store_integrity": self.store.integrity_stats(),
             "models": len(self.store),
             "plugins": [plugin.name for plugin in self.detector.plugins],
             "stats": self.stats.as_dict(),
@@ -158,22 +201,96 @@ class Septic(object):
     def process_query(self, context):
         """Inspect one validated query (called by the engine).
 
-        Raises :class:`QueryBlocked` to drop the query (prevention mode
-        only); returns normally to let execution proceed.
+        Raises :class:`QueryBlocked` to drop the query (prevention mode,
+        or a contained internal fault under the fail-closed policy);
+        returns normally to let execution proceed.  No other exception
+        ever escapes: this is the crash-containment boundary.
         """
         self.stats.bump("queries_processed")
-        lookup = self.manager.receive(context)
+        self.breaker.on_query()
+        checkpoint = None
+        if faults_mod.ACTIVE is not None and self.watchdog_budget:
+            # the virtual clock only moves under an armed fault plan (or
+            # explicitly instrumented plugins), so the watchdog costs
+            # nothing — and can never fire — in normal operation
+            checkpoint = resilience.Watchdog(self.watchdog_budget).check
+        try:
+            self._process(context, checkpoint)
+        except QueryBlocked:
+            # a verdict, not a fault: the mechanism worked
+            self.breaker.record_success()
+            raise
+        except resilience.WatchdogTimeout as exc:
+            self._contain(exc, context, watchdog=True)
+        except Exception as exc:
+            self._contain(exc, context, watchdog=False)
+        else:
+            if self.breaker.record_success():
+                self.stats.bump("breaker_resets")
+                self._safe_log(EventKind.BREAKER_RESET,
+                               detail="circuit closed after trial query")
+
+    # -- internals --------------------------------------------------------------
+
+    def _process(self, context, checkpoint):
+        lookup = self.manager.receive(context, checkpoint)
         self.logger.log(EventKind.QS_BUILT,
                         query=context.sql,
                         detail="%d nodes" % len(lookup.structure))
         self.logger.log(EventKind.ID_GENERATED,
                         query_id=lookup.query_id.value)
+        if checkpoint is not None:
+            checkpoint()
         if self._mode == Mode.TRAINING:
             self._learn(lookup, context, training=True)
             return
-        self._normal_mode(lookup, context)
+        self._normal_mode(lookup, context, checkpoint)
 
-    # -- internals --------------------------------------------------------------
+    def _contain(self, exc, context, watchdog):
+        """Absorb one internal fault per the fail policy (never re-raise
+        anything but :class:`QueryBlocked`)."""
+        self.stats.bump("internal_faults")
+        if watchdog:
+            self.stats.bump("watchdog_timeouts")
+            self._safe_log(EventKind.WATCHDOG_TIMEOUT, query=context.sql,
+                           detail=str(exc))
+        else:
+            self._safe_log(EventKind.INTERNAL_FAULT, query=context.sql,
+                           detail="%s: %s" % (type(exc).__name__, exc))
+        if self.breaker.record_fault():
+            self.stats.bump("breaker_trips")
+            self._safe_log(
+                EventKind.BREAKER_TRIPPED,
+                detail="circuit open after %s consecutive faults; "
+                       "degrading to %s" % (self.breaker.threshold,
+                                            Mode.DETECTION),
+            )
+        if self._mode == Mode.TRAINING or self.breaker.is_open \
+                or self.fail_policy == FailPolicy.OPEN:
+            # availability: let the query run, detection-style (training
+            # never drops; an open breaker overrides fail-closed — that
+            # is exactly the degradation it exists to provide)
+            self.stats.bump("fail_open_passes")
+            return
+        self.stats.bump("fail_closed_drops")
+        raise QueryBlocked(
+            "query dropped by SEPTIC fail-closed policy "
+            "(internal fault: %s)" % type(exc).__name__
+        )
+
+    def _safe_log(self, kind, **fields):
+        """Log on the resilience path: a faulty logger must never turn
+        fault handling into a second crash."""
+        try:
+            self.logger.log(kind, **fields)
+        except Exception:
+            pass
+
+    def _store_recovered(self, full_id):
+        """Callback from the QM store after a journal recovery."""
+        self.stats.bump("store_recoveries")
+        self._safe_log(EventKind.STORE_RECOVERED, query_id=full_id,
+                       detail="model rebuilt from journal")
 
     def _learn(self, lookup, context, training):
         created = self.manager.learn(lookup)
@@ -188,7 +305,7 @@ class Septic(object):
             )
         return created
 
-    def _normal_mode(self, lookup, context):
+    def _normal_mode(self, lookup, context, checkpoint=None):
         structure = lookup.structure
         query_id = lookup.query_id
         model = lookup.model
@@ -201,7 +318,10 @@ class Septic(object):
         if known:
             self.logger.log(EventKind.QM_FOUND, query_id=query_id.value)
         if self.config.detect_sqli:
-            detection = self._sqli_detection(structure, model, candidates)
+            detection = self._sqli_detection(structure, model, candidates,
+                                             checkpoint)
+            if checkpoint is not None:
+                checkpoint()
             if detection is not None and detection.is_attack:
                 self._handle_attack(detection, query_id, context,
                                     model or (candidates[0] if candidates
@@ -212,7 +332,10 @@ class Septic(object):
                                 query_id=query_id.value)
             known = known or bool(candidates)
         if self.config.detect_stored:
-            detection = self.detector.detect_stored(structure)
+            detection = self.detector.detect_stored(structure,
+                                                    checkpoint=checkpoint)
+            if checkpoint is not None:
+                checkpoint()
             if detection.is_attack:
                 self._handle_attack(detection, query_id, context, model)
                 return
@@ -223,8 +346,10 @@ class Septic(object):
             if self.config.incremental_learning:
                 self._learn(lookup, context, training=False)
         self.logger.log(EventKind.QUERY_EXECUTED, query_id=query_id.value)
+        if checkpoint is not None:
+            checkpoint()
 
-    def _sqli_detection(self, structure, model, candidates):
+    def _sqli_detection(self, structure, model, candidates, checkpoint=None):
         """Run the two-step comparison.
 
         Returns a Detection, or ``None`` when there is nothing to compare
@@ -237,6 +362,8 @@ class Septic(object):
             # attack is flagged only if none matches
             best = None
             for candidate in candidates:
+                if checkpoint is not None:
+                    checkpoint()
                 detection = self.detector.detect_sqli(structure, candidate)
                 if not detection.is_attack:
                     return detection
@@ -260,7 +387,7 @@ class Septic(object):
             step=detection.step,
             detail=detection.detail,
         )
-        if self._mode == Mode.PREVENTION:
+        if self.effective_mode == Mode.PREVENTION:
             self.stats.bump("queries_dropped")
             self.logger.log(
                 EventKind.QUERY_DROPPED,

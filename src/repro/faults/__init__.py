@@ -1,0 +1,82 @@
+"""Fault injection for the SEPTIC/engine stack (the chaos harness).
+
+Production code exposes named **injection sites**; this package decides
+what happens at them.  The contract that keeps the hot path honest:
+
+* :data:`ACTIVE` is the armed :class:`FaultPlan`, or ``None``.  Call
+  sites guard with ``if faults.ACTIVE is not None: faults.fire(...)`` —
+  one module-attribute read and a ``None`` test when disarmed, which the
+  ``bench_fault_overhead`` benchmark proves costs <2% of the warm
+  cached query path.
+* :func:`arm` / :func:`disarm` switch the global plan; :func:`armed` is
+  the context-manager form every test uses, so a failing test can never
+  leave a plan armed behind it.
+
+The plan itself (sites, kinds, determinism) lives in
+:mod:`repro.faults.plan`.
+"""
+
+from contextlib import contextmanager
+
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    KNOWN_SITES,
+    corrupt_model,
+    forget,
+    truncate_model,
+)
+
+#: the armed plan, or None (the common case: injection points are inert)
+ACTIVE = None
+
+
+def arm(plan):
+    """Arm *plan* globally; returns it."""
+    global ACTIVE
+    ACTIVE = plan
+    return plan
+
+
+def disarm():
+    """Disarm whichever plan is active (idempotent)."""
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def armed(plan):
+    """``with faults.armed(FaultPlan(...)) as plan: ...`` — arm for the
+    block, always disarm after."""
+    arm(plan)
+    try:
+        yield plan
+    finally:
+        disarm()
+
+
+def fire(site, payload=None, corruptor=None):
+    """Evaluate the armed plan at *site* (no-op passthrough when none)."""
+    plan = ACTIVE
+    if plan is None:
+        return payload
+    return plan.fire(site, payload, corruptor)
+
+
+__all__ = [
+    "ACTIVE",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "KNOWN_SITES",
+    "arm",
+    "armed",
+    "corrupt_model",
+    "disarm",
+    "fire",
+    "forget",
+    "truncate_model",
+]

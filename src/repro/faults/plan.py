@@ -1,0 +1,206 @@
+"""Deterministic, seedable fault plans (the chaos engine's script).
+
+A :class:`FaultPlan` names *where* faults happen (injection **sites**,
+dotted strings like ``"store.get"`` or ``"plugin.StoredXSSPlugin"``),
+*what* happens there (a :class:`FaultKind`), and *when* (skip the first
+``after`` hits, then fire for ``times`` hits / fail ``fails`` times).
+Production code calls :func:`repro.faults.fire` at each site; with no
+plan armed that is a module-attribute ``None`` check and nothing else,
+so the injection points are free in normal operation.
+
+Fault kinds:
+
+``raise``
+    Raise :class:`InjectedFault` — models an arbitrary internal crash
+    (deliberately *not* an SQLError, so nothing downstream can confuse
+    it with a legitimate engine error).
+``hang``
+    Charge ``hang_seconds`` to the thread-local virtual clock
+    (:data:`repro.core.resilience.HOOK_CLOCK`).  Inside the SEPTIC hook
+    the per-query watchdog notices at its next checkpoint and aborts the
+    runaway work; outside the hook it is inert by design.
+``corrupt``
+    Pass the site's payload through a corruptor (bit-flip a query-model
+    node, forget a cache entry, …) using the plan's seeded RNG.  Sites
+    with nothing to corrupt ignore the spec (it does not count as an
+    injected fault).
+``flaky``
+    Raise :class:`InjectedFault` for the first ``fails`` hits, then
+    succeed forever — the transient-fault shape retry/backoff and the
+    circuit breaker are built for.
+
+All bookkeeping happens under one lock, so hit counts (and therefore
+which hits fault) are exact even when many sessions hammer one plan;
+the seeded RNG makes corruptions reproducible run to run.
+"""
+
+import random
+import threading
+
+from repro.core.resilience import HOOK_CLOCK
+
+
+class FaultKind(object):
+    """The supported fault kinds."""
+
+    RAISE = "raise"
+    HANG = "hang"
+    CORRUPT = "corrupt"
+    FLAKY = "flaky"
+
+    ALL = (RAISE, HANG, CORRUPT, FLAKY)
+
+
+class InjectedFault(Exception):
+    """An injected internal crash.
+
+    Not an :class:`repro.sqldb.errors.SQLError`: the point is to model a
+    fault the code did *not* anticipate, and prove the containment
+    layers turn it into a well-formed client-visible outcome anyway.
+    """
+
+
+#: the named injection sites wired into the engine and the SEPTIC hook
+KNOWN_SITES = (
+    "store.get",
+    "store.put",
+    "detector.run",
+    "logger.record",
+    "cache.lookup",
+    "charset.decode",
+    "executor.step",
+    # plus "plugin.<name>" for every stored-injection plugin
+)
+
+
+class FaultSpec(object):
+    """One (site, kind) instruction of a plan."""
+
+    __slots__ = ("site", "kind", "times", "after", "fails", "hang_seconds",
+                 "hits", "fired")
+
+    def __init__(self, site, kind, times=None, after=0, fails=1,
+                 hang_seconds=30.0):
+        if kind not in FaultKind.ALL:
+            raise ValueError("unknown fault kind %r" % kind)
+        self.site = site
+        self.kind = kind
+        #: fire for this many matched hits (``None`` = every hit)
+        self.times = times
+        #: skip this many matched hits first
+        self.after = after
+        #: (flaky only) fail this many hits, then succeed forever
+        self.fails = fails
+        #: (hang only) virtual seconds charged per firing
+        self.hang_seconds = hang_seconds
+        #: site hits this spec has seen
+        self.hits = 0
+        #: faults this spec has actually injected
+        self.fired = 0
+
+    def __repr__(self):
+        return "FaultSpec(%s, %s, hits=%d, fired=%d)" % (
+            self.site, self.kind, self.hits, self.fired
+        )
+
+
+class FaultPlan(object):
+    """A deterministic set of :class:`FaultSpec` instructions."""
+
+    def __init__(self, seed=0):
+        self.rng = random.Random(seed)
+        self._specs = {}
+        self._lock = threading.Lock()
+        #: total faults injected (raise/flaky raises, hangs, corruptions)
+        self.injected = 0
+        #: site name -> times :func:`fire` was reached there
+        self.hits_by_site = {}
+
+    def inject(self, site, kind, times=None, after=0, fails=1,
+               hang_seconds=30.0):
+        """Add one instruction; returns the :class:`FaultSpec` so tests
+        can assert on its counters."""
+        spec = FaultSpec(site, kind, times=times, after=after, fails=fails,
+                         hang_seconds=hang_seconds)
+        with self._lock:
+            self._specs.setdefault(site, []).append(spec)
+        return spec
+
+    def specs(self, site=None):
+        with self._lock:
+            if site is not None:
+                return list(self._specs.get(site, []))
+            return [s for specs in self._specs.values() for s in specs]
+
+    # -- the injection point ----------------------------------------------
+
+    def fire(self, site, payload=None, corruptor=None):
+        """Evaluate the plan at *site*.
+
+        Returns the (possibly corrupted) payload, raises
+        :class:`InjectedFault`, or charges the virtual clock — per the
+        first matching spec.  Sites pass ``corruptor(payload, rng)``
+        when they have something corruptible.
+        """
+        action = None
+        with self._lock:
+            self.hits_by_site[site] = self.hits_by_site.get(site, 0) + 1
+            for spec in self._specs.get(site, ()):
+                spec.hits += 1
+                effective = spec.hits - spec.after
+                if effective <= 0:
+                    continue
+                if spec.kind == FaultKind.FLAKY:
+                    if effective > spec.fails:
+                        continue  # past the failure window: succeed
+                elif spec.times is not None and effective > spec.times:
+                    continue
+                if spec.kind == FaultKind.CORRUPT and corruptor is None:
+                    continue  # nothing corruptible at this site
+                spec.fired += 1
+                self.injected += 1
+                action = spec
+                break
+            if action is not None and action.kind == FaultKind.CORRUPT:
+                return corruptor(payload, self.rng)
+        if action is None:
+            return payload
+        if action.kind == FaultKind.HANG:
+            HOOK_CLOCK.advance(action.hang_seconds)
+            return payload
+        raise InjectedFault(
+            "injected %s fault at %s (hit %d)"
+            % (action.kind, site, action.hits)
+        )
+
+    def __repr__(self):
+        return "FaultPlan(%d specs, injected=%d)" % (
+            len(self.specs()), self.injected
+        )
+
+
+# -- corruptors ------------------------------------------------------------
+
+
+def corrupt_model(model, rng):
+    """Bit-flip one node of a query model in place (simulates a memory /
+    storage corruption of a learned QM)."""
+    if model is None or not len(model.nodes):
+        return model
+    node = model.nodes[rng.randrange(len(model.nodes))]
+    flipped = chr(ord(node.kind[0]) ^ 1) + node.kind[1:]
+    node.kind = flipped
+    return model
+
+
+def truncate_model(model, rng):
+    """Drop the top node of a query model in place (a partially-written
+    record)."""
+    if model is not None and len(model.nodes) > 1:
+        model.nodes.pop()
+    return model
+
+
+def forget(payload, rng):
+    """Corruptor that loses the payload entirely (cache entry vanishes)."""
+    return None

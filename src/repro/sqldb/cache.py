@@ -37,6 +37,8 @@ Correctness notes:
 import threading
 from collections import OrderedDict
 
+from repro import faults as faults_mod
+
 
 class SepticMemo(object):
     """Per-cache-entry memo of the SEPTIC hook's derived products.
@@ -98,10 +100,18 @@ class PipelineCache(object):
         self.evictions = 0
 
     def get(self, charset, raw_sql, schema_version):
-        """The entry for the key, or ``None`` (counted as hit/miss)."""
+        """The entry for the key, or ``None`` (counted as hit/miss).
+
+        A ``cache.lookup`` fault may raise (the engine degrades to the
+        cold path) or corrupt the lookup into a miss — never into a
+        wrong entry.
+        """
         key = (charset, raw_sql, schema_version)
         with self._lock:
             entry = self._entries.get(key)
+            if faults_mod.ACTIVE is not None:
+                entry = faults_mod.fire("cache.lookup", entry,
+                                        faults_mod.forget)
             if entry is None:
                 self.misses += 1
                 return None

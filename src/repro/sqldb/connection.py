@@ -11,8 +11,10 @@ applications use:
 * per-connection charset (what makes the GBK escape-eating attack work).
 """
 
+import time
+
 from repro.sqldb import charset as charset_mod
-from repro.sqldb.errors import SQLError
+from repro.sqldb.errors import QueryBlocked, SQLError, TransientEngineError
 
 
 class QueryOutcome(object):
@@ -46,11 +48,20 @@ class QueryOutcome(object):
 class Connection(object):
     """A client connection to a :class:`repro.sqldb.engine.Database`."""
 
-    def __init__(self, database, charset=None, multi_statements=False):
+    def __init__(self, database, charset=None, multi_statements=False,
+                 retries=0, backoff=0.0, sleep=None):
         self._db = database
         self.charset = charset or database.charset
         self.multi_statements = multi_statements
         self.last_error = None
+        #: retry budget for *transient* engine faults (never for
+        #: deterministic SQL errors, never for SEPTIC blocks)
+        self.retries = retries
+        #: base delay for exponential backoff between retries, seconds
+        self.backoff = backoff
+        self._sleep = sleep if sleep is not None else time.sleep
+        #: how many transient-fault retries this connection has issued
+        self.transient_retries = 0
         #: server-side per-connection state (transactions, insert id)
         self._session = database.create_session(self.charset)
 
@@ -71,21 +82,61 @@ class Connection(object):
         for what it cannot protect against)."""
         return charset_mod.escape_string(value)
 
+    def _guarded(self, runner):
+        """Run *runner* (→ ``(results, error)``) under the connection's
+        error contract: the caller always gets back ``(results, error)``
+        where *error* is ``None`` or a real :class:`SQLError` — raw
+        exceptions never escape to application code.
+
+        Transient faults (``error.transient``) that produced **no**
+        partial results are retried up to :attr:`retries` times with
+        exponential backoff.  SEPTIC blocks are verdicts, not faults:
+        they are never retried.  Partial multi-statement failures are
+        never retried either — the executed prefix already took effect.
+        """
+        attempt = 0
+        while True:
+            try:
+                results, error = runner()
+            except QueryBlocked as exc:
+                return [], exc
+            except SQLError as exc:
+                results, error = [], exc
+            except Exception as exc:  # engine bug / injected fault
+                results, error = [], TransientEngineError(
+                    "lost connection to engine during query (%s: %s)"
+                    % (type(exc).__name__, exc)
+                )
+            if (
+                error is None
+                or not getattr(error, "transient", False)
+                or isinstance(error, QueryBlocked)
+                or results
+                or attempt >= self.retries
+            ):
+                return results, error
+            attempt += 1
+            self.transient_retries += 1
+            if self.backoff:
+                self._sleep(self.backoff * (2 ** (attempt - 1)))
+
     def query(self, sql):
         """Run one statement; returns a :class:`QueryOutcome`.
 
         Errors (including SEPTIC blocks) are captured, not raised — like
         ``mysql_query`` returning ``FALSE`` and setting ``mysql_error``.
+        Transient engine faults are retried per the connection's retry
+        budget before being reported.
         """
-        try:
-            results = self._db.run(
+        results, error = self._guarded(
+            lambda: self._db.run_partial(
                 sql, multi=self.multi_statements, charset=self.charset,
                 session=self._session,
             )
-        except SQLError as exc:
-            self.last_error = exc
-            return QueryOutcome(error=exc)
-        self.last_error = None
+        )
+        self.last_error = error
+        if error is not None:
+            return QueryOutcome(error=error)
         if not results:
             # comment-only or empty input: nothing executed, no error —
             # like mysql_query on a query that is all whitespace/comments
@@ -99,17 +150,22 @@ class Connection(object):
 
     def multi_query(self, sql):
         """Run several ``;``-separated statements (opt-in, like
-        ``mysqli_multi_query``).  Returns a list of outcomes."""
-        try:
-            results = self._db.run(sql, multi=True, charset=self.charset,
-                                   session=self._session)
-        except SQLError as exc:
-            self.last_error = exc
-            return [QueryOutcome(error=exc)]
-        self.last_error = None
-        if not results:
-            return [QueryOutcome()]
-        return [
+        ``mysqli_multi_query``).  Returns a list of outcomes.
+
+        Stop-on-first-error semantics: every statement that executed
+        before the failure gets its own ok outcome, the failing
+        statement gets an error outcome, and nothing after it runs —
+        matching ``mysqli_multi_query``'s contract of processing results
+        until the first failing statement.
+        """
+        results, error = self._guarded(
+            lambda: self._db.run_partial(
+                sql, multi=True, charset=self.charset,
+                session=self._session,
+            )
+        )
+        self.last_error = error
+        outcomes = [
             QueryOutcome(
                 result_set=r.result_set,
                 affected_rows=r.affected_rows,
@@ -117,6 +173,11 @@ class Connection(object):
             )
             for r in results
         ]
+        if error is not None:
+            outcomes.append(QueryOutcome(error=error))
+        elif not outcomes:
+            outcomes.append(QueryOutcome())
+        return outcomes
 
     def prepare(self, sql):
         """Prepare a single statement with ``?`` placeholders.
@@ -139,6 +200,13 @@ class Connection(object):
         except SQLError as exc:
             self.last_error = exc
             return QueryOutcome(error=exc)
+        except Exception as exc:  # engine bug / injected fault
+            error = TransientEngineError(
+                "lost connection to engine during query (%s: %s)"
+                % (type(exc).__name__, exc)
+            )
+            self.last_error = error
+            return QueryOutcome(error=error)
         self.last_error = None
         return QueryOutcome(
             result_set=result.result_set,

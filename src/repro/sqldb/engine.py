@@ -29,12 +29,15 @@ import threading
 import time
 from datetime import datetime, timedelta
 
+from repro import faults as faults_mod
 from repro.sqldb import charset as charset_mod
 from repro.sqldb.cache import CacheEntry, PipelineCache
 from repro.sqldb.errors import (
     ExecutionError,
     MultiStatementError,
     QueryBlocked,
+    SQLError,
+    TransientEngineError,
 )
 from repro.sqldb.executor import Executor
 from repro.sqldb.parser import parse_sql
@@ -289,25 +292,61 @@ class Database(object):
         API.  *session* scopes transaction/LAST_INSERT_ID state; the
         database's default session is used when omitted.
         """
+        results, error = self.run_partial(sql, multi=multi, charset=charset,
+                                          session=session)
+        if error is not None:
+            raise error
+        return results
+
+    def run_partial(self, sql, multi=False, charset=None, session=None):
+        """Like :meth:`run`, but with defined partial-failure semantics.
+
+        Returns ``(results, error)``: the results of every statement
+        that executed, plus the :class:`SQLError` (or ``None``) that
+        stopped the script.  Execution stops at the first failing
+        statement — the ``mysqli_multi_query`` contract — and already
+        executed statements stay applied (their effects are the
+        session's/transaction's business, not this method's).  Any
+        non-SQL exception out of the pipeline machinery is wrapped into
+        a :class:`TransientEngineError`, so callers only ever see
+        ``SQLError``.
+        """
         if session is None:
             session = self._default_session
         effective_charset = charset or session.charset
         cache = self.pipeline_cache
         entry = None
         if cache is not None:
-            entry = cache.get(effective_charset, sql, self.schema_version)
+            try:
+                entry = cache.get(effective_charset, sql,
+                                  self.schema_version)
+            except Exception:
+                entry = None  # a broken cache degrades to the cold path
         if entry is None:
-            decoded = charset_mod.decode_query(sql, effective_charset)
-            statements, comments = parse_sql(decoded)
+            try:
+                if faults_mod.ACTIVE is not None:
+                    faults_mod.fire("charset.decode")
+                decoded = charset_mod.decode_query(sql, effective_charset)
+                statements, comments = parse_sql(decoded)
+            except SQLError as exc:
+                return [], exc
+            except Exception as exc:
+                return [], TransientEngineError(
+                    "engine fault while preparing query (%s: %s)"
+                    % (type(exc).__name__, exc)
+                )
             entry = CacheEntry(decoded, statements, comments)
             if cache is not None:
                 # put() returns the winning entry on a racy double-fill,
                 # so every thread shares one SEPTIC memo per key
-                entry = cache.put(
-                    effective_charset, sql, self.schema_version, entry
-                )
+                try:
+                    entry = cache.put(
+                        effective_charset, sql, self.schema_version, entry
+                    )
+                except Exception:
+                    pass  # cache insertion is best-effort
         if len(entry.statements) > 1 and not multi:
-            raise MultiStatementError(
+            return [], MultiStatementError(
                 "You have an error in your SQL syntax near ';' "
                 "(multi-statements are disabled on this connection)"
             )
@@ -319,13 +358,21 @@ class Database(object):
         )
         results = []
         for stmt in entry.statements:
-            results.append(
-                self._run_statement(
-                    entry.decoded, stmt, entry.comments,
-                    session=session, entry=memo_entry,
+            try:
+                results.append(
+                    self._run_statement(
+                        entry.decoded, stmt, entry.comments,
+                        session=session, entry=memo_entry,
+                    )
                 )
-            )
-        return results
+            except SQLError as exc:
+                return results, exc
+            except Exception as exc:
+                return results, TransientEngineError(
+                    "engine fault during execution (%s: %s)"
+                    % (type(exc).__name__, exc)
+                )
+        return results, None
 
     def run_statement(self, statement, comments=(), sql_text=None,
                       session=None):
@@ -372,7 +419,17 @@ class Database(object):
                 elapsed = time.perf_counter() - start
                 with self._stats_lock:
                     self.septic_seconds_total += elapsed
-        result = self._executor.execute(stmt, session=session)
+        try:
+            if faults_mod.ACTIVE is not None:
+                faults_mod.fire("executor.step")
+            result = self._executor.execute(stmt, session=session)
+        except SQLError:
+            raise
+        except Exception as exc:
+            raise TransientEngineError(
+                "engine fault during execution (%s: %s)"
+                % (type(exc).__name__, exc)
+            )
         with self._stats_lock:
             self.statements_executed += 1
         if result.last_insert_id is not None:

@@ -7,6 +7,10 @@ class SQLError(Exception):
     #: MySQL-style error code (approximate; used by tests and the web layer).
     errno = 1064
 
+    #: True for faults that may succeed on retry (the client connector's
+    #: bounded retry-with-backoff keys off this).
+    transient = False
+
     def __init__(self, message, errno=None):
         super().__init__(message)
         self.message = message
@@ -48,6 +52,16 @@ class MultiStatementError(SQLError):
     injection fails against ``mysql_query``)."""
 
     errno = 1064
+
+
+class TransientEngineError(SQLError):
+    """An unexpected internal engine fault, surfaced as the MySQL-style
+    "lost connection" error.  Marked transient: the statement did not
+    produce a result, and retrying it is reasonable (unlike an
+    :class:`ExecutionError`, which reports a deterministic failure)."""
+
+    errno = 2013
+    transient = True
 
 
 class QueryBlocked(SQLError):

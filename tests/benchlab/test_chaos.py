@@ -1,0 +1,72 @@
+"""The chaos workload harness (repro.benchlab.chaos)."""
+
+import pytest
+
+from repro import faults
+from repro.apps import AddressBook
+from repro.benchlab.chaos import (
+    default_chaos_plan,
+    format_chaos_result,
+    run_chaos,
+)
+from repro.core.resilience import FailPolicy
+from repro.faults import FaultKind, FaultPlan
+
+
+def test_default_plan_covers_all_fault_kinds():
+    plan = default_chaos_plan()
+    kinds = {spec.kind for spec in plan.specs()}
+    assert kinds == set(FaultKind.ALL)
+
+
+def test_chaos_replay_survives_fail_closed():
+    result = run_chaos(AddressBook, fail_policy=FailPolicy.CLOSED, loops=3)
+    assert result.survived
+    assert result.requests > 0
+    assert result.injected > 0
+    # fail-closed: contained hook faults surface as clean error pages
+    stats = result.septic_stats
+    assert stats["internal_faults"] > 0
+    assert stats["fail_closed_drops"] == result.error_responses
+    assert faults.ACTIVE is None  # the harness always disarms
+
+
+def test_chaos_replay_fail_open_serves_everything():
+    result = run_chaos(AddressBook, fail_policy=FailPolicy.OPEN, loops=3)
+    assert result.survived
+    assert result.error_responses == 0
+    assert result.septic_stats["fail_open_passes"] > 0
+
+
+def test_chaos_is_deterministic():
+    first = run_chaos(AddressBook, loops=2)
+    second = run_chaos(AddressBook, loops=2)
+    assert first.septic_stats == second.septic_stats
+    assert first.hits_by_site == second.hits_by_site
+    assert first.injected == second.injected
+    assert (first.ok_responses, first.error_responses) == \
+        (second.ok_responses, second.error_responses)
+
+
+def test_custom_plan_and_counters():
+    plan = FaultPlan()
+    plan.inject("detector.run", FaultKind.RAISE, times=2)
+    result = run_chaos(AddressBook, plan=plan,
+                       fail_policy=FailPolicy.OPEN, loops=1,
+                       label="custom")
+    assert result.label == "custom"
+    assert result.injected == 2
+    assert result.septic_stats["internal_faults"] == 2
+
+
+def test_unknown_fail_policy_rejected():
+    with pytest.raises(ValueError):
+        run_chaos(AddressBook, fail_policy="fail_maybe")
+
+
+def test_format_chaos_result_is_complete():
+    result = run_chaos(AddressBook, loops=1)
+    text = format_chaos_result(result)
+    assert "survived=" in text
+    assert "internal_faults" in text
+    assert "store integrity" in text

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro import faults
+
 from repro.core.logger import SepticLogger
 from repro.core.septic import Mode, Septic
 from repro.sqldb.connection import Connection
@@ -23,6 +25,13 @@ TICKET_QUERY = (
     "/* septic:tickets.php:7 */ SELECT * FROM tickets "
     "WHERE reservID = '%s' AND creditCard = %s"
 )
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """No test may leak an armed fault plan into the next one."""
+    yield
+    faults.disarm()
 
 
 @pytest.fixture

@@ -1,0 +1,152 @@
+"""Concurrency storm: four sessions hammering one SEPTIC instance while
+the model store is flaky.
+
+The exact-counter assertions are the point: the breaker's single-lock
+state machine and SepticStats' locked bumps must make the incident
+arithmetic deterministic even though thread interleaving is not.  The
+design pins the nondeterminism down:
+
+* threshold=1 — the very first fault trips the breaker, so *which*
+  thread faults first does not matter;
+* cooldown (40) > total storm queries (32) — the breaker cannot reach
+  HALF_OPEN mid-storm, so faults 2 and 3 only extend the cooldown and
+  ``trips`` stays exactly 1;
+* flaky ``store.put`` with fails=3 — exactly three put attempts fail
+  globally, whichever threads they land on, and each failed put leaves
+  its query unknown for exactly one extra round.
+"""
+
+import threading
+
+from repro import faults
+from repro.core.logger import SepticLogger
+from repro.core.resilience import BreakerState, CircuitBreaker, FailPolicy
+from repro.core.septic import Mode, Septic
+from repro.faults import FaultKind, FaultPlan
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+
+from tests.conftest import TICKETS_SCHEMA, TICKET_QUERY
+
+THREADS = 4
+ROUNDS = 8
+COOLDOWN = 40  # > THREADS * ROUNDS: the breaker stays OPEN all storm
+FAILS = 3
+
+#: one structurally distinct query per thread (distinct QMs to learn)
+SHAPES = (
+    "SELECT id FROM tickets",
+    "SELECT reservID FROM tickets",
+    "SELECT creditCard FROM tickets",
+    "SELECT id, reservID FROM tickets",
+)
+
+
+def test_storm_counters_are_exact():
+    breaker = CircuitBreaker(threshold=1, cooldown=COOLDOWN)
+    septic = Septic(mode=Mode.TRAINING, logger=SepticLogger(verbose=False),
+                    fail_policy=FailPolicy.OPEN, breaker=breaker)
+    database = Database(septic=septic)
+    database.seed(TICKETS_SCHEMA)
+    trainer = Connection(database)
+    trainer.query(TICKET_QUERY % ("ID34FG", "1234"))
+    septic.mode = Mode.PREVENTION
+    base = septic.stats.as_dict()  # training/seed traffic is not ours
+
+    plan = FaultPlan()
+    plan.inject("store.put", FaultKind.FLAKY, fails=FAILS)
+
+    errors = []
+
+    def session(shape):
+        conn = Connection(database)
+        for _ in range(ROUNDS):
+            outcome = conn.query(shape)
+            if not outcome.ok:
+                errors.append(outcome.error)
+
+    with faults.armed(plan):
+        threads = [
+            threading.Thread(target=session, args=(shape,))
+            for shape in SHAPES
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # -- phase 1: the storm's arithmetic --------------------------------
+        stats = septic.stats.as_dict()
+        delta = {key: stats[key] - base[key] for key in stats}
+        # fail_open policy + open breaker: every query was served
+        assert errors == []
+        assert delta["queries_processed"] == THREADS * ROUNDS
+        # exactly FAILS puts failed, each retried to success next round
+        assert delta["internal_faults"] == FAILS
+        assert delta["fail_open_passes"] == FAILS
+        assert delta["fail_closed_drops"] == 0
+        assert delta["unknown_queries"] == len(SHAPES) + FAILS
+        assert delta["models_learned"] == len(SHAPES)
+        # one incident, one trip — regardless of interleaving
+        assert stats["breaker_trips"] == 1
+        assert breaker.state == BreakerState.OPEN
+        assert septic.effective_mode == Mode.DETECTION
+        assert plan.injected == FAILS
+
+        # -- phase 2: deterministic recovery --------------------------------
+        drain = Connection(database)
+        for _ in range(COOLDOWN + 1):
+            assert drain.query(TICKET_QUERY % ("ID34FG", "1234")).ok
+            if breaker.state == BreakerState.CLOSED:
+                break
+        stats = septic.stats.as_dict()
+        delta = {key: stats[key] - base[key] for key in stats}
+        assert breaker.state == BreakerState.CLOSED
+        assert delta["breaker_trips"] == 1
+        assert delta["breaker_resets"] == 1
+        assert septic.effective_mode == Mode.PREVENTION
+        # recovery added no faults and learned nothing new
+        assert delta["internal_faults"] == FAILS
+        assert delta["models_learned"] == len(SHAPES)
+
+
+def test_storm_under_fail_closed_still_counts_one_trip():
+    """Same storm, fail-closed: only the very first fault (breaker still
+    closed) drops its query; the open breaker then forces availability."""
+    breaker = CircuitBreaker(threshold=1, cooldown=COOLDOWN)
+    septic = Septic(mode=Mode.TRAINING, logger=SepticLogger(verbose=False),
+                    fail_policy=FailPolicy.CLOSED, breaker=breaker)
+    database = Database(septic=septic)
+    database.seed(TICKETS_SCHEMA)
+    septic.mode = Mode.PREVENTION
+
+    plan = FaultPlan()
+    plan.inject("store.put", FaultKind.FLAKY, fails=FAILS)
+    blocked = []
+    lock = threading.Lock()
+
+    def session(shape):
+        conn = Connection(database)
+        for _ in range(ROUNDS):
+            outcome = conn.query(shape)
+            if not outcome.ok:
+                with lock:
+                    blocked.append(str(outcome.error))
+
+    with faults.armed(plan):
+        threads = [
+            threading.Thread(target=session, args=(shape,))
+            for shape in SHAPES
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = septic.stats.as_dict()
+        # fault 1 trips the breaker *before* the policy check, so even
+        # fail-closed drops nothing: the open circuit overrides it
+        assert stats["internal_faults"] == FAILS
+        assert stats["breaker_trips"] == 1
+        assert stats["fail_closed_drops"] == 0
+        assert stats["fail_open_passes"] == FAILS
+        assert blocked == []

@@ -1,0 +1,126 @@
+"""The fault matrix: every injection site × fault kind × fail policy.
+
+The sweep's claim is containment, not behaviour: whatever is injected
+wherever, the client sees a well-formed :class:`QueryOutcome` whose
+error (if any) is a real :class:`SQLError` — never an
+:class:`InjectedFault`, never a raw traceback — and the SEPTIC stack
+stays consistent enough to serve the next query.
+
+A second set of tests proves the flip side: with no plan armed the
+injection points are inert — each Figure 5 configuration detects and
+counts exactly as it does in a build that never heard of fault plans.
+"""
+
+import pytest
+
+from repro import faults
+from repro.core.logger import SepticLogger
+from repro.core.resilience import FailPolicy
+from repro.core.septic import Mode, Septic, SepticConfig
+from repro.faults import FaultKind, FaultPlan, InjectedFault, KNOWN_SITES
+from repro.sqldb.connection import Connection, QueryOutcome
+from repro.sqldb.engine import Database
+from repro.sqldb.errors import SQLError
+
+from tests.conftest import TICKETS_SCHEMA, TICKET_QUERY
+
+#: every wired injection site (the plugin site uses a real plugin name)
+SITES = KNOWN_SITES + ("plugin.StoredXSSPlugin",)
+
+BENIGN = TICKET_QUERY % ("ZZ11AA", "9999")
+ATTACK = TICKET_QUERY % ("' OR 1=1 -- ", "1")
+
+
+def _stack(fail_policy, flags="YY"):
+    septic = Septic(mode=Mode.TRAINING,
+                    config=SepticConfig.from_flags(flags),
+                    logger=SepticLogger(verbose=False),
+                    fail_policy=fail_policy)
+    database = Database(septic=septic)
+    database.seed(TICKETS_SCHEMA)
+    connection = Connection(database)
+    connection.query(TICKET_QUERY % ("ID34FG", "1234"))
+    septic.mode = Mode.PREVENTION
+    return septic, connection
+
+
+@pytest.mark.parametrize("fail_policy", FailPolicy.ALL)
+@pytest.mark.parametrize("kind", FaultKind.ALL)
+@pytest.mark.parametrize("site", SITES)
+def test_no_fault_escapes_containment(site, kind, fail_policy):
+    septic, conn = _stack(fail_policy)
+    plan = FaultPlan(seed=7)
+    plan.inject(site, kind, hang_seconds=30.0, fails=2)
+    with faults.armed(plan):
+        outcomes = [conn.query(BENIGN), conn.query(ATTACK),
+                    conn.query(BENIGN)]
+    for outcome in outcomes:
+        assert isinstance(outcome, QueryOutcome)
+        if outcome.error is not None:
+            assert isinstance(outcome.error, SQLError)
+            assert not isinstance(outcome.error, InjectedFault)
+    # the stack survives and still serves queries after the chaos
+    after = conn.query(BENIGN)
+    assert isinstance(after, QueryOutcome)
+    assert after.ok or isinstance(after.error, SQLError)
+    # hook-level faults are all accounted for by the containment stats
+    stats = septic.stats.as_dict()
+    assert stats["internal_faults"] == \
+        stats["fail_open_passes"] + stats["fail_closed_drops"]
+
+
+@pytest.mark.parametrize("fail_policy", FailPolicy.ALL)
+def test_matrix_with_everything_armed_at_once(fail_policy):
+    """One plan faulting every site simultaneously — worst-case chaos."""
+    septic, conn = _stack(fail_policy)
+    plan = FaultPlan(seed=11)
+    for site in SITES:
+        plan.inject(site, FaultKind.FLAKY, fails=1)
+    with faults.armed(plan):
+        for _ in range(4):
+            outcome = conn.query(BENIGN)
+            assert isinstance(outcome, QueryOutcome)
+            if outcome.error is not None:
+                assert isinstance(outcome.error, SQLError)
+    # disarmed again: the stack is fully functional
+    assert conn.query(BENIGN).ok
+
+
+def _detection_run(flags):
+    """Train, then replay a fixed benign+attack mix; return everything
+    observable about detection."""
+    septic, conn = _stack(FailPolicy.CLOSED, flags=flags)
+    verdicts = []
+    for sql in (BENIGN, ATTACK, BENIGN,
+                TICKET_QUERY % ("ID34FG' UNION SELECT 1, 2, 3 -- ", "1")):
+        outcome = conn.query(sql)
+        verdicts.append(
+            (outcome.ok, type(outcome.error).__name__, len(outcome.rows))
+        )
+    stats = septic.stats.as_dict()
+    return verdicts, stats
+
+
+@pytest.mark.parametrize("flags", ("NN", "YN", "NY", "YY"))
+def test_disarmed_detection_is_unchanged(flags):
+    """An armed-then-disarmed plan leaves zero residue: detection
+    verdicts and every counter match a run that never armed anything."""
+    reference = _detection_run(flags)
+    plan = FaultPlan()
+    for site in SITES:
+        plan.inject(site, FaultKind.RAISE)
+    with faults.armed(plan):
+        pass  # armed and immediately disarmed, nothing fired
+    assert faults.ACTIVE is None
+    assert _detection_run(flags) == reference
+    # and the injection points really were inert: a third run while
+    # *watching* (armed plan with no specs) fires nothing harmful
+    watch = FaultPlan()
+    with faults.armed(watch):
+        observed = _detection_run(flags)
+    assert observed[0] == reference[0]
+    assert watch.injected == 0
+    # coverage proof: the watching plan saw the hook and engine sites
+    assert watch.hits_by_site.get("detector.run", 0) > 0 or flags == "NN"
+    assert watch.hits_by_site.get("cache.lookup", 0) > 0
+    assert watch.hits_by_site.get("store.get", 0) > 0

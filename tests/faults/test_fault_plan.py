@@ -1,0 +1,133 @@
+"""Unit tests for the fault-injection plan (repro.faults)."""
+
+import pytest
+
+from repro import faults
+from repro.core.query_model import QueryModel
+from repro.core.query_structure import QueryStructure
+from repro.core.resilience import HOOK_CLOCK
+from repro.faults import FaultKind, FaultPlan, InjectedFault
+from repro.sqldb.errors import SQLError
+from repro.sqldb.items import Item
+
+
+def _model():
+    structure = QueryStructure([
+        Item("SELECT", "SELECT"), Item("FIELD", "id"),
+        Item("TABLE", "tickets"), Item("DATA_STRING", "abc"),
+    ])
+    return QueryModel.from_structure(structure)
+
+
+class TestFaultSpec(object):
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().inject("store.get", "explode")
+
+    def test_raise_fires_every_hit_by_default(self):
+        plan = FaultPlan()
+        spec = plan.inject("store.get", FaultKind.RAISE)
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                plan.fire("store.get")
+        assert spec.hits == 3 and spec.fired == 3
+        assert plan.injected == 3
+
+    def test_injected_fault_is_not_an_sql_error(self):
+        # the point of the exercise: a fault the code did not anticipate
+        assert not issubclass(InjectedFault, SQLError)
+
+    def test_times_window(self):
+        plan = FaultPlan()
+        plan.inject("store.get", FaultKind.RAISE, times=2)
+        with pytest.raises(InjectedFault):
+            plan.fire("store.get")
+        with pytest.raises(InjectedFault):
+            plan.fire("store.get")
+        assert plan.fire("store.get", "payload") == "payload"
+
+    def test_after_skips_leading_hits(self):
+        plan = FaultPlan()
+        plan.inject("store.get", FaultKind.RAISE, after=2, times=1)
+        assert plan.fire("store.get", 1) == 1
+        assert plan.fire("store.get", 2) == 2
+        with pytest.raises(InjectedFault):
+            plan.fire("store.get")
+        assert plan.fire("store.get", 3) == 3
+
+    def test_flaky_fails_then_succeeds_forever(self):
+        plan = FaultPlan()
+        spec = plan.inject("store.put", FaultKind.FLAKY, fails=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                plan.fire("store.put")
+        for _ in range(10):
+            assert plan.fire("store.put", "ok") == "ok"
+        assert spec.fired == 2
+
+    def test_hang_charges_the_virtual_clock(self):
+        plan = FaultPlan()
+        plan.inject("detector.run", FaultKind.HANG, hang_seconds=7.5)
+        before = HOOK_CLOCK.now()
+        assert plan.fire("detector.run", "p") == "p"
+        assert HOOK_CLOCK.now() == pytest.approx(before + 7.5)
+
+    def test_corrupt_applies_seeded_corruptor(self):
+        model_a = _model()
+        model_b = _model()
+        plan_a = FaultPlan(seed=42)
+        plan_a.inject("store.get", FaultKind.CORRUPT)
+        plan_b = FaultPlan(seed=42)
+        plan_b.inject("store.get", FaultKind.CORRUPT)
+        out_a = plan_a.fire("store.get", model_a, faults.corrupt_model)
+        out_b = plan_b.fire("store.get", model_b, faults.corrupt_model)
+        # same seed, same corruption — chaos runs are reproducible
+        assert out_a.canonical() == out_b.canonical()
+        assert out_a.canonical() != _model().canonical()
+
+    def test_corrupt_without_corruptor_is_not_counted(self):
+        plan = FaultPlan()
+        spec = plan.inject("executor.step", FaultKind.CORRUPT)
+        assert plan.fire("executor.step") is None  # payload passthrough
+        assert spec.hits == 1 and spec.fired == 0
+        assert plan.injected == 0
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan()
+        first = plan.inject("store.get", FaultKind.RAISE, times=1)
+        second = plan.inject("store.get", FaultKind.RAISE)
+        with pytest.raises(InjectedFault):
+            plan.fire("store.get")
+        assert first.fired == 1 and second.fired == 0
+
+    def test_hits_by_site_counts_every_fire(self):
+        plan = FaultPlan()
+        plan.fire("store.get")
+        plan.fire("store.get")
+        plan.fire("cache.lookup")
+        assert plan.hits_by_site == {"store.get": 2, "cache.lookup": 1}
+
+
+class TestArming(object):
+    def test_disarmed_fire_is_passthrough(self):
+        faults.disarm()
+        assert faults.ACTIVE is None
+        assert faults.fire("store.get", "payload") == "payload"
+
+    def test_armed_context_manager_always_disarms(self):
+        plan = FaultPlan()
+        plan.inject("store.get", FaultKind.RAISE)
+        with pytest.raises(InjectedFault):
+            with faults.armed(plan):
+                assert faults.ACTIVE is plan
+                faults.fire("store.get")
+        assert faults.ACTIVE is None
+
+    def test_truncate_model_drops_top_node(self):
+        model = _model()
+        nodes = len(model.nodes)
+        faults.truncate_model(model, None)
+        assert len(model.nodes) == nodes - 1
+
+    def test_forget_loses_the_payload(self):
+        assert faults.forget("anything", None) is None

@@ -111,3 +111,51 @@ def test_lint_gate_catches_a_typo(tmp_path):
 def test_python_version_supported():
     # the engine relies on dict ordering and OrderedDict.move_to_end
     assert sys.version_info >= (3, 7)
+
+
+def _fire_site_literals():
+    """Every literal site name passed to a ``fire(...)`` call in src/."""
+    sites = []
+    for path in _python_files(SRC_ROOT):
+        with open(path) as handle:
+            tree = ast.parse(handle.read(), filename=path)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = getattr(func, "attr", None) or getattr(func, "id", None)
+            if name != "fire" or not node.args:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str):
+                sites.append(first.value)
+            elif (isinstance(first, ast.BinOp)
+                  and isinstance(first.left, ast.Constant)):
+                sites.append(first.left.value + "<dynamic>")
+    return sites
+
+
+def test_fault_sites_are_lint_covered():
+    """The faults package rides the same gates as everything else, and
+    the wired injection sites agree with the declared KNOWN_SITES."""
+    faults_root = os.path.join(SRC_ROOT, "repro", "faults")
+    files = list(_python_files(faults_root))
+    assert files, "faults package missing from src/repro/faults"
+    for path in files:
+        assert _undefined_loads(path) == []
+
+    from repro.faults import KNOWN_SITES
+
+    wired = set(_fire_site_literals())
+    declared = set(KNOWN_SITES)
+    # every declared site is wired somewhere in src/ (the plugin site is
+    # composed dynamically: "plugin." + plugin.name)
+    missing = declared - wired
+    assert missing == set(), "declared but unwired sites: %s" % missing
+    # and nothing fires an undeclared site behind the plan's back
+    undeclared = {
+        site for site in wired
+        if site not in declared and not site.startswith("plugin.")
+    }
+    assert undeclared == set(), "undeclared fire() sites: %s" % undeclared
