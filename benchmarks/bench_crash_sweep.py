@@ -1,0 +1,56 @@
+"""E13 — the crash-point sweep as a regenerable artifact.
+
+Runs the exhaustive kill-at-every-byte sweep (see
+``repro.benchlab.crashsweep``) over the three seeded workloads the test
+suite pins, and writes the per-seed summaries to
+``benchmarks/out/crash_sweep_artifact.txt``.  The numbers to look at:
+*kill offsets* (= log bytes + 1 — every byte boundary was a crash) and
+*mismatches* (must be 0: at every offset, recovery produced exactly the
+committed prefix).
+"""
+
+import shutil
+import tempfile
+import time
+
+from repro.benchlab.crashsweep import format_sweep_result, run_crash_sweep
+
+SWEEPS = [
+    (1, None),
+    (2, 8),      # mid-workload checkpoint: covers snapshot+tail recovery
+    (3, None),
+]
+
+
+def test_crash_sweep_artifact(report, benchmark):
+    def run_sweeps():
+        results = []
+        workdir = tempfile.mkdtemp(prefix="crash-sweep-")
+        try:
+            for seed, checkpoint_after in SWEEPS:
+                start = time.perf_counter()
+                result = run_crash_sweep(workdir, seed,
+                                         checkpoint_after=checkpoint_after)
+                results.append((result, time.perf_counter() - start))
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+        return results
+
+    results = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    report.line("E13 — crash-point sweep: kill at every WAL byte offset, "
+                "recover, compare")
+    report.line()
+    for result, elapsed in results:
+        report.line("%s  (%.1fs)" % (format_sweep_result(result), elapsed))
+    report.line()
+    total_offsets = sum(r.offsets_tested for r, _t in results)
+    report.line("total: %d recoveries across %d workloads, "
+                "%d lost-or-phantom states" % (
+                    total_offsets, len(results),
+                    sum(len(r.mismatches) for r, _t in results)))
+
+    for result, _elapsed in results:
+        assert result.ok, format_sweep_result(result)
+        assert result.offsets_tested == result.log_bytes + 1
+        assert result.blocked >= 1

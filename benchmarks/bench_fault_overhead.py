@@ -24,6 +24,7 @@ import time
 from repro import faults
 from repro.core.logger import SepticLogger
 from repro.core.septic import Mode, Septic
+from repro.sqldb import wal
 from repro.sqldb.connection import Connection
 from repro.sqldb.engine import Database
 
@@ -136,4 +137,68 @@ def test_fault_overhead_artifact(report, benchmark):
     # acceptance: disarmed injection points cost < 2% of the warm path
     assert bound_pct < 2.0, (
         "disarmed guards cost %.3f%% of the warm path" % bound_pct
+    )
+
+
+def _wal_guard_cost(iterations):
+    """Seconds per disabled WAL guard (`if wal.ATTACHED:` — the same
+    module-attribute discipline as the fault sites), loop overhead
+    subtracted out."""
+    loop = range(iterations)
+    start = time.perf_counter()
+    for _ in loop:
+        if wal.ATTACHED:
+            raise AssertionError("a WAL is attached during micro-bench")
+    guarded = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in loop:
+        pass
+    empty = time.perf_counter() - start
+    return max((guarded - empty) / iterations, 0.0)
+
+
+def test_wal_disabled_overhead_artifact(report, benchmark):
+    """WAL-off mode must be the exact status quo: with no database
+    attached, the engine's durability hooks are `if wal.ATTACHED:`
+    guards and nothing else.  Same bounding argument as the fault
+    sites: measure the guard primitive, count the guard sites a warm
+    query crosses, and hold the product under 2% of the warm path."""
+
+    def run_measurements():
+        _, _, conn = _build()
+        _time_loop(conn, 1)  # priming pass
+        assert wal.ATTACHED == 0, "benchmark needs WAL-off mode"
+        warm = _median_loop(conn, LOOPS, REPEATS)
+        guard = _wal_guard_cost(GUARD_ITERATIONS)
+        return warm, guard
+
+    warm, guard = benchmark.pedantic(run_measurements, rounds=1,
+                                     iterations=1)
+    queries = LOOPS * len(QUERY_MIX)
+    warm_us = 1e6 * warm / queries
+    guard_ns = 1e9 * guard
+    # guard sites a statement can cross: _run_statement's log gate,
+    # Session.begin/commit markers, and attach-time checks — bound
+    # generously at 4 per query
+    guards_per_query = 4.0
+    bound_us = guards_per_query * guard * 1e6
+    bound_pct = 100.0 * bound_us / warm_us if warm_us else 0.0
+
+    report.line("WAL-disabled gate — durability hooks with no WAL "
+                "attached")
+    report.line("(%d warm queries, median of %d runs)"
+                % (queries, REPEATS))
+    report.line()
+    report.line("warm cached query:  %.2f us" % warm_us)
+    report.line("guard primitive:    %.1f ns per `if wal.ATTACHED:` "
+                "check (%d iterations)" % (guard_ns, GUARD_ITERATIONS))
+    report.line("guard budget:       %.1f guards x %.1f ns = %.4f us "
+                "per query" % (guards_per_query, guard_ns, bound_us))
+    report.line("disabled overhead:  %.3f%% of the warm query "
+                "(must be < 2%%)" % bound_pct)
+
+    # acceptance: the disabled durability layer costs < 2% of the warm
+    # cached query path — WAL-off mode is the status quo
+    assert bound_pct < 2.0, (
+        "disabled WAL guards cost %.3f%% of the warm path" % bound_pct
     )

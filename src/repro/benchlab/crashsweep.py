@@ -1,0 +1,269 @@
+"""Crash-point sweep: prove recovery at *every* possible kill point.
+
+The WAL's correctness claim — "after a crash, recovery yields exactly
+the committed prefix" — is easy to assert and easy to get subtly wrong
+(a record fsynced one byte short, a commit marker that lands before its
+transaction's statements, a rolled-back write resurrected by replay).
+This harness does not sample crash points; it enumerates them:
+
+1. run a seeded workload against a WAL-backed database (per-commit
+   fsync, unbuffered writes), capturing a **state digest at every
+   durability point** — the exact sequence of states a client could
+   have been acknowledged about;
+2. read the golden log back as bytes and, for every byte offset ``X``
+   from 0 to the full length, plant ``log[:X]`` in a fresh victim
+   directory (plus the checkpoint file, when the workload wrote one)
+   and run full recovery over it;
+3. the recovered state must equal ``digests[k]`` where ``k`` counts the
+   durability-point records *entirely contained* in the first ``X``
+   bytes — committed-prefix consistency, computed independently of the
+   recovery code under test.
+
+Workloads include DDL (CREATE/ALTER/INDEX/TRUNCATE/DROP), transactions
+(committed and rolled back), a SEPTIC-blocked statement mid-transaction
+(must never resurrect — it never reached the executor), a failing
+multi-row INSERT with partial effects, and ``NOW()``/``RAND()`` to
+exercise deterministic replay of the environment functions.
+"""
+
+import json
+import os
+import random
+import shutil
+from bisect import bisect_right
+from hashlib import sha1
+
+from repro.sqldb import wal as wal_mod
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+from repro.sqldb.errors import QueryBlocked
+
+
+class MarkerSeptic(object):
+    """A deterministic stand-in for SEPTIC: blocks any statement whose
+    text carries the attack marker.  The sweep needs "a query was
+    dropped mid-transaction" as a workload event, not a full trained
+    stack."""
+
+    MARKER = "evil"
+
+    def __init__(self):
+        self.blocked = 0
+
+    def process_query(self, context):
+        if self.MARKER in context.sql:
+            self.blocked += 1
+            raise QueryBlocked("blocked by marker septic")
+
+
+def state_digest(database):
+    """Stable digest of everything the WAL promises to preserve: every
+    table's schema, rows (in order), auto-increment counter and
+    indexes."""
+    body = {
+        name: database.tables[name].to_dict()
+        for name in sorted(database.tables)
+    }
+    blob = json.dumps(body, sort_keys=True)
+    return sha1(blob.encode("utf-8")).hexdigest()
+
+
+def generate_workload(seed):
+    """A deterministic operation list for *seed*.
+
+    Each entry is ``(kind, sql)`` with kind ``"q"`` (single statement)
+    or ``"m"`` (multi-statement script).  Every operation produces at
+    most one durability point, so the golden digest sequence captures
+    every state a client could have been acknowledged about.
+    """
+    rng = random.Random(seed)
+    names = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+    def insert():
+        return (
+            "INSERT INTO items (name, qty, added) "
+            "VALUES ('%s%d', %d, NOW())"
+            % (rng.choice(names), rng.randrange(100), rng.randrange(50))
+        )
+
+    ops = [("q", "CREATE TABLE items (id INT AUTO_INCREMENT PRIMARY KEY, "
+                 "name VARCHAR(40), qty INT, added DATETIME)")]
+    for _ in range(rng.randrange(3, 5)):
+        ops.append(("q", insert()))
+    # consumes RNG draws without being logged: replay must fast-forward
+    ops.append(("q", "SELECT RAND(), COUNT(*) FROM items"))
+    # a logged statement that *uses* the RNG (replays bit-identically)
+    ops.append(("q", "INSERT INTO items (name, qty) "
+                     "VALUES ('randy', RAND() * 100)"))
+    # multi-statement committed transaction
+    ops.append(("m", "BEGIN; %s; UPDATE items SET qty = qty + %d "
+                     "WHERE id = 1; COMMIT"
+                     % (insert(), rng.randrange(2, 9))))
+    # DDL mid-stream
+    ops.append(("q", "ALTER TABLE items ADD COLUMN note VARCHAR(20) "
+                     "DEFAULT 'ok'"))
+    ops.append(("q", "CREATE INDEX idx_name ON items (name)"))
+    ops.append(("q", insert()))
+    # a second table: create, fill, truncate, drop
+    ops.append(("q", "CREATE TABLE scratch (k INT, v VARCHAR(10))"))
+    ops.append(("q", "INSERT INTO scratch (k, v) VALUES (%d, 'tmp')"
+                     % rng.randrange(9)))
+    ops.append(("q", "TRUNCATE TABLE scratch"))
+    ops.append(("q", "DROP TABLE scratch"))
+    # rolled-back transaction: must never resurrect
+    ops.append(("m", "BEGIN; INSERT INTO items (name, qty) "
+                     "VALUES ('ghost', 1); DELETE FROM items "
+                     "WHERE id = 2; ROLLBACK"))
+    # SEPTIC blocks the second statement mid-transaction; the script
+    # stops there and the client closes the transaction explicitly —
+    # the committed unit holds the first UPDATE only, never the attack
+    ops.append(("m", "BEGIN; UPDATE items SET note = 'tx' WHERE id = 1; "
+                     "UPDATE items SET note = '%s' WHERE qty >= 0; "
+                     "COMMIT" % MarkerSeptic.MARKER))
+    ops.append(("q", "COMMIT"))
+    # failing multi-row INSERT: the first row sticks (partial effects),
+    # the duplicate key fails the statement — logged as failed=True
+    ops.append(("q", "INSERT INTO items (id, name, qty) "
+                     "VALUES (70, 'keeper', 1), (70, 'dup', 2)"))
+    for _ in range(rng.randrange(2, 4)):
+        ops.append(("q", insert()))
+    return ops
+
+
+class WorkloadRun(object):
+    """Golden-run artifacts the sweep validates against."""
+
+    __slots__ = ("digests", "checkpoint_index", "blocked", "ops")
+
+    def __init__(self, digests, checkpoint_index, blocked, ops):
+        #: state digest after durability point ``k`` (``digests[0]`` is
+        #: the empty database)
+        self.digests = digests
+        #: durability-point count at the checkpoint, or ``None``
+        self.checkpoint_index = checkpoint_index
+        #: statements the marker septic dropped during the run
+        self.blocked = blocked
+        #: operations executed
+        self.ops = ops
+
+
+def run_workload(data_dir, seed, sync_mode="commit", checkpoint_after=None):
+    """Execute the seed's workload durably, digesting every durability
+    point.  ``checkpoint_after`` (an op index) writes a mid-workload
+    checkpoint, so the sweep also covers checkpoint+log recovery."""
+    septic = MarkerSeptic()
+    database = Database.recover(data_dir, seed=seed, septic=septic,
+                                wal_sync=sync_mode)
+    connection = Connection(database, multi_statements=True)
+    digests = [state_digest(database)]
+    checkpoint_index = None
+    ops = generate_workload(seed)
+    last = database.wal.commits
+    for index, (kind, sql) in enumerate(ops):
+        if kind == "m":
+            connection.multi_query(sql)
+        else:
+            connection.query(sql)
+        commits = database.wal.commits
+        if commits - last > 1:
+            raise AssertionError(
+                "workload op %d produced %d durability points; the "
+                "golden digest sequence needs at most one per op"
+                % (index, commits - last)
+            )
+        if commits > last:
+            digests.append(state_digest(database))
+            last = commits
+        if checkpoint_after is not None and index == checkpoint_after:
+            if database.checkpoint() is not None:
+                checkpoint_index = len(digests) - 1
+    database.close()
+    return WorkloadRun(digests, checkpoint_index, septic.blocked, ops)
+
+
+class SweepResult(object):
+    """Outcome of one crash-point sweep."""
+
+    __slots__ = ("seed", "log_bytes", "offsets_tested",
+                 "durability_points", "blocked", "mismatches",
+                 "checkpointed")
+
+    def __init__(self, seed, log_bytes, offsets_tested, durability_points,
+                 blocked, mismatches, checkpointed):
+        self.seed = seed
+        self.log_bytes = log_bytes
+        self.offsets_tested = offsets_tested
+        self.durability_points = durability_points
+        self.blocked = blocked
+        #: (offset, expected_index) pairs where recovery diverged
+        self.mismatches = mismatches
+        self.checkpointed = checkpointed
+
+    @property
+    def ok(self):
+        return not self.mismatches
+
+    def __repr__(self):
+        return ("SweepResult(seed=%r, %d bytes, %d offsets, %d commits, "
+                "%d mismatches)") % (self.seed, self.log_bytes,
+                                     self.offsets_tested,
+                                     self.durability_points,
+                                     len(self.mismatches))
+
+
+def run_crash_sweep(workdir, seed, checkpoint_after=None, stride=1):
+    """Kill-at-every-byte sweep for one seeded workload.
+
+    With ``stride > 1`` only every stride-th offset is tested (plus the
+    final one); record boundaries are always included, since those are
+    the offsets where the expected state changes.
+    """
+    golden_dir = os.path.join(workdir, "golden-%s" % seed)
+    run = run_workload(golden_dir, seed, checkpoint_after=checkpoint_after)
+    data = wal_mod.read_log_bytes(wal_mod.log_path(golden_dir))
+    # durability-point frame ends, computed from the bytes themselves —
+    # independent of the recovery code the sweep is judging
+    ends = []
+    for record, end in wal_mod.iter_frames(data):
+        is_commit_point = record.op == wal_mod.WalRecord.COMMIT or (
+            record.op == wal_mod.WalRecord.STMT and record.tx == 0
+        )
+        if is_commit_point:
+            ends.append(end)
+    base_index = run.checkpoint_index or 0
+    offsets = sorted(set(
+        list(range(0, len(data) + 1, stride)) + [len(data)]
+        + [end for _record, end in wal_mod.iter_frames(data)]
+    ))
+    checkpoint_src = wal_mod.checkpoint_path(golden_dir)
+    checkpointed = os.path.exists(checkpoint_src)
+    victim_dir = os.path.join(workdir, "victim-%s" % seed)
+    mismatches = []
+    for offset in offsets:
+        shutil.rmtree(victim_dir, ignore_errors=True)
+        os.makedirs(victim_dir)
+        if checkpointed:
+            shutil.copy(checkpoint_src,
+                        wal_mod.checkpoint_path(victim_dir))
+        wal_mod.write_log_bytes(wal_mod.log_path(victim_dir),
+                                data[:offset])
+        expected = base_index + bisect_right(ends, offset)
+        recovered = Database.recover(victim_dir, seed=seed)
+        digest = state_digest(recovered)
+        recovered.close()
+        if digest != run.digests[expected]:
+            mismatches.append((offset, expected))
+    shutil.rmtree(victim_dir, ignore_errors=True)
+    return SweepResult(seed, len(data), len(offsets), len(ends),
+                       run.blocked, mismatches, checkpointed)
+
+
+def format_sweep_result(result):
+    """Human-readable sweep report (the benchmark artifact body)."""
+    return (
+        "crash sweep seed=%s: %d log bytes, %d kill offsets, "
+        "%d durability points, %d blocked statements, checkpoint=%s -> %s"
+        % (result.seed, result.log_bytes, result.offsets_tested,
+           result.durability_points, result.blocked, result.checkpointed,
+           "OK" if result.ok else "%d MISMATCHES" % len(result.mismatches))
+    )

@@ -5,7 +5,12 @@ Commands:
 ``demo``
     Condensed five-phase demonstration (§IV) against WaspMon.
 ``train``
-    Train SEPTIC over WaspMon's forms and persist the QM store.
+    Train SEPTIC over WaspMon's forms and persist the QM store
+    (``--data-dir`` makes the whole stack durable: WAL-backed data
+    plane plus co-persisted models).
+``recover``
+    Rebuild a database (and its models) from a ``--data-dir`` and print
+    the recovery report.
 ``attack``
     Run the attack corpus against one protection configuration.
 ``scan``
@@ -61,11 +66,47 @@ def _cmd_train(args, out):
     from repro.sqldb.engine import Database
 
     septic = Septic(mode=Mode.TRAINING, store=QMStore(path=args.store))
-    app = WaspMon(Database(septic=septic))
+    if args.data_dir:
+        # durable stack: data plane WAL-backed, models co-persisted in
+        # the same directory with the WAL watermark
+        database = Database.recover(args.data_dir, septic=septic)
+        septic.bind_store(database)
+    else:
+        database = Database(septic=septic)
+    app = WaspMon(database)
     report = SepticTrainer(app, septic).train(passes=args.passes)
-    septic.store.save()
+    store_path = septic.store.save()
+    durable_lsn = database.durable_lsn
+    database.close()
     out.write("trained: %d requests, %d models -> %s\n"
-              % (report.requests_sent, len(septic.store), args.store))
+              % (report.requests_sent, len(septic.store), store_path))
+    if args.data_dir:
+        out.write("data dir: %s (durable LSN %d)\n"
+                  % (args.data_dir, durable_lsn))
+    return 0
+
+
+def _cmd_recover(args, out):
+    from repro.core.septic import Mode, Septic
+    from repro.sqldb.engine import Database
+
+    septic = Septic(mode=Mode.PREVENTION)
+    database = Database.recover(args.data_dir, septic=septic)
+    models = septic.bind_store(database)
+    report = database.recovery_report or {}
+    out.write("recovered data dir:   %s\n" % args.data_dir)
+    out.write("checkpoint LSN:       %d\n" % report.get("checkpoint_lsn", 0))
+    out.write("log records scanned:  %d\n" % report.get("log_records", 0))
+    out.write("statements replayed:  %d\n"
+              % report.get("replayed_statements", 0))
+    out.write("torn bytes truncated: %d\n" % report.get("torn_bytes", 0))
+    out.write("tables:\n")
+    for name in sorted(database.tables):
+        out.write("  %-20s %d rows\n"
+                  % (name, len(database.tables[name])))
+    out.write("QM models loaded:     %d (wal_lsn %d)\n"
+              % (models, septic.store.wal_lsn))
+    database.close()
     return 0
 
 
@@ -150,6 +191,15 @@ def build_parser():
     train = sub.add_parser("train", help="train SEPTIC over WaspMon")
     train.add_argument("--store", default="qm_store.json")
     train.add_argument("--passes", type=int, default=2)
+    train.add_argument("--data-dir", default=None,
+                       help="enable WAL durability: recover the database "
+                            "from (and persist it to) this directory, "
+                            "co-persisting the QM store")
+
+    recover = sub.add_parser(
+        "recover", help="recover a database from a data directory"
+    )
+    recover.add_argument("--data-dir", required=True)
 
     attack = sub.add_parser("attack", help="run the attack corpus")
     attack.add_argument("--protection", choices=PROTECTIONS,
@@ -171,6 +221,7 @@ def build_parser():
 _COMMANDS = {
     "demo": _cmd_demo,
     "train": _cmd_train,
+    "recover": _cmd_recover,
     "attack": _cmd_attack,
     "scan": _cmd_scan,
     "bench": _cmd_bench,

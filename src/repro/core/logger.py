@@ -31,6 +31,7 @@ class EventKind(object):
     BREAKER_TRIPPED = "BREAKER_TRIPPED"
     BREAKER_RESET = "BREAKER_RESET"
     STORE_RECOVERED = "STORE_RECOVERED"
+    MODELS_RELOADED = "MODELS_RELOADED"
 
 
 #: kinds always recorded, even when not verbose (attack evidence and
@@ -40,7 +41,7 @@ _SIGNIFICANT = frozenset(
      EventKind.ATTACK_DETECTED, EventKind.QUERY_DROPPED,
      EventKind.INTERNAL_FAULT, EventKind.WATCHDOG_TIMEOUT,
      EventKind.BREAKER_TRIPPED, EventKind.BREAKER_RESET,
-     EventKind.STORE_RECOVERED]
+     EventKind.STORE_RECOVERED, EventKind.MODELS_RELOADED]
 )
 
 

@@ -157,6 +157,47 @@ class Septic(object):
     def id_generator(self):
         return self.manager.id_generator
 
+    # -- durability (co-persist the models with the data plane) ----------
+
+    def bind_store(self, database, path=None, autosave=True):
+        """Co-persist the QM store with *database*'s data directory.
+
+        Wires the store to ``<data_dir>/qm_store.json`` (or *path*),
+        stamps every save with the database's durable LSN and — with
+        *autosave* — persists on every new model, so a kill at any
+        point leaves the trained models on disk alongside the WAL they
+        were trained against.  Loads whatever the file already holds
+        and returns the number of models loaded.
+        """
+        store = self.store
+        if path is None:
+            if database.data_dir is None:
+                raise ValueError(
+                    "database has no data_dir; attach a WAL first or "
+                    "pass an explicit path"
+                )
+            from repro.sqldb import wal as wal_mod
+
+            path = wal_mod.qm_store_path(database.data_dir)
+        store._path = path
+        store.lsn_provider = lambda: database.durable_lsn
+        store.autosave = autosave
+        return self.reload_models()
+
+    def reload_models(self):
+        """Re-load persisted query models (the restart path: the demo
+        restarts MySQL between training and normal mode, §IV-D).
+        Returns the number of models loaded; 0 when nothing persists."""
+        store = self.store
+        if store._path is None:
+            return 0
+        count = store.load()
+        self._safe_log(
+            EventKind.MODELS_RELOADED,
+            detail="%d models, wal_lsn=%d" % (count, store.wal_lsn),
+        )
+        return count
+
     # -- mode management ---------------------------------------------------
 
     @property

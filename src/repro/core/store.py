@@ -49,7 +49,8 @@ class QMStore(object):
     learners of the same query count exactly one creation.
     """
 
-    def __init__(self, path=None, paranoid=False, on_recover=None):
+    def __init__(self, path=None, paranoid=False, on_recover=None,
+                 lsn_provider=None, autosave=False):
         #: full ID value -> QueryModel
         self._models = {}
         #: external identifier -> list of full ID values
@@ -72,6 +73,15 @@ class QMStore(object):
         self.recoveries = 0
         #: persisted entries rejected by the load-time checksum
         self.load_rejected = 0
+        #: callback() → current WAL LSN; when set, every save stamps the
+        #: payload with it so a restarted server knows which data-plane
+        #: state its models were trained against
+        self.lsn_provider = lsn_provider
+        #: persist on every new model (kill-at-any-point durability for
+        #: trained models; requires ``path``)
+        self.autosave = autosave
+        #: the WAL watermark read back by the last load (0 = none)
+        self.wal_lsn = 0
         self._lock = threading.RLock()
 
     def __len__(self):
@@ -144,6 +154,8 @@ class QMStore(object):
                 self._by_external.setdefault(query_id.external, []).append(
                     full
                 )
+            if self.autosave and self._path is not None:
+                self.save()
             return True
 
     def clear(self):
@@ -249,7 +261,7 @@ class QMStore(object):
 
     def _payload(self):
         """The serialized store (caller holds the lock)."""
-        return {
+        payload = {
             "models": {
                 full: model.to_dict()
                 for full, model in self._models.items()
@@ -263,6 +275,9 @@ class QMStore(object):
                 for full, model in self._models.items()
             },
         }
+        if self.lsn_provider is not None:
+            payload["wal_lsn"] = self.lsn_provider()
+        return payload
 
     def save(self, path=None):
         """Persist all models as JSON; returns the path written."""
@@ -274,6 +289,8 @@ class QMStore(object):
         tmp = target + ".tmp"
         with open(tmp, "w") as handle:
             json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, target)
         return target
 
@@ -323,6 +340,7 @@ class QMStore(object):
         for full in rejected:
             del models[full]
         with self._lock:
+            self.wal_lsn = payload.get("wal_lsn", 0)
             self._models = models
             self._by_external = {
                 ext: [full for full in fulls if full in models]

@@ -69,6 +69,10 @@ KNOWN_SITES = (
     "cache.lookup",
     "charset.decode",
     "executor.step",
+    "wal.append",
+    "wal.fsync",
+    "wal.checkpoint",
+    "wal.recover",
     # plus "plugin.<name>" for every stored-injection plugin
 )
 

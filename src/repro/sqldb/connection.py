@@ -214,6 +214,26 @@ class Connection(object):
             sleep_seconds=result.sleep_seconds,
         )
 
+    # -- transactions ----------------------------------------------------
+    #
+    # Conveniences over the session, mirroring mysqli's begin_transaction /
+    # commit / rollback.  With a WAL attached, commit() is the durability
+    # point: it returns only after the commit marker is on disk (per the
+    # WAL's sync mode).
+
+    def begin(self):
+        self._session.begin()
+
+    def commit(self):
+        self._session.commit()
+
+    def rollback(self):
+        self._session.rollback()
+
+    @property
+    def in_transaction(self):
+        return self._session.in_transaction
+
     def query_or_raise(self, sql):
         """Run one statement, raising on error (admin/seed convenience)."""
         outcome = self.query(sql)

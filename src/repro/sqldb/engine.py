@@ -24,13 +24,16 @@ Two scale-oriented layers sit around that pipeline:
   without sharing what MySQL scopes per connection.
 """
 
+import os
 import random
 import threading
 import time
 from datetime import datetime, timedelta
 
 from repro import faults as faults_mod
+from repro.sqldb import ast_nodes as ast
 from repro.sqldb import charset as charset_mod
+from repro.sqldb import wal as wal_mod
 from repro.sqldb.cache import CacheEntry, PipelineCache
 from repro.sqldb.errors import (
     ExecutionError,
@@ -38,11 +41,32 @@ from repro.sqldb.errors import (
     QueryBlocked,
     SQLError,
     TransientEngineError,
+    WalCorruptionError,
+    WalError,
 )
 from repro.sqldb.executor import Executor
 from repro.sqldb.parser import parse_sql
 from repro.sqldb.storage import Table
+from repro.sqldb.unparse import to_sql
 from repro.sqldb.validator import validate
+
+#: statement kinds the WAL must persist (everything that mutates durable
+#: state; SELECT/EXPLAIN and the transaction-control statements are
+#: handled separately — the latter become begin/commit/rollback markers)
+_DURABLE_STATEMENTS = (
+    ast.Insert, ast.Update, ast.Delete,
+    ast.CreateTable, ast.DropTable,
+    ast.CreateIndex, ast.DropIndex,
+    ast.AlterTableAddColumn, ast.AlterTableDropColumn,
+    ast.TruncateTable,
+)
+
+#: process-wide replay parse memo (WAL SQL text → parsed statement).
+#: Replay re-parses the same canonical text for every recovery of the
+#: same log — the crash-point sweep does thousands of recoveries — and
+#: parsed statements are immutable once built (the pipeline cache
+#: already shares them across sessions), so sharing here is safe.
+_REPLAY_PARSE_MEMO = {}
 
 
 class QueryContext(object):
@@ -80,19 +104,25 @@ class Session(object):
     :class:`Database` directly use its default session.
     """
 
-    __slots__ = ("database", "charset", "last_insert_id", "_tx_snapshot")
+    __slots__ = ("database", "charset", "last_insert_id", "_tx_snapshot",
+                 "tx_id")
 
     def __init__(self, database, charset=None):
         self.database = database
         self.charset = charset or database.charset
         self.last_insert_id = 0
         self._tx_snapshot = None
+        #: WAL transaction id while a transaction is open (0 otherwise /
+        #: when no WAL is attached)
+        self.tx_id = 0
 
     # -- transactions ----------------------------------------------------
     #
     # Snapshot semantics: BEGIN copies the catalog and every table's
-    # rows; ROLLBACK restores both (tables created mid-transaction
-    # vanish, tables dropped mid-transaction come back with their rows);
+    # full state (rows, auto-increment counter, columns, indexes);
+    # ROLLBACK restores all of it (tables created mid-transaction
+    # vanish, tables dropped mid-transaction come back with their rows,
+    # in-place ALTER TABLE / CREATE INDEX edits revert with them);
     # COMMIT discards the snapshot.  A BEGIN inside an open transaction
     # implicitly commits it (MySQL behaviour).
 
@@ -102,37 +132,53 @@ class Session(object):
         db = self.database
         with db.catalog_lock:
             catalog = dict(db.tables)
-            rows = {}
-            for name, table in catalog.items():
-                rows[name] = (
-                    [dict(row) for row in table.rows],
-                    table._auto_counter,
-                )
-        self._tx_snapshot = (catalog, rows)
+            states = {
+                name: table.snapshot_state()
+                for name, table in catalog.items()
+            }
+        self._tx_snapshot = (catalog, states)
         db._tx_sessions.add(self)
+        if wal_mod.ATTACHED and db._wal is not None:
+            self.tx_id = db._next_tx_id()
+            db._wal.append(wal_mod.WalRecord.BEGIN, tx=self.tx_id)
 
     def commit(self):
+        db = self.database
+        if (
+            wal_mod.ATTACHED
+            and db._wal is not None
+            and self._tx_snapshot is not None
+            and self.tx_id
+        ):
+            db._wal.append(wal_mod.WalRecord.COMMIT, tx=self.tx_id,
+                           durability_point=True)
+            db._note_commit_point()
+        self.tx_id = 0
         self._tx_snapshot = None
-        self.database._tx_sessions.discard(self)
+        db._tx_sessions.discard(self)
 
     def rollback(self):
         snapshot = self._tx_snapshot
         if snapshot is None:
             return  # ROLLBACK outside a transaction is a no-op
-        catalog, rows = snapshot
+        catalog, states = snapshot
         db = self.database
         with db.catalog_lock:
             catalog_changed = set(db.tables) != set(catalog)
             # restore the catalog: tables created mid-transaction are
             # dropped, tables dropped mid-transaction reappear
             db.tables = dict(catalog)
-            for name, (saved_rows, auto) in rows.items():
+            schema_reverted = False
+            for name, state in states.items():
                 table = db.tables[name]
-                table.rows = [dict(row) for row in saved_rows]
-                table._auto_counter = auto
-                table.touch()
-            if catalog_changed:
+                if table.columns != state[2] or table.indexes != state[3]:
+                    schema_reverted = True  # undoing in-place DDL
+                table.restore_state(state)
+            if catalog_changed or schema_reverted:
                 db.bump_schema_version()
+        if wal_mod.ATTACHED and db._wal is not None and self.tx_id:
+            db._wal.append(wal_mod.WalRecord.ROLLBACK, tx=self.tx_id)
+        self.tx_id = 0
         self._tx_snapshot = None
         db._tx_sessions.discard(self)
 
@@ -177,9 +223,28 @@ class Database(object):
         self.septic = septic
         self.charset = charset
         self._executor = Executor(self)
+        self._rand_seed = seed
         self._rand = random.Random(seed)
+        #: RNG draws issued so far — logged with each WAL record so
+        #: replay can fast-forward a re-seeded RNG to the same point
+        self._rand_calls = 0
         self._clock_ticks = 0
         self._clock_lock = threading.Lock()
+        # -- durability (all inert until a WAL is attached) ---------------
+        #: the attached :class:`repro.sqldb.wal.WriteAheadLog` (or None)
+        self._wal = None
+        #: data directory backing the WAL/checkpoint files (or None)
+        self.data_dir = None
+        #: durability points between automatic checkpoints (0 = manual)
+        self.checkpoint_interval = 0
+        self._commit_points_since_checkpoint = 0
+        #: WAL transaction-id counter
+        self._tx_counter = 0
+        #: highest LSN seen during recovery (next append starts above it)
+        self._recovered_lsn = 0
+        self._recovered_dir = None
+        #: summary of the last recovery (:meth:`recover` fills it)
+        self.recovery_report = None
         self._epoch_moment = datetime.strptime(
             self._EPOCH, "%Y-%m-%d %H:%M:%S"
         )
@@ -277,7 +342,356 @@ class Database(object):
         return moment.strftime("%Y-%m-%d %H:%M:%S")
 
     def rand(self):
-        return self._rand.random()
+        with self._clock_lock:
+            self._rand_calls += 1
+            return self._rand.random()
+
+    # -- durability --------------------------------------------------------
+
+    @classmethod
+    def recover(cls, data_dir, name="repro", septic=None, charset="utf8",
+                seed=1, septic_fail_open=False, cache_size=512,
+                wal_sync="commit", wal_batch_commits=16,
+                checkpoint_interval=0, strict=True):
+        """Rebuild a database from *data_dir* and attach its WAL.
+
+        The redo-only recovery path: restore the newest checkpoint (if
+        any), then replay every *committed* unit the log holds above the
+        checkpoint LSN — autocommit statements and transactions closed
+        by a commit marker, in commit order.  Rolled-back and unfinished
+        transactions are discarded; a torn tail is truncated.  Running
+        recovery twice over the same directory yields identical state
+        (replay always restarts from the checkpoint, never from partial
+        results).
+
+        Mid-log corruption (a CRC-failing record with valid data after
+        it) raises :class:`~repro.sqldb.errors.WalCorruptionError` when
+        *strict* (the default); the exception carries the clean-prefix
+        database as ``.database``.  With ``strict=False`` the damaged
+        suffix is truncated and the clean-prefix database is returned.
+
+        An empty or missing *data_dir* simply yields a fresh database
+        with durability enabled — the bootstrap path.
+        """
+        db = cls(name=name, septic=septic, charset=charset, seed=seed,
+                 septic_fail_open=septic_fail_open, cache_size=cache_size)
+        db._recover_state(data_dir, strict=strict)
+        db.attach_wal(data_dir, sync_mode=wal_sync,
+                      batch_commits=wal_batch_commits,
+                      checkpoint_interval=checkpoint_interval)
+        return db
+
+    def attach_wal(self, data_dir, sync_mode="commit", batch_commits=16,
+                   checkpoint_interval=0):
+        """Turn on durability: every mutation from here on is logged.
+
+        The directory must be fresh or already recovered by this
+        instance — attaching over unread on-disk state would assign
+        duplicate LSNs and shadow the existing history.
+        """
+        if self._wal is not None:
+            raise WalError("a WAL is already attached")
+        if self._tx_sessions:
+            raise WalError(
+                "cannot attach a WAL while a transaction is open"
+            )
+        os.makedirs(data_dir, exist_ok=True)
+        log_file = wal_mod.log_path(data_dir)
+        has_state = os.path.exists(wal_mod.checkpoint_path(data_dir)) or (
+            os.path.exists(log_file) and os.path.getsize(log_file) > 0
+        )
+        if has_state and self._recovered_dir != data_dir:
+            raise WalError(
+                "data directory %r holds existing state; use "
+                "Database.recover() instead of attaching directly"
+                % data_dir
+            )
+        self.data_dir = data_dir
+        self.checkpoint_interval = checkpoint_interval
+        self._commit_points_since_checkpoint = 0
+        self._wal = wal_mod.WriteAheadLog(
+            data_dir, sync_mode=sync_mode, batch_commits=batch_commits,
+            start_lsn=self._recovered_lsn + 1,
+        )
+        wal_mod._note_attached(+1)
+        return self._wal
+
+    def close(self):
+        """Clean shutdown: fsync and detach the WAL (no-op without one)."""
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+            wal_mod._note_attached(-1)
+
+    def reopen(self):
+        """Crash-restart in place: drop every volatile structure and
+        rebuild from :attr:`data_dir`, keeping the object identity so
+        live :class:`Session`/``Connection`` objects survive the
+        restart (their open transactions are gone, like any client's
+        after a server bounce)."""
+        if self.data_dir is None:
+            raise WalError("no data directory attached")
+        data_dir = self.data_dir
+        wal = self._wal
+        sync_mode, batch = "commit", 16
+        if wal is not None:
+            sync_mode, batch = wal.sync_mode, wal.batch_commits
+            wal.abandon()
+            self._wal = None
+            wal_mod._note_attached(-1)
+        interval = self.checkpoint_interval
+        with self.catalog_lock:
+            old_schema_version = self.schema_version
+            self.tables = {}
+            self.schema_version = 0
+        self._clock_ticks = 0
+        self._rand = random.Random(self._rand_seed)
+        self._rand_calls = 0
+        self._tx_counter = 0
+        for session in list(self._tx_sessions):
+            session._tx_snapshot = None
+            session.tx_id = 0
+        self._tx_sessions.clear()
+        self._recovered_lsn = 0
+        self._recovered_dir = None
+        self._recover_state(data_dir, strict=True)
+        with self.catalog_lock:
+            # the version must move strictly past its pre-crash value:
+            # replay can land on the same number, and an in-flight
+            # pipeline entry put() back after the restart would then
+            # carry a key that still validates against the new catalog
+            if self.schema_version <= old_schema_version:
+                self.schema_version = old_schema_version + 1
+        self.attach_wal(data_dir, sync_mode=sync_mode,
+                        batch_commits=batch,
+                        checkpoint_interval=interval)
+        return self
+
+    def checkpoint(self):
+        """Write a full-state checkpoint and rotate the log.
+
+        Skipped (returns ``None``) while any transaction is open — a
+        checkpoint must capture a transaction-consistent snapshot.
+        Returns the checkpoint LSN when written.
+        """
+        if self._wal is None:
+            raise WalError("no WAL attached")
+        if self._tx_sessions:
+            return None
+        with self.catalog_lock:
+            state = {
+                "tables": [
+                    table.to_dict() for table in self.tables.values()
+                ],
+                "schema_version": self.schema_version,
+                "clock": self._clock_ticks,
+                "rand": self._rand_calls,
+                "seed": self._rand_seed,
+                "tx_counter": self._tx_counter,
+            }
+        lsn = self._wal.write_checkpoint(state)
+        self._commit_points_since_checkpoint = 0
+        return lsn
+
+    @property
+    def durable_lsn(self):
+        """LSN of the newest appended record (0 without a WAL)."""
+        return 0 if self._wal is None else self._wal.last_lsn
+
+    @property
+    def wal(self):
+        return self._wal
+
+    def _next_tx_id(self):
+        with self._stats_lock:
+            self._tx_counter += 1
+            return self._tx_counter
+
+    def _note_commit_point(self):
+        if not self.checkpoint_interval:
+            return
+        self._commit_points_since_checkpoint += 1
+        if self._commit_points_since_checkpoint >= self.checkpoint_interval:
+            self.checkpoint()  # stays pending while a tx is open
+
+    def _wal_prepare(self, stmt, session):
+        """Pre-execution capture for a statement that must be logged:
+        its canonical SQL plus the clock/RNG position, so replay recalls
+        ``NOW()``/``RAND()`` bit-identically.  Returns ``None`` for
+        statements the WAL does not persist."""
+        if not isinstance(stmt, _DURABLE_STATEMENTS):
+            return None
+        try:
+            sql_text = to_sql(stmt)
+        except TypeError as exc:
+            raise WalError(
+                "cannot serialize %s for the WAL (%s)"
+                % (type(stmt).__name__, exc)
+            )
+        with self._clock_lock:
+            return (sql_text, self._clock_ticks, self._rand_calls)
+
+    def _wal_log(self, wal_state, session, failed):
+        wal = self._wal
+        if wal is None:
+            return
+        sql_text, clock, rand = wal_state
+        tx = session.tx_id
+        durable = tx == 0  # autocommit: the statement is its own commit
+        wal.append(wal_mod.WalRecord.STMT, tx=tx, sql=sql_text,
+                   clock=clock, rand=rand, failed=failed,
+                   durability_point=durable)
+        if durable:
+            self._note_commit_point()
+
+    # -- recovery (the redo path) -----------------------------------------
+
+    def _recover_state(self, data_dir, strict=True):
+        os.makedirs(data_dir, exist_ok=True)
+        checkpoint = wal_mod.load_checkpoint(data_dir)
+        applied_lsn = 0
+        if checkpoint is not None:
+            applied_lsn = self._restore_checkpoint(checkpoint)
+        path = wal_mod.log_path(data_dir)
+        corruption = None
+        try:
+            scan = wal_mod.scan_log(path)
+        except WalCorruptionError as exc:
+            corruption = exc
+            scan = wal_mod.ScanResult(exc.clean_records, exc.offset, 0)
+        replayed = self._replay_records(scan.records, applied_lsn)
+        last_lsn = scan.records[-1].lsn if scan.records else 0
+        self._recovered_lsn = max(applied_lsn, last_lsn)
+        self._recovered_dir = data_dir
+        if os.path.exists(path) and scan.torn_bytes:
+            # a torn tail is the normal crash artifact: cut it off
+            wal_mod.truncate_log(path, scan.clean_offset)
+        self._finish_recovery()
+        self.recovery_report = {
+            "checkpoint_lsn": applied_lsn,
+            "log_records": len(scan.records),
+            "replayed_statements": replayed,
+            "torn_bytes": scan.torn_bytes,
+            "corrupt": corruption is not None,
+        }
+        if corruption is not None:
+            if strict:
+                corruption.database = self
+                raise corruption
+            # salvage mode: keep the clean prefix, drop the damage
+            wal_mod.truncate_log(path, scan.clean_offset)
+        return self
+
+    def _restore_checkpoint(self, body):
+        try:
+            tables = {}
+            for data in body.get("tables", []):
+                table = Table.from_dict(data)
+                tables[table.name] = table
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WalCorruptionError(
+                "checkpoint table snapshot is malformed (%s: %s)"
+                % (type(exc).__name__, exc)
+            )
+        with self.catalog_lock:
+            self.tables = tables
+            self.schema_version = body.get("schema_version", 0)
+        self._clock_ticks = body.get("clock", 0)
+        self._rand_seed = body.get("seed", self._rand_seed)
+        self._rand = random.Random(self._rand_seed)
+        self._rand_calls = 0
+        self._fast_forward_rand(body.get("rand", 0))
+        self._tx_counter = body.get("tx_counter", 0)
+        return body.get("lsn", 0)
+
+    def _fast_forward_rand(self, draws):
+        while self._rand_calls < draws:
+            self._rand.random()
+            self._rand_calls += 1
+
+    def _replay_records(self, records, applied_lsn):
+        """Apply the committed units of *records* above *applied_lsn*.
+
+        A unit is either one autocommit statement record or the
+        statement records of a transaction closed by a commit marker;
+        units apply in commit-LSN order.  Rolled-back and unfinished
+        transactions contribute nothing.  Records at or below the
+        watermark were already captured by the checkpoint and are
+        skipped — this is what makes double replay idempotent.
+        """
+        units = []
+        open_tx = {}
+        for rec in records:
+            if rec.lsn <= applied_lsn:
+                continue
+            if rec.op == wal_mod.WalRecord.BEGIN:
+                open_tx[rec.tx] = []
+            elif rec.op == wal_mod.WalRecord.STMT:
+                if rec.tx:
+                    open_tx.setdefault(rec.tx, []).append(rec)
+                else:
+                    units.append([rec])
+            elif rec.op == wal_mod.WalRecord.COMMIT:
+                units.append(open_tx.pop(rec.tx, []))
+            elif rec.op == wal_mod.WalRecord.ROLLBACK:
+                open_tx.pop(rec.tx, None)
+        replayed = 0
+        for unit in units:
+            for rec in unit:
+                self._replay_statement(rec)
+                replayed += 1
+        return replayed
+
+    def _replay_statement(self, rec):
+        """Re-execute one logged statement deterministically.
+
+        Bypasses SEPTIC (the statement already passed the hook when it
+        was first executed and logged) and the WAL itself (no WAL is
+        attached during recovery).
+        """
+        self._clock_ticks = rec.clock
+        self._fast_forward_rand(rec.rand)
+        stmt = _REPLAY_PARSE_MEMO.get(rec.sql)
+        if stmt is None:
+            try:
+                statements, _comments = parse_sql(rec.sql)
+            except SQLError as exc:
+                raise WalError(
+                    "WAL record %d holds unparseable SQL (%s)"
+                    % (rec.lsn, exc)
+                )
+            if len(statements) != 1:
+                raise WalError(
+                    "WAL record %d does not hold exactly one statement"
+                    % rec.lsn
+                )
+            stmt = statements[0]
+            if len(_REPLAY_PARSE_MEMO) < 4096:
+                _REPLAY_PARSE_MEMO[rec.sql] = stmt
+        try:
+            self._executor.execute(stmt, session=self._default_session)
+        except ExecutionError as exc:
+            if not rec.failed:
+                raise WalError(
+                    "replay of LSN %d diverged: original succeeded, "
+                    "replay raised %s" % (rec.lsn, exc)
+                )
+        else:
+            if rec.failed:
+                raise WalError(
+                    "replay of LSN %d diverged: original failed, "
+                    "replay succeeded" % rec.lsn
+                )
+
+    def _finish_recovery(self):
+        """Recovery epoch: no pipeline-cache entry from before the
+        restart may validate against the recovered catalog, so the
+        schema version moves past everything replay produced and the
+        cache is emptied outright."""
+        with self.catalog_lock:
+            self.schema_version += 1
+        if self.pipeline_cache is not None:
+            self.pipeline_cache.clear()
 
     # -- query pipeline --------------------------------------------------------
 
@@ -419,10 +833,11 @@ class Database(object):
                 elapsed = time.perf_counter() - start
                 with self._stats_lock:
                     self.septic_seconds_total += elapsed
+        # injected faults fire *before* execution: a statement the fault
+        # kills never ran, so it must never reach the WAL either
         try:
             if faults_mod.ACTIVE is not None:
                 faults_mod.fire("executor.step")
-            result = self._executor.execute(stmt, session=session)
         except SQLError:
             raise
         except Exception as exc:
@@ -430,6 +845,27 @@ class Database(object):
                 "engine fault during execution (%s: %s)"
                 % (type(exc).__name__, exc)
             )
+        wal_state = None
+        if wal_mod.ATTACHED and self._wal is not None:
+            wal_state = self._wal_prepare(stmt, session)
+        try:
+            result = self._executor.execute(stmt, session=session)
+        except ExecutionError:
+            # the statement failed but may have had partial effects
+            # (multi-row INSERT keeps the rows before the failing one):
+            # log it as failed so replay reproduces those effects
+            if wal_state is not None:
+                self._wal_log(wal_state, session, failed=True)
+            raise
+        except SQLError:
+            raise
+        except Exception as exc:
+            raise TransientEngineError(
+                "engine fault during execution (%s: %s)"
+                % (type(exc).__name__, exc)
+            )
+        if wal_state is not None:
+            self._wal_log(wal_state, session, failed=False)
         with self._stats_lock:
             self.statements_executed += 1
         if result.last_insert_id is not None:

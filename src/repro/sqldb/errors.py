@@ -64,6 +64,35 @@ class TransientEngineError(SQLError):
     transient = True
 
 
+class WalError(SQLError):
+    """A durability-layer failure (write-ahead log or checkpoint)."""
+
+    errno = 1030  # "Got error ... from storage engine"
+
+
+class WalCorruptionError(WalError):
+    """On-disk WAL/checkpoint state fails its integrity checks in a way a
+    crash cannot explain (bit rot mid-log, mangled checkpoint).
+
+    Torn *tails* are normal crash artifacts and never raise — they are
+    truncated during recovery.  This error is reserved for damage inside
+    the supposedly-durable prefix, which must be surfaced, not guessed
+    around.  ``clean_records`` carries the records before the damage and
+    ``database``, when recovery got that far, the engine rebuilt from
+    that clean prefix.
+    """
+
+    def __init__(self, message, offset=None, clean_records=None):
+        super().__init__(message)
+        #: byte offset of the damaged record in the log (or ``None``)
+        self.offset = offset
+        #: intact records preceding the damage
+        self.clean_records = clean_records or []
+        #: the clean-prefix :class:`repro.sqldb.engine.Database`, filled
+        #: by ``Database.recover`` before re-raising
+        self.database = None
+
+
 class QueryBlocked(SQLError):
     """Raised (to the client) when SEPTIC drops a query in prevention mode."""
 

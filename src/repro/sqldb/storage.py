@@ -27,6 +27,33 @@ class Column(object):
     def __repr__(self):
         return "Column(%r, %r)" % (self.name, self.type_name)
 
+    # -- durability (checkpoint snapshots) --------------------------------
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "type_name": self.type_name,
+            "length": self.length,
+            "not_null": self.not_null,
+            "primary_key": self.primary_key,
+            "auto_increment": self.auto_increment,
+            "default": self.default,
+            "unique": self.unique,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            data["name"],
+            data["type_name"],
+            length=data.get("length"),
+            not_null=data.get("not_null", False),
+            primary_key=data.get("primary_key", False),
+            auto_increment=data.get("auto_increment", False),
+            default=data.get("default"),
+            unique=data.get("unique", False),
+        )
+
 
 class Table(object):
     """One table: schema plus a list of row dicts (column name → value)."""
@@ -97,6 +124,53 @@ class Table(object):
         """Record a mutation done outside :meth:`insert` (UPDATE/DELETE
         paths mutate row dicts directly)."""
         self.version += 1
+
+    # -- transaction snapshots --------------------------------------------
+
+    def snapshot_state(self):
+        """Everything a ROLLBACK must restore: rows, the auto-increment
+        counter, *and* the mutable schema (ALTER TABLE edits columns in
+        place, CREATE/DROP INDEX edits the index map in place — all of
+        it must revert with the rows or a rolled-back transaction leaves
+        the schema inconsistent with the restored rows)."""
+        return (
+            [dict(row) for row in self.rows],
+            self._auto_counter,
+            list(self.columns),
+            dict(self.indexes),
+        )
+
+    def restore_state(self, state):
+        """Undo every in-place mutation since :meth:`snapshot_state`."""
+        rows, auto, columns, indexes = state
+        self.rows = [dict(row) for row in rows]
+        self._auto_counter = auto
+        self.columns = list(columns)
+        self._by_name = {col.name: col for col in self.columns}
+        self.indexes = dict(indexes)
+        self._index_cache = {}
+        self.touch()
+
+    # -- durability (checkpoint snapshots) --------------------------------
+
+    def to_dict(self):
+        """JSON-serializable full state (the checkpoint unit)."""
+        return {
+            "name": self.name,
+            "columns": [col.to_dict() for col in self.columns],
+            "rows": [dict(row) for row in self.rows],
+            "auto_counter": self._auto_counter,
+            "indexes": dict(self.indexes),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        table = cls(data["name"],
+                    [Column.from_dict(c) for c in data["columns"]])
+        table.rows = [dict(row) for row in data.get("rows", [])]
+        table._auto_counter = data.get("auto_counter", 0)
+        table.indexes = dict(data.get("indexes", {}))
+        return table
 
     # -- secondary indexes ------------------------------------------------
 

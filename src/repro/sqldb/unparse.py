@@ -228,6 +228,78 @@ def _delete(node):
     return text
 
 
+# -- DDL ----------------------------------------------------------------------
+#
+# Needed beyond diagnostics: the write-ahead log records statements as
+# canonical SQL text, and multi-statement scripts must re-serialize each
+# DDL statement individually for replay.
+
+def _column_def(cdef):
+    text = "%s %s" % (cdef.name, cdef.type_name)
+    if cdef.length is not None:
+        text += "(%d)" % cdef.length
+    if cdef.not_null:
+        text += " NOT NULL"
+    if cdef.default is not None:
+        text += " DEFAULT %s" % to_sql(cdef.default)
+    if cdef.auto_increment:
+        text += " AUTO_INCREMENT"
+    if cdef.primary_key:
+        text += " PRIMARY KEY"
+    if cdef.unique:
+        text += " UNIQUE"
+    return text
+
+
+def _create_table(node):
+    return "CREATE TABLE %s%s (%s)" % (
+        "IF NOT EXISTS " if node.if_not_exists else "",
+        node.name,
+        ", ".join(_column_def(c) for c in node.columns),
+    )
+
+
+def _drop_table(node):
+    return "DROP TABLE %s%s" % (
+        "IF EXISTS " if node.if_exists else "", node.name
+    )
+
+
+def _create_index(node):
+    return "CREATE INDEX %s ON %s (%s)" % (node.name, node.table,
+                                           node.column)
+
+
+def _drop_index(node):
+    return "DROP INDEX %s ON %s" % (node.name, node.table)
+
+
+def _alter_add_column(node):
+    return "ALTER TABLE %s ADD COLUMN %s" % (
+        node.table, _column_def(node.column_def)
+    )
+
+
+def _alter_drop_column(node):
+    return "ALTER TABLE %s DROP COLUMN %s" % (node.table, node.column)
+
+
+def _truncate_table(node):
+    return "TRUNCATE TABLE %s" % node.table
+
+
+def _begin(node):
+    return "BEGIN"
+
+
+def _commit(node):
+    return "COMMIT"
+
+
+def _rollback(node):
+    return "ROLLBACK"
+
+
 _RENDERERS = {
     ast.Literal: _literal,
     ast.Param: _param,
@@ -250,4 +322,14 @@ _RENDERERS = {
     ast.Insert: _insert,
     ast.Update: _update,
     ast.Delete: _delete,
+    ast.CreateTable: _create_table,
+    ast.DropTable: _drop_table,
+    ast.CreateIndex: _create_index,
+    ast.DropIndex: _drop_index,
+    ast.AlterTableAddColumn: _alter_add_column,
+    ast.AlterTableDropColumn: _alter_drop_column,
+    ast.TruncateTable: _truncate_table,
+    ast.Begin: _begin,
+    ast.Commit: _commit,
+    ast.Rollback: _rollback,
 }

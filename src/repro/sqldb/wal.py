@@ -1,0 +1,473 @@
+"""Write-ahead log: the durability layer of the mini-MySQL substrate.
+
+Everything the in-memory engine promises to keep after a crash flows
+through this module — nothing else in the package may touch the on-disk
+WAL or checkpoint files (a lint gate enforces it).  The design follows
+the classic redo-only WAL shape (the ``learndb`` pager is the nearest
+ancestor in the related work, but page-less: this engine's unit of
+durability is the *logical statement*, re-executed deterministically):
+
+* the **log** is a single append-only file of length-prefixed records::
+
+      record := u32 payload_length | u32 crc32(payload) | payload
+      payload := JSON {lsn, op, tx, sql, clock, rand, failed}
+
+  ``op`` is ``stmt`` for a logged statement or a ``begin`` / ``commit``
+  / ``rollback`` transaction marker.  Every record carries a strictly
+  increasing **LSN**.  ``clock`` and ``rand`` snapshot the engine's
+  virtual clock and RNG-draw count *before* the statement ran, so
+  replay of ``NOW()``/``RAND()`` is bit-identical;
+* **COMMIT is the durability point**: autocommit statements and
+  ``commit`` markers are fsynced (per-commit or batched, see *sync
+  modes* below); anything after the last fsync may be lost in a crash
+  — which is fine, because the client was never acknowledged;
+* a **torn tail** (half-written record at the end of the file, the
+  normal artifact of a kill) is detected by the length/CRC framing and
+  silently truncated on recovery.  A CRC failure *followed by more
+  valid data* cannot come from a crash — that is bit rot mid-log, and
+  it raises :class:`~repro.sqldb.errors.WalCorruptionError` instead of
+  being guessed around;
+* a **checkpoint** is a full catalog+rows snapshot written atomically
+  (tmp file + ``os.replace`` + fsync), after which the log is rotated
+  (truncated); records at or below the checkpoint LSN are dead.
+
+Hot-path contract: when no database has a WAL attached, the only cost
+production code pays is ``if wal.ATTACHED:`` — one module-attribute
+read and a falsy test, the same guard discipline as
+:mod:`repro.faults` (and benchmarked by ``bench_fault_overhead``).
+"""
+
+import json
+import os
+import struct
+import threading
+import zlib
+
+from repro import faults as faults_mod
+from repro.sqldb.errors import WalCorruptionError, WalError
+
+#: number of databases with a WAL attached, process-wide.  Durability
+#: hooks in the engine guard on this module attribute so that WAL-off
+#: mode is the exact status quo (one attribute read, nothing else).
+ATTACHED = 0
+
+_attach_lock = threading.Lock()
+
+#: record framing: little-endian u32 payload length + u32 CRC32
+_HEADER = struct.Struct("<II")
+
+#: sanity bound on one record (a length field larger than this is framing
+#: damage, not a real record)
+MAX_RECORD_BYTES = 16 * 1024 * 1024
+
+#: default file names inside a data directory
+LOG_NAME = "wal.log"
+CHECKPOINT_NAME = "checkpoint.json"
+QM_STORE_NAME = "qm_store.json"
+
+
+def _note_attached(delta):
+    global ATTACHED
+    with _attach_lock:
+        ATTACHED = max(0, ATTACHED + delta)
+
+
+def log_path(data_dir):
+    return os.path.join(data_dir, LOG_NAME)
+
+
+def checkpoint_path(data_dir):
+    return os.path.join(data_dir, CHECKPOINT_NAME)
+
+
+def qm_store_path(data_dir):
+    """Where the SEPTIC QM store co-persists with the data plane."""
+    return os.path.join(data_dir, QM_STORE_NAME)
+
+
+class WalRecord(object):
+    """One decoded log record."""
+
+    __slots__ = ("lsn", "op", "tx", "sql", "clock", "rand", "failed")
+
+    #: record kinds
+    STMT = "stmt"
+    BEGIN = "begin"
+    COMMIT = "commit"
+    ROLLBACK = "rollback"
+
+    def __init__(self, lsn, op, tx=0, sql=None, clock=0, rand=0,
+                 failed=False):
+        self.lsn = lsn
+        self.op = op
+        #: transaction id (0 = autocommit)
+        self.tx = tx
+        #: decoded statement text (``stmt`` records only)
+        self.sql = sql
+        #: virtual-clock ticks before the statement ran
+        self.clock = clock
+        #: RNG draws before the statement ran
+        self.rand = rand
+        #: the statement raised an ExecutionError (it may still have had
+        #: partial effects — MySQL keeps the rows a multi-row INSERT
+        #: managed before the failing one); replay re-runs it and
+        #: expects the same error
+        self.failed = failed
+
+    def to_payload(self):
+        body = {"lsn": self.lsn, "op": self.op}
+        if self.tx:
+            body["tx"] = self.tx
+        if self.sql is not None:
+            body["sql"] = self.sql
+            body["clock"] = self.clock
+            body["rand"] = self.rand
+        if self.failed:
+            body["failed"] = True
+        return json.dumps(body, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload):
+        body = json.loads(payload.decode("utf-8"))
+        return cls(
+            lsn=body["lsn"],
+            op=body["op"],
+            tx=body.get("tx", 0),
+            sql=body.get("sql"),
+            clock=body.get("clock", 0),
+            rand=body.get("rand", 0),
+            failed=body.get("failed", False),
+        )
+
+    def __repr__(self):
+        if self.op == self.STMT:
+            return "WalRecord(%d, stmt tx=%d, %r)" % (self.lsn, self.tx,
+                                                      (self.sql or "")[:40])
+        return "WalRecord(%d, %s tx=%d)" % (self.lsn, self.op, self.tx)
+
+
+class ScanResult(object):
+    """What :func:`scan_log` found in a log file."""
+
+    __slots__ = ("records", "clean_offset", "torn_bytes")
+
+    def __init__(self, records, clean_offset, torn_bytes):
+        #: every intact record, in file (= LSN) order
+        self.records = records
+        #: byte offset where the intact prefix ends
+        self.clean_offset = clean_offset
+        #: bytes of torn/partial tail found after the intact prefix
+        self.torn_bytes = torn_bytes
+
+
+def scan_log(path):
+    """Read every intact record of the log at *path*.
+
+    Returns a :class:`ScanResult`.  A partial record at end-of-file is a
+    torn tail (normal after a kill): scanning stops and reports the
+    clean prefix.  A CRC-failing record with more data *after* it is
+    mid-log corruption and raises :class:`WalCorruptionError` carrying
+    the clean-prefix records, so callers can still act on the undamaged
+    history.
+    """
+    if faults_mod.ACTIVE is not None:
+        faults_mod.fire("wal.recover")
+    if not os.path.exists(path):
+        return ScanResult([], 0, 0)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < _HEADER.size:
+            break  # torn header
+        length, crc = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + length
+        if length > MAX_RECORD_BYTES or end > total:
+            break  # torn payload (or length field of a torn header)
+        payload = data[offset + _HEADER.size:end]
+        damaged = (zlib.crc32(payload) & 0xFFFFFFFF) != crc
+        record = None
+        if not damaged:
+            try:
+                record = WalRecord.from_payload(payload)
+            except (ValueError, KeyError, UnicodeDecodeError):
+                damaged = True
+        if damaged:
+            if end < total:
+                raise WalCorruptionError(
+                    "WAL record at byte %d fails its checksum with valid "
+                    "data after it (mid-log corruption, not a torn tail)"
+                    % offset,
+                    offset=offset,
+                    clean_records=records,
+                )
+            break  # damaged final record == torn tail
+        records.append(record)
+        offset = end
+    return ScanResult(records, offset, total - offset)
+
+
+class WriteAheadLog(object):
+    """The append side of the log, plus checkpoint management.
+
+    *sync_mode* selects when appends become durable:
+
+    ``"commit"`` (default)
+        fsync at every durability point (each autocommit statement and
+        each COMMIT marker) — the strict, per-commit discipline;
+    ``"batch"``
+        fsync once every *batch_commits* durability points (and on
+        checkpoint/close) — group commit, the throughput option; a
+        crash may lose the tail of acknowledged-but-unsynced commits,
+        which the overhead benchmark quantifies against ``"commit"``;
+    ``"off"``
+        never fsync (tests and benchmarks only).
+    """
+
+    def __init__(self, data_dir, sync_mode="commit", batch_commits=16,
+                 start_lsn=1):
+        if sync_mode not in ("commit", "batch", "off"):
+            raise ValueError("unknown WAL sync mode %r" % sync_mode)
+        self.data_dir = data_dir
+        self.path = log_path(data_dir)
+        self.sync_mode = sync_mode
+        self.batch_commits = max(1, batch_commits)
+        self._lock = threading.RLock()
+        #: next LSN to stamp
+        self.next_lsn = start_lsn
+        #: durability points (autocommit statements + commit markers)
+        self.commits = 0
+        self._commits_since_sync = 0
+        #: bookkeeping counters (benchmarks and tests read these)
+        self.records_appended = 0
+        self.fsync_calls = 0
+        self.bytes_written = 0
+        # unbuffered: every append reaches the OS immediately, so an
+        # in-process "kill" loses nothing to user-space buffers and the
+        # fsync boundary models exactly what a real power cut loses
+        self._handle = open(self.path, "ab", buffering=0)
+        self.closed = False
+
+    # -- the append path ---------------------------------------------------
+
+    def append(self, op, tx=0, sql=None, clock=0, rand=0, failed=False,
+               durability_point=False):
+        """Append one record; returns its LSN.
+
+        With *durability_point* the record is a commit point: the log is
+        fsynced per the sync mode before returning, so the caller may
+        acknowledge the client.
+        """
+        with self._lock:
+            if self.closed:
+                raise WalError("WAL is closed")
+            if faults_mod.ACTIVE is not None:
+                faults_mod.fire("wal.append")
+            record = WalRecord(self.next_lsn, op, tx=tx, sql=sql,
+                               clock=clock, rand=rand, failed=failed)
+            payload = record.to_payload()
+            blob = _HEADER.pack(len(payload),
+                                zlib.crc32(payload) & 0xFFFFFFFF) + payload
+            self._handle.write(blob)
+            self.next_lsn += 1
+            self.records_appended += 1
+            self.bytes_written += len(blob)
+            if durability_point:
+                self.commits += 1
+                self._commits_since_sync += 1
+                if self.sync_mode == "commit" or (
+                    self.sync_mode == "batch"
+                    and self._commits_since_sync >= self.batch_commits
+                ):
+                    self.fsync()
+            return record.lsn
+
+    def fsync(self):
+        """Flush buffered appends to stable storage."""
+        with self._lock:
+            if self.closed:
+                return
+            if faults_mod.ACTIVE is not None:
+                faults_mod.fire("wal.fsync")
+            self._handle.flush()
+            if self.sync_mode != "off":
+                os.fsync(self._handle.fileno())
+            self.fsync_calls += 1
+            self._commits_since_sync = 0
+
+    @property
+    def last_lsn(self):
+        """LSN of the most recently appended record (0 when empty)."""
+        with self._lock:
+            return self.next_lsn - 1
+
+    # -- checkpoints -------------------------------------------------------
+
+    def write_checkpoint(self, state):
+        """Durably write *state* as the checkpoint, then rotate the log.
+
+        *state* must be a JSON-serializable dict; this method stamps it
+        with the current LSN frontier and a CRC32 over the canonical
+        body.  The sequence is crash-safe at every step:
+
+        1. the new checkpoint lands in a tmp file and replaces the old
+           one atomically (a kill mid-write leaves the old one valid);
+        2. only after the replace is fsynced is the log truncated (a
+           kill in between leaves stale records the replay watermark
+           skips).
+
+        Returns the checkpoint LSN.
+        """
+        with self._lock:
+            if faults_mod.ACTIVE is not None:
+                faults_mod.fire("wal.checkpoint")
+            self.fsync()
+            lsn = self.next_lsn - 1
+            body = dict(state)
+            body["lsn"] = lsn
+            blob = json.dumps(body, sort_keys=True)
+            document = {
+                "crc": zlib.crc32(blob.encode("utf-8")) & 0xFFFFFFFF,
+                "body": body,
+            }
+            target = checkpoint_path(self.data_dir)
+            tmp = target + ".tmp"
+            with open(tmp, "w") as handle:
+                json.dump(document, handle, indent=1, sort_keys=True)
+                handle.flush()
+                if self.sync_mode != "off":
+                    os.fsync(handle.fileno())
+            os.replace(tmp, target)
+            # rotate: everything <= lsn now lives in the checkpoint
+            self._handle.close()
+            with open(self.path, "wb"):
+                pass  # truncate
+            self._handle = open(self.path, "ab", buffering=0)
+            return lsn
+
+    def close(self):
+        """Flush, fsync and release the log handle (clean shutdown)."""
+        with self._lock:
+            if self.closed:
+                return
+            self.fsync()
+            self._handle.close()
+            self.closed = True
+
+    def abandon(self):
+        """Drop the log handle *without* syncing — the crash path.
+
+        Used by restart simulation: whatever reached the OS stays,
+        nothing else is made durable, exactly as if the process died.
+        """
+        with self._lock:
+            if self.closed:
+                return
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self.closed = True
+
+    def stats_dict(self):
+        with self._lock:
+            return {
+                "next_lsn": self.next_lsn,
+                "records_appended": self.records_appended,
+                "commits": self.commits,
+                "fsync_calls": self.fsync_calls,
+                "bytes_written": self.bytes_written,
+                "sync_mode": self.sync_mode,
+            }
+
+    def __repr__(self):
+        return "WriteAheadLog(%r, next_lsn=%d, %s)" % (
+            self.path, self.next_lsn, self.sync_mode
+        )
+
+
+def load_checkpoint(data_dir):
+    """The checkpoint body for *data_dir*, or ``None`` when absent.
+
+    A checkpoint whose CRC does not match is worse than none — the full
+    catalog snapshot cannot be trusted — so it raises
+    :class:`WalCorruptionError` instead of being silently skipped.
+    """
+    path = checkpoint_path(data_dir)
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except ValueError as exc:
+            raise WalCorruptionError(
+                "checkpoint file %r is not valid JSON: %s" % (path, exc)
+            )
+    try:
+        body = document["body"]
+        crc = document["crc"]
+    except (KeyError, TypeError):
+        raise WalCorruptionError(
+            "checkpoint file %r has an unexpected layout" % path
+        )
+    blob = json.dumps(body, sort_keys=True)
+    if (zlib.crc32(blob.encode("utf-8")) & 0xFFFFFFFF) != crc:
+        raise WalCorruptionError(
+            "checkpoint file %r fails its checksum" % path
+        )
+    return body
+
+
+def truncate_log(path, clean_offset):
+    """Cut a torn/corrupt tail off the log (recovery's cleanup step)."""
+    with open(path, "r+b") as handle:
+        handle.truncate(clean_offset)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+# -- raw byte access (crash simulation) ---------------------------------------
+#
+# The crash-point sweep needs the log as bytes (to kill the engine at
+# every byte boundary) and needs to plant truncated logs in victim
+# directories.  It goes through these helpers because *only this module*
+# may touch WAL files directly — the lint suite enforces that.
+
+def read_log_bytes(path):
+    """The raw bytes of the log at *path* (empty when absent)."""
+    if not os.path.exists(path):
+        return b""
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def write_log_bytes(path, data):
+    """Write *data* verbatim as a log file (crash-simulation setup)."""
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+def iter_frames(data):
+    """Yield ``(record, end_offset)`` for every intact frame in *data*.
+
+    Stops at the first damaged or partial frame (callers feed it known-
+    clean golden logs; use :func:`scan_log` for real recovery).
+    """
+    offset = 0
+    total = len(data)
+    while offset + _HEADER.size <= total:
+        length, crc = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + length
+        if length > MAX_RECORD_BYTES or end > total:
+            return
+        payload = data[offset + _HEADER.size:end]
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            return
+        try:
+            record = WalRecord.from_payload(payload)
+        except (ValueError, KeyError, UnicodeDecodeError):
+            return
+        yield record, end
+        offset = end

@@ -30,8 +30,26 @@ class WebServer(object):
                 )
         return self.app.handle(request)
 
-    def restart(self):
+    def restart(self, hard=False):
         """The demo restarts Apache when toggling ModSecurity; restarting
-        only resets counters here (state lives in the app/database)."""
+        only resets counters here (state lives in the app/database).
+
+        ``hard=True`` bounces the whole stack, DBMS included: the
+        database is rebuilt from its data directory through the
+        crash-recovery path and SEPTIC reloads its persisted query
+        models — the restart the paper performs between training and
+        normal mode, with both data and protection state surviving.
+        Requires the database to have durability attached (a no-op for
+        a purely in-memory stack).
+        """
         self.requests_served = 0
         self.requests_blocked = 0
+        if not hard:
+            return
+        database = getattr(self.app, "database", None)
+        if database is None or database.data_dir is None:
+            return
+        database.reopen()
+        septic = getattr(database, "septic", None)
+        if septic is not None and hasattr(septic, "reload_models"):
+            septic.reload_models()

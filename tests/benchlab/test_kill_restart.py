@@ -1,0 +1,66 @@
+"""Kill+restart chaos: SEPTIC model/data consistency across a crash.
+
+The paper's protection lives in learned query models; the data plane
+lives in tables.  Both must survive a DBMS kill **together** — a server
+that recovers its rows but forgets its models restarts wide open, and
+one that keeps its models over divergent data raises false positives.
+``run_kill_restart`` drives the full stack through exactly that and the
+probes pin the two behaviours that matter: a trained query is still
+served, an attack is still blocked.
+"""
+
+from repro.apps import AddressBook
+from repro.benchlab.chaos import run_kill_restart
+from repro.sqldb.errors import QueryBlocked
+
+
+TRAINED_SQL = ("SELECT c.name, c.email, c.phone, g.name FROM contacts c "
+               "LEFT JOIN ab_groups g ON c.group_id = g.id WHERE c.id = 1")
+ATTACK_SQL = ("SELECT c.name, c.email, c.phone, g.name FROM contacts c "
+              "LEFT JOIN ab_groups g ON c.group_id = g.id "
+              "WHERE c.id = 1 OR 1=1")
+
+
+def trained_query_served(server, app, septic):
+    """The canonical positive probe: the structure SEPTIC learned in
+    training must keep flowing (same call site, same shape)."""
+    out = app.php.mysql_query(TRAINED_SQL, site="view:21")
+    return ("served", out.ok, len(out.rows))
+
+
+def attack_blocked(server, app, septic):
+    """The canonical negative probe: a tautology at a trained call site
+    must be structurally rejected."""
+    out = app.php.mysql_query(ATTACK_SQL, site="view:21")
+    return ("blocked", not out.ok, isinstance(out.error, QueryBlocked))
+
+
+def test_kill_restart_is_consistent(tmp_path):
+    result = run_kill_restart(
+        AddressBook, str(tmp_path / "dd"),
+        probes=(trained_query_served, attack_blocked),
+    )
+    assert result.consistent, result
+    # the probes did what their names claim, on both sides of the kill
+    (served_before, served_after), (blocked_before, blocked_after) = \
+        result.probe_pairs
+    assert served_before == served_after
+    assert served_before[1] is True and served_before[2] == 1
+    assert blocked_before == blocked_after
+    assert blocked_before == ("blocked", True, True)
+    # substance checks: the run was not vacuously consistent
+    assert result.models_before > 0
+    assert sum(result.rows_before.values()) > 0
+    assert result.unknown_delta == 0
+    # the reloaded store carried the data plane's durability watermark
+    assert result.wal_lsn > 0
+    assert result.recovery_report["replayed_statements"] > 0 or \
+        result.recovery_report["checkpoint_lsn"] > 0
+
+
+def test_kill_restart_is_deterministic(tmp_path):
+    first = run_kill_restart(AddressBook, str(tmp_path / "a"))
+    second = run_kill_restart(AddressBook, str(tmp_path / "b"))
+    assert first.rows_after == second.rows_after
+    assert first.models_after == second.models_after
+    assert first.wal_lsn == second.wal_lsn

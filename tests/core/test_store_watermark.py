@@ -1,0 +1,107 @@
+"""QM store co-persistence with the data plane (the WAL watermark).
+
+After a crash, the reloaded model store must say *which data-plane
+state it was trained against*: every save stamps the database's durable
+LSN into the payload, loads carry it back out, and ``autosave`` makes
+each learned model durable the moment it is accepted — so a kill right
+after training loses nothing.
+"""
+
+import os
+
+from repro.core.septic import Mode, Septic, SepticConfig
+from repro.core.store import QMStore
+from repro.sqldb import wal
+from repro.sqldb.engine import Database
+
+from tests.core.test_store import qid_for
+
+
+class TestWatermark(object):
+    def test_save_stamps_the_provider_lsn(self, tmp_path):
+        path = str(tmp_path / "models.json")
+        store = QMStore(path=path, lsn_provider=lambda: 42)
+        qid, model = qid_for("SELECT a FROM t")
+        store.put(qid, model)
+        store.save()
+        fresh = QMStore(path=path)
+        fresh.load()
+        assert fresh.wal_lsn == 42
+        assert len(fresh) == 1
+
+    def test_without_provider_watermark_defaults_to_zero(self, tmp_path):
+        path = str(tmp_path / "models.json")
+        store = QMStore(path=path)
+        qid, model = qid_for("SELECT a FROM t")
+        store.put(qid, model)
+        store.save()
+        fresh = QMStore(path=path)
+        fresh.load()
+        assert fresh.wal_lsn == 0
+
+    def test_autosave_makes_every_put_durable(self, tmp_path):
+        path = str(tmp_path / "models.json")
+        store = QMStore(path=path, autosave=True, lsn_provider=lambda: 7)
+        qid, model = qid_for("SELECT a FROM t")
+        store.put(qid, model)
+        # no explicit save(): the put already reached disk
+        fresh = QMStore(path=path)
+        fresh.load()
+        assert len(fresh) == 1
+        assert fresh.wal_lsn == 7
+
+
+class TestBindStore(object):
+    def _septic(self):
+        return Septic(mode=Mode.TRAINING,
+                      config=SepticConfig.from_flags("YY"))
+
+    def test_bind_store_tracks_the_database_watermark(self, tmp_path):
+        septic = self._septic()
+        database = Database.recover(str(tmp_path), septic=septic)
+        septic.bind_store(database)
+        database.run("CREATE TABLE t (id INT)")
+        database.run("INSERT INTO t (id) VALUES (1)")
+        qid, model = qid_for("SELECT id FROM t")
+        septic.store.put(qid, model)  # autosave stamps durable_lsn
+        lsn = database.durable_lsn
+        assert lsn >= 2
+        database.close()
+        fresh = QMStore(path=wal.qm_store_path(str(tmp_path)))
+        fresh.load()
+        assert fresh.wal_lsn == lsn
+        # the explicit put is there (training also learned the DML above)
+        assert fresh.get(qid) == model
+
+    def test_bind_store_requires_a_data_dir_or_path(self):
+        septic = self._septic()
+        database = Database()  # no WAL, no data dir
+        try:
+            septic.bind_store(database)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("bind_store accepted a dir-less database")
+
+    def test_reload_models_round_trips(self, tmp_path):
+        septic = self._septic()
+        database = Database.recover(str(tmp_path), septic=septic)
+        septic.bind_store(database)
+        qid, model = qid_for("SELECT a FROM t")
+        septic.store.put(qid, model)
+        # forge amnesia, then reload from the co-persisted file
+        septic.store._models.clear()
+        assert len(septic.store) == 0
+        loaded = septic.reload_models()
+        assert loaded == 1
+        assert septic.store.get(qid) == model
+        database.close()
+
+    def test_default_store_path_lives_in_the_data_dir(self, tmp_path):
+        septic = self._septic()
+        database = Database.recover(str(tmp_path), septic=septic)
+        septic.bind_store(database)
+        qid, model = qid_for("SELECT a FROM t")
+        septic.store.put(qid, model)
+        assert os.path.exists(wal.qm_store_path(str(tmp_path)))
+        database.close()

@@ -1,0 +1,286 @@
+"""WAL mechanics: framing, torn tails, corruption, checkpoints, guards.
+
+The durability layer's unit contract, tested below the engine: records
+round-trip bit-exactly, a torn tail is a normal crash artifact (silently
+truncated), mid-log damage is bit rot (loudly surfaced), checkpoints are
+atomic at every step, and the hot path pays exactly one module-attribute
+read when no WAL is attached.
+"""
+
+import pytest
+
+from repro import faults
+from repro.sqldb import wal
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+from repro.sqldb.errors import SQLError, WalCorruptionError, WalError
+
+
+def _fill(log):
+    lsns = [
+        log.append(wal.WalRecord.STMT, sql="INSERT INTO t (v) VALUES (1)",
+                   clock=0, rand=0, durability_point=True),
+        log.append(wal.WalRecord.BEGIN, tx=1),
+        log.append(wal.WalRecord.STMT, tx=1, sql="UPDATE t SET v = 2",
+                   clock=1, rand=0),
+        log.append(wal.WalRecord.COMMIT, tx=1, durability_point=True),
+    ]
+    return lsns
+
+
+class TestFraming(object):
+    def test_records_round_trip(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path))
+        _fill(log)
+        log.close()
+        scan = wal.scan_log(wal.log_path(str(tmp_path)))
+        assert [r.lsn for r in scan.records] == [1, 2, 3, 4]
+        assert scan.records[0].op == wal.WalRecord.STMT
+        assert scan.records[0].tx == 0
+        assert scan.records[2].sql == "UPDATE t SET v = 2"
+        assert scan.records[2].clock == 1
+        assert scan.records[3].op == wal.WalRecord.COMMIT
+        assert scan.torn_bytes == 0
+
+    def test_lsns_strictly_increase(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path), start_lsn=7)
+        lsns = _fill(log)
+        log.close()
+        assert lsns == [7, 8, 9, 10]
+        assert log.last_lsn == 10
+
+    def test_missing_log_scans_empty(self, tmp_path):
+        scan = wal.scan_log(str(tmp_path / "absent.log"))
+        assert scan.records == [] and scan.clean_offset == 0
+
+    def test_failed_flag_round_trips(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path))
+        log.append(wal.WalRecord.STMT, sql="INSERT ...", failed=True,
+                   durability_point=True)
+        log.close()
+        scan = wal.scan_log(wal.log_path(str(tmp_path)))
+        assert scan.records[0].failed is True
+
+
+class TestTornTail(object):
+    def test_every_truncation_point_is_a_clean_prefix(self, tmp_path):
+        """Cutting the log at ANY byte yields the records fully
+        contained in the prefix — never an error, never a phantom."""
+        log = wal.WriteAheadLog(str(tmp_path))
+        _fill(log)
+        log.close()
+        path = wal.log_path(str(tmp_path))
+        data = wal.read_log_bytes(path)
+        boundaries = [end for _r, end in wal.iter_frames(data)]
+        for offset in range(len(data) + 1):
+            torn = str(tmp_path / "torn.log")
+            wal.write_log_bytes(torn, data[:offset])
+            scan = wal.scan_log(torn)
+            expected = sum(1 for b in boundaries if b <= offset)
+            assert len(scan.records) == expected
+            assert scan.clean_offset <= offset
+            assert scan.torn_bytes == offset - scan.clean_offset
+
+    def test_truncate_log_removes_the_tail(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path))
+        _fill(log)
+        log.close()
+        path = wal.log_path(str(tmp_path))
+        data = wal.read_log_bytes(path)
+        wal.write_log_bytes(path, data + b"\x07\x03")  # torn garbage
+        scan = wal.scan_log(path)
+        assert scan.torn_bytes == 2
+        wal.truncate_log(path, scan.clean_offset)
+        assert wal.read_log_bytes(path) == data
+
+
+class TestMidLogCorruption(object):
+    def test_bit_flip_with_data_after_raises(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path))
+        _fill(log)
+        log.close()
+        path = wal.log_path(str(tmp_path))
+        data = bytearray(wal.read_log_bytes(path))
+        boundaries = [end for _r, end in wal.iter_frames(bytes(data))]
+        # flip one payload byte of the SECOND record (valid data follows)
+        data[boundaries[0] + 12] ^= 0x40
+        wal.write_log_bytes(path, bytes(data))
+        with pytest.raises(WalCorruptionError) as info:
+            wal.scan_log(path)
+        assert info.value.offset == boundaries[0]
+        assert [r.lsn for r in info.value.clean_records] == [1]
+        assert isinstance(info.value, SQLError)  # a clear engine error
+
+    def test_bit_flip_in_final_record_is_a_torn_tail(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path))
+        _fill(log)
+        log.close()
+        path = wal.log_path(str(tmp_path))
+        data = bytearray(wal.read_log_bytes(path))
+        data[-1] ^= 0x01
+        wal.write_log_bytes(path, bytes(data))
+        scan = wal.scan_log(path)  # no raise: a crash can explain this
+        assert [r.lsn for r in scan.records] == [1, 2, 3]
+        assert scan.torn_bytes > 0
+
+
+class TestCheckpoint(object):
+    def test_checkpoint_round_trip_and_rotation(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path))
+        _fill(log)
+        lsn = log.write_checkpoint({"tables": [], "schema_version": 3})
+        assert lsn == 4
+        body = wal.load_checkpoint(str(tmp_path))
+        assert body["lsn"] == 4 and body["schema_version"] == 3
+        # rotated: the log is empty, new appends continue the LSN chain
+        assert wal.read_log_bytes(wal.log_path(str(tmp_path))) == b""
+        assert log.append(wal.WalRecord.STMT, sql="X",
+                          durability_point=True) == 5
+        log.close()
+
+    def test_damaged_checkpoint_refuses_to_load(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path))
+        log.write_checkpoint({"tables": []})
+        log.close()
+        path = wal.checkpoint_path(str(tmp_path))
+        with open(path) as handle:  # test-only: forging bit rot
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text.replace('"lsn"', '"lsm"'))
+        with pytest.raises(WalCorruptionError):
+            wal.load_checkpoint(str(tmp_path))
+
+    def test_missing_checkpoint_is_none(self, tmp_path):
+        assert wal.load_checkpoint(str(tmp_path)) is None
+
+
+class TestSyncModes(object):
+    def test_commit_mode_fsyncs_every_durability_point(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path), sync_mode="commit")
+        for _ in range(5):
+            log.append(wal.WalRecord.STMT, sql="X", durability_point=True)
+        assert log.fsync_calls == 5
+        log.close()
+
+    def test_batch_mode_groups_commits(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path), sync_mode="batch",
+                                batch_commits=4)
+        for _ in range(11):
+            log.append(wal.WalRecord.STMT, sql="X", durability_point=True)
+        assert log.fsync_calls == 2  # after the 4th and 8th commit
+        log.close()  # close drains the tail
+        assert log.fsync_calls == 3
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            wal.WriteAheadLog(str(tmp_path), sync_mode="yolo")
+
+    def test_closed_log_rejects_appends(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path))
+        log.close()
+        with pytest.raises(WalError):
+            log.append(wal.WalRecord.STMT, sql="X")
+
+
+class TestAttachGuards(object):
+    def test_attached_counter_tracks_databases(self, tmp_path):
+        base = wal.ATTACHED
+        db = Database.recover(str(tmp_path / "a"))
+        assert wal.ATTACHED == base + 1
+        db2 = Database.recover(str(tmp_path / "b"))
+        assert wal.ATTACHED == base + 2
+        db.close()
+        db2.close()
+        assert wal.ATTACHED == base
+        db.close()  # idempotent: a second close must not double-count
+        assert wal.ATTACHED == base
+
+    def test_double_attach_rejected(self, tmp_path):
+        db = Database.recover(str(tmp_path / "a"))
+        try:
+            with pytest.raises(WalError):
+                db.attach_wal(str(tmp_path / "b"))
+        finally:
+            db.close()
+
+    def test_attach_over_unread_state_rejected(self, tmp_path):
+        first = Database.recover(str(tmp_path))
+        first.run("CREATE TABLE t (id INT)")
+        first.close()
+        fresh = Database()
+        with pytest.raises(WalError):
+            fresh.attach_wal(str(tmp_path))
+
+    def test_attach_during_transaction_rejected(self, tmp_path):
+        db = Database()
+        db.run("CREATE TABLE t (id INT)")
+        db.begin()
+        with pytest.raises(WalError):
+            db.attach_wal(str(tmp_path))
+        db.rollback()
+
+
+class TestFaultSites(object):
+    """The four wal.* fault sites must actually gate the durability
+    path, and an injected crash must surface as a clean SQLError to the
+    client while the committed prefix stays recoverable."""
+
+    def _durable_db(self, tmp_path):
+        db = Database.recover(str(tmp_path))
+        db.run("CREATE TABLE t (id INT AUTO_INCREMENT PRIMARY KEY, "
+               "v VARCHAR(10))")
+        db.run("INSERT INTO t (v) VALUES ('safe')")
+        return db
+
+    def test_append_crash_is_contained_and_prefix_survives(self, tmp_path):
+        db = self._durable_db(tmp_path)
+        conn = Connection(db)
+        plan = faults.FaultPlan(seed=0)
+        plan.inject("wal.append", faults.FaultKind.RAISE, times=1)
+        with faults.armed(plan):
+            outcome = conn.query("INSERT INTO t (v) VALUES ('lost')")
+        assert not outcome.ok
+        assert isinstance(outcome.error, SQLError)
+        assert plan.hits_by_site.get("wal.append")
+        db.close()
+        recovered = Database.recover(str(tmp_path))
+        values = [row["v"] for row in recovered.table("t").rows]
+        assert values == ["safe"]  # unacknowledged row not resurrected
+        recovered.close()
+
+    def test_fsync_crash_is_contained(self, tmp_path):
+        db = self._durable_db(tmp_path)
+        conn = Connection(db)
+        plan = faults.FaultPlan(seed=0)
+        plan.inject("wal.fsync", faults.FaultKind.RAISE, times=1)
+        with faults.armed(plan):
+            outcome = conn.query("INSERT INTO t (v) VALUES ('maybe')")
+        assert not outcome.ok
+        assert plan.hits_by_site.get("wal.fsync")
+        db.close()
+
+    def test_checkpoint_crash_leaves_old_state_valid(self, tmp_path):
+        db = self._durable_db(tmp_path)
+        plan = faults.FaultPlan(seed=0)
+        plan.inject("wal.checkpoint", faults.FaultKind.RAISE, times=1)
+        with faults.armed(plan):
+            with pytest.raises(Exception):
+                db.checkpoint()
+        db.close()
+        recovered = Database.recover(str(tmp_path))
+        assert [row["v"] for row in recovered.table("t").rows] == ["safe"]
+        recovered.close()
+
+    def test_recover_site_fires_during_scan(self, tmp_path):
+        db = self._durable_db(tmp_path)
+        db.close()
+        plan = faults.FaultPlan(seed=0)
+        plan.inject("wal.recover", faults.FaultKind.RAISE, times=1)
+        with faults.armed(plan):
+            with pytest.raises(Exception):
+                Database.recover(str(tmp_path))
+        assert plan.hits_by_site.get("wal.recover")
+        # disarmed, the same directory recovers fine
+        recovered = Database.recover(str(tmp_path))
+        assert len(recovered.table("t")) == 1
+        recovered.close()

@@ -58,6 +58,34 @@ class TestCommands(object):
         assert os.path.exists(store)
         assert "models" in text
 
+    def test_train_with_data_dir_is_durable(self, tmp_path):
+        data_dir = str(tmp_path / "dd")
+        code, text = run_cli(["train", "--data-dir", data_dir,
+                              "--passes", "1"])
+        assert code == 0
+        assert "durable LSN" in text
+        assert os.path.exists(os.path.join(data_dir, "wal.log"))
+        assert os.path.exists(os.path.join(data_dir, "qm_store.json"))
+
+    def test_recover_round_trips_a_trained_data_dir(self, tmp_path):
+        data_dir = str(tmp_path / "dd")
+        code, text = run_cli(["train", "--data-dir", data_dir,
+                              "--passes", "1"])
+        assert code == 0
+        trained_lsn = int(text.split("durable LSN ")[1].split(")")[0])
+        code, text = run_cli(["recover", "--data-dir", data_dir])
+        assert code == 0
+        assert "statements replayed:" in text
+        assert "rows" in text  # the data plane came back
+        # the co-persisted models carry the data plane's watermark
+        assert "wal_lsn %d" % trained_lsn in text
+        models = int(text.split("QM models loaded:")[1].split("(")[0])
+        assert models > 0
+
+    def test_recover_requires_data_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recover"])
+
     def test_status(self):
         code, text = run_cli(["status"])
         assert code == 0

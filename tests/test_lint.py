@@ -136,6 +136,77 @@ def _fire_site_literals():
     return sites
 
 
+#: on-disk names of the durability files — only wal.py may know them
+_WAL_FILE_LITERALS = ("wal.log", "checkpoint.json")
+#: path helpers whose results must never feed a raw ``open()``
+_WAL_PATH_HELPERS = ("log_path", "checkpoint_path", "qm_store_path")
+
+
+def _wal_access_violations(path):
+    """WAL encapsulation check for one file: no literal WAL/checkpoint
+    file names, and no ``open()`` over the wal module's path helpers.
+    Everything durable must go through :mod:`repro.sqldb.wal`'s API, so
+    framing, CRC and fsync discipline cannot be bypassed piecemeal."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    rel = os.path.relpath(path, REPO_ROOT)
+    problems = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value in _WAL_FILE_LITERALS):
+            problems.append(
+                "%s:%d: literal %r — only repro/sqldb/wal.py may name "
+                "WAL/checkpoint files" % (rel, node.lineno, node.value)
+            )
+        if not isinstance(node, ast.Call):
+            continue
+        name = getattr(node.func, "attr", None) or getattr(
+            node.func, "id", None)
+        if name != "open":
+            continue
+        for arg in node.args:
+            for inner in ast.walk(arg):
+                if not isinstance(inner, ast.Call):
+                    continue
+                helper = getattr(inner.func, "attr", None) or getattr(
+                    inner.func, "id", None)
+                if helper in _WAL_PATH_HELPERS:
+                    problems.append(
+                        "%s:%d: open(%s(...)) — WAL/checkpoint files may "
+                        "only be opened inside repro/sqldb/wal.py"
+                        % (rel, node.lineno, helper)
+                    )
+    return problems
+
+
+def test_wal_files_only_touched_by_wal_module():
+    wal_py = os.path.abspath(
+        os.path.join(SRC_ROOT, "repro", "sqldb", "wal.py"))
+    problems = []
+    for path in _python_files(SRC_ROOT):
+        if os.path.abspath(path) == wal_py:
+            continue
+        problems.extend(_wal_access_violations(path))
+    assert problems == [], "\n".join(problems)
+
+
+def test_wal_access_gate_catches_violations(tmp_path):
+    """The encapsulation check must actually detect both bypass shapes."""
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "from repro.sqldb import wal\n"
+        "def peek(data_dir):\n"
+        "    with open(wal.log_path(data_dir), 'rb') as handle:\n"
+        "        return handle.read()\n"
+        "NAME = 'wal.log'\n"
+    )
+    problems = _wal_access_violations(str(bad))
+    assert len(problems) == 2
+    assert any("open(log_path(...))" in p for p in problems)
+    assert any("literal 'wal.log'" in p for p in problems)
+
+
 def test_fault_sites_are_lint_covered():
     """The faults package rides the same gates as everything else, and
     the wired injection sites agree with the declared KNOWN_SITES."""
