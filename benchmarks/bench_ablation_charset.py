@@ -71,6 +71,8 @@ def test_ablation_charset_artifact(report, benchmark):
         "the numeric-context channel needs no decoding and survives —\n"
         "it is an application bug no decoder can absolve."
     )
+    report.metric("mysql_like_channels_open", sum(mysql_like), "channels")
+    report.metric("strict_decoder_channels_open", sum(strict), "channels")
     # mysql-like: all three channels open
     assert mysql_like == (True, True, True)
     # strict: decoding channels closed, numeric context still open

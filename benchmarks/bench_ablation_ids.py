@@ -78,6 +78,8 @@ def test_ablation_external_ids_artifact(report, benchmark):
         "being dropped; stored-injection plugins are ID-independent and\n"
         "keep blocking."
     )
+    report.metric("attacks_blocked_with_ids", with_blocked, "attacks")
+    report.metric("attacks_blocked_without_ids", wo_blocked, "attacks")
     # with IDs: every viable attack blocked, none succeed
     assert with_blocked == len(waspmon_attacks()) - len(SELF_DEFEATING)
     assert with_success == 0

@@ -45,10 +45,15 @@ def test_crash_sweep_artifact(report, benchmark):
         report.line("%s  (%.1fs)" % (format_sweep_result(result), elapsed))
     report.line()
     total_offsets = sum(r.offsets_tested for r, _t in results)
+    lost_or_phantom = sum(len(r.mismatches) for r, _t in results)
     report.line("total: %d recoveries across %d workloads, "
                 "%d lost-or-phantom states" % (
-                    total_offsets, len(results),
-                    sum(len(r.mismatches) for r, _t in results)))
+                    total_offsets, len(results), lost_or_phantom))
+    report.metric("crash_recoveries", total_offsets, "recoveries")
+    report.metric("lost_or_phantom_states", lost_or_phantom, "states")
+    report.metric("index_mismatches_post_recovery",
+                  sum(len(r.index_mismatches) for r, _t in results),
+                  "mismatches")
 
     for result, _elapsed in results:
         assert result.ok, format_sweep_result(result)

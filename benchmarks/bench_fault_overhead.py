@@ -129,6 +129,8 @@ def test_fault_overhead_artifact(report, benchmark):
                                bound_us))
     report.line("disarmed overhead:  %.3f%% of the %.2f us warm query "
                 "(must be < 2%%)" % (bound_pct, disarmed_us))
+    report.metric("disarmed_guard_overhead", round(bound_pct, 4), "%")
+    report.metric("warm_query_disarmed", round(disarmed_us, 3), "us")
 
     # the watch plan must have seen the wired sites (coverage proof)
     assert hits.get("cache.lookup", 0) > 0
@@ -196,6 +198,7 @@ def test_wal_disabled_overhead_artifact(report, benchmark):
                 "per query" % (guards_per_query, guard_ns, bound_us))
     report.line("disabled overhead:  %.3f%% of the warm query "
                 "(must be < 2%%)" % bound_pct)
+    report.metric("wal_disabled_overhead", round(bound_pct, 4), "%")
 
     # acceptance: the disabled durability layer costs < 2% of the warm
     # cached query path — WAL-off mode is the status quo

@@ -37,6 +37,8 @@ def test_figure2_artifact(report, benchmark):
     report.line()
     report.line("Figure 2(b) — query model (QM):")
     report.line(qm.render())
+    report.metric("qs_nodes", len(qs), "nodes")
+    report.metric("qm_nodes", len(qm), "nodes")
     assert len(qs) == len(qm) == 9
 
 

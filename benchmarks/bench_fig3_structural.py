@@ -47,6 +47,7 @@ def test_figure3_artifact(report, benchmark):
     report.line()
     report.line("detection: %s at step %d (%s)" % (
         detection.attack_type, detection.step, detection.detail))
+    report.metric("detection_step", detection.step, "step")
     assert detection.is_attack and detection.step == 1
     assert len(attack_qs) == 5 and len(model) == 9
 

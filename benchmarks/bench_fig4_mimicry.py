@@ -45,6 +45,7 @@ def test_figure4_artifact(report, benchmark):
                 % (len(attack_qs), len(model)))
     report.line("detection: %s at step %d (%s)" % (
         detection.attack_type, detection.step, detection.detail))
+    report.metric("detection_step", detection.step, "step")
     assert detection.is_attack and detection.step == 2
     assert len(attack_qs) == len(model) == 9
 

@@ -33,6 +33,10 @@ def test_figure5_artifact(report, benchmark):
             for app in sorted(table)
         ],
     )
+    for app in sorted(table):
+        for config in configs:
+            report.metric("overhead_%s_%s" % (app, config),
+                          round(table[app][config] * 100, 3), "%")
     report.line()
     report.line("paper reports: NN=0.5%  YN=0.8%  YY=2.2%")
     report.line()

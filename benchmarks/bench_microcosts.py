@@ -27,6 +27,30 @@ def _stack():
     return validate(parse_one(SQL))
 
 
+def test_microcosts_artifact(report):
+    """Headline stage costs (min-of-5, 200 calls per sample)."""
+    import time
+
+    def cost(fn, *args):
+        best = None
+        for _ in range(5):
+            start = time.perf_counter()
+            for _ in range(200):
+                fn(*args)
+            sample = (time.perf_counter() - start) / 200
+            best = sample if best is None else min(best, sample)
+        return best
+
+    stack = _stack()
+    qs = QueryStructure.from_stack(stack)
+    qs_us = 1e6 * cost(QueryStructure.from_stack, stack)
+    qm_us = 1e6 * cost(QueryModel.from_structure, qs)
+    report.line("E8 micro-costs — QS build %.2f us, QM build %.2f us"
+                % (qs_us, qm_us))
+    report.metric("qs_build", round(qs_us, 3), "us")
+    report.metric("qm_build", round(qm_us, 3), "us")
+
+
 def test_bench_qs_build(benchmark):
     stack = _stack()
     assert len(benchmark(QueryStructure.from_stack, stack)) == len(stack)

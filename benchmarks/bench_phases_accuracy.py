@@ -87,6 +87,10 @@ def test_phases_artifact(report, benchmark):
     # related work: the outside-the-DBMS proxy misses every channel that
     # only materializes after DBMS decoding, plus all stored injection
     assert firewall_fn > waf_fn
+    report.metric("septic_false_negatives", septic_fn, "attacks")
+    report.metric("septic_false_positives", matrix["false_positives"],
+                  "queries")
+    report.metric("waf_false_negatives", waf_fn, "attacks")
     # phase D/E: SEPTIC blocks everything, no false positives
     assert septic_fn == 0
     assert matrix["false_positives"] == 0

@@ -169,6 +169,9 @@ def test_pipeline_cache_artifact(report, benchmark):
                  threaded_queries / threaded_elapsed if threaded_elapsed
                  else 0.0))
 
+    report.metric("warm_vs_cold_speedup", round(speedup, 2), "x")
+    report.metric("warm_hit_rate", round(cache_stats["hit_rate"], 4),
+                  "fraction")
     assert errors == []
     assert stats["queries_processed"] == expected_processed
     assert stats["attacks_detected"] == expected_attacks

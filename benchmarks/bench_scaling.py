@@ -32,6 +32,12 @@ def test_scaling_artifact(report, benchmark):
     )
     latencies = [res.avg_latency for _, _, res in rows]
     throughputs = [res.throughput for _, _, res in rows]
+    report.metric("avg_latency_1_browser", round(latencies[0] * 1e3, 3),
+                  "ms")
+    report.metric("avg_latency_20_browsers",
+                  round(latencies[-1] * 1e3, 3), "ms")
+    report.metric("throughput_20_browsers", round(throughputs[-1], 1),
+                  "req/s")
     # light-load region: 1..4 browsers fit in the 8-worker pool, latency
     # stays flat (within 50%) while throughput scales near-linearly
     assert max(latencies[:4]) < min(latencies[:4]) * 1.5

@@ -76,6 +76,7 @@ def test_table1_artifact(report, benchmark):
         ],
         widths=[12, 6, 6, 8, 6, 11, 5, 6, 6],
     )
+    report.metric("modes_observed", len(rows), "modes")
     by_mode = {row["mode"]: row for row in rows}
     training = by_mode[Mode.TRAINING]
     assert training["qm_training"] and training["exec"]

@@ -106,6 +106,10 @@ def test_wal_overhead_artifact(report, benchmark):
                 % (commit_stats["fsync_calls"],
                    batch_stats["fsync_calls"]))
 
+    for key in ("commit", "batch", "off"):
+        if key in results and base:
+            report.metric("wal_%s_vs_baseline" % key,
+                          round(results[key][0] / base, 3), "x")
     # every mode wrote the same workload…
     assert all(count == WRITES for _t, count, _s in results.values())
     # …and the sync disciplines did what they claim (counts are exact):

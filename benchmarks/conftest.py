@@ -3,25 +3,55 @@
 Each ``bench_*`` file regenerates one table/figure of the paper.  Besides
 timing (pytest-benchmark), every bench PRINTS the paper-shaped rows and
 writes them to ``benchmarks/out/<name>.txt`` so the artefacts survive
-output capturing.
+output capturing.  Headline numbers registered with ``report.metric()``
+are additionally written to ``benchmarks/out/BENCH_<name>.json`` as a
+list of ``{bench, metric, value, unit, commit}`` records, so runs are
+diffable across commits.
 """
 
+import json
 import os
+import subprocess
 
 import pytest
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 
+def _current_commit():
+    """The checked-out commit hash, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
 class Report(object):
-    """Collects the lines of one regenerated artefact."""
+    """Collects the lines (and headline metrics) of one artefact."""
 
     def __init__(self, name):
         self.name = name
         self.lines = []
+        self.metrics = []
 
     def line(self, text=""):
         self.lines.append(text)
+
+    def metric(self, metric, value, unit):
+        """Register one headline number for the JSON sidecar."""
+        self.metrics.append({
+            "bench": self.name,
+            "metric": metric,
+            "value": value,
+            "unit": unit,
+        })
 
     def table(self, headers, rows, widths=None):
         widths = widths or [max(12, len(h) + 2) for h in headers]
@@ -36,6 +66,14 @@ class Report(object):
         path = os.path.join(OUT_DIR, self.name + ".txt")
         with open(path, "w") as handle:
             handle.write(text + "\n")
+        if self.metrics:
+            commit = _current_commit()
+            records = [dict(record, commit=commit)
+                       for record in self.metrics]
+            json_path = os.path.join(OUT_DIR, "BENCH_%s.json" % self.name)
+            with open(json_path, "w") as handle:
+                json.dump(records, handle, indent=1, sort_keys=True)
+                handle.write("\n")
         print("\n" + "=" * 70)
         print("ARTEFACT %s (saved to %s)" % (self.name, path))
         print("=" * 70)

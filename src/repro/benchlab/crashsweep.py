@@ -23,7 +23,11 @@ Workloads include DDL (CREATE/ALTER/INDEX/TRUNCATE/DROP), transactions
 (committed and rolled back), a SEPTIC-blocked statement mid-transaction
 (must never resurrect — it never reached the executor), a failing
 multi-row INSERT with partial effects, and ``NOW()``/``RAND()`` to
-exercise deterministic replay of the environment functions.
+exercise deterministic replay of the environment functions.  An indexed
+table with insert/update/delete churn rides along, and every recovered
+victim additionally passes :func:`verify_index_consistency` — each live
+index must agree with a fresh full scan, or the recovery counts as a
+mismatch even when the row digest matches.
 """
 
 import json
@@ -37,6 +41,7 @@ from repro.sqldb import wal as wal_mod
 from repro.sqldb.connection import Connection
 from repro.sqldb.engine import Database
 from repro.sqldb.errors import QueryBlocked
+from repro.sqldb.types import sort_key
 
 
 class MarkerSeptic(object):
@@ -66,6 +71,42 @@ def state_digest(database):
     }
     blob = json.dumps(body, sort_keys=True)
     return sha1(blob.encode("utf-8")).hexdigest()
+
+
+def verify_index_consistency(database):
+    """Cross-check every live index of *database* against a full scan.
+
+    For each indexed column: every distinct key's ``index_lookup`` must
+    return exactly the rows a fresh scan finds for that key, and the
+    open-ended ``index_range`` must return exactly the non-NULL rows.
+    Returns a list of human-readable problem strings (empty = healthy).
+    Rows are compared by identity — an index that returns equal-looking
+    copies instead of the table's own row objects is still broken.
+    """
+    problems = []
+    for name in sorted(database.tables):
+        table = database.tables[name]
+        for column in sorted(table.indexed_columns()):
+            by_key = {}
+            for row in table.rows:
+                by_key.setdefault(sort_key(row.get(column)), []).append(row)
+            for expected in by_key.values():
+                value = expected[0].get(column)
+                got = table.index_lookup(column, value)
+                if sorted(map(id, got)) != sorted(map(id, expected)):
+                    problems.append(
+                        "%s.%s: lookup(%r) -> %d rows, scan -> %d"
+                        % (name, column, value, len(got), len(expected))
+                    )
+            non_null = [row for row in table.rows
+                        if row.get(column) is not None]
+            ranged = table.index_range(column)
+            if sorted(map(id, ranged)) != sorted(map(id, non_null)):
+                problems.append(
+                    "%s.%s: open range -> %d rows, scan -> %d"
+                    % (name, column, len(ranged), len(non_null))
+                )
+    return problems
 
 
 def generate_workload(seed):
@@ -104,6 +145,23 @@ def generate_workload(seed):
                      "DEFAULT 'ok'"))
     ops.append(("q", "CREATE INDEX idx_name ON items (name)"))
     ops.append(("q", insert()))
+    # an indexed table with churn: inserts, an update that moves rows
+    # between index buckets, a delete, and a NULL key — the sweep
+    # cross-checks every recovered index against a full scan
+    ops.append(("q", "CREATE TABLE ledger (acct INT, amount INT, "
+                     "tag VARCHAR(10))"))
+    ops.append(("q", "CREATE INDEX idx_acct ON ledger (acct)"))
+    for _ in range(3):
+        ops.append(("q", "INSERT INTO ledger (acct, amount, tag) "
+                         "VALUES (%d, %d, '%s')"
+                         % (rng.randrange(4), rng.randrange(100),
+                            rng.choice(names)[:4])))
+    ops.append(("q", "UPDATE ledger SET acct = acct + 1 "
+                     "WHERE amount > 40"))
+    ops.append(("q", "INSERT INTO ledger (acct, amount, tag) "
+                     "VALUES (NULL, %d, 'nil')" % rng.randrange(9)))
+    ops.append(("q", "DELETE FROM ledger WHERE acct = %d"
+                     % rng.randrange(4)))
     # a second table: create, fill, truncate, drop
     ops.append(("q", "CREATE TABLE scratch (k INT, v VARCHAR(10))"))
     ops.append(("q", "INSERT INTO scratch (k, v) VALUES (%d, 'tmp')"
@@ -186,10 +244,10 @@ class SweepResult(object):
 
     __slots__ = ("seed", "log_bytes", "offsets_tested",
                  "durability_points", "blocked", "mismatches",
-                 "checkpointed")
+                 "index_mismatches", "checkpointed")
 
     def __init__(self, seed, log_bytes, offsets_tested, durability_points,
-                 blocked, mismatches, checkpointed):
+                 blocked, mismatches, checkpointed, index_mismatches=()):
         self.seed = seed
         self.log_bytes = log_bytes
         self.offsets_tested = offsets_tested
@@ -197,11 +255,14 @@ class SweepResult(object):
         self.blocked = blocked
         #: (offset, expected_index) pairs where recovery diverged
         self.mismatches = mismatches
+        #: (offset, problem) pairs where a recovered index disagreed
+        #: with a full scan
+        self.index_mismatches = list(index_mismatches)
         self.checkpointed = checkpointed
 
     @property
     def ok(self):
-        return not self.mismatches
+        return not self.mismatches and not self.index_mismatches
 
     def __repr__(self):
         return ("SweepResult(seed=%r, %d bytes, %d offsets, %d commits, "
@@ -239,6 +300,7 @@ def run_crash_sweep(workdir, seed, checkpoint_after=None, stride=1):
     checkpointed = os.path.exists(checkpoint_src)
     victim_dir = os.path.join(workdir, "victim-%s" % seed)
     mismatches = []
+    index_mismatches = []
     for offset in offsets:
         shutil.rmtree(victim_dir, ignore_errors=True)
         os.makedirs(victim_dir)
@@ -250,12 +312,15 @@ def run_crash_sweep(workdir, seed, checkpoint_after=None, stride=1):
         expected = base_index + bisect_right(ends, offset)
         recovered = Database.recover(victim_dir, seed=seed)
         digest = state_digest(recovered)
+        for problem in verify_index_consistency(recovered):
+            index_mismatches.append((offset, problem))
         recovered.close()
         if digest != run.digests[expected]:
             mismatches.append((offset, expected))
     shutil.rmtree(victim_dir, ignore_errors=True)
     return SweepResult(seed, len(data), len(offsets), len(ends),
-                       run.blocked, mismatches, checkpointed)
+                       run.blocked, mismatches, checkpointed,
+                       index_mismatches=index_mismatches)
 
 
 def format_sweep_result(result):
@@ -265,5 +330,6 @@ def format_sweep_result(result):
         "%d durability points, %d blocked statements, checkpoint=%s -> %s"
         % (result.seed, result.log_bytes, result.offsets_tested,
            result.durability_points, result.blocked, result.checkpointed,
-           "OK" if result.ok else "%d MISMATCHES" % len(result.mismatches))
+           "OK" if result.ok else "%d MISMATCHES"
+           % (len(result.mismatches) + len(result.index_mismatches)))
     )

@@ -10,7 +10,20 @@ configurations (NN / YN / NY / YY), reporting average-latency overheads.
 
 ``run_scaling_experiment`` reproduces the §II-F ramp: 1→4 machines with
 one browser each, then 8/12/16/20 browsers on four machines.
+
+``run_concurrent_read_experiment`` measures the engine's statement-level
+lock hierarchy: it classifies a real workload with the engine's own
+:func:`repro.sqldb.engine.lock_plan`, measures each statement's real
+single-threaded service time, then replays N virtual workers through a
+discrete-event model of the reader–writer locks
+(:class:`LockContentionModel`).  Virtual time is what makes the result
+deterministic and GIL-independent: under the GIL, real threads cannot
+overlap CPU-bound statements, so wall-clock timing would show ~1× no
+matter how good the locking is — the model shows the *schedule* the
+lock hierarchy admits.
 """
+
+import time
 
 from repro.benchlab.machines import BrowserClient, NetworkLink, ServerMachine
 from repro.benchlab.simulation import Simulator
@@ -18,6 +31,7 @@ from repro.benchlab.workload import workload_for
 from repro.core.logger import SepticLogger
 from repro.core.septic import Mode, Septic, SepticConfig
 from repro.sqldb.engine import Database
+from repro.sqldb.parser import parse_sql
 from repro.web.server import WebServer
 
 #: SEPTIC detection configurations of Figure 5 (None = original MySQL)
@@ -196,3 +210,234 @@ def run_scaling_experiment(app_class, loops=5, workers=8, repeats=1):
         result = runs[len(runs) // 2]
         rows.append((machines * per_machine, machines, result))
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Lock-contention model (the concurrent read path experiment)
+# ---------------------------------------------------------------------------
+
+
+class _VirtualRWLock(object):
+    """A reader–writer lock in virtual time.
+
+    Mirrors :class:`repro.core.resilience.RWLock` semantics — shared
+    readers, exclusive writers, writer preference, FIFO among waiting
+    writers — but grants happen on the simulator's clock instead of a
+    condition variable, so a schedule of thousands of statements plays
+    out in microseconds of real time and is bit-for-bit reproducible.
+    """
+
+    __slots__ = ("simulator", "readers", "writer", "queue",
+                 "grants", "contended")
+
+    def __init__(self, simulator):
+        self.simulator = simulator
+        self.readers = 0
+        self.writer = False
+        #: FIFO of (shared, callback) waiting for the lock
+        self.queue = []
+        self.grants = 0
+        self.contended = 0
+
+    def acquire(self, shared, callback):
+        if not self.queue:
+            if shared and not self.writer:
+                self.readers += 1
+                self.grants += 1
+                self.simulator.schedule(0.0, callback)
+                return
+            if not shared and not self.writer and self.readers == 0:
+                self.writer = True
+                self.grants += 1
+                self.simulator.schedule(0.0, callback)
+                return
+        self.contended += 1
+        self.queue.append((shared, callback))
+
+    def release(self, shared):
+        if shared:
+            self.readers -= 1
+        else:
+            self.writer = False
+        self._drain()
+
+    def _drain(self):
+        # grant the queue head; consecutive readers at the head are
+        # granted together (they overlap), a writer at the head waits
+        # for the lock to empty and then holds it alone
+        while self.queue:
+            shared, callback = self.queue[0]
+            if shared:
+                if self.writer:
+                    return
+                self.queue.pop(0)
+                self.readers += 1
+                self.grants += 1
+                self.simulator.schedule(0.0, callback)
+            else:
+                if self.writer or self.readers:
+                    return
+                self.queue.pop(0)
+                self.writer = True
+                self.grants += 1
+                self.simulator.schedule(0.0, callback)
+                return
+
+
+class LockContentionModel(object):
+    """Virtual-time replay of statements through an engine lock plan.
+
+    One :class:`_VirtualRWLock` per resource (the catalog plus each
+    table), acquired in the engine's global order — the same order
+    :class:`repro.sqldb.engine.LockManager` uses, so the admitted
+    schedule is the one the real engine would admit if its statements
+    ran on truly parallel cores.
+    """
+
+    CATALOG = "~catalog"
+
+    def __init__(self, simulator):
+        self.simulator = simulator
+        self._locks = {}
+        self.statements_done = 0
+
+    def resource(self, name):
+        lock = self._locks.get(name)
+        if lock is None:
+            lock = _VirtualRWLock(self.simulator)
+            self._locks[name] = lock
+        return lock
+
+    def run_statement(self, plan, service_time, done):
+        """Acquire *plan*'s locks in order, hold them for
+        *service_time* virtual seconds, release, then call *done*."""
+        if plan is None:
+            resources = []
+        else:
+            resources = [(self.CATALOG, plan.catalog_shared)]
+            resources.extend(plan.tables)
+
+        def acquire_next(index):
+            if index == len(resources):
+                self.simulator.schedule(service_time, finish)
+                return
+            name, shared = resources[index]
+            self.resource(name).acquire(
+                shared, lambda: acquire_next(index + 1)
+            )
+
+        def finish():
+            for name, shared in reversed(resources):
+                self.resource(name).release(shared)
+            self.statements_done += 1
+            done()
+
+        acquire_next(0)
+
+    def lock_stats(self):
+        return {
+            name: {"grants": lock.grants, "contended": lock.contended}
+            for name, lock in sorted(self._locks.items())
+        }
+
+
+class ContentionResult(object):
+    """Outcome of one :func:`run_concurrent_read_experiment` run."""
+
+    __slots__ = ("lock_mode", "workers", "statements", "makespan",
+                 "service_total", "lock_stats")
+
+    def __init__(self, lock_mode, workers, statements, makespan,
+                 service_total, lock_stats):
+        self.lock_mode = lock_mode
+        self.workers = workers
+        self.statements = statements
+        #: virtual seconds from first issue to last completion
+        self.makespan = makespan
+        #: sum of single-threaded service times (the serial floor)
+        self.service_total = service_total
+        self.lock_stats = lock_stats
+
+    @property
+    def throughput(self):
+        if self.makespan <= 0:
+            return 0.0
+        return self.statements / self.makespan
+
+    def speedup_vs(self, baseline):
+        """Aggregate-throughput ratio against another run."""
+        if baseline.throughput == 0:
+            return 0.0
+        return self.throughput / baseline.throughput
+
+    def __repr__(self):
+        return ("ContentionResult(%s, %d workers, %d stmts, "
+                "makespan=%.6f)" % (self.lock_mode, self.workers,
+                                    self.statements, self.makespan))
+
+
+def run_concurrent_read_experiment(setup_sql, workload, workers=8,
+                                   loops=5, lock_mode="shared",
+                                   service_times=None):
+    """Replay *workload* on *workers* virtual threads under the engine's
+    lock hierarchy and report the admitted schedule.
+
+    *setup_sql* seeds a real :class:`Database` (built with *lock_mode*);
+    each statement of *workload* is parsed once, classified with the
+    engine's own lock-plan logic, and its single-threaded service time
+    is measured live (pass *service_times*, one float per workload
+    statement, to pin them — benchmarks comparing two modes should
+    measure once and pin both runs to the same times).  Then *workers*
+    virtual threads each run the workload *loops* times through
+    :class:`LockContentionModel` and the makespan of the whole schedule
+    is measured in virtual time.
+
+    Returns a :class:`ContentionResult`.
+    """
+    database = Database(lock_mode=lock_mode)
+    if setup_sql:
+        database.seed(setup_sql)
+    plans = []
+    measured = []
+    for index, sql in enumerate(workload):
+        statements, _comments = parse_sql(sql)
+        if len(statements) != 1:
+            raise ValueError("workload entries must hold one statement: %r"
+                             % sql)
+        plans.append(database._lock_plan_for(statements[0]))
+        if service_times is not None:
+            measured.append(service_times[index])
+        else:
+            start = time.perf_counter()
+            database.run(sql)
+            measured.append(max(time.perf_counter() - start, 1e-7))
+    simulator = Simulator()
+    model = LockContentionModel(simulator)
+    script = [(plans[i], measured[i]) for i in range(len(workload))]
+    total = {"statements": 0}
+    completion = {"last": 0.0}
+
+    def start_worker(items):
+        def run_next(index):
+            if index == len(items):
+                completion["last"] = max(completion["last"], simulator.now)
+                return
+            plan, service = items[index]
+            model.run_statement(plan, service,
+                                lambda: advance(index))
+
+        def advance(index):
+            total["statements"] += 1
+            run_next(index + 1)
+
+        run_next(0)
+
+    for worker in range(workers):
+        # stagger issue order deterministically without changing load
+        items = list(script) * loops
+        simulator.schedule(worker * 1e-9, start_worker, items)
+    simulator.run()
+    return ContentionResult(
+        lock_mode, workers, total["statements"], completion["last"],
+        sum(measured) * workers * loops, model.lock_stats(),
+    )

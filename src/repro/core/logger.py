@@ -8,9 +8,8 @@ register showing every action taken (query model creation, query
 processing, attack detection); ``verbose=True`` enables that behaviour.
 """
 
-import threading
-
 from repro import faults as faults_mod
+from repro.core.resilience import make_lock
 
 
 class EventKind(object):
@@ -109,7 +108,7 @@ class SepticLogger(object):
         #: discarded), exposed so operators can tell the register is lossy
         self.dropped_events = 0
         self._sequence = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock()
 
     def log(self, kind, **fields):
         if faults_mod.ACTIVE is not None:

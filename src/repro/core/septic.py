@@ -23,8 +23,6 @@ circuit breaker, and converted into the configured fail-policy outcome —
 run detection-style (see :mod:`repro.core.resilience`).
 """
 
-import threading
-
 from repro import faults as faults_mod
 from repro.core import resilience
 from repro.core.detector import AttackDetector, AttackType
@@ -100,7 +98,7 @@ class SepticStats(object):
     __slots__ = _COUNTERS + ("_lock",)
 
     def __init__(self):
-        self._lock = threading.Lock()
+        self._lock = resilience.make_lock()
         for name in self._COUNTERS:
             setattr(self, name, 0)
 

@@ -41,6 +41,27 @@ def _crc(model):
     return zlib.crc32(model.canonical().encode("utf-8")) & 0xFFFFFFFF
 
 
+class _ReadView(object):
+    """One immutable copy-on-write snapshot of the store's lookup state.
+
+    Readers load ``store._reads`` once (a single atomic reference read)
+    and then see a mutually-consistent ``models``/``by_external``/
+    ``fingerprints`` trio, no matter how many writers swap new views in
+    underneath.  Views are never mutated after publication — writers
+    build a fresh one under the store lock and assign it in one step.
+    """
+
+    __slots__ = ("models", "by_external", "fingerprints")
+
+    def __init__(self, models, by_external, fingerprints):
+        self.models = models
+        self.by_external = by_external
+        self.fingerprints = fingerprints
+
+
+_EMPTY_VIEW = _ReadView({}, {}, {})
+
+
 class QMStore(object):
     """In-memory store of learned query models with JSON persistence.
 
@@ -83,6 +104,25 @@ class QMStore(object):
         #: the WAL watermark read back by the last load (0 = none)
         self.wal_lsn = 0
         self._lock = threading.RLock()
+        #: the published immutable read view; swapped (never mutated)
+        #: by every completed write, so the SEPTIC hot read path needs
+        #: no lock at all
+        self._reads = _EMPTY_VIEW
+        #: read views published so far (testability/observability)
+        self.snapshot_swaps = 0
+
+    def _publish(self):
+        """Swap in a fresh read view (caller holds the lock).
+
+        The copy makes writes O(n) in store size, which is the right
+        trade here: models are learned once per distinct query (rare
+        after warm-up) while every processed query reads."""
+        self._reads = _ReadView(
+            dict(self._models),
+            {ext: tuple(fulls) for ext, fulls in self._by_external.items()},
+            dict(self._fingerprints),
+        )
+        self.snapshot_swaps += 1
 
     def __len__(self):
         return len(self._models)
@@ -93,12 +133,14 @@ class QMStore(object):
     def get(self, query_id):
         """The model stored under the full ID, or ``None``.
 
+        Lock-free: reads one published :class:`_ReadView` reference.
         When integrity verification is active (``paranoid`` or a fault
         plan armed), a fingerprint mismatch triggers journal recovery
         instead of returning the damaged model.
         """
         full = query_id.value
-        model = self._models.get(full)
+        view = self._reads
+        model = view.models.get(full)
         if model is None:
             return None
         verify = self.paranoid
@@ -107,22 +149,25 @@ class QMStore(object):
                                     faults_mod.corrupt_model)
             verify = True
         if verify:
-            fingerprint = self._fingerprints.get(full)
+            fingerprint = view.fingerprints.get(full)
             if fingerprint is not None and _fingerprint(model) != fingerprint:
                 model = self._recover(full)
         return model
 
     def models_for_external(self, external):
-        """All models learned for an external identifier (call site)."""
+        """All models learned for an external identifier (call site).
+
+        Lock-free: a single read view gives a consistent pairing of the
+        external index and the model table."""
         if external is None:
             return []
-        with self._lock:
-            models = [
-                self._models.get(full)
-                for full in self._by_external.get(external, [])
-            ]
-            # recovery may have dropped unrecoverable entries; skip them
-            return [model for model in models if model is not None]
+        view = self._reads
+        models = [
+            view.models.get(full)
+            for full in view.by_external.get(external, ())
+        ]
+        # recovery may have dropped unrecoverable entries; skip them
+        return [model for model in models if model is not None]
 
     def put(self, query_id, model):
         """Store *model* under *query_id*.
@@ -154,6 +199,7 @@ class QMStore(object):
                 self._by_external.setdefault(query_id.external, []).append(
                     full
                 )
+            self._publish()
             if self.autosave and self._path is not None:
                 self.save()
             return True
@@ -164,10 +210,10 @@ class QMStore(object):
             self._by_external.clear()
             self._fingerprints.clear()
             del self._journal[:]
+            self._publish()
 
     def ids(self):
-        with self._lock:
-            return sorted(self._models)
+        return sorted(self._reads.models)
 
     # -- integrity & recovery ----------------------------------------------
 
@@ -189,6 +235,7 @@ class QMStore(object):
                 self._fingerprints[full] = _fingerprint(model)
                 self.recoveries += 1
                 callback = self.on_recover
+                self._publish()
                 break
             else:
                 # unrecoverable: forget the entry (and its external index)
@@ -197,6 +244,7 @@ class QMStore(object):
                 for fulls in self._by_external.values():
                     if full in fulls:
                         fulls.remove(full)
+                self._publish()
                 return None
         if callback is not None:
             callback(full)
@@ -255,6 +303,7 @@ class QMStore(object):
                 self._fingerprints[full] = _fingerprint(model)
                 if external is not None:
                     self._by_external.setdefault(external, []).append(full)
+            self._publish()
             return len(self._models)
 
     # -- persistence -------------------------------------------------------
@@ -356,6 +405,7 @@ class QMStore(object):
                 for full, model in models.items()
             ]
             self.load_rejected += len(rejected)
+            self._publish()
             return len(self._models)
 
 

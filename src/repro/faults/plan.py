@@ -35,9 +35,8 @@ the seeded RNG makes corruptions reproducible run to run.
 """
 
 import random
-import threading
 
-from repro.core.resilience import HOOK_CLOCK
+from repro.core.resilience import HOOK_CLOCK, make_lock
 
 
 class FaultKind(object):
@@ -114,7 +113,7 @@ class FaultPlan(object):
     def __init__(self, seed=0):
         self.rng = random.Random(seed)
         self._specs = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock()
         #: total faults injected (raise/flaky raises, hangs, corruptions)
         self.injected = 0
         #: site name -> times :func:`fire` was reached there

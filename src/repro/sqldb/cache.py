@@ -34,10 +34,10 @@ Correctness notes:
   UNION handling), and prepared statements clone before binding.
 """
 
-import threading
 from collections import OrderedDict
 
 from repro import faults as faults_mod
+from repro.core.resilience import make_lock
 
 
 class SepticMemo(object):
@@ -94,7 +94,7 @@ class PipelineCache(object):
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._entries = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0

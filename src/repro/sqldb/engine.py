@@ -31,6 +31,7 @@ import time
 from datetime import datetime, timedelta
 
 from repro import faults as faults_mod
+from repro.core import resilience
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb import charset as charset_mod
 from repro.sqldb import wal as wal_mod
@@ -67,6 +68,156 @@ _DURABLE_STATEMENTS = (
 #: parsed statements are immutable once built (the pipeline cache
 #: already shares them across sessions), so sharing here is safe.
 _REPLAY_PARSE_MEMO = {}
+
+#: statements that read but never mutate table or catalog state
+_READ_STATEMENTS = (ast.Select, ast.Explain, ast.ShowTables, ast.Describe)
+
+#: statements that rewrite the catalog itself (schema changes)
+_DDL_STATEMENTS = (
+    ast.CreateTable, ast.DropTable,
+    ast.CreateIndex, ast.DropIndex,
+    ast.AlterTableAddColumn, ast.AlterTableDropColumn,
+)
+
+#: transaction control — Session.begin/rollback do their own locking
+_TX_STATEMENTS = (ast.Begin, ast.Commit, ast.Rollback)
+
+
+def referenced_tables(node, found=None):
+    """Every table name an AST subtree references, lowercased.
+
+    Generic slot walk over :class:`repro.sqldb.ast_nodes.Node` trees —
+    collects :class:`TableRef` names anywhere (FROM lists, joins,
+    subqueries in any clause) plus the string ``table`` attributes DML
+    and DDL statements carry.
+    """
+    if found is None:
+        found = set()
+    if isinstance(node, (list, tuple)):
+        for item in node:
+            referenced_tables(item, found)
+        return found
+    if not isinstance(node, ast.Node):
+        return found
+    if isinstance(node, ast.TableRef):
+        found.add(node.name.lower())
+        return found
+    if isinstance(node, ast.ColumnRef):
+        # a column's qualifier may be a FROM-clause *alias*, not a
+        # table — the real table always appears as a TableRef anyway
+        return found
+    table = getattr(node, "table", None)
+    if isinstance(table, str):
+        found.add(table.lower())
+    for field in node._fields():
+        referenced_tables(getattr(node, field, None), found)
+    return found
+
+
+class LockPlan(object):
+    """What one statement must hold while executing: the catalog lock
+    mode plus per-table modes, pre-sorted into the global acquisition
+    order (catalog first, then tables by name) so any set of concurrent
+    statements acquires resources in one total order — deadlock free."""
+
+    __slots__ = ("catalog_shared", "tables")
+
+    def __init__(self, catalog_shared, tables=()):
+        self.catalog_shared = catalog_shared
+        self.tables = tuple(sorted(tables))
+
+    def __repr__(self):
+        return "LockPlan(catalog=%s, tables=%r)" % (
+            "S" if self.catalog_shared else "X", self.tables
+        )
+
+
+def lock_plan(stmt):
+    """Classify *stmt* into its :class:`LockPlan`.
+
+    * reads (SELECT/EXPLAIN/SHOW/DESCRIBE): catalog shared + every
+      referenced table shared — concurrent reads fully overlap;
+    * DML (INSERT/UPDATE/DELETE/TRUNCATE): catalog shared, the target
+      table exclusive, tables referenced by subqueries shared;
+    * DDL: catalog exclusive (conflicts with everything — every other
+      statement holds the catalog at least shared);
+    * BEGIN/COMMIT/ROLLBACK: ``None`` — :class:`Session` takes the
+      catalog lock itself around snapshot/restore.
+
+    Unknown statement kinds get the conservative catalog-exclusive
+    plan.
+    """
+    if isinstance(stmt, _TX_STATEMENTS):
+        return None
+    if isinstance(stmt, _DDL_STATEMENTS):
+        return LockPlan(catalog_shared=False)
+    if isinstance(stmt, _READ_STATEMENTS):
+        tables = referenced_tables(stmt)
+        return LockPlan(True, [(name, True) for name in tables])
+    if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete,
+                         ast.TruncateTable)):
+        target = stmt.table.lower()
+        tables = [(target, False)]
+        for name in referenced_tables(stmt):
+            if name != target:
+                tables.append((name, True))
+        return LockPlan(True, tables)
+    return LockPlan(catalog_shared=False)
+
+
+class LockManager(object):
+    """The engine's two-level reader–writer lock hierarchy.
+
+    One catalog :class:`~repro.core.resilience.RWLock` plus one per
+    table, created on demand and acquired strictly in plan order.
+    Locks are scoped to a single statement — never held across
+    statements, so a stuck client cannot convoy the server.  The
+    legacy ``Database.catalog_lock`` RLock remains underneath as a
+    short-critical-section guard for catalog dict mutations; this
+    layer is what makes *statements* overlap or exclude each other.
+    """
+
+    def __init__(self):
+        self.catalog = resilience.RWLock()
+        self._tables = {}
+        self._registry_lock = resilience.make_lock()
+
+    def table_lock(self, name):
+        with self._registry_lock:
+            lock = self._tables.get(name)
+            if lock is None:
+                lock = resilience.RWLock()
+                self._tables[name] = lock
+            return lock
+
+    def acquire(self, plan):
+        self.catalog.acquire(plan.catalog_shared)
+        for name, shared in plan.tables:
+            self.table_lock(name).acquire(shared)
+
+    def release(self, plan):
+        for name, shared in reversed(plan.tables):
+            self.table_lock(name).release(shared)
+        self.catalog.release(plan.catalog_shared)
+
+    def stats(self):
+        """Aggregate + per-resource counters (the benches read these)."""
+        with self._registry_lock:
+            tables = dict(self._tables)
+        per_table = {name: lock.state_dict()
+                     for name, lock in tables.items()}
+        out = {
+            "catalog": self.catalog.state_dict(),
+            "tables": per_table,
+            "read_acquires": self.catalog.read_acquires,
+            "write_acquires": self.catalog.write_acquires,
+            "contended": self.catalog.contended,
+        }
+        for state in per_table.values():
+            out["read_acquires"] += state["read_acquires"]
+            out["write_acquires"] += state["write_acquires"]
+            out["contended"] += state["contended"]
+        return out
 
 
 class QueryContext(object):
@@ -130,12 +281,18 @@ class Session(object):
         if self._tx_snapshot is not None:
             self.commit()  # implicit commit, like MySQL
         db = self.database
-        with db.catalog_lock:
-            catalog = dict(db.tables)
-            states = {
-                name: table.snapshot_state()
-                for name, table in catalog.items()
-            }
+        # a BEGIN snapshot must be statement-consistent across every
+        # table: take the catalog exclusively so no statement overlaps
+        db.lock_manager.catalog.acquire_write()
+        try:
+            with db.catalog_lock:
+                catalog = dict(db.tables)
+                states = {
+                    name: table.snapshot_state()
+                    for name, table in catalog.items()
+                }
+        finally:
+            db.lock_manager.catalog.release_write()
         self._tx_snapshot = (catalog, states)
         db._tx_sessions.add(self)
         if wal_mod.ATTACHED and db._wal is not None:
@@ -163,19 +320,25 @@ class Session(object):
             return  # ROLLBACK outside a transaction is a no-op
         catalog, states = snapshot
         db = self.database
-        with db.catalog_lock:
-            catalog_changed = set(db.tables) != set(catalog)
-            # restore the catalog: tables created mid-transaction are
-            # dropped, tables dropped mid-transaction reappear
-            db.tables = dict(catalog)
-            schema_reverted = False
-            for name, state in states.items():
-                table = db.tables[name]
-                if table.columns != state[2] or table.indexes != state[3]:
-                    schema_reverted = True  # undoing in-place DDL
-                table.restore_state(state)
-            if catalog_changed or schema_reverted:
-                db.bump_schema_version()
+        # restoring rewrites every table: exclude all other statements
+        db.lock_manager.catalog.acquire_write()
+        try:
+            with db.catalog_lock:
+                catalog_changed = set(db.tables) != set(catalog)
+                # restore the catalog: tables created mid-transaction
+                # are dropped, tables dropped mid-transaction reappear
+                db.tables = dict(catalog)
+                schema_reverted = False
+                for name, state in states.items():
+                    table = db.tables[name]
+                    if (table.columns != state[2]
+                            or table.indexes != state[3]):
+                        schema_reverted = True  # undoing in-place DDL
+                    table.restore_state(state)
+                if catalog_changed or schema_reverted:
+                    db.bump_schema_version()
+        finally:
+            db.lock_manager.catalog.release_write()
         if wal_mod.ATTACHED and db._wal is not None and self.tx_id:
             db._wal.append(wal_mod.WalRecord.ROLLBACK, tx=self.tx_id)
         self.tx_id = 0
@@ -204,8 +367,18 @@ class Database(object):
     _EPOCH = "2016-07-05 12:00:00"
 
     def __init__(self, name="repro", septic=None, charset="utf8", seed=1,
-                 septic_fail_open=False, cache_size=512):
+                 septic_fail_open=False, cache_size=512,
+                 lock_mode="shared"):
         self.name = name
+        #: ``"shared"`` (default) uses the table-granular reader–writer
+        #: hierarchy — concurrent SELECTs overlap; ``"exclusive"`` makes
+        #: every statement take the catalog lock exclusively, i.e. the
+        #: old fully-serialized engine, kept as the benchmark baseline.
+        if lock_mode not in ("shared", "exclusive"):
+            raise ValueError("lock_mode must be 'shared' or 'exclusive'")
+        self.lock_mode = lock_mode
+        #: statement-scope RW locks (catalog + per table)
+        self.lock_manager = LockManager()
         #: policy when the SEPTIC hook itself crashes (not a QueryBlocked):
         #: fail-closed (default) re-raises and the query does not execute;
         #: fail-open logs nothing and lets the query through — the classic
@@ -502,6 +675,19 @@ class Database(object):
     def wal(self):
         return self._wal
 
+    def _lock_plan_for(self, stmt):
+        """The statement's lock plan under the configured mode.
+
+        ``exclusive`` mode degrades every plan to catalog-exclusive —
+        exactly one statement in the engine at a time, the serialized
+        baseline the concurrency benchmarks compare against."""
+        plan = lock_plan(stmt)
+        if plan is None:
+            return None
+        if self.lock_mode == "exclusive":
+            return LockPlan(catalog_shared=False)
+        return plan
+
     def _next_tx_id(self):
         with self._stats_lock:
             self._tx_counter += 1
@@ -547,6 +733,10 @@ class Database(object):
     # -- recovery (the redo path) -----------------------------------------
 
     def _recover_state(self, data_dir, strict=True):
+        # lock state is volatile: a restart leaves no holder alive, so
+        # recovery starts from a fresh hierarchy (reopen() relies on
+        # this — a lock held at crash time must not survive the bounce)
+        self.lock_manager = LockManager()
         os.makedirs(data_dir, exist_ok=True)
         checkpoint = wal_mod.load_checkpoint(data_dir)
         applied_lsn = 0
@@ -845,27 +1035,34 @@ class Database(object):
                 "engine fault during execution (%s: %s)"
                 % (type(exc).__name__, exc)
             )
-        wal_state = None
-        if wal_mod.ATTACHED and self._wal is not None:
-            wal_state = self._wal_prepare(stmt, session)
+        plan = self._lock_plan_for(stmt)
+        if plan is not None:
+            self.lock_manager.acquire(plan)
         try:
-            result = self._executor.execute(stmt, session=session)
-        except ExecutionError:
-            # the statement failed but may have had partial effects
-            # (multi-row INSERT keeps the rows before the failing one):
-            # log it as failed so replay reproduces those effects
+            wal_state = None
+            if wal_mod.ATTACHED and self._wal is not None:
+                wal_state = self._wal_prepare(stmt, session)
+            try:
+                result = self._executor.execute(stmt, session=session)
+            except ExecutionError:
+                # the statement failed but may have had partial effects
+                # (multi-row INSERT keeps the rows before the failing
+                # one): log it as failed so replay reproduces them
+                if wal_state is not None:
+                    self._wal_log(wal_state, session, failed=True)
+                raise
+            except SQLError:
+                raise
+            except Exception as exc:
+                raise TransientEngineError(
+                    "engine fault during execution (%s: %s)"
+                    % (type(exc).__name__, exc)
+                )
             if wal_state is not None:
-                self._wal_log(wal_state, session, failed=True)
-            raise
-        except SQLError:
-            raise
-        except Exception as exc:
-            raise TransientEngineError(
-                "engine fault during execution (%s: %s)"
-                % (type(exc).__name__, exc)
-            )
-        if wal_state is not None:
-            self._wal_log(wal_state, session, failed=False)
+                self._wal_log(wal_state, session, failed=False)
+        finally:
+            if plan is not None:
+                self.lock_manager.release(plan)
         with self._stats_lock:
             self.statements_executed += 1
         if result.last_insert_id is not None:

@@ -1,11 +1,24 @@
-"""Statement execution against the in-memory storage engine."""
+"""Statement execution against the in-memory storage engine.
+
+The planner here is deliberately small but real: single-table (and join
+probe-side) predicates resolve to ``eq`` (hash bucket) or ``range``
+(bisect) index access, equi-joins build a hash table on the smaller
+side (falling back to nested loops for non-equi or type-incompatible
+keys), and ORDER BY fused with LIMIT runs as a heap top-k instead of a
+full sort.  Every choice is observable: ``EXPLAIN`` reports the access
+type (``ALL``/``ref``/``range``/``hash``) and :attr:`Executor.plan_stats`
+counts which strategies actually ran.
+"""
+
+import functools
+import heapq
 
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.errors import ExecutionError
 from repro.sqldb.expression import EvalContext, evaluate, _agg_key
 from repro.sqldb.functions import is_aggregate
 from repro.sqldb.storage import Column, ResultSet
-from repro.sqldb.types import compare, is_truthy, sort_key
+from repro.sqldb.types import compare, is_truthy, sort_key, type_class
 
 
 class ExecutionResult(object):
@@ -37,6 +50,16 @@ class Executor(object):
 
     def __init__(self, database):
         self._db = database
+        #: planner toggles — the benchmarks flip these to measure the
+        #: legacy strategies against the indexed ones on equal footing
+        self.enable_hash_join = True
+        self.enable_topk = True
+        #: counts of the strategies that actually ran (plan testability)
+        self.plan_stats = {
+            "index_eq": 0, "index_range": 0, "full_scans": 0,
+            "hash_joins": 0, "nested_loop_joins": 0,
+            "topk_orders": 0, "full_sorts": 0,
+        }
 
     # -- entry point -----------------------------------------------------
 
@@ -90,9 +113,7 @@ class Executor(object):
         if isinstance(stmt, ast.TruncateTable):
             table = self._db.table(stmt.table)
             removed = len(table.rows)
-            table.rows = []
-            table._auto_counter = 0   # TRUNCATE resets AUTO_INCREMENT
-            table.touch()
+            table.truncate()   # also resets AUTO_INCREMENT
             return ExecutionResult(affected_rows=removed)
         raise ExecutionError("cannot execute %r" % type(stmt).__name__)
 
@@ -211,16 +232,23 @@ class Executor(object):
                     seen.add(key)
                     deduped.append((src, out))
             pairs = deduped
-        # ORDER BY
-        if stmt.order_by and not skip_order_limit:
-            pairs = self._order(stmt, pairs, columns, ctx)
-        # LIMIT
+        # LIMIT bounds (evaluated up front so ORDER BY can fuse with them)
+        count = offset = None
         if stmt.limit is not None and not skip_order_limit:
-            count = int(evaluate(stmt.limit.count, ctx))
+            count = max(int(evaluate(stmt.limit.count, ctx)), 0)
             offset = 0
             if stmt.limit.offset is not None:
                 offset = int(evaluate(stmt.limit.offset, ctx))
-            pairs = pairs[offset : offset + max(count, 0)]
+        # ORDER BY — a heap top-k when a LIMIT bounds the output
+        if stmt.order_by and not skip_order_limit:
+            if count is not None and offset >= 0 and self.enable_topk:
+                pairs = self._order_topk(stmt, pairs, columns, ctx,
+                                         offset + count)
+            else:
+                pairs = self._order(stmt, pairs, columns, ctx)
+        # LIMIT
+        if count is not None:
+            pairs = pairs[offset : offset + count]
         return ResultSet(columns, [out for _, out in pairs])
 
     def _table_rows(self, ref, ctx, outer_row):
@@ -257,34 +285,58 @@ class Executor(object):
             base = {} if outer_row is None else dict(outer_row)
             return [base], []
         first = stmt.tables[0]
-        if (
-            len(stmt.tables) == 1
-            and not stmt.joins
-            and not isinstance(first, ast.DerivedTable)
-        ):
-            narrowed = self._index_narrowed_rows(first, stmt.where,
-                                                 outer_row)
-            if narrowed is not None:
-                return narrowed
-        rows, columns = self._table_rows(stmt.tables[0], ctx, outer_row)
+        alias_map = self._alias_map(stmt)
+        single = len(stmt.tables) == 1 and not stmt.joins
+        rows = columns = None
+        if not isinstance(first, ast.DerivedTable):
+            plan = self._access_plan(first, stmt.where,
+                                     allow_unqualified=single)
+            if plan is not None:
+                rows, columns = self._plan_rows(first, plan, outer_row)
+        if rows is None:
+            rows, columns = self._table_rows(first, ctx, outer_row)
+            if not isinstance(first, ast.DerivedTable):
+                self.plan_stats["full_scans"] += 1
         for ref in stmt.tables[1:]:
             right_rows, right_cols = self._table_rows(ref, ctx, outer_row)
             rows = [
                 _merge(a, b) for a in rows for b in right_rows
             ]
             columns += right_cols
+        left_aliases = {alias for alias, _ in columns}
         for join in stmt.joins:
             right_rows, right_cols = self._table_rows(join.table, ctx,
                                                       outer_row)
-            rows = self._apply_join(join, rows, right_rows, right_cols, ctx)
+            rows = self._apply_join(join, rows, right_rows, right_cols,
+                                    ctx, left_aliases, alias_map)
             columns += right_cols
+            left_aliases |= {alias for alias, _ in right_cols}
         return rows, columns
 
-    def _indexable_predicate(self, ref, where):
-        """Find ``col = literal`` usable through an index on *ref*.
+    def _alias_map(self, stmt):
+        """alias → catalog Table (``None`` for derived tables)."""
+        mapping = {}
+        for ref in list(stmt.tables) + [join.table for join in stmt.joins]:
+            if isinstance(ref, ast.DerivedTable):
+                mapping[ref.alias.lower()] = None
+            else:
+                alias = (ref.alias or ref.name).lower()
+                mapping[alias] = self._db.tables.get(ref.name.lower())
+        return mapping
 
-        Looks at the WHERE expression itself or the operands of a
-        top-level AND; returns ``(column, value)`` or ``None``.
+    def _access_plan(self, ref, where, allow_unqualified=True):
+        """Choose the access path for *ref* from the WHERE clause.
+
+        Walks the flattened operands of (arbitrarily nested) AND chains
+        and returns ``("eq", column, value)`` for an index bucket probe,
+        ``("range", column, low, high, low_incl, high_incl)`` for a
+        bisect scan, or ``None`` for a full scan.  Equality wins over
+        range.  Unqualified column refs are only trusted when the caller
+        says the statement is unambiguous (single table, no joins) —
+        with joins in scope, only ``alias.column`` predicates narrow the
+        probe side.  Narrowing is always a superset of the WHERE match
+        (the full predicate still filters afterwards), so a declined
+        plan costs a scan, never correctness.
         """
         if where is None:
             return None
@@ -293,26 +345,45 @@ class Executor(object):
             return None
         indexed = table.indexed_columns()
         alias = (ref.alias or ref.name).lower()
-        candidates = [where]
-        if isinstance(where, ast.Cond) and where.op == "AND":
-            candidates = where.operands
-        for expr in candidates:
-            pair = _equality_pair(expr, alias)
-            if pair is not None and pair[0] in indexed:
-                return pair
+        range_plan = None
+        for expr in _and_operands(where):
+            pair = _equality_pair(expr, alias, allow_unqualified)
+            if (pair is not None and pair[0] in indexed
+                    and _literal_fits_column(table, pair[0], pair[1])):
+                return ("eq",) + pair
+            if range_plan is None:
+                bounds = _range_bounds(expr, alias, allow_unqualified)
+                if (bounds is not None and bounds[0] in indexed
+                        and all(value is None
+                                or _literal_fits_column(table, bounds[0],
+                                                        value)
+                                for value in (bounds[1], bounds[2]))):
+                    range_plan = ("range",) + bounds
+        return range_plan
+
+    def _indexable_predicate(self, ref, where, allow_unqualified=True):
+        """``(column, value)`` when an equality plan exists (legacy
+        shim over :meth:`_access_plan`)."""
+        plan = self._access_plan(ref, where, allow_unqualified)
+        if plan is not None and plan[0] == "eq":
+            return plan[1], plan[2]
         return None
 
-    def _index_narrowed_rows(self, ref, where, outer_row):
-        """Single-table index access path, or ``None`` for a full scan."""
-        pair = self._indexable_predicate(ref, where)
-        if pair is None:
-            return None
-        column, value = pair
+    def _plan_rows(self, ref, plan, outer_row):
+        """Materialize source rows through the chosen index plan."""
         table = self._db.table(ref.name)
         alias = (ref.alias or ref.name).lower()
         columns = [(alias, col.name) for col in table.columns]
+        if plan[0] == "eq":
+            stored_rows = table.index_lookup(plan[1], plan[2])
+            self.plan_stats["index_eq"] += 1
+        else:
+            _, column, low, high, low_incl, high_incl = plan
+            stored_rows = table.index_range(column, low, high,
+                                            low_incl, high_incl)
+            self.plan_stats["index_range"] += 1
         rows = []
-        for stored in table.index_lookup(column, value):
+        for stored in stored_rows:
             row = {} if outer_row is None else dict(outer_row)
             for col_name, cell in stored.items():
                 row["%s.%s" % (alias, col_name)] = cell
@@ -322,29 +393,217 @@ class Executor(object):
 
     def _explain(self, select):
         """EXPLAIN output: one row per table source with the access type
-        (``ref`` via an index, ``ALL`` for a full scan) and the key."""
+        (``ref``/``range`` via an index, ``hash`` for a hash join,
+        ``ALL`` for a scan) and the key column used."""
         rows = []
-        for ref in select.tables:
+        alias_map = self._alias_map(select)
+        single = len(select.tables) == 1 and not select.joins
+        left_aliases = set()
+        for pos, ref in enumerate(select.tables):
             if isinstance(ref, ast.DerivedTable):
                 rows.append((ref.alias, "DERIVED", None, None))
+                left_aliases.add(ref.alias.lower())
                 continue
             table = self._db.table(ref.name)
-            pair = None
-            if len(select.tables) == 1 and not select.joins:
-                pair = self._indexable_predicate(ref, select.where)
-            if pair is not None:
-                rows.append((table.name, "ref", pair[0], len(table)))
-            else:
+            plan = None
+            if pos == 0:
+                plan = self._access_plan(ref, select.where,
+                                         allow_unqualified=single)
+            if plan is None:
                 rows.append((table.name, "ALL", None, len(table)))
+            elif plan[0] == "eq":
+                rows.append((table.name, "ref", plan[1], len(table)))
+            else:
+                rows.append((table.name, "range", plan[1], len(table)))
+            left_aliases.add((ref.alias or ref.name).lower())
         for join in select.joins:
             if isinstance(join.table, ast.DerivedTable):
                 rows.append((join.table.alias, "DERIVED", None, None))
+                left_aliases.add(join.table.alias.lower())
+                continue
+            table = self._db.table(join.table.name)
+            keys = None
+            if (self.enable_hash_join and join.on is not None
+                    and join.kind in ("INNER", "LEFT", "RIGHT")):
+                keys = self._equi_join_keys(join, left_aliases, alias_map)
+            if keys is not None:
+                rows.append((table.name, "hash",
+                             keys[1].split(".", 1)[1], len(table)))
             else:
-                table = self._db.table(join.table.name)
                 rows.append((table.name, "ALL", None, len(table)))
+            left_aliases.add((join.table.alias or join.table.name).lower())
         return ResultSet(["table", "type", "key", "rows"], rows)
 
-    def _apply_join(self, join, left_rows, right_rows, right_cols, ctx):
+    def _apply_join(self, join, left_rows, right_rows, right_cols, ctx,
+                    left_aliases=None, alias_map=None):
+        keys = None
+        if (self.enable_hash_join and join.on is not None
+                and left_aliases is not None
+                and join.kind in ("INNER", "LEFT", "RIGHT")):
+            keys = self._equi_join_keys(join, left_aliases, alias_map)
+        if keys is not None:
+            self.plan_stats["hash_joins"] += 1
+            return self._hash_join(join, left_rows, right_rows,
+                                   right_cols, ctx, keys)
+        self.plan_stats["nested_loop_joins"] += 1
+        return self._nested_join(join, left_rows, right_rows, right_cols,
+                                 ctx)
+
+    def _equi_join_keys(self, join, left_aliases, alias_map):
+        """``(left "alias.col", right "alias.col")`` when the ON clause
+        contains a hash-safe equi predicate, else ``None``.
+
+        Hash-safe means: both sides are base-table columns whose types
+        share a :func:`type_class` — :func:`compare` coerces *across*
+        classes (``'1' = 1`` matches), which a static hash key cannot
+        reproduce, so mixed-class keys fall back to nested loops.
+        """
+        right_ref = join.table
+        if isinstance(right_ref, ast.DerivedTable):
+            return None
+        right_alias = (right_ref.alias or right_ref.name).lower()
+        if right_alias in left_aliases:
+            return None     # self-join without aliases: refs ambiguous
+        for expr in _and_operands(join.on):
+            if not isinstance(expr, ast.BinaryOp) or expr.op != "=":
+                continue
+            sides = []
+            for operand in (expr.left, expr.right):
+                side = self._join_side(operand, left_aliases, right_alias,
+                                       alias_map)
+                if side is None:
+                    break
+                sides.append(side)
+            if len(sides) != 2:
+                continue
+            (side1, key1, class1), (side2, key2, class2) = sides
+            if {side1, side2} != {"left", "right"}:
+                continue
+            if class1 is None or class1 != class2:
+                continue
+            if side1 == "left":
+                return key1, key2
+            return key2, key1
+        return None
+
+    def _join_side(self, operand, left_aliases, right_alias, alias_map):
+        """Classify one ON operand: ``(side, "alias.col", type_class)``
+        or ``None`` when it is not a resolvable base-table column."""
+        if not isinstance(operand, ast.ColumnRef):
+            return None
+        name = operand.name.lower()
+        if operand.table is not None:
+            alias = operand.table.lower()
+            if alias == right_alias:
+                side = "right"
+            elif alias in left_aliases:
+                side = "left"
+            else:
+                return None
+        else:
+            scope = list(left_aliases) + [right_alias]
+            if any(alias_map.get(a) is None for a in scope):
+                return None     # a derived table could shadow the name
+            owners = [a for a in scope
+                      if alias_map[a].has_column(name)]
+            if len(owners) != 1:
+                return None
+            alias = owners[0]
+            side = "right" if alias == right_alias else "left"
+        table = alias_map.get(alias)
+        if table is None or not table.has_column(name):
+            return None
+        return side, "%s.%s" % (alias, name), \
+            type_class(table.column(name).type_name)
+
+    def _hash_join(self, join, left_rows, right_rows, right_cols, ctx,
+                   keys):
+        """Hash equi-join, building on the smaller input.
+
+        Matches are bucketed per *outer* row (outer = left, or right for
+        RIGHT JOIN) and emitted in outer-major order, which reproduces
+        the nested-loop output order exactly regardless of which side
+        the hash table was built on.  The full ON expression re-checks
+        every hash candidate, so extra AND conditions still apply.
+        NULL keys never match (SQL ``=`` semantics); for outer joins
+        the unmatched rows null-extend as usual.
+        """
+        left_key, right_key = keys
+        outer_is_left = join.kind != "RIGHT"
+        if outer_is_left:
+            outer_rows, inner_rows = left_rows, right_rows
+            outer_key, inner_key = left_key, right_key
+        else:
+            outer_rows, inner_rows = right_rows, left_rows
+            outer_key, inner_key = right_key, left_key
+
+        def merged_for(outer, inner):
+            return _merge(outer, inner) if outer_is_left \
+                else _merge(inner, outer)
+
+        matches = [[] for _ in outer_rows]
+        if len(inner_rows) <= len(outer_rows):
+            # build on inner, probe outer
+            buckets = {}
+            for inner in inner_rows:
+                value = inner.get(inner_key)
+                if value is None:
+                    continue
+                buckets.setdefault(sort_key(value), []).append(inner)
+            for pos, outer in enumerate(outer_rows):
+                value = outer.get(outer_key)
+                if value is None:
+                    continue
+                for inner in buckets.get(sort_key(value), ()):
+                    merged = merged_for(outer, inner)
+                    if is_truthy(evaluate(join.on, ctx.child(merged))):
+                        matches[pos].append(merged)
+        else:
+            # build on outer, probe inner (inner order per bucket is
+            # preserved, so the emitted order is unchanged)
+            buckets = {}
+            for pos, outer in enumerate(outer_rows):
+                value = outer.get(outer_key)
+                if value is None:
+                    continue
+                buckets.setdefault(sort_key(value), []).append(pos)
+            for inner in inner_rows:
+                value = inner.get(inner_key)
+                if value is None:
+                    continue
+                for pos in buckets.get(sort_key(value), ()):
+                    merged = merged_for(outer_rows[pos], inner)
+                    if is_truthy(evaluate(join.on, ctx.child(merged))):
+                        matches[pos].append(merged)
+        if join.kind == "INNER":
+            out = []
+            for bucket in matches:
+                out.extend(bucket)
+            return out
+        out = []
+        if outer_is_left:
+            null_inner = {
+                "%s.%s" % (alias, col): None for alias, col in right_cols
+            }
+            for pos, outer in enumerate(outer_rows):
+                if matches[pos]:
+                    out.extend(matches[pos])
+                else:
+                    out.append(_merge(outer, null_inner))
+        else:
+            left_keys = [
+                key for key in (left_rows[0] if left_rows else {})
+                if not key.startswith("__source__")
+            ]
+            null_inner = {key: None for key in left_keys}
+            for pos, outer in enumerate(outer_rows):
+                if matches[pos]:
+                    out.extend(matches[pos])
+                else:
+                    out.append(_merge(null_inner, outer))
+        return out
+
+    def _nested_join(self, join, left_rows, right_rows, right_cols, ctx):
         out = []
         if join.kind in ("INNER", "CROSS"):
             for a in left_rows:
@@ -532,7 +791,8 @@ class Executor(object):
             pairs.append((row, out))
         return columns, pairs
 
-    def _order(self, stmt, pairs, columns, ctx):
+    def _order_decorate(self, stmt, pairs, columns, ctx):
+        """``[(sort keys, original position, pair), ...]`` for ORDER BY."""
         lowered = [c.lower() for c in columns]
 
         def keys_for(pair):
@@ -556,18 +816,44 @@ class Executor(object):
                     value = out[lowered.index(expr.name.lower())]
                 else:
                     value = evaluate(expr, ctx.child(src))
-                key.append(
-                    (sort_key(value), order.direction == "DESC")
-                )
+                key.append(sort_key(value))
             return key
 
-        decorated = [(keys_for(pair), i, pair)
-                     for i, pair in enumerate(pairs)]
+        return [(keys_for(pair), i, pair) for i, pair in enumerate(pairs)]
+
+    def _order(self, stmt, pairs, columns, ctx):
+        self.plan_stats["full_sorts"] += 1
+        decorated = self._order_decorate(stmt, pairs, columns, ctx)
         # stable multi-key sort honouring per-key direction
         for pos in range(len(stmt.order_by) - 1, -1, -1):
             reverse = stmt.order_by[pos].direction == "DESC"
-            decorated.sort(key=lambda item: item[0][pos][0], reverse=reverse)
+            decorated.sort(key=lambda item: item[0][pos], reverse=reverse)
         return [pair for _, _, pair in decorated]
+
+    def _order_topk(self, stmt, pairs, columns, ctx, k):
+        """ORDER BY fused with LIMIT: heap top-k over the same total
+        order :meth:`_order` produces (per-key direction, stable by
+        original position), without ever materializing the full sort."""
+        if k >= len(pairs):
+            return self._order(stmt, pairs, columns, ctx)
+        self.plan_stats["topk_orders"] += 1
+        decorated = self._order_decorate(stmt, pairs, columns, ctx)
+        descending = [o.direction == "DESC" for o in stmt.order_by]
+
+        def compare_items(a, b):
+            for pos, desc in enumerate(descending):
+                key_a, key_b = a[0][pos], b[0][pos]
+                if key_a == key_b:
+                    continue
+                less = key_a < key_b
+                if desc:
+                    less = not less
+                return -1 if less else 1
+            return -1 if a[1] < b[1] else 1     # stability tiebreak
+
+        top = heapq.nsmallest(k, decorated,
+                              key=functools.cmp_to_key(compare_items))
+        return [pair for _, _, pair in top]
 
     # -- DML --------------------------------------------------------------------
 
@@ -612,22 +898,17 @@ class Executor(object):
 
     def _delete_conflicting(self, table, values):
         keys = [c.name for c in table.columns if c.primary_key or c.unique]
-        removed = 0
-        keep = []
+        conflicts = []
         for row in table.rows:
-            conflict = any(
+            if any(
                 values.get(key) is not None
                 and row.get(key) == table.convert(key, values[key])
                 for key in keys
-            )
-            if conflict:
-                removed += 1
-            else:
-                keep.append(row)
-        table.rows = keep
-        if removed:
-            table.touch()
-        return removed
+            ):
+                conflicts.append(row)
+        if conflicts:
+            table.delete_rows(conflicts)
+        return len(conflicts)
 
     def _apply_on_duplicate(self, table, assignments, new_values, ctx):
         """ON DUPLICATE KEY UPDATE: update the conflicting row.
@@ -648,17 +929,16 @@ class Executor(object):
         if target is None:
             return 0
         env = {"%s.%s" % (table.name, k): v for k, v in target.items()}
-        changed = False
+        updates = {}
         for col, expr in assignments:
             resolved = _resolve_values_refs(expr, new_values)
             value = table.convert(col, evaluate(resolved, ctx.child(env)))
             if target.get(col.lower()) != value:
-                target[col.lower()] = value
-                changed = True
-        if changed:
-            table.touch()
+                updates[col.lower()] = value
+        if updates:
+            table.update_row(target, updates)
         # MySQL reports 2 affected rows when an ODKU update changed one
-        return 2 if changed else 0
+        return 2 if updates else 0
 
     def _update(self, stmt, ctx):
         table = self._db.table(stmt.table)
@@ -686,11 +966,11 @@ class Executor(object):
                 updates[col.lower()] = table.convert(
                     col, evaluate(expr, ctx.child(env))
                 )
-            if any(stored.get(k) != v for k, v in updates.items()):
-                stored.update(updates)
+            delta = {k: v for k, v in updates.items()
+                     if stored.get(k) != v}
+            if delta:
+                table.update_row(stored, delta)
                 changed += 1
-        if changed:
-            table.touch()
         return ExecutionResult(
             affected_rows=changed, sleep_seconds=ctx.sleep_seconds
         )
@@ -709,10 +989,9 @@ class Executor(object):
         if stmt.limit is not None:
             count = int(evaluate(stmt.limit.count, ctx))
             targets = targets[: max(count, 0)]
-        doomed = {id(stored) for stored, _ in targets}
-        table.rows = [row for row in table.rows if id(row) not in doomed]
+        doomed = [stored for stored, _ in targets]
         if doomed:
-            table.touch()
+            table.delete_rows(doomed)
         return ExecutionResult(
             affected_rows=len(doomed), sleep_seconds=ctx.sleep_seconds
         )
@@ -868,24 +1147,93 @@ def _resolve_values_refs(expr, new_values):
     return expr
 
 
-def _equality_pair(expr, alias):
+def _and_operands(expr):
+    """Flatten arbitrarily nested AND chains into their leaf operands."""
+    if isinstance(expr, ast.Cond) and expr.op == "AND":
+        leaves = []
+        for operand in expr.operands:
+            leaves.extend(_and_operands(operand))
+        return leaves
+    return [expr]
+
+
+def _scoped_column(expr, alias, allow_unqualified):
+    """Column name when *expr* is a ColumnRef resolvable to *alias*."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    if expr.table is None:
+        return expr.name.lower() if allow_unqualified else None
+    return expr.name.lower() if expr.table.lower() == alias else None
+
+
+def _equality_pair(expr, alias, allow_unqualified=True):
     """``col = literal`` (either side) scoped to *alias*, else ``None``."""
     if not isinstance(expr, ast.BinaryOp) or expr.op != "=":
         return None
-    column, literal = None, None
     for left, right in ((expr.left, expr.right), (expr.right, expr.left)):
         if isinstance(left, ast.ColumnRef) and isinstance(right,
                                                           ast.Literal):
-            if left.table is None or left.table.lower() == alias:
-                column, literal = left.name.lower(), right.value
-                break
-    if column is None or literal is None and not isinstance(
-        literal, (int, float, str)
-    ):
+            column = _scoped_column(left, alias, allow_unqualified)
+            if column is None:
+                continue
+            if right.value is None:
+                return None  # NULL never matches through '='
+            return column, right.value
+    return None
+
+
+#: comparison flips when the literal moves to the left of the operator
+_FLIPPED = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+def _range_bounds(expr, alias, allow_unqualified):
+    """``(col, low, high, low_incl, high_incl)`` for an index range
+    scan (``<``/``>``/``<=``/``>=``/``BETWEEN`` against a literal)."""
+    if isinstance(expr, ast.Between) and not expr.negated:
+        column = _scoped_column(expr.expr, alias, allow_unqualified)
+        if (column is not None
+                and isinstance(expr.low, ast.Literal)
+                and isinstance(expr.high, ast.Literal)
+                and expr.low.value is not None
+                and expr.high.value is not None):
+            return (column, expr.low.value, expr.high.value, True, True)
         return None
-    if literal is None:
-        return None  # NULL never matches through '='
-    return column, literal
+    if not isinstance(expr, ast.BinaryOp) or expr.op not in _FLIPPED:
+        return None
+    op = expr.op
+    if isinstance(expr.left, ast.ColumnRef) and isinstance(expr.right,
+                                                           ast.Literal):
+        ref, literal = expr.left, expr.right.value
+    elif isinstance(expr.right, ast.ColumnRef) and isinstance(expr.left,
+                                                              ast.Literal):
+        ref, literal = expr.right, expr.left.value
+        op = _FLIPPED[op]
+    else:
+        return None
+    column = _scoped_column(ref, alias, allow_unqualified)
+    if column is None or literal is None:
+        return None
+    if op == "<":
+        return (column, None, literal, True, False)
+    if op == "<=":
+        return (column, None, literal, True, True)
+    if op == ">":
+        return (column, literal, None, False, True)
+    return (column, literal, None, True, True)
+
+
+def _literal_fits_column(table, column, literal):
+    """Index access is only trusted when the literal's class matches
+    the column's storage class: stored values are homogeneous after
+    ``store_convert``, so within a class the index key order/equality
+    agrees with :func:`compare` — but a numeric literal against a
+    string column coerces row-by-row and must fall back to a scan."""
+    cls = type_class(table.column(column).type_name)
+    if cls == "n":
+        return isinstance(literal, (bool, int, float, str))
+    if cls == "s":
+        return isinstance(literal, str)
+    return False
 
 
 def _merge(a, b):

@@ -126,6 +126,19 @@ _FLOAT_TYPES = frozenset(["FLOAT", "DOUBLE", "DECIMAL"])
 _STRING_TYPES = frozenset(["VARCHAR", "TEXT", "CHAR", "DATETIME", "DATE"])
 
 
+def type_class(type_name):
+    """Coarse storage class of a column type: ``"n"`` (numeric) or
+    ``"s"`` (string-backed).  The planner only trusts hash/index access
+    when both sides of a comparison share a class, because :func:`compare`
+    coerces *across* classes in ways a static key cannot reproduce."""
+    upper = type_name.upper()
+    if upper in _INT_TYPES or upper in _FLOAT_TYPES:
+        return "n"
+    if upper in _STRING_TYPES:
+        return "s"
+    return None
+
+
 def store_convert(value, type_name, length=None):
     """Convert *value* for storage in a column of *type_name*.
 

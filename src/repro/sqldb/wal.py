@@ -40,10 +40,10 @@ read and a falsy test, the same guard discipline as
 import json
 import os
 import struct
-import threading
 import zlib
 
 from repro import faults as faults_mod
+from repro.core.resilience import make_lock, make_rlock
 from repro.sqldb.errors import WalCorruptionError, WalError
 
 #: number of databases with a WAL attached, process-wide.  Durability
@@ -51,7 +51,7 @@ from repro.sqldb.errors import WalCorruptionError, WalError
 #: mode is the exact status quo (one attribute read, nothing else).
 ATTACHED = 0
 
-_attach_lock = threading.Lock()
+_attach_lock = make_lock()
 
 #: record framing: little-endian u32 payload length + u32 CRC32
 _HEADER = struct.Struct("<II")
@@ -234,7 +234,7 @@ class WriteAheadLog(object):
         self.path = log_path(data_dir)
         self.sync_mode = sync_mode
         self.batch_commits = max(1, batch_commits)
-        self._lock = threading.RLock()
+        self._lock = make_rlock()
         #: next LSN to stamp
         self.next_lsn = start_lsn
         #: durability points (autocommit statements + commit markers)

@@ -1,0 +1,110 @@
+"""Copy-on-write read views in the QM store.
+
+The SEPTIC hot path (``get``/``models_for_external``) reads an immutable
+snapshot swapped in atomically after every mutation, so detection never
+takes the store lock.  These tests pin the view semantics: swaps are
+counted, old views are frozen, and reads stay consistent while writers
+churn.
+"""
+
+import threading
+
+from repro.core.id_generator import IdGenerator, QueryId
+from repro.core.query_model import QueryModel
+from repro.core.query_structure import QueryStructure
+from repro.core.store import QMStore
+from repro.sqldb.parser import parse_one
+from repro.sqldb.validator import validate
+
+
+def model_of(sql):
+    qs = QueryStructure.from_stack(validate(parse_one(sql)))
+    return QueryModel.from_structure(qs)
+
+
+def qid_for(sql, external=None):
+    model = model_of(sql)
+    return QueryId(IdGenerator().internal_id(model), external), model
+
+
+class TestViewSwaps(object):
+    def test_put_publishes_a_new_view(self):
+        store = QMStore()
+        before = store.snapshot_swaps
+        qid, model = qid_for("SELECT a FROM t")
+        store.put(qid, model)
+        assert store.snapshot_swaps == before + 1
+        assert store.get(qid) == model
+
+    def test_duplicate_put_does_not_swap(self):
+        store = QMStore()
+        qid, model = qid_for("SELECT a FROM t")
+        store.put(qid, model)
+        swaps = store.snapshot_swaps
+        assert not store.put(qid, model)
+        assert store.snapshot_swaps == swaps
+
+    def test_clear_publishes_empty_view(self):
+        store = QMStore()
+        qid, model = qid_for("SELECT a FROM t")
+        store.put(qid, model)
+        store.clear()
+        assert store.get(qid) is None
+        assert store.ids() == []
+
+    def test_old_views_are_frozen(self):
+        store = QMStore()
+        qid1, m1 = qid_for("SELECT a FROM t")
+        store.put(qid1, m1)
+        old_view = store._reads
+        qid2, m2 = qid_for("SELECT b FROM u")
+        store.put(qid2, m2)
+        assert qid2.internal not in old_view.models
+        assert qid2.internal in store._reads.models
+
+    def test_models_for_external_reads_the_view(self):
+        store = QMStore()
+        qid1, m1 = qid_for("SELECT a FROM t WHERE b = 1", external="site")
+        qid2, m2 = qid_for("SELECT a FROM t", external="site")
+        store.put(qid1, m1)
+        store.put(qid2, m2)
+        found = store.models_for_external("site")
+        assert sorted(len(m) for m in found) == sorted(
+            [len(m1), len(m2)]
+        )
+
+
+class TestConcurrentReaders(object):
+    def test_reads_stay_consistent_under_writer_churn(self):
+        store = QMStore()
+        qid, model = qid_for("SELECT a FROM t WHERE b = 1")
+        store.put(qid, model)
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                got = store.get(qid)
+                if got is None or got != model:
+                    errors.append("inconsistent read")
+                    return
+
+        def writer():
+            for i in range(200):
+                extra_qid, extra = qid_for(
+                    "SELECT c%d FROM filler WHERE d = %d" % (i, i)
+                )
+                store.put(extra_qid, extra)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        writer_thread.join(timeout=30)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=10)
+        assert errors == []
+        assert store.get(qid) == model
+        assert len(store) == 201

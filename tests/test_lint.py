@@ -230,3 +230,126 @@ def test_fault_sites_are_lint_covered():
         if site not in declared and not site.startswith("plugin.")
     }
     assert undeclared == set(), "undeclared fire() sites: %s" % undeclared
+
+
+#: the only modules allowed to construct raw threading locks — everyone
+#: else must go through repro.core.resilience's make_lock()/make_rlock()
+#: factories (or the RWLock), so lock creation stays auditable
+_LOCK_ALLOWLIST = (
+    os.path.join("src", "repro", "sqldb", "engine.py"),
+    os.path.join("src", "repro", "core", "resilience.py"),
+    os.path.join("src", "repro", "core", "store.py"),
+)
+
+
+def _lock_construction_violations(path):
+    """Raw ``threading.Lock()`` / ``threading.RLock()`` constructions."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    rel = os.path.relpath(path, REPO_ROOT)
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in ("Lock", "RLock")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "threading"):
+            problems.append(
+                "%s:%d: threading.%s() constructed directly — use "
+                "repro.core.resilience.make_lock()/make_rlock() (or "
+                "RWLock) instead" % (rel, node.lineno, func.attr)
+            )
+    return problems
+
+
+def test_lock_construction_is_centralized():
+    allow = {os.path.abspath(os.path.join(REPO_ROOT, rel))
+             for rel in _LOCK_ALLOWLIST}
+    problems = []
+    for path in _python_files(SRC_ROOT):
+        if os.path.abspath(path) in allow:
+            continue
+        problems.extend(_lock_construction_violations(path))
+    assert problems == [], "\n".join(problems)
+
+
+def test_lock_gate_catches_a_raw_lock(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import threading\n"
+        "A = threading.Lock()\n"
+        "B = threading.RLock()\n"
+    )
+    problems = _lock_construction_violations(str(bad))
+    assert len(problems) == 2
+    assert any("threading.Lock()" in p for p in problems)
+    assert any("threading.RLock()" in p for p in problems)
+
+
+def _function_def(tree, name):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _topk_sort_violations(path):
+    """ORDER BY + LIMIT must go through the heap top-k, not a full sort.
+
+    Checks three facts about the executor: ``_order_topk`` exists, it
+    never calls ``sorted()`` over the full pair list (the heap is the
+    point; the tail fallback delegates to ``_order`` instead), and the
+    LIMIT branch of ``_select_single`` actually routes through it.
+    """
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    rel = os.path.relpath(path, REPO_ROOT)
+    problems = []
+    topk = _function_def(tree, "_order_topk")
+    if topk is None:
+        return ["%s: no _order_topk method — ORDER BY + LIMIT has no "
+                "top-k path" % rel]
+    for node in ast.walk(topk):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sorted"):
+            problems.append(
+                "%s:%d: sorted() inside _order_topk — the top-k path "
+                "must use a bounded heap, not a full sort"
+                % (rel, node.lineno)
+            )
+    select = _function_def(tree, "_select_single")
+    calls_topk = select is not None and any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "_order_topk"
+        for node in ast.walk(select)
+    )
+    if not calls_topk:
+        problems.append(
+            "%s: _select_single never calls _order_topk — LIMIT "
+            "queries fall back to the full sort" % rel
+        )
+    return problems
+
+
+def test_order_limit_uses_topk_heap():
+    executor_py = os.path.join(SRC_ROOT, "repro", "sqldb", "executor.py")
+    problems = _topk_sort_violations(executor_py)
+    assert problems == [], "\n".join(problems)
+
+
+def test_topk_gate_catches_a_full_sort(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "class Executor:\n"
+        "    def _select_single(self, stmt):\n"
+        "        return self._order_topk(stmt, [], 3)\n"
+        "    def _order_topk(self, stmt, pairs, k):\n"
+        "        return sorted(pairs)[:k]\n"
+    )
+    problems = _topk_sort_violations(str(bad))
+    assert len(problems) == 1
+    assert "sorted() inside _order_topk" in problems[0]
