@@ -72,6 +72,8 @@ KNOWN_SITES = (
     "wal.fsync",
     "wal.checkpoint",
     "wal.recover",
+    "planner.plan",
+    "operator.next",
     # plus "plugin.<name>" for every stored-injection plugin
 )
 

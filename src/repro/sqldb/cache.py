@@ -65,7 +65,7 @@ class CacheEntry(object):
     """Everything derived from one ``(charset, raw_sql, schema_version)``."""
 
     __slots__ = ("decoded", "statements", "comments", "stack",
-                 "septic_memo")
+                 "septic_memo", "plan")
 
     def __init__(self, decoded, statements, comments):
         #: charset-decoded query text (what the parser and SEPTIC see)
@@ -80,6 +80,11 @@ class CacheEntry(object):
         self.stack = None
         #: SEPTIC's memoized QS/QM/ID products for this entry
         self.septic_memo = SepticMemo()
+        #: memoized physical plan, as ``(planner fingerprint, plan)`` —
+        #: single-statement entries only, filled by ``Executor.prepare``
+        #: and replaced whenever the planner toggles change (the cache
+        #: key pins schema_version, so DDL invalidates the whole entry)
+        self.plan = None
 
     @property
     def single_statement(self):

@@ -32,6 +32,7 @@ from datetime import datetime, timedelta
 
 from repro import faults as faults_mod
 from repro.core import resilience
+from repro.core.logger import EventKind
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb import charset as charset_mod
 from repro.sqldb import wal as wal_mod
@@ -224,7 +225,7 @@ class QueryContext(object):
     """Everything SEPTIC's hook receives about one statement."""
 
     __slots__ = ("sql", "statement", "stack", "comments", "database",
-                 "memo")
+                 "memo", "stage_stats")
 
     def __init__(self, sql, statement, stack, comments, database,
                  memo=None):
@@ -240,6 +241,9 @@ class QueryContext(object):
         #: pipeline-cache memo slot (:class:`repro.sqldb.cache.SepticMemo`)
         #: the QS&QM manager fills on first sight; ``None`` when uncached
         self.memo = memo
+        #: per-stage instrumentation (:class:`repro.sqldb.plan.StageStats`)
+        #: filled by the executor after the statement's plan ran
+        self.stage_stats = None
 
     @property
     def command(self):
@@ -437,6 +441,9 @@ class Database(object):
         #: cumulative wall-clock seconds spent inside the SEPTIC hook
         #: (measured live; the BenchLab harness reads this)
         self.septic_seconds_total = 0.0
+        #: opt-in: emit a STAGE_TIMING logger event per executed plan
+        #: (off by default — the pinned event streams stay unchanged)
+        self.log_stage_timings = False
 
     # -- sessions ----------------------------------------------------------
 
@@ -675,17 +682,46 @@ class Database(object):
     def wal(self):
         return self._wal
 
-    def _lock_plan_for(self, stmt):
+    def _lock_plan_for(self, stmt, plan_tables=None, prepared=None):
         """The statement's lock plan under the configured mode.
+
+        *plan_tables* is the base-table set the physical plan actually
+        scans (:attr:`repro.sqldb.plan.PhysicalPlan.tables`); any table
+        the AST walk missed is added in shared mode, so the lock set is
+        the union of what the statement names and what its plan touches.
+        When the *prepared* physical plan itself is passed, the merged
+        result is memoized on it — the lock plan is deterministic per
+        plan, and the AST walk is a measurable share of a warm query,
+        so cached plans classify once, not per execution.
 
         ``exclusive`` mode degrades every plan to catalog-exclusive —
         exactly one statement in the engine at a time, the serialized
         baseline the concurrency benchmarks compare against."""
-        plan = lock_plan(stmt)
+        if prepared is not None:
+            plan = prepared.lock_plan
+            if plan is None:
+                plan = self._merged_lock_plan(stmt, prepared.tables)
+                prepared.lock_plan = plan
+        else:
+            plan = self._merged_lock_plan(stmt, plan_tables)
         if plan is None:
             return None
         if self.lock_mode == "exclusive":
             return LockPlan(catalog_shared=False)
+        return plan
+
+    @staticmethod
+    def _merged_lock_plan(stmt, plan_tables):
+        plan = lock_plan(stmt)
+        if plan is None or not plan_tables:
+            return plan
+        held = dict(plan.tables)
+        missing = [name for name in (n.lower() for n in plan_tables)
+                   if name not in held]
+        if missing:
+            for name in missing:
+                held[name] = True
+            plan = LockPlan(plan.catalog_shared, held.items())
         return plan
 
     def _next_tx_id(self):
@@ -1004,6 +1040,7 @@ class Database(object):
                 stack = validate(stmt, self.tables)
             if entry is not None:
                 entry.stack = stack
+        context = None
         if self.septic is not None and stack:
             memo = entry.septic_memo if entry is not None else None
             context = QueryContext(decoded_sql, stmt, stack, comments, self,
@@ -1035,7 +1072,20 @@ class Database(object):
                 "engine fault during execution (%s: %s)"
                 % (type(exc).__name__, exc)
             )
-        plan = self._lock_plan_for(stmt)
+        # plan before locking: the physical plan decides which tables
+        # the statement holds (prepare is a catalog read, so it runs
+        # under the short catalog guard, not the statement locks)
+        try:
+            with self.catalog_lock:
+                prepared = self._executor.prepare(stmt, entry=entry)
+        except SQLError:
+            raise
+        except Exception as exc:
+            raise TransientEngineError(
+                "engine fault during planning (%s: %s)"
+                % (type(exc).__name__, exc)
+            )
+        plan = self._lock_plan_for(stmt, prepared=prepared)
         if plan is not None:
             self.lock_manager.acquire(plan)
         try:
@@ -1043,7 +1093,10 @@ class Database(object):
             if wal_mod.ATTACHED and self._wal is not None:
                 wal_state = self._wal_prepare(stmt, session)
             try:
-                result = self._executor.execute(stmt, session=session)
+                result = self._executor.execute(
+                    stmt, session=session, prepared=prepared,
+                    query_context=context,
+                )
             except ExecutionError:
                 # the statement failed but may have had partial effects
                 # (multi-row INSERT keeps the rows before the failing
@@ -1067,7 +1120,25 @@ class Database(object):
             self.statements_executed += 1
         if result.last_insert_id is not None:
             session.last_insert_id = result.last_insert_id
+        if self.log_stage_timings and context is not None:
+            self._log_stage_timings(decoded_sql, context)
         return result
+
+    def _log_stage_timings(self, sql_text, context):
+        """Opt-in per-stage timing event (virtual-clock ticks and
+        rows-in/rows-out per operator).  Best-effort observability:
+        never allowed to fail a statement that already executed."""
+        stats = context.stage_stats
+        if stats is None or self.septic is None:
+            return
+        logger = getattr(self.septic, "logger", None)
+        if logger is None:
+            return
+        try:
+            logger.log(EventKind.STAGE_TIMING, query=sql_text,
+                       detail=stats.render_timings())
+        except Exception:
+            pass
 
     # -- convenience -------------------------------------------------------------
 

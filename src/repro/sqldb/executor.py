@@ -1,48 +1,29 @@
-"""Statement execution against the in-memory storage engine.
+"""Statement dispatch and glue around the plan/execute split.
 
-The planner here is deliberately small but real: single-table (and join
-probe-side) predicates resolve to ``eq`` (hash bucket) or ``range``
-(bisect) index access, equi-joins build a hash table on the smaller
-side (falling back to nested loops for non-equi or type-incompatible
-keys), and ORDER BY fused with LIMIT runs as a heap top-k instead of a
-full sort.  Every choice is observable: ``EXPLAIN`` reports the access
-type (``ALL``/``ref``/``range``/``hash``) and :attr:`Executor.plan_stats`
-counts which strategies actually ran.
+Since the plan-layer refactor the executor makes no planning decisions:
+access paths, join strategies and the top-k choice all live in
+:mod:`repro.sqldb.planner`, and the streaming operators that carry them
+out live in :mod:`repro.sqldb.plan`.  What remains here is dispatch,
+the DDL/SHOW/transaction handlers (which execute directly against the
+catalog), plan preparation/caching, and the rollup of per-execution
+:class:`~repro.sqldb.plan.StageStats` into :attr:`Executor.plan_stats`.
 """
 
-import functools
-import heapq
-
 from repro.sqldb import ast_nodes as ast
+from repro.sqldb import plan as plan_mod
 from repro.sqldb.errors import ExecutionError
-from repro.sqldb.expression import EvalContext, evaluate, _agg_key
-from repro.sqldb.functions import is_aggregate
+from repro.sqldb.expression import EvalContext
+from repro.sqldb.plan import ExecutionResult, ExecState
+from repro.sqldb.planner import Planner
 from repro.sqldb.storage import Column, ResultSet
-from repro.sqldb.types import compare, is_truthy, sort_key, type_class
 
+__all__ = ["Executor", "ExecutionResult"]
 
-class ExecutionResult(object):
-    """Uniform result wrapper: a result set or an affected-row count."""
+#: statement kinds that go through the planner
+_PLANNED = (ast.Select, ast.Insert, ast.Update, ast.Delete, ast.Explain)
 
-    __slots__ = ("result_set", "affected_rows", "last_insert_id",
-                 "sleep_seconds")
-
-    def __init__(self, result_set=None, affected_rows=0, last_insert_id=None,
-                 sleep_seconds=0.0):
-        self.result_set = result_set
-        self.affected_rows = affected_rows
-        self.last_insert_id = last_insert_id
-        #: simulated SLEEP()/BENCHMARK() seconds accumulated while executing
-        self.sleep_seconds = sleep_seconds
-
-    @property
-    def is_select(self):
-        return self.result_set is not None
-
-    def __repr__(self):
-        if self.is_select:
-            return "ExecutionResult(%r)" % (self.result_set,)
-        return "ExecutionResult(affected=%d)" % self.affected_rows
+#: bound on the by-identity subquery-plan memo
+_SUBPLAN_MEMO_LIMIT = 256
 
 
 class Executor(object):
@@ -54,29 +35,109 @@ class Executor(object):
         #: legacy strategies against the indexed ones on equal footing
         self.enable_hash_join = True
         self.enable_topk = True
-        #: counts of the strategies that actually ran (plan testability)
+        #: counts of the strategies that actually ran (plan testability),
+        #: rolled up from each execution's StageStats
         self.plan_stats = {
             "index_eq": 0, "index_range": 0, "full_scans": 0,
             "hash_joins": 0, "nested_loop_joins": 0,
             "topk_orders": 0, "full_sorts": 0,
+            "peak_materialized_rows": 0,
         }
+        #: StageStats of the most recently executed plan
+        self.last_stage_stats = None
+        #: subquery plans memoized by AST identity — correlated
+        #: subqueries replan once, not once per outer row
+        self._subplan_memo = {}
+
+    # -- planning ---------------------------------------------------------
+
+    def _fingerprint(self):
+        """Everything a cached plan's validity depends on besides the
+        cache key itself (the key already pins schema_version)."""
+        return (self.enable_hash_join, self.enable_topk)
+
+    def prepare(self, stmt, entry=None):
+        """Physical plan for *stmt* (``None`` for unplanned kinds).
+
+        When *entry* is the statement's pipeline-cache entry, the plan
+        is cached on it alongside the planner-toggle fingerprint: a
+        toggle flip replans instead of running a stale strategy, and
+        DDL invalidates through the entry itself (the cache key
+        includes ``schema_version``)."""
+        if not isinstance(stmt, _PLANNED):
+            return None
+        fingerprint = self._fingerprint()
+        if entry is not None:
+            cached = entry.plan
+            if cached is not None and cached[0] == fingerprint:
+                return cached[1]
+        planner = Planner(self._db,
+                          enable_hash_join=self.enable_hash_join,
+                          enable_topk=self.enable_topk)
+        plan = planner.plan_statement(stmt)
+        if entry is not None and plan is not None:
+            entry.plan = (fingerprint, plan)
+        return plan
+
+    def _subquery_plan(self, select):
+        key = id(select)
+        fingerprint = (self._db.schema_version,) + self._fingerprint()
+        memo = self._subplan_memo.get(key)
+        # the identity check makes recycled id() values harmless; the
+        # strong reference in the memo keeps live keys stable
+        if memo is not None and memo[0] is select \
+                and memo[1] == fingerprint:
+            return memo[2]
+        planner = Planner(self._db,
+                          enable_hash_join=self.enable_hash_join,
+                          enable_topk=self.enable_topk)
+        plan = planner.plan_statement(select)
+        if len(self._subplan_memo) >= _SUBPLAN_MEMO_LIMIT:
+            self._subplan_memo.clear()
+        self._subplan_memo[key] = (select, fingerprint, plan)
+        return plan
+
+    def _absorb(self, stats, query_context=None):
+        """Roll one execution's StageStats into the cumulative
+        plan_stats, and expose them for instrumentation."""
+        plan_stats = self.plan_stats
+        for name, amount in stats.counters.items():
+            plan_stats[name] = plan_stats.get(name, 0) + amount
+        if stats.peak_materialized_rows > \
+                plan_stats["peak_materialized_rows"]:
+            plan_stats["peak_materialized_rows"] = \
+                stats.peak_materialized_rows
+        self.last_stage_stats = stats
+        if query_context is not None:
+            query_context.stage_stats = stats
 
     # -- entry point -----------------------------------------------------
 
-    def execute(self, stmt, session=None):
+    def execute(self, stmt, session=None, prepared=None,
+                query_context=None):
         if session is None:
             session = self._db.default_session
         ctx = EvalContext(self._db, executor=self, session=session)
+        if prepared is None and isinstance(stmt, _PLANNED):
+            prepared = self.prepare(stmt)
         if isinstance(stmt, ast.Select):
-            rs = self._select(stmt, ctx)
-            return ExecutionResult(result_set=rs,
-                                   sleep_seconds=ctx.sleep_seconds)
-        if isinstance(stmt, ast.Insert):
-            return self._insert(stmt, ctx)
-        if isinstance(stmt, ast.Update):
-            return self._update(stmt, ctx)
-        if isinstance(stmt, ast.Delete):
-            return self._delete(stmt, ctx)
+            state = ExecState(ctx)
+            rows = [out for _, out in prepared.root.rows(state)]
+            state.stats.note_materialized(len(rows))
+            self._absorb(state.stats, query_context)
+            return ExecutionResult(
+                result_set=ResultSet(prepared.columns, rows),
+                sleep_seconds=ctx.sleep_seconds,
+            )
+        if isinstance(stmt, ast.Explain):
+            return ExecutionResult(
+                result_set=plan_mod.render_explain(prepared, self._db)
+            )
+        if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+            state = ExecState(ctx)
+            result = prepared.root.run(state)
+            self._absorb(state.stats, query_context)
+            return result
         if isinstance(stmt, ast.CreateTable):
             return self._create_table(stmt)
         if isinstance(stmt, ast.DropTable):
@@ -100,12 +161,14 @@ class Executor(object):
             return ExecutionResult(affected_rows=0)
         if isinstance(stmt, ast.CreateIndex):
             self._db.table(stmt.table).create_index(stmt.name, stmt.column)
+            # cached plans chose their access path without this index
+            self._db.bump_schema_version()
             return ExecutionResult(affected_rows=0)
         if isinstance(stmt, ast.DropIndex):
             self._db.table(stmt.table).drop_index(stmt.name)
+            # cached plans may probe the index being dropped
+            self._db.bump_schema_version()
             return ExecutionResult(affected_rows=0)
-        if isinstance(stmt, ast.Explain):
-            return ExecutionResult(result_set=self._explain(stmt.select))
         if isinstance(stmt, ast.AlterTableAddColumn):
             return self._alter_add_column(stmt)
         if isinstance(stmt, ast.AlterTableDropColumn):
@@ -123,894 +186,17 @@ class Executor(object):
         """Run a subquery SELECT, returning raw row tuples."""
         session = outer_ctx.session if outer_ctx is not None else None
         ctx = EvalContext(self._db, executor=self, session=session)
+        outer_row = None
         if outer_ctx is not None:
             ctx._parent = outer_ctx
             ctx.row = dict(outer_ctx.row)
-        rs = self._select(select, ctx, outer_row=ctx.row)
-        return rs.rows
-
-    # -- SELECT -------------------------------------------------------------
-
-    def _select(self, stmt, ctx, outer_row=None):
-        if not stmt.unions:
-            return self._select_single(stmt, ctx, outer_row)
-        # UNION: evaluate every branch without the union-level ORDER BY /
-        # LIMIT, merge, then order and trim the merged rows.  The head is
-        # evaluated with skip_order_limit rather than by blanking the AST
-        # fields: cached statements are shared between executions (and
-        # threads), so execution must never mutate them.
-        order_by, limit = stmt.order_by, stmt.limit
-        rs = self._select_single(stmt, ctx, outer_row, skip_order_limit=True)
-        rows = list(rs.rows)
-        dedupe = False
-        for all_flag, branch in stmt.unions:
-            branch_rs = self._select_single(branch, ctx, outer_row)
-            if len(branch_rs.columns) != len(rs.columns):
-                raise ExecutionError(
-                    "The used SELECT statements have a different "
-                    "number of columns", errno=1222,
-                )
-            rows.extend(branch_rs.rows)
-            if not all_flag:
-                dedupe = True
-        if dedupe:
-            deduped = []
-            seen = set()
-            for row in rows:
-                key = tuple(
-                    v.lower() if isinstance(v, str) else v for v in row
-                )
-                if key not in seen:
-                    seen.add(key)
-                    deduped.append(row)
-            rows = deduped
-        if order_by:
-            rows = self._order_union_rows(rows, order_by, rs.columns)
-        if limit is not None:
-            count = int(evaluate(limit.count, ctx))
-            offset = 0
-            if limit.offset is not None:
-                offset = int(evaluate(limit.offset, ctx))
-            rows = rows[offset : offset + max(count, 0)]
-        return ResultSet(rs.columns, rows)
-
-    def _order_union_rows(self, rows, order_by, columns):
-        """Union-level ORDER BY: by position or output column name."""
-        lowered = [c.lower() for c in columns]
-
-        def key_index(expr):
-            if isinstance(expr, ast.Literal) and expr.type_tag == "int":
-                idx = expr.value - 1
-                if idx < 0 or idx >= len(columns):
-                    raise ExecutionError(
-                        "Unknown column '%s' in 'order clause'" % expr.value
-                    )
-                return idx
-            if isinstance(expr, ast.ColumnRef) and expr.table is None and \
-                    expr.name.lower() in lowered:
-                return lowered.index(expr.name.lower())
-            raise ExecutionError(
-                "ORDER BY on a UNION must name an output column"
-            )
-
-        indexed = [(key_index(o.expr), o.direction == "DESC")
-                   for o in order_by]
-        rows = list(rows)
-        for idx, reverse in reversed(indexed):
-            rows.sort(key=lambda row: sort_key(row[idx]), reverse=reverse)
+            outer_row = ctx.row
+        plan = self._subquery_plan(select)
+        state = ExecState(ctx, outer_row=outer_row)
+        rows = [out for _, out in plan.root.rows(state)]
+        state.stats.note_materialized(len(rows))
+        self._absorb(state.stats)
         return rows
-
-    def _select_single(self, stmt, ctx, outer_row=None,
-                       skip_order_limit=False):
-        source_rows, source_columns = self._build_sources(stmt, ctx,
-                                                          outer_row)
-        # WHERE
-        if stmt.where is not None:
-            source_rows = [
-                row for row in source_rows
-                if is_truthy(evaluate(stmt.where, ctx.child(row)))
-            ]
-        aggregates = self._collect_aggregates(stmt)
-        if stmt.group_by or aggregates:
-            source_rows = self._group(stmt, source_rows, aggregates, ctx)
-            if stmt.having is not None:
-                source_rows = [
-                    row for row in source_rows
-                    if is_truthy(evaluate(stmt.having, ctx.child(row)))
-                ]
-        # project
-        columns, pairs = self._project(stmt, source_rows, source_columns, ctx)
-        # DISTINCT
-        if stmt.distinct:
-            seen = set()
-            deduped = []
-            for src, out in pairs:
-                key = tuple(
-                    v.lower() if isinstance(v, str) else v for v in out
-                )
-                if key not in seen:
-                    seen.add(key)
-                    deduped.append((src, out))
-            pairs = deduped
-        # LIMIT bounds (evaluated up front so ORDER BY can fuse with them)
-        count = offset = None
-        if stmt.limit is not None and not skip_order_limit:
-            count = max(int(evaluate(stmt.limit.count, ctx)), 0)
-            offset = 0
-            if stmt.limit.offset is not None:
-                offset = int(evaluate(stmt.limit.offset, ctx))
-        # ORDER BY — a heap top-k when a LIMIT bounds the output
-        if stmt.order_by and not skip_order_limit:
-            if count is not None and offset >= 0 and self.enable_topk:
-                pairs = self._order_topk(stmt, pairs, columns, ctx,
-                                         offset + count)
-            else:
-                pairs = self._order(stmt, pairs, columns, ctx)
-        # LIMIT
-        if count is not None:
-            pairs = pairs[offset : offset + count]
-        return ResultSet(columns, [out for _, out in pairs])
-
-    def _table_rows(self, ref, ctx, outer_row):
-        if isinstance(ref, ast.DerivedTable):
-            return self._derived_rows(ref, ctx, outer_row)
-        table = self._db.table(ref.name)
-        alias = (ref.alias or ref.name).lower()
-        columns = [(alias, col.name) for col in table.columns]
-        rows = []
-        for stored in table.rows:
-            row = {} if outer_row is None else dict(outer_row)
-            for col_name, value in stored.items():
-                row["%s.%s" % (alias, col_name)] = value
-            row["__source__%s" % alias] = stored
-            rows.append(row)
-        return rows, columns
-
-    def _derived_rows(self, ref, ctx, outer_row):
-        """Materialize a FROM-clause subquery under its alias."""
-        alias = ref.alias.lower()
-        result = self._select(ref.select, ctx, outer_row)
-        col_names = [c.lower() for c in result.columns]
-        columns = [(alias, name) for name in col_names]
-        rows = []
-        for values in result.rows:
-            row = {} if outer_row is None else dict(outer_row)
-            for name, value in zip(col_names, values):
-                row["%s.%s" % (alias, name)] = value
-            rows.append(row)
-        return rows, columns
-
-    def _build_sources(self, stmt, ctx, outer_row):
-        if not stmt.tables:
-            base = {} if outer_row is None else dict(outer_row)
-            return [base], []
-        first = stmt.tables[0]
-        alias_map = self._alias_map(stmt)
-        single = len(stmt.tables) == 1 and not stmt.joins
-        rows = columns = None
-        if not isinstance(first, ast.DerivedTable):
-            plan = self._access_plan(first, stmt.where,
-                                     allow_unqualified=single)
-            if plan is not None:
-                rows, columns = self._plan_rows(first, plan, outer_row)
-        if rows is None:
-            rows, columns = self._table_rows(first, ctx, outer_row)
-            if not isinstance(first, ast.DerivedTable):
-                self.plan_stats["full_scans"] += 1
-        for ref in stmt.tables[1:]:
-            right_rows, right_cols = self._table_rows(ref, ctx, outer_row)
-            rows = [
-                _merge(a, b) for a in rows for b in right_rows
-            ]
-            columns += right_cols
-        left_aliases = {alias for alias, _ in columns}
-        for join in stmt.joins:
-            right_rows, right_cols = self._table_rows(join.table, ctx,
-                                                      outer_row)
-            rows = self._apply_join(join, rows, right_rows, right_cols,
-                                    ctx, left_aliases, alias_map)
-            columns += right_cols
-            left_aliases |= {alias for alias, _ in right_cols}
-        return rows, columns
-
-    def _alias_map(self, stmt):
-        """alias → catalog Table (``None`` for derived tables)."""
-        mapping = {}
-        for ref in list(stmt.tables) + [join.table for join in stmt.joins]:
-            if isinstance(ref, ast.DerivedTable):
-                mapping[ref.alias.lower()] = None
-            else:
-                alias = (ref.alias or ref.name).lower()
-                mapping[alias] = self._db.tables.get(ref.name.lower())
-        return mapping
-
-    def _access_plan(self, ref, where, allow_unqualified=True):
-        """Choose the access path for *ref* from the WHERE clause.
-
-        Walks the flattened operands of (arbitrarily nested) AND chains
-        and returns ``("eq", column, value)`` for an index bucket probe,
-        ``("range", column, low, high, low_incl, high_incl)`` for a
-        bisect scan, or ``None`` for a full scan.  Equality wins over
-        range.  Unqualified column refs are only trusted when the caller
-        says the statement is unambiguous (single table, no joins) —
-        with joins in scope, only ``alias.column`` predicates narrow the
-        probe side.  Narrowing is always a superset of the WHERE match
-        (the full predicate still filters afterwards), so a declined
-        plan costs a scan, never correctness.
-        """
-        if where is None:
-            return None
-        table = self._db.tables.get(ref.name.lower())
-        if table is None:
-            return None
-        indexed = table.indexed_columns()
-        alias = (ref.alias or ref.name).lower()
-        range_plan = None
-        for expr in _and_operands(where):
-            pair = _equality_pair(expr, alias, allow_unqualified)
-            if (pair is not None and pair[0] in indexed
-                    and _literal_fits_column(table, pair[0], pair[1])):
-                return ("eq",) + pair
-            if range_plan is None:
-                bounds = _range_bounds(expr, alias, allow_unqualified)
-                if (bounds is not None and bounds[0] in indexed
-                        and all(value is None
-                                or _literal_fits_column(table, bounds[0],
-                                                        value)
-                                for value in (bounds[1], bounds[2]))):
-                    range_plan = ("range",) + bounds
-        return range_plan
-
-    def _indexable_predicate(self, ref, where, allow_unqualified=True):
-        """``(column, value)`` when an equality plan exists (legacy
-        shim over :meth:`_access_plan`)."""
-        plan = self._access_plan(ref, where, allow_unqualified)
-        if plan is not None and plan[0] == "eq":
-            return plan[1], plan[2]
-        return None
-
-    def _plan_rows(self, ref, plan, outer_row):
-        """Materialize source rows through the chosen index plan."""
-        table = self._db.table(ref.name)
-        alias = (ref.alias or ref.name).lower()
-        columns = [(alias, col.name) for col in table.columns]
-        if plan[0] == "eq":
-            stored_rows = table.index_lookup(plan[1], plan[2])
-            self.plan_stats["index_eq"] += 1
-        else:
-            _, column, low, high, low_incl, high_incl = plan
-            stored_rows = table.index_range(column, low, high,
-                                            low_incl, high_incl)
-            self.plan_stats["index_range"] += 1
-        rows = []
-        for stored in stored_rows:
-            row = {} if outer_row is None else dict(outer_row)
-            for col_name, cell in stored.items():
-                row["%s.%s" % (alias, col_name)] = cell
-            row["__source__%s" % alias] = stored
-            rows.append(row)
-        return rows, columns
-
-    def _explain(self, select):
-        """EXPLAIN output: one row per table source with the access type
-        (``ref``/``range`` via an index, ``hash`` for a hash join,
-        ``ALL`` for a scan) and the key column used."""
-        rows = []
-        alias_map = self._alias_map(select)
-        single = len(select.tables) == 1 and not select.joins
-        left_aliases = set()
-        for pos, ref in enumerate(select.tables):
-            if isinstance(ref, ast.DerivedTable):
-                rows.append((ref.alias, "DERIVED", None, None))
-                left_aliases.add(ref.alias.lower())
-                continue
-            table = self._db.table(ref.name)
-            plan = None
-            if pos == 0:
-                plan = self._access_plan(ref, select.where,
-                                         allow_unqualified=single)
-            if plan is None:
-                rows.append((table.name, "ALL", None, len(table)))
-            elif plan[0] == "eq":
-                rows.append((table.name, "ref", plan[1], len(table)))
-            else:
-                rows.append((table.name, "range", plan[1], len(table)))
-            left_aliases.add((ref.alias or ref.name).lower())
-        for join in select.joins:
-            if isinstance(join.table, ast.DerivedTable):
-                rows.append((join.table.alias, "DERIVED", None, None))
-                left_aliases.add(join.table.alias.lower())
-                continue
-            table = self._db.table(join.table.name)
-            keys = None
-            if (self.enable_hash_join and join.on is not None
-                    and join.kind in ("INNER", "LEFT", "RIGHT")):
-                keys = self._equi_join_keys(join, left_aliases, alias_map)
-            if keys is not None:
-                rows.append((table.name, "hash",
-                             keys[1].split(".", 1)[1], len(table)))
-            else:
-                rows.append((table.name, "ALL", None, len(table)))
-            left_aliases.add((join.table.alias or join.table.name).lower())
-        return ResultSet(["table", "type", "key", "rows"], rows)
-
-    def _apply_join(self, join, left_rows, right_rows, right_cols, ctx,
-                    left_aliases=None, alias_map=None):
-        keys = None
-        if (self.enable_hash_join and join.on is not None
-                and left_aliases is not None
-                and join.kind in ("INNER", "LEFT", "RIGHT")):
-            keys = self._equi_join_keys(join, left_aliases, alias_map)
-        if keys is not None:
-            self.plan_stats["hash_joins"] += 1
-            return self._hash_join(join, left_rows, right_rows,
-                                   right_cols, ctx, keys)
-        self.plan_stats["nested_loop_joins"] += 1
-        return self._nested_join(join, left_rows, right_rows, right_cols,
-                                 ctx)
-
-    def _equi_join_keys(self, join, left_aliases, alias_map):
-        """``(left "alias.col", right "alias.col")`` when the ON clause
-        contains a hash-safe equi predicate, else ``None``.
-
-        Hash-safe means: both sides are base-table columns whose types
-        share a :func:`type_class` — :func:`compare` coerces *across*
-        classes (``'1' = 1`` matches), which a static hash key cannot
-        reproduce, so mixed-class keys fall back to nested loops.
-        """
-        right_ref = join.table
-        if isinstance(right_ref, ast.DerivedTable):
-            return None
-        right_alias = (right_ref.alias or right_ref.name).lower()
-        if right_alias in left_aliases:
-            return None     # self-join without aliases: refs ambiguous
-        for expr in _and_operands(join.on):
-            if not isinstance(expr, ast.BinaryOp) or expr.op != "=":
-                continue
-            sides = []
-            for operand in (expr.left, expr.right):
-                side = self._join_side(operand, left_aliases, right_alias,
-                                       alias_map)
-                if side is None:
-                    break
-                sides.append(side)
-            if len(sides) != 2:
-                continue
-            (side1, key1, class1), (side2, key2, class2) = sides
-            if {side1, side2} != {"left", "right"}:
-                continue
-            if class1 is None or class1 != class2:
-                continue
-            if side1 == "left":
-                return key1, key2
-            return key2, key1
-        return None
-
-    def _join_side(self, operand, left_aliases, right_alias, alias_map):
-        """Classify one ON operand: ``(side, "alias.col", type_class)``
-        or ``None`` when it is not a resolvable base-table column."""
-        if not isinstance(operand, ast.ColumnRef):
-            return None
-        name = operand.name.lower()
-        if operand.table is not None:
-            alias = operand.table.lower()
-            if alias == right_alias:
-                side = "right"
-            elif alias in left_aliases:
-                side = "left"
-            else:
-                return None
-        else:
-            scope = list(left_aliases) + [right_alias]
-            if any(alias_map.get(a) is None for a in scope):
-                return None     # a derived table could shadow the name
-            owners = [a for a in scope
-                      if alias_map[a].has_column(name)]
-            if len(owners) != 1:
-                return None
-            alias = owners[0]
-            side = "right" if alias == right_alias else "left"
-        table = alias_map.get(alias)
-        if table is None or not table.has_column(name):
-            return None
-        return side, "%s.%s" % (alias, name), \
-            type_class(table.column(name).type_name)
-
-    def _hash_join(self, join, left_rows, right_rows, right_cols, ctx,
-                   keys):
-        """Hash equi-join, building on the smaller input.
-
-        Matches are bucketed per *outer* row (outer = left, or right for
-        RIGHT JOIN) and emitted in outer-major order, which reproduces
-        the nested-loop output order exactly regardless of which side
-        the hash table was built on.  The full ON expression re-checks
-        every hash candidate, so extra AND conditions still apply.
-        NULL keys never match (SQL ``=`` semantics); for outer joins
-        the unmatched rows null-extend as usual.
-        """
-        left_key, right_key = keys
-        outer_is_left = join.kind != "RIGHT"
-        if outer_is_left:
-            outer_rows, inner_rows = left_rows, right_rows
-            outer_key, inner_key = left_key, right_key
-        else:
-            outer_rows, inner_rows = right_rows, left_rows
-            outer_key, inner_key = right_key, left_key
-
-        def merged_for(outer, inner):
-            return _merge(outer, inner) if outer_is_left \
-                else _merge(inner, outer)
-
-        matches = [[] for _ in outer_rows]
-        if len(inner_rows) <= len(outer_rows):
-            # build on inner, probe outer
-            buckets = {}
-            for inner in inner_rows:
-                value = inner.get(inner_key)
-                if value is None:
-                    continue
-                buckets.setdefault(sort_key(value), []).append(inner)
-            for pos, outer in enumerate(outer_rows):
-                value = outer.get(outer_key)
-                if value is None:
-                    continue
-                for inner in buckets.get(sort_key(value), ()):
-                    merged = merged_for(outer, inner)
-                    if is_truthy(evaluate(join.on, ctx.child(merged))):
-                        matches[pos].append(merged)
-        else:
-            # build on outer, probe inner (inner order per bucket is
-            # preserved, so the emitted order is unchanged)
-            buckets = {}
-            for pos, outer in enumerate(outer_rows):
-                value = outer.get(outer_key)
-                if value is None:
-                    continue
-                buckets.setdefault(sort_key(value), []).append(pos)
-            for inner in inner_rows:
-                value = inner.get(inner_key)
-                if value is None:
-                    continue
-                for pos in buckets.get(sort_key(value), ()):
-                    merged = merged_for(outer_rows[pos], inner)
-                    if is_truthy(evaluate(join.on, ctx.child(merged))):
-                        matches[pos].append(merged)
-        if join.kind == "INNER":
-            out = []
-            for bucket in matches:
-                out.extend(bucket)
-            return out
-        out = []
-        if outer_is_left:
-            null_inner = {
-                "%s.%s" % (alias, col): None for alias, col in right_cols
-            }
-            for pos, outer in enumerate(outer_rows):
-                if matches[pos]:
-                    out.extend(matches[pos])
-                else:
-                    out.append(_merge(outer, null_inner))
-        else:
-            left_keys = [
-                key for key in (left_rows[0] if left_rows else {})
-                if not key.startswith("__source__")
-            ]
-            null_inner = {key: None for key in left_keys}
-            for pos, outer in enumerate(outer_rows):
-                if matches[pos]:
-                    out.extend(matches[pos])
-                else:
-                    out.append(_merge(null_inner, outer))
-        return out
-
-    def _nested_join(self, join, left_rows, right_rows, right_cols, ctx):
-        out = []
-        if join.kind in ("INNER", "CROSS"):
-            for a in left_rows:
-                for b in right_rows:
-                    merged = _merge(a, b)
-                    if join.on is None or is_truthy(
-                        evaluate(join.on, ctx.child(merged))
-                    ):
-                        out.append(merged)
-            return out
-        if join.kind == "LEFT":
-            null_right = {
-                "%s.%s" % (alias, col): None for alias, col in right_cols
-            }
-            for a in left_rows:
-                matched = False
-                for b in right_rows:
-                    merged = _merge(a, b)
-                    if join.on is None or is_truthy(
-                        evaluate(join.on, ctx.child(merged))
-                    ):
-                        matched = True
-                        out.append(merged)
-                if not matched:
-                    out.append(_merge(a, null_right))
-            return out
-        if join.kind == "RIGHT":
-            left_cols = [
-                key for key in (left_rows[0] if left_rows else {})
-                if not key.startswith("__source__")
-            ]
-            null_left = {key: None for key in left_cols}
-            for b in right_rows:
-                matched = False
-                for a in left_rows:
-                    merged = _merge(a, b)
-                    if join.on is None or is_truthy(
-                        evaluate(join.on, ctx.child(merged))
-                    ):
-                        matched = True
-                        out.append(merged)
-                if not matched:
-                    out.append(_merge(null_left, b))
-            return out
-        raise ExecutionError("unsupported join kind %r" % join.kind)
-
-    # -- aggregation ---------------------------------------------------------
-
-    def _collect_aggregates(self, stmt):
-        aggregates = []
-
-        def walk(node):
-            if node is None:
-                return
-            if isinstance(node, ast.FuncCall):
-                if is_aggregate(node.name):
-                    aggregates.append(node)
-                    return  # no nested aggregates
-                for arg in node.args:
-                    walk(arg)
-            elif isinstance(node, ast.SelectField):
-                walk(node.expr)
-            elif isinstance(node, ast.BinaryOp):
-                walk(node.left)
-                walk(node.right)
-            elif isinstance(node, (ast.UnaryOp, ast.Not)):
-                walk(node.operand)
-            elif isinstance(node, ast.Cond):
-                for operand in node.operands:
-                    walk(operand)
-            elif isinstance(node, ast.InList):
-                walk(node.expr)
-                if not isinstance(node.items, ast.Subquery):
-                    for item in node.items:
-                        walk(item)
-            elif isinstance(node, ast.Between):
-                walk(node.expr)
-                walk(node.low)
-                walk(node.high)
-            elif isinstance(node, (ast.IsNull,)):
-                walk(node.expr)
-            elif isinstance(node, ast.Like):
-                walk(node.expr)
-                walk(node.pattern)
-            elif isinstance(node, ast.Case):
-                walk(node.operand)
-                for cond, result in node.whens:
-                    walk(cond)
-                    walk(result)
-                walk(node.default)
-
-        for field in stmt.fields:
-            walk(field)
-        walk(stmt.having)
-        for order in stmt.order_by:
-            walk(order.expr)
-        return aggregates
-
-    def _group(self, stmt, rows, aggregates, ctx):
-        groups = {}
-        order = []
-        if stmt.group_by:
-            for row in rows:
-                key = tuple(
-                    _group_key(evaluate(expr, ctx.child(row)))
-                    for expr in stmt.group_by
-                )
-                if key not in groups:
-                    groups[key] = []
-                    order.append(key)
-                groups[key].append(row)
-        else:
-            groups[()] = rows
-            order.append(())
-        out = []
-        for key in order:
-            members = groups[key]
-            rep = dict(members[0]) if members else {}
-            for agg in aggregates:
-                rep["__agg__%s" % _agg_key(agg)] = self._eval_aggregate(
-                    agg, members, ctx
-                )
-            out.append(rep)
-        return out
-
-    def _eval_aggregate(self, node, rows, ctx):
-        name = node.name.upper()
-        if name == "COUNT" and node.args and isinstance(node.args[0],
-                                                        ast.Star):
-            return len(rows)
-        values = []
-        for row in rows:
-            value = evaluate(node.args[0], ctx.child(row))
-            if value is not None:
-                values.append(value)
-        if node.distinct:
-            unique = []
-            for value in values:
-                if all(compare(value, v) != 0 for v in unique):
-                    unique.append(value)
-            values = unique
-        if name == "COUNT":
-            return len(values)
-        if not values:
-            return None
-        if name == "SUM":
-            from repro.sqldb.types import coerce_to_number
-            return sum(coerce_to_number(v) for v in values)
-        if name == "AVG":
-            from repro.sqldb.types import coerce_to_number
-            nums = [coerce_to_number(v) for v in values]
-            return sum(nums) / float(len(nums))
-        if name == "MIN":
-            return min(values, key=sort_key)
-        if name == "MAX":
-            return max(values, key=sort_key)
-        if name == "GROUP_CONCAT":
-            from repro.sqldb.types import render_value
-            return ",".join(render_value(v) for v in values)
-        raise ExecutionError("unknown aggregate %r" % name)
-
-    # -- projection / ordering ------------------------------------------------
-
-    def _project(self, stmt, rows, source_columns, ctx):
-        columns = []
-        extractors = []
-        for field in stmt.fields:
-            if isinstance(field.expr, ast.Star):
-                wanted = field.expr.table
-                for alias, col in source_columns:
-                    if wanted is not None and alias != wanted.lower():
-                        continue
-                    columns.append(col)
-                    extractors.append(_column_extractor(alias, col))
-                if wanted is not None and not any(
-                    alias == wanted.lower() for alias, _ in source_columns
-                ):
-                    raise ExecutionError("Unknown table '%s'" % wanted)
-            else:
-                columns.append(field.alias or _field_label(field.expr))
-                extractors.append(_expr_extractor(field.expr, ctx))
-        pairs = []
-        for row in rows:
-            out = tuple(fn(row) for fn in extractors)
-            pairs.append((row, out))
-        return columns, pairs
-
-    def _order_decorate(self, stmt, pairs, columns, ctx):
-        """``[(sort keys, original position, pair), ...]`` for ORDER BY."""
-        lowered = [c.lower() for c in columns]
-
-        def keys_for(pair):
-            src, out = pair
-            key = []
-            for order in stmt.order_by:
-                expr = order.expr
-                if isinstance(expr, ast.Literal) and expr.type_tag == "int":
-                    idx = expr.value - 1
-                    if idx < 0 or idx >= len(out):
-                        raise ExecutionError(
-                            "Unknown column '%d' in 'order clause'"
-                            % expr.value
-                        )
-                    value = out[idx]
-                elif (
-                    isinstance(expr, ast.ColumnRef)
-                    and expr.table is None
-                    and expr.name.lower() in lowered
-                ):
-                    value = out[lowered.index(expr.name.lower())]
-                else:
-                    value = evaluate(expr, ctx.child(src))
-                key.append(sort_key(value))
-            return key
-
-        return [(keys_for(pair), i, pair) for i, pair in enumerate(pairs)]
-
-    def _order(self, stmt, pairs, columns, ctx):
-        self.plan_stats["full_sorts"] += 1
-        decorated = self._order_decorate(stmt, pairs, columns, ctx)
-        # stable multi-key sort honouring per-key direction
-        for pos in range(len(stmt.order_by) - 1, -1, -1):
-            reverse = stmt.order_by[pos].direction == "DESC"
-            decorated.sort(key=lambda item: item[0][pos], reverse=reverse)
-        return [pair for _, _, pair in decorated]
-
-    def _order_topk(self, stmt, pairs, columns, ctx, k):
-        """ORDER BY fused with LIMIT: heap top-k over the same total
-        order :meth:`_order` produces (per-key direction, stable by
-        original position), without ever materializing the full sort."""
-        if k >= len(pairs):
-            return self._order(stmt, pairs, columns, ctx)
-        self.plan_stats["topk_orders"] += 1
-        decorated = self._order_decorate(stmt, pairs, columns, ctx)
-        descending = [o.direction == "DESC" for o in stmt.order_by]
-
-        def compare_items(a, b):
-            for pos, desc in enumerate(descending):
-                key_a, key_b = a[0][pos], b[0][pos]
-                if key_a == key_b:
-                    continue
-                less = key_a < key_b
-                if desc:
-                    less = not less
-                return -1 if less else 1
-            return -1 if a[1] < b[1] else 1     # stability tiebreak
-
-        top = heapq.nsmallest(k, decorated,
-                              key=functools.cmp_to_key(compare_items))
-        return [pair for _, _, pair in top]
-
-    # -- DML --------------------------------------------------------------------
-
-    def _insert(self, stmt, ctx):
-        table = self._db.table(stmt.table)
-        columns = stmt.columns or table.column_names()
-        inserted = 0
-        last_id = None
-        for row_exprs in stmt.rows:
-            if len(row_exprs) != len(columns):
-                raise ExecutionError(
-                    "Column count doesn't match value count", errno=1136
-                )
-            values = {}
-            for col, expr in zip(columns, row_exprs):
-                values[col.lower()] = evaluate(expr, ctx)
-            if stmt.replace:
-                # REPLACE INTO: delete any row conflicting on a unique
-                # key, then insert (affected = deleted + inserted)
-                inserted += self._delete_conflicting(table, values)
-            try:
-                auto = table.insert(values)
-            except ExecutionError as exc:
-                if exc.errno == 1062 and stmt.on_duplicate:
-                    inserted += self._apply_on_duplicate(
-                        table, stmt.on_duplicate, values, ctx
-                    )
-                    continue
-                if stmt.ignore:
-                    continue
-                raise
-            if auto is not None:
-                last_id = auto
-            inserted += 1
-        if last_id is not None:
-            ctx.session.last_insert_id = last_id
-        return ExecutionResult(
-            affected_rows=inserted,
-            last_insert_id=last_id,
-            sleep_seconds=ctx.sleep_seconds,
-        )
-
-    def _delete_conflicting(self, table, values):
-        keys = [c.name for c in table.columns if c.primary_key or c.unique]
-        conflicts = []
-        for row in table.rows:
-            if any(
-                values.get(key) is not None
-                and row.get(key) == table.convert(key, values[key])
-                for key in keys
-            ):
-                conflicts.append(row)
-        if conflicts:
-            table.delete_rows(conflicts)
-        return len(conflicts)
-
-    def _apply_on_duplicate(self, table, assignments, new_values, ctx):
-        """ON DUPLICATE KEY UPDATE: update the conflicting row.
-
-        ``VALUES(col)`` inside an assignment refers to the value the
-        failed insert attempted for *col* (MySQL semantics).
-        """
-        keys = [c.name for c in table.columns if c.primary_key or c.unique]
-        target = None
-        for row in table.rows:
-            if any(
-                new_values.get(key) is not None
-                and row.get(key) == table.convert(key, new_values[key])
-                for key in keys
-            ):
-                target = row
-                break
-        if target is None:
-            return 0
-        env = {"%s.%s" % (table.name, k): v for k, v in target.items()}
-        updates = {}
-        for col, expr in assignments:
-            resolved = _resolve_values_refs(expr, new_values)
-            value = table.convert(col, evaluate(resolved, ctx.child(env)))
-            if target.get(col.lower()) != value:
-                updates[col.lower()] = value
-        if updates:
-            table.update_row(target, updates)
-        # MySQL reports 2 affected rows when an ODKU update changed one
-        return 2 if updates else 0
-
-    def _update(self, stmt, ctx):
-        table = self._db.table(stmt.table)
-        alias = table.name
-        changed = 0
-        targets = []
-        for stored in table.rows:
-            env = {"%s.%s" % (alias, k): v for k, v in stored.items()}
-            if stmt.where is None or is_truthy(
-                evaluate(stmt.where, ctx.child(env))
-            ):
-                targets.append((stored, env))
-        targets = self._order_dml_targets(stmt.order_by, targets, ctx)
-        if stmt.limit is not None:
-            count = int(evaluate(stmt.limit.count, ctx))
-            targets = targets[: max(count, 0)]
-        for stored, env in targets:
-            updates = {}
-            for col, expr in stmt.assignments:
-                if not table.has_column(col):
-                    raise ExecutionError(
-                        "Unknown column '%s' in 'field list'" % col,
-                        errno=1054,
-                    )
-                updates[col.lower()] = table.convert(
-                    col, evaluate(expr, ctx.child(env))
-                )
-            delta = {k: v for k, v in updates.items()
-                     if stored.get(k) != v}
-            if delta:
-                table.update_row(stored, delta)
-                changed += 1
-        return ExecutionResult(
-            affected_rows=changed, sleep_seconds=ctx.sleep_seconds
-        )
-
-    def _delete(self, stmt, ctx):
-        table = self._db.table(stmt.table)
-        alias = table.name
-        targets = []
-        for stored in table.rows:
-            env = {"%s.%s" % (alias, k): v for k, v in stored.items()}
-            if stmt.where is None or is_truthy(
-                evaluate(stmt.where, ctx.child(env))
-            ):
-                targets.append((stored, env))
-        targets = self._order_dml_targets(stmt.order_by, targets, ctx)
-        if stmt.limit is not None:
-            count = int(evaluate(stmt.limit.count, ctx))
-            targets = targets[: max(count, 0)]
-        doomed = [stored for stored, _ in targets]
-        if doomed:
-            table.delete_rows(doomed)
-        return ExecutionResult(
-            affected_rows=len(doomed), sleep_seconds=ctx.sleep_seconds
-        )
-
-    def _order_dml_targets(self, order_by, targets, ctx):
-        """ORDER BY for UPDATE/DELETE target selection (matters with
-        LIMIT: MySQL deletes/updates the first N *in order*)."""
-        if not order_by:
-            return targets
-        decorated = list(targets)
-        for item in reversed(order_by):
-            reverse = item.direction == "DESC"
-            decorated.sort(
-                key=lambda pair: sort_key(
-                    evaluate(item.expr, ctx.child(pair[1]))
-                ),
-                reverse=reverse,
-            )
-        return decorated
 
     # -- DDL ----------------------------------------------------------------------
 
@@ -1123,156 +309,3 @@ class Executor(object):
                 ["Field", "Type", "Null", "Key", "Default", "Extra"], rows
             )
         )
-
-
-def _resolve_values_refs(expr, new_values):
-    """Replace ``VALUES(col)`` calls with the attempted insert value."""
-    if isinstance(expr, ast.FuncCall) and expr.name == "VALUES" and \
-            len(expr.args) == 1 and isinstance(expr.args[0], ast.ColumnRef):
-        value = new_values.get(expr.args[0].name.lower())
-        from repro.sqldb.prepared import literal_for
-        return literal_for(value)
-    if isinstance(expr, ast.BinaryOp):
-        return ast.BinaryOp(
-            expr.op,
-            _resolve_values_refs(expr.left, new_values),
-            _resolve_values_refs(expr.right, new_values),
-        )
-    if isinstance(expr, ast.FuncCall):
-        return ast.FuncCall(
-            expr.name,
-            [_resolve_values_refs(a, new_values) for a in expr.args],
-            expr.distinct,
-        )
-    return expr
-
-
-def _and_operands(expr):
-    """Flatten arbitrarily nested AND chains into their leaf operands."""
-    if isinstance(expr, ast.Cond) and expr.op == "AND":
-        leaves = []
-        for operand in expr.operands:
-            leaves.extend(_and_operands(operand))
-        return leaves
-    return [expr]
-
-
-def _scoped_column(expr, alias, allow_unqualified):
-    """Column name when *expr* is a ColumnRef resolvable to *alias*."""
-    if not isinstance(expr, ast.ColumnRef):
-        return None
-    if expr.table is None:
-        return expr.name.lower() if allow_unqualified else None
-    return expr.name.lower() if expr.table.lower() == alias else None
-
-
-def _equality_pair(expr, alias, allow_unqualified=True):
-    """``col = literal`` (either side) scoped to *alias*, else ``None``."""
-    if not isinstance(expr, ast.BinaryOp) or expr.op != "=":
-        return None
-    for left, right in ((expr.left, expr.right), (expr.right, expr.left)):
-        if isinstance(left, ast.ColumnRef) and isinstance(right,
-                                                          ast.Literal):
-            column = _scoped_column(left, alias, allow_unqualified)
-            if column is None:
-                continue
-            if right.value is None:
-                return None  # NULL never matches through '='
-            return column, right.value
-    return None
-
-
-#: comparison flips when the literal moves to the left of the operator
-_FLIPPED = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}
-
-
-def _range_bounds(expr, alias, allow_unqualified):
-    """``(col, low, high, low_incl, high_incl)`` for an index range
-    scan (``<``/``>``/``<=``/``>=``/``BETWEEN`` against a literal)."""
-    if isinstance(expr, ast.Between) and not expr.negated:
-        column = _scoped_column(expr.expr, alias, allow_unqualified)
-        if (column is not None
-                and isinstance(expr.low, ast.Literal)
-                and isinstance(expr.high, ast.Literal)
-                and expr.low.value is not None
-                and expr.high.value is not None):
-            return (column, expr.low.value, expr.high.value, True, True)
-        return None
-    if not isinstance(expr, ast.BinaryOp) or expr.op not in _FLIPPED:
-        return None
-    op = expr.op
-    if isinstance(expr.left, ast.ColumnRef) and isinstance(expr.right,
-                                                           ast.Literal):
-        ref, literal = expr.left, expr.right.value
-    elif isinstance(expr.right, ast.ColumnRef) and isinstance(expr.left,
-                                                              ast.Literal):
-        ref, literal = expr.right, expr.left.value
-        op = _FLIPPED[op]
-    else:
-        return None
-    column = _scoped_column(ref, alias, allow_unqualified)
-    if column is None or literal is None:
-        return None
-    if op == "<":
-        return (column, None, literal, True, False)
-    if op == "<=":
-        return (column, None, literal, True, True)
-    if op == ">":
-        return (column, literal, None, False, True)
-    return (column, literal, None, True, True)
-
-
-def _literal_fits_column(table, column, literal):
-    """Index access is only trusted when the literal's class matches
-    the column's storage class: stored values are homogeneous after
-    ``store_convert``, so within a class the index key order/equality
-    agrees with :func:`compare` — but a numeric literal against a
-    string column coerces row-by-row and must fall back to a scan."""
-    cls = type_class(table.column(column).type_name)
-    if cls == "n":
-        return isinstance(literal, (bool, int, float, str))
-    if cls == "s":
-        return isinstance(literal, str)
-    return False
-
-
-def _merge(a, b):
-    merged = dict(a)
-    merged.update(b)
-    return merged
-
-
-def _group_key(value):
-    if isinstance(value, str):
-        return ("s", value.lower())
-    if value is None:
-        return ("n", None)
-    return ("v", float(value))
-
-
-def _column_extractor(alias, col):
-    key = "%s.%s" % (alias, col)
-
-    def extract(row):
-        return row.get(key)
-
-    return extract
-
-
-def _expr_extractor(expr, ctx):
-    def extract(row):
-        return evaluate(expr, ctx.child(row))
-
-    return extract
-
-
-def _field_label(expr):
-    """Column heading MySQL would produce for an unaliased expression."""
-    if isinstance(expr, ast.ColumnRef):
-        return expr.name
-    if isinstance(expr, ast.FuncCall):
-        return "%s(...)" % expr.name.lower()
-    if isinstance(expr, ast.Literal):
-        from repro.sqldb.types import render_value
-        return render_value(expr.value)
-    return type(expr).__name__.lower()

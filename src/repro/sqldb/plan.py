@@ -1,0 +1,1291 @@
+"""Streaming operator trees — the *execute* half of the plan/execute split.
+
+Physical plans produced by :mod:`repro.sqldb.planner` are trees of
+:class:`PlanNode` operators in the classic Volcano/iterator style: every
+operator exposes :meth:`PlanNode.rows`, a generator that pulls from its
+children lazily.  Non-blocking operators (scans, Filter, Project,
+Distinct, Limit) never materialize their input, which is what makes
+``LIMIT n`` stop the upstream scan after *n* rows.  Blocking operators
+(joins, Aggregate, Sort, TopK, Union, the DML sinks) buffer exactly the
+rows their algorithm requires and report the high-water mark through
+:attr:`StageStats.peak_materialized_rows`.
+
+Two stream shapes flow through a tree:
+
+* below :class:`Project`: *env rows* — dicts keyed ``"alias.col"`` plus
+  ``"__source__alias"`` pointing at the stored row dict;
+* at and above :class:`Project`: ``(env_row, out_tuple)`` pairs
+  (:class:`Union` yields ``(None, out_tuple)``).
+
+Every execution threads an :class:`ExecState` through the tree; its
+:class:`StageStats` records per-node rows-out, open/close ticks on a
+deterministic virtual clock, and the strategy counters that
+:attr:`Executor.plan_stats` rolls up.  ``EXPLAIN`` is a straight
+rendering of the tree (:func:`render_explain`), as are the golden-plan
+snapshots (:func:`render_tree`) — there is no parallel bookkeeping.
+"""
+
+import functools
+import heapq
+
+from repro import faults as faults_mod
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb.errors import ExecutionError
+from repro.sqldb.expression import evaluate, _agg_key
+from repro.sqldb.storage import ResultSet
+from repro.sqldb.types import compare, is_truthy, sort_key
+
+
+class ExecutionResult(object):
+    """Uniform result wrapper: a result set or an affected-row count."""
+
+    __slots__ = ("result_set", "affected_rows", "last_insert_id",
+                 "sleep_seconds")
+
+    def __init__(self, result_set=None, affected_rows=0, last_insert_id=None,
+                 sleep_seconds=0.0):
+        self.result_set = result_set
+        self.affected_rows = affected_rows
+        self.last_insert_id = last_insert_id
+        #: simulated SLEEP()/BENCHMARK() seconds accumulated while executing
+        self.sleep_seconds = sleep_seconds
+
+    @property
+    def is_select(self):
+        return self.result_set is not None
+
+    def __repr__(self):
+        if self.is_select:
+            return "ExecutionResult(%r)" % (self.result_set,)
+        return "ExecutionResult(affected=%d)" % self.affected_rows
+
+
+class StageStats(object):
+    """Per-execution instrumentation rollup.
+
+    Plan nodes are shared between executions (and threads) through the
+    pipeline cache, so no counter lives on a node: every row event lands
+    here, keyed by ``node_id``.  The clock is virtual — a tick per row
+    event — which keeps stage timings deterministic."""
+
+    __slots__ = ("nodes", "order", "ticks", "peak_materialized_rows",
+                 "counters")
+
+    def __init__(self):
+        self.nodes = {}
+        self.order = []
+        self.ticks = 0
+        #: high-water mark of rows buffered at once by blocking operators
+        self.peak_materialized_rows = 0
+        #: strategy counters (same keys as Executor.plan_stats)
+        self.counters = {}
+
+    def tick(self):
+        self.ticks += 1
+        return self.ticks
+
+    def enter(self, node):
+        """Record for *node*, created at first open (idempotent)."""
+        rec = self.nodes.get(node.node_id)
+        if rec is None:
+            rec = {
+                "label": node.label(),
+                "kind": node.kind,
+                "children": tuple(c.node_id for c in node.child_nodes()),
+                "rows_out": 0,
+                "open_tick": self.tick(),
+                "close_tick": None,
+            }
+            self.nodes[node.node_id] = rec
+            self.order.append(node.node_id)
+        return rec
+
+    def count(self, name, amount=1):
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def note_materialized(self, count):
+        if count > self.peak_materialized_rows:
+            self.peak_materialized_rows = count
+
+    def rows_in(self, node_id):
+        """Rows a node consumed = sum of its children's rows-out."""
+        rec = self.nodes.get(node_id)
+        if rec is None:
+            return 0
+        return sum(self.nodes[c]["rows_out"] for c in rec["children"]
+                   if c in self.nodes)
+
+    def node_records(self):
+        """Per-node records in open order, rows-in derived from the
+        children's rows-out (an operator never drops rows on input)."""
+        out = []
+        for node_id in self.order:
+            rec = dict(self.nodes[node_id])
+            rec["node_id"] = node_id
+            rec["rows_in"] = self.rows_in(node_id)
+            out.append(rec)
+        return out
+
+    def find(self, kind):
+        return [rec for rec in self.node_records() if rec["kind"] == kind]
+
+    def render_timings(self):
+        """One line per node: ``label in=N out=M t=open..close``."""
+        parts = []
+        for rec in self.node_records():
+            close = rec["close_tick"]
+            parts.append("%s in=%d out=%d t=%d..%s" % (
+                rec["label"], rec["rows_in"], rec["rows_out"],
+                rec["open_tick"], close if close is not None else "-",
+            ))
+        return "; ".join(parts)
+
+
+class ExecState(object):
+    """One execution of a plan: evaluation context + instrumentation."""
+
+    __slots__ = ("ctx", "stats", "outer_row")
+
+    def __init__(self, ctx, stats=None, outer_row=None):
+        self.ctx = ctx
+        self.stats = StageStats() if stats is None else stats
+        self.outer_row = outer_row
+
+
+class PlanNode(object):
+    """Base operator.  Subclasses implement :meth:`_generate`, a
+    generator (or iterable) over the node's output stream; :meth:`rows`
+    wraps it with the per-execution instrumentation and the
+    ``operator.next`` fault site (fired once per open, not per row —
+    the disarmed-guard budget is per-open)."""
+
+    kind = "node"
+    blocking = False
+    __slots__ = ("node_id", "children")
+
+    def __init__(self, children=()):
+        self.node_id = 0
+        self.children = tuple(children)
+
+    def label(self):
+        return self.kind
+
+    def child_nodes(self):
+        """Children as seen by instrumentation/rendering."""
+        return self.children
+
+    def rows(self, state):
+        rec = state.stats.enter(self)
+        if faults_mod.ACTIVE is not None:
+            faults_mod.fire("operator.next")
+        stats = state.stats
+        for row in self._generate(state):
+            rec["rows_out"] += 1
+            stats.ticks += 1
+            yield row
+        rec["close_tick"] = stats.tick()
+
+    def _generate(self, state):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "<%s #%d>" % (self.label(), self.node_id)
+
+
+def _env_rows(stored_rows, alias, outer_row):
+    """Wrap stored rows as env rows under *alias*."""
+    source_key = "__source__%s" % alias
+    prefix = alias + "."
+    for stored in stored_rows:
+        row = {} if outer_row is None else dict(outer_row)
+        for col_name, value in stored.items():
+            row[prefix + col_name] = value
+        row[source_key] = stored
+        yield row
+
+
+# -- leaf scans --------------------------------------------------------
+
+
+class SeqScan(PlanNode):
+    """Full-table scan.  ``counted`` marks the first-table fallback scan
+    (the one ``plan_stats["full_scans"]`` has always counted); join and
+    comma-list right sides scan too but were never counted."""
+
+    kind = "seq_scan"
+    __slots__ = ("table_name", "alias", "counted")
+
+    def __init__(self, table_name, alias, counted=True):
+        PlanNode.__init__(self)
+        self.table_name = table_name
+        self.alias = alias
+        self.counted = counted
+
+    def label(self):
+        if self.alias != self.table_name:
+            return "SeqScan(%s AS %s)" % (self.table_name, self.alias)
+        return "SeqScan(%s)" % self.table_name
+
+    def _generate(self, state):
+        table = state.ctx.database.table(self.table_name)
+        if self.counted:
+            state.stats.count("full_scans")
+        return _env_rows(table.iter_rows(), self.alias, state.outer_row)
+
+
+class IndexEqScan(PlanNode):
+    """Index bucket probe for ``col = literal``."""
+
+    kind = "index_eq_scan"
+    __slots__ = ("table_name", "alias", "column", "value")
+
+    def __init__(self, table_name, alias, column, value):
+        PlanNode.__init__(self)
+        self.table_name = table_name
+        self.alias = alias
+        self.column = column
+        self.value = value
+
+    def label(self):
+        return "IndexEqScan(%s.%s = %r)" % (self.table_name, self.column,
+                                            self.value)
+
+    def _generate(self, state):
+        table = state.ctx.database.table(self.table_name)
+        state.stats.count("index_eq")
+        return _env_rows(table.index_lookup_iter(self.column, self.value),
+                         self.alias, state.outer_row)
+
+
+class IndexRangeScan(PlanNode):
+    """Bisect scan over a sorted index for an inequality/BETWEEN."""
+
+    kind = "index_range_scan"
+    __slots__ = ("table_name", "alias", "column", "low", "high",
+                 "low_incl", "high_incl")
+
+    def __init__(self, table_name, alias, column, low, high,
+                 low_incl, high_incl):
+        PlanNode.__init__(self)
+        self.table_name = table_name
+        self.alias = alias
+        self.column = column
+        self.low = low
+        self.high = high
+        self.low_incl = low_incl
+        self.high_incl = high_incl
+
+    def label(self):
+        bounds = []
+        if self.low is not None:
+            bounds.append("%s %r" % (">=" if self.low_incl else ">",
+                                     self.low))
+        if self.high is not None:
+            bounds.append("%s %r" % ("<=" if self.high_incl else "<",
+                                     self.high))
+        return "IndexRangeScan(%s.%s %s)" % (self.table_name, self.column,
+                                             ", ".join(bounds))
+
+    def _generate(self, state):
+        table = state.ctx.database.table(self.table_name)
+        state.stats.count("index_range")
+        stored = table.index_range_iter(self.column, self.low, self.high,
+                                        self.low_incl, self.high_incl)
+        return _env_rows(stored, self.alias, state.outer_row)
+
+
+class SingleRow(PlanNode):
+    """The one-row source behind a FROM-less SELECT."""
+
+    kind = "single_row"
+    __slots__ = ()
+
+    def label(self):
+        return "SingleRow"
+
+    def _generate(self, state):
+        yield {} if state.outer_row is None else dict(state.outer_row)
+
+
+class DerivedScan(PlanNode):
+    """A FROM-clause subquery under its alias: runs the inner plan and
+    re-keys its output tuples as env rows.  The inner tree shares the
+    execution's :class:`StageStats` (its nodes show up in the same
+    instrumentation rollup)."""
+
+    kind = "derived_scan"
+    __slots__ = ("alias", "display_alias", "plan")
+
+    def __init__(self, alias, display_alias, plan):
+        PlanNode.__init__(self)
+        self.alias = alias
+        #: raw-case alias, the way EXPLAIN has always displayed it
+        self.display_alias = display_alias
+        self.plan = plan
+
+    def label(self):
+        return "Derived(%s)" % self.display_alias
+
+    def child_nodes(self):
+        return (self.plan.root,)
+
+    def _generate(self, state):
+        names = [c.lower() for c in self.plan.columns]
+        outer = state.outer_row
+        prefix = self.alias + "."
+        for _, values in self.plan.root.rows(state):
+            row = {} if outer is None else dict(outer)
+            for name, value in zip(names, values):
+                row[prefix + name] = value
+            yield row
+
+
+# -- streaming operators -----------------------------------------------
+
+
+class Filter(PlanNode):
+    kind = "filter"
+    __slots__ = ("expr", "role")
+
+    def __init__(self, child, expr, role="where"):
+        PlanNode.__init__(self, (child,))
+        self.expr = expr
+        self.role = role
+
+    def label(self):
+        return "Filter(%s)" % self.role
+
+    def _generate(self, state):
+        ctx = state.ctx
+        expr = self.expr
+        for row in self.children[0].rows(state):
+            if is_truthy(evaluate(expr, ctx.child(row))):
+                yield row
+
+
+class Project(PlanNode):
+    """Env rows in, ``(env_row, out_tuple)`` pairs out.  Specs are fixed
+    at plan time: ``("col", "alias.col")`` for plain column pulls,
+    ``("expr", node)`` for anything evaluated."""
+
+    kind = "project"
+    __slots__ = ("columns", "specs")
+
+    def __init__(self, child, columns, specs):
+        PlanNode.__init__(self, (child,))
+        self.columns = list(columns)
+        self.specs = tuple(specs)
+
+    def label(self):
+        return "Project(%s)" % ", ".join(self.columns)
+
+    def _generate(self, state):
+        ctx = state.ctx
+        specs = self.specs
+        for row in self.children[0].rows(state):
+            out = []
+            for tag, payload in specs:
+                if tag == "col":
+                    out.append(row.get(payload))
+                else:
+                    out.append(evaluate(payload, ctx.child(row)))
+            yield (row, tuple(out))
+
+
+class Distinct(PlanNode):
+    """Streaming DISTINCT: a seen-set over case-folded output tuples."""
+
+    kind = "distinct"
+    __slots__ = ()
+
+    def __init__(self, child):
+        PlanNode.__init__(self, (child,))
+
+    def label(self):
+        return "Distinct"
+
+    def _generate(self, state):
+        seen = set()
+        for src, out in self.children[0].rows(state):
+            key = _fold_row(out)
+            if key not in seen:
+                seen.add(key)
+                yield (src, out)
+
+
+class Limit(PlanNode):
+    """Streaming LIMIT/OFFSET: stops pulling from upstream once the
+    window is emitted — the early-exit that makes ``LIMIT n`` scan
+    O(n), not O(table)."""
+
+    kind = "limit"
+    __slots__ = ("count_expr", "offset_expr")
+
+    def __init__(self, child, count_expr, offset_expr):
+        PlanNode.__init__(self, (child,))
+        self.count_expr = count_expr
+        self.offset_expr = offset_expr
+
+    def label(self):
+        return "Limit"
+
+    def _generate(self, state):
+        ctx = state.ctx
+        count = max(int(evaluate(self.count_expr, ctx)), 0)
+        offset = 0
+        if self.offset_expr is not None:
+            offset = max(int(evaluate(self.offset_expr, ctx)), 0)
+        if count == 0:
+            return
+        emitted = 0
+        for pair in self.children[0].rows(state):
+            if offset > 0:
+                offset -= 1
+                continue
+            yield pair
+            emitted += 1
+            if emitted >= count:
+                break
+
+
+# -- blocking operators ------------------------------------------------
+
+
+class NestedLoopJoin(PlanNode):
+    """Nested-loop join; buffers the inner side only (the outer side
+    streams).  ``counted`` distinguishes explicit JOIN clauses (counted
+    in ``plan_stats``) from comma-list cross products (never were)."""
+
+    kind = "nested_loop_join"
+    blocking = True
+    __slots__ = ("join_kind", "on", "right_cols", "counted")
+
+    def __init__(self, left, right, join_kind, on, right_cols,
+                 counted=True):
+        PlanNode.__init__(self, (left, right))
+        self.join_kind = join_kind
+        self.on = on
+        self.right_cols = tuple(right_cols)
+        self.counted = counted
+
+    def label(self):
+        return "NestedLoopJoin(%s)" % self.join_kind
+
+    def _generate(self, state):
+        ctx = state.ctx
+        kind = self.join_kind
+        on = self.on
+        if self.counted:
+            state.stats.count("nested_loop_joins")
+        if kind == "RIGHT":
+            left_rows = list(self.children[0].rows(state))
+            state.stats.note_materialized(len(left_rows))
+            left_keys = [
+                key for key in (left_rows[0] if left_rows else {})
+                if not key.startswith("__source__")
+            ]
+            null_left = {key: None for key in left_keys}
+            for b in self.children[1].rows(state):
+                matched = False
+                for a in left_rows:
+                    merged = _merge(a, b)
+                    if on is None or is_truthy(
+                        evaluate(on, ctx.child(merged))
+                    ):
+                        matched = True
+                        yield merged
+                if not matched:
+                    yield _merge(null_left, b)
+            return
+        right_rows = list(self.children[1].rows(state))
+        state.stats.note_materialized(len(right_rows))
+        if kind in ("INNER", "CROSS"):
+            for a in self.children[0].rows(state):
+                for b in right_rows:
+                    merged = _merge(a, b)
+                    if on is None or is_truthy(
+                        evaluate(on, ctx.child(merged))
+                    ):
+                        yield merged
+            return
+        if kind == "LEFT":
+            null_right = {
+                "%s.%s" % (alias, col): None
+                for alias, col in self.right_cols
+            }
+            for a in self.children[0].rows(state):
+                matched = False
+                for b in right_rows:
+                    merged = _merge(a, b)
+                    if on is None or is_truthy(
+                        evaluate(on, ctx.child(merged))
+                    ):
+                        matched = True
+                        yield merged
+                if not matched:
+                    yield _merge(a, null_right)
+            return
+        raise ExecutionError("unsupported join kind %r" % kind)
+
+
+class HashJoin(PlanNode):
+    """Hash equi-join, building on the smaller input.
+
+    Matches are bucketed per *outer* row (outer = left, or right for
+    RIGHT JOIN) and emitted in outer-major order, which reproduces the
+    nested-loop output order exactly regardless of which side the hash
+    table was built on.  The full ON expression re-checks every hash
+    candidate; NULL keys never match; outer joins null-extend."""
+
+    kind = "hash_join"
+    blocking = True
+    __slots__ = ("join_kind", "on", "left_key", "right_key", "right_cols",
+                 "right_table")
+
+    def __init__(self, left, right, join_kind, on, left_key, right_key,
+                 right_cols, right_table):
+        PlanNode.__init__(self, (left, right))
+        self.join_kind = join_kind
+        self.on = on
+        self.left_key = left_key
+        self.right_key = right_key
+        self.right_cols = tuple(right_cols)
+        #: base-table name of the build/probe side, for EXPLAIN
+        self.right_table = right_table
+
+    def label(self):
+        return "HashJoin(%s %s = %s)" % (self.join_kind, self.left_key,
+                                         self.right_key)
+
+    def _generate(self, state):
+        ctx = state.ctx
+        on = self.on
+        left_rows = list(self.children[0].rows(state))
+        right_rows = list(self.children[1].rows(state))
+        state.stats.note_materialized(len(left_rows) + len(right_rows))
+        state.stats.count("hash_joins")
+        outer_is_left = self.join_kind != "RIGHT"
+        if outer_is_left:
+            outer_rows, inner_rows = left_rows, right_rows
+            outer_key, inner_key = self.left_key, self.right_key
+        else:
+            outer_rows, inner_rows = right_rows, left_rows
+            outer_key, inner_key = self.right_key, self.left_key
+
+        def merged_for(outer, inner):
+            return _merge(outer, inner) if outer_is_left \
+                else _merge(inner, outer)
+
+        matches = [[] for _ in outer_rows]
+        if len(inner_rows) <= len(outer_rows):
+            # build on inner, probe outer
+            buckets = {}
+            for inner in inner_rows:
+                value = inner.get(inner_key)
+                if value is None:
+                    continue
+                buckets.setdefault(sort_key(value), []).append(inner)
+            for pos, outer in enumerate(outer_rows):
+                value = outer.get(outer_key)
+                if value is None:
+                    continue
+                for inner in buckets.get(sort_key(value), ()):
+                    merged = merged_for(outer, inner)
+                    if is_truthy(evaluate(on, ctx.child(merged))):
+                        matches[pos].append(merged)
+        else:
+            # build on outer, probe inner (inner order per bucket is
+            # preserved, so the emitted order is unchanged)
+            buckets = {}
+            for pos, outer in enumerate(outer_rows):
+                value = outer.get(outer_key)
+                if value is None:
+                    continue
+                buckets.setdefault(sort_key(value), []).append(pos)
+            for inner in inner_rows:
+                value = inner.get(inner_key)
+                if value is None:
+                    continue
+                for pos in buckets.get(sort_key(value), ()):
+                    merged = merged_for(outer_rows[pos], inner)
+                    if is_truthy(evaluate(on, ctx.child(merged))):
+                        matches[pos].append(merged)
+        if self.join_kind == "INNER":
+            for bucket in matches:
+                for merged in bucket:
+                    yield merged
+            return
+        if outer_is_left:
+            null_inner = {
+                "%s.%s" % (alias, col): None
+                for alias, col in self.right_cols
+            }
+            for pos, outer in enumerate(outer_rows):
+                if matches[pos]:
+                    for merged in matches[pos]:
+                        yield merged
+                else:
+                    yield _merge(outer, null_inner)
+        else:
+            left_keys = [
+                key for key in (left_rows[0] if left_rows else {})
+                if not key.startswith("__source__")
+            ]
+            null_inner = {key: None for key in left_keys}
+            for pos, outer in enumerate(outer_rows):
+                if matches[pos]:
+                    for merged in matches[pos]:
+                        yield merged
+                else:
+                    yield _merge(null_inner, outer)
+
+
+class Aggregate(PlanNode):
+    """GROUP BY / aggregate evaluation.  Blocking by nature: every
+    group needs all of its members before an aggregate has a value.
+    Emits one representative env row per group (insertion order) with
+    ``__agg__``-keyed aggregate results spliced in."""
+
+    kind = "aggregate"
+    blocking = True
+    __slots__ = ("group_by", "aggregates")
+
+    def __init__(self, child, group_by, aggregates):
+        PlanNode.__init__(self, (child,))
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+
+    def label(self):
+        return "Aggregate(group_by=%d, aggs=%d)" % (len(self.group_by),
+                                                    len(self.aggregates))
+
+    def _generate(self, state):
+        ctx = state.ctx
+        rows = list(self.children[0].rows(state))
+        state.stats.note_materialized(len(rows))
+        groups = {}
+        order = []
+        if self.group_by:
+            for row in rows:
+                key = tuple(
+                    _group_key(evaluate(expr, ctx.child(row)))
+                    for expr in self.group_by
+                )
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(row)
+        else:
+            groups[()] = rows
+            order.append(())
+        for key in order:
+            members = groups[key]
+            rep = dict(members[0]) if members else {}
+            for agg in self.aggregates:
+                rep["__agg__%s" % _agg_key(agg)] = _eval_aggregate(
+                    agg, members, ctx
+                )
+            yield rep
+
+
+class Sort(PlanNode):
+    """Full ORDER BY sort (no LIMIT to fuse with): materializes, then
+    runs a stable multi-key sort honouring per-key direction."""
+
+    kind = "sort"
+    blocking = True
+    __slots__ = ("order_by", "columns")
+
+    def __init__(self, child, order_by, columns):
+        PlanNode.__init__(self, (child,))
+        self.order_by = tuple(order_by)
+        self.columns = list(columns)
+
+    def label(self):
+        return "Sort(%d keys)" % len(self.order_by)
+
+    def _generate(self, state):
+        ctx = state.ctx
+        state.stats.count("full_sorts")
+        keys_for = _pair_key_fn(self.order_by, self.columns, ctx)
+        decorated = [
+            (keys_for(pair), position, pair)
+            for position, pair in enumerate(self.children[0].rows(state))
+        ]
+        state.stats.note_materialized(len(decorated))
+        for pos in range(len(self.order_by) - 1, -1, -1):
+            reverse = self.order_by[pos].direction == "DESC"
+            decorated.sort(key=lambda item: item[0][pos], reverse=reverse)
+        for _, _, pair in decorated:
+            yield pair
+
+
+class TopK(PlanNode):
+    """ORDER BY fused with LIMIT: streams the decorated input into
+    ``heapq.nsmallest`` over the same total order :class:`Sort`
+    produces (per-key direction, stable by original position), holding
+    at most ``offset + count`` rows — never the full input."""
+
+    kind = "topk"
+    blocking = True
+    __slots__ = ("order_by", "columns", "count_expr", "offset_expr")
+
+    def __init__(self, child, order_by, columns, count_expr, offset_expr):
+        PlanNode.__init__(self, (child,))
+        self.order_by = tuple(order_by)
+        self.columns = list(columns)
+        self.count_expr = count_expr
+        self.offset_expr = offset_expr
+
+    def label(self):
+        return "TopK(%d keys)" % len(self.order_by)
+
+    def _generate(self, state):
+        ctx = state.ctx
+        count = max(int(evaluate(self.count_expr, ctx)), 0)
+        offset = 0
+        if self.offset_expr is not None:
+            offset = max(int(evaluate(self.offset_expr, ctx)), 0)
+        k = offset + count
+        state.stats.count("topk_orders")
+        keys_for = _pair_key_fn(self.order_by, self.columns, ctx)
+        descending = [o.direction == "DESC" for o in self.order_by]
+
+        def compare_items(a, b):
+            for pos, desc in enumerate(descending):
+                key_a, key_b = a[0][pos], b[0][pos]
+                if key_a == key_b:
+                    continue
+                less = key_a < key_b
+                if desc:
+                    less = not less
+                return -1 if less else 1
+            return -1 if a[1] < b[1] else 1     # stability tiebreak
+
+        decorated = (
+            (keys_for(pair), position, pair)
+            for position, pair in enumerate(self.children[0].rows(state))
+        )
+        top = heapq.nsmallest(k, decorated,
+                              key=functools.cmp_to_key(compare_items))
+        state.stats.note_materialized(len(top))
+        for _, _, pair in top:
+            yield pair
+
+
+class Union(PlanNode):
+    """UNION merge: children are the head select followed by every
+    branch; ``all_flags[i]`` is the ALL flag of branch ``i``.  The
+    union-level ORDER BY (position or output name only) and LIMIT apply
+    to the merged rows.  Yields ``(None, out_tuple)`` pairs — no single
+    env row describes a merged output row."""
+
+    kind = "union"
+    blocking = True
+    __slots__ = ("all_flags", "order_by", "limit", "columns")
+
+    def __init__(self, children, all_flags, order_by, limit, columns):
+        PlanNode.__init__(self, children)
+        self.all_flags = tuple(all_flags)
+        self.order_by = tuple(order_by)
+        self.limit = limit
+        self.columns = list(columns)
+
+    def label(self):
+        return "Union(%d branches)" % (len(self.children) - 1)
+
+    def _generate(self, state):
+        ctx = state.ctx
+        rows = [out for _, out in self.children[0].rows(state)]
+        dedupe = False
+        for branch, all_flag in zip(self.children[1:], self.all_flags):
+            for _, out in branch.rows(state):
+                rows.append(out)
+            if not all_flag:
+                dedupe = True
+        state.stats.note_materialized(len(rows))
+        if dedupe:
+            seen = set()
+            deduped = []
+            for row in rows:
+                key = _fold_row(row)
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(row)
+            rows = deduped
+        if self.order_by:
+            rows = _order_union_rows(rows, self.order_by, self.columns)
+        if self.limit is not None:
+            count = max(int(evaluate(self.limit.count, ctx)), 0)
+            offset = 0
+            if self.limit.offset is not None:
+                offset = max(int(evaluate(self.limit.offset, ctx)), 0)
+            rows = rows[offset:offset + count]
+        for out in rows:
+            yield (None, out)
+
+
+# -- DML sinks ---------------------------------------------------------
+
+
+class InsertSink(PlanNode):
+    """INSERT/REPLACE execution.  A sink: :meth:`run` returns an
+    :class:`ExecutionResult` instead of a row stream.  Its fault site
+    fires before any mutation so an injected crash never leaves a row
+    half-applied ahead of the WAL record."""
+
+    kind = "insert_sink"
+    blocking = True
+    __slots__ = ("stmt",)
+
+    def __init__(self, stmt):
+        PlanNode.__init__(self)
+        self.stmt = stmt
+
+    def label(self):
+        return "InsertSink(%s)" % self.stmt.table.lower()
+
+    def run(self, state):
+        rec = state.stats.enter(self)
+        if faults_mod.ACTIVE is not None:
+            faults_mod.fire("operator.next")
+        ctx = state.ctx
+        stmt = self.stmt
+        table = ctx.database.table(stmt.table)
+        columns = stmt.columns or table.column_names()
+        inserted = 0
+        last_id = None
+        for row_exprs in stmt.rows:
+            if len(row_exprs) != len(columns):
+                raise ExecutionError(
+                    "Column count doesn't match value count", errno=1136
+                )
+            values = {}
+            for col, expr in zip(columns, row_exprs):
+                values[col.lower()] = evaluate(expr, ctx)
+            if stmt.replace:
+                # REPLACE INTO: delete any row conflicting on a unique
+                # key, then insert (affected = deleted + inserted)
+                inserted += _delete_conflicting(table, values)
+            try:
+                auto = table.insert(values)
+            except ExecutionError as exc:
+                if exc.errno == 1062 and stmt.on_duplicate:
+                    inserted += _apply_on_duplicate(
+                        table, stmt.on_duplicate, values, ctx
+                    )
+                    continue
+                if stmt.ignore:
+                    continue
+                raise
+            if auto is not None:
+                last_id = auto
+            inserted += 1
+        if last_id is not None:
+            ctx.session.last_insert_id = last_id
+        rec["rows_out"] = inserted
+        rec["close_tick"] = state.stats.tick()
+        return ExecutionResult(
+            affected_rows=inserted,
+            last_insert_id=last_id,
+            sleep_seconds=ctx.sleep_seconds,
+        )
+
+
+class UpdateSink(PlanNode):
+    """UPDATE execution over an env-row child (scan + filter).  Targets
+    are fully materialized before the first mutation: the scan must not
+    observe its own writes, and injected faults in the child stream
+    must fire pre-mutation."""
+
+    kind = "update_sink"
+    blocking = True
+    __slots__ = ("stmt", "alias")
+
+    def __init__(self, child, stmt, alias):
+        PlanNode.__init__(self, (child,))
+        self.stmt = stmt
+        self.alias = alias
+
+    def label(self):
+        return "UpdateSink(%s)" % self.alias
+
+    def run(self, state):
+        rec = state.stats.enter(self)
+        if faults_mod.ACTIVE is not None:
+            faults_mod.fire("operator.next")
+        ctx = state.ctx
+        stmt = self.stmt
+        table = ctx.database.table(stmt.table)
+        source_key = "__source__%s" % self.alias
+        targets = [
+            (row[source_key], row)
+            for row in self.children[0].rows(state)
+        ]
+        state.stats.note_materialized(len(targets))
+        targets = _order_dml_targets(stmt.order_by, targets, ctx)
+        if stmt.limit is not None:
+            count = int(evaluate(stmt.limit.count, ctx))
+            targets = targets[: max(count, 0)]
+        changed = 0
+        for stored, env in targets:
+            updates = {}
+            for col, expr in stmt.assignments:
+                if not table.has_column(col):
+                    raise ExecutionError(
+                        "Unknown column '%s' in 'field list'" % col,
+                        errno=1054,
+                    )
+                updates[col.lower()] = table.convert(
+                    col, evaluate(expr, ctx.child(env))
+                )
+            delta = {k: v for k, v in updates.items()
+                     if stored.get(k) != v}
+            if delta:
+                table.update_row(stored, delta)
+                changed += 1
+        rec["rows_out"] = changed
+        rec["close_tick"] = state.stats.tick()
+        return ExecutionResult(
+            affected_rows=changed, sleep_seconds=ctx.sleep_seconds
+        )
+
+
+class DeleteSink(PlanNode):
+    """DELETE execution over an env-row child; same materialize-then-
+    mutate discipline as :class:`UpdateSink`."""
+
+    kind = "delete_sink"
+    blocking = True
+    __slots__ = ("stmt", "alias")
+
+    def __init__(self, child, stmt, alias):
+        PlanNode.__init__(self, (child,))
+        self.stmt = stmt
+        self.alias = alias
+
+    def label(self):
+        return "DeleteSink(%s)" % self.alias
+
+    def run(self, state):
+        rec = state.stats.enter(self)
+        if faults_mod.ACTIVE is not None:
+            faults_mod.fire("operator.next")
+        ctx = state.ctx
+        stmt = self.stmt
+        table = ctx.database.table(stmt.table)
+        source_key = "__source__%s" % self.alias
+        targets = [
+            (row[source_key], row)
+            for row in self.children[0].rows(state)
+        ]
+        state.stats.note_materialized(len(targets))
+        targets = _order_dml_targets(stmt.order_by, targets, ctx)
+        if stmt.limit is not None:
+            count = int(evaluate(stmt.limit.count, ctx))
+            targets = targets[: max(count, 0)]
+        doomed = [stored for stored, _ in targets]
+        if doomed:
+            table.delete_rows(doomed)
+        rec["rows_out"] = len(doomed)
+        rec["close_tick"] = state.stats.tick()
+        return ExecutionResult(
+            affected_rows=len(doomed), sleep_seconds=ctx.sleep_seconds
+        )
+
+
+# -- the physical plan -------------------------------------------------
+
+
+class PhysicalPlan(object):
+    """A planned statement: the operator tree plus what the executor
+    needs around it (output columns for SELECT, every base table the
+    tree touches for lock planning)."""
+
+    __slots__ = ("kind", "root", "columns", "tables", "lock_plan")
+
+    def __init__(self, kind, root, columns=None, tables=()):
+        self.kind = kind
+        self.root = root
+        self.columns = list(columns) if columns is not None else None
+        self.tables = frozenset(tables)
+        #: memoized LockPlan (filled by the engine on first execution;
+        #: deterministic per plan, so sharing across sessions is safe)
+        self.lock_plan = None
+
+    def __repr__(self):
+        return "PhysicalPlan(%s, %r)" % (self.kind, self.root)
+
+
+def render_tree(plan):
+    """Indented operator-tree snapshot (the golden-plan format)."""
+    lines = []
+
+    def walk(node, depth):
+        lines.append("  " * depth + node.label())
+        for child in node.child_nodes():
+            walk(child, depth + 1)
+
+    walk(plan.root, 0)
+    return "\n".join(lines)
+
+
+#: operators EXPLAIN looks through — they add no access-path information
+_EXPLAIN_TRANSPARENT = None     # filled after class definitions
+
+
+def render_explain(plan, database):
+    """EXPLAIN output rendered from the physical tree: one row per
+    table source with the access type (``ref``/``range`` via an index,
+    ``hash`` for a hash join, ``ALL`` for a scan, ``DERIVED`` for a
+    FROM-subquery — whose own sources follow) and the key column used.
+    Row estimates are the *live* table sizes at render time."""
+    rows = []
+    _explain_node(plan.root, database, rows)
+    return ResultSet(["table", "type", "key", "rows"], rows)
+
+
+def _explain_node(node, database, rows):
+    if isinstance(node, _EXPLAIN_TRANSPARENT):
+        _explain_node(node.children[0], database, rows)
+        return
+    if isinstance(node, Union):
+        for child in node.children:
+            _explain_node(child, database, rows)
+        return
+    if isinstance(node, SingleRow):
+        return
+    if isinstance(node, DerivedScan):
+        rows.append((node.display_alias, "DERIVED", None, None))
+        _explain_node(node.plan.root, database, rows)
+        return
+    if isinstance(node, SeqScan):
+        table = database.table(node.table_name)
+        rows.append((table.name, "ALL", None, len(table)))
+        return
+    if isinstance(node, IndexEqScan):
+        table = database.table(node.table_name)
+        rows.append((table.name, "ref", node.column, len(table)))
+        return
+    if isinstance(node, IndexRangeScan):
+        table = database.table(node.table_name)
+        rows.append((table.name, "range", node.column, len(table)))
+        return
+    if isinstance(node, HashJoin):
+        _explain_node(node.children[0], database, rows)
+        table = database.table(node.right_table)
+        rows.append((table.name, "hash",
+                     node.right_key.split(".", 1)[1], len(table)))
+        return
+    if isinstance(node, NestedLoopJoin):
+        _explain_node(node.children[0], database, rows)
+        _explain_node(node.children[1], database, rows)
+        return
+    raise ExecutionError("cannot explain %r" % type(node).__name__)
+
+
+_EXPLAIN_TRANSPARENT = (Limit, TopK, Sort, Distinct, Project, Aggregate,
+                        Filter)
+
+
+# -- shared evaluation helpers -----------------------------------------
+
+
+def _merge(a, b):
+    merged = dict(a)
+    merged.update(b)
+    return merged
+
+
+def _fold_row(out):
+    """Case-folded dedupe key for DISTINCT / UNION."""
+    return tuple(v.lower() if isinstance(v, str) else v for v in out)
+
+
+def _group_key(value):
+    if isinstance(value, str):
+        return ("s", value.lower())
+    if value is None:
+        return ("n", None)
+    return ("v", float(value))
+
+
+def _pair_key_fn(order_by, columns, ctx):
+    """ORDER BY key extractor over ``(env_row, out_tuple)`` pairs:
+    positional refs and unqualified output-name refs read the output
+    tuple, anything else evaluates against the env row."""
+    lowered = [c.lower() for c in columns]
+
+    def keys_for(pair):
+        src, out = pair
+        key = []
+        for order in order_by:
+            expr = order.expr
+            if isinstance(expr, ast.Literal) and expr.type_tag == "int":
+                idx = expr.value - 1
+                if idx < 0 or idx >= len(out):
+                    raise ExecutionError(
+                        "Unknown column '%d' in 'order clause'"
+                        % expr.value
+                    )
+                value = out[idx]
+            elif (
+                isinstance(expr, ast.ColumnRef)
+                and expr.table is None
+                and expr.name.lower() in lowered
+            ):
+                value = out[lowered.index(expr.name.lower())]
+            else:
+                value = evaluate(expr, ctx.child(src))
+            key.append(sort_key(value))
+        return key
+
+    return keys_for
+
+
+def _order_union_rows(rows, order_by, columns):
+    """Union-level ORDER BY: by position or output column name."""
+    lowered = [c.lower() for c in columns]
+
+    def key_index(expr):
+        if isinstance(expr, ast.Literal) and expr.type_tag == "int":
+            idx = expr.value - 1
+            if idx < 0 or idx >= len(columns):
+                raise ExecutionError(
+                    "Unknown column '%s' in 'order clause'" % expr.value
+                )
+            return idx
+        if isinstance(expr, ast.ColumnRef) and expr.table is None and \
+                expr.name.lower() in lowered:
+            return lowered.index(expr.name.lower())
+        raise ExecutionError(
+            "ORDER BY on a UNION must name an output column"
+        )
+
+    indexed = [(key_index(o.expr), o.direction == "DESC")
+               for o in order_by]
+    rows = list(rows)
+    for idx, reverse in reversed(indexed):
+        rows.sort(key=lambda row: sort_key(row[idx]), reverse=reverse)
+    return rows
+
+
+def _eval_aggregate(node, rows, ctx):
+    name = node.name.upper()
+    if name == "COUNT" and node.args and isinstance(node.args[0], ast.Star):
+        return len(rows)
+    values = []
+    for row in rows:
+        value = evaluate(node.args[0], ctx.child(row))
+        if value is not None:
+            values.append(value)
+    if node.distinct:
+        unique = []
+        for value in values:
+            if all(compare(value, v) != 0 for v in unique):
+                unique.append(value)
+        values = unique
+    if name == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if name == "SUM":
+        from repro.sqldb.types import coerce_to_number
+        return sum(coerce_to_number(v) for v in values)
+    if name == "AVG":
+        from repro.sqldb.types import coerce_to_number
+        nums = [coerce_to_number(v) for v in values]
+        return sum(nums) / float(len(nums))
+    if name == "MIN":
+        return min(values, key=sort_key)
+    if name == "MAX":
+        return max(values, key=sort_key)
+    if name == "GROUP_CONCAT":
+        from repro.sqldb.types import render_value
+        return ",".join(render_value(v) for v in values)
+    raise ExecutionError("unknown aggregate %r" % name)
+
+
+def _order_dml_targets(order_by, targets, ctx):
+    """ORDER BY for UPDATE/DELETE target selection (matters with
+    LIMIT: MySQL deletes/updates the first N *in order*)."""
+    if not order_by:
+        return targets
+    decorated = list(targets)
+    for item in reversed(order_by):
+        reverse = item.direction == "DESC"
+        decorated.sort(
+            key=lambda pair: sort_key(
+                evaluate(item.expr, ctx.child(pair[1]))
+            ),
+            reverse=reverse,
+        )
+    return decorated
+
+
+def _delete_conflicting(table, values):
+    keys = [c.name for c in table.columns if c.primary_key or c.unique]
+    conflicts = []
+    for row in table.rows:
+        if any(
+            values.get(key) is not None
+            and row.get(key) == table.convert(key, values[key])
+            for key in keys
+        ):
+            conflicts.append(row)
+    if conflicts:
+        table.delete_rows(conflicts)
+    return len(conflicts)
+
+
+def _apply_on_duplicate(table, assignments, new_values, ctx):
+    """ON DUPLICATE KEY UPDATE: update the conflicting row.
+
+    ``VALUES(col)`` inside an assignment refers to the value the
+    failed insert attempted for *col* (MySQL semantics).
+    """
+    keys = [c.name for c in table.columns if c.primary_key or c.unique]
+    target = None
+    for row in table.rows:
+        if any(
+            new_values.get(key) is not None
+            and row.get(key) == table.convert(key, new_values[key])
+            for key in keys
+        ):
+            target = row
+            break
+    if target is None:
+        return 0
+    env = {"%s.%s" % (table.name, k): v for k, v in target.items()}
+    updates = {}
+    for col, expr in assignments:
+        resolved = _resolve_values_refs(expr, new_values)
+        value = table.convert(col, evaluate(resolved, ctx.child(env)))
+        if target.get(col.lower()) != value:
+            updates[col.lower()] = value
+    if updates:
+        table.update_row(target, updates)
+    # MySQL reports 2 affected rows when an ODKU update changed one
+    return 2 if updates else 0
+
+
+def _resolve_values_refs(expr, new_values):
+    """Replace ``VALUES(col)`` calls with the attempted insert value."""
+    if isinstance(expr, ast.FuncCall) and expr.name == "VALUES" and \
+            len(expr.args) == 1 and isinstance(expr.args[0], ast.ColumnRef):
+        value = new_values.get(expr.args[0].name.lower())
+        from repro.sqldb.prepared import literal_for
+        return literal_for(value)
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            expr.op,
+            _resolve_values_refs(expr.left, new_values),
+            _resolve_values_refs(expr.right, new_values),
+        )
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            expr.name,
+            [_resolve_values_refs(a, new_values) for a in expr.args],
+            expr.distinct,
+        )
+    return expr

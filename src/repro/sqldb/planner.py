@@ -1,0 +1,602 @@
+"""Query planning — the *plan* half of the plan/execute split.
+
+Statements travel ``AST → logical plan → physical plan``:
+:func:`build_logical` is the shape of the statement with every physical
+choice erased (what the planner reasons *about*), and :class:`Planner`
+lowers it to a tree of :mod:`repro.sqldb.plan` operators.  This module
+is the single owner of every access-path, join-strategy and top-k
+decision the engine makes:
+
+* **access path** — :meth:`Planner._access_plan` walks the flattened
+  AND chain of the WHERE clause and picks an index bucket probe
+  (:class:`~repro.sqldb.plan.IndexEqScan`) or a bisect range scan
+  (:class:`~repro.sqldb.plan.IndexRangeScan`) over the fallback
+  :class:`~repro.sqldb.plan.SeqScan`;
+* **join strategy** — :meth:`Planner._equi_join_keys` recognises
+  hash-safe equi predicates and chooses
+  :class:`~repro.sqldb.plan.HashJoin` over
+  :class:`~repro.sqldb.plan.NestedLoopJoin`;
+* **top-k** — ORDER BY fused with LIMIT becomes
+  :class:`~repro.sqldb.plan.TopK` instead of a full
+  :class:`~repro.sqldb.plan.Sort`.
+
+The executor keeps only dispatch and DDL; ``EXPLAIN`` renders the tree
+built here, so what EXPLAIN says is by construction what runs.
+"""
+
+from repro import faults as faults_mod
+from repro.sqldb import ast_nodes as ast
+from repro.sqldb import plan as plan_mod
+from repro.sqldb.errors import ExecutionError
+from repro.sqldb.functions import is_aggregate
+from repro.sqldb.types import type_class
+
+
+# -- logical plan ------------------------------------------------------
+
+
+class LogicalNode(object):
+    """One step of a logical plan: an operation name, a human-readable
+    detail string, and input nodes.  Deliberately free of physical
+    detail — no index names, no join algorithms."""
+
+    __slots__ = ("op", "detail", "inputs")
+
+    def __init__(self, op, detail=None, inputs=()):
+        self.op = op
+        self.detail = detail
+        self.inputs = tuple(inputs)
+
+    def render(self, depth=0):
+        text = self.op if self.detail is None \
+            else "%s(%s)" % (self.op, self.detail)
+        lines = ["  " * depth + text]
+        for node in self.inputs:
+            lines.append(node.render(depth + 1))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<logical %s>" % self.op
+
+
+def build_logical(stmt):
+    """Logical plan for a plannable statement (``None`` otherwise)."""
+    if isinstance(stmt, ast.Explain):
+        return build_logical(stmt.select)
+    if isinstance(stmt, ast.Select):
+        return _logical_select(stmt)
+    if isinstance(stmt, ast.Insert):
+        return LogicalNode("insert", stmt.table.lower())
+    if isinstance(stmt, ast.Update):
+        return LogicalNode("update", stmt.table.lower(),
+                           (_logical_dml_source(stmt),))
+    if isinstance(stmt, ast.Delete):
+        return LogicalNode("delete", stmt.table.lower(),
+                           (_logical_dml_source(stmt),))
+    return None
+
+
+def _logical_dml_source(stmt):
+    node = LogicalNode("scan", stmt.table.lower())
+    if stmt.where is not None:
+        node = LogicalNode("filter", "where", (node,))
+    return node
+
+
+def _logical_table(ref):
+    if isinstance(ref, ast.DerivedTable):
+        return LogicalNode("derived", ref.alias.lower(),
+                           (_logical_select(ref.select),))
+    alias = (ref.alias or ref.name).lower()
+    detail = ref.name.lower() if alias == ref.name.lower() \
+        else "%s as %s" % (ref.name.lower(), alias)
+    return LogicalNode("scan", detail)
+
+
+def _logical_select(stmt):
+    if stmt.tables:
+        node = _logical_table(stmt.tables[0])
+        for ref in stmt.tables[1:]:
+            node = LogicalNode("cross", None,
+                               (node, _logical_table(ref)))
+        for join in stmt.joins:
+            node = LogicalNode("join", join.kind.lower(),
+                               (node, _logical_table(join.table)))
+    else:
+        node = LogicalNode("single_row")
+    if stmt.where is not None:
+        node = LogicalNode("filter", "where", (node,))
+    if stmt.group_by or _collect_aggregates(stmt):
+        node = LogicalNode("aggregate", None, (node,))
+        if stmt.having is not None:
+            node = LogicalNode("filter", "having", (node,))
+    node = LogicalNode("project", None, (node,))
+    if stmt.distinct:
+        node = LogicalNode("distinct", None, (node,))
+    if stmt.order_by:
+        node = LogicalNode("order", None, (node,))
+    if stmt.limit is not None:
+        node = LogicalNode("limit", None, (node,))
+    for _, branch in stmt.unions:
+        node = LogicalNode("union", None, (node, _logical_select(branch)))
+    return node
+
+
+# -- physical planning -------------------------------------------------
+
+
+class Planner(object):
+    """Lowers validated statements to physical operator trees.
+
+    One instance plans one statement: it carries the planner toggles
+    (the benchmarks flip these to compare strategies on equal footing),
+    assigns unique node ids across the whole tree — union branches,
+    derived subplans included — and collects every base table the tree
+    touches for lock planning."""
+
+    def __init__(self, database, enable_hash_join=True, enable_topk=True):
+        self._db = database
+        self.enable_hash_join = enable_hash_join
+        self.enable_topk = enable_topk
+        self._ids = 0
+        self._tables = set()
+
+    def _mk(self, node):
+        self._ids += 1
+        node.node_id = self._ids
+        return node
+
+    def plan_statement(self, stmt):
+        """Physical plan for *stmt*, or ``None`` for statement kinds
+        that execute without one (DDL, SHOW, transactions...)."""
+        if faults_mod.ACTIVE is not None:
+            faults_mod.fire("planner.plan")
+        if isinstance(stmt, ast.Explain):
+            stmt = stmt.select
+        if isinstance(stmt, ast.Select):
+            root, columns = self._plan_select(stmt)
+            return plan_mod.PhysicalPlan("select", root, columns,
+                                         self._tables)
+        if isinstance(stmt, ast.Insert):
+            self._tables.add(stmt.table.lower())
+            sink = self._mk(plan_mod.InsertSink(stmt))
+            return plan_mod.PhysicalPlan("insert", sink,
+                                         tables=self._tables)
+        if isinstance(stmt, ast.Update):
+            return self._plan_dml(stmt, plan_mod.UpdateSink, "update")
+        if isinstance(stmt, ast.Delete):
+            return self._plan_dml(stmt, plan_mod.DeleteSink, "delete")
+        return None
+
+    # -- SELECT --------------------------------------------------------
+
+    def _plan_select(self, stmt):
+        if not stmt.unions:
+            return self._plan_single(stmt)
+        # UNION: plan the head without the union-level ORDER BY/LIMIT
+        # (they apply to the merged rows) and check branch arity here,
+        # at plan time — cached statements are shared between
+        # executions, so neither planning nor execution mutates them.
+        head, columns = self._plan_single(stmt, skip_order_limit=True)
+        children = [head]
+        flags = []
+        for all_flag, branch in stmt.unions:
+            branch_root, branch_cols = self._plan_single(branch)
+            if len(branch_cols) != len(columns):
+                raise ExecutionError(
+                    "The used SELECT statements have a different "
+                    "number of columns", errno=1222,
+                )
+            children.append(branch_root)
+            flags.append(all_flag)
+        union = self._mk(plan_mod.Union(children, flags, stmt.order_by,
+                                        stmt.limit, columns))
+        return union, columns
+
+    def _plan_single(self, stmt, skip_order_limit=False):
+        node, source_columns = self._plan_sources(stmt)
+        if stmt.where is not None:
+            node = self._mk(plan_mod.Filter(node, stmt.where, "where"))
+        aggregates = _collect_aggregates(stmt)
+        if stmt.group_by or aggregates:
+            node = self._mk(plan_mod.Aggregate(node, stmt.group_by,
+                                               aggregates))
+            if stmt.having is not None:
+                node = self._mk(plan_mod.Filter(node, stmt.having,
+                                                "having"))
+        columns, specs = self._project_specs(stmt, source_columns)
+        node = self._mk(plan_mod.Project(node, columns, specs))
+        if stmt.distinct:
+            node = self._mk(plan_mod.Distinct(node))
+        if not skip_order_limit:
+            if stmt.order_by:
+                # the top-k decision: ORDER BY fused with LIMIT runs as
+                # a bounded heap instead of a full sort
+                if stmt.limit is not None and self.enable_topk:
+                    node = self._mk(plan_mod.TopK(
+                        node, stmt.order_by, columns,
+                        stmt.limit.count, stmt.limit.offset,
+                    ))
+                else:
+                    node = self._mk(plan_mod.Sort(node, stmt.order_by,
+                                                  columns))
+            if stmt.limit is not None:
+                node = self._mk(plan_mod.Limit(node, stmt.limit.count,
+                                               stmt.limit.offset))
+        return node, columns
+
+    def _plan_sources(self, stmt):
+        if not stmt.tables:
+            return self._mk(plan_mod.SingleRow()), []
+        alias_map = self._alias_map(stmt)
+        single = len(stmt.tables) == 1 and not stmt.joins
+        node, columns = self._plan_table(stmt.tables[0], stmt.where,
+                                         single, first_table=True)
+        for ref in stmt.tables[1:]:
+            right, right_cols = self._plan_table(ref, None, False,
+                                                 first_table=False)
+            node = self._mk(plan_mod.NestedLoopJoin(
+                node, right, "CROSS", None, right_cols, counted=False,
+            ))
+            columns = columns + right_cols
+        left_aliases = {alias for alias, _ in columns}
+        for join in stmt.joins:
+            right, right_cols = self._plan_table(join.table, None, False,
+                                                 first_table=False)
+            keys = None
+            # the join-strategy decision: hash when the ON clause has a
+            # hash-safe equi predicate, nested loops otherwise
+            if (self.enable_hash_join and join.on is not None
+                    and join.kind in ("INNER", "LEFT", "RIGHT")):
+                keys = self._equi_join_keys(join, left_aliases, alias_map)
+            if keys is not None:
+                right_name = join.table.name.lower()
+                node = self._mk(plan_mod.HashJoin(
+                    node, right, join.kind, join.on, keys[0], keys[1],
+                    right_cols, right_name,
+                ))
+            else:
+                node = self._mk(plan_mod.NestedLoopJoin(
+                    node, right, join.kind, join.on, right_cols,
+                    counted=True,
+                ))
+            columns = columns + right_cols
+            left_aliases |= {alias for alias, _ in right_cols}
+        return node, columns
+
+    def _plan_table(self, ref, where, allow_unqualified, first_table):
+        """Scan node + ``[(alias, column), ...]`` for one table ref.
+        *where* is only passed for the first table (the access-path
+        decision); join and comma right sides always scan."""
+        if isinstance(ref, ast.DerivedTable):
+            alias = ref.alias.lower()
+            inner_root, inner_cols = self._plan_select(ref.select)
+            inner_plan = plan_mod.PhysicalPlan("select", inner_root,
+                                               inner_cols)
+            scan = self._mk(plan_mod.DerivedScan(alias, ref.alias,
+                                                 inner_plan))
+            return scan, [(alias, name.lower()) for name in inner_cols]
+        table = self._db.table(ref.name)
+        self._tables.add(table.name)
+        alias = (ref.alias or ref.name).lower()
+        columns = [(alias, col.name) for col in table.columns]
+        if first_table and where is not None:
+            plan = self._access_plan(ref, where, allow_unqualified)
+            if plan is not None and plan[0] == "eq":
+                return self._mk(plan_mod.IndexEqScan(
+                    table.name, alias, plan[1], plan[2],
+                )), columns
+            if plan is not None:
+                _, column, low, high, low_incl, high_incl = plan
+                return self._mk(plan_mod.IndexRangeScan(
+                    table.name, alias, column, low, high,
+                    low_incl, high_incl,
+                )), columns
+        return self._mk(plan_mod.SeqScan(
+            table.name, alias, counted=first_table,
+        )), columns
+
+    def _project_specs(self, stmt, source_columns):
+        """Output column names + plan-time projection specs."""
+        columns = []
+        specs = []
+        for field in stmt.fields:
+            if isinstance(field.expr, ast.Star):
+                wanted = field.expr.table
+                for alias, col in source_columns:
+                    if wanted is not None and alias != wanted.lower():
+                        continue
+                    columns.append(col)
+                    specs.append(("col", "%s.%s" % (alias, col)))
+                if wanted is not None and not any(
+                    alias == wanted.lower() for alias, _ in source_columns
+                ):
+                    raise ExecutionError("Unknown table '%s'" % wanted)
+            else:
+                columns.append(field.alias or _field_label(field.expr))
+                specs.append(("expr", field.expr))
+        return columns, specs
+
+    # -- DML -----------------------------------------------------------
+
+    def _plan_dml(self, stmt, sink_cls, kind):
+        table = self._db.tables.get(stmt.table.lower())
+        alias = table.name if table is not None else stmt.table.lower()
+        self._tables.add(alias)
+        node = self._mk(plan_mod.SeqScan(alias, alias, counted=False))
+        if stmt.where is not None:
+            node = self._mk(plan_mod.Filter(node, stmt.where, "where"))
+        sink = self._mk(sink_cls(node, stmt, alias))
+        return plan_mod.PhysicalPlan(kind, sink, tables=self._tables)
+
+    # -- decision helpers ----------------------------------------------
+
+    def _alias_map(self, stmt):
+        """alias → catalog Table (``None`` for derived tables)."""
+        mapping = {}
+        for ref in list(stmt.tables) + [join.table for join in stmt.joins]:
+            if isinstance(ref, ast.DerivedTable):
+                mapping[ref.alias.lower()] = None
+            else:
+                alias = (ref.alias or ref.name).lower()
+                mapping[alias] = self._db.tables.get(ref.name.lower())
+        return mapping
+
+    def _access_plan(self, ref, where, allow_unqualified=True):
+        """Choose the access path for *ref* from the WHERE clause.
+
+        Walks the flattened operands of (arbitrarily nested) AND chains
+        and returns ``("eq", column, value)`` for an index bucket probe,
+        ``("range", column, low, high, low_incl, high_incl)`` for a
+        bisect scan, or ``None`` for a full scan.  Equality wins over
+        range.  Unqualified column refs are only trusted when the caller
+        says the statement is unambiguous (single table, no joins) —
+        with joins in scope, only ``alias.column`` predicates narrow the
+        probe side.  Narrowing is always a superset of the WHERE match
+        (the full predicate still filters afterwards), so a declined
+        plan costs a scan, never correctness.
+        """
+        if where is None:
+            return None
+        table = self._db.tables.get(ref.name.lower())
+        if table is None:
+            return None
+        indexed = table.indexed_columns()
+        alias = (ref.alias or ref.name).lower()
+        range_plan = None
+        for expr in _and_operands(where):
+            pair = _equality_pair(expr, alias, allow_unqualified)
+            if (pair is not None and pair[0] in indexed
+                    and _literal_fits_column(table, pair[0], pair[1])):
+                return ("eq",) + pair
+            if range_plan is None:
+                bounds = _range_bounds(expr, alias, allow_unqualified)
+                if (bounds is not None and bounds[0] in indexed
+                        and all(value is None
+                                or _literal_fits_column(table, bounds[0],
+                                                        value)
+                                for value in (bounds[1], bounds[2]))):
+                    range_plan = ("range",) + bounds
+        return range_plan
+
+    def _equi_join_keys(self, join, left_aliases, alias_map):
+        """``(left "alias.col", right "alias.col")`` when the ON clause
+        contains a hash-safe equi predicate, else ``None``.
+
+        Hash-safe means: both sides are base-table columns whose types
+        share a :func:`type_class` — :func:`compare` coerces *across*
+        classes (``'1' = 1`` matches), which a static hash key cannot
+        reproduce, so mixed-class keys fall back to nested loops.
+        """
+        right_ref = join.table
+        if isinstance(right_ref, ast.DerivedTable):
+            return None
+        right_alias = (right_ref.alias or right_ref.name).lower()
+        if right_alias in left_aliases:
+            return None     # self-join without aliases: refs ambiguous
+        for expr in _and_operands(join.on):
+            if not isinstance(expr, ast.BinaryOp) or expr.op != "=":
+                continue
+            sides = []
+            for operand in (expr.left, expr.right):
+                side = self._join_side(operand, left_aliases, right_alias,
+                                       alias_map)
+                if side is None:
+                    break
+                sides.append(side)
+            if len(sides) != 2:
+                continue
+            (side1, key1, class1), (side2, key2, class2) = sides
+            if {side1, side2} != {"left", "right"}:
+                continue
+            if class1 is None or class1 != class2:
+                continue
+            if side1 == "left":
+                return key1, key2
+            return key2, key1
+        return None
+
+    def _join_side(self, operand, left_aliases, right_alias, alias_map):
+        """Classify one ON operand: ``(side, "alias.col", type_class)``
+        or ``None`` when it is not a resolvable base-table column."""
+        if not isinstance(operand, ast.ColumnRef):
+            return None
+        name = operand.name.lower()
+        if operand.table is not None:
+            alias = operand.table.lower()
+            if alias == right_alias:
+                side = "right"
+            elif alias in left_aliases:
+                side = "left"
+            else:
+                return None
+        else:
+            scope = list(left_aliases) + [right_alias]
+            if any(alias_map.get(a) is None for a in scope):
+                return None     # a derived table could shadow the name
+            owners = [a for a in scope
+                      if alias_map[a].has_column(name)]
+            if len(owners) != 1:
+                return None
+            alias = owners[0]
+            side = "right" if alias == right_alias else "left"
+        table = alias_map.get(alias)
+        if table is None or not table.has_column(name):
+            return None
+        return side, "%s.%s" % (alias, name), \
+            type_class(table.column(name).type_name)
+
+
+# -- AST walking helpers -----------------------------------------------
+
+
+def _collect_aggregates(stmt):
+    aggregates = []
+
+    def walk(node):
+        if node is None:
+            return
+        if isinstance(node, ast.FuncCall):
+            if is_aggregate(node.name):
+                aggregates.append(node)
+                return  # no nested aggregates
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, ast.SelectField):
+            walk(node.expr)
+        elif isinstance(node, ast.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, (ast.UnaryOp, ast.Not)):
+            walk(node.operand)
+        elif isinstance(node, ast.Cond):
+            for operand in node.operands:
+                walk(operand)
+        elif isinstance(node, ast.InList):
+            walk(node.expr)
+            if not isinstance(node.items, ast.Subquery):
+                for item in node.items:
+                    walk(item)
+        elif isinstance(node, ast.Between):
+            walk(node.expr)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, (ast.IsNull,)):
+            walk(node.expr)
+        elif isinstance(node, ast.Like):
+            walk(node.expr)
+            walk(node.pattern)
+        elif isinstance(node, ast.Case):
+            walk(node.operand)
+            for cond, result in node.whens:
+                walk(cond)
+                walk(result)
+            walk(node.default)
+
+    for field in stmt.fields:
+        walk(field)
+    walk(stmt.having)
+    for order in stmt.order_by:
+        walk(order.expr)
+    return aggregates
+
+
+def _and_operands(expr):
+    """Flatten arbitrarily nested AND chains into their leaf operands."""
+    if isinstance(expr, ast.Cond) and expr.op == "AND":
+        leaves = []
+        for operand in expr.operands:
+            leaves.extend(_and_operands(operand))
+        return leaves
+    return [expr]
+
+
+def _scoped_column(expr, alias, allow_unqualified):
+    """Column name when *expr* is a ColumnRef resolvable to *alias*."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    if expr.table is None:
+        return expr.name.lower() if allow_unqualified else None
+    return expr.name.lower() if expr.table.lower() == alias else None
+
+
+def _equality_pair(expr, alias, allow_unqualified=True):
+    """``col = literal`` (either side) scoped to *alias*, else ``None``."""
+    if not isinstance(expr, ast.BinaryOp) or expr.op != "=":
+        return None
+    for left, right in ((expr.left, expr.right), (expr.right, expr.left)):
+        if isinstance(left, ast.ColumnRef) and isinstance(right,
+                                                          ast.Literal):
+            column = _scoped_column(left, alias, allow_unqualified)
+            if column is None:
+                continue
+            if right.value is None:
+                return None  # NULL never matches through '='
+            return column, right.value
+    return None
+
+
+#: comparison flips when the literal moves to the left of the operator
+_FLIPPED = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+def _range_bounds(expr, alias, allow_unqualified):
+    """``(col, low, high, low_incl, high_incl)`` for an index range
+    scan (``<``/``>``/``<=``/``>=``/``BETWEEN`` against a literal)."""
+    if isinstance(expr, ast.Between) and not expr.negated:
+        column = _scoped_column(expr.expr, alias, allow_unqualified)
+        if (column is not None
+                and isinstance(expr.low, ast.Literal)
+                and isinstance(expr.high, ast.Literal)
+                and expr.low.value is not None
+                and expr.high.value is not None):
+            return (column, expr.low.value, expr.high.value, True, True)
+        return None
+    if not isinstance(expr, ast.BinaryOp) or expr.op not in _FLIPPED:
+        return None
+    op = expr.op
+    if isinstance(expr.left, ast.ColumnRef) and isinstance(expr.right,
+                                                           ast.Literal):
+        ref, literal = expr.left, expr.right.value
+    elif isinstance(expr.right, ast.ColumnRef) and isinstance(expr.left,
+                                                              ast.Literal):
+        ref, literal = expr.right, expr.left.value
+        op = _FLIPPED[op]
+    else:
+        return None
+    column = _scoped_column(ref, alias, allow_unqualified)
+    if column is None or literal is None:
+        return None
+    if op == "<":
+        return (column, None, literal, True, False)
+    if op == "<=":
+        return (column, None, literal, True, True)
+    if op == ">":
+        return (column, literal, None, False, True)
+    return (column, literal, None, True, True)
+
+
+def _literal_fits_column(table, column, literal):
+    """Index access is only trusted when the literal's class matches
+    the column's storage class: stored values are homogeneous after
+    ``store_convert``, so within a class the index key order/equality
+    agrees with :func:`compare` — but a numeric literal against a
+    string column coerces row-by-row and must fall back to a scan."""
+    cls = type_class(table.column(column).type_name)
+    if cls == "n":
+        return isinstance(literal, (bool, int, float, str))
+    if cls == "s":
+        return isinstance(literal, str)
+    return False
+
+
+def _field_label(expr):
+    """Column heading MySQL would produce for an unaliased expression."""
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FuncCall):
+        return "%s(...)" % expr.name.lower()
+    if isinstance(expr, ast.Literal):
+        from repro.sqldb.types import render_value
+        return render_value(expr.value)
+    return type(expr).__name__.lower()

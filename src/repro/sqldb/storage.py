@@ -378,8 +378,17 @@ class Table(object):
             self._index_stats["rebuilds"] += 1
         return index
 
+    def iter_rows(self):
+        """Stored rows, lazily — the streaming scan API the plan
+        layer's :class:`~repro.sqldb.plan.SeqScan` pulls from."""
+        return iter(self.rows)
+
     def index_lookup(self, column, value):
-        """Rows whose *column* equals *value* (hash-bucket access).
+        """Rows whose *column* equals *value* (hash-bucket access)."""
+        return list(self.index_lookup_iter(column, value))
+
+    def index_lookup_iter(self, column, value):
+        """Iterator form of :meth:`index_lookup`.
 
         Equality follows :func:`sort_key` — the same fold the comparison
         engine applies — after storage conversion of *value*.
@@ -387,11 +396,17 @@ class Table(object):
         index = self._live_index(column)
         self._index_stats["lookups"] += 1
         key = sort_key(self.convert(column, value))
-        return list(index.map.get(key, ()))
+        return iter(index.map.get(key, ()))
 
     def index_range(self, column, low=None, high=None,
                     low_inclusive=True, high_inclusive=True):
-        """Rows whose *column* falls in ``[low, high]`` (bisect scan).
+        """Rows whose *column* falls in ``[low, high]`` (bisect scan)."""
+        return list(self.index_range_iter(column, low, high,
+                                          low_inclusive, high_inclusive))
+
+    def index_range_iter(self, column, low=None, high=None,
+                         low_inclusive=True, high_inclusive=True):
+        """Iterator form of :meth:`index_range`.
 
         ``None`` bounds are open ends; NULL-valued rows never match a
         range predicate and are skipped.  Rows come back in key order.
@@ -411,12 +426,11 @@ class Table(object):
                     else bisect_left(keys, high_key))
         else:
             stop = len(keys)
-        matched = []
         for key in keys[start:stop]:
             if key[0] == _NULL_KEY[0]:
                 continue
-            matched.extend(index.map[key])
-        return matched
+            for row in index.map[key]:
+                yield row
 
     def index_stats(self):
         """Counters the tests use to prove maintenance is incremental."""

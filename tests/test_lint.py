@@ -288,68 +288,140 @@ def test_lock_gate_catches_a_raw_lock(tmp_path):
     assert any("threading.RLock()" in p for p in problems)
 
 
-def _function_def(tree, name):
+def _class_def(tree, name):
     for node in ast.walk(tree):
-        if isinstance(node, ast.FunctionDef) and node.name == name:
+        if isinstance(node, ast.ClassDef) and node.name == name:
             return node
     return None
 
 
-def _topk_sort_violations(path):
+def _topk_sort_violations(plan_path, planner_path):
     """ORDER BY + LIMIT must go through the heap top-k, not a full sort.
 
-    Checks three facts about the executor: ``_order_topk`` exists, it
-    never calls ``sorted()`` over the full pair list (the heap is the
-    point; the tail fallback delegates to ``_order`` instead), and the
-    LIMIT branch of ``_select_single`` actually routes through it.
+    Checks three facts about the plan layer: the ``TopK`` operator
+    exists in plan.py, it never calls ``sorted()`` over its input (the
+    bounded heap is the point), and the planner's ORDER BY + LIMIT
+    branch actually constructs it.
     """
-    with open(path) as handle:
-        tree = ast.parse(handle.read(), filename=path)
-    rel = os.path.relpath(path, REPO_ROOT)
+    with open(plan_path) as handle:
+        plan_tree = ast.parse(handle.read(), filename=plan_path)
+    rel_plan = os.path.relpath(plan_path, REPO_ROOT)
     problems = []
-    topk = _function_def(tree, "_order_topk")
+    topk = _class_def(plan_tree, "TopK")
     if topk is None:
-        return ["%s: no _order_topk method — ORDER BY + LIMIT has no "
-                "top-k path" % rel]
+        return ["%s: no TopK operator — ORDER BY + LIMIT has no "
+                "top-k path" % rel_plan]
     for node in ast.walk(topk):
         if (isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Name)
                 and node.func.id == "sorted"):
             problems.append(
-                "%s:%d: sorted() inside _order_topk — the top-k path "
+                "%s:%d: sorted() inside TopK — the top-k path "
                 "must use a bounded heap, not a full sort"
-                % (rel, node.lineno)
+                % (rel_plan, node.lineno)
             )
-    select = _function_def(tree, "_select_single")
-    calls_topk = select is not None and any(
+    with open(planner_path) as handle:
+        planner_tree = ast.parse(handle.read(), filename=planner_path)
+    rel_planner = os.path.relpath(planner_path, REPO_ROOT)
+    constructs_topk = any(
         isinstance(node, ast.Call)
-        and isinstance(node.func, ast.Attribute)
-        and node.func.attr == "_order_topk"
-        for node in ast.walk(select)
+        and (getattr(node.func, "attr", None) == "TopK"
+             or getattr(node.func, "id", None) == "TopK")
+        for node in ast.walk(planner_tree)
     )
-    if not calls_topk:
+    if not constructs_topk:
         problems.append(
-            "%s: _select_single never calls _order_topk — LIMIT "
-            "queries fall back to the full sort" % rel
+            "%s: the planner never constructs TopK — LIMIT "
+            "queries fall back to the full sort" % rel_planner
         )
     return problems
 
 
 def test_order_limit_uses_topk_heap():
-    executor_py = os.path.join(SRC_ROOT, "repro", "sqldb", "executor.py")
-    problems = _topk_sort_violations(executor_py)
+    plan_py = os.path.join(SRC_ROOT, "repro", "sqldb", "plan.py")
+    planner_py = os.path.join(SRC_ROOT, "repro", "sqldb", "planner.py")
+    problems = _topk_sort_violations(plan_py, planner_py)
     assert problems == [], "\n".join(problems)
 
 
 def test_topk_gate_catches_a_full_sort(tmp_path):
-    bad = tmp_path / "bad.py"
-    bad.write_text(
-        "class Executor:\n"
-        "    def _select_single(self, stmt):\n"
-        "        return self._order_topk(stmt, [], 3)\n"
-        "    def _order_topk(self, stmt, pairs, k):\n"
-        "        return sorted(pairs)[:k]\n"
+    bad_plan = tmp_path / "plan.py"
+    bad_plan.write_text(
+        "class TopK:\n"
+        "    def _generate(self, state):\n"
+        "        return sorted(self.pairs)[:self.k]\n"
     )
-    problems = _topk_sort_violations(str(bad))
+    good_planner = tmp_path / "planner.py"
+    good_planner.write_text(
+        "def plan(node):\n"
+        "    return TopK(node)\n"
+    )
+    problems = _topk_sort_violations(str(bad_plan), str(good_planner))
     assert len(problems) == 1
-    assert "sorted() inside _order_topk" in problems[0]
+    assert "sorted() inside TopK" in problems[0]
+
+
+#: plan.py operators allowed to buffer their input — blocking by
+#: algorithm (a join's inner side, grouping, sorting, top-k, union
+#: merge) or by mutation discipline (the DML sinks fix their targets
+#: before the first write).  Everything else must stream.
+_BLOCKING_OPERATORS = frozenset([
+    "NestedLoopJoin", "HashJoin", "Aggregate", "Sort", "TopK", "Union",
+    "InsertSink", "UpdateSink", "DeleteSink",
+])
+
+
+def _streaming_violations(path, allowlist=_BLOCKING_OPERATORS):
+    """The streaming gate: inside plan.py, only the blocking operator
+    classes may call ``list()`` / ``sorted()`` (i.e. materialize an
+    upstream iterator).  A ``list()`` creeping into SeqScan or Limit is
+    how the O(limit) memory property rots silently."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    rel = os.path.relpath(path, REPO_ROOT)
+    problems = []
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {getattr(base, "id", None) for base in node.bases}
+        if "PlanNode" not in bases or node.name in allowlist:
+            continue
+        # only the runtime row paths matter — plan-time __init__ may
+        # copy its spec lists freely
+        row_paths = [item for item in node.body
+                     if isinstance(item, ast.FunctionDef)
+                     and item.name in ("_generate", "run")]
+        for inner in [n for fn in row_paths for n in ast.walk(fn)]:
+            if (isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id in ("list", "sorted")):
+                problems.append(
+                    "%s:%d: %s() inside streaming operator %s — only "
+                    "blocking operators (%s) may materialize their input"
+                    % (rel, inner.lineno, inner.func.id, node.name,
+                       ", ".join(sorted(allowlist)))
+                )
+    return problems
+
+
+def test_streaming_operators_never_materialize():
+    plan_py = os.path.join(SRC_ROOT, "repro", "sqldb", "plan.py")
+    problems = _streaming_violations(plan_py)
+    assert problems == [], "\n".join(problems)
+
+
+def test_streaming_gate_catches_a_buffered_operator(tmp_path):
+    bad = tmp_path / "plan.py"
+    bad.write_text(
+        "class PlanNode:\n"
+        "    pass\n"
+        "class Sort(PlanNode):\n"
+        "    def _generate(self, state):\n"
+        "        return sorted(self.rows)\n"      # allowlisted: fine
+        "class Limit(PlanNode):\n"
+        "    def _generate(self, state):\n"
+        "        return list(self.rows)[:3]\n"    # streaming: flagged
+    )
+    problems = _streaming_violations(str(bad))
+    assert len(problems) == 1
+    assert "list() inside streaming operator Limit" in problems[0]
