@@ -191,9 +191,11 @@ def generate_workload(seed):
 class WorkloadRun(object):
     """Golden-run artifacts the sweep validates against."""
 
-    __slots__ = ("digests", "checkpoint_index", "blocked", "ops")
+    __slots__ = ("digests", "checkpoint_index", "blocked", "ops",
+                 "max_unsynced_backlog")
 
-    def __init__(self, digests, checkpoint_index, blocked, ops):
+    def __init__(self, digests, checkpoint_index, blocked, ops,
+                 max_unsynced_backlog=0):
         #: state digest after durability point ``k`` (``digests[0]`` is
         #: the empty database)
         self.digests = digests
@@ -203,6 +205,11 @@ class WorkloadRun(object):
         self.blocked = blocked
         #: operations executed
         self.ops = ops
+        #: high-water mark of acknowledged-but-unsynced commits during
+        #: the run (always 0 in ``commit`` sync mode; in ``batch`` mode
+        #: this proves the append-to-deferred-fsync kill window was
+        #: actually open while the workload ran)
+        self.max_unsynced_backlog = max_unsynced_backlog
 
 
 def run_workload(data_dir, seed, sync_mode="commit", checkpoint_after=None):
@@ -217,6 +224,7 @@ def run_workload(data_dir, seed, sync_mode="commit", checkpoint_after=None):
     checkpoint_index = None
     ops = generate_workload(seed)
     last = database.wal.commits
+    max_backlog = 0
     for index, (kind, sql) in enumerate(ops):
         if kind == "m":
             connection.multi_query(sql)
@@ -232,11 +240,15 @@ def run_workload(data_dir, seed, sync_mode="commit", checkpoint_after=None):
         if commits > last:
             digests.append(state_digest(database))
             last = commits
+        backlog = database.wal.pending_unsynced_commits
+        if backlog > max_backlog:
+            max_backlog = backlog
         if checkpoint_after is not None and index == checkpoint_after:
             if database.checkpoint() is not None:
                 checkpoint_index = len(digests) - 1
     database.close()
-    return WorkloadRun(digests, checkpoint_index, septic.blocked, ops)
+    return WorkloadRun(digests, checkpoint_index, septic.blocked, ops,
+                       max_unsynced_backlog=max_backlog)
 
 
 class SweepResult(object):
@@ -244,10 +256,12 @@ class SweepResult(object):
 
     __slots__ = ("seed", "log_bytes", "offsets_tested",
                  "durability_points", "blocked", "mismatches",
-                 "index_mismatches", "checkpointed")
+                 "index_mismatches", "checkpointed", "sync_mode",
+                 "max_unsynced_backlog")
 
     def __init__(self, seed, log_bytes, offsets_tested, durability_points,
-                 blocked, mismatches, checkpointed, index_mismatches=()):
+                 blocked, mismatches, checkpointed, index_mismatches=(),
+                 sync_mode="commit", max_unsynced_backlog=0):
         self.seed = seed
         self.log_bytes = log_bytes
         self.offsets_tested = offsets_tested
@@ -259,6 +273,10 @@ class SweepResult(object):
         #: with a full scan
         self.index_mismatches = list(index_mismatches)
         self.checkpointed = checkpointed
+        #: WAL sync discipline the golden run used
+        self.sync_mode = sync_mode
+        #: peak acked-but-unsynced commit backlog of the golden run
+        self.max_unsynced_backlog = max_unsynced_backlog
 
     @property
     def ok(self):
@@ -272,15 +290,26 @@ class SweepResult(object):
                                      len(self.mismatches))
 
 
-def run_crash_sweep(workdir, seed, checkpoint_after=None, stride=1):
+def run_crash_sweep(workdir, seed, checkpoint_after=None, stride=1,
+                    sync_mode="commit"):
     """Kill-at-every-byte sweep for one seeded workload.
 
     With ``stride > 1`` only every stride-th offset is tested (plus the
     final one); record boundaries are always included, since those are
     the offsets where the expected state changes.
+
+    With ``sync_mode="batch"`` the golden run defers fsyncs (group
+    commit), so the byte prefixes enumerate crashes *inside* the
+    append-to-deferred-fsync window — commits acknowledged to the
+    client but not yet synced.  The invariant is the same: every
+    prefix must recover to exactly the committed states its bytes
+    contain, never a torn or phantom one; batch mode merely makes more
+    of those prefixes reachable by a real power cut (bounded loss,
+    quantified by :attr:`SweepResult.max_unsynced_backlog`).
     """
     golden_dir = os.path.join(workdir, "golden-%s" % seed)
-    run = run_workload(golden_dir, seed, checkpoint_after=checkpoint_after)
+    run = run_workload(golden_dir, seed, sync_mode=sync_mode,
+                       checkpoint_after=checkpoint_after)
     data = wal_mod.read_log_bytes(wal_mod.log_path(golden_dir))
     # durability-point frame ends, computed from the bytes themselves —
     # independent of the recovery code the sweep is judging
@@ -320,16 +349,19 @@ def run_crash_sweep(workdir, seed, checkpoint_after=None, stride=1):
     shutil.rmtree(victim_dir, ignore_errors=True)
     return SweepResult(seed, len(data), len(offsets), len(ends),
                        run.blocked, mismatches, checkpointed,
-                       index_mismatches=index_mismatches)
+                       index_mismatches=index_mismatches,
+                       sync_mode=sync_mode,
+                       max_unsynced_backlog=run.max_unsynced_backlog)
 
 
 def format_sweep_result(result):
     """Human-readable sweep report (the benchmark artifact body)."""
     return (
-        "crash sweep seed=%s: %d log bytes, %d kill offsets, "
+        "crash sweep seed=%s sync=%s: %d log bytes, %d kill offsets, "
         "%d durability points, %d blocked statements, checkpoint=%s -> %s"
-        % (result.seed, result.log_bytes, result.offsets_tested,
-           result.durability_points, result.blocked, result.checkpointed,
+        % (result.seed, result.sync_mode, result.log_bytes,
+           result.offsets_tested, result.durability_points,
+           result.blocked, result.checkpointed,
            "OK" if result.ok else "%d MISMATCHES"
            % (len(result.mismatches) + len(result.index_mismatches)))
     )

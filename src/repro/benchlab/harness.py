@@ -376,6 +376,147 @@ class ContentionResult(object):
                                     self.statements, self.makespan))
 
 
+class MixedWorkloadResult(object):
+    """Outcome of one :func:`run_mixed_workload_experiment` run."""
+
+    __slots__ = ("lock_mode", "readers", "reader_statements",
+                 "reader_makespan", "writer_makespan",
+                 "reader_service_total", "writer_service", "lock_stats")
+
+    def __init__(self, lock_mode, readers, reader_statements,
+                 reader_makespan, writer_makespan, reader_service_total,
+                 writer_service, lock_stats):
+        self.lock_mode = lock_mode
+        self.readers = readers
+        self.reader_statements = reader_statements
+        #: virtual seconds until the *last reader* finished
+        self.reader_makespan = reader_makespan
+        #: virtual seconds until the writer's statement finished
+        self.writer_makespan = writer_makespan
+        #: serial floor of the read side (sum of service times)
+        self.reader_service_total = reader_service_total
+        self.writer_service = writer_service
+        self.lock_stats = lock_stats
+
+    @property
+    def reader_throughput(self):
+        if self.reader_makespan <= 0:
+            return 0.0
+        return self.reader_statements / self.reader_makespan
+
+    def reader_speedup_vs(self, baseline):
+        """Read-side throughput ratio against another run."""
+        if baseline.reader_throughput == 0:
+            return 0.0
+        return self.reader_throughput / baseline.reader_throughput
+
+    @property
+    def readers_overlapped_writer(self):
+        """True when the read side completed while the writer's long
+        statement was still holding its table lock — the "writers never
+        block readers" claim, visible in the schedule itself."""
+        return self.reader_makespan < self.writer_makespan
+
+    def __repr__(self):
+        return ("MixedWorkloadResult(%s, %d readers, %d stmts, "
+                "reader_makespan=%.6f, writer_makespan=%.6f)"
+                % (self.lock_mode, self.readers, self.reader_statements,
+                   self.reader_makespan, self.writer_makespan))
+
+
+def run_mixed_workload_experiment(setup_sql, reader_workload, writer_sql,
+                                  readers=8, loops=5, lock_mode="shared",
+                                  reader_service=None, writer_service=None):
+    """Readers racing one long writer on the *same* table, in virtual
+    time — the MVCC demonstration experiment.
+
+    *reader_workload* (a list of single-statement SQL strings, SELECTs
+    over the writer's target table) is replayed by *readers* virtual
+    workers, *loops* times each, while a single virtual writer runs
+    *writer_sql* once with service time *writer_service* (long, so its
+    table lock is held across the whole read phase).  Statements are
+    classified with the engine's own lock-plan logic under *lock_mode*,
+    exactly as :func:`run_concurrent_read_experiment` does; service
+    times are measured live unless pinned via *reader_service* /
+    *writer_service* (benchmarks comparing two modes should pin both
+    runs to the same times).
+
+    Under the MVCC plans ("shared" mode) SELECTs take no table locks —
+    the read side never queues behind the writer's table-X hold and
+    finishes while the UPDATE is still running
+    (:attr:`MixedWorkloadResult.readers_overlapped_writer`).  Under
+    "exclusive" mode everything serializes through the catalog lock,
+    which is the baseline the read-speedup claim is measured against.
+
+    Returns a :class:`MixedWorkloadResult`.
+    """
+    database = Database(lock_mode=lock_mode)
+    if setup_sql:
+        database.seed(setup_sql)
+    plans = []
+    measured = []
+    for index, sql in enumerate(reader_workload):
+        statements, _comments = parse_sql(sql)
+        if len(statements) != 1:
+            raise ValueError("workload entries must hold one statement: %r"
+                             % sql)
+        plans.append(database._lock_plan_for(statements[0]))
+        if reader_service is not None:
+            measured.append(reader_service[index])
+        else:
+            start = time.perf_counter()
+            database.run(sql)
+            measured.append(max(time.perf_counter() - start, 1e-7))
+    statements, _comments = parse_sql(writer_sql)
+    if len(statements) != 1:
+        raise ValueError("writer_sql must hold one statement: %r"
+                         % writer_sql)
+    writer_plan = database._lock_plan_for(statements[0])
+    if writer_service is None:
+        start = time.perf_counter()
+        database.run(writer_sql)
+        writer_service = max(time.perf_counter() - start, 1e-7)
+    simulator = Simulator()
+    model = LockContentionModel(simulator)
+    script = [(plans[i], measured[i]) for i in range(len(reader_workload))]
+    done = {"reader_last": 0.0, "writer_last": 0.0, "statements": 0}
+
+    def start_reader():
+        items = list(script) * loops
+
+        def run_next(index):
+            if index == len(items):
+                done["reader_last"] = max(done["reader_last"],
+                                          simulator.now)
+                return
+            plan, service = items[index]
+            model.run_statement(plan, service, lambda: advance(index))
+
+        def advance(index):
+            done["statements"] += 1
+            run_next(index + 1)
+
+        run_next(0)
+
+    def start_writer():
+        def finished():
+            done["writer_last"] = simulator.now
+
+        model.run_statement(writer_plan, writer_service, finished)
+
+    # the writer issues first: in exclusive mode every reader queues
+    # behind its hold, in MVCC mode none of them do
+    simulator.schedule(0.0, start_writer)
+    for worker in range(readers):
+        simulator.schedule((worker + 1) * 1e-9, start_reader)
+    simulator.run()
+    return MixedWorkloadResult(
+        lock_mode, readers, done["statements"], done["reader_last"],
+        done["writer_last"], sum(measured) * readers * loops,
+        writer_service, model.lock_stats(),
+    )
+
+
 def run_concurrent_read_experiment(setup_sql, workload, workers=8,
                                    loops=5, lock_mode="shared",
                                    service_times=None):

@@ -93,6 +93,14 @@ class Connection(object):
         exponential backoff.  SEPTIC blocks are verdicts, not faults:
         they are never retried.  Partial multi-statement failures are
         never retried either — the executed prefix already took effect.
+
+        :class:`~repro.sqldb.errors.WriteConflictError` (first-writer-
+        wins under snapshot isolation) rides this same path: the engine
+        checks for conflicts before touching any row, so a retried
+        autocommit statement never double-applies.  Inside an explicit
+        transaction a retry keeps the transaction's original snapshot
+        and will conflict again — MySQL's errno 1213 advice applies:
+        roll back and restart the whole transaction.
         """
         attempt = 0
         while True:

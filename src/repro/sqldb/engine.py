@@ -48,7 +48,7 @@ from repro.sqldb.errors import (
 )
 from repro.sqldb.executor import Executor
 from repro.sqldb.parser import parse_sql
-from repro.sqldb.storage import Table
+from repro.sqldb.storage import ReadView, Table, WriteTxn, seal_txn
 from repro.sqldb.unparse import to_sql
 from repro.sqldb.validator import validate
 
@@ -136,10 +136,15 @@ class LockPlan(object):
 def lock_plan(stmt):
     """Classify *stmt* into its :class:`LockPlan`.
 
-    * reads (SELECT/EXPLAIN/SHOW/DESCRIBE): catalog shared + every
-      referenced table shared — concurrent reads fully overlap;
-    * DML (INSERT/UPDATE/DELETE/TRUNCATE): catalog shared, the target
-      table exclusive, tables referenced by subqueries shared;
+    MVCC demoted this hierarchy: readers carry a snapshot
+    :class:`~repro.sqldb.storage.ReadView` instead of table locks, so
+    only *writers* exclude each other per table.
+
+    * reads (SELECT/EXPLAIN/SHOW/DESCRIBE): catalog shared, **no table
+      locks** — reads overlap with each other and with any DML;
+    * DML (INSERT/UPDATE/DELETE/TRUNCATE): catalog shared plus the
+      target table exclusive (writer–writer exclusion only; tables read
+      by subqueries take nothing);
     * DDL: catalog exclusive (conflicts with everything — every other
       statement holds the catalog at least shared);
     * BEGIN/COMMIT/ROLLBACK: ``None`` — :class:`Session` takes the
@@ -153,16 +158,10 @@ def lock_plan(stmt):
     if isinstance(stmt, _DDL_STATEMENTS):
         return LockPlan(catalog_shared=False)
     if isinstance(stmt, _READ_STATEMENTS):
-        tables = referenced_tables(stmt)
-        return LockPlan(True, [(name, True) for name in tables])
+        return LockPlan(True, [])
     if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete,
                          ast.TruncateTable)):
-        target = stmt.table.lower()
-        tables = [(target, False)]
-        for name in referenced_tables(stmt):
-            if name != target:
-                tables.append((name, True))
-        return LockPlan(True, tables)
+        return LockPlan(True, [(stmt.table.lower(), False)])
     return LockPlan(catalog_shared=False)
 
 
@@ -260,16 +259,22 @@ class Session(object):
     """
 
     __slots__ = ("database", "charset", "last_insert_id", "_tx_snapshot",
-                 "tx_id")
+                 "_tx_begin_schema", "tx_id", "tx_read_stamp", "write_txn")
 
     def __init__(self, database, charset=None):
         self.database = database
         self.charset = charset or database.charset
         self.last_insert_id = 0
         self._tx_snapshot = None
+        self._tx_begin_schema = 0
         #: WAL transaction id while a transaction is open (0 otherwise /
         #: when no WAL is attached)
         self.tx_id = 0
+        #: MVCC snapshot watermark pinned at BEGIN (None when autocommit)
+        self.tx_read_stamp = None
+        #: the open transaction's :class:`~repro.sqldb.storage.WriteTxn`
+        #: — every pending row version it installed, sealed at COMMIT
+        self.write_txn = None
 
     # -- transactions ----------------------------------------------------
     #
@@ -298,6 +303,11 @@ class Session(object):
         finally:
             db.lock_manager.catalog.release_write()
         self._tx_snapshot = (catalog, states)
+        self._tx_begin_schema = db.schema_version
+        # pin the snapshot-isolation read position: everything committed
+        # so far is visible to this transaction, nothing newer will be
+        self.tx_read_stamp = db._commit_stamp
+        self.write_txn = WriteTxn(read_stamp=self.tx_read_stamp)
         db._tx_sessions.add(self)
         if wal_mod.ATTACHED and db._wal is not None:
             self.tx_id = db._next_tx_id()
@@ -305,6 +315,7 @@ class Session(object):
 
     def commit(self):
         db = self.database
+        lsn = None
         if (
             wal_mod.ATTACHED
             and db._wal is not None
@@ -313,6 +324,14 @@ class Session(object):
         ):
             db._wal.append(wal_mod.WalRecord.COMMIT, tx=self.tx_id,
                            durability_point=True)
+            lsn = db._wal.last_lsn
+        # seal pending versions with the commit LSN before the commit
+        # point may trigger a checkpoint (whose vacuum walks sealed meta)
+        if self.write_txn is not None:
+            db._seal_txn(self.write_txn, lsn=lsn)
+            self.write_txn = None
+        self.tx_read_stamp = None
+        if lsn is not None:
             db._note_commit_point()
         self.tx_id = 0
         self._tx_snapshot = None
@@ -324,6 +343,20 @@ class Session(object):
             return  # ROLLBACK outside a transaction is a no-op
         catalog, states = snapshot
         db = self.database
+        # a transaction that never wrote (read-only, or every statement
+        # failed its pre-mutation conflict check) has nothing to undo;
+        # restoring the BEGIN snapshot anyway would clobber rows other
+        # sessions committed while this transaction was open
+        wrote = self.write_txn is not None and self.write_txn.entries
+        if not wrote and db.schema_version == self._tx_begin_schema:
+            if wal_mod.ATTACHED and db._wal is not None and self.tx_id:
+                db._wal.append(wal_mod.WalRecord.ROLLBACK, tx=self.tx_id)
+            self.write_txn = None
+            self.tx_read_stamp = None
+            self.tx_id = 0
+            self._tx_snapshot = None
+            db._tx_sessions.discard(self)
+            return
         # restoring rewrites every table: exclude all other statements
         db.lock_manager.catalog.acquire_write()
         try:
@@ -345,6 +378,10 @@ class Session(object):
             db.lock_manager.catalog.release_write()
         if wal_mod.ATTACHED and db._wal is not None and self.tx_id:
             db._wal.append(wal_mod.WalRecord.ROLLBACK, tx=self.tx_id)
+        # pending versions die with the restore (restore_state resets
+        # each table's MVCC metadata); just drop the txn handle
+        self.write_txn = None
+        self.tx_read_stamp = None
         self.tx_id = 0
         self._tx_snapshot = None
         db._tx_sessions.discard(self)
@@ -429,6 +466,17 @@ class Database(object):
         self.pipeline_cache = (
             PipelineCache(cache_size) if cache_size else None
         )
+        # -- MVCC ---------------------------------------------------------
+        #: newest published commit stamp (max-coupled with WAL LSNs, so
+        #: version stamps and the log share one ordering)
+        self._commit_stamp = 0
+        #: pinned read-view watermarks -> refcount; the min is the GC
+        #: horizon no vacuum may cross
+        self._active_views = {}
+        #: guards stamp allocation, meta sealing and view pinning — the
+        #: seal happens entirely inside it, so a pinned watermark never
+        #: observes a half-stamped commit
+        self._mvcc_lock = threading.Lock()
         #: the session used when a caller does not bring its own
         self._default_session = Session(self, charset)
         #: sessions currently holding an open transaction (any session)
@@ -509,6 +557,83 @@ class Database(object):
     def in_transaction(self):
         """True while *any* session holds an open transaction."""
         return bool(self._tx_sessions)
+
+    # -- MVCC --------------------------------------------------------------
+
+    def open_read_view(self, session=None):
+        """Pin a snapshot read position for one statement.
+
+        Inside an open transaction the view reuses the watermark pinned
+        at BEGIN (repeatable reads) and carries the transaction's write
+        txn so it sees its own pending changes; otherwise the watermark
+        is the newest published commit stamp.  Must be paired with
+        :meth:`close_read_view` — the pin is what holds vacuum back.
+        """
+        txn = None
+        watermark = None
+        if session is not None and session.in_transaction:
+            txn = session.write_txn
+            watermark = session.tx_read_stamp
+        with self._mvcc_lock:
+            if watermark is None:
+                watermark = self._commit_stamp
+            self._active_views[watermark] = (
+                self._active_views.get(watermark, 0) + 1
+            )
+        return ReadView(watermark, txn)
+
+    def close_read_view(self, view):
+        with self._mvcc_lock:
+            count = self._active_views.get(view.watermark, 0) - 1
+            if count > 0:
+                self._active_views[view.watermark] = count
+            else:
+                self._active_views.pop(view.watermark, None)
+
+    def mvcc_horizon(self):
+        """Oldest pinned watermark, or ``None`` when nothing is pinned
+        (vacuum may then reclaim all sealed history).
+
+        Pins come from two places: read views open right now, and
+        sessions inside an open transaction — their BEGIN-time stamp
+        stays pinned *between* statements, which is what makes their
+        reads repeatable."""
+        with self._mvcc_lock:
+            pins = list(self._active_views)
+        for session in list(self._tx_sessions):
+            stamp = session.tx_read_stamp
+            if stamp is not None:
+                pins.append(stamp)
+        return min(pins) if pins else None
+
+    def _seal_txn(self, txn, lsn=None):
+        """Commit *txn*'s pending versions under one fresh stamp.
+
+        The stamp is ``max(counter + 1, lsn)`` so version stamps track
+        the WAL's LSN sequence whenever one is attached.  Stamping and
+        counter publication happen inside the MVCC lock: a reader either
+        pins a watermark below the stamp (sees the old images) or pins
+        it at/after full publication (sees the new ones) — never a torn
+        mixture.
+
+        When nothing can ever read the superseded images — no open read
+        view, no *other* session inside a transaction (whose pinned
+        BEGIN stamp needs them for repeatable reads and whose writes
+        need the begin stamps for first-writer-wins) — the sealed
+        metadata is collected on the spot, so single-session workloads
+        never grow version chains at all.
+        """
+        if txn is None or txn.sealed:
+            return
+        others_in_tx = any(
+            session.write_txn is not txn
+            for session in list(self._tx_sessions)
+        )
+        with self._mvcc_lock:
+            stamp = max(self._commit_stamp + 1, lsn or 0)
+            seal_txn(txn, stamp,
+                     collect=not self._active_views and not others_in_tx)
+            self._commit_stamp = stamp
 
     # -- environment ---------------------------------------------------------
 
@@ -631,7 +756,11 @@ class Database(object):
         for session in list(self._tx_sessions):
             session._tx_snapshot = None
             session.tx_id = 0
+            session.write_txn = None
+            session.tx_read_stamp = None
         self._tx_sessions.clear()
+        with self._mvcc_lock:
+            self._active_views = {}
         self._recovered_lsn = 0
         self._recovered_dir = None
         self._recover_state(data_dir, strict=True)
@@ -671,6 +800,12 @@ class Database(object):
             }
         lsn = self._wal.write_checkpoint(state)
         self._commit_points_since_checkpoint = 0
+        # GC rides the checkpoint: reclaim version chains and tombstones
+        # no pinned read view can still need
+        horizon = self.mvcc_horizon()
+        with self.catalog_lock:
+            for table in self.tables.values():
+                table.vacuum(horizon)
         return lsn
 
     @property
@@ -685,14 +820,13 @@ class Database(object):
     def _lock_plan_for(self, stmt, plan_tables=None, prepared=None):
         """The statement's lock plan under the configured mode.
 
-        *plan_tables* is the base-table set the physical plan actually
-        scans (:attr:`repro.sqldb.plan.PhysicalPlan.tables`); any table
-        the AST walk missed is added in shared mode, so the lock set is
-        the union of what the statement names and what its plan touches.
-        When the *prepared* physical plan itself is passed, the merged
-        result is memoized on it — the lock plan is deterministic per
-        plan, and the AST walk is a measurable share of a warm query,
-        so cached plans classify once, not per execution.
+        When the *prepared* physical plan is passed, the result is
+        memoized on it — the lock plan is deterministic per plan, and
+        the AST walk is a measurable share of a warm query, so cached
+        plans classify once, not per execution.  (*plan_tables* is kept
+        for signature compatibility: before MVCC it widened read plans
+        with shared locks for tables the AST walk missed; reads no
+        longer lock tables at all.)
 
         ``exclusive`` mode degrades every plan to catalog-exclusive —
         exactly one statement in the engine at a time, the serialized
@@ -712,17 +846,10 @@ class Database(object):
 
     @staticmethod
     def _merged_lock_plan(stmt, plan_tables):
-        plan = lock_plan(stmt)
-        if plan is None or not plan_tables:
-            return plan
-        held = dict(plan.tables)
-        missing = [name for name in (n.lower() for n in plan_tables)
-                   if name not in held]
-        if missing:
-            for name in missing:
-                held[name] = True
-            plan = LockPlan(plan.catalog_shared, held.items())
-        return plan
+        # plan_tables (the base tables the physical plan scans) used to
+        # widen the lock set with shared entries; under MVCC reads take
+        # no table locks at all, so classification alone is the plan
+        return lock_plan(stmt)
 
     def _next_tx_id(self):
         with self._stats_lock:
@@ -913,9 +1040,18 @@ class Database(object):
         """Recovery epoch: no pipeline-cache entry from before the
         restart may validate against the recovered catalog, so the
         schema version moves past everything replay produced and the
-        cache is emptied outright."""
+        cache is emptied outright.  Redo rebuilds the *newest* version
+        only — replay ran single-session, so the version chains it
+        accumulated carry no information a reader could need — and the
+        commit counter moves past every recovered LSN so post-recovery
+        stamps stay monotone with the log."""
         with self.catalog_lock:
             self.schema_version += 1
+            for table in self.tables.values():
+                table.reset_mvcc()
+        with self._mvcc_lock:
+            self._commit_stamp = max(self._commit_stamp,
+                                     self._recovered_lsn)
         if self.pipeline_cache is not None:
             self.pipeline_cache.clear()
 

@@ -64,6 +64,17 @@ class TransientEngineError(SQLError):
     transient = True
 
 
+class WriteConflictError(TransientEngineError):
+    """First-writer-wins conflict under snapshot isolation: the statement
+    tried to modify a row that another transaction has a pending version
+    of (or that committed after this transaction's snapshot).  Surfaced
+    with MySQL's deadlock errno because that is the error class clients
+    already treat as "roll back and retry"; the conflict check runs
+    *before* any row is touched, so a retry never double-applies."""
+
+    errno = 1213  # "Deadlock found when trying to get lock; try restarting"
+
+
 class WalError(SQLError):
     """A durability-layer failure (write-ahead log or checkpoint)."""
 

@@ -15,7 +15,7 @@ from repro.sqldb.errors import ExecutionError
 from repro.sqldb.expression import EvalContext
 from repro.sqldb.plan import ExecutionResult, ExecState
 from repro.sqldb.planner import Planner
-from repro.sqldb.storage import Column, ResultSet
+from repro.sqldb.storage import Column, ResultSet, WriteTxn
 
 __all__ = ["Executor", "ExecutionResult"]
 
@@ -121,8 +121,15 @@ class Executor(object):
         if prepared is None and isinstance(stmt, _PLANNED):
             prepared = self.prepare(stmt)
         if isinstance(stmt, ast.Select):
-            state = ExecState(ctx)
-            rows = [out for _, out in prepared.root.rows(state)]
+            # pin the snapshot for the whole statement: scans below see
+            # exactly the versions committed at this watermark
+            view = self._db.open_read_view(session)
+            ctx.read_view = view
+            try:
+                state = ExecState(ctx)
+                rows = [out for _, out in prepared.root.rows(state)]
+            finally:
+                self._db.close_read_view(view)
             state.stats.note_materialized(len(rows))
             self._absorb(state.stats, query_context)
             return ExecutionResult(
@@ -134,8 +141,18 @@ class Executor(object):
                 result_set=plan_mod.render_explain(prepared, self._db)
             )
         if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+            txn, own_txn = self._write_txn_for(session)
+            ctx.write_txn = txn
             state = ExecState(ctx)
-            result = prepared.root.run(state)
+            try:
+                result = prepared.root.run(state)
+            finally:
+                # an autocommit statement is its own mini-transaction:
+                # seal even on failure, so partial effects (MySQL keeps
+                # the rows before a failing multi-row INSERT) become
+                # visible exactly as they always were
+                if own_txn:
+                    self._db._seal_txn(txn)
             self._absorb(state.stats, query_context)
             return result
         if isinstance(stmt, ast.CreateTable):
@@ -176,9 +193,24 @@ class Executor(object):
         if isinstance(stmt, ast.TruncateTable):
             table = self._db.table(stmt.table)
             removed = len(table.rows)
-            table.truncate()   # also resets AUTO_INCREMENT
+            txn, own_txn = self._write_txn_for(session)
+            try:
+                table.truncate(txn=txn)   # also resets AUTO_INCREMENT
+            finally:
+                if own_txn:
+                    self._db._seal_txn(txn)
             return ExecutionResult(affected_rows=removed)
         raise ExecutionError("cannot execute %r" % type(stmt).__name__)
+
+    def _write_txn_for(self, session):
+        """The write transaction a mutating statement installs versions
+        under: the session's open transaction (sealed at COMMIT), or a
+        fresh statement-scoped one the caller must seal itself.
+        Returns ``(txn, owns_seal)``."""
+        if (session is not None and session.in_transaction
+                and session.write_txn is not None):
+            return session.write_txn, False
+        return WriteTxn(), True
 
     # -- subquery support --------------------------------------------------
 
@@ -191,6 +223,8 @@ class Executor(object):
             ctx._parent = outer_ctx
             ctx.row = dict(outer_ctx.row)
             outer_row = ctx.row
+            # a subquery reads under the statement's pinned snapshot
+            ctx.read_view = outer_ctx.read_view
         plan = self._subquery_plan(select)
         state = ExecState(ctx, outer_row=outer_row)
         rows = [out for _, out in plan.root.rows(state)]
@@ -260,9 +294,7 @@ class Executor(object):
         elif column.not_null:
             fill = "" if column.type_name in ("VARCHAR", "TEXT",
                                               "CHAR") else 0
-        for row in table.rows:
-            row[column.name] = fill
-        table.touch()
+        table.fill_column(column.name, fill)
         self._db.bump_schema_version()
         return ExecutionResult(affected_rows=len(table.rows))
 
@@ -280,9 +312,7 @@ class Executor(object):
             )
         table.columns = [c for c in table.columns if c.name != name]
         del table._by_name[name]
-        for row in table.rows:
-            row.pop(name, None)
-        table.touch()
+        table.strip_column(name)
         self._db.bump_schema_version()
         return ExecutionResult(affected_rows=len(table.rows))
 

@@ -32,10 +32,17 @@ class EvalContext(object):
         self.session = session
         #: accumulated simulated SLEEP() seconds for this statement
         self.sleep_seconds = 0.0
+        #: MVCC snapshot the statement reads under (None = latest state,
+        #: the DML-target behaviour); set by the executor for SELECTs
+        self.read_view = None
+        #: the WriteTxn mutating statements install versions under
+        self.write_txn = None
 
     def child(self, row):
         ctx = EvalContext(self.database, row, self.executor, self.session)
         ctx._parent = self
+        ctx.read_view = self.read_view
+        ctx.write_txn = self.write_txn
         return ctx
 
     def record_sleep(self, seconds):
@@ -181,11 +188,17 @@ def _binary(node, ctx):
     if op == "DIV":
         if b == 0:
             return None
-        return int(a // b)
+        # MySQL DIV truncates toward zero; Python's // floors toward
+        # -inf, so -7 DIV 2 would come out -4 instead of MySQL's -3
+        quotient = abs(a) // abs(b)
+        return int(-quotient if (a < 0) != (b < 0) else quotient)
     if op == "%":
         if b == 0:
-            return None
-        return a % b
+            return None  # MySQL: MOD by zero yields NULL, like division
+        # MySQL MOD takes the sign of the dividend (C semantics);
+        # Python's % takes the divisor's: 5 % -3 is MySQL 2, Python -1
+        remainder = abs(a) % abs(b)
+        return -remainder if a < 0 else remainder
     if op == "|":
         return int(a) | int(b)
     if op == "&":

@@ -158,7 +158,10 @@ def _fn_mod(args):
     b = coerce_to_number(args[1])
     if a is None or b is None or b == 0:
         return None
-    return a % b
+    # MySQL MOD takes the sign of the dividend (C semantics), same as
+    # the % operator; Python's % takes the divisor's
+    remainder = abs(a) % abs(b)
+    return -remainder if a < 0 else remainder
 
 
 def _fn_pow(args):

@@ -197,11 +197,11 @@ def _env_rows(stored_rows, alias, outer_row):
     source_key = "__source__%s" % alias
     prefix = alias + "."
     for stored in stored_rows:
-        row = {} if outer_row is None else dict(outer_row)
+        env = {} if outer_row is None else dict(outer_row)
         for col_name, value in stored.items():
-            row[prefix + col_name] = value
-        row[source_key] = stored
-        yield row
+            env[prefix + col_name] = value
+        env[source_key] = stored
+        yield env
 
 
 # -- leaf scans --------------------------------------------------------
@@ -230,7 +230,8 @@ class SeqScan(PlanNode):
         table = state.ctx.database.table(self.table_name)
         if self.counted:
             state.stats.count("full_scans")
-        return _env_rows(table.iter_rows(), self.alias, state.outer_row)
+        return _env_rows(table.iter_rows(state.ctx.read_view),
+                         self.alias, state.outer_row)
 
 
 class IndexEqScan(PlanNode):
@@ -253,8 +254,9 @@ class IndexEqScan(PlanNode):
     def _generate(self, state):
         table = state.ctx.database.table(self.table_name)
         state.stats.count("index_eq")
-        return _env_rows(table.index_lookup_iter(self.column, self.value),
-                         self.alias, state.outer_row)
+        stored = table.index_lookup_iter(self.column, self.value,
+                                         view=state.ctx.read_view)
+        return _env_rows(stored, self.alias, state.outer_row)
 
 
 class IndexRangeScan(PlanNode):
@@ -290,7 +292,8 @@ class IndexRangeScan(PlanNode):
         table = state.ctx.database.table(self.table_name)
         state.stats.count("index_range")
         stored = table.index_range_iter(self.column, self.low, self.high,
-                                        self.low_incl, self.high_incl)
+                                        self.low_incl, self.high_incl,
+                                        view=state.ctx.read_view)
         return _env_rows(stored, self.alias, state.outer_row)
 
 
@@ -334,10 +337,10 @@ class DerivedScan(PlanNode):
         outer = state.outer_row
         prefix = self.alias + "."
         for _, values in self.plan.root.rows(state):
-            row = {} if outer is None else dict(outer)
+            env = {} if outer is None else dict(outer)
             for name, value in zip(names, values):
-                row[prefix + name] = value
-            yield row
+                env[prefix + name] = value
+            yield env
 
 
 # -- streaming operators -----------------------------------------------
@@ -851,10 +854,13 @@ class InsertSink(PlanNode):
             faults_mod.fire("operator.next")
         ctx = state.ctx
         stmt = self.stmt
+        txn = ctx.write_txn
         table = ctx.database.table(stmt.table)
         columns = stmt.columns or table.column_names()
-        inserted = 0
-        last_id = None
+        # Evaluate every VALUES row up front so a bad expression — or a
+        # first-writer-wins conflict on the rows REPLACE / ON DUPLICATE
+        # KEY UPDATE would mutate — surfaces before any row is touched.
+        pending = []
         for row_exprs in stmt.rows:
             if len(row_exprs) != len(columns):
                 raise ExecutionError(
@@ -863,16 +869,24 @@ class InsertSink(PlanNode):
             values = {}
             for col, expr in zip(columns, row_exprs):
                 values[col.lower()] = evaluate(expr, ctx)
+            pending.append(values)
+        if stmt.replace or stmt.on_duplicate:
+            for values in pending:
+                for conflict in _unique_conflicts(table, values):
+                    table.check_write(conflict, txn)
+        inserted = 0
+        last_id = None
+        for values in pending:
             if stmt.replace:
                 # REPLACE INTO: delete any row conflicting on a unique
                 # key, then insert (affected = deleted + inserted)
-                inserted += _delete_conflicting(table, values)
+                inserted += _delete_conflicting(table, values, txn)
             try:
-                auto = table.insert(values)
+                auto = table.insert(values, txn=txn)
             except ExecutionError as exc:
                 if exc.errno == 1062 and stmt.on_duplicate:
                     inserted += _apply_on_duplicate(
-                        table, stmt.on_duplicate, values, ctx
+                        table, stmt.on_duplicate, values, ctx, txn
                     )
                     continue
                 if stmt.ignore:
@@ -927,6 +941,12 @@ class UpdateSink(PlanNode):
         if stmt.limit is not None:
             count = int(evaluate(stmt.limit.count, ctx))
             targets = targets[: max(count, 0)]
+        txn = ctx.write_txn
+        # First-writer-wins pass over every target before the first
+        # mutation: a conflict aborts the statement with zero rows
+        # changed, so the transient-retry path never double-applies.
+        for stored, _ in targets:
+            table.check_write(stored, txn)
         changed = 0
         for stored, env in targets:
             updates = {}
@@ -942,7 +962,7 @@ class UpdateSink(PlanNode):
             delta = {k: v for k, v in updates.items()
                      if stored.get(k) != v}
             if delta:
-                table.update_row(stored, delta)
+                table.update_row(stored, delta, txn=txn)
                 changed += 1
         rec["rows_out"] = changed
         rec["close_tick"] = state.stats.tick()
@@ -986,7 +1006,10 @@ class DeleteSink(PlanNode):
             targets = targets[: max(count, 0)]
         doomed = [stored for stored, _ in targets]
         if doomed:
-            table.delete_rows(doomed)
+            # delete_rows runs the first-writer-wins check over every
+            # target before removing any, so a conflict leaves the
+            # table untouched.
+            table.delete_rows(doomed, txn=ctx.write_txn)
         rec["rows_out"] = len(doomed)
         rec["close_tick"] = state.stats.tick()
         return ExecutionResult(
@@ -1092,9 +1115,7 @@ _EXPLAIN_TRANSPARENT = (Limit, TopK, Sort, Distinct, Project, Aggregate,
 
 
 def _merge(a, b):
-    merged = dict(a)
-    merged.update(b)
-    return merged
+    return {**a, **b}
 
 
 def _fold_row(out):
@@ -1223,7 +1244,13 @@ def _order_dml_targets(order_by, targets, ctx):
     return decorated
 
 
-def _delete_conflicting(table, values):
+def _unique_conflicts(table, values):
+    """Live rows that collide with *values* on any unique key.
+
+    Scans the physical row list (not a snapshot): uniqueness is a
+    property of the latest state, so pending rows from other
+    transactions participate — the first-writer-wins check is what
+    turns such a collision into a retryable conflict."""
     keys = [c.name for c in table.columns if c.primary_key or c.unique]
     conflicts = []
     for row in table.rows:
@@ -1233,29 +1260,26 @@ def _delete_conflicting(table, values):
             for key in keys
         ):
             conflicts.append(row)
+    return conflicts
+
+
+def _delete_conflicting(table, values, txn=None):
+    conflicts = _unique_conflicts(table, values)
     if conflicts:
-        table.delete_rows(conflicts)
+        table.delete_rows(conflicts, txn=txn)
     return len(conflicts)
 
 
-def _apply_on_duplicate(table, assignments, new_values, ctx):
+def _apply_on_duplicate(table, assignments, new_values, ctx, txn=None):
     """ON DUPLICATE KEY UPDATE: update the conflicting row.
 
     ``VALUES(col)`` inside an assignment refers to the value the
     failed insert attempted for *col* (MySQL semantics).
     """
-    keys = [c.name for c in table.columns if c.primary_key or c.unique]
-    target = None
-    for row in table.rows:
-        if any(
-            new_values.get(key) is not None
-            and row.get(key) == table.convert(key, new_values[key])
-            for key in keys
-        ):
-            target = row
-            break
-    if target is None:
+    conflicts = _unique_conflicts(table, new_values)
+    if not conflicts:
         return 0
+    target = conflicts[0]
     env = {"%s.%s" % (table.name, k): v for k, v in target.items()}
     updates = {}
     for col, expr in assignments:
@@ -1264,7 +1288,7 @@ def _apply_on_duplicate(table, assignments, new_values, ctx):
         if target.get(col.lower()) != value:
             updates[col.lower()] = value
     if updates:
-        table.update_row(target, updates)
+        table.update_row(target, updates, txn=txn)
     # MySQL reports 2 affected rows when an ODKU update changed one
     return 2 if updates else 0
 

@@ -18,11 +18,25 @@ hash (equality) probes and bisect-based **range** scans
 (:meth:`Table.index_range` for ``<``/``>``/``BETWEEN``), and fixes a
 latent mismatch where the old index key lowercased strings but the
 comparator also folded confusables.
+
+Rows are **multiversioned**.  A mutation never edits a stored dict in
+place: UPDATE installs a fresh dict and chains the superseded image
+behind it (:class:`_RowVersion`), DELETE moves the row into a tombstone
+list, and both stay *pending* — owned by a :class:`WriteTxn` and
+invisible to snapshot readers — until the transaction seals them with a
+commit stamp (:func:`seal_txn`).  Readers carry a :class:`ReadView`
+(a watermark pinned at statement or transaction start) through
+:meth:`Table.iter_rows` / :meth:`index_lookup_iter` /
+:meth:`index_range_iter`; ``view=None`` keeps the historical
+latest-state behaviour the DML path relies on.  Version metadata lives
+*beside* the rows (keyed by dict identity), never inside them, so
+checkpoint serialization, digests and the env-row layer see plain
+column→value dicts exactly as before.
 """
 
 from bisect import bisect_left, bisect_right, insort
 
-from repro.sqldb.errors import ExecutionError
+from repro.sqldb.errors import ExecutionError, WriteConflictError
 from repro.sqldb.types import sort_key, store_convert
 
 
@@ -142,6 +156,132 @@ class _ColumnIndex(object):
         self.add(row)
 
 
+class ReadView(object):
+    """A snapshot-isolation read position.
+
+    ``watermark`` is the commit stamp the reader pinned at statement (or
+    transaction) start: versions sealed at or below it are visible,
+    anything newer or still pending is not.  ``txn`` is set when the
+    reader *is* an open transaction, so it additionally sees its own
+    pending writes (and not its own pending deletes).
+    """
+
+    __slots__ = ("watermark", "txn")
+
+    def __init__(self, watermark, txn=None):
+        self.watermark = watermark
+        self.txn = txn
+
+    def __repr__(self):
+        return "ReadView(%d%s)" % (self.watermark,
+                                   ", txn" if self.txn is not None else "")
+
+
+class WriteTxn(object):
+    """Pending-version bookkeeping for one writer.
+
+    One instance covers either a single autocommit statement (sealed by
+    the executor when the statement finishes) or a whole explicit
+    transaction (sealed by ``Session.commit`` with the WAL commit LSN).
+    ``read_stamp`` is the transaction's snapshot watermark and drives
+    first-writer-wins detection; autocommit statements leave it ``None``
+    (they read latest state, so only *pending* versions can conflict).
+    """
+
+    __slots__ = ("read_stamp", "entries", "sealed")
+
+    def __init__(self, read_stamp=None):
+        self.read_stamp = read_stamp
+        #: (table, kind, payload): kind "write" carries the pending row
+        #: dict, kind "delete" carries the _Tombstone.
+        self.entries = []
+        self.sealed = False
+
+    def record(self, table, kind, payload):
+        self.entries.append((table, kind, payload))
+
+
+class _RowVersion(object):
+    """One superseded committed row image: immutable once chained."""
+
+    __slots__ = ("row", "begin", "prior")
+
+    def __init__(self, row, begin, prior):
+        self.row = row
+        self.begin = begin
+        self.prior = prior
+
+
+class _RowMeta(object):
+    """Version metadata for the *current* dict of one row.
+
+    Rows without a meta entry are legacy/settled rows: committed before
+    any tracked history, visible at every watermark.  ``begin`` is the
+    commit stamp (``None`` while pending), ``owner`` the pending
+    :class:`WriteTxn` (``None`` once sealed), ``prior`` the chain of
+    superseded :class:`_RowVersion` images.
+    """
+
+    __slots__ = ("begin", "owner", "prior")
+
+    def __init__(self, begin, owner, prior):
+        self.begin = begin
+        self.owner = owner
+        self.prior = prior
+
+
+class _Tombstone(object):
+    """A deleted row kept visible to older snapshots.
+
+    ``row``/``begin``/``prior`` describe the deleted version chain just
+    like a meta; ``end`` is the deletion stamp (``None`` while the
+    delete is pending under ``owner``).
+    """
+
+    __slots__ = ("row", "begin", "prior", "end", "owner")
+
+    def __init__(self, row, begin, prior, end, owner):
+        self.row = row
+        self.begin = begin
+        self.prior = prior
+        self.end = end
+        self.owner = owner
+
+
+def seal_txn(txn, stamp, collect=False):
+    """Commit every pending version *txn* installed, stamping it with
+    *stamp*.  With ``collect=True`` (no read view can need history) the
+    sealed metadata is dropped on the spot: rows settle back into
+    legacy always-visible state and resolved tombstones disappear.
+
+    The caller (``Database._seal_txn``) holds the engine's MVCC lock and
+    publishes the commit counter only after this returns, so a reader
+    can never pin a watermark >= *stamp* while the stamps are half
+    applied."""
+    for table, kind, payload in txn.entries:
+        if kind == "write":
+            meta = table._meta.get(id(payload))
+            if meta is None or meta.owner is not txn:
+                continue    # superseded later in the same txn
+            meta.begin = stamp
+            meta.owner = None
+            if collect:
+                del table._meta[id(payload)]
+        else:
+            tomb = payload
+            if tomb.owner is not txn:
+                continue
+            tomb.end = stamp
+            tomb.owner = None
+            if collect:
+                try:
+                    table._tombstones.remove(tomb)
+                except ValueError:
+                    pass
+    txn.entries = []
+    txn.sealed = True
+
+
 class Table(object):
     """One table: schema plus a list of row dicts (column name → value)."""
 
@@ -163,6 +303,10 @@ class Table(object):
             "rebuilds": 0, "incremental": 0, "restores": 0,
             "lookups": 0, "range_lookups": 0,
         }
+        #: id(current row dict) -> _RowMeta for rows with tracked history
+        self._meta = {}
+        #: _Tombstone entries: deleted rows older snapshots may still see
+        self._tombstones = []
 
     def has_column(self, name):
         return name.lower() in self._by_name
@@ -186,12 +330,14 @@ class Table(object):
                 index.version = self.version
                 self._index_stats["incremental"] += 1
 
-    def insert(self, values):
+    def insert(self, values, txn=None):
         """Insert a row from a ``{column: value}`` mapping.
 
         Applies type conversion (including silent VARCHAR truncation),
         auto-increment, defaults, NOT NULL and UNIQUE/PRIMARY KEY checks.
-        Returns the auto-increment id used (or ``None``).
+        With *txn* the row starts as a pending version, invisible to
+        snapshot readers until the transaction seals.  Returns the
+        auto-increment id used (or ``None``).
         """
         row = {}
         used_auto = None
@@ -221,27 +367,125 @@ class Table(object):
             if col.auto_increment and isinstance(value, int):
                 self._auto_counter = max(self._auto_counter, value)
         self._check_unique(row)
+        # publish the pending metadata BEFORE the row becomes reachable:
+        # a lock-free reader that catches the append must already find
+        # the meta that marks it invisible
+        if txn is not None:
+            self._meta[id(row)] = _RowMeta(None, txn, None)
+            txn.record(self, "write", row)
         self.rows.append(row)
         self._apply_delta(lambda index: index.add(row))
         return used_auto
 
-    def update_row(self, row, updates):
-        """Apply *updates* (already store-converted) to one stored row,
-        re-bucketing it in every live index whose key changed."""
+    def check_write(self, row, txn):
+        """First-writer-wins gate: raise :class:`WriteConflictError` if
+        *row* carries a pending version owned by another transaction, or
+        — for snapshot transactions — a version that committed after the
+        transaction's read stamp (a lost update in the making).  Sinks
+        run this over every target *before* the first mutation, so a
+        conflicting statement has zero partial effects and is safe to
+        retry."""
+        meta = self._meta.get(id(row))
+        if meta is None:
+            return
+        if meta.owner is not None:
+            if txn is None or meta.owner is not txn:
+                raise WriteConflictError(
+                    "Write conflict on table '%s': row has an uncommitted "
+                    "version from another transaction; retry" % self.name
+                )
+        elif (txn is not None and txn.read_stamp is not None
+                and meta.begin is not None
+                and meta.begin > txn.read_stamp):
+            raise WriteConflictError(
+                "Write conflict on table '%s': row changed after this "
+                "transaction's snapshot (first writer wins); retry"
+                % self.name
+            )
+
+    def update_row(self, row, updates, txn=None):
+        """Install a new version of one stored row.
+
+        The stored dict is never edited in place: a fresh dict replaces
+        *row* at its position (and in every live index bucket), and the
+        superseded image is chained behind the new version's metadata so
+        pinned read views keep seeing it.  Raises
+        :class:`WriteConflictError` if another transaction owns a
+        pending version of the row.  Returns the new current dict."""
+        self.check_write(row, txn)
         old_keys = {
             column: sort_key(row.get(column))
             for column in self._index_cache
         }
-        row.update(updates)
-        self._apply_delta(
-            lambda index: index.reindex(row, old_keys[index.column])
-        )
+        new_row = dict(row)
+        new_row.update(updates)
+        for pos, stored in enumerate(self.rows):
+            if stored is row:
+                break
+        else:
+            raise ExecutionError(
+                "row is not stored in table '%s'" % self.name
+            )
+        meta = self._meta.get(id(row))
+        if txn is not None:
+            if meta is not None and meta.owner is txn:
+                # re-update inside one txn: keep the last *committed*
+                # image as the chain head, drop the intra-txn image
+                prior = meta.prior
+            else:
+                begin = meta.begin if meta is not None else 0
+                prior = _RowVersion(
+                    row, begin, meta.prior if meta is not None else None
+                )
+            # publish the pending meta BEFORE the dict swap: a lock-free
+            # reader must never observe new_row without the metadata
+            # that marks it invisible
+            self._meta[id(new_row)] = _RowMeta(None, txn, prior)
+            txn.record(self, "write", new_row)
+        self.rows[pos] = new_row
+        # the superseded dict is unreachable from rows now; its entry
+        # (pending intra-txn image, or stale sealed meta) can go
+        self._meta.pop(id(row), None)
 
-    def delete_rows(self, doomed):
-        """Remove the given row dicts (by identity)."""
+        def delta(index):
+            index.remove(row, value_key=old_keys[index.column])
+            index.add(new_row)
+
+        self._apply_delta(delta)
+        return new_row
+
+    def delete_rows(self, doomed, txn=None):
+        """Remove the given row dicts (by identity).
+
+        With *txn*, each removed row becomes a pending tombstone:
+        invisible to the deleting transaction, still visible to pinned
+        snapshots until the delete seals (and to everyone if it never
+        does).  Raises :class:`WriteConflictError` — before touching
+        anything — if any target has a pending version elsewhere."""
         doomed = list(doomed)
+        for row in doomed:
+            self.check_write(row, txn)
         doomed_ids = {id(row) for row in doomed}
         self.rows = [row for row in self.rows if id(row) not in doomed_ids]
+        fresh_tombs = []
+        for row in doomed:
+            meta = self._meta.pop(id(row), None)
+            if txn is None:
+                continue
+            if meta is not None and meta.owner is txn:
+                # deleting a row this txn wrote: the pending image was
+                # never committed, so only the prior chain matters
+                tomb = _Tombstone(row, None, meta.prior, None, txn)
+            else:
+                begin = meta.begin if meta is not None else 0
+                prior = meta.prior if meta is not None else None
+                tomb = _Tombstone(row, begin, prior, None, txn)
+            fresh_tombs.append(tomb)
+            txn.record(self, "delete", tomb)
+        if fresh_tombs:
+            # one rebind, not per-row appends: overlapping scans see all
+            # of this statement's tombstones or none of them
+            self._tombstones = self._tombstones + fresh_tombs
 
         def delta(index):
             for row in doomed:
@@ -249,8 +493,23 @@ class Table(object):
 
         self._apply_delta(delta)
 
-    def truncate(self):
+    def truncate(self, txn=None):
         """Drop every row and reset AUTO_INCREMENT (TRUNCATE TABLE)."""
+        if txn is not None:
+            for row in self.rows:
+                self.check_write(row, txn)
+            for row in self.rows:
+                meta = self._meta.pop(id(row), None)
+                if meta is not None and meta.owner is txn:
+                    tomb = _Tombstone(row, None, meta.prior, None, txn)
+                else:
+                    begin = meta.begin if meta is not None else 0
+                    prior = meta.prior if meta is not None else None
+                    tomb = _Tombstone(row, begin, prior, None, txn)
+                self._tombstones.append(tomb)
+                txn.record(self, "delete", tomb)
+        else:
+            self._meta = {}
         self.rows = []
         self._auto_counter = 0
 
@@ -259,6 +518,133 @@ class Table(object):
             index.sorted_keys = []
 
         self._apply_delta(delta)
+
+    # -- ALTER TABLE support (DDL runs under the exclusive catalog lock,
+    #    so no read view can be live while these reshape rows) -----------
+
+    def fill_column(self, name, fill):
+        """ALTER TABLE ADD COLUMN: give every stored row the new column.
+
+        DDL is a version-history barrier — historical images with the
+        old shape would confuse later readers — so MVCC state is reset.
+        Indexes are left stale on purpose (rebuild on next use)."""
+        for row in self.rows:
+            row[name] = fill
+        self.reset_mvcc()
+        self.touch()
+
+    def strip_column(self, name):
+        """ALTER TABLE DROP COLUMN: remove the column from every row."""
+        for row in self.rows:
+            row.pop(name, None)
+        self.reset_mvcc()
+        self.touch()
+
+    # -- MVCC visibility ---------------------------------------------------
+
+    def reset_mvcc(self):
+        """Forget all version history and tombstones (recovery replay,
+        rollback restore, and DDL barriers: only current rows matter)."""
+        self._meta = {}
+        self._tombstones = []
+
+    def _visible_row(self, row, meta, view):
+        """The image of *row* visible under *view*, or ``None``."""
+        if meta is None:
+            return row          # legacy/settled row: always visible
+        if meta.owner is not None:
+            if view.txn is not None and meta.owner is view.txn:
+                return row      # reader owns the pending version
+        elif meta.begin is not None and meta.begin <= view.watermark:
+            return row
+        node = meta.prior
+        while node is not None:
+            if node.begin <= view.watermark:
+                return node.row
+            node = node.prior
+        return None
+
+    def _tomb_visible(self, tomb, view):
+        """The image of a deleted row still visible under *view*."""
+        if tomb.owner is not None:
+            if view.txn is not None and tomb.owner is view.txn:
+                return None     # deleted by the reader itself
+        elif tomb.end is not None and tomb.end <= view.watermark:
+            return None         # deletion already visible
+        if tomb.begin is not None and tomb.begin <= view.watermark:
+            return tomb.row
+        node = tomb.prior
+        while node is not None:
+            if node.begin <= view.watermark:
+                return node.row
+            node = node.prior
+        return None
+
+    def _iter_visible(self, view):
+        # the meta lookup must be per-row against the LIVE dict: a
+        # lock-free reader can overlap a writer, and a pending version
+        # installed mid-scan has to be judged by its metadata, not by
+        # whether the table happened to carry history at scan start
+        for row in self.rows:
+            meta = self._meta.get(id(row))
+            if meta is None:
+                yield row
+                continue
+            visible = self._visible_row(row, meta, view)
+            if visible is not None:
+                yield visible
+        for tomb in self._tombstones:
+            visible = self._tomb_visible(tomb, view)
+            if visible is not None:
+                yield visible
+
+    def _index_safe_for(self, view):
+        """An index only reflects *current* rows; with any pending
+        versions or tombstones around, a snapshot read must fall back to
+        the full visibility scan.  The fallback is a superset of any
+        index narrowing, which is safe because the planner always keeps
+        the complete WHERE in a Filter above the scan."""
+        return view is None or (not self._meta and not self._tombstones)
+
+    def vacuum(self, horizon=None):
+        """Garbage-collect version history no read view can need.
+
+        *horizon* is the oldest pinned watermark (``None`` = no active
+        views).  A sealed meta whose current version is visible at the
+        horizon needs no chain; a tombstone whose deletion is visible at
+        the horizon needs nothing at all.  Pending entries always stay.
+        Returns the number of entries dropped."""
+        removed = 0
+        for key in list(self._meta):
+            meta = self._meta[key]
+            if meta.owner is not None or meta.begin is None:
+                continue
+            if horizon is None or meta.begin <= horizon:
+                del self._meta[key]
+                removed += 1
+        kept = []
+        for tomb in self._tombstones:
+            if (tomb.owner is None and tomb.end is not None
+                    and (horizon is None or tomb.end <= horizon)):
+                removed += 1
+            else:
+                kept.append(tomb)
+        self._tombstones = kept
+        return removed
+
+    def mvcc_stats(self):
+        """Observability: how much version history the table carries."""
+        chains = 0
+        for meta in self._meta.values():
+            node = meta.prior
+            while node is not None:
+                chains += 1
+                node = node.prior
+        return {
+            "versioned_rows": len(self._meta),
+            "chained_images": chains,
+            "tombstones": len(self._tombstones),
+        }
 
     def touch(self):
         """Record a mutation done *outside* the mutation API.  Live
@@ -294,8 +680,14 @@ class Table(object):
         )
 
     def restore_state(self, state):
-        """Undo every in-place mutation since :meth:`snapshot_state`."""
+        """Undo every mutation since :meth:`snapshot_state`.
+
+        Rows are rebuilt as fresh dicts, so any version metadata keyed
+        to the replaced dicts is meaningless: MVCC state is reset and
+        the restored rows are legacy always-visible (they were committed
+        state when the snapshot was taken)."""
         rows, auto, columns, indexes, index_states = state
+        self.reset_mvcc()
         self.rows = [dict(row) for row in rows]
         self._auto_counter = auto
         self.columns = list(columns)
@@ -378,39 +770,55 @@ class Table(object):
             self._index_stats["rebuilds"] += 1
         return index
 
-    def iter_rows(self):
+    def iter_rows(self, view=None):
         """Stored rows, lazily — the streaming scan API the plan
-        layer's :class:`~repro.sqldb.plan.SeqScan` pulls from."""
-        return iter(self.rows)
+        layer's :class:`~repro.sqldb.plan.SeqScan` pulls from.  With a
+        :class:`ReadView`, yields the row images visible at the view's
+        watermark instead of latest state."""
+        if view is None:
+            return iter(self.rows)
+        return self._iter_visible(view)
 
-    def index_lookup(self, column, value):
+    def index_lookup(self, column, value, view=None):
         """Rows whose *column* equals *value* (hash-bucket access)."""
-        return list(self.index_lookup_iter(column, value))
+        return list(self.index_lookup_iter(column, value, view=view))
 
-    def index_lookup_iter(self, column, value):
+    def index_lookup_iter(self, column, value, view=None):
         """Iterator form of :meth:`index_lookup`.
 
         Equality follows :func:`sort_key` — the same fold the comparison
-        engine applies — after storage conversion of *value*.
+        engine applies — after storage conversion of *value*.  Under a
+        :class:`ReadView` with version history present, degrades to the
+        visibility scan (a superset; the Filter above re-applies the
+        predicate).
         """
+        if not self._index_safe_for(view):
+            return self._iter_visible(view)
         index = self._live_index(column)
         self._index_stats["lookups"] += 1
         key = sort_key(self.convert(column, value))
         return iter(index.map.get(key, ()))
 
     def index_range(self, column, low=None, high=None,
-                    low_inclusive=True, high_inclusive=True):
+                    low_inclusive=True, high_inclusive=True, view=None):
         """Rows whose *column* falls in ``[low, high]`` (bisect scan)."""
         return list(self.index_range_iter(column, low, high,
-                                          low_inclusive, high_inclusive))
+                                          low_inclusive, high_inclusive,
+                                          view=view))
 
     def index_range_iter(self, column, low=None, high=None,
-                         low_inclusive=True, high_inclusive=True):
+                         low_inclusive=True, high_inclusive=True,
+                         view=None):
         """Iterator form of :meth:`index_range`.
 
         ``None`` bounds are open ends; NULL-valued rows never match a
         range predicate and are skipped.  Rows come back in key order.
+        Under a :class:`ReadView` with version history present, degrades
+        to the visibility scan like :meth:`index_lookup_iter`.
         """
+        if not self._index_safe_for(view):
+            yield from self._iter_visible(view)
+            return
         index = self._live_index(column)
         self._index_stats["range_lookups"] += 1
         keys = index.sorted_keys

@@ -303,6 +303,20 @@ class WriteAheadLog(object):
         with self._lock:
             return self.next_lsn - 1
 
+    @property
+    def pending_unsynced_commits(self):
+        """Durability points appended but not yet fsynced.
+
+        Always 0 in ``commit`` mode (every durability point syncs
+        inline).  In ``batch`` mode this is the group-commit backlog —
+        the acknowledged commits a crash right now would lose.  Clean
+        shutdown (:meth:`close`) and :meth:`write_checkpoint` both
+        drain it; :meth:`abandon` discards it, which is the point of
+        the crash path.
+        """
+        with self._lock:
+            return self._commits_since_sync
+
     # -- checkpoints -------------------------------------------------------
 
     def write_checkpoint(self, state):

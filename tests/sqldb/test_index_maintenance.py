@@ -46,9 +46,12 @@ class TestIncrementalDeltas(object):
         table = _ledger()
         table.index_lookup("acct", 1)  # prime the index
         row = table.index_lookup("acct", 2)[0]
-        table.update_row(row, {"acct": 7})
+        # update_row installs a fresh version dict (MVCC) and returns it;
+        # the caller's old reference keeps the pre-update image
+        new_row = table.update_row(row, {"acct": 7})
+        assert row["acct"] == 2
         assert table.index_lookup("acct", 2) == []
-        assert table.index_lookup("acct", 7) == [row]
+        assert table.index_lookup("acct", 7) == [new_row]
         assert table.index_stats()["rebuilds"] == 1
 
     def test_delete_removes_from_bucket(self):

@@ -1,9 +1,10 @@
 """Statement lock classification and the engine's lock hierarchy.
 
 Every statement maps to a :class:`LockPlan` — catalog mode plus
-per-table modes in the global acquisition order — before it runs.  The
-classification is what lets concurrent SELECTs share tables while DML
-excludes per table and DDL excludes everything.
+per-table modes in the global acquisition order — before it runs.
+Under MVCC snapshot reads the classification shrank: SELECTs take no
+table locks at all, DML excludes only its mutation target (writer vs
+writer), and DDL still excludes everything.
 """
 
 import threading
@@ -55,26 +56,30 @@ class TestReferencedTables(object):
 
 
 class TestClassification(object):
-    def test_select_is_all_shared(self):
+    def test_select_needs_no_table_locks(self):
+        # MVCC snapshot reads: SELECT pins a read view instead of
+        # parking on table locks, so the plan is catalog-S only
         plan = _plan("SELECT a FROM t JOIN u ON t.x = u.x")
         assert plan.catalog_shared
-        assert plan.tables == (("t", True), ("u", True))
+        assert plan.tables == ()
 
     def test_explain_is_a_read(self):
         plan = _plan("EXPLAIN SELECT a FROM t")
         assert plan.catalog_shared
-        assert ("t", True) in plan.tables
+        assert plan.tables == ()
 
     def test_insert_takes_target_exclusive(self):
         plan = _plan("INSERT INTO t (a) VALUES (1)")
         assert plan.catalog_shared
         assert plan.tables == (("t", False),)
 
-    def test_update_with_subquery_narrows_exclusivity(self):
+    def test_update_with_subquery_locks_target_only(self):
+        # the subquery side reads through the statement's snapshot;
+        # only the mutation target needs exclusion (writer vs writer)
         plan = _plan(
             "UPDATE t SET a = 1 WHERE b IN (SELECT b FROM u)"
         )
-        assert dict(plan.tables) == {"t": False, "u": True}
+        assert dict(plan.tables) == {"t": False}
 
     def test_ddl_takes_catalog_exclusive(self):
         for sql in ("CREATE TABLE t (a INT)", "DROP TABLE t",
@@ -88,8 +93,12 @@ class TestClassification(object):
             assert _plan(sql) is None
 
     def test_tables_come_presorted(self):
-        plan = _plan("SELECT * FROM zeta JOIN alpha ON zeta.a = alpha.a")
-        assert plan.tables == (("alpha", True), ("zeta", True))
+        # writers still sort into the global acquisition order; reads
+        # no longer contribute entries at all
+        plan = LockPlan(True, [("zeta", False), ("alpha", False)])
+        assert plan.tables == (("alpha", False), ("zeta", False))
+        assert _plan("SELECT * FROM zeta JOIN alpha ON zeta.a = alpha.a"
+                     ).tables == ()
 
 
 class TestLockPlanOrdering(object):

@@ -1,0 +1,117 @@
+"""MySQL behavioural edge cases: NULL ordering and arithmetic corners.
+
+Two regression families the mutation-path sweep pinned down:
+
+* ``ORDER BY`` over a NULL-bearing column must produce the same order
+  whether the planner picks the bounded-heap TopK operator (``LIMIT n``)
+  or the full Sort operator (no limit).  MySQL sorts NULL below every
+  non-NULL value: NULLs come first ascending, last descending.
+* ``%`` / ``MOD()`` take the sign of the dividend (C semantics, not
+  Python's floored modulo), ``DIV`` truncates toward zero, and any zero
+  divisor yields NULL rather than an error.
+"""
+
+import pytest
+
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+
+
+NULLS_SCHEMA = """
+CREATE TABLE scores (
+    id INT AUTO_INCREMENT PRIMARY KEY,
+    pts INT
+);
+INSERT INTO scores (pts) VALUES (3), (NULL), (1), (NULL), (2);
+"""
+
+
+@pytest.fixture
+def nulls_conn():
+    database = Database()
+    database.seed(NULLS_SCHEMA)
+    return Connection(database)
+
+
+def _pts(conn, sql):
+    outcome = conn.query(sql)
+    assert outcome.ok, outcome.error
+    return outcome.result_set.column("pts")
+
+
+class TestNullOrdering(object):
+    """TopK (ORDER BY + LIMIT) must agree with Sort (no LIMIT)."""
+
+    def test_asc_puts_nulls_first(self, nulls_conn):
+        full = _pts(nulls_conn, "SELECT pts FROM scores ORDER BY pts")
+        assert full == [None, None, 1, 2, 3]
+
+    def test_desc_puts_nulls_last(self, nulls_conn):
+        full = _pts(nulls_conn, "SELECT pts FROM scores ORDER BY pts DESC")
+        assert full == [3, 2, 1, None, None]
+
+    def test_topk_matches_sort_asc(self, nulls_conn):
+        full = _pts(nulls_conn, "SELECT pts FROM scores ORDER BY pts")
+        for n in range(1, 6):
+            limited = _pts(
+                nulls_conn,
+                "SELECT pts FROM scores ORDER BY pts LIMIT %d" % n,
+            )
+            assert limited == full[:n]
+
+    def test_topk_matches_sort_desc(self, nulls_conn):
+        full = _pts(nulls_conn, "SELECT pts FROM scores ORDER BY pts DESC")
+        for n in range(1, 6):
+            limited = _pts(
+                nulls_conn,
+                "SELECT pts FROM scores ORDER BY pts DESC LIMIT %d" % n,
+            )
+            assert limited == full[:n]
+
+    def test_secondary_key_breaks_null_ties(self, nulls_conn):
+        outcome = nulls_conn.query(
+            "SELECT id, pts FROM scores ORDER BY pts, id DESC LIMIT 2"
+        )
+        assert outcome.ok, outcome.error
+        # both NULL rows (ids 2 and 4) sort first; id DESC breaks the tie
+        assert outcome.result_set.rows == [(4, None), (2, None)]
+
+
+class TestArithmeticEdges(object):
+    """Sign-of-dividend %, truncating DIV, NULL on zero divisors."""
+
+    @pytest.fixture
+    def q(self, nulls_conn):
+        def run(expression):
+            outcome = nulls_conn.query("SELECT %s" % expression)
+            assert outcome.ok, outcome.error
+            return outcome.result_set.scalar()
+
+        return run
+
+    def test_percent_takes_sign_of_dividend(self, q):
+        assert q("5 % -3") == 2
+        assert q("-5 % 3") == -2
+        assert q("-5 % -3") == -2
+        assert q("5 % 3") == 2
+
+    def test_percent_float_dividend_sign(self, q):
+        assert q("-5.5 % 2") == -1.5
+        assert q("5.5 % -2") == 1.5
+
+    def test_mod_function_matches_operator(self, q):
+        assert q("MOD(5, -3)") == 2
+        assert q("MOD(-5, 3)") == -2
+        assert q("MOD(-5, -3)") == -2
+
+    def test_div_truncates_toward_zero(self, q):
+        assert q("-7 DIV 2") == -3   # floored would give -4
+        assert q("7 DIV -2") == -3
+        assert q("-7 DIV -2") == 3
+        assert q("7 DIV 2") == 3
+
+    def test_zero_divisor_is_null_not_error(self, q):
+        assert q("5 % 0") is None
+        assert q("MOD(5, 0)") is None
+        assert q("5 DIV 0") is None
+        assert q("5.5 % 0") is None

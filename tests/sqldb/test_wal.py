@@ -171,6 +171,62 @@ class TestSyncModes(object):
         log.close()  # close drains the tail
         assert log.fsync_calls == 3
 
+    def test_batch_mode_tracks_unsynced_backlog(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path), sync_mode="batch",
+                                batch_commits=4)
+        assert log.pending_unsynced_commits == 0
+        for n in (1, 2, 3):
+            log.append(wal.WalRecord.STMT, sql="X", durability_point=True)
+            assert log.pending_unsynced_commits == n
+        log.append(wal.WalRecord.STMT, sql="X", durability_point=True)
+        assert log.pending_unsynced_commits == 0  # 4th commit fsynced
+        log.close()
+
+    def test_commit_mode_never_accumulates_backlog(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path), sync_mode="commit")
+        for _ in range(3):
+            log.append(wal.WalRecord.STMT, sql="X", durability_point=True)
+            assert log.pending_unsynced_commits == 0
+        log.close()
+
+    def test_close_drains_batched_tail(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path), sync_mode="batch",
+                                batch_commits=100)
+        log.append(wal.WalRecord.STMT, sql="X", durability_point=True)
+        log.append(wal.WalRecord.STMT, sql="X", durability_point=True)
+        assert log.pending_unsynced_commits == 2
+        assert log.fsync_calls == 0
+        log.close()
+        assert log.fsync_calls == 1  # clean shutdown flushes the tail
+        assert log.pending_unsynced_commits == 0
+
+    def test_checkpoint_drains_batched_tail(self, tmp_path):
+        log = wal.WriteAheadLog(str(tmp_path), sync_mode="batch",
+                                batch_commits=100)
+        log.append(wal.WalRecord.STMT, sql="X", durability_point=True)
+        log.append(wal.WalRecord.STMT, sql="X", durability_point=True)
+        assert log.pending_unsynced_commits == 2
+        log.write_checkpoint({"tables": []})
+        assert log.pending_unsynced_commits == 0  # synced before rotation
+        assert log.fsync_calls >= 1
+        log.close()
+
+    def test_abandon_leaves_backlog_undrained(self, tmp_path):
+        """The crash path must NOT quietly rescue batched commits: the
+        backlog counter keeps reporting the loss window, and because
+        appends are unbuffered writes, whatever reached the OS before
+        the crash is still a clean scannable prefix."""
+        log = wal.WriteAheadLog(str(tmp_path), sync_mode="batch",
+                                batch_commits=100)
+        log.append(wal.WalRecord.STMT, sql="X", durability_point=True)
+        log.append(wal.WalRecord.STMT, sql="X", durability_point=True)
+        fsyncs_before = log.fsync_calls
+        log.abandon()
+        assert log.fsync_calls == fsyncs_before  # no sync while dying
+        assert log.pending_unsynced_commits == 2
+        scan = wal.scan_log(wal.log_path(str(tmp_path)))
+        assert [record.lsn for record in scan.records] == [1, 2]
+
     def test_unknown_mode_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             wal.WriteAheadLog(str(tmp_path), sync_mode="yolo")

@@ -410,6 +410,75 @@ def test_streaming_operators_never_materialize():
     assert problems == [], "\n".join(problems)
 
 
+#: local names that hold *stored* row dicts in the execution layer —
+#: writing through them would bypass the MVCC version chain
+_STORED_ROW_NAMES = frozenset(["row", "stored", "target"])
+
+
+def _row_mutation_violations(path):
+    """MVCC mutation-discipline gate for the execution layer.
+
+    Stored rows are immutable once installed: every change must go
+    through :class:`repro.sqldb.storage.Table`'s version-chain API
+    (``update_row`` / ``delete_rows`` / ``insert``), which stamps
+    visibility metadata and runs the first-writer-wins check.  A direct
+    ``somedict.update(...)`` call or an in-place write through a
+    stored-row local (``row[...] = v``, ``del stored[...]``,
+    ``target[...] += v``) in plan.py/executor.py is exactly the bug
+    class this PR removed — mutating the live dict tears every open
+    snapshot that shares it.
+    """
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    rel = os.path.relpath(path, REPO_ROOT)
+    problems = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "update"):
+            problems.append(
+                "%s:%d: .update(...) call — stored rows are immutable; "
+                "go through Table.update_row() so the version chain and "
+                "conflict check apply" % (rel, node.lineno)
+            )
+        if (isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, (ast.Store, ast.Del))
+                and isinstance(node.value, ast.Name)
+                and node.value.id in _STORED_ROW_NAMES):
+            problems.append(
+                "%s:%d: in-place write through %r — stored rows are "
+                "immutable; install a new version via Table.update_row()"
+                % (rel, node.lineno, node.value.id)
+            )
+    return problems
+
+
+def test_execution_layer_never_mutates_stored_rows():
+    for module in ("plan.py", "executor.py"):
+        path = os.path.join(SRC_ROOT, "repro", "sqldb", module)
+        problems = _row_mutation_violations(path)
+        assert problems == [], "\n".join(problems)
+
+
+def test_row_mutation_gate_catches_violations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def apply(row, updates):\n"
+        "    row.update(updates)\n"
+        "def patch(stored, col, value):\n"
+        "    stored[col] = value\n"
+        "def scrub(target, col):\n"
+        "    del target[col]\n"
+        "def fine(env, col, value):\n"
+        "    env[col] = value\n"
+    )
+    problems = _row_mutation_violations(str(bad))
+    assert len(problems) == 3
+    assert any(".update(...)" in p for p in problems)
+    assert any("'stored'" in p for p in problems)
+    assert any("'target'" in p for p in problems)
+
+
 def test_streaming_gate_catches_a_buffered_operator(tmp_path):
     bad = tmp_path / "plan.py"
     bad.write_text(
