@@ -365,3 +365,223 @@ def format_sweep_result(result):
            "OK" if result.ok else "%d MISMATCHES"
            % (len(result.mismatches) + len(result.index_mismatches)))
     )
+
+
+# -- failover sweep (kill the primary at every commit boundary) --------------
+
+
+class FailoverSweepResult(object):
+    """Outcome of one kill-the-primary-at-every-commit sweep."""
+
+    __slots__ = ("seed", "replicas", "commit_points", "promotions",
+                 "wrong_elections", "digest_mismatches", "index_mismatches",
+                 "catchup_mismatches", "fenced_rejects", "fencing_failures",
+                 "blocked")
+
+    def __init__(self, seed, replicas, commit_points, promotions,
+                 wrong_elections, digest_mismatches, index_mismatches,
+                 catchup_mismatches, fenced_rejects, fencing_failures,
+                 blocked):
+        self.seed = seed
+        self.replicas = replicas
+        #: durability points of the golden run (= kill points swept)
+        self.commit_points = commit_points
+        #: successful promotions observed (must equal commit_points + 1:
+        #: one per kill point plus the zombie scenario)
+        self.promotions = promotions
+        #: (k, elected, expected) where election did not pick the
+        #: max-applied-LSN replica
+        self.wrong_elections = wrong_elections
+        #: (k, node) where a post-promotion state diverged from the
+        #: golden digest at the kill point — a lost committed
+        #: transaction or a phantom
+        self.digest_mismatches = digest_mismatches
+        #: (k, problem) index-vs-scan disagreements on the new primary
+        self.index_mismatches = index_mismatches
+        #: (k, node) where the healed lagging replica failed to converge
+        self.catchup_mismatches = catchup_mismatches
+        #: stale-epoch batches rejected in the zombie scenario (> 0)
+        self.fenced_rejects = fenced_rejects
+        #: descriptions of fencing holes (zombie records accepted)
+        self.fencing_failures = fencing_failures
+        #: statements the marker septic dropped during the golden run
+        self.blocked = blocked
+
+    @property
+    def ok(self):
+        return (not self.wrong_elections and not self.digest_mismatches
+                and not self.index_mismatches
+                and not self.catchup_mismatches
+                and not self.fencing_failures
+                and self.fenced_rejects > 0
+                and self.promotions == self.commit_points + 1)
+
+    def __repr__(self):
+        return ("FailoverSweepResult(seed=%r, %d commit points, "
+                "%d promotions, %d wrong elections, %d digest mismatches)"
+                % (self.seed, self.commit_points, self.promotions,
+                   len(self.wrong_elections),
+                   len(self.digest_mismatches)))
+
+
+def _drive_until_commit(replica_set, connection, ops, target, lag_after,
+                        lag_node):
+    """Run *ops* against the primary, synchronously shipping after each
+    op, until its WAL holds *target* durability points.  *lag_node* is
+    partitioned once *lag_after* commits land, so it falls behind and
+    the election has a real choice to get right."""
+    primary_wal = replica_set.primary.database.wal
+    for kind, sql in ops:
+        if kind == "m":
+            connection.multi_query(sql)
+        else:
+            connection.query(sql)
+        replica_set.ship()
+        commits = primary_wal.commits
+        if lag_after is not None and commits >= lag_after:
+            if lag_node.name not in replica_set._partitioned:
+                replica_set.partition(lag_node)
+            lag_after = None
+        if commits >= target:
+            return commits
+    return primary_wal.commits
+
+
+def _await_promotion(replica_set):
+    """Advance virtual time until the lease expires and an election
+    completes (bounded — a sweep must fail loudly, not hang)."""
+    deadline = (replica_set.clock + replica_set.lease_ticks
+                + 4 * replica_set.heartbeat_interval)
+    before = replica_set.promotions
+    while replica_set.promotions == before and replica_set.clock < deadline:
+        replica_set.tick(1)
+    return replica_set.promotions > before
+
+
+def run_failover_sweep(workdir, seed, replicas=2):
+    """Kill the primary at every commit boundary of the seed's workload.
+
+    For each durability point ``k`` of the golden run: build a fresh
+    replica set, replay the workload with synchronous shipping until the
+    primary has acknowledged exactly ``k`` commits (partitioning the
+    last replica halfway so one candidate genuinely lags), crash the
+    primary, and let the heartbeat/lease machinery elect.  The elected
+    node must be the max-applied-LSN replica, its state must equal the
+    golden digest at ``k`` (zero committed transactions lost, zero
+    phantoms), its indexes must agree with a full scan, and the healed
+    lagging replica must converge to the same state from the new
+    primary's log.  One extra scenario per seed partitions the primary
+    instead of killing it and asserts every post-promotion record the
+    zombie ships is rejected by epoch fencing.
+    """
+    from repro.replica import ReplicaSet
+
+    golden_dir = os.path.join(workdir, "failover-golden-%s" % seed)
+    run = run_workload(golden_dir, seed)
+    commit_points = len(run.digests) - 1
+    set_dir = os.path.join(workdir, "failover-set-%s" % seed)
+    promotions = 0
+    wrong_elections = []
+    digest_mismatches = []
+    index_mismatches = []
+    catchup_mismatches = []
+
+    def build_set():
+        shutil.rmtree(set_dir, ignore_errors=True)
+        replica_set = ReplicaSet(
+            set_dir, replicas=replicas, septic_factory=MarkerSeptic,
+            seed=seed, heartbeat_interval=1, lease_intervals=2,
+        )
+        connection = Connection(replica_set.primary.database,
+                                multi_statements=True)
+        return replica_set, connection
+
+    for k in range(1, commit_points + 1):
+        replica_set, connection = build_set()
+        lag_node = replica_set.nodes[-1]
+        lag_after = (k + 1) // 2 if k >= 2 else None
+        _drive_until_commit(replica_set, connection, run.ops, k,
+                            lag_after, lag_node)
+        replica_set.kill_primary()
+        if not _await_promotion(replica_set):
+            wrong_elections.append((k, None, "no promotion"))
+            replica_set.close()
+            continue
+        promotions += 1
+        new_primary = replica_set.primary
+        candidates = [node for node in replica_set.nodes[1:]]
+        expected = sorted(
+            candidates, key=lambda n: (-n.applied_lsn, n.name))[0]
+        if new_primary is not expected:
+            wrong_elections.append((k, new_primary.name, expected.name))
+        if state_digest(new_primary.database) != run.digests[k]:
+            digest_mismatches.append((k, new_primary.name))
+        for problem in verify_index_consistency(new_primary.database):
+            index_mismatches.append((k, problem))
+        # the lagging replica heals and converges from the new primary
+        if k >= 2:
+            replica_set.heal(lag_node)
+            replica_set.tick(2 * replica_set.heartbeat_interval)
+            if (lag_node.alive and lag_node.role == "replica"
+                    and state_digest(lag_node.database) != run.digests[k]):
+                catchup_mismatches.append((k, lag_node.name))
+        replica_set.close()
+
+    # zombie scenario: partition (not kill) the primary mid-workload,
+    # let the survivors elect, then have the deposed primary keep
+    # committing and shipping — fencing must reject every record
+    fenced_rejects = 0
+    fencing_failures = []
+    k = max(1, commit_points // 2)
+    replica_set, connection = build_set()
+    _drive_until_commit(replica_set, connection, run.ops, k, None, None)
+    zombie = replica_set.primary
+    replica_set.partition(zombie)
+    if not _await_promotion(replica_set):
+        fencing_failures.append("no promotion in the zombie scenario")
+    else:
+        promotions += 1
+        replica_set.tick(replica_set.heartbeat_interval)
+        survivor_digests = {
+            node.name: state_digest(node.database)
+            for node in replica_set.nodes if node is not zombie
+        }
+        zombie_conn = Connection(zombie.database)
+        zombie_conn.query(
+            "INSERT INTO items (name, qty) VALUES ('zombie', 13)")
+        before = [node.fenced_batches for node in replica_set.nodes]
+        replica_set.ship(source=zombie)
+        for node, count in zip(replica_set.nodes, before):
+            fenced_rejects += node.fenced_batches - count
+        for node in replica_set.nodes:
+            if node is zombie:
+                continue
+            if state_digest(node.database) != survivor_digests[node.name]:
+                fencing_failures.append(
+                    "%s state changed after a zombie shipment" % node.name)
+        if fenced_rejects == 0:
+            fencing_failures.append(
+                "no survivor fenced the zombie's batches")
+    replica_set.close()
+    shutil.rmtree(set_dir, ignore_errors=True)
+    return FailoverSweepResult(
+        seed, replicas, commit_points, promotions, wrong_elections,
+        digest_mismatches, index_mismatches, catchup_mismatches,
+        fenced_rejects, fencing_failures, run.blocked,
+    )
+
+
+def format_failover_result(result):
+    """Human-readable failover-sweep report (benchmark artifact body)."""
+    return (
+        "failover sweep seed=%s: %d commit-boundary kills over %d-replica "
+        "sets, %d promotions, %d blocked statements, %d fenced zombie "
+        "batches -> %s"
+        % (result.seed, result.commit_points, result.replicas,
+           result.promotions, result.blocked, result.fenced_rejects,
+           "OK" if result.ok else "%d PROBLEMS"
+           % (len(result.wrong_elections) + len(result.digest_mismatches)
+              + len(result.index_mismatches)
+              + len(result.catchup_mismatches)
+              + len(result.fencing_failures)))
+    )

@@ -23,6 +23,7 @@ matter how good the locking is — the model shows the *schedule* the
 lock hierarchy admits.
 """
 
+import random
 import time
 
 from repro.benchlab.machines import BrowserClient, NetworkLink, ServerMachine
@@ -30,6 +31,7 @@ from repro.benchlab.simulation import Simulator
 from repro.benchlab.workload import workload_for
 from repro.core.logger import SepticLogger
 from repro.core.septic import Mode, Septic, SepticConfig
+from repro.sqldb.connection import Connection
 from repro.sqldb.engine import Database
 from repro.sqldb.parser import parse_sql
 from repro.web.server import WebServer
@@ -581,4 +583,204 @@ def run_concurrent_read_experiment(setup_sql, workload, workers=8,
     return ContentionResult(
         lock_mode, workers, total["statements"], completion["last"],
         sum(measured) * workers * loops, model.lock_stats(),
+    )
+
+
+class FailoverExperimentResult(object):
+    """What :func:`run_failover_experiment` measured."""
+
+    __slots__ = ("replicas", "readers", "read_service", "heartbeat_seconds",
+                 "lease_intervals", "fail_at", "duration", "reads_before",
+                 "reads_during", "reads_after", "throughput_before",
+                 "throughput_during", "throughput_after", "promote_time",
+                 "restore_time", "outage_intervals", "failed_reads",
+                 "writes_ok", "write_failures", "promotions", "rows_expected",
+                 "rows_on_primary", "converged")
+
+    def __init__(self, **kwargs):
+        for name in self.__slots__:
+            setattr(self, name, kwargs.pop(name))
+        if kwargs:
+            raise TypeError("unexpected fields: %s" % sorted(kwargs))
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        return ("FailoverExperimentResult(replicas=%d, thr before/during/"
+                "after=%.0f/%.0f/%.0f reads/s, outage=%s intervals)"
+                % (self.replicas, self.throughput_before,
+                   self.throughput_during, self.throughput_after,
+                   self.outage_intervals))
+
+
+def run_failover_experiment(workdir, replicas=2, readers=6, seed=1,
+                            read_service=None, heartbeat_seconds=0.05,
+                            lease_intervals=3, fail_at=1.0, duration=3.0,
+                            max_lag_lsn=8, rows=64):
+    """The failover DES: replica-served read throughput before, during
+    and after the primary dies, in virtual time.
+
+    A real :class:`~repro.replica.coordinator.ReplicaSet` (primary plus
+    *replicas* WAL-shipping followers over *workdir*) runs under the
+    simulator's clock: every *heartbeat_seconds* of virtual time is one
+    coordinator tick, so leases, elections and shipments all advance as
+    the simulation does.  *readers* closed-loop virtual clients issue
+    reads routed by the set's own :class:`RoutingConnection` staleness
+    policy (each serving node modelled as a serial FIFO resource with
+    *read_service* seconds per read, measured live when not pinned); a
+    writer probes one real INSERT against the live primary every
+    interval.  At *fail_at* the primary is killed in place.  In-flight
+    reads on the dead node fail and retry against survivors with
+    seeded exponential backoff + jitter.
+
+    ``restore_time`` is the first successful probe write after the
+    kill; ``outage_intervals`` expresses the write outage in heartbeat
+    intervals (the ISSUE's bound: lease expiry + election, not
+    wall-clock luck).  After the run the set is flushed and the result
+    records whether every survivor converged to the same applied LSN
+    and the primary holds exactly the acknowledged row count.
+    """
+    from repro.replica import ReplicaSet
+
+    replica_set = ReplicaSet(workdir, replicas=replicas, seed=seed,
+                             heartbeat_interval=1,
+                             lease_intervals=lease_intervals)
+    connections = {}
+
+    def conn_for(node):
+        conn = connections.get(node.name)
+        if conn is None or conn.database is not node.database:
+            conn = Connection(node.database)
+            connections[node.name] = conn
+        return conn
+
+    setup = conn_for(replica_set.primary)
+    setup.query_or_raise(
+        "CREATE TABLE kv (id INT AUTO_INCREMENT PRIMARY KEY, v INT)")
+    for index in range(rows):
+        setup.query_or_raise("INSERT INTO kv (v) VALUES (%d)" % index)
+    replica_set.ship()
+    read_sql = "SELECT COUNT(*) FROM kv"
+    if read_service is None:
+        best = None
+        for _ in range(3):
+            start = time.perf_counter()
+            setup.query_or_raise(read_sql)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        read_service = max(best, 1e-6)
+    router = replica_set.connect(max_lag_lsn=max_lag_lsn, seed=seed)
+    simulator = Simulator()
+    rng = random.Random(seed)
+    busy_until = {}
+    counts = {"failed_reads": 0, "writes_ok": 0, "write_failures": 0}
+    state = {"promote_time": None, "restore_time": None}
+    completions = []
+
+    def beat():
+        replica_set.tick(1)
+        if replica_set.promotions and state["promote_time"] is None:
+            state["promote_time"] = simulator.now
+        if simulator.now + heartbeat_seconds <= duration + 1e-9:
+            simulator.schedule(heartbeat_seconds, beat)
+
+    def probe_write():
+        primary = replica_set.primary
+        if primary is None:
+            counts["write_failures"] += 1
+        else:
+            outcome = conn_for(primary).query(
+                "INSERT INTO kv (v) VALUES (%d)" % rng.randrange(1000))
+            if outcome.ok:
+                # semi-sync: ship before acknowledging, so every write
+                # this probe counts survives the failover
+                replica_set.ship()
+                counts["writes_ok"] += 1
+                if (simulator.now >= fail_at
+                        and state["restore_time"] is None):
+                    state["restore_time"] = simulator.now
+            else:
+                counts["write_failures"] += 1
+        if simulator.now + heartbeat_seconds <= duration + 1e-9:
+            simulator.schedule(heartbeat_seconds, probe_write)
+
+    def issue_read(reader_id, attempt):
+        if simulator.now >= duration:
+            return
+        node = router.pick_node(True)
+        if node is None or not node.alive:
+            counts["failed_reads"] += 1
+            delay = min(8.0, float(2 ** attempt)) * heartbeat_seconds * 0.5
+            delay *= 1.0 + 0.5 * rng.random()
+            simulator.schedule(delay, issue_read, reader_id, attempt + 1)
+            return
+        start = max(simulator.now, busy_until.get(node.name, 0.0))
+        finish = start + read_service
+        busy_until[node.name] = finish
+        simulator.schedule(finish - simulator.now, finish_read,
+                           reader_id, node)
+
+    def finish_read(reader_id, node):
+        if not node.alive:
+            # died mid-flight: the retry goes to a survivor
+            counts["failed_reads"] += 1
+            simulator.schedule(heartbeat_seconds * 0.5, issue_read,
+                               reader_id, 1)
+            return
+        completions.append(simulator.now)
+        issue_read(reader_id, 0)
+
+    simulator.schedule(0.0, beat)
+    simulator.schedule(heartbeat_seconds * 0.5, probe_write)
+    if fail_at <= duration:
+        simulator.schedule(fail_at, replica_set.kill_primary)
+    for reader in range(readers):
+        simulator.schedule((reader + 1) * 1e-9, issue_read, reader, 0)
+    simulator.run()
+
+    restore = state["restore_time"]
+    cut = fail_at if fail_at <= duration else duration
+    boundary = restore if restore is not None else duration
+    before = [t for t in completions if t < cut]
+    during = [t for t in completions if cut <= t < boundary]
+    after = [t for t in completions if boundary <= t <= duration]
+
+    def rate(count, window):
+        return count / window if window > 1e-12 else 0.0
+
+    outage = None
+    if restore is not None and fail_at <= duration:
+        outage = (restore - fail_at) / heartbeat_seconds
+    # drain: ship whatever the probes wrote since the last beat, then
+    # check the survivors all landed on one applied frontier and the
+    # primary holds exactly the acknowledged rows
+    replica_set.ship()
+    alive = [node for node in replica_set.nodes if node.alive]
+    frontiers = set(node.applied_lsn for node in alive)
+    rows_expected = rows + counts["writes_ok"]
+    rows_on_primary = None
+    primary = replica_set.primary
+    if primary is not None:
+        outcome = conn_for(primary).query_or_raise(read_sql)
+        rows_on_primary = outcome.rows[0][0]
+    converged = (len(frontiers) == 1
+                 and rows_on_primary == rows_expected)
+    promotions = replica_set.promotions
+    replica_set.close()
+    return FailoverExperimentResult(
+        replicas=replicas, readers=readers, read_service=read_service,
+        heartbeat_seconds=heartbeat_seconds,
+        lease_intervals=lease_intervals, fail_at=fail_at,
+        duration=duration, reads_before=len(before),
+        reads_during=len(during), reads_after=len(after),
+        throughput_before=rate(len(before), cut),
+        throughput_during=rate(len(during), boundary - cut),
+        throughput_after=rate(len(after), duration - boundary),
+        promote_time=state["promote_time"], restore_time=restore,
+        outage_intervals=outage, failed_reads=counts["failed_reads"],
+        writes_ok=counts["writes_ok"],
+        write_failures=counts["write_failures"], promotions=promotions,
+        rows_expected=rows_expected, rows_on_primary=rows_on_primary,
+        converged=converged,
     )

@@ -19,6 +19,9 @@ Commands:
     Quick Figure-5-style overhead measurement.
 ``status``
     Train, attack, and print the SEPTIC status display + event log tail.
+``replicate``
+    WAL-shipping replica-set demo: per-replica applied LSN, lag and
+    role (``--failover`` kills the primary and shows the election).
 """
 
 import argparse
@@ -89,6 +92,33 @@ def _cmd_train(args, out):
 def _cmd_recover(args, out):
     from repro.core.septic import Mode, Septic
     from repro.sqldb.engine import Database
+
+    if args.verify:
+        # dry run: inspect the WAL without attaching to it — nothing on
+        # disk moves (no torn-tail truncation, no checkpoint, no fsync)
+        report = Database.verify_wal(args.data_dir)
+        out.write("verified data dir:    %s (read-only)\n" % args.data_dir)
+        out.write("checkpoint LSN:       %d\n" % report["checkpoint_lsn"])
+        out.write("log records:          %d\n" % report["log_records"])
+        for op in sorted(report["records_by_op"]):
+            out.write("  %-20s %d\n" % (op + ":", report["records_by_op"][op]))
+        out.write("commit-LSN watermark: %d\n" % report["commit_lsn"])
+        out.write("last LSN:             %d\n" % report["last_lsn"])
+        out.write("statements replayed:  %d\n"
+                  % report["replayed_statements"])
+        out.write("transactions:         %d committed, %d rolled back, "
+                  "%d unfinished\n"
+                  % (report["committed_transactions"],
+                     report["rolled_back_transactions"],
+                     report["unfinished_transactions"]))
+        out.write("torn tail bytes:      %d\n" % report["torn_bytes"])
+        if report["corrupt_offset"] is not None:
+            out.write("CORRUPT at offset:    %d (clean prefix shown)\n"
+                      % report["corrupt_offset"])
+        out.write("tables:\n")
+        for name in sorted(report["tables"]):
+            out.write("  %-20s %d rows\n" % (name, report["tables"][name]))
+        return 0
 
     septic = Septic(mode=Mode.PREVENTION)
     database = Database.recover(args.data_dir, septic=septic)
@@ -179,6 +209,67 @@ def _cmd_status(args, out):
     return 0
 
 
+def _cmd_replicate(args, out):
+    import shutil
+    import tempfile
+
+    from repro.replica import ReplicaSet
+    from repro.sqldb.connection import Connection
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-replicate-")
+    cleanup = args.workdir is None
+    replica_set = ReplicaSet(workdir, replicas=args.replicas,
+                             heartbeat_interval=2, lease_intervals=2)
+    try:
+        connection = Connection(replica_set.primary.database,
+                                multi_statements=True)
+        connection.query_or_raise(
+            "CREATE TABLE users (id INT AUTO_INCREMENT PRIMARY KEY, "
+            "name VARCHAR(30))")
+        for name in ("ana", "bruno", "carla", "dora", "emil"):
+            connection.query_or_raise(
+                "INSERT INTO users (name) VALUES ('%s')" % name)
+            replica_set.tick(1)
+        replica_set.tick(2 * replica_set.heartbeat_interval)
+        if args.failover:
+            victim = replica_set.primary.name
+            replica_set.kill_primary()
+            deadline = (replica_set.clock + replica_set.lease_ticks
+                        + 2 * replica_set.heartbeat_interval)
+            while (replica_set.promotions == 0
+                   and replica_set.clock < deadline):
+                replica_set.tick(1)
+            router = replica_set.connect(retries=8)
+            router.query_or_raise(
+                "INSERT INTO users (name) VALUES ('post-failover')")
+            out.write("killed %s; %s promoted at epoch %d; write "
+                      "re-routed after %d retries\n"
+                      % (victim, replica_set.primary.name,
+                         replica_set.epoch,
+                         router.retry_stats.as_dict()["retries"]))
+        status = replica_set.status()
+        out.write("clock %d, epoch %d, heartbeat every %d ticks, "
+                  "lease %d intervals, %d promotions\n"
+                  % (status["clock"], status["epoch"],
+                     status["heartbeat_interval"],
+                     status["lease_intervals"], status["promotions"]))
+        out.write("frontier LSN: %d\n" % status["frontier_lsn"])
+        out.write("%-8s %-9s %6s %12s %6s %6s\n"
+                  % ("node", "role", "epoch", "applied_lsn", "lag",
+                     "alive"))
+        for row in status["nodes"]:
+            out.write("%-8s %-9s %6d %12d %6d %6s\n"
+                      % (row["name"], row["role"], row["epoch"],
+                         row["applied_lsn"], row["lag"], row["alive"]))
+        for tick, kind, detail in replica_set.events[-6:]:
+            out.write("  [tick %d] %s: %s\n" % (tick, kind, detail))
+    finally:
+        replica_set.close()
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -200,6 +291,10 @@ def build_parser():
         "recover", help="recover a database from a data directory"
     )
     recover.add_argument("--data-dir", required=True)
+    recover.add_argument("--verify", action="store_true",
+                         help="dry run: report the WAL's commit-LSN "
+                              "watermark and record counts without "
+                              "mutating anything on disk")
 
     attack = sub.add_parser("attack", help="run the attack corpus")
     attack.add_argument("--protection", choices=PROTECTIONS,
@@ -215,6 +310,21 @@ def build_parser():
     bench.add_argument("--repeats", type=int, default=1)
 
     sub.add_parser("status", help="status display after a short run")
+
+    replicate = sub.add_parser(
+        "replicate", help="replica-set demo: per-replica applied LSN, "
+                          "lag and role"
+    )
+    replicate.add_argument("--status", action="store_true",
+                           help="print per-replica status (the default "
+                                "and only output)")
+    replicate.add_argument("--failover", action="store_true",
+                           help="also kill the primary and show the "
+                                "lease-driven election")
+    replicate.add_argument("--replicas", type=int, default=2)
+    replicate.add_argument("--workdir", default=None,
+                           help="keep the replica data dirs here "
+                                "(default: a temp dir, removed on exit)")
     return parser
 
 
@@ -226,6 +336,7 @@ _COMMANDS = {
     "scan": _cmd_scan,
     "bench": _cmd_bench,
     "status": _cmd_status,
+    "replicate": _cmd_replicate,
 }
 
 

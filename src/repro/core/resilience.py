@@ -299,3 +299,52 @@ class CircuitBreaker(object):
         return "CircuitBreaker(%s, trips=%d, resets=%d)" % (
             self.state, self.trips, self.resets
         )
+
+
+class RetryStats(object):
+    """Counters for the client connector's transient-retry path.
+
+    One instance hangs off every :class:`repro.sqldb.engine.Database`
+    (aggregating across all its connections) and one off each
+    :class:`repro.sqldb.connection.Connection`;
+    ``Septic.status()`` exports the database-level aggregate alongside
+    :class:`repro.core.septic.SepticStats`, so operators see retry
+    pressure and detection stats in one place.
+    """
+
+    _COUNTERS = ("attempts", "retries", "exhausted", "gave_up")
+
+    __slots__ = _COUNTERS + ("backoff_seconds", "_lock")
+
+    def __init__(self):
+        self._lock = make_lock()
+        #: queries that hit at least one transient fault
+        self.attempts = 0
+        #: individual retry attempts issued
+        self.retries = 0
+        #: retry budgets fully spent (the error went back to the client)
+        self.exhausted = 0
+        #: transient errors returned without any retry (budget was 0 or
+        #: partial results made a retry unsafe)
+        self.gave_up = 0
+        #: total backoff delay charged, in seconds
+        self.backoff_seconds = 0.0
+
+    def bump(self, name, amount=1):
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def add_backoff(self, seconds):
+        with self._lock:
+            self.backoff_seconds += seconds
+
+    def as_dict(self):
+        with self._lock:
+            body = {name: getattr(self, name) for name in self._COUNTERS}
+            body["backoff_seconds"] = round(self.backoff_seconds, 9)
+            return body
+
+    def __repr__(self):
+        return "RetryStats(attempts=%d, retries=%d, exhausted=%d)" % (
+            self.attempts, self.retries, self.exhausted
+        )

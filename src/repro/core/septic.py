@@ -142,6 +142,9 @@ class Septic(object):
         )
         #: per-query virtual-clock budget (seconds); None disables
         self.watchdog_budget = watchdog_budget
+        #: the database whose data dir co-persists the store (set by
+        #: :meth:`bind_store`) — its retry stats ride ``status()``
+        self.bound_database = None
         # a recovered store entry is an operator-relevant incident
         self.store.on_recover = self._store_recovered
 
@@ -177,6 +180,7 @@ class Septic(object):
             from repro.sqldb import wal as wal_mod
 
             path = wal_mod.qm_store_path(database.data_dir)
+        self.bound_database = database
         store._path = path
         store.lsn_provider = lambda: database.durable_lsn
         store.autosave = autosave
@@ -219,8 +223,18 @@ class Septic(object):
         return self._mode
 
     def status(self):
-        """Snapshot for the demo's "SEPTIC status" display."""
+        """Snapshot for the demo's "SEPTIC status" display.
+
+        When the store is bound to a database (:meth:`bind_store`) the
+        connector's transient-retry counters ride along under
+        ``retry_stats``, so detection stats and retry pressure show up
+        in one place."""
+        database = getattr(self, "bound_database", None)
+        retry_stats = getattr(database, "retry_stats", None)
         return {
+            "retry_stats": (
+                retry_stats.as_dict() if retry_stats is not None else None
+            ),
             "mode": self._mode,
             "effective_mode": self.effective_mode,
             "detect_sqli": self.config.detect_sqli,

@@ -74,6 +74,10 @@ KNOWN_SITES = (
     "wal.recover",
     "planner.plan",
     "operator.next",
+    "replica.ship",
+    "replica.apply",
+    "replica.heartbeat",
+    "replica.promote",
     # plus "plugin.<name>" for every stored-injection plugin
 )
 

@@ -1,0 +1,39 @@
+"""WAL-shipping replication with heartbeat-driven automatic failover.
+
+The subsystem that turns one durable :class:`repro.sqldb.engine.Database`
+into a replica set (ROADMAP: the "millions of users" availability and
+read-scale-out multiplier on top of per-node speed):
+
+* :mod:`repro.replica.apply` — the streaming redo apply loop: a replica
+  persists shipped WAL records verbatim into its own log, then applies
+  committed units through the engine's recovery redo path (never the
+  public DML path — a lint gate enforces it);
+* :mod:`repro.replica.node` — one member of the set: a full
+  :class:`~repro.sqldb.engine.Database` plus its applier, role, and the
+  fencing epoch that rejects a zombie primary's records;
+* :mod:`repro.replica.coordinator` — :class:`ReplicaSet`: virtual-clock
+  heartbeats, lease-based election (highest applied LSN wins), epoch
+  fencing, WAL retention pinning, and SEPTIC QM-store co-apply;
+* :mod:`repro.replica.router` — :class:`RoutingConnection`: routes
+  writes to the primary and bounded-staleness reads to replicas,
+  retrying in-flight statements against survivors with seeded
+  exponential backoff + jitter in *virtual* time.
+
+Everything here runs on the coordinator's virtual clock — no wall-clock
+reads, no sleeps (another lint gate) — so every failover scenario is
+deterministic and replayable.
+"""
+
+from repro.replica.apply import ReplicaApplier
+from repro.replica.coordinator import ReplicaSet, ShippedBatch
+from repro.replica.node import ReplicaNode, Role
+from repro.replica.router import RoutingConnection
+
+__all__ = [
+    "ReplicaApplier",
+    "ReplicaNode",
+    "ReplicaSet",
+    "Role",
+    "RoutingConnection",
+    "ShippedBatch",
+]

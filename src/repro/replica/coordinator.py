@@ -1,0 +1,402 @@
+""":class:`ReplicaSet`: membership, heartbeats, election, retention.
+
+The coordinator is the harness-side stand-in for the control plane a
+real deployment would run (every node in one process, like the rest of
+the reproduction).  Time is an integer **virtual tick** counter owned by
+the set — nothing here reads a wall clock (a lint gate enforces it), so
+every failover scenario is deterministic and the DES experiments can
+drive the clock themselves.
+
+The state machine, per heartbeat boundary (every ``heartbeat_interval``
+ticks):
+
+1. **ship** — the live primary's un-fetched log records go to every
+   live replica, each batch stamped with the primary's epoch and each
+   record with a ship CRC (:func:`repro.replica.node.shipped_crc`);
+   when the primary's SEPTIC store changed since the last round, its
+   snapshot rides along so detection models stay consistent set-wide;
+2. **heartbeat** — live replicas refresh their lease from the primary's
+   epoch.  The ``replica.heartbeat`` fault site models a lost beat:
+   nothing ships, no lease refreshes;
+3. **lease check** — a live replica whose lease has been silent for
+   ``lease_intervals`` heartbeat windows starts an election:
+   :meth:`ReplicaSet.promote` picks the live replica with the highest
+   applied LSN (name-ordered tie-break), bumps the epoch, fences
+   whatever still thinks it is primary, and re-registers the WAL
+   retention pin on the new primary.
+
+Retention: the primary's checkpoints consult
+:meth:`ReplicaSet._retention_low_water` (registered via
+``Database.pin_lsn``) — rotation waits for the slowest live replica's
+applied LSN, except that a replica lagging more than
+``max_retention_lag`` records is dropped from the set (role
+``detached``, logged as a ``replication_lag`` event) rather than pinning
+the log forever: the escape hatch trades that replica's freshness for
+the primary's disk.
+"""
+
+import os
+
+from repro import faults as faults_mod
+from repro.replica.node import ReplicaNode, Role, shipped_crc
+from repro.sqldb import wal as wal_mod
+from repro.sqldb.engine import Database
+from repro.sqldb.errors import WalError
+
+
+class ShippedBatch(object):
+    """One epoch-stamped shipment: ``entries`` is a list of
+    ``(WalRecord, ship_crc)`` pairs in LSN order; ``store_payload`` is
+    an optional SEPTIC QM-store snapshot riding along."""
+
+    __slots__ = ("epoch", "entries", "store_payload")
+
+    def __init__(self, epoch, entries, store_payload=None):
+        self.epoch = epoch
+        self.entries = entries
+        self.store_payload = store_payload
+
+    def __repr__(self):
+        return "ShippedBatch(epoch=%d, %d records%s)" % (
+            self.epoch, len(self.entries),
+            ", +store" if self.store_payload is not None else "",
+        )
+
+
+def corrupt_shipment(entries, rng):
+    """Corruptor for the ``replica.ship`` site: damage one in-flight
+    record (its payload no longer matches its ship CRC), leaving the
+    primary's log untouched."""
+    if not entries:
+        return entries
+    index = rng.randrange(len(entries))
+    record, crc = entries[index]
+    twisted = wal_mod.WalRecord(
+        record.lsn, record.op, tx=record.tx, sql=record.sql,
+        clock=record.clock + 1, rand=record.rand, failed=record.failed,
+    )
+    entries = list(entries)
+    entries[index] = (twisted, crc)
+    return entries
+
+
+class ReplicaSet(object):
+    """A primary plus N WAL-shipping replicas under one virtual clock.
+
+    Every member bootstraps through ``Database.recover`` over its own
+    subdirectory of *workdir* — fresh directories for a new set; the
+    primary may carry existing un-rotated history (it ships from LSN 1).
+    *septic_factory* (a zero-argument callable) builds one SEPTIC-like
+    hook per node, so the primary detects and replicas co-apply models.
+    """
+
+    def __init__(self, workdir, replicas=2, septic_factory=None, seed=1,
+                 heartbeat_interval=5, lease_intervals=3,
+                 max_retention_lag=None, wal_sync="commit",
+                 checkpoint_interval=0):
+        self.workdir = workdir
+        self.seed = seed
+        self.heartbeat_interval = max(1, heartbeat_interval)
+        #: silent heartbeat windows a replica tolerates before electing
+        self.lease_intervals = max(1, lease_intervals)
+        self.max_retention_lag = max_retention_lag
+        #: the set's virtual clock, in ticks
+        self.clock = 0
+        #: current election term (stamped into every shipment)
+        self.epoch = 1
+        self.promotions = 0
+        self.missed_heartbeats = 0
+        self.replication_lag_drops = 0
+        #: ``(tick, kind, detail)`` triples — the coordinator's log
+        self.events = []
+        #: names the "network" currently refuses to deliver to/from
+        self._partitioned = set()
+        self._store_token = None
+        self.nodes = []
+        for index in range(replicas + 1):
+            name = "node%d" % index
+            septic = septic_factory() if septic_factory else None
+            database = Database.recover(
+                os.path.join(workdir, name), name=name, septic=septic,
+                seed=seed, wal_sync=wal_sync,
+                checkpoint_interval=checkpoint_interval if index == 0 else 0,
+            )
+            role = Role.PRIMARY if index == 0 else Role.REPLICA
+            self.nodes.append(ReplicaNode(name, database, role=role))
+        self._install_retention_pin(self.nodes[0])
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def primary(self):
+        """The live primary node, or ``None`` mid-failover."""
+        for node in self.nodes:
+            if node.role == Role.PRIMARY and node.alive:
+                return node
+        return None
+
+    def replicas(self):
+        """Live nodes currently in the replica role."""
+        return [node for node in self.nodes
+                if node.role == Role.REPLICA and node.alive]
+
+    def node(self, name):
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+    def connect(self, **kwargs):
+        """A :class:`repro.replica.router.RoutingConnection` over the
+        set (imported late: the router builds on the coordinator)."""
+        from repro.replica.router import RoutingConnection
+
+        return RoutingConnection(self, **kwargs)
+
+    # -- the virtual clock -------------------------------------------------
+
+    def tick(self, ticks=1):
+        """Advance virtual time; heartbeat rounds run on their
+        boundaries.  Returns the clock."""
+        for _ in range(max(0, ticks)):
+            self.clock += 1
+            if self.clock % self.heartbeat_interval == 0:
+                self._heartbeat_round()
+        return self.clock
+
+    @property
+    def lease_ticks(self):
+        return self.lease_intervals * self.heartbeat_interval
+
+    def _heartbeat_round(self):
+        primary = self.primary
+        if primary is not None and primary.name not in self._partitioned:
+            delivered = True
+            if faults_mod.ACTIVE is not None:
+                try:
+                    faults_mod.fire("replica.heartbeat")
+                except faults_mod.InjectedFault:
+                    delivered = False
+                    self.missed_heartbeats += 1
+                    self._log("heartbeat_lost", primary.name)
+            if delivered:
+                self.ship()
+                for node in self.replicas():
+                    node.heartbeat(self.clock, self.epoch)
+        self._check_leases()
+
+    def _check_leases(self):
+        expired = [
+            node for node in self.replicas()
+            if self.clock - node.last_heartbeat_tick >= self.lease_ticks
+        ]
+        if not expired:
+            return
+        self._log("lease_expired",
+                  ",".join(node.name for node in expired))
+        try:
+            self.promote()
+        except faults_mod.InjectedFault:
+            # the promotion machinery itself faulted: the lease is still
+            # expired, so the next heartbeat round retries the election
+            self._log("promote_faulted", "retrying next round")
+        except WalError as exc:
+            self._log("promote_impossible", str(exc))
+
+    # -- shipping ----------------------------------------------------------
+
+    def ship(self, source=None):
+        """Ship *source*'s (default: the live primary's) un-fetched log
+        records to every live replica.  Returns records newly ingested
+        across the set.
+
+        Calling it with a fenced node as *source* is the zombie-primary
+        scenario: batches carry the zombie's stale epoch and every
+        survivor rejects them.
+        """
+        if source is None:
+            source = self.primary
+        if source is None or not source.alive:
+            return 0
+        data = wal_mod.read_log_bytes(
+            wal_mod.log_path(source.database.data_dir))
+        records = [record for record, _end in wal_mod.iter_frames(data)]
+        store_payload = self._store_snapshot_if_changed(source)
+        total = 0
+        for node in self.nodes:
+            if (node is source or not node.alive
+                    or node.role != Role.REPLICA
+                    or node.name in self._partitioned):
+                continue
+            pending = [record for record in records
+                       if record.lsn > node.applier.last_seen_lsn]
+            if not pending and store_payload is None:
+                continue
+            entries = [(record, shipped_crc(record)) for record in pending]
+            if faults_mod.ACTIVE is not None:
+                try:
+                    entries = faults_mod.fire("replica.ship",
+                                              payload=entries,
+                                              corruptor=corrupt_shipment)
+                except faults_mod.InjectedFault:
+                    # this node misses the round; re-ships next time
+                    continue
+            total += node.receive(
+                ShippedBatch(source.epoch, entries, store_payload))
+        return total
+
+    def _store_snapshot_if_changed(self, source):
+        """The primary's QM-store snapshot when it changed since the
+        last round (replicas co-apply it), else ``None``."""
+        septic = getattr(source.database, "septic", None)
+        store = getattr(septic, "store", None)
+        if store is None or not hasattr(store, "snapshot"):
+            return None
+        token = (len(store), getattr(store, "snapshot_swaps", 0))
+        if token == self._store_token:
+            return None
+        self._store_token = token
+        return store.snapshot()
+
+    # -- failover ----------------------------------------------------------
+
+    def promote(self, node=None):
+        """Elect a new primary: the live replica with the highest
+        applied LSN (lowest name breaks ties) unless *node* is forced.
+        Bumps the epoch, fences the deposed primary, discards the
+        winner's in-flight (uncommitted) shipments, and moves the WAL
+        retention pin.  Returns the new primary node."""
+        if faults_mod.ACTIVE is not None:
+            faults_mod.fire("replica.promote")
+        candidates = self.replicas()
+        if not candidates:
+            raise WalError("no live replica available for promotion")
+        if node is None:
+            node = sorted(
+                candidates,
+                key=lambda n: (-n.applier.applied_lsn, n.name),
+            )[0]
+        elif node not in candidates:
+            raise WalError("%s is not a live replica" % node.name)
+        for old in self.nodes:
+            if old.role == Role.PRIMARY and old is not node:
+                old.database.unpin_lsn("replication")
+                old.role = Role.FENCED if old.alive else Role.DETACHED
+        dropped = node.applier.discard_in_flight()
+        self.epoch += 1
+        node.epoch = self.epoch
+        node.role = Role.PRIMARY
+        node.last_heartbeat_tick = self.clock
+        self.promotions += 1
+        self._install_retention_pin(node)
+        self._log("promote",
+                  "%s at applied LSN %d, epoch %d (%d uncommitted "
+                  "in-flight tx discarded)"
+                  % (node.name, node.applied_lsn, self.epoch, dropped))
+        return node
+
+    def kill_primary(self):
+        """Crash the live primary in place (the failover sweep's kill
+        switch).  Returns the node that died."""
+        primary = self.primary
+        if primary is None:
+            raise WalError("no live primary to kill")
+        primary.crash()
+        self._log("kill", primary.name)
+        return primary
+
+    def partition(self, node):
+        """Cut *node* off the network: heartbeats and shipments no
+        longer flow to or from it, but it keeps running — the zombie
+        scenario when applied to the primary."""
+        self._partitioned.add(node.name)
+        self._log("partition", node.name)
+
+    def heal(self, node):
+        self._partitioned.discard(node.name)
+        self._log("heal", node.name)
+
+    # -- retention ---------------------------------------------------------
+
+    def _install_retention_pin(self, primary_node):
+        for node in self.nodes:
+            node.database.unpin_lsn("replication")
+        primary_node.database.pin_lsn("replication",
+                                      self._retention_low_water)
+
+    def _retention_low_water(self):
+        """Checkpoint-time callback on the primary: the slowest live
+        replica's applied LSN, after dropping any replica lagging past
+        ``max_retention_lag`` (the escape hatch)."""
+        primary = self.primary
+        if primary is None:
+            return None
+        frontier = primary.database.durable_lsn
+        lows = []
+        for node in list(self.nodes):
+            if node.role != Role.REPLICA or not node.alive:
+                continue
+            applied = node.applier.applied_lsn
+            lag = frontier - applied
+            if (self.max_retention_lag is not None
+                    and lag > self.max_retention_lag):
+                self._drop_replica(node, lag)
+                continue
+            lows.append(applied)
+        return min(lows) if lows else None
+
+    def _drop_replica(self, node, lag):
+        node.role = Role.DETACHED
+        self.replication_lag_drops += 1
+        self._log(
+            "replication_lag",
+            "dropped %s: lag %d exceeds max_retention_lag %d"
+            % (node.name, lag, self.max_retention_lag),
+        )
+
+    # -- observability -----------------------------------------------------
+
+    def frontier_lsn(self):
+        """The newest committed LSN anyone in the set holds."""
+        primary = self.primary
+        if primary is not None:
+            return primary.database.durable_lsn
+        return max(
+            (node.applied_lsn for node in self.nodes if node.alive),
+            default=0,
+        )
+
+    def status(self):
+        """Per-node roles, watermarks and lags (the CLI's
+        ``replicate --status`` body)."""
+        frontier = self.frontier_lsn()
+        rows = []
+        for node in self.nodes:
+            row = node.status()
+            row["lag"] = max(0, frontier - row["applied_lsn"])
+            rows.append(row)
+        return {
+            "clock": self.clock,
+            "epoch": self.epoch,
+            "heartbeat_interval": self.heartbeat_interval,
+            "lease_intervals": self.lease_intervals,
+            "promotions": self.promotions,
+            "missed_heartbeats": self.missed_heartbeats,
+            "replication_lag_drops": self.replication_lag_drops,
+            "frontier_lsn": frontier,
+            "nodes": rows,
+        }
+
+    def _log(self, kind, detail):
+        self.events.append((self.clock, kind, detail))
+
+    def close(self):
+        for node in self.nodes:
+            if node.alive:
+                node.database.close()
+            node.database.unpin_lsn("replication")
+
+    def __repr__(self):
+        return "ReplicaSet(%d nodes, epoch=%d, clock=%d)" % (
+            len(self.nodes), self.epoch, self.clock
+        )

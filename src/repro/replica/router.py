@@ -1,0 +1,163 @@
+"""Failover-aware client routing over a :class:`ReplicaSet`.
+
+:class:`RoutingConnection` is what an application holds instead of a
+single-node :class:`repro.sqldb.connection.Connection`:
+
+* **writes** (and anything unparseable) go to the live primary;
+* **reads** (SELECT/EXPLAIN/SHOW/DESCRIBE-only statements) round-robin
+  across replicas whose staleness is within ``max_lag_lsn`` records of
+  the set's committed frontier — the bounded-staleness contract; the
+  primary serves them when no replica qualifies;
+* **transient failures** (no live primary mid-failover, an injected
+  engine fault) are retried against the survivors with seeded
+  exponential backoff + jitter — measured in **virtual ticks**, charged
+  via ``ReplicaSet.tick``, so the backoff itself drives heartbeat
+  rounds forward and a write stalled on a dead primary un-stalls the
+  moment the lease expires and election promotes a survivor.  Same
+  determinism story as the base connection's retry path: one seed, one
+  schedule.
+"""
+
+import random
+
+from repro.core.resilience import RetryStats
+from repro.replica.node import Role
+from repro.sqldb.connection import Connection, QueryOutcome
+from repro.sqldb.engine import _READ_STATEMENTS
+from repro.sqldb.errors import QueryBlocked, SQLError, TransientEngineError
+from repro.sqldb.parser import parse_sql
+
+
+class RoutingConnection(object):
+    """Routes queries across a replica set with bounded-staleness reads
+    and virtual-time retry/backoff."""
+
+    def __init__(self, replica_set, max_lag_lsn=0, retries=6,
+                 backoff_ticks=1, backoff_cap_ticks=16, jitter=0.5,
+                 seed=0, charset=None):
+        self._set = replica_set
+        #: how many WAL records behind the committed frontier a replica
+        #: may be and still serve this client's reads (0 = exactly
+        #: caught up)
+        self.max_lag_lsn = max_lag_lsn
+        self.retries = retries
+        self.backoff_ticks = backoff_ticks
+        self.backoff_cap_ticks = backoff_cap_ticks
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self.charset = charset
+        self._conns = {}
+        self._round_robin = 0
+        self.retry_stats = RetryStats()
+        #: reads served by a replica vs the primary (the scale-out
+        #: split the benchmarks measure)
+        self.reads_on_replicas = 0
+        self.reads_on_primary = 0
+        self.writes_routed = 0
+
+    # -- routing -----------------------------------------------------------
+
+    def _is_read(self, sql):
+        try:
+            statements, _comments = parse_sql(sql)
+        except SQLError:
+            return False  # the primary will produce the real error
+        return bool(statements) and all(
+            isinstance(stmt, _READ_STATEMENTS) for stmt in statements
+        )
+
+    def _connection(self, node):
+        conn = self._conns.get(node.name)
+        if conn is None or conn.database is not node.database:
+            # the router does its own retrying (across nodes, in
+            # virtual time), so the per-node connection gets no budget
+            conn = Connection(node.database, charset=self.charset)
+            self._conns[node.name] = conn
+        return conn
+
+    def pick_node(self, read):
+        """The node this statement should run on right now, or ``None``
+        when nothing can serve it (mid-failover)."""
+        primary = self._set.primary
+        if not read:
+            return primary
+        frontier = self._set.frontier_lsn()
+        eligible = [
+            node for node in self._set.replicas()
+            if frontier - node.applied_lsn <= self.max_lag_lsn
+        ]
+        if eligible:
+            node = eligible[self._round_robin % len(eligible)]
+            self._round_robin += 1
+            return node
+        return primary
+
+    def _next_backoff_ticks(self, attempt):
+        base = min(self.backoff_cap_ticks,
+                   self.backoff_ticks * (2 ** (attempt - 1)))
+        if self.jitter:
+            base *= 1.0 + self.jitter * self._rng.random()
+        return max(1, int(round(base)))
+
+    # -- the client surface ------------------------------------------------
+
+    def query(self, sql):
+        """Run one statement somewhere in the set; returns a
+        :class:`~repro.sqldb.connection.QueryOutcome`.
+
+        Deterministic SQL errors and SEPTIC blocks return immediately
+        (they are verdicts, not faults).  Transient outcomes — no
+        eligible node, a mid-flight engine fault — burn the retry
+        budget, backing off in virtual ticks between attempts.
+        """
+        read = self._is_read(sql)
+        attempt = 0
+        while True:
+            node = self.pick_node(read)
+            if node is None:
+                outcome = QueryOutcome(error=TransientEngineError(
+                    "no live node can serve this %s right now "
+                    "(failover in progress?)"
+                    % ("read" if read else "write"),
+                ))
+            else:
+                outcome = self._connection(node).query(sql)
+            if outcome.ok:
+                if read:
+                    if node.role == Role.PRIMARY:
+                        self.reads_on_primary += 1
+                    else:
+                        self.reads_on_replicas += 1
+                else:
+                    self.writes_routed += 1
+                return outcome
+            error = outcome.error
+            transient = (
+                getattr(error, "transient", False)
+                and not isinstance(error, QueryBlocked)
+            )
+            if not transient:
+                return outcome
+            if attempt == 0:
+                self.retry_stats.bump("attempts")
+            if attempt >= self.retries:
+                self.retry_stats.bump("exhausted")
+                return outcome
+            attempt += 1
+            self.retry_stats.bump("retries")
+            ticks = self._next_backoff_ticks(attempt)
+            self.retry_stats.add_backoff(ticks)
+            # virtual-time backoff: waiting IS what lets the lease
+            # expire and the election run
+            self._set.tick(ticks)
+
+    def query_or_raise(self, sql):
+        outcome = self.query(sql)
+        if not outcome.ok:
+            raise outcome.error
+        return outcome
+
+    def __repr__(self):
+        return ("RoutingConnection(max_lag_lsn=%d, reads r/p=%d/%d, "
+                "writes=%d)" % (self.max_lag_lsn, self.reads_on_replicas,
+                                self.reads_on_primary, self.writes_routed))

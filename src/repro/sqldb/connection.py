@@ -11,8 +11,10 @@ applications use:
 * per-connection charset (what makes the GBK escape-eating attack work).
 """
 
+import random
 import time
 
+from repro.core.resilience import RetryStats
 from repro.sqldb import charset as charset_mod
 from repro.sqldb.errors import QueryBlocked, SQLError, TransientEngineError
 
@@ -49,7 +51,8 @@ class Connection(object):
     """A client connection to a :class:`repro.sqldb.engine.Database`."""
 
     def __init__(self, database, charset=None, multi_statements=False,
-                 retries=0, backoff=0.0, sleep=None):
+                 retries=0, backoff=0.0, backoff_cap=2.0, jitter=0.5,
+                 retry_seed=0, sleep=None):
         self._db = database
         self.charset = charset or database.charset
         self.multi_statements = multi_statements
@@ -59,9 +62,22 @@ class Connection(object):
         self.retries = retries
         #: base delay for exponential backoff between retries, seconds
         self.backoff = backoff
+        #: ceiling on one backoff delay (before jitter) — the doubling
+        #: is capped so a deep retry never sleeps unboundedly
+        self.backoff_cap = backoff_cap
+        #: jitter fraction: each delay is scaled by a seeded-random
+        #: factor in ``[1, 1 + jitter]`` so retrying clients de-correlate
+        #: instead of stampeding the engine in lockstep (0 disables)
+        self.jitter = jitter
+        #: seeded RNG driving the jitter — same seed, same delays, so
+        #: retry schedules are reproducible run to run
+        self._retry_rng = random.Random(retry_seed)
         self._sleep = sleep if sleep is not None else time.sleep
         #: how many transient-fault retries this connection has issued
         self.transient_retries = 0
+        #: per-connection retry counters; every bump is mirrored into
+        #: ``database.retry_stats`` (the aggregate Septic.status() shows)
+        self.retry_stats = RetryStats()
         #: server-side per-connection state (transactions, insert id)
         self._session = database.create_session(self.charset)
 
@@ -81,6 +97,25 @@ class Connection(object):
         """``mysql_real_escape_string`` equivalent (see the charset module
         for what it cannot protect against)."""
         return charset_mod.escape_string(value)
+
+    def _bump(self, counter, amount=1):
+        """Mirror one retry counter into the per-connection stats and
+        the database-wide aggregate."""
+        self.retry_stats.bump(counter, amount)
+        aggregate = getattr(self._db, "retry_stats", None)
+        if aggregate is not None:
+            aggregate.bump(counter, amount)
+
+    def next_backoff(self, attempt):
+        """The delay before retry *attempt* (1-based): capped
+        exponential growth from :attr:`backoff`, scaled by a seeded
+        jitter factor in ``[1, 1 + jitter]``.  Deterministic per
+        connection seed — tests and the DES replay identical
+        schedules."""
+        base = min(self.backoff_cap, self.backoff * (2 ** (attempt - 1)))
+        if self.jitter:
+            base *= 1.0 + self.jitter * self._retry_rng.random()
+        return base
 
     def _guarded(self, runner):
         """Run *runner* (→ ``(results, error)``) under the connection's
@@ -115,18 +150,33 @@ class Connection(object):
                     "lost connection to engine during query (%s: %s)"
                     % (type(exc).__name__, exc)
                 )
-            if (
-                error is None
-                or not getattr(error, "transient", False)
-                or isinstance(error, QueryBlocked)
-                or results
-                or attempt >= self.retries
-            ):
+            transient = (
+                error is not None
+                and getattr(error, "transient", False)
+                and not isinstance(error, QueryBlocked)
+            )
+            if error is None or not transient:
+                return results, error
+            if attempt == 0:
+                self._bump("attempts")
+            if results or attempt >= self.retries:
+                # partial results make a retry unsafe; otherwise the
+                # budget is spent (or was zero to begin with)
+                if attempt >= 1:
+                    self._bump("exhausted")
+                else:
+                    self._bump("gave_up")
                 return results, error
             attempt += 1
             self.transient_retries += 1
+            self._bump("retries")
             if self.backoff:
-                self._sleep(self.backoff * (2 ** (attempt - 1)))
+                delay = self.next_backoff(attempt)
+                self.retry_stats.add_backoff(delay)
+                aggregate = getattr(self._db, "retry_stats", None)
+                if aggregate is not None:
+                    aggregate.add_backoff(delay)
+                self._sleep(delay)
 
     def query(self, sql):
         """Run one statement; returns a :class:`QueryOutcome`.

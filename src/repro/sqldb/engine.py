@@ -457,6 +457,18 @@ class Database(object):
         #: highest LSN seen during recovery (next append starts above it)
         self._recovered_lsn = 0
         self._recovered_dir = None
+        #: checkpoint retention pins: name -> callable returning the
+        #: lowest LSN that holder still needs kept in the log (or None
+        #: to release).  Replication pins the slowest replica's applied
+        #: LSN here so rotation never truncates records a replica has
+        #: yet to fetch.
+        self._lsn_pins = {}
+        #: checkpoints skipped because a retention pin was behind the
+        #: log frontier (they retry at the next commit point)
+        self.checkpoints_deferred = 0
+        #: transient-retry counters aggregated across every connection
+        #: to this database (exported via ``Septic.status()``)
+        self.retry_stats = resilience.RetryStats()
         #: summary of the last recovery (:meth:`recover` fills it)
         self.recovery_report = None
         self._epoch_moment = datetime.strptime(
@@ -776,16 +788,50 @@ class Database(object):
                         checkpoint_interval=interval)
         return self
 
+    # -- WAL retention (replication pins) ---------------------------------
+
+    def pin_lsn(self, name, provider):
+        """Register a retention pin: *provider* is called before every
+        checkpoint and returns the lowest LSN its holder still needs in
+        the log (``None`` releases the pin for that round).  Replication
+        registers one pin per replica set, returning the slowest
+        replica's applied LSN."""
+        self._lsn_pins[name] = provider
+
+    def unpin_lsn(self, name):
+        """Drop a retention pin (idempotent)."""
+        self._lsn_pins.pop(name, None)
+
+    def retention_low_water(self):
+        """The lowest LSN any retention pin still needs, or ``None``
+        when nothing is pinned.  Providers that raise release their pin
+        for the round rather than wedging checkpoints forever."""
+        lows = []
+        for name in list(self._lsn_pins):
+            provider = self._lsn_pins.get(name)
+            if provider is None:
+                continue
+            low = provider()
+            if low is not None:
+                lows.append(low)
+        return min(lows) if lows else None
+
     def checkpoint(self):
         """Write a full-state checkpoint and rotate the log.
 
         Skipped (returns ``None``) while any transaction is open — a
-        checkpoint must capture a transaction-consistent snapshot.
-        Returns the checkpoint LSN when written.
+        checkpoint must capture a transaction-consistent snapshot — or
+        while a retention pin (a lagging replica) still needs log
+        records the rotation would truncate.  Returns the checkpoint
+        LSN when written.
         """
         if self._wal is None:
             raise WalError("no WAL attached")
         if self._tx_sessions:
+            return None
+        low_water = self.retention_low_water()
+        if low_water is not None and low_water < self._wal.last_lsn:
+            self.checkpoints_deferred += 1
             return None
         with self.catalog_lock:
             state = {
@@ -1035,6 +1081,95 @@ class Database(object):
                     "replay of LSN %d diverged: original failed, "
                     "replay succeeded" % rec.lsn
                 )
+
+    def redo_apply(self, rec):
+        """Apply one shipped WAL record through the redo path.
+
+        The replication apply loop's only mutation entry point (a lint
+        gate enforces that): identical semantics to recovery replay —
+        deterministic clock/RNG restore, SEPTIC bypassed (the statement
+        already passed the hook on the primary), the local WAL untouched
+        (the applier persists shipped records verbatim itself, keeping
+        the primary's LSNs).
+        """
+        self._replay_statement(rec)
+
+    def note_applied_lsn(self, lsn):
+        """Advance the recovered-LSN watermark after a replica applied
+        shipped records up to *lsn* (promotion and MVCC stamps stay
+        monotone with the primary's log)."""
+        if lsn > self._recovered_lsn:
+            self._recovered_lsn = lsn
+        with self._mvcc_lock:
+            self._commit_stamp = max(self._commit_stamp, lsn)
+
+    @classmethod
+    def verify_wal(cls, data_dir, name="repro", seed=1):
+        """Dry-run recovery: replay *data_dir*'s history into a
+        throwaway in-memory database and report on it **without
+        mutating anything on disk** — no WAL attach, no torn-tail
+        truncation, no checkpoint.
+
+        Returns a report dict: the checkpoint LSN, record counts by
+        kind, the commit-LSN watermark (newest durability point —
+        everything a client was ever acknowledged about), committed /
+        rolled-back / unfinished transaction counts, torn bytes, and
+        per-table row counts of the verified state.  Mid-log corruption
+        is reported (``corrupt_offset``) rather than raised: the clean
+        prefix is still verified.
+        """
+        db = cls(name=name, seed=seed, cache_size=0)
+        checkpoint = wal_mod.load_checkpoint(data_dir)
+        applied_lsn = 0
+        if checkpoint is not None:
+            applied_lsn = db._restore_checkpoint(checkpoint)
+        corrupt_offset = None
+        try:
+            scan = wal_mod.scan_log(wal_mod.log_path(data_dir))
+        except WalCorruptionError as exc:
+            corrupt_offset = exc.offset
+            scan = wal_mod.ScanResult(exc.clean_records, exc.offset, 0)
+        replayed = db._replay_records(scan.records, applied_lsn)
+        db._recovered_lsn = max(
+            applied_lsn,
+            scan.records[-1].lsn if scan.records else 0,
+        )
+        db._finish_recovery()
+        ops = {}
+        commit_lsn = applied_lsn
+        open_tx = set()
+        committed = rolled_back = 0
+        for rec in scan.records:
+            ops[rec.op] = ops.get(rec.op, 0) + 1
+            if rec.op == wal_mod.WalRecord.BEGIN:
+                open_tx.add(rec.tx)
+            elif rec.op == wal_mod.WalRecord.COMMIT:
+                open_tx.discard(rec.tx)
+                committed += 1
+                commit_lsn = max(commit_lsn, rec.lsn)
+            elif rec.op == wal_mod.WalRecord.ROLLBACK:
+                open_tx.discard(rec.tx)
+                rolled_back += 1
+            elif rec.op == wal_mod.WalRecord.STMT and rec.tx == 0:
+                commit_lsn = max(commit_lsn, rec.lsn)
+        return {
+            "data_dir": data_dir,
+            "checkpoint_lsn": applied_lsn,
+            "log_records": len(scan.records),
+            "records_by_op": ops,
+            "commit_lsn": commit_lsn,
+            "last_lsn": db._recovered_lsn,
+            "replayed_statements": replayed,
+            "committed_transactions": committed,
+            "rolled_back_transactions": rolled_back,
+            "unfinished_transactions": len(open_tx),
+            "torn_bytes": scan.torn_bytes,
+            "corrupt_offset": corrupt_offset,
+            "tables": {
+                tname: len(db.tables[tname])
+                for tname in sorted(db.tables)
+            },
+        }
 
     def _finish_recovery(self):
         """Recovery epoch: no pipeline-cache entry from before the

@@ -284,6 +284,45 @@ class WriteAheadLog(object):
                     self.fsync()
             return record.lsn
 
+    def append_record(self, record, durability_point=False):
+        """Append an already-stamped :class:`WalRecord` verbatim.
+
+        The replication apply path: a replica writes the records its
+        primary shipped into its *own* log, keeping the primary's LSNs,
+        so the replica's on-disk history is byte-for-byte replayable by
+        the ordinary recovery path — and promotion needs no log rewrite.
+        The log's LSN counter follows the record (``next_lsn`` becomes
+        ``record.lsn + 1``); appending a record at or below the current
+        frontier would shadow existing history and raises
+        :class:`~repro.sqldb.errors.WalError` instead.
+        """
+        with self._lock:
+            if self.closed:
+                raise WalError("WAL is closed")
+            if record.lsn < self.next_lsn:
+                raise WalError(
+                    "cannot append record LSN %d below the log frontier %d"
+                    % (record.lsn, self.next_lsn)
+                )
+            if faults_mod.ACTIVE is not None:
+                faults_mod.fire("wal.append")
+            payload = record.to_payload()
+            blob = _HEADER.pack(len(payload),
+                                zlib.crc32(payload) & 0xFFFFFFFF) + payload
+            self._handle.write(blob)
+            self.next_lsn = record.lsn + 1
+            self.records_appended += 1
+            self.bytes_written += len(blob)
+            if durability_point:
+                self.commits += 1
+                self._commits_since_sync += 1
+                if self.sync_mode == "commit" or (
+                    self.sync_mode == "batch"
+                    and self._commits_since_sync >= self.batch_commits
+                ):
+                    self.fsync()
+            return record.lsn
+
     def fsync(self):
         """Flush buffered appends to stable storage."""
         with self._lock:

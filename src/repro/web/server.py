@@ -11,9 +11,12 @@ from repro.web.http import Response
 class WebServer(object):
     """Apache-alike: WAF first, application second."""
 
-    def __init__(self, app, waf=None):
+    def __init__(self, app, waf=None, replica_set=None):
         self.app = app
         self.waf = waf
+        #: optional :class:`repro.replica.coordinator.ReplicaSet` behind
+        #: this server, surfaced through :meth:`replication_status`
+        self.replica_set = replica_set
         self.requests_served = 0
         self.requests_blocked = 0
 
@@ -53,3 +56,10 @@ class WebServer(object):
         septic = getattr(database, "septic", None)
         if septic is not None and hasattr(septic, "reload_models"):
             septic.reload_models()
+
+    def replication_status(self):
+        """Per-replica roles, applied LSNs and lags for an operator
+        dashboard, or ``None`` when no replica set is attached."""
+        if self.replica_set is None:
+            return None
+        return self.replica_set.status()

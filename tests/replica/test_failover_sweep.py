@@ -1,0 +1,15 @@
+"""The kill-the-primary-at-every-commit sweep, as a test (the full
+three-seed version also runs as benchmark E17)."""
+
+import pytest
+
+from repro.benchlab.crashsweep import (format_failover_result,
+                                       run_failover_sweep)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_failover_sweep_loses_nothing(tmp_path, seed):
+    result = run_failover_sweep(str(tmp_path), seed)
+    assert result.commit_points > 10
+    assert result.blocked >= 1  # the SEPTIC-blocked write ran
+    assert result.ok, format_failover_result(result)

@@ -1,0 +1,160 @@
+"""RoutingConnection: bounded-staleness reads, write routing, and
+virtual-time retry through a failover."""
+
+import pytest
+
+from repro.benchlab.crashsweep import MarkerSeptic
+from repro.replica import ReplicaSet, Role
+from repro.sqldb.connection import Connection
+from repro.sqldb.errors import (QueryBlocked, TransientEngineError,
+                                ValidationError)
+
+
+def make_set(tmp_path, **kwargs):
+    kwargs.setdefault("replicas", 2)
+    kwargs.setdefault("heartbeat_interval", 2)
+    kwargs.setdefault("lease_intervals", 2)
+    kwargs.setdefault("septic_factory", MarkerSeptic)
+    return ReplicaSet(str(tmp_path / "set"), **kwargs)
+
+
+def seed_rows(replica_set, count=4):
+    conn = Connection(replica_set.primary.database, multi_statements=True)
+    conn.query_or_raise(
+        "CREATE TABLE items (id INT AUTO_INCREMENT PRIMARY KEY, "
+        "name VARCHAR(30))")
+    for index in range(count):
+        conn.query_or_raise(
+            "INSERT INTO items (name) VALUES ('row%d')" % index)
+    replica_set.ship()
+    return conn
+
+
+class TestReadRouting(object):
+    def test_reads_round_robin_across_replicas(self, tmp_path):
+        replica_set = make_set(tmp_path)
+        seed_rows(replica_set)
+        router = replica_set.connect()
+        for _ in range(4):
+            outcome = router.query_or_raise("SELECT COUNT(*) FROM items")
+            assert outcome.rows[0][0] == 4
+        assert router.reads_on_replicas == 4
+        assert router.reads_on_primary == 0
+        # both replicas served
+        picked = set(router.pick_node(True).name for _ in range(2))
+        assert picked == {"node1", "node2"}
+        replica_set.close()
+
+    def test_stale_replicas_are_skipped(self, tmp_path):
+        replica_set = make_set(tmp_path)
+        conn = seed_rows(replica_set)
+        lagger = replica_set.node("node2")
+        replica_set.partition(lagger)
+        conn.query_or_raise("INSERT INTO items (name) VALUES ('new')")
+        replica_set.ship()
+        router = replica_set.connect(max_lag_lsn=0)
+        for _ in range(4):
+            outcome = router.query_or_raise("SELECT COUNT(*) FROM items")
+            # never a stale answer: the bound excludes the lagging node
+            assert outcome.rows[0][0] == 5
+        assert router.reads_on_replicas == 4
+        # a looser bound admits the lagging replica (stale reads allowed)
+        loose = replica_set.connect(max_lag_lsn=10)
+        counts = set()
+        for _ in range(4):
+            counts.add(loose.query_or_raise(
+                "SELECT COUNT(*) FROM items").rows[0][0])
+        assert counts == {4, 5}
+        replica_set.close()
+
+    def test_all_replicas_stale_falls_back_to_primary(self, tmp_path):
+        replica_set = make_set(tmp_path)
+        conn = seed_rows(replica_set)
+        for node in list(replica_set.replicas()):
+            replica_set.partition(node)
+        conn.query_or_raise("INSERT INTO items (name) VALUES ('new')")
+        router = replica_set.connect(max_lag_lsn=0)
+        outcome = router.query_or_raise("SELECT COUNT(*) FROM items")
+        assert outcome.rows[0][0] == 5
+        assert router.reads_on_primary == 1
+        replica_set.close()
+
+
+class TestWriteRouting(object):
+    def test_writes_go_to_the_primary(self, tmp_path):
+        replica_set = make_set(tmp_path)
+        seed_rows(replica_set)
+        router = replica_set.connect()
+        router.query_or_raise("INSERT INTO items (name) VALUES ('w')")
+        assert router.writes_routed == 1
+        assert len(replica_set.primary.database.tables["items"].rows) == 5
+        replica_set.close()
+
+    def test_write_survives_failover_via_virtual_backoff(self, tmp_path):
+        replica_set = make_set(tmp_path)
+        seed_rows(replica_set)
+        replica_set.tick(replica_set.heartbeat_interval)
+        replica_set.kill_primary()
+        router = replica_set.connect(retries=8, seed=3)
+        outcome = router.query("INSERT INTO items (name) VALUES ('x')")
+        assert outcome.ok
+        stats = router.retry_stats.as_dict()
+        assert stats["attempts"] == 1
+        assert stats["retries"] >= 1
+        assert stats["exhausted"] == 0
+        assert stats["backoff_seconds"] > 0  # virtual ticks charged
+        assert replica_set.promotions == 1
+        new_primary = replica_set.primary
+        assert new_primary.role == Role.PRIMARY
+        names = [row.get("name")
+                 for row in new_primary.database.tables["items"].rows]
+        assert "x" in names
+        replica_set.close()
+
+    def test_retry_budget_exhausts_when_no_one_can_lead(self, tmp_path):
+        replica_set = make_set(tmp_path, replicas=0)
+        seed_rows(replica_set)
+        replica_set.kill_primary()
+        router = replica_set.connect(retries=3)
+        outcome = router.query("INSERT INTO items (name) VALUES ('x')")
+        assert isinstance(outcome.error, TransientEngineError)
+        stats = router.retry_stats.as_dict()
+        assert stats["exhausted"] == 1
+        assert stats["retries"] == 3
+        replica_set.close()
+
+    def test_backoff_schedule_is_seeded_deterministic(self, tmp_path):
+        replica_set = make_set(tmp_path)
+        ticks_a = [replica_set.connect(seed=5)._next_backoff_ticks(n)
+                   for n in range(1, 6)]
+        ticks_b = [replica_set.connect(seed=5)._next_backoff_ticks(n)
+                   for n in range(1, 6)]
+        ticks_c = [replica_set.connect(seed=6)._next_backoff_ticks(n)
+                   for n in range(1, 6)]
+        assert ticks_a == ticks_b
+        assert ticks_a != ticks_c
+        # bounded: between the pure-exponential base and base * 1.5, cap 16
+        for attempt, ticks in enumerate(ticks_a, start=1):
+            base = min(16, 2 ** (attempt - 1))
+            assert base <= ticks <= max(1, round(base * 1.5))
+        replica_set.close()
+
+
+class TestVerdictsAreNotRetried(object):
+    def test_septic_block_returns_immediately(self, tmp_path):
+        replica_set = make_set(tmp_path)
+        seed_rows(replica_set)
+        router = replica_set.connect(retries=5)
+        outcome = router.query("INSERT INTO items (name) VALUES ('evil')")
+        assert isinstance(outcome.error, QueryBlocked)
+        assert router.retry_stats.as_dict()["retries"] == 0
+        replica_set.close()
+
+    def test_sql_errors_return_immediately(self, tmp_path):
+        replica_set = make_set(tmp_path)
+        seed_rows(replica_set)
+        router = replica_set.connect(retries=5)
+        outcome = router.query("SELECT * FROM no_such_table")
+        assert isinstance(outcome.error, ValidationError)
+        assert router.retry_stats.as_dict()["retries"] == 0
+        replica_set.close()

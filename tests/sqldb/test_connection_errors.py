@@ -152,7 +152,7 @@ class TestMultiQuerySemantics(object):
 class TestTransientRetry(object):
     def test_flaky_fault_retried_to_success(self, db):
         delays = []
-        conn = Connection(db, retries=3, backoff=0.01,
+        conn = Connection(db, retries=3, backoff=0.01, jitter=0.0,
                           sleep=delays.append)
         plan = FaultPlan()
         plan.inject("executor.step", FaultKind.FLAKY, fails=2)
@@ -161,6 +161,40 @@ class TestTransientRetry(object):
         assert outcome.ok and len(outcome.rows) == 3
         assert conn.transient_retries == 2
         assert delays == [0.01, 0.02]  # exponential backoff
+        assert conn.retry_stats.as_dict()["retries"] == 2
+
+    def test_jittered_backoff_is_seeded_and_bounded(self, db):
+        def delays_for(seed):
+            delays = []
+            conn = Connection(db, retries=4, backoff=0.01, jitter=0.5,
+                              retry_seed=seed, sleep=delays.append)
+            plan = FaultPlan()
+            plan.inject("executor.step", FaultKind.FLAKY, fails=3)
+            with faults.armed(plan):
+                outcome = conn.query("SELECT * FROM tickets")
+            assert outcome.ok
+            return delays
+
+        first = delays_for(7)
+        # deterministic: same seed, same schedule
+        assert first == delays_for(7)
+        # a different seed jitters differently
+        assert first != delays_for(8)
+        # each delay stays within [base, base * (1 + jitter)]
+        for attempt, delay in enumerate(first, start=1):
+            base = 0.01 * (2 ** (attempt - 1))
+            assert base <= delay <= base * 1.5
+
+    def test_backoff_cap_limits_exponential_growth(self, db):
+        delays = []
+        conn = Connection(db, retries=8, backoff=0.01, jitter=0.0,
+                          backoff_cap=0.04, sleep=delays.append)
+        plan = FaultPlan()
+        plan.inject("executor.step", FaultKind.FLAKY, fails=6)
+        with faults.armed(plan):
+            outcome = conn.query("SELECT * FROM tickets")
+        assert outcome.ok
+        assert delays == [0.01, 0.02, 0.04, 0.04, 0.04, 0.04]
 
     def test_retry_budget_exhausted(self, db):
         conn = Connection(db, retries=1, backoff=0.0)
@@ -272,3 +306,39 @@ class TestBlockedMidTransaction(object):
 def test_query_or_raise_still_raises(conn):
     with pytest.raises(ParseError):
         conn.query_or_raise("SELEKT *")
+
+
+class TestRetryStatsExport(object):
+    def test_retry_stats_ride_along_in_septic_status(self, tmp_path):
+        from repro.core.store import QMStore
+
+        septic = Septic(mode=Mode.PREVENTION, store=QMStore(),
+                        logger=SepticLogger())
+        database = Database.recover(str(tmp_path / "dd"), septic=septic)
+        septic.bind_store(database)
+        database.seed(TICKETS_SCHEMA)
+        plan = FaultPlan()
+        plan.inject("executor.step", FaultKind.FLAKY, fails=1)
+        conn = Connection(database, retries=2, backoff=0.0)
+        with faults.armed(plan):
+            outcome = conn.query("SELECT * FROM tickets")
+        assert outcome.ok
+        stats = septic.status()["retry_stats"]
+        assert stats["attempts"] == 1
+        assert stats["retries"] == 1
+        assert stats["exhausted"] == 0
+        # a second connection's retries aggregate into the same export
+        plan = FaultPlan()
+        plan.inject("executor.step", FaultKind.FLAKY, fails=1)
+        other = Connection(database, retries=2, backoff=0.0)
+        with faults.armed(plan):
+            assert other.query("SELECT * FROM tickets").ok
+        assert septic.status()["retry_stats"]["retries"] == 2
+        # while each connection keeps its own view
+        assert conn.retry_stats.as_dict()["retries"] == 1
+        assert other.retry_stats.as_dict()["retries"] == 1
+        database.close()
+
+    def test_unbound_septic_exports_none(self):
+        septic = Septic(mode=Mode.PREVENTION, logger=SepticLogger())
+        assert septic.status()["retry_stats"] is None

@@ -494,3 +494,113 @@ def test_streaming_gate_catches_a_buffered_operator(tmp_path):
     problems = _streaming_violations(str(bad))
     assert len(problems) == 1
     assert "list() inside streaming operator Limit" in problems[0]
+
+REPLICA_ROOT = os.path.join(SRC_ROOT, "repro", "replica")
+
+#: the engine's public execution entry points — a replica applier that
+#: calls any of these is mutating outside the redo path
+_EXEC_ENTRY_POINTS = frozenset([
+    "run", "run_partial", "run_statement", "run_script", "seed",
+    "query", "query_or_raise", "multi_query",
+    "execute", "execute_prepared", "executemany",
+])
+
+
+def _replica_apply_violations(path):
+    """Calls in replica apply-side code that mutate the database through
+    anything but the redo path (``redo_apply`` / ``note_applied_lsn``)."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name in _EXEC_ENTRY_POINTS:
+            problems.append(
+                "%s:%d: replica apply code calls %s() — state must only "
+                "change through the redo path"
+                % (os.path.relpath(path, REPO_ROOT), node.lineno, name))
+    return problems
+
+
+def test_replica_apply_is_redo_only():
+    """Everything under ``src/repro/replica/`` except the client-facing
+    router applies state exclusively through ``Database.redo_apply`` —
+    never the public DML/executor path (which would re-run SEPTIC,
+    re-draw the RNG, and diverge from the primary)."""
+    problems = []
+    for path in _python_files(REPLICA_ROOT):
+        if os.path.basename(path) == "router.py":
+            continue  # the router IS a client; it queries by design
+        problems.extend(_replica_apply_violations(path))
+    assert problems == [], "\n".join(problems)
+
+
+def test_replica_redo_gate_catches_a_query(tmp_path):
+    bad = tmp_path / "bad_apply.py"
+    bad.write_text(
+        "def apply(db, rec):\n"
+        "    db.run(rec.sql)\n"
+    )
+    problems = _replica_apply_violations(str(bad))
+    assert len(problems) == 1
+    assert "run()" in problems[0]
+
+
+_WALL_CLOCK_MODULES = frozenset(["time", "datetime"])
+_WALL_CLOCK_CALLS = frozenset(["sleep", "perf_counter", "monotonic",
+                               "time_ns", "now", "utcnow"])
+
+
+def _wall_clock_violations(path):
+    """Wall-clock reads or sleeps: replication runs on the coordinator's
+    virtual tick clock, so failovers replay deterministically."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    problems = []
+    rel = os.path.relpath(path, REPO_ROOT)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in _WALL_CLOCK_MODULES:
+                    problems.append("%s:%d: imports %s"
+                                    % (rel, node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in \
+                    _WALL_CLOCK_MODULES:
+                problems.append("%s:%d: imports from %s"
+                                % (rel, node.lineno, node.module))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            if name in _WALL_CLOCK_CALLS:
+                problems.append("%s:%d: calls %s()"
+                                % (rel, node.lineno, name))
+    return problems
+
+
+def test_replica_subsystem_never_reads_the_wall_clock():
+    problems = []
+    for path in _python_files(REPLICA_ROOT):
+        problems.extend(_wall_clock_violations(path))
+    assert problems == [], "\n".join(problems)
+
+
+def test_wall_clock_gate_catches_a_sleep(tmp_path):
+    bad = tmp_path / "bad_clock.py"
+    bad.write_text(
+        "import time\n"
+        "def wait():\n"
+        "    time.sleep(0.1)\n"
+    )
+    problems = _wall_clock_violations(str(bad))
+    assert len(problems) == 2
+    assert "imports time" in problems[0]
+    assert "sleep()" in problems[1]
