@@ -37,7 +37,9 @@ import shutil
 from bisect import bisect_right
 from hashlib import sha1
 
+from repro.sqldb import pager as pager_mod
 from repro.sqldb import wal as wal_mod
+from repro.sqldb.pager import SimulatedCrash
 from repro.sqldb.connection import Connection
 from repro.sqldb.engine import Database
 from repro.sqldb.errors import QueryBlocked
@@ -584,4 +586,323 @@ def format_failover_result(result):
               + len(result.index_mismatches)
               + len(result.catchup_mismatches)
               + len(result.fencing_failures)))
+    )
+
+
+def _row_fingerprint(row):
+    """Stable value-based identity for a row image.  The in-memory
+    verifier compares object identities, which is meaningless for paged
+    tables: a row evicted and re-read comes back as a fresh dict."""
+    return sha1(
+        json.dumps(row, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()
+
+
+def verify_paged_consistency(database):
+    """Cross-check every index against a full scan, by value.
+
+    For each indexed column the rows from ``index_lookup_iter`` /
+    ``index_range_iter`` must be exactly the scan rows with the matching
+    key (as a multiset of row fingerprints), and range scans must come
+    back in key order.  Works on any storage backend because it never
+    touches backend internals — only the scan/lookup iterator API the
+    plan layer itself uses."""
+    problems = []
+    for name in sorted(database.tables):
+        table = database.tables[name]
+        scanned = list(table.iter_rows())
+        if table.row_count() != len(scanned):
+            problems.append("%s: row_count %d != scanned %d"
+                            % (name, table.row_count(), len(scanned)))
+        for column in sorted(table.indexed_columns()):
+            groups = {}
+            for row in scanned:
+                value = row.get(column)
+                if value is None:
+                    continue
+                entry = groups.setdefault(sort_key(value), (value, []))
+                entry[1].append(_row_fingerprint(row))
+            for value, expected in groups.values():
+                got = sorted(_row_fingerprint(r)
+                             for r in table.index_lookup_iter(column, value))
+                if got != sorted(expected):
+                    problems.append(
+                        "%s.%s=%r: lookup %d rows, scan %d"
+                        % (name, column, value, len(got), len(expected)))
+            non_null = sorted(_row_fingerprint(r) for r in scanned
+                              if r.get(column) is not None)
+            ranged = list(table.index_range_iter(column))
+            keys = [sort_key(r.get(column)) for r in ranged]
+            if keys != sorted(keys):
+                problems.append("%s.%s: range scan out of key order"
+                                % (name, column))
+            if sorted(_row_fingerprint(r) for r in ranged) != non_null:
+                problems.append("%s.%s: range scan row set != scan"
+                                % (name, column))
+    return problems
+
+
+def _run_paged_workload(data_dir, seed, pool_pages, checkpoint_after,
+                        crash_plan=None):
+    """Run the seed's workload on paged storage, digesting every
+    durability point, with a mid-workload checkpoint and a final
+    checkpoint (the big page-write burst the kill sweep targets).
+
+    With ``crash_plan`` ``(write_index, byte_offset)`` a crash is
+    planted before the first op, in whole-run raw-write coordinates.
+    Returns ``(database, digests, total_raw_writes, blocked)`` —
+    ``total_raw_writes`` is ``None`` when the plan fired (the database
+    is returned un-closed, mid-crash, for the caller to reopen)."""
+    septic = MarkerSeptic()
+    database = Database.recover(data_dir, seed=seed, septic=septic,
+                                wal_sync="commit", storage="paged",
+                                pool_pages=pool_pages)
+    if crash_plan is not None:
+        database.page_store.pager.plant_crash(*crash_plan)
+    connection = Connection(database, multi_statements=True)
+    digests = [state_digest(database)]
+    ops = generate_workload(seed)
+    if checkpoint_after is None:
+        checkpoint_after = len(ops) // 2
+    last = database.wal.commits
+    try:
+        for index, (kind, sql) in enumerate(ops):
+            if kind == "m":
+                connection.multi_query(sql)
+            else:
+                connection.query(sql)
+            commits = database.wal.commits
+            if commits - last > 1:
+                raise AssertionError(
+                    "workload op %d produced %d durability points"
+                    % (index, commits - last))
+            if commits > last:
+                digests.append(state_digest(database))
+                last = commits
+            if index == checkpoint_after:
+                database.checkpoint()
+        database.checkpoint()
+    except SimulatedCrash:
+        return database, digests, None, septic.blocked
+    return (database, digests, database.page_store.pager.raw_writes,
+            septic.blocked)
+
+
+class PagedSweepResult(object):
+    """Outcome of a kill-at-every-page-write sweep on paged storage."""
+
+    __slots__ = ("seed", "raw_writes", "kills", "offsets",
+                 "durability_points", "blocked", "mismatches",
+                 "consistency_problems", "rebuilds", "dw_applied",
+                 "torn_repaired")
+
+    def __init__(self, seed, raw_writes, kills, offsets,
+                 durability_points, blocked, mismatches,
+                 consistency_problems, rebuilds, dw_applied,
+                 torn_repaired):
+        #: workload seed
+        self.seed = seed
+        #: raw page-file writes in the golden run (kill coordinate space)
+        self.raw_writes = raw_writes
+        #: crashes actually exercised (kill points x byte offsets)
+        self.kills = kills
+        #: byte offsets tried at each write
+        self.offsets = offsets
+        #: durability points in the golden run
+        self.durability_points = durability_points
+        #: statements the marker septic dropped
+        self.blocked = blocked
+        #: (write_index, offset, commits) where the recovered digest
+        #: diverged from the golden digest — lost commits / phantoms
+        self.mismatches = mismatches
+        #: (write_index, offset, problem) index-vs-scan violations
+        self.consistency_problems = consistency_problems
+        #: (write_index, offset, entry) tables recovery had to rebuild
+        #: from logical rows — torn writes must instead be repaired
+        #: in place from the doublewrite area, so this stays empty
+        self.rebuilds = rebuilds
+        #: doublewrite images applied across all recoveries
+        self.dw_applied = dw_applied
+        #: torn home pages repaired across all recoveries
+        self.torn_repaired = torn_repaired
+
+    @property
+    def ok(self):
+        return (self.kills > 0 and not self.mismatches
+                and not self.consistency_problems and not self.rebuilds)
+
+
+def run_paged_crash_sweep(workdir, seed, pool_pages=4, checkpoint_after=None,
+                          stride=1, offsets=None):
+    """Kill the engine at every raw page-file write x byte offset.
+
+    A golden paged run fixes the write schedule (spill flushes during
+    the workload under a small pool, then the checkpoint's doublewrite
+    body, seal and sorted home writes) and the digest at every
+    durability point.  Each victim replays the same deterministic
+    workload with a crash planted at one ``(write_index, byte_offset)``
+    — the write is truncated at the offset and the process "dies".
+    Recovery (:meth:`Database.reopen`) must then reproduce the golden
+    digest for the durable commit count, repair every torn page from
+    the doublewrite area (never by rebuilding a table), and leave every
+    index consistent with a full scan."""
+    if offsets is None:
+        half = pager_mod.DEFAULT_PAGE_SIZE // 2
+        offsets = (0, 1, half, pager_mod.DEFAULT_PAGE_SIZE - 1)
+    golden_dir = os.path.join(workdir, "paged-golden-%s" % seed)
+    shutil.rmtree(golden_dir, ignore_errors=True)
+    database, digests, total, blocked = _run_paged_workload(
+        golden_dir, seed, pool_pages, checkpoint_after)
+    if total is None:
+        raise AssertionError("golden paged run crashed without a plan")
+    database.close()
+    shutil.rmtree(golden_dir, ignore_errors=True)
+
+    kills = 0
+    mismatches = []
+    consistency_problems = []
+    rebuilds = []
+    dw_applied = 0
+    torn_repaired = 0
+    victim_dir = os.path.join(workdir, "paged-victim-%s" % seed)
+    for write_index in range(0, total, stride):
+        for offset in offsets:
+            shutil.rmtree(victim_dir, ignore_errors=True)
+            database, _victim_digests, done, _ = _run_paged_workload(
+                victim_dir, seed, pool_pages, checkpoint_after,
+                crash_plan=(write_index, offset))
+            if done is not None:
+                # the plan never fired (schedule drift) — a correctness
+                # bug in the sweep itself, not the engine
+                database.close()
+                raise AssertionError(
+                    "no crash at write %d (golden schedule has %d)"
+                    % (write_index, total))
+            commits = database.wal.commits
+            database.reopen()
+            report = (database.recovery_report or {}).get("pages") or {}
+            dw_applied += report.get("dw_applied", 0)
+            torn_repaired += report.get("torn_repaired", 0)
+            for entry in report.get("rebuilt_tables") or []:
+                rebuilds.append((write_index, offset, entry))
+            if (commits >= len(digests)
+                    or state_digest(database) != digests[commits]):
+                mismatches.append((write_index, offset, commits))
+            for problem in verify_paged_consistency(database):
+                consistency_problems.append((write_index, offset, problem))
+            database.close()
+            kills += 1
+    shutil.rmtree(victim_dir, ignore_errors=True)
+    return PagedSweepResult(
+        seed, total, kills, tuple(offsets), len(digests) - 1, blocked,
+        mismatches, consistency_problems, rebuilds, dw_applied,
+        torn_repaired,
+    )
+
+
+def format_paged_sweep_result(result):
+    """Human-readable paged-sweep report (benchmark artifact body)."""
+    return (
+        "paged crash sweep seed=%s: %d kills over %d raw writes x %d "
+        "offsets, %d durability points, %d blocked statements, "
+        "%d doublewrite images applied, %d torn pages repaired -> %s"
+        % (result.seed, result.kills, result.raw_writes,
+           len(result.offsets), result.durability_points, result.blocked,
+           result.dw_applied, result.torn_repaired,
+           "OK" if result.ok else "%d PROBLEMS"
+           % (len(result.mismatches) + len(result.consistency_problems)
+              + len(result.rebuilds)))
+    )
+
+
+class CorruptionSweepResult(object):
+    """Outcome of a seeded bit-flip corruption sweep."""
+
+    __slots__ = ("seed", "injected", "detected", "repairs",
+                 "repairs_by_source", "false_repairs", "unrepaired",
+                 "digest_ok", "blocked")
+
+    def __init__(self, seed, injected, detected, repairs,
+                 repairs_by_source, false_repairs, unrepaired, digest_ok,
+                 blocked):
+        self.seed = seed
+        #: single-bit flips written to the page file
+        self.injected = injected
+        #: flips the scrubber caught as fresh corruptions
+        self.detected = detected
+        #: successful repairs, total and per source
+        self.repairs = repairs
+        self.repairs_by_source = repairs_by_source
+        #: intact pages the scrubber tried to rewrite (must stay 0)
+        self.false_repairs = false_repairs
+        #: pages still quarantined at the end (must stay 0)
+        self.unrepaired = unrepaired
+        #: logical state unchanged after all repairs
+        self.digest_ok = digest_ok
+        self.blocked = blocked
+
+    @property
+    def ok(self):
+        return (self.injected > 0 and self.detected == self.injected
+                and self.unrepaired == 0 and self.false_repairs == 0
+                and self.digest_ok)
+
+
+def run_corruption_sweep(workdir, seed, flips=6, pool_pages=6):
+    """Flip one seeded bit per round in the page file, then scrub.
+
+    Every flip must be detected on the next full scrub pass (CRC32
+    covers the whole page, so any single-bit flip breaks it), repaired
+    from one of the scrubber's sources without changing logical state,
+    and never trigger a rewrite of an intact page.  Pages are re-listed
+    each round because a WAL-redo repair rebuilds the owning table onto
+    fresh pages."""
+    data_dir = os.path.join(workdir, "corrupt-%s" % seed)
+    shutil.rmtree(data_dir, ignore_errors=True)
+    database, _digests, total, blocked = _run_paged_workload(
+        data_dir, seed, pool_pages, None)
+    if total is None:
+        raise AssertionError("corruption-sweep setup run crashed")
+    baseline = state_digest(database)
+    scrubber = database.page_store.scrubber
+    rng = random.Random("corrupt-%s" % seed)
+    injected = 0
+    detected = 0
+    for _ in range(flips):
+        pages = sorted({page for table in database.tables.values()
+                        for page in table.pages()})
+        if not pages:
+            break
+        page_no = rng.choice(pages)
+        bit = rng.randrange(database.page_store.pager.page_size * 8)
+        before = scrubber.detected
+        pager_mod.flip_page_bit(data_dir, page_no, bit,
+                                page_size=database.page_store.pager.page_size)
+        injected += 1
+        scrubber.scan_all()
+        if scrubber.detected == before + 1:
+            detected += 1
+    scrubber.scan_all()     # a clean pass: everything must verify again
+    stats = scrubber.stats_dict()
+    unrepaired = stats["quarantined"]
+    digest_ok = state_digest(database) == baseline
+    database.close()
+    shutil.rmtree(data_dir, ignore_errors=True)
+    return CorruptionSweepResult(
+        seed, injected, detected, stats["scrub_repairs"],
+        dict(stats["repairs_by_source"]), stats["false_repairs"],
+        unrepaired, digest_ok, blocked,
+    )
+
+
+def format_corruption_result(result):
+    """Human-readable corruption-sweep report."""
+    sources = ", ".join("%s=%d" % pair for pair in
+                        sorted(result.repairs_by_source.items())) or "none"
+    return (
+        "corruption sweep seed=%s: %d bit flips, %d detected, %d "
+        "repaired (%s), %d false repairs, %d unrepaired -> %s"
+        % (result.seed, result.injected, result.detected, result.repairs,
+           sources, result.false_repairs, result.unrepaired,
+           "OK" if result.ok else "PROBLEMS")
     )

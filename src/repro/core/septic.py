@@ -231,9 +231,16 @@ class Septic(object):
         in one place."""
         database = getattr(self, "bound_database", None)
         retry_stats = getattr(database, "retry_stats", None)
+        storage_stats = getattr(database, "storage_stats", None)
         return {
             "retry_stats": (
                 retry_stats.as_dict() if retry_stats is not None else None
+            ),
+            # buffer-pool / pager / scrubber accounting (None for the
+            # in-memory backend): pages_cached, evictions, dirty_flushes,
+            # scrub_repairs and friends
+            "storage": (
+                storage_stats() if storage_stats is not None else None
             ),
             "mode": self._mode,
             "effective_mode": self.effective_mode,

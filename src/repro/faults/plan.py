@@ -78,6 +78,9 @@ KNOWN_SITES = (
     "replica.apply",
     "replica.heartbeat",
     "replica.promote",
+    "pager.read",
+    "pager.write",
+    "pager.fsync",
     # plus "plugin.<name>" for every stored-injection plugin
 )
 

@@ -93,7 +93,7 @@ class ReplicaSet(object):
     def __init__(self, workdir, replicas=2, septic_factory=None, seed=1,
                  heartbeat_interval=5, lease_intervals=3,
                  max_retention_lag=None, wal_sync="commit",
-                 checkpoint_interval=0):
+                 checkpoint_interval=0, storage="memory"):
         self.workdir = workdir
         self.seed = seed
         self.heartbeat_interval = max(1, heartbeat_interval)
@@ -120,6 +120,9 @@ class ReplicaSet(object):
                 os.path.join(workdir, name), name=name, septic=septic,
                 seed=seed, wal_sync=wal_sync,
                 checkpoint_interval=checkpoint_interval if index == 0 else 0,
+                # replicas stay in-memory: they rebuild from shipped WAL
+                # anyway, and the primary's paged files are per-directory
+                storage=storage if index == 0 else "memory",
             )
             role = Role.PRIMARY if index == 0 else Role.REPLICA
             self.nodes.append(ReplicaNode(name, database, role=role))
@@ -344,6 +347,49 @@ class ReplicaSet(object):
                 continue
             lows.append(applied)
         return min(lows) if lows else None
+
+    # -- storage repair ----------------------------------------------------
+
+    def register_storage_repair(self):
+        """Wire the primary's corruption scrubber to the replica fleet.
+
+        Installs a page-repair source on the primary's paged store
+        (requires ``storage="paged"``): when a quarantined page cannot
+        be repaired from the doublewrite area, a clean frame or local
+        WAL redo, the owning table's rows are fetched from the most
+        caught-up live replica and the table is rebuilt from them.
+        Only a replica at (or past) the primary's durable frontier
+        qualifies — repairing from a lagging replica would silently
+        roll the table back.
+        """
+        primary_node = self.nodes[0]
+
+        def provider(table_name):
+            primary = self.primary
+            if primary is None:
+                return None
+            frontier = primary.database.durable_lsn
+            best = None
+            for node in self.replicas():
+                if node.name in self._partitioned:
+                    continue
+                applied = node.applier.applied_lsn
+                if applied >= frontier and (
+                        best is None or applied > best[0]):
+                    best = (applied, node)
+            if best is None:
+                return None
+            table = best[1].database.tables.get(table_name)
+            if table is None:
+                return None
+            self._log(
+                "storage_repair",
+                "table %r re-fed from %s (applied_lsn=%d)"
+                % (table_name, best[1].name, best[0]),
+            )
+            return table.to_dict()["rows"]
+
+        primary_node.database.register_page_repair_source(provider)
 
     def _drop_replica(self, node, lag):
         node.role = Role.DETACHED

@@ -40,6 +40,7 @@ from repro.sqldb.cache import CacheEntry, PipelineCache
 from repro.sqldb.errors import (
     ExecutionError,
     MultiStatementError,
+    PageCorruptionError,
     QueryBlocked,
     SQLError,
     TransientEngineError,
@@ -48,7 +49,13 @@ from repro.sqldb.errors import (
 )
 from repro.sqldb.executor import Executor
 from repro.sqldb.parser import parse_sql
-from repro.sqldb.storage import ReadView, Table, WriteTxn, seal_txn
+from repro.sqldb.storage import (
+    PagedTable,
+    ReadView,
+    Table,
+    WriteTxn,
+    seal_txn,
+)
 from repro.sqldb.unparse import to_sql
 from repro.sqldb.validator import validate
 
@@ -409,8 +416,21 @@ class Database(object):
 
     def __init__(self, name="repro", septic=None, charset="utf8", seed=1,
                  septic_fail_open=False, cache_size=512,
-                 lock_mode="shared"):
+                 lock_mode="shared", storage="memory",
+                 page_size=4096, pool_pages=64):
         self.name = name
+        #: ``"memory"`` keeps rows in plain lists (the historical
+        #: backend); ``"paged"`` stores them in checksummed B-tree pages
+        #: behind a buffer pool — it takes effect when the database is
+        #: opened through :meth:`recover` (the page files live beside
+        #: the WAL in the data directory).
+        if storage not in ("memory", "paged"):
+            raise ValueError("storage must be 'memory' or 'paged'")
+        self.storage = storage
+        self.page_size = page_size
+        self.pool_pages = pool_pages
+        #: the :class:`repro.sqldb.pager.PageStore` (paged storage only)
+        self.page_store = None
         #: ``"shared"`` (default) uses the table-granular reader–writer
         #: hierarchy — concurrent SELECTs overlap; ``"exclusive"`` makes
         #: every statement take the catalog lock exclusively, i.e. the
@@ -471,6 +491,9 @@ class Database(object):
         self.retry_stats = resilience.RetryStats()
         #: summary of the last recovery (:meth:`recover` fills it)
         self.recovery_report = None
+        #: tables rebuilt from the WAL because their checkpoint tree was
+        #: corrupt — ``[(table_name, bad_page_no)]``
+        self._pages_rebuilt = []
         self._epoch_moment = datetime.strptime(
             self._EPOCH, "%Y-%m-%d %H:%M:%S"
         )
@@ -528,7 +551,15 @@ class Database(object):
     # -- catalog -----------------------------------------------------------
 
     def create_table(self, name, columns):
-        table = Table(name, columns)
+        if self.storage == "paged":
+            if self.page_store is None:
+                raise WalError(
+                    "paged storage requires a data directory: open the "
+                    "database through Database.recover()"
+                )
+            table = PagedTable(name, columns, self.page_store)
+        else:
+            table = Table(name, columns)
         with self.catalog_lock:
             self.tables[table.name] = table
             self.schema_version += 1
@@ -536,8 +567,13 @@ class Database(object):
 
     def drop_table(self, name):
         with self.catalog_lock:
-            del self.tables[name.lower()]
+            table = self.tables.pop(name.lower())
             self.schema_version += 1
+        dispose = getattr(table, "dispose", None)
+        if dispose is not None:
+            # free the table's pages; a mid-transaction DROP that later
+            # rolls back rebuilds the tree from the BEGIN snapshot
+            dispose()
 
     def bump_schema_version(self):
         """Record a catalog change done in place (ALTER TABLE paths)."""
@@ -669,7 +705,8 @@ class Database(object):
     def recover(cls, data_dir, name="repro", septic=None, charset="utf8",
                 seed=1, septic_fail_open=False, cache_size=512,
                 wal_sync="commit", wal_batch_commits=16,
-                checkpoint_interval=0, strict=True):
+                checkpoint_interval=0, strict=True,
+                storage="memory", page_size=4096, pool_pages=64):
         """Rebuild a database from *data_dir* and attach its WAL.
 
         The redo-only recovery path: restore the newest checkpoint (if
@@ -691,7 +728,9 @@ class Database(object):
         with durability enabled — the bootstrap path.
         """
         db = cls(name=name, septic=septic, charset=charset, seed=seed,
-                 septic_fail_open=septic_fail_open, cache_size=cache_size)
+                 septic_fail_open=septic_fail_open, cache_size=cache_size,
+                 storage=storage, page_size=page_size,
+                 pool_pages=pool_pages)
         db._recover_state(data_dir, strict=strict)
         db.attach_wal(data_dir, sync_mode=wal_sync,
                       batch_commits=wal_batch_commits,
@@ -739,6 +778,9 @@ class Database(object):
             self._wal.close()
             self._wal = None
             wal_mod._note_attached(-1)
+        if self.page_store is not None:
+            self.page_store.close()
+            self.page_store = None
 
     def reopen(self):
         """Crash-restart in place: drop every volatile structure and
@@ -756,6 +798,11 @@ class Database(object):
             wal.abandon()
             self._wal = None
             wal_mod._note_attached(-1)
+        if self.page_store is not None:
+            # drop the handles without flushing — the on-disk files are
+            # exactly what the simulated crash left behind
+            self.page_store.abandon()
+            self.page_store = None
         interval = self.checkpoint_interval
         with self.catalog_lock:
             old_schema_version = self.schema_version
@@ -844,7 +891,32 @@ class Database(object):
                 "seed": self._rand_seed,
                 "tx_counter": self._tx_counter,
             }
+        images = None
+        store = self.page_store
+        if store is not None:
+            # doublewrite-first checkpoint protocol: (1) every dirty
+            # page image lands in the sealed doublewrite batch, (2) the
+            # checkpoint JSON references the batch id, (3) only then do
+            # the home writes start.  Recovery applies the doublewrite
+            # copies over the home file exactly when the sealed batch
+            # matches the JSON's — so whichever step a crash tears, the
+            # home file reconstructs to a consistent checkpoint image.
+            images = store.collect_images(lsn=self._wal.last_lsn)
+            batch = store.checkpoint_begin(images)
+            state["pages"] = {
+                "batch": batch,
+                "page_size": store.pager.page_size,
+                "page_count": store.pager.page_count,
+                "freelist": sorted(store.pager.freelist),
+                "tables": {
+                    name: table.pages_meta()
+                    for name, table in self.tables.items()
+                },
+            }
         lsn = self._wal.write_checkpoint(state)
+        if store is not None:
+            store.checkpoint_finish(images)
+            self._rebuild_scrub_set()
         self._commit_points_since_checkpoint = 0
         # GC rides the checkpoint: reclaim version chains and tombstones
         # no pinned read view can still need
@@ -853,6 +925,124 @@ class Database(object):
             for table in self.tables.values():
                 table.vacuum(horizon)
         return lsn
+
+    # -- paged storage -----------------------------------------------------
+
+    def _rebuild_scrub_set(self):
+        """Point the scrubber at every page reachable from the current
+        table catalog.  Called after each checkpoint (and recovery) so
+        the scan set only ever names pages the checkpoint references —
+        freed or never-allocated pages are not scanned and cannot raise
+        false alarms."""
+        store = self.page_store
+        if store is None:
+            return
+        with self.catalog_lock:
+            scan = {}
+            for name, table in self.tables.items():
+                for page_no in table.pages():
+                    scan[page_no] = name
+        store.scrubber.set_scan_set(scan)
+
+    def _wal_barrier(self):
+        """Flush the WAL before a dirty page image leaves the buffer
+        pool (steal).  The spill copy may embed effects of commits the
+        log hasn't fsynced yet; forcing the log first preserves
+        write-ahead ordering for the spill file."""
+        wal = self._wal
+        if wal is not None and wal.pending_unsynced_commits:
+            wal.fsync()
+
+    def _wal_tail_is_replayable(self):
+        return self._wal is not None and self._recovered_dir is not None
+
+    def _scrub_redo_repair(self, page_no, table_name):
+        """Scrubber repair source of last resort before the replica
+        list: rebuild *table_name* from checkpoint JSON + WAL redo in a
+        scratch in-memory engine, then reload the live paged table from
+        the recovered rows.  Returns True when the table was rebuilt
+        and re-checkpointed (the quarantined page is freed or rewritten
+        either way)."""
+        if table_name is None or not self._wal_tail_is_replayable():
+            return False
+        if self._tx_sessions:
+            # an open transaction means the WAL tail is still moving
+            # and a checkpoint (step 2 of the repair) would be skipped
+            return False
+        # the scratch replay reads wal.log from disk — flush the
+        # buffered tail first or the rebuild silently loses the
+        # newest commits
+        self._wal.fsync()
+        data_dir = self._recovered_dir
+        scratch = Database(name=self.name, seed=self._rand_seed,
+                           cache_size=0)
+        try:
+            checkpoint = wal_mod.load_checkpoint(data_dir)
+            applied_lsn = 0
+            if checkpoint is not None:
+                applied_lsn = scratch._restore_checkpoint(checkpoint)
+            try:
+                scan = wal_mod.scan_log(wal_mod.log_path(data_dir))
+            except WalCorruptionError as exc:
+                scan = wal_mod.ScanResult(exc.clean_records, exc.offset, 0)
+            scratch._replay_records(scan.records, applied_lsn)
+            scratch._finish_recovery()
+            source = scratch.tables.get(table_name)
+            if source is None:
+                return False
+            rows = source.to_dict()["rows"]
+        except (SQLError, KeyError, TypeError, ValueError):
+            return False
+        return self._rebuild_table_from_rows(table_name, rows)
+
+    def _rebuild_table_from_rows(self, table_name, rows):
+        """Reload a live paged table from recovered *rows* and
+        checkpoint so the new tree becomes the durable image.  Returns
+        False (page stays quarantined, repair retried later) when the
+        table is gone or the checkpoint was deferred."""
+        with self.catalog_lock:
+            table = self.tables.get(table_name)
+        if table is None or not isinstance(table, PagedTable):
+            return False
+        table.load_rows(rows)
+        # the old (corrupt) tree's pages were freed by load_rows; a
+        # checkpoint makes the rebuilt tree the durable home image and
+        # refreshes the scrub set so the quarantined page is forgotten
+        lsn = self.checkpoint()
+        return lsn is not None
+
+    def register_page_repair_source(self, provider):
+        """Install *provider(table_name) -> rows | None* (typically a
+        caught-up replica's table snapshot) as a scrubber repair
+        source, tried after doublewrite / clean frame / WAL redo."""
+        if self.page_store is None:
+            raise WalError("page repair sources need paged storage")
+
+        def _repair(page_no, table_name):
+            if table_name is None:
+                return False
+            rows = provider(table_name)
+            if rows is None:
+                return False
+            return self._rebuild_table_from_rows(table_name, rows)
+
+        self.page_store.scrubber.replica_sources.append(_repair)
+
+    def scrub(self, ticks=1):
+        """Advance the online scrubber by *ticks* virtual ticks; each
+        tick verifies a bounded batch of cold pages.  Returns the
+        number of new corruptions detected (0 without paged
+        storage)."""
+        if self.page_store is None:
+            return 0
+        return self.page_store.scrubber.tick(ticks)
+
+    def storage_stats(self):
+        """Buffer-pool / pager / scrubber counters, or ``None`` for the
+        in-memory backend."""
+        if self.page_store is None:
+            return None
+        return self.page_store.stats_dict()
 
     @property
     def durable_lsn(self):
@@ -948,6 +1138,35 @@ class Database(object):
         self.lock_manager = LockManager()
         os.makedirs(data_dir, exist_ok=True)
         checkpoint = wal_mod.load_checkpoint(data_dir)
+        pages_report = None
+        self._pages_rebuilt = []
+        if self.storage == "paged":
+            from repro.sqldb import btree as btree_mod
+            from repro.sqldb import pager as pager_mod
+            self.page_store = pager_mod.PageStore(
+                data_dir, page_size=self.page_size,
+                pool_pages=self.pool_pages,
+                encoder=btree_mod.encode_node,
+                decoder=btree_mod.decode_node,
+            )
+            self.page_store.scrubber.redo_source = self._scrub_redo_repair
+            self.page_store.pool.wal_barrier = self._wal_barrier
+            pages_state = (checkpoint or {}).get("pages") or {}
+            self.page_store.restore_allocation(pages_state)
+            # torn-write repair: the sealed doublewrite batch overwrites
+            # the home copies iff its id is the one this checkpoint
+            # references (see Database.checkpoint for the protocol)
+            applied, torn = self.page_store.pager.recover_home(
+                pages_state.get("batch", 0)
+            )
+            # the spill file is volatile steal state — ignore whatever
+            # a crash left in it
+            self.page_store.pager.clear_spill()
+            pages_report = {
+                "dw_applied": applied,
+                "torn_repaired": torn,
+                "page_count": self.page_store.pager.page_count,
+            }
         applied_lsn = 0
         if checkpoint is not None:
             applied_lsn = self._restore_checkpoint(checkpoint)
@@ -973,6 +1192,10 @@ class Database(object):
             "torn_bytes": scan.torn_bytes,
             "corrupt": corruption is not None,
         }
+        if pages_report is not None:
+            pages_report["rebuilt_tables"] = list(self._pages_rebuilt)
+            self.recovery_report["pages"] = pages_report
+            self._rebuild_scrub_set()
         if corruption is not None:
             if strict:
                 corruption.database = self
@@ -984,9 +1207,17 @@ class Database(object):
     def _restore_checkpoint(self, body):
         try:
             tables = {}
-            for data in body.get("tables", []):
-                table = Table.from_dict(data)
-                tables[table.name] = table
+            if self.page_store is not None:
+                pages_meta = (body.get("pages") or {}).get("tables", {})
+                for data in body.get("tables", []):
+                    table = self._open_paged_table(
+                        data, pages_meta.get(data["name"])
+                    )
+                    tables[table.name] = table
+            else:
+                for data in body.get("tables", []):
+                    table = Table.from_dict(data)
+                    tables[table.name] = table
         except (KeyError, TypeError, ValueError) as exc:
             raise WalCorruptionError(
                 "checkpoint table snapshot is malformed (%s: %s)"
@@ -1003,6 +1234,24 @@ class Database(object):
         self._tx_counter = body.get("tx_counter", 0)
         return body.get("lsn", 0)
 
+    def _open_paged_table(self, data, pages_meta):
+        """Re-attach one checkpointed table to its on-disk tree.
+
+        With page metadata the existing tree is adopted and verified
+        page-by-page; a checksum failure anywhere falls back to
+        rebuilding the tree from the checkpoint's logical rows (the
+        corrupt tree's pages are abandoned — they are absent from the
+        rebuilt scrub set, so they never alarm again).  Without
+        metadata (pre-paged checkpoint) the rows are loaded fresh."""
+        if pages_meta is not None:
+            table = PagedTable.open(data, self.page_store, pages_meta)
+            try:
+                table.verify_scan()
+                return table
+            except PageCorruptionError as exc:
+                self._pages_rebuilt.append((data["name"], exc.page_no))
+        return PagedTable.from_rows(data, self.page_store)
+
     def _fast_forward_rand(self, draws):
         while self._rand_calls < draws:
             self._rand.random()
@@ -1017,8 +1266,13 @@ class Database(object):
         transactions contribute nothing.  Records at or below the
         watermark were already captured by the checkpoint and are
         skipped — this is what makes double replay idempotent.
+
+        *records* may be any iterable (including a
+        :func:`repro.sqldb.wal.scan_log_stream`): each unit applies as
+        soon as its commit record arrives, so memory holds only the
+        statements of still-open transactions, never the whole log.
         """
-        units = []
+        replayed = 0
         open_tx = {}
         for rec in records:
             if rec.lsn <= applied_lsn:
@@ -1029,16 +1283,14 @@ class Database(object):
                 if rec.tx:
                     open_tx.setdefault(rec.tx, []).append(rec)
                 else:
-                    units.append([rec])
+                    self._replay_statement(rec)
+                    replayed += 1
             elif rec.op == wal_mod.WalRecord.COMMIT:
-                units.append(open_tx.pop(rec.tx, []))
+                for held in open_tx.pop(rec.tx, []):
+                    self._replay_statement(held)
+                    replayed += 1
             elif rec.op == wal_mod.WalRecord.ROLLBACK:
                 open_tx.pop(rec.tx, None)
-        replayed = 0
-        for unit in units:
-            for rec in unit:
-                self._replay_statement(rec)
-                replayed += 1
         return replayed
 
     def _replay_statement(self, rec):
@@ -1117,54 +1369,66 @@ class Database(object):
         per-table row counts of the verified state.  Mid-log corruption
         is reported (``corrupt_offset``) rather than raised: the clean
         prefix is still verified.
+
+        The log is consumed through one streaming pass
+        (:func:`repro.sqldb.wal.scan_log_stream`): audit stats are
+        collected on the records as they flow into replay, so the file
+        is never held in memory whole.
         """
         db = cls(name=name, seed=seed, cache_size=0)
         checkpoint = wal_mod.load_checkpoint(data_dir)
         applied_lsn = 0
         if checkpoint is not None:
             applied_lsn = db._restore_checkpoint(checkpoint)
-        corrupt_offset = None
-        try:
-            scan = wal_mod.scan_log(wal_mod.log_path(data_dir))
-        except WalCorruptionError as exc:
-            corrupt_offset = exc.offset
-            scan = wal_mod.ScanResult(exc.clean_records, exc.offset, 0)
-        replayed = db._replay_records(scan.records, applied_lsn)
-        db._recovered_lsn = max(
-            applied_lsn,
-            scan.records[-1].lsn if scan.records else 0,
-        )
+        stream = wal_mod.scan_log_stream(wal_mod.log_path(data_dir))
+        stats = {
+            "ops": {},
+            "commit_lsn": applied_lsn,
+            "open_tx": set(),
+            "committed": 0,
+            "rolled_back": 0,
+            "corrupt_offset": None,
+        }
+
+        def audited():
+            try:
+                for rec in stream:
+                    ops = stats["ops"]
+                    ops[rec.op] = ops.get(rec.op, 0) + 1
+                    if rec.op == wal_mod.WalRecord.BEGIN:
+                        stats["open_tx"].add(rec.tx)
+                    elif rec.op == wal_mod.WalRecord.COMMIT:
+                        stats["open_tx"].discard(rec.tx)
+                        stats["committed"] += 1
+                        stats["commit_lsn"] = max(stats["commit_lsn"],
+                                                  rec.lsn)
+                    elif rec.op == wal_mod.WalRecord.ROLLBACK:
+                        stats["open_tx"].discard(rec.tx)
+                        stats["rolled_back"] += 1
+                    elif (rec.op == wal_mod.WalRecord.STMT
+                            and rec.tx == 0):
+                        stats["commit_lsn"] = max(stats["commit_lsn"],
+                                                  rec.lsn)
+                    yield rec
+            except WalCorruptionError as exc:
+                stats["corrupt_offset"] = exc.offset
+
+        replayed = db._replay_records(audited(), applied_lsn)
+        db._recovered_lsn = max(applied_lsn, stream.last_lsn)
         db._finish_recovery()
-        ops = {}
-        commit_lsn = applied_lsn
-        open_tx = set()
-        committed = rolled_back = 0
-        for rec in scan.records:
-            ops[rec.op] = ops.get(rec.op, 0) + 1
-            if rec.op == wal_mod.WalRecord.BEGIN:
-                open_tx.add(rec.tx)
-            elif rec.op == wal_mod.WalRecord.COMMIT:
-                open_tx.discard(rec.tx)
-                committed += 1
-                commit_lsn = max(commit_lsn, rec.lsn)
-            elif rec.op == wal_mod.WalRecord.ROLLBACK:
-                open_tx.discard(rec.tx)
-                rolled_back += 1
-            elif rec.op == wal_mod.WalRecord.STMT and rec.tx == 0:
-                commit_lsn = max(commit_lsn, rec.lsn)
         return {
             "data_dir": data_dir,
             "checkpoint_lsn": applied_lsn,
-            "log_records": len(scan.records),
-            "records_by_op": ops,
-            "commit_lsn": commit_lsn,
+            "log_records": stream.records_seen,
+            "records_by_op": stats["ops"],
+            "commit_lsn": stats["commit_lsn"],
             "last_lsn": db._recovered_lsn,
             "replayed_statements": replayed,
-            "committed_transactions": committed,
-            "rolled_back_transactions": rolled_back,
-            "unfinished_transactions": len(open_tx),
-            "torn_bytes": scan.torn_bytes,
-            "corrupt_offset": corrupt_offset,
+            "committed_transactions": stats["committed"],
+            "rolled_back_transactions": stats["rolled_back"],
+            "unfinished_transactions": len(stats["open_tx"]),
+            "torn_bytes": stream.torn_bytes,
+            "corrupt_offset": stats["corrupt_offset"],
             "tables": {
                 tname: len(db.tables[tname])
                 for tname in sorted(db.tables)

@@ -104,6 +104,24 @@ class WalCorruptionError(WalError):
         self.database = None
 
 
+class PagerError(WalError):
+    """A paged-storage failure (page file I/O, buffer-pool exhaustion,
+    or an oversized record) after the pager's bounded retry budget is
+    spent — the fail-closed escalation of the ``pager.*`` fault sites."""
+
+
+class PageCorruptionError(PagerError):
+    """A page read back from disk fails its checksum (or carries the
+    wrong page number / magic).  Torn writes caught during recovery are
+    repaired from the doublewrite area and never raise; this error
+    surfaces damage the scrubber has not (yet) repaired.  ``page_no``
+    names the damaged page."""
+
+    def __init__(self, message, page_no=None):
+        super().__init__(message)
+        self.page_no = page_no
+
+
 class QueryBlocked(SQLError):
     """Raised (to the client) when SEPTIC drops a query in prevention mode."""
 

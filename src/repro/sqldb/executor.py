@@ -192,7 +192,7 @@ class Executor(object):
             return self._alter_drop_column(stmt)
         if isinstance(stmt, ast.TruncateTable):
             table = self._db.table(stmt.table)
-            removed = len(table.rows)
+            removed = table.row_count()
             txn, own_txn = self._write_txn_for(session)
             try:
                 table.truncate(txn=txn)   # also resets AUTO_INCREMENT
@@ -296,7 +296,7 @@ class Executor(object):
                                               "CHAR") else 0
         table.fill_column(column.name, fill)
         self._db.bump_schema_version()
-        return ExecutionResult(affected_rows=len(table.rows))
+        return ExecutionResult(affected_rows=table.row_count())
 
     def _alter_drop_column(self, stmt):
         table = self._db.table(stmt.table)
@@ -314,7 +314,7 @@ class Executor(object):
         del table._by_name[name]
         table.strip_column(name)
         self._db.bump_schema_version()
-        return ExecutionResult(affected_rows=len(table.rows))
+        return ExecutionResult(affected_rows=table.row_count())
 
     def _describe(self, stmt):
         table = self._db.table(stmt.table)

@@ -1245,22 +1245,10 @@ def _order_dml_targets(order_by, targets, ctx):
 
 
 def _unique_conflicts(table, values):
-    """Live rows that collide with *values* on any unique key.
-
-    Scans the physical row list (not a snapshot): uniqueness is a
-    property of the latest state, so pending rows from other
-    transactions participate — the first-writer-wins check is what
-    turns such a collision into a retryable conflict."""
-    keys = [c.name for c in table.columns if c.primary_key or c.unique]
-    conflicts = []
-    for row in table.rows:
-        if any(
-            values.get(key) is not None
-            and row.get(key) == table.convert(key, values[key])
-            for key in keys
-        ):
-            conflicts.append(row)
-    return conflicts
+    """Live rows that collide with *values* on any unique key — the
+    table owns the scan so each storage backend (row list vs B-tree)
+    answers from its own structures."""
+    return table.unique_conflicts(values)
 
 
 def _delete_conflicting(table, values, txn=None):

@@ -36,6 +36,7 @@ column→value dicts exactly as before.
 
 from bisect import bisect_left, bisect_right, insort
 
+from repro.sqldb.btree import BTree, ROWID_KEY
 from repro.sqldb.errors import ExecutionError, WriteConflictError
 from repro.sqldb.types import sort_key, store_convert
 
@@ -254,30 +255,16 @@ def seal_txn(txn, stamp, collect=False):
     sealed metadata is dropped on the spot: rows settle back into
     legacy always-visible state and resolved tombstones disappear.
 
+    Each entry is dispatched to its table's :meth:`Table._seal_entry`
+    so storage backends can hook the commit point (the paged backend
+    writes the now-committed row into its B-tree here).
+
     The caller (``Database._seal_txn``) holds the engine's MVCC lock and
     publishes the commit counter only after this returns, so a reader
     can never pin a watermark >= *stamp* while the stamps are half
     applied."""
     for table, kind, payload in txn.entries:
-        if kind == "write":
-            meta = table._meta.get(id(payload))
-            if meta is None or meta.owner is not txn:
-                continue    # superseded later in the same txn
-            meta.begin = stamp
-            meta.owner = None
-            if collect:
-                del table._meta[id(payload)]
-        else:
-            tomb = payload
-            if tomb.owner is not txn:
-                continue
-            tomb.end = stamp
-            tomb.owner = None
-            if collect:
-                try:
-                    table._tombstones.remove(tomb)
-                except ValueError:
-                    pass
+        table._seal_entry(txn, kind, payload, stamp, collect)
     txn.entries = []
     txn.sealed = True
 
@@ -330,15 +317,11 @@ class Table(object):
                 index.version = self.version
                 self._index_stats["incremental"] += 1
 
-    def insert(self, values, txn=None):
-        """Insert a row from a ``{column: value}`` mapping.
-
-        Applies type conversion (including silent VARCHAR truncation),
-        auto-increment, defaults, NOT NULL and UNIQUE/PRIMARY KEY checks.
-        With *txn* the row starts as a pending version, invisible to
-        snapshot readers until the transaction seals.  Returns the
-        auto-increment id used (or ``None``).
-        """
+    def _build_insert_row(self, values):
+        """Materialize the stored dict for an INSERT: type conversion
+        (including silent VARCHAR truncation), auto-increment, defaults
+        and NOT NULL backfills.  Returns ``(row, used_auto)``; shared by
+        every storage backend."""
         row = {}
         used_auto = None
         for col in self.columns:
@@ -366,6 +349,18 @@ class Table(object):
             row[col.name] = value
             if col.auto_increment and isinstance(value, int):
                 self._auto_counter = max(self._auto_counter, value)
+        return row, used_auto
+
+    def insert(self, values, txn=None):
+        """Insert a row from a ``{column: value}`` mapping.
+
+        Applies type conversion (including silent VARCHAR truncation),
+        auto-increment, defaults, NOT NULL and UNIQUE/PRIMARY KEY checks.
+        With *txn* the row starts as a pending version, invisible to
+        snapshot readers until the transaction seals.  Returns the
+        auto-increment id used (or ``None``).
+        """
+        row, used_auto = self._build_insert_row(values)
         self._check_unique(row)
         # publish the pending metadata BEFORE the row becomes reachable:
         # a lock-free reader that catches the append must already find
@@ -518,6 +513,31 @@ class Table(object):
             index.sorted_keys = []
 
         self._apply_delta(delta)
+
+    def _seal_entry(self, txn, kind, payload, stamp, collect):
+        """Seal one pending entry of *txn* at commit (:func:`seal_txn`
+        dispatches here per table so backends can hook the commit
+        point).  Entries superseded later in the same transaction are
+        skipped."""
+        if kind == "write":
+            meta = self._meta.get(id(payload))
+            if meta is None or meta.owner is not txn:
+                return
+            meta.begin = stamp
+            meta.owner = None
+            if collect:
+                del self._meta[id(payload)]
+        else:
+            tomb = payload
+            if tomb.owner is not txn:
+                return
+            tomb.end = stamp
+            tomb.owner = None
+            if collect:
+                try:
+                    self._tombstones.remove(tomb)
+                except ValueError:
+                    pass
 
     # -- ALTER TABLE support (DDL runs under the exclusive catalog lock,
     #    so no read view can be live while these reshape rows) -----------
@@ -865,9 +885,34 @@ class Table(object):
                         errno=1062,
                     )
 
+    def unique_conflicts(self, values):
+        """Current rows that collide with *values* on any PK/UNIQUE
+        column, in physical row order (REPLACE / ON DUPLICATE KEY
+        UPDATE target discovery — ODKU updates the *first* conflict).
+
+        Scans the physical row list (not a snapshot): uniqueness is a
+        property of the latest state, so pending rows from other
+        transactions participate — the first-writer-wins check is what
+        turns such a collision into a retryable conflict."""
+        keys = [c.name for c in self.columns
+                if c.primary_key or c.unique]
+        conflicts = []
+        for row in self.rows:
+            if any(
+                values.get(key) is not None
+                and row.get(key) == self.convert(key, values[key])
+                for key in keys
+            ):
+                conflicts.append(row)
+        return conflicts
+
     def convert(self, column_name, value):
         col = self._by_name[column_name.lower()]
         return store_convert(value, col.type_name, col.length)
+
+    def row_count(self):
+        """Number of current rows (backend-agnostic ``len``)."""
+        return len(self.rows)
 
     def __len__(self):
         return len(self.rows)
@@ -875,6 +920,646 @@ class Table(object):
     def __repr__(self):
         return "Table(%r, %d cols, %d rows)" % (
             self.name, len(self.columns), len(self.rows)
+        )
+
+
+class _RowidIndex(object):
+    """A :class:`_ColumnIndex` shaped for paged tables: buckets hold
+    **rowids** instead of row dicts, because the dict for a page-resident
+    row is recreated on every reload and identity cannot anchor it."""
+
+    __slots__ = ("column", "map", "sorted_keys")
+
+    def __init__(self, column):
+        self.column = column
+        self.map = {}
+        self.sorted_keys = []
+
+    def add(self, key, rowid):
+        bucket = self.map.get(key)
+        if bucket is None:
+            self.map[key] = [rowid]
+            insort(self.sorted_keys, key)
+        else:
+            bucket.append(rowid)
+
+    def remove(self, key, rowid):
+        bucket = self.map.get(key)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(rowid)
+        except ValueError:
+            return
+        if not bucket:
+            del self.map[key]
+            where = bisect_left(self.sorted_keys, key)
+            if (where < len(self.sorted_keys)
+                    and self.sorted_keys[where] == key):
+                del self.sorted_keys[where]
+
+
+class PagedTable(Table):
+    """A table whose rows live in B-tree pages behind the buffer pool.
+
+    Serves the exact same scan/mutation/MVCC API as the in-memory
+    :class:`Table` — the plan operators and the executor cannot tell
+    the backends apart — but the authoritative row store is a
+    rowid-keyed :class:`~repro.sqldb.btree.BTree` over checksummed
+    pages, so the working set is bounded by the buffer pool, not RAM.
+
+    **The anchoring invariant.**  MVCC metadata is keyed by row-dict
+    identity, but a page-resident row's dict is recreated on every
+    reload — identity cannot survive eviction.  So every row whose dict
+    identity *matters* (pending versions, and sealed versions whose
+    history a pinned view may still need) is held in ``_anchors``
+    (rowid → dict); ``_iter_pairs`` yields the anchor in place of the
+    tree's copy for those rowids, ``_deleted`` hides tree rows with a
+    pending delete, and a tree row with no anchor is by construction a
+    settled legacy row — always visible, exactly what the base class
+    assumes for rows without metadata.  Commit (:meth:`_seal_entry`)
+    writes sealed content into the tree *unconditionally* (the tree
+    must agree with the checkpoint's logical rows at recovery);
+    ``collect`` only decides whether the anchor survives for old views.
+
+    Secondary/unique indexes map sort keys to **rowids**
+    (:class:`_RowidIndex`) for the same reason, lazily rebuilt when the
+    indexed column set changes and maintained incrementally otherwise.
+
+    Rowids are monotone and assigned in insertion order, so tree order
+    == insertion order == the scan order the memory backend yields.
+    """
+
+    def __init__(self, name, columns, store):
+        Table.__init__(self, name, columns)
+        self._store = store
+        self._tree = BTree(store, root=None)
+        self._next_rowid = 1
+        self._row_count = 0
+        #: rowid -> row dict for rows whose identity must survive
+        self._anchors = {}
+        #: tree-resident rowids with a pending (unsealed) delete
+        self._deleted = set()
+        #: column -> _RowidIndex (lazy; None = not built)
+        self._maps = None
+
+    # -- the merged latest-state row stream -------------------------------
+
+    def _iter_pairs(self):
+        """``(rowid, row)`` of the latest state in rowid order: anchors
+        shadow their tree copies, pending deletes hide theirs, and
+        anchor-only rowids (pending inserts) merge in order."""
+        anchor_ids = sorted(self._anchors)
+        ai = 0
+        for rowid, row in self._tree.items():
+            while ai < len(anchor_ids) and anchor_ids[ai] < rowid:
+                pending = anchor_ids[ai]
+                ai += 1
+                yield pending, self._anchors[pending]
+            if ai < len(anchor_ids) and anchor_ids[ai] == rowid:
+                ai += 1
+                yield rowid, self._anchors[rowid]
+                continue
+            if rowid in self._deleted:
+                continue
+            yield rowid, row
+        while ai < len(anchor_ids):
+            pending = anchor_ids[ai]
+            ai += 1
+            yield pending, self._anchors[pending]
+
+    def _fetch_row(self, rowid):
+        """The current dict for *rowid*, or ``None`` if gone/hidden."""
+        row = self._anchors.get(rowid)
+        if row is not None:
+            return row
+        if rowid in self._deleted:
+            return None
+        return self._tree.get(rowid)
+
+    def iter_rows(self, view=None):
+        if view is None:
+            return (row for _, row in self._iter_pairs())
+        return self._iter_visible(view)
+
+    def _iter_visible(self, view):
+        for _, row in self._iter_pairs():
+            meta = self._meta.get(id(row))
+            if meta is None:
+                yield row
+                continue
+            visible = self._visible_row(row, meta, view)
+            if visible is not None:
+                yield visible
+        for tomb in self._tombstones:
+            visible = self._tomb_visible(tomb, view)
+            if visible is not None:
+                yield visible
+
+    # -- rowid-bucket secondary indexes -----------------------------------
+
+    def _live_maps(self):
+        needed = self.indexed_columns()
+        if self._maps is None or set(self._maps) != needed:
+            maps = {column: _RowidIndex(column) for column in needed}
+            for rowid, row in self._iter_pairs():
+                for column, index in maps.items():
+                    index.add(sort_key(row.get(column)), rowid)
+            self._maps = maps
+            self._index_stats["rebuilds"] += 1
+        return self._maps
+
+    def _maps_add(self, row, rowid):
+        if self._maps is None:
+            return
+        for column, index in self._maps.items():
+            index.add(sort_key(row.get(column)), rowid)
+
+    def _maps_remove(self, row, rowid):
+        if self._maps is None:
+            return
+        for column, index in self._maps.items():
+            index.remove(sort_key(row.get(column)), rowid)
+
+    def _maps_replace(self, old_row, new_row, rowid):
+        if self._maps is None:
+            return
+        for column, index in self._maps.items():
+            old_key = sort_key(old_row.get(column))
+            new_key = sort_key(new_row.get(column))
+            if old_key == new_key:
+                continue
+            index.remove(old_key, rowid)
+            index.add(new_key, rowid)
+
+    # -- mutations ---------------------------------------------------------
+
+    def insert(self, values, txn=None):
+        row, used_auto = self._build_insert_row(values)
+        self._check_unique(row)
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        row[ROWID_KEY] = rowid
+        if txn is not None:
+            # pending: anchored + invisible until the txn seals (the
+            # meta is published with the anchor, same ordering rule as
+            # the base class)
+            self._meta[id(row)] = _RowMeta(None, txn, None)
+            txn.record(self, "write", row)
+            self._anchors[rowid] = row
+        else:
+            self._tree.put(rowid, row)
+        self._maps_add(row, rowid)
+        self._row_count += 1
+        self.version += 1
+        return used_auto
+
+    def update_row(self, row, updates, txn=None):
+        rowid = row.get(ROWID_KEY)
+        if rowid is None:
+            raise ExecutionError(
+                "row is not stored in table '%s'" % self.name
+            )
+        current = self._anchors.get(rowid)
+        if current is None:
+            if rowid in self._deleted or not self._tree.contains(rowid):
+                raise ExecutionError(
+                    "row is not stored in table '%s'" % self.name
+                )
+            current = row
+        self.check_write(current, txn)
+        new_row = dict(current)
+        new_row.update(updates)
+        new_row[ROWID_KEY] = rowid
+        meta = self._meta.get(id(current))
+        if txn is not None:
+            if meta is not None and meta.owner is txn:
+                # re-update inside one txn: keep the last *committed*
+                # image as the chain head, drop the intra-txn image
+                prior = meta.prior
+            else:
+                begin = meta.begin if meta is not None else 0
+                prior = _RowVersion(
+                    current, begin,
+                    meta.prior if meta is not None else None,
+                )
+            self._meta[id(new_row)] = _RowMeta(None, txn, prior)
+            txn.record(self, "write", new_row)
+            self._anchors[rowid] = new_row
+            self._meta.pop(id(current), None)
+        else:
+            self._anchors.pop(rowid, None)
+            self._meta.pop(id(current), None)
+            self._tree.put(rowid, new_row)
+        self._maps_replace(current, new_row, rowid)
+        self.version += 1
+        return new_row
+
+    def delete_rows(self, doomed, txn=None):
+        doomed = list(doomed)
+        for row in doomed:
+            self.check_write(row, txn)
+        fresh_tombs = []
+        for row in doomed:
+            rowid = row.get(ROWID_KEY)
+            if rowid is None:
+                continue
+            current = self._anchors.get(rowid)
+            in_tree = (rowid not in self._deleted
+                       and self._tree.contains(rowid))
+            if current is None and not in_tree:
+                continue
+            if current is None:
+                current = row
+            meta = self._meta.pop(id(current), None)
+            self._anchors.pop(rowid, None)
+            if txn is not None:
+                if meta is not None and meta.owner is txn:
+                    tomb = _Tombstone(current, None, meta.prior, None, txn)
+                else:
+                    begin = meta.begin if meta is not None else 0
+                    prior = meta.prior if meta is not None else None
+                    tomb = _Tombstone(current, begin, prior, None, txn)
+                fresh_tombs.append(tomb)
+                txn.record(self, "delete", tomb)
+                if in_tree:
+                    self._deleted.add(rowid)
+            else:
+                if in_tree:
+                    self._tree.delete(rowid)
+            self._maps_remove(current, rowid)
+            self._row_count -= 1
+        if fresh_tombs:
+            self._tombstones = self._tombstones + fresh_tombs
+        self.version += 1
+
+    def truncate(self, txn=None):
+        pairs = list(self._iter_pairs())
+        if txn is not None:
+            for _, row in pairs:
+                self.check_write(row, txn)
+            for rowid, row in pairs:
+                meta = self._meta.pop(id(row), None)
+                if meta is not None and meta.owner is txn:
+                    tomb = _Tombstone(row, None, meta.prior, None, txn)
+                else:
+                    begin = meta.begin if meta is not None else 0
+                    prior = meta.prior if meta is not None else None
+                    tomb = _Tombstone(row, begin, prior, None, txn)
+                self._tombstones.append(tomb)
+                txn.record(self, "delete", tomb)
+                self._anchors.pop(rowid, None)
+                if self._tree.contains(rowid):
+                    self._deleted.add(rowid)
+        else:
+            self._meta = {}
+            self._anchors = {}
+            self._deleted = set()
+            self._tree.clear()
+        self._auto_counter = 0
+        self._row_count = 0
+        self._maps = None
+        self.version += 1
+
+    def _seal_entry(self, txn, kind, payload, stamp, collect):
+        """Commit hook: sealed row content goes into the tree **always**
+        — the pages must agree with the checkpoint's logical rows at
+        recovery — while ``collect`` only decides whether the anchor
+        (identity for old views) survives."""
+        if kind == "write":
+            meta = self._meta.get(id(payload))
+            live = meta is not None and meta.owner is txn
+            Table._seal_entry(self, txn, kind, payload, stamp, collect)
+            if not live:
+                return      # superseded later in the same txn
+            rowid = payload.get(ROWID_KEY)
+            if rowid is not None and self._anchors.get(rowid) is payload:
+                self._tree.put(rowid, payload)
+                if collect:
+                    del self._anchors[rowid]
+        else:
+            tomb = payload
+            live = tomb.owner is txn
+            Table._seal_entry(self, txn, kind, payload, stamp, collect)
+            if not live:
+                return
+            rowid = tomb.row.get(ROWID_KEY)
+            if rowid is not None and rowid in self._deleted:
+                self._deleted.discard(rowid)
+                self._tree.delete(rowid)
+
+    # -- MVCC lifecycle ----------------------------------------------------
+
+    def reset_mvcc(self):
+        """Pending state becomes plain state (same semantics as the base:
+        clearing the metadata makes pending rows visible) — so anchors
+        flush into the tree and pending deletes apply, *then* the
+        metadata is dropped."""
+        for rowid in sorted(self._anchors):
+            self._tree.put(rowid, self._anchors[rowid])
+        for rowid in sorted(self._deleted):
+            self._tree.delete(rowid)
+        self._anchors = {}
+        self._deleted = set()
+        Table.reset_mvcc(self)
+
+    def vacuum(self, horizon=None):
+        removed = Table.vacuum(self, horizon)
+        # an anchor whose metadata was just collected has settled: its
+        # content is already in the tree (written at seal), so the tree
+        # copy takes over and the anchor can go
+        for rowid in list(self._anchors):
+            if id(self._anchors[rowid]) not in self._meta:
+                del self._anchors[rowid]
+        return removed
+
+    # -- ALTER TABLE -------------------------------------------------------
+
+    def fill_column(self, name, fill):
+        self.reset_mvcc()
+
+        def mutator(row):
+            row[name] = fill
+
+        self._tree.update_rows(mutator)
+        self._maps = None
+        self.touch()
+
+    def strip_column(self, name):
+        self.reset_mvcc()
+
+        def mutator(row):
+            row.pop(name, None)
+
+        self._tree.update_rows(mutator)
+        self._maps = None
+        self.touch()
+
+    # -- transaction snapshots ---------------------------------------------
+
+    def snapshot_state(self):
+        """Same 5-tuple shape as the base (``Session.rollback`` inspects
+        columns/indexes at fixed positions); rows keep their rowids so
+        the restore can rebuild the tree with identity-equivalent keys."""
+        rows = []
+        for rowid, row in self._iter_pairs():
+            copy = dict(row)
+            copy[ROWID_KEY] = rowid
+            rows.append(copy)
+        return (
+            rows,
+            self._auto_counter,
+            list(self.columns),
+            dict(self.indexes),
+            [],
+        )
+
+    def restore_state(self, state):
+        rows, auto, columns, indexes, _index_states = state
+        # discard the overlay WITHOUT flushing (this is an undo, not a
+        # settle), then rebuild the tree from the snapshot
+        self._meta = {}
+        self._tombstones = []
+        self._anchors = {}
+        self._deleted = set()
+        self._tree.clear()
+        self._auto_counter = auto
+        self.columns = list(columns)
+        self._by_name = {col.name: col for col in self.columns}
+        self.indexes = dict(indexes)
+        self._row_count = 0
+        next_rowid = self._next_rowid
+        for row in rows:
+            row = dict(row)
+            rowid = row.get(ROWID_KEY)
+            if rowid is None:
+                rowid = next_rowid
+                row[ROWID_KEY] = rowid
+            self._tree.put(rowid, row)
+            self._row_count += 1
+            next_rowid = max(next_rowid, rowid + 1)
+        self._next_rowid = max(self._next_rowid, next_rowid)
+        self._maps = None
+        self.version += 1
+
+    # -- durability --------------------------------------------------------
+
+    def to_dict(self):
+        """Logical rows with the rowid marker stripped: digests and
+        checkpoint bodies are backend-agnostic (a paged table and a
+        memory table with the same content serialize identically)."""
+        rows = []
+        for _, row in self._iter_pairs():
+            rows.append({key: value for key, value in row.items()
+                         if key != ROWID_KEY})
+        return {
+            "name": self.name,
+            "columns": [col.to_dict() for col in self.columns],
+            "rows": rows,
+            "auto_counter": self._auto_counter,
+            "indexes": dict(self.indexes),
+        }
+
+    def pages_meta(self):
+        """The physical bootstrap the checkpoint persists per table."""
+        return {
+            "root": self._tree.root,
+            "next_rowid": self._next_rowid,
+            "count": self._row_count,
+        }
+
+    @classmethod
+    def open(cls, data, store, meta):
+        """Re-open a table onto its existing pages (*data* is the
+        logical checkpoint entry, *meta* the persisted ``pages_meta``)."""
+        table = cls(data["name"],
+                    [Column.from_dict(c) for c in data["columns"]],
+                    store)
+        table._auto_counter = data.get("auto_counter", 0)
+        table.indexes = dict(data.get("indexes", {}))
+        root = meta.get("root")
+        table._tree.root = root if root is not None else None
+        table._next_rowid = meta.get("next_rowid", 1)
+        table._row_count = meta.get("count", 0)
+        return table
+
+    @classmethod
+    def from_rows(cls, data, store):
+        """Build a table (and fresh pages) from a logical checkpoint
+        entry — the bootstrap path and the corruption-repair fallback."""
+        table = cls(data["name"],
+                    [Column.from_dict(c) for c in data["columns"]],
+                    store)
+        table._auto_counter = data.get("auto_counter", 0)
+        table.indexes = dict(data.get("indexes", {}))
+        table.load_rows(data.get("rows", []))
+        return table
+
+    def load_rows(self, rows):
+        """Replace the tree content with *rows* (fresh rowids)."""
+        self._meta = {}
+        self._tombstones = []
+        self._anchors = {}
+        self._deleted = set()
+        self._tree.clear()
+        self._row_count = 0
+        for row in rows:
+            row = dict(row)
+            rowid = self._next_rowid
+            self._next_rowid += 1
+            row[ROWID_KEY] = rowid
+            self._tree.put(rowid, row)
+            self._row_count += 1
+        self._maps = None
+        self.version += 1
+
+    def verify_scan(self):
+        """Walk every row (faulting every page through its checksum);
+        raises :class:`~repro.sqldb.errors.PageCorruptionError` on
+        damage.  Returns the number of rows seen and re-syncs the
+        persisted row count (the count is advisory, the tree is the
+        authority)."""
+        # fault every tree page (interiors included — a leaf-chain walk
+        # alone would miss a damaged interior off the leftmost path)
+        for page_no in self._tree.pages():
+            self._store.pool.fetch(page_no)
+        count = 0
+        for _ in self._iter_pairs():
+            count += 1
+        self._row_count = count
+        return count
+
+    def pages(self):
+        """Page numbers this table's tree occupies (scrubber scan set)."""
+        return self._tree.pages()
+
+    def dispose(self):
+        """Free every page (DROP TABLE)."""
+        self._anchors = {}
+        self._deleted = set()
+        self._maps = None
+        self._tree.clear()
+        self._row_count = 0
+
+    # -- index access ------------------------------------------------------
+
+    def index_lookup_iter(self, column, value, view=None):
+        if not self._index_safe_for(view):
+            return self._iter_visible(view)
+        column = column.lower()
+        key = sort_key(self.convert(column, value))
+        maps = self._live_maps()
+        index = maps.get(column)
+        if index is None:
+            # not an indexed column: filter the scan (same result set
+            # as the base class's build-on-demand index)
+            return (row for _, row in self._iter_pairs()
+                    if sort_key(row.get(column)) == key)
+        self._index_stats["lookups"] += 1
+        rowids = list(index.map.get(key, ()))
+        return (row for row in map(self._fetch_row, rowids)
+                if row is not None)
+
+    def index_range_iter(self, column, low=None, high=None,
+                         low_inclusive=True, high_inclusive=True,
+                         view=None):
+        if not self._index_safe_for(view):
+            yield from self._iter_visible(view)
+            return
+        column = column.lower()
+        maps = self._live_maps()
+        index = maps.get(column)
+        if index is None:
+            yield from Table.index_range_iter(
+                self, column, low, high, low_inclusive, high_inclusive,
+                view=view,
+            )
+            return
+        self._index_stats["range_lookups"] += 1
+        keys = index.sorted_keys
+        if low is not None:
+            low_key = sort_key(self.convert(column, low))
+            start = (bisect_left(keys, low_key) if low_inclusive
+                     else bisect_right(keys, low_key))
+        else:
+            start = bisect_right(keys, _NULL_KEY)
+        if high is not None:
+            high_key = sort_key(self.convert(column, high))
+            stop = (bisect_right(keys, high_key) if high_inclusive
+                    else bisect_left(keys, high_key))
+        else:
+            stop = len(keys)
+        for key in keys[start:stop]:
+            if key[0] == _NULL_KEY[0]:
+                continue
+            for rowid in list(index.map[key]):
+                row = self._fetch_row(rowid)
+                if row is not None:
+                    yield row
+
+    def _check_unique(self, new_row, ignore_row=None):
+        ignore_rowid = None
+        if ignore_row is not None:
+            ignore_rowid = ignore_row.get(ROWID_KEY)
+        own_rowid = new_row.get(ROWID_KEY)
+        for col in self.columns:
+            if not (col.primary_key or col.unique):
+                continue
+            value = new_row.get(col.name)
+            if value is None:
+                continue
+            index = self._live_maps().get(col.name)
+            if index is None:
+                continue
+            for rowid in list(index.map.get(sort_key(value), ())):
+                if rowid == ignore_rowid or rowid == own_rowid:
+                    continue
+                row = self._fetch_row(rowid)
+                if row is None or row is new_row or row is ignore_row:
+                    continue
+                if row.get(col.name) == value:
+                    raise ExecutionError(
+                        "Duplicate entry '%s' for key '%s'"
+                        % (value, col.name),
+                        errno=1062,
+                    )
+
+    def unique_conflicts(self, values):
+        hits = set()
+        for col in self.columns:
+            if not (col.primary_key or col.unique):
+                continue
+            value = values.get(col.name)
+            if value is None:
+                continue
+            value = self.convert(col.name, value)
+            index = self._live_maps().get(col.name)
+            if index is None:
+                continue
+            for rowid in index.map.get(sort_key(value), ()):
+                row = self._fetch_row(rowid)
+                if row is not None and row.get(col.name) == value:
+                    hits.add(rowid)
+        # ascending rowid == insertion order == the base class's
+        # physical row order (ODKU updates the first conflict)
+        conflicts = []
+        for rowid in sorted(hits):
+            row = self._fetch_row(rowid)
+            if row is not None:
+                conflicts.append(row)
+        return conflicts
+
+    # -- misc --------------------------------------------------------------
+
+    def row_count(self):
+        return self._row_count
+
+    def __len__(self):
+        return self._row_count
+
+    def __repr__(self):
+        return "PagedTable(%r, %d cols, %d rows)" % (
+            self.name, len(self.columns), self._row_count
         )
 
 

@@ -209,6 +209,91 @@ def scan_log(path):
     return ScanResult(records, offset, total - offset)
 
 
+class LogStream(object):
+    """Iterate a log's intact records in bounded memory.
+
+    :func:`scan_log` materialises every record before returning — fine
+    for recovery (which buffers open transactions anyway) but wasteful
+    for audits of large logs.  Iterating a ``LogStream`` reads the file
+    in *chunk_size* slices and yields records as they frame; after the
+    iterator is exhausted, :attr:`clean_offset`, :attr:`torn_bytes`,
+    :attr:`records_seen` and :attr:`last_lsn` describe what was found.
+    Mid-log corruption raises :class:`WalCorruptionError` exactly like
+    :func:`scan_log` (but with an empty ``clean_records`` — the clean
+    prefix was already yielded, not retained).
+    """
+
+    def __init__(self, path, chunk_size=1 << 16):
+        self.path = path
+        self.chunk_size = max(chunk_size, _HEADER.size)
+        self.clean_offset = 0
+        self.torn_bytes = 0
+        self.records_seen = 0
+        self.last_lsn = 0
+
+    def __iter__(self):
+        if faults_mod.ACTIVE is not None:
+            faults_mod.fire("wal.recover")
+        if not os.path.exists(self.path):
+            return
+        total = os.path.getsize(self.path)
+        buf = b""
+        with open(self.path, "rb") as handle:
+            while True:
+                while len(buf) < _HEADER.size:
+                    chunk = handle.read(self.chunk_size)
+                    if not chunk:
+                        break
+                    buf += chunk
+                if len(buf) < _HEADER.size:
+                    self.torn_bytes = total - self.clean_offset
+                    return  # torn header (or clean EOF)
+                length, crc = _HEADER.unpack_from(buf, 0)
+                need = _HEADER.size + length
+                if length > MAX_RECORD_BYTES:
+                    self.torn_bytes = total - self.clean_offset
+                    return  # length field of a torn header
+                while len(buf) < need:
+                    chunk = handle.read(self.chunk_size)
+                    if not chunk:
+                        break
+                    buf += chunk
+                if len(buf) < need:
+                    self.torn_bytes = total - self.clean_offset
+                    return  # torn payload
+                payload = bytes(buf[_HEADER.size:need])
+                damaged = (zlib.crc32(payload) & 0xFFFFFFFF) != crc
+                record = None
+                if not damaged:
+                    try:
+                        record = WalRecord.from_payload(payload)
+                    except (ValueError, KeyError, UnicodeDecodeError):
+                        damaged = True
+                if damaged:
+                    if self.clean_offset + need < total:
+                        raise WalCorruptionError(
+                            "WAL record at byte %d fails its checksum "
+                            "with valid data after it (mid-log "
+                            "corruption, not a torn tail)"
+                            % self.clean_offset,
+                            offset=self.clean_offset,
+                            clean_records=[],
+                        )
+                    self.torn_bytes = total - self.clean_offset
+                    return  # damaged final record == torn tail
+                self.clean_offset += need
+                self.records_seen += 1
+                self.last_lsn = record.lsn
+                buf = buf[need:]
+                yield record
+
+
+def scan_log_stream(path, chunk_size=1 << 16):
+    """A :class:`LogStream` over the log at *path* — the streaming
+    counterpart of :func:`scan_log`."""
+    return LogStream(path, chunk_size=chunk_size)
+
+
 class WriteAheadLog(object):
     """The append side of the log, plus checkpoint management.
 

@@ -207,6 +207,77 @@ def test_wal_access_gate_catches_violations(tmp_path):
     assert any("literal 'wal.log'" in p for p in problems)
 
 
+#: on-disk names of the paged-storage files — only pager.py may know
+#: them; everything else goes through the Pager/PageStore API so page
+#: framing, CRC and the doublewrite protocol cannot be bypassed
+_PAGE_FILE_LITERALS = ("pages.db", "doublewrite.db", "spill.db")
+#: pager path helpers whose results must never feed a raw ``open()``
+_PAGE_PATH_HELPERS = ("pages_path", "doublewrite_path", "spill_path")
+
+
+def _page_access_violations(path):
+    """Paged-storage encapsulation check, same shape as the WAL gate:
+    no literal page-file names and no ``open()`` over pager.py's path
+    helpers anywhere outside pager.py."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    rel = os.path.relpath(path, REPO_ROOT)
+    problems = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value in _PAGE_FILE_LITERALS):
+            problems.append(
+                "%s:%d: literal %r — only repro/sqldb/pager.py may name "
+                "page-storage files" % (rel, node.lineno, node.value)
+            )
+        if not isinstance(node, ast.Call):
+            continue
+        name = getattr(node.func, "attr", None) or getattr(
+            node.func, "id", None)
+        if name != "open":
+            continue
+        for arg in node.args:
+            for inner in ast.walk(arg):
+                if not isinstance(inner, ast.Call):
+                    continue
+                helper = getattr(inner.func, "attr", None) or getattr(
+                    inner.func, "id", None)
+                if helper in _PAGE_PATH_HELPERS:
+                    problems.append(
+                        "%s:%d: open(%s(...)) — page-storage files may "
+                        "only be opened inside repro/sqldb/pager.py"
+                        % (rel, node.lineno, helper)
+                    )
+    return problems
+
+
+def test_page_files_only_touched_by_pager_module():
+    pager_py = os.path.abspath(
+        os.path.join(SRC_ROOT, "repro", "sqldb", "pager.py"))
+    problems = []
+    for path in _python_files(SRC_ROOT):
+        if os.path.abspath(path) == pager_py:
+            continue
+        problems.extend(_page_access_violations(path))
+    assert problems == [], "\n".join(problems)
+
+
+def test_page_access_gate_catches_violations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "from repro.sqldb import pager\n"
+        "def peek(data_dir):\n"
+        "    with open(pager.pages_path(data_dir), 'rb') as handle:\n"
+        "        return handle.read()\n"
+        "NAME = 'doublewrite.db'\n"
+    )
+    problems = _page_access_violations(str(bad))
+    assert len(problems) == 2
+    assert any("open(pages_path(...))" in p for p in problems)
+    assert any("literal 'doublewrite.db'" in p for p in problems)
+
+
 def test_fault_sites_are_lint_covered():
     """The faults package rides the same gates as everything else, and
     the wired injection sites agree with the declared KNOWN_SITES."""
@@ -589,6 +660,17 @@ def _wall_clock_violations(path):
 def test_replica_subsystem_never_reads_the_wall_clock():
     problems = []
     for path in _python_files(REPLICA_ROOT):
+        problems.extend(_wall_clock_violations(path))
+    assert problems == [], "\n".join(problems)
+
+
+def test_pager_and_btree_never_read_the_wall_clock():
+    """The scrubber runs on explicit virtual ticks and the pager's
+    retry backoff on the resilience hook clock — wall-clock reads in
+    either would make crash/corruption sweeps non-deterministic."""
+    problems = []
+    for module in ("pager.py", "btree.py"):
+        path = os.path.join(SRC_ROOT, "repro", "sqldb", module)
         problems.extend(_wall_clock_violations(path))
     assert problems == [], "\n".join(problems)
 
