@@ -30,6 +30,12 @@ from repro.benchlab.report import (
     format_result_line,
     format_scaling_rows,
 )
+from repro.benchlab.netlab import (
+    NetLabResult,
+    run_netlab_experiment,
+    run_pipelined,
+    run_round_trip,
+)
 from repro.benchlab.chaos import (
     ChaosResult,
     default_chaos_plan,
@@ -54,4 +60,8 @@ __all__ = [
     "default_chaos_plan",
     "format_chaos_result",
     "run_chaos",
+    "NetLabResult",
+    "run_netlab_experiment",
+    "run_pipelined",
+    "run_round_trip",
 ]

@@ -22,10 +22,14 @@ Commands:
 ``replicate``
     WAL-shipping replica-set demo: per-replica applied LSN, lag and
     role (``--failover`` kills the primary and shows the election).
+``serve``
+    Serve the demo database over the wire protocol (``--smoke`` runs a
+    built-in client exercise and exits).
 """
 
 import argparse
 import sys
+import time
 
 from repro.attacks.corpus import run_case, waspmon_attacks
 from repro.attacks.scenario import PROTECTIONS, build_scenario
@@ -329,6 +333,42 @@ def _cmd_replicate(args, out):
     return 0
 
 
+def _cmd_serve(args, out):
+    scenario = build_scenario("septic")
+    host, port = scenario.server.serve_net(host=args.host, port=args.port)
+    out.write("serving %s on %s:%d (wire protocol)\n"
+              % (scenario.app.name, host, port))
+    try:
+        if args.smoke:
+            from repro.net.client import NetClient
+
+            with NetClient(host, port) as client:
+                client.ping()
+                handle = client.prepare(
+                    "SELECT username FROM users WHERE id = ?"
+                )
+                outcome = client.execute(handle, 1)
+                if outcome.error is not None:
+                    out.write("smoke: FAILED: %s\n" % outcome.error)
+                    return 1
+                row = outcome.rows[0] if outcome.rows else ("<none>",)
+                out.write("smoke: ping ok, prepared stmt %d -> %s\n"
+                          % (handle.statement_id, row[0]))
+            stats = scenario.server.net_server.stats_dict()
+            out.write("smoke: served %d commands over %d connections\n"
+                      % (stats["commands"], stats["accepted"]))
+            return 0
+        out.write("press Ctrl-C to stop\n")
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            out.write("\nstopping\n")
+        return 0
+    finally:
+        scenario.server.stop_net()
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -388,6 +428,17 @@ def build_parser():
     replicate.add_argument("--workdir", default=None,
                            help="keep the replica data dirs here "
                                 "(default: a temp dir, removed on exit)")
+
+    serve = sub.add_parser(
+        "serve", help="serve the demo database over the wire protocol"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: an ephemeral one, "
+                            "printed at startup)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="run a built-in client exercise (ping + "
+                            "prepared statement) and exit")
     return parser
 
 
@@ -400,6 +451,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "status": _cmd_status,
     "replicate": _cmd_replicate,
+    "serve": _cmd_serve,
 }
 
 

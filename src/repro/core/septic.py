@@ -232,10 +232,15 @@ class Septic(object):
         database = getattr(self, "bound_database", None)
         retry_stats = getattr(database, "retry_stats", None)
         storage_stats = getattr(database, "storage_stats", None)
+        net_stats = getattr(database, "net_stats", None)
         return {
             "retry_stats": (
                 retry_stats.as_dict() if retry_stats is not None else None
             ),
+            # socket front-end connection counters (open/active/pooled/
+            # rejected and friends); None until a NetServer is started
+            # over the bound database
+            "net": (net_stats() if callable(net_stats) else None),
             # buffer-pool / pager / scrubber accounting (None for the
             # in-memory backend): pages_cached, evictions, dirty_flushes,
             # scrub_repairs and friends

@@ -81,6 +81,10 @@ KNOWN_SITES = (
     "pager.read",
     "pager.write",
     "pager.fsync",
+    "net.accept",
+    "net.read",
+    "net.write",
+    "net.frame",
     # plus "plugin.<name>" for every stored-injection plugin
 )
 

@@ -1,0 +1,141 @@
+"""Bounded client-side connection pool with health-checked checkout.
+
+The client half of the front end's amortization story: a web tier
+checking out a pooled connection skips the TCP connect + handshake
+round trip, and — because server-side prepared statements live per
+connection — inherits the previous user's warm statement handles, so a
+hot query goes straight to the server's per-statement plan cache.
+
+``checkout()`` health-checks idle connections with COM_PING before
+handing them out (a dead one is discarded and replaced), blocks when
+every slot is busy (bounded, like the server's inbox), and raises
+:class:`PoolExhaustedError` when the wait exceeds *checkout_timeout*.
+"""
+
+import threading
+
+from repro.core.resilience import make_lock
+from repro.net.client import NetClient
+
+
+class PoolExhaustedError(Exception):
+    """Every pooled connection stayed busy for the whole timeout."""
+
+
+class ConnectionPool(object):
+    """A fixed-size pool of :class:`NetClient` connections."""
+
+    def __init__(self, host, port, size=8, charset="utf8",
+                 checkout_timeout=30.0, server=None,
+                 client_factory=NetClient):
+        self.host = host
+        self.port = port
+        self.size = max(1, size)
+        self.charset = charset
+        self.checkout_timeout = checkout_timeout
+        self._client_factory = client_factory
+        self._lock = make_lock()
+        self._slots_free = threading.Condition(self._lock)
+        self._idle = []
+        self._total = 0
+        #: counters (the server surfaces ``idle_count`` as ``pooled``)
+        self.checkouts = 0
+        self.reuses = 0
+        self.created = 0
+        self.health_failures = 0
+        if server is not None:
+            server.register_pool(self)
+
+    @property
+    def idle_count(self):
+        with self._lock:
+            return len(self._idle)
+
+    def checkout(self):
+        """A healthy connection: an idle one (pinged first), a fresh one
+        if under capacity, else wait for a release."""
+        with self._slots_free:
+            while True:
+                while self._idle:
+                    client = self._idle.pop()
+                    self.checkouts += 1
+                    if client.ping():
+                        self.reuses += 1
+                        return client
+                    # a dead idle connection: drop it and its slot
+                    self.health_failures += 1
+                    self._total -= 1
+                    client.close()
+                if self._total < self.size:
+                    self._total += 1
+                    self.checkouts += 1
+                    break  # create outside the lock
+                if not self._slots_free.wait(timeout=self.checkout_timeout):
+                    raise PoolExhaustedError(
+                        "no pooled connection became free within %.1fs"
+                        % self.checkout_timeout
+                    )
+                # a slot freed: loop and re-scan the idle list
+        try:
+            client = self._client_factory(
+                self.host, self.port, charset=self.charset
+            )
+        except Exception:
+            with self._slots_free:
+                self._total -= 1
+                self._slots_free.notify()
+            raise
+        self.created += 1
+        return client
+
+    def release(self, client):
+        """Return a connection to the pool (a closed/dead one frees its
+        slot instead of being parked)."""
+        with self._slots_free:
+            if getattr(client, "_closed", False):
+                self._total -= 1
+            else:
+                self._idle.append(client)
+            self._slots_free.notify()
+
+    def connection(self):
+        """Context manager: ``with pool.connection() as client: ...``"""
+        return _PooledConnection(self)
+
+    def close(self):
+        """Close every idle connection (busy ones close on release)."""
+        with self._slots_free:
+            idle, self._idle = self._idle, []
+            self._total -= len(idle)
+            self._slots_free.notify_all()
+        for client in idle:
+            client.close()
+
+    def stats_dict(self):
+        with self._lock:
+            return {
+                "size": self.size,
+                "idle": len(self._idle),
+                "in_use": self._total - len(self._idle),
+                "checkouts": self.checkouts,
+                "reuses": self.reuses,
+                "created": self.created,
+                "health_failures": self.health_failures,
+            }
+
+
+class _PooledConnection(object):
+    __slots__ = ("_pool", "_client")
+
+    def __init__(self, pool):
+        self._pool = pool
+        self._client = None
+
+    def __enter__(self):
+        self._client = self._pool.checkout()
+        return self._client
+
+    def __exit__(self, *exc_info):
+        if self._client is not None:
+            self._pool.release(self._client)
+            self._client = None

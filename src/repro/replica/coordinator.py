@@ -188,6 +188,22 @@ class ReplicaSet(object):
                     node.heartbeat(self.clock, self.epoch)
         self._check_leases()
 
+    def renew_leases(self):
+        """Re-stamp every live member's lease at the current tick.
+
+        An operator-driven full-stack restart (``WebServer.restart(
+        hard=True)``) bounces the primary through recovery; without a
+        renewal the downtime it causes would read as lost heartbeats
+        and could push a replica into a spurious election the moment
+        ticking resumes.  Returns the number of leases renewed."""
+        renewed = 0
+        for node in self.nodes:
+            if node.alive:
+                node.heartbeat(self.clock, self.epoch)
+                renewed += 1
+        self._log("leases_renewed", "%d nodes" % renewed)
+        return renewed
+
     def _check_leases(self):
         expired = [
             node for node in self.replicas()

@@ -16,7 +16,12 @@ import time
 
 from repro.core.resilience import RetryStats
 from repro.sqldb import charset as charset_mod
-from repro.sqldb.errors import QueryBlocked, SQLError, TransientEngineError
+from repro.sqldb.errors import (
+    ExecutionError,
+    QueryBlocked,
+    SQLError,
+    TransientEngineError,
+)
 
 
 class QueryOutcome(object):
@@ -80,6 +85,10 @@ class Connection(object):
         self.retry_stats = RetryStats()
         #: server-side per-connection state (transactions, insert id)
         self._session = database.create_session(self.charset)
+        #: server-side prepared-statement registry: the ids handed to
+        #: wire clients (COM_STMT_PREPARE/EXECUTE/CLOSE), scoped to this
+        #: connection like MySQL's statement handles
+        self._statements = {}
 
     @property
     def database(self):
@@ -271,6 +280,46 @@ class Connection(object):
             affected_rows=result.affected_rows,
             sleep_seconds=result.sleep_seconds,
         )
+
+    # -- the server-side statement registry ------------------------------
+    #
+    # The wire protocol's statement surface: prepare hands out an id,
+    # execute/close take one back.  Ids come from the statement itself
+    # (process-unique), so a stale id from a bounced connection can
+    # never alias a live statement on another.
+
+    def prepare_statement(self, sql):
+        """Server-side COM_STMT_PREPARE: parse once, register, and
+        return ``(statement_id, param_count)``.  Raises
+        :class:`~repro.sqldb.errors.SQLError` on a malformed statement
+        (the wire server turns that into an ERR frame)."""
+        prepared = self.prepare(sql)
+        self._statements[prepared.statement_id] = prepared
+        return prepared.statement_id, prepared.param_count
+
+    def execute_statement(self, statement_id, params=()):
+        """Server-side COM_STMT_EXECUTE: bind and run a registered
+        statement, returning a :class:`QueryOutcome` (errors captured
+        like :meth:`query`)."""
+        prepared = self._statements.get(statement_id)
+        if prepared is None:
+            error = ExecutionError(
+                "Unknown prepared statement handler (%s) given to "
+                "EXECUTE" % statement_id, errno=1243,
+            )
+            self.last_error = error
+            return QueryOutcome(error=error)
+        return self.execute_prepared(prepared, *params)
+
+    def close_statement(self, statement_id):
+        """Server-side COM_STMT_CLOSE (idempotent); returns whether the
+        id was registered."""
+        return self._statements.pop(statement_id, None) is not None
+
+    @property
+    def open_statements(self):
+        """Registered statement ids (the net counters report the len)."""
+        return tuple(self._statements)
 
     # -- transactions ----------------------------------------------------
     #

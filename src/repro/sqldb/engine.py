@@ -527,6 +527,10 @@ class Database(object):
         #: opt-in: emit a STAGE_TIMING logger event per executed plan
         #: (off by default — the pinned event streams stay unchanged)
         self.log_stage_timings = False
+        #: stats provider installed by the socket front end
+        #: (:class:`repro.net.server.NetServer`); ``Septic.status()``
+        #: surfaces its connection counters under ``"net"``
+        self.net_stats = None
 
     # -- sessions ----------------------------------------------------------
 
@@ -834,6 +838,39 @@ class Database(object):
                         batch_commits=batch,
                         checkpoint_interval=interval)
         return self
+
+    # -- group commit (the socket front end's durability hook) -------------
+
+    def wal_synced_lsn(self):
+        """Highest LSN known durable, or ``None`` with no WAL attached.
+
+        The socket front end compares this against the commit frontier
+        to decide whether an acknowledgement may go out yet."""
+        wal = self._wal
+        if wal is None or wal.closed:
+            return None
+        return wal.synced_lsn
+
+    def wal_commit_frontier(self):
+        """``(commit_count, last_lsn)`` — how many durability points the
+        log has seen and where its frontier sits (``(0, 0)`` with no WAL
+        attached).  The front end snapshots this around a batch of
+        statements: if the commit count moved, the batch wrote, and its
+        acks must wait for ``last_lsn`` to become durable."""
+        wal = self._wal
+        if wal is None or wal.closed:
+            return (0, 0)
+        return (wal.commits, wal.last_lsn)
+
+    def wal_sync_to(self, lsn):
+        """Group-commit flush: make everything up to *lsn* durable (one
+        fsync shared by every commit below the horizon).  Returns
+        ``True`` when an fsync actually ran, ``False`` when the horizon
+        was already durable or no WAL is attached."""
+        wal = self._wal
+        if wal is None or wal.closed:
+            return False
+        return wal.sync_to(lsn)
 
     # -- WAL retention (replication pins) ---------------------------------
 
@@ -1550,9 +1587,17 @@ class Database(object):
         return results, None
 
     def run_statement(self, statement, comments=(), sql_text=None,
-                      session=None):
+                      session=None, entry=None):
         """Run an already-parsed statement through validation, the SEPTIC
-        hook and execution (the prepared-statement execute path)."""
+        hook and execution (the prepared-statement execute path).
+
+        *entry* may carry a :class:`~repro.sqldb.cache.CacheEntry` whose
+        key pins this exact statement (prepared executions key one per
+        ``(statement id, bound params)``): its memoized stack, SEPTIC
+        products and physical plan are then reused instead of being
+        rebuilt, so a hot bind-and-execute skips validation and
+        planning the same way a hot literal query does.
+        """
         if sql_text is None:
             from repro.sqldb.unparse import to_sql
 
@@ -1561,7 +1606,7 @@ class Database(object):
             except TypeError:
                 sql_text = "<prepared:%s>" % type(statement).__name__
         return self._run_statement(sql_text, statement, list(comments),
-                                   session=session)
+                                   session=session, entry=entry)
 
     def _run_statement(self, decoded_sql, stmt, comments, session=None,
                        entry=None):

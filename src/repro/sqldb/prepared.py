@@ -12,8 +12,19 @@ Two properties matter for the reproduction:
   match prepared executions of the same statement (and vice versa).
 """
 
+import itertools
+
 from repro.sqldb import ast_nodes as ast
 from repro.sqldb.errors import ExecutionError, ParseError
+
+#: process-wide statement-id allocator (``next()`` is atomic); ids are
+#: what the wire protocol hands to clients and what the pipeline-cache
+#: key pins, so two prepares of the same text never share bind state
+_STATEMENT_IDS = itertools.count(1)
+
+#: the value types the binary protocol can bind — also exactly the
+#: types that are hashable and therefore usable in a cache key
+_BINDABLE_TYPES = (type(None), bool, int, float, str)
 
 
 def literal_for(value):
@@ -124,15 +135,63 @@ class PreparedStatement(object):
         #: ``None`` falls back to the database's default session
         self._session = session
         self.param_count = count_params(statement)
+        #: server-side statement id (COM_STMT_PREPARE returns it, and
+        #: the pipeline cache keys executions under it)
+        self.statement_id = next(_STATEMENT_IDS)
 
     def execute(self, *params):
         """Bind *params* and run the statement through the normal
-        pipeline (validation → SEPTIC hook → execution)."""
+        pipeline (validation → SEPTIC hook → execution).
+
+        Executions ride the pipeline cache keyed by
+        ``(statement id, bound values)``: the statement was parsed once
+        at prepare time, and a repeated bind of the same values reuses
+        the cached entry's bound AST, validated item stack, SEPTIC memo
+        and physical plan — zero re-parse, zero re-plan.  The plan must
+        be keyed per value set because access paths bake bound
+        constants (an ``IndexEqScan`` probes the literal it was planned
+        with); the LRU keeps the per-value fan-out bounded.
+        """
         if len(params) == 1 and isinstance(params[0], (list, tuple)):
             params = tuple(params[0])
-        bound = bind_params(self._statement, params)
-        return self._database.run_statement(
-            bound, comments=self._comments, session=self._session
+        database = self._database
+        cache = getattr(database, "pipeline_cache", None)
+        if cache is None or not all(
+                isinstance(p, _BINDABLE_TYPES) for p in params):
+            # unbindable values fall through so bind_params raises the
+            # proper error; cache-off degrades to bind-and-run
+            bound = bind_params(self._statement, params)
+            return database.run_statement(
+                bound, comments=self._comments, session=self._session
+            )
+        # type names ride along so 1, 1.0 and True (equal as dict keys)
+        # cannot collide into one another's bound statements
+        key = ("stmt", self.statement_id,
+               tuple((type(p).__name__, p) for p in params))
+        entry = None
+        try:
+            entry = cache.get(self._charset, key, database.schema_version)
+        except Exception:
+            entry = None  # a broken cache degrades to the cold path
+        if entry is None:
+            from repro.sqldb.cache import CacheEntry
+            from repro.sqldb.unparse import to_sql
+
+            bound = bind_params(self._statement, params)
+            try:
+                sql_text = to_sql(bound)
+            except TypeError:
+                sql_text = "<prepared:%s>" % type(bound).__name__
+            entry = CacheEntry(sql_text, [bound], list(self._comments))
+            try:
+                entry = cache.put(
+                    self._charset, key, database.schema_version, entry
+                )
+            except Exception:
+                pass  # cache insertion is best-effort
+        return database.run_statement(
+            entry.statements[0], comments=entry.comments,
+            sql_text=entry.decoded, session=self._session, entry=entry,
         )
 
 

@@ -322,6 +322,9 @@ class WriteAheadLog(object):
         self._lock = make_rlock()
         #: next LSN to stamp
         self.next_lsn = start_lsn
+        #: highest LSN known to be on stable storage (everything at or
+        #: below it survives a crash); group commit keys off this
+        self.synced_lsn = start_lsn - 1
         #: durability points (autocommit statements + commit markers)
         self.commits = 0
         self._commits_since_sync = 0
@@ -420,6 +423,24 @@ class WriteAheadLog(object):
                 os.fsync(self._handle.fileno())
             self.fsync_calls += 1
             self._commits_since_sync = 0
+            self.synced_lsn = self.next_lsn - 1
+
+    def sync_to(self, lsn):
+        """Group commit: make every record up to *lsn* durable.
+
+        One fsync covers every append that happened before it, so N
+        concurrent committers asking for overlapping horizons pay for a
+        single flush — the caller that arrives after a winner's fsync
+        already covered its LSN pays nothing at all.  Returns ``True``
+        when this call actually flushed, ``False`` when the horizon was
+        already durable (the coalesced case the throughput bench
+        counts).
+        """
+        with self._lock:
+            if self.closed or lsn <= self.synced_lsn:
+                return False
+            self.fsync()
+            return True
 
     @property
     def last_lsn(self):
@@ -513,6 +534,7 @@ class WriteAheadLog(object):
         with self._lock:
             return {
                 "next_lsn": self.next_lsn,
+                "synced_lsn": self.synced_lsn,
                 "records_appended": self.records_appended,
                 "commits": self.commits,
                 "fsync_calls": self.fsync_calls,

@@ -3,6 +3,13 @@
 A :class:`WebServer` wraps an application and optionally a WAF
 (ModSecurity): incoming requests are checked by the WAF *before* they
 reach the application — the placement the paper draws in Figure 6.
+
+The server can also front its database over the wire
+(:meth:`serve_net`): starting it binds a
+:class:`repro.net.server.NetServer` on the application's database, so
+external drivers (benchlab, the CLI, the throughput bench) reach the
+very same engine+SEPTIC pipeline through real sockets — the
+client/server deployment shape of the paper's testbed.
 """
 
 from repro.web.http import Response
@@ -17,6 +24,8 @@ class WebServer(object):
         #: optional :class:`repro.replica.coordinator.ReplicaSet` behind
         #: this server, surfaced through :meth:`replication_status`
         self.replica_set = replica_set
+        #: the socket front end started by :meth:`serve_net` (or None)
+        self.net_server = None
         self.requests_served = 0
         self.requests_blocked = 0
 
@@ -33,17 +42,43 @@ class WebServer(object):
                 )
         return self.app.handle(request)
 
+    # -- the socket front end ---------------------------------------------
+
+    def serve_net(self, host="127.0.0.1", port=0, **server_options):
+        """Start serving the application's database over the wire
+        protocol; returns ``(host, port)``.  The NetServer installs its
+        connection counters on the database, so they show up in
+        ``Septic.status()`` under ``"net"``."""
+        if self.net_server is not None:
+            raise RuntimeError("a net server is already attached")
+        database = getattr(self.app, "database", None)
+        if database is None:
+            raise RuntimeError("the application exposes no database")
+        from repro.net.server import NetServer
+
+        self.net_server = NetServer(database, host=host, port=port,
+                                    **server_options)
+        return self.net_server.start()
+
+    def stop_net(self):
+        """Stop the socket front end (no-op when none is attached)."""
+        if self.net_server is not None:
+            self.net_server.stop()
+            self.net_server = None
+
     def restart(self, hard=False):
         """The demo restarts Apache when toggling ModSecurity; restarting
         only resets counters here (state lives in the app/database).
 
         ``hard=True`` bounces the whole stack, DBMS included: the
         database is rebuilt from its data directory through the
-        crash-recovery path and SEPTIC reloads its persisted query
-        models — the restart the paper performs between training and
-        normal mode, with both data and protection state surviving.
-        Requires the database to have durability attached (a no-op for
-        a purely in-memory stack).
+        crash-recovery path, SEPTIC reloads its persisted query models,
+        the socket front end (when attached) drops every wire
+        connection and rebinds, and the replica set's lease clock is
+        renewed — an operator-driven restart must not read as primary
+        downtime, or the first ticks afterwards would trigger a
+        spurious election.  Requires the database to have durability
+        attached (a no-op for a purely in-memory stack).
         """
         self.requests_served = 0
         self.requests_blocked = 0
@@ -52,10 +87,21 @@ class WebServer(object):
         database = getattr(self.app, "database", None)
         if database is None or database.data_dir is None:
             return
+        net_server = self.net_server
+        host, port = None, None
+        if net_server is not None:
+            # wire clients do not survive a server bounce: drop them
+            # all, recover the engine, then rebind on the same port
+            host, port = net_server.host, net_server.port
+            self.stop_net()
         database.reopen()
         septic = getattr(database, "septic", None)
         if septic is not None and hasattr(septic, "reload_models"):
             septic.reload_models()
+        if self.replica_set is not None:
+            self.replica_set.renew_leases()
+        if net_server is not None:
+            self.serve_net(host=host, port=port)
 
     def replication_status(self):
         """Per-replica roles, applied LSNs and lags for an operator

@@ -1,0 +1,27 @@
+"""Shared fixtures for the wire-protocol tests: a served database."""
+
+import pytest
+
+from repro.net.client import NetClient
+from repro.net.server import NetServer
+from repro.sqldb.engine import Database
+from tests.conftest import TICKETS_SCHEMA
+
+
+@pytest.fixture
+def served():
+    """``(database, server)`` — a tickets database behind a NetServer
+    on an ephemeral port."""
+    database = Database()
+    database.seed(TICKETS_SCHEMA)
+    server = NetServer(database)
+    server.start()
+    yield database, server
+    server.stop()
+
+
+@pytest.fixture
+def client(served):
+    _database, server = served
+    with NetClient(server.host, server.port) as net_client:
+        yield net_client

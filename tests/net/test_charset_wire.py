@@ -1,0 +1,120 @@
+"""Charset semantics must be byte-identical over the socket.
+
+The paper's decoding channel (§II-D): the DBMS decodes a query under
+the *connection* charset before parsing, so GBK escape-eating and
+unicode-confusable folding change what a query means.  The wire front
+end negotiates the charset at handshake and routes COM_QUERY text
+through the exact same :func:`~repro.sqldb.charset.decode_query` an
+in-process connection uses — these tests hold the two paths to
+byte-for-byte identical results.
+
+Bound parameters are the contrast: they travel as typed JSON in
+COM_STMT_EXECUTE and are bound *after* decoding, so the same attack
+bytes inside a parameter stay inert data, whatever the charset.
+"""
+
+from repro.net.client import NetClient
+from repro.sqldb.connection import Connection
+
+#: the §II-D1 second-order payload: U+02BC folds to a live quote
+FOLDING_PAYLOAD = "ID34FGʼ-- "
+
+#: the classic GBK shape: 0xBF + escaped quote -> merged char + live quote
+GBK_PAYLOAD = "¿\\' OR '1'='1"
+
+TEMPLATE = "SELECT reservID, creditCard FROM tickets WHERE reservID = '%s'"
+
+
+def _wire_rows(server, charset, sql):
+    with NetClient(server.host, server.port, charset=charset) as client:
+        outcome = client.query(sql)
+    if outcome.error is not None:
+        return ("error", outcome.error.errno)
+    return outcome.rows
+
+
+def _local_rows(database, charset, sql):
+    outcome = Connection(database, charset=charset).query(sql)
+    if outcome.error is not None:
+        return ("error", outcome.error.errno)
+    return [tuple(row) for row in outcome.result_set.rows]
+
+
+class TestLiteralQueriesDecodeIdentically(object):
+    def test_gbk_escape_eating_matches_in_process(self, served):
+        database, server = served
+        sql = TEMPLATE % GBK_PAYLOAD
+        wire = _wire_rows(server, "gbk", sql)
+        local = _local_rows(database, "gbk", sql)
+        assert wire == local
+        # and the decode really went live: the eaten escape turns the
+        # tautology on, so every ticket comes back
+        assert len(wire) == 3
+
+    def test_gbk_payload_is_inert_under_latin1(self, served):
+        database, server = served
+        sql = TEMPLATE % GBK_PAYLOAD
+        wire = _wire_rows(server, "latin1", sql)
+        assert wire == _local_rows(database, "latin1", sql)
+        # no escape eating: the backslash keeps its quote escaped, the
+        # payload's own trailing quote never closes, and both paths see
+        # the same parse error instead of a tautology
+        assert wire == ("error", 1064)
+
+    def test_u02bc_folding_matches_in_process(self, served):
+        database, server = served
+        sql = TEMPLATE % FOLDING_PAYLOAD
+        wire = _wire_rows(server, "utf8", sql)
+        local = _local_rows(database, "utf8", sql)
+        assert wire == local
+        # folding closed the literal early and commented out the tail,
+        # so the query matches the real ID34FG row
+        assert wire == [("ID34FG", 1234)]
+
+    def test_u02bc_stays_data_under_utf8_strict(self, served):
+        database, server = served
+        sql = TEMPLATE % FOLDING_PAYLOAD
+        wire = _wire_rows(server, "utf8_strict", sql)
+        assert wire == _local_rows(database, "utf8_strict", sql)
+        assert wire == []
+
+
+class TestBoundParamsBypassDecoding(object):
+    def test_gbk_payload_in_a_param_is_inert(self, served):
+        _database, server = served
+        with NetClient(server.host, server.port, charset="gbk") as client:
+            handle = client.prepare(
+                "SELECT reservID FROM tickets WHERE reservID = ?"
+            )
+            outcome = client.execute(handle, GBK_PAYLOAD)
+        assert outcome.ok
+        assert outcome.rows == []  # data, not a tautology
+
+    def test_u02bc_in_a_param_survives_byte_for_byte(self, served):
+        _database, server = served
+        with NetClient(server.host, server.port, charset="utf8") as client:
+            ins = client.prepare(
+                "INSERT INTO tickets (reservID, creditCard) VALUES (?, ?)"
+            )
+            assert client.execute(ins, FOLDING_PAYLOAD, 42).ok
+            sel = client.prepare(
+                "SELECT reservID FROM tickets WHERE creditCard = ?"
+            )
+            outcome = client.execute(sel, 42)
+        # the stored value still holds the raw U+02BC — folding never
+        # touched the bound bytes on their way in or out
+        assert outcome.rows == [(FOLDING_PAYLOAD,)]
+
+    def test_param_and_literal_disagree_on_the_same_bytes(self, served):
+        """The crux: identical attack bytes — live as a literal, inert
+        as a parameter — on the same GBK connection."""
+        _database, server = served
+        with NetClient(server.host, server.port, charset="gbk") as client:
+            literal = client.query(TEMPLATE % GBK_PAYLOAD)
+            handle = client.prepare(
+                "SELECT reservID, creditCard FROM tickets "
+                "WHERE reservID = ?"
+            )
+            bound = client.execute(handle, GBK_PAYLOAD)
+        assert literal.ok and len(literal.rows) == 3
+        assert bound.ok and bound.rows == []

@@ -1,0 +1,116 @@
+"""Kill-mid-frame crash test: a torn response never acks a write.
+
+The durability contract across the wire composes two guarantees:
+
+* **group commit orders fsync before acknowledgement** — the worker
+  writes a batch's OK frames only after the GroupCommitter has made the
+  batch's commit frontier durable, so any OK a client *fully receives*
+  names a committed-and-fsynced write;
+* **framing refuses torn responses** — when the server dies mid-write
+  (the armed ``net.write`` fault sends exactly half the frame), the
+  client's length/CRC check raises :class:`TornFrameError` instead of
+  surfacing whatever half-an-OK would have said.
+
+So after a crash + recovery: every write the client saw an OK for is in
+the recovered database, and the torn write's fate is *undecided* — the
+client knows it must re-check, exactly a crashed MySQL server's
+contract.
+"""
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultKind, FaultPlan
+from repro.net import protocol
+from repro.net.client import NetClient
+from repro.net.server import NetServer
+from repro.sqldb.engine import Database
+from tests.conftest import TICKETS_SCHEMA
+
+INSERT = "INSERT INTO tickets (reservID, creditCard) VALUES ('%s', %d)"
+
+
+def _recovered_reservids(data_dir):
+    database = Database.recover(data_dir)
+    try:
+        return [row["reservid"]
+                for row in database.table("tickets").rows]
+    finally:
+        database.close()
+
+
+@pytest.fixture
+def durable_served(tmp_path):
+    """A WAL-backed database (group-commit sync mode) behind a server."""
+    data_dir = str(tmp_path / "netcrash")
+    database = Database.recover(data_dir, wal_sync="batch",
+                                wal_batch_commits=10 ** 6)
+    for statement in TICKETS_SCHEMA.strip().rstrip(";").split(";"):
+        database.run(statement)
+    server = NetServer(database)
+    server.start()
+    yield database, server, data_dir
+    server.stop()
+    database.close()
+
+
+class TestKillMidFrame(object):
+    def test_acked_writes_survive_recovery(self, durable_served):
+        database, server, data_dir = durable_served
+        acked = []
+        with NetClient(server.host, server.port) as client:
+            for index in range(5):
+                name = "ACK%d" % index
+                outcome = client.query(INSERT % (name, index))
+                if outcome.ok:
+                    acked.append(name)
+        assert len(acked) == 5
+        # crash: no clean shutdown, no final fsync — recover from disk
+        survivors = _recovered_reservids(data_dir)
+        for name in acked:
+            assert name in survivors
+
+    def test_torn_frame_is_never_an_ack(self, durable_served):
+        database, server, data_dir = durable_served
+        client = NetClient(server.host, server.port)
+        assert client.query(INSERT % ("SAFE", 1)).ok
+
+        plan = FaultPlan()
+        plan.inject("net.write", FaultKind.RAISE, times=1)
+        acked_torn = False
+        with faults.armed(plan):
+            client.send_query(INSERT % ("TORN", 2))
+            try:
+                acked_torn = client.drain(1)[0].ok
+            except (protocol.TornFrameError, OSError):
+                pass  # undecided — the only acceptable answer
+        assert not acked_torn
+        client.close()
+
+        survivors = _recovered_reservids(data_dir)
+        # the acked write is durably there; the torn one may or may not
+        # be (undecided), but its presence was never *claimed*
+        assert "SAFE" in survivors
+
+    def test_group_commit_acks_only_after_fsync(self, durable_served):
+        """Every OK the client holds names an fsync-covered commit:
+        the WAL's synced LSN can never trail an acknowledged commit."""
+        database, server, data_dir = durable_served
+        with NetClient(server.host, server.port) as client:
+            for index in range(8):
+                client.send_query(INSERT % ("GC%d" % index, index))
+            outcomes = client.drain()
+            assert all(o.ok for o in outcomes)
+            wal = database.wal
+            assert wal.synced_lsn == wal.last_lsn
+            # and batching means far fewer fsyncs than commits
+            assert wal.fsync_calls < wal.commits
+
+    def test_fresh_client_sees_acked_rows_immediately(self, durable_served):
+        _database, server, _data_dir = durable_served
+        with NetClient(server.host, server.port) as writer:
+            assert writer.query(INSERT % ("VIS", 9)).ok
+        with NetClient(server.host, server.port) as reader:
+            assert reader.query_or_raise(
+                "SELECT COUNT(*) FROM tickets WHERE reservID = 'VIS'"
+            ).scalar() == 1

@@ -1,0 +1,88 @@
+"""Fault containment at the four ``net.*`` sites, over real sockets.
+
+The E12 matrix (tests/core/test_fault_matrix.py) already drives every
+``net.*`` site through the in-process query path, where they are inert;
+these tests arm them where they actually live — under a running
+server — and hold the blast radius to one connection: the client sees a
+torn frame or an injected error, never a fake acknowledgement, and the
+server keeps serving fresh connections afterwards.
+"""
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultKind, FaultPlan, InjectedFault
+from repro.net import protocol
+from repro.net.client import NetClient
+
+
+def _fresh_connection_works(server):
+    with NetClient(server.host, server.port) as client:
+        return client.query("SELECT COUNT(*) FROM tickets").ok
+
+
+class TestNetFaultContainment(object):
+    def test_accept_fault_rejects_the_connection(self, served):
+        _database, server = served
+        plan = FaultPlan()
+        plan.inject("net.accept", FaultKind.RAISE, times=1)
+        with faults.armed(plan):
+            with pytest.raises((protocol.TornFrameError, OSError)):
+                NetClient(server.host, server.port)
+        assert server.stats_dict()["rejected"] >= 1
+        assert _fresh_connection_works(server)
+
+    def test_read_fault_tears_only_that_connection(self, served):
+        _database, server = served
+        client = NetClient(server.host, server.port)
+        plan = FaultPlan()
+        plan.inject("net.read", FaultKind.RAISE, times=1)
+        with faults.armed(plan):
+            client.send_query("SELECT COUNT(*) FROM tickets")
+            with pytest.raises((protocol.TornFrameError, OSError)):
+                client.drain(1)
+        client.close()
+        assert _fresh_connection_works(server)
+
+    def test_write_fault_yields_a_torn_frame_never_an_ack(self, served):
+        _database, server = served
+        client = NetClient(server.host, server.port)
+        plan = FaultPlan()
+        plan.inject("net.write", FaultKind.RAISE, times=1)
+        with faults.armed(plan):
+            client.send_query(
+                "INSERT INTO tickets (reservID, creditCard) "
+                "VALUES ('TORN', 1)"
+            )
+            # half a frame comes back; the CRC/length framing refuses it
+            with pytest.raises((protocol.TornFrameError, OSError)):
+                client.drain(1)
+        client.close()
+        assert _fresh_connection_works(server)
+
+    def test_frame_fault_fails_the_send_not_the_server(self, served):
+        _database, server = served
+        client = NetClient(server.host, server.port)
+        plan = FaultPlan()
+        plan.inject("net.frame", FaultKind.RAISE, times=1)
+        with faults.armed(plan):
+            # encoding blows up client-side before any bytes move
+            with pytest.raises(InjectedFault):
+                client.send_query("SELECT 1")
+        client.close()
+        assert _fresh_connection_works(server)
+
+    def test_all_sites_recover_for_later_connections(self, served):
+        """Sweep every net site: after each injected episode the server
+        must accept and serve a brand-new connection."""
+        _database, server = served
+        for site in ("net.accept", "net.read", "net.write", "net.frame"):
+            plan = FaultPlan()
+            plan.inject(site, FaultKind.RAISE, times=1)
+            with faults.armed(plan):
+                try:
+                    with NetClient(server.host, server.port) as client:
+                        client.query("SELECT 1")
+                except (InjectedFault, protocol.NetProtocolError, OSError):
+                    pass  # contained: this connection only
+            assert _fresh_connection_works(server), site

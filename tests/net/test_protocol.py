@@ -1,0 +1,78 @@
+"""Unit tests for the wire framing (length + CRC, torn-frame refusal)."""
+
+import pytest
+
+from repro.net import protocol
+
+
+def _roundtrip(opcode, payload):
+    blob = protocol.encode_frame(opcode, payload)
+    length, crc = protocol.unpack_header(blob[:protocol.HEADER.size])
+    body = blob[protocol.HEADER.size:]
+    assert len(body) == length
+    return protocol.decode_body(body, crc)
+
+
+class TestFraming(object):
+    def test_roundtrip(self):
+        opcode, payload = _roundtrip(
+            protocol.COM_QUERY, {"sql": "SELECT 1", "seq": 7}
+        )
+        assert opcode == protocol.COM_QUERY
+        assert payload == {"sql": "SELECT 1", "seq": 7}
+
+    def test_roundtrip_empty_payload(self):
+        opcode, payload = _roundtrip(protocol.COM_QUIT, {})
+        assert opcode == protocol.COM_QUIT
+        assert payload == {}
+
+    def test_roundtrip_unicode_survives(self):
+        # the charset tests depend on wire transport being byte-exact
+        text = "ʼ ¿\\' 縺"
+        _opcode, payload = _roundtrip(protocol.COM_QUERY, {"sql": text})
+        assert payload["sql"] == text
+
+    def test_opcode_names_cover_both_directions(self):
+        for name in ("COM_QUERY", "OK", "ERR", "RESULTSET", "PONG"):
+            assert name in protocol.OPCODE_NAMES.values()
+
+
+class TestTornFrames(object):
+    def test_short_header_is_torn(self):
+        with pytest.raises(protocol.TornFrameError):
+            protocol.unpack_header(b"\x01\x02\x03")
+
+    def test_oversize_length_is_framing_damage(self):
+        blob = protocol.HEADER.pack(protocol.MAX_FRAME_BYTES + 1, 0)
+        with pytest.raises(protocol.NetProtocolError):
+            protocol.unpack_header(blob)
+
+    def test_corrupt_body_fails_crc(self):
+        blob = protocol.encode_frame(protocol.OK, {"affected": 1})
+        _length, crc = protocol.unpack_header(blob[:protocol.HEADER.size])
+        body = bytearray(blob[protocol.HEADER.size:])
+        body[-1] ^= 0xFF
+        with pytest.raises(protocol.TornFrameError):
+            protocol.decode_body(bytes(body), crc)
+
+    def test_truncated_body_fails_crc(self):
+        # the kill-mid-write shape: a prefix of the frame arrived
+        blob = protocol.encode_frame(protocol.OK, {"affected": 1})
+        _length, crc = protocol.unpack_header(blob[:protocol.HEADER.size])
+        body = blob[protocol.HEADER.size:]
+        with pytest.raises(protocol.TornFrameError):
+            protocol.decode_body(body[: len(body) // 2], crc)
+
+    def test_non_json_payload_rejected(self):
+        body = bytes([protocol.OK]) + b"\xff\xfe not json"
+        import zlib
+
+        with pytest.raises(protocol.NetProtocolError):
+            protocol.decode_body(body, zlib.crc32(body) & 0xFFFFFFFF)
+
+    def test_non_object_payload_rejected(self):
+        import zlib
+
+        body = bytes([protocol.OK]) + b"[1,2,3]"
+        with pytest.raises(protocol.NetProtocolError):
+            protocol.decode_body(body, zlib.crc32(body) & 0xFFFFFFFF)

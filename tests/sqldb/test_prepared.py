@@ -176,3 +176,124 @@ class TestSepticInterplay(object):
             "WHERE reservID = 'b' AND 1=1-- ' AND creditCard = 2"
         )
         assert not outcome.ok  # mimicry against the prepared-learned model
+
+
+class TestExecutionCacheReuse(object):
+    """PR-9 regression: server-side prepared executions ride the
+    pipeline cache keyed by ``(statement id, bound values)`` — repeat
+    binds of the same values skip parse, validation and planning
+    entirely, and the plan is never shared across value sets (access
+    paths bake bound constants)."""
+
+    def _db_conn(self):
+        database = Database()
+        database.seed(TICKETS_SCHEMA)
+        connection = Connection(database)
+        return database, connection
+
+    def test_repeat_binds_hit_the_cache(self):
+        database, conn = self._db_conn()
+        prepared = conn.prepare(
+            "SELECT reservID FROM tickets WHERE creditCard = ?"
+        )
+        cache = database.pipeline_cache
+        misses_before, hits_before = cache.misses, cache.hits
+        first = prepared.execute(1234)
+        assert [tuple(r) for r in first.result_set.rows] == [("ID34FG",)]
+        assert cache.misses == misses_before + 1
+        for _ in range(3):
+            again = prepared.execute(1234)
+            assert [tuple(r) for r in again.result_set.rows] == \
+                [("ID34FG",)]
+        assert cache.hits == hits_before + 3
+
+    def test_no_reparse_after_prepare(self, monkeypatch):
+        database, conn = self._db_conn()
+        prepared = conn.prepare(
+            "SELECT reservID FROM tickets WHERE creditCard = ?"
+        )
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("execution re-entered the parser")
+
+        monkeypatch.setattr("repro.sqldb.parser.parse_sql", boom)
+        # both the cold (miss) and hot (hit) paths stay parse-free
+        assert prepared.execute(1234).result_set.rows
+        assert prepared.execute(1234).result_set.rows
+        assert prepared.execute(9999).result_set.rows
+
+    def test_no_revalidation_on_a_hit(self, monkeypatch):
+        database, conn = self._db_conn()
+        prepared = conn.prepare(
+            "SELECT reservID FROM tickets WHERE creditCard = ?"
+        )
+        prepared.execute(1234)  # populates the entry's stack
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("cache hit re-entered the validator")
+
+        monkeypatch.setattr("repro.sqldb.engine.validate", boom)
+        assert prepared.execute(1234).result_set.rows == \
+            [prepared.execute(1234).result_set.rows[0]]
+
+    def test_value_sets_never_share_an_entry(self):
+        database, conn = self._db_conn()
+        prepared = conn.prepare(
+            "SELECT reservID FROM tickets WHERE creditCard = ?"
+        )
+        cache = database.pipeline_cache
+        misses_before = cache.misses
+        a = prepared.execute(1234)
+        b = prepared.execute(9999)
+        assert [tuple(r) for r in a.result_set.rows] == [("ID34FG",)]
+        assert [tuple(r) for r in b.result_set.rows] == [("ZZ11AA",)]
+        # two value sets -> two entries (plans bake their constants)
+        assert cache.misses == misses_before + 2
+
+    def test_equal_values_of_different_types_do_not_alias(self):
+        database, conn = self._db_conn()
+        prepared = conn.prepare(
+            "SELECT reservID FROM tickets WHERE creditCard = ?"
+        )
+        cache = database.pipeline_cache
+        prepared.execute(1234)
+        misses_before = cache.misses
+        # True == 1 and hash(True) == hash(1); the typed key keeps
+        # 1234.0 from riding 1234's cached bound statement
+        prepared.execute(1234.0)
+        assert cache.misses == misses_before + 1
+
+    def test_two_prepares_of_the_same_text_do_not_share(self):
+        database, conn = self._db_conn()
+        first = conn.prepare("SELECT reservID FROM tickets WHERE id = ?")
+        second = conn.prepare("SELECT reservID FROM tickets WHERE id = ?")
+        assert first.statement_id != second.statement_id
+        a = first.execute(1)
+        b = second.execute(2)
+        assert [tuple(r) for r in a.result_set.rows] == [("ID34FG",)]
+        assert [tuple(r) for r in b.result_set.rows] == [("ZZ11AA",)]
+
+    def test_wrong_param_count_still_raises_after_caching(self):
+        _database, conn = self._db_conn()
+        prepared = conn.prepare(
+            "SELECT reservID FROM tickets WHERE creditCard = ?"
+        )
+        prepared.execute(1234)
+        with pytest.raises(SQLError) as excinfo:
+            prepared.execute(1234, 5678)
+        assert excinfo.value.errno == 2031
+
+    def test_ddl_invalidates_cached_executions(self):
+        database, conn = self._db_conn()
+        prepared = conn.prepare(
+            "SELECT reservID FROM tickets WHERE creditCard = ?"
+        )
+        prepared.execute(1234)
+        database.run("CREATE TABLE other (id INT PRIMARY KEY)")
+        cache = database.pipeline_cache
+        misses_before = cache.misses
+        # schema_version moved: the old entry must not match, and the
+        # re-validated execution still returns the right row
+        outcome = prepared.execute(1234)
+        assert [tuple(r) for r in outcome.result_set.rows] == [("ID34FG",)]
+        assert cache.misses == misses_before + 1

@@ -686,3 +686,114 @@ def test_wall_clock_gate_catches_a_sleep(tmp_path):
     assert len(problems) == 2
     assert "imports time" in problems[0]
     assert "sleep()" in problems[1]
+
+
+NET_ROOT = os.path.join(SRC_ROOT, "repro", "net")
+
+_NET_MODULES = frozenset(["socket", "asyncio", "selectors"])
+
+
+def _net_import_violations(path):
+    """Raw networking imports: sockets and the event loop live only in
+    ``repro.net`` — everything else goes through NetClient/NetServer,
+    so the wire protocol (and its fault sites) cannot be bypassed."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    problems = []
+    rel = os.path.relpath(path, REPO_ROOT)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in _NET_MODULES:
+                    problems.append("%s:%d: imports %s"
+                                    % (rel, node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in _NET_MODULES:
+                problems.append("%s:%d: imports from %s"
+                                % (rel, node.lineno, node.module))
+    return problems
+
+
+def test_raw_networking_is_confined_to_net_package():
+    problems = []
+    for path in _python_files(SRC_ROOT):
+        if path.startswith(NET_ROOT + os.sep):
+            continue
+        problems.extend(_net_import_violations(path))
+    assert problems == [], "\n".join(problems)
+
+
+def test_net_import_gate_catches_a_stray_socket(tmp_path):
+    bad = tmp_path / "bad_net.py"
+    bad.write_text(
+        "import socket\n"
+        "from asyncio import get_event_loop\n"
+    )
+    problems = _net_import_violations(str(bad))
+    assert len(problems) == 2
+    assert "imports socket" in problems[0]
+    assert "imports from asyncio" in problems[1]
+
+
+_BLOCKING_IN_COROUTINE = frozenset(["time.sleep", "os.fsync", "open"])
+
+
+def _async_blocking_violations(path):
+    """Blocking calls inside coroutine bodies: the event loop serves
+    every connection, so one blocking call stalls them all.  Blocking
+    work (engine execution, fsync) must hop to the executor instead."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    problems = []
+    rel = os.path.relpath(path, REPO_ROOT)
+    for func in ast.walk(tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name):
+                name = "%s.%s" % (target.value.id, target.attr)
+            elif isinstance(target, ast.Name):
+                name = target.id
+            else:
+                continue
+            if name in _BLOCKING_IN_COROUTINE:
+                problems.append("%s:%d: %s() inside coroutine %s"
+                                % (rel, node.lineno, name, func.name))
+    return problems
+
+
+def test_net_coroutines_never_block():
+    problems = []
+    for path in _python_files(NET_ROOT):
+        problems.extend(_async_blocking_violations(path))
+    assert problems == [], "\n".join(problems)
+
+
+def test_async_blocking_gate_catches_a_sleep(tmp_path):
+    bad = tmp_path / "bad_async.py"
+    bad.write_text(
+        "import asyncio\n"
+        "import time\n"
+        "async def handler():\n"
+        "    time.sleep(0.1)\n"
+        "    data = open('x').read()\n"
+        "    await asyncio.sleep(0)\n"
+        "def sync_path():\n"
+        "    time.sleep(0.1)\n"
+    )
+    problems = _async_blocking_violations(str(bad))
+    assert len(problems) == 2
+    assert "time.sleep() inside coroutine handler" in problems[0]
+    assert "open() inside coroutine handler" in problems[1]
+
+
+def test_netlab_never_reads_the_wall_clock():
+    """NetLab's pipelining model runs purely on the Simulator's virtual
+    clock — a wall-clock read would make its speedup load-dependent."""
+    path = os.path.join(SRC_ROOT, "repro", "benchlab", "netlab.py")
+    problems = _wall_clock_violations(path)
+    assert problems == [], "\n".join(problems)
