@@ -906,3 +906,310 @@ def format_corruption_result(result):
            sources, result.false_repairs, result.unrepaired,
            "OK" if result.ok else "PROBLEMS")
     )
+
+
+# -- sharded crash sweep ------------------------------------------------
+#
+# The cross-shard extension of the failover sweep: a hash-sharded fleet
+# (each shard its own replica set) runs a keyed workload through the
+# ShardRouter, and the sweep kills *any shard's* primary at *every*
+# commit boundary, issuing a scatter read mid-failover each time.  The
+# guarantees under test:
+#
+# * no lost rows — every write acked before the kill survives the
+#   shard's election;
+# * no phantom rows — nothing unacked resurrects;
+# * no torn cross-shard reads — a scatter COUNT/SUM issued while one
+#   shard is electing must still see exactly the committed prefix on
+#   every shard (the router's virtual-tick retry rides the failover);
+# * SEPTIC blocks stay side-effect-free fleet-wide (the marker septic
+#   runs per shard).
+
+
+def generate_sharded_workload(seed, writes=10):
+    """Deterministic keyed ops for one sharded sweep.
+
+    Returns ``(kind, sql)`` pairs: ``"w"`` single-shard writes and
+    broadcast DDL (each a commit boundary), ``"r"`` cross-shard scatter
+    reads, ``"x"`` statements the marker septic must block."""
+    rng = random.Random(seed)
+    pool = ["alice", "bob", "carol", "dave", "erin", "frank", "grace",
+            "heidi", "ivan", "judy", "mallory", "nina", "oscar", "peggy"]
+    ops = [("w", "CREATE TABLE accounts (owner VARCHAR(12) PRIMARY KEY, "
+                 "amount INT)")]
+    live = []
+    spare = list(pool)
+    emitted = 0
+    while emitted < writes and (spare or live):
+        roll = rng.random()
+        if live and roll < 0.25:
+            owner = rng.choice(live)
+            ops.append(("w", "UPDATE accounts SET amount = amount + %d "
+                             "WHERE owner = '%s'"
+                             % (rng.randrange(1, 50), owner)))
+        elif live and roll < 0.35:
+            owner = live.pop(rng.randrange(len(live)))
+            ops.append(("w", "DELETE FROM accounts WHERE owner = '%s'"
+                        % owner))
+        elif spare:
+            owner = spare.pop(rng.randrange(len(spare)))
+            live.append(owner)
+            ops.append(("w", "INSERT INTO accounts (owner, amount) "
+                             "VALUES ('%s', %d)"
+                             % (owner, rng.randrange(100))))
+        else:
+            continue
+        emitted += 1
+        if rng.random() < 0.4:
+            ops.append(("r", "SELECT COUNT(*), SUM(amount) FROM accounts"))
+    # one blocked single-shard write and one blocked scatter read: both
+    # must be fleet-wide no-ops
+    if live:
+        ops.append(("x", "UPDATE accounts SET amount = 666 "
+                         "WHERE owner = '%s' -- evil" % live[0]))
+    ops.append(("x", "SELECT COUNT(*) FROM accounts WHERE owner != 'evil'"))
+    ops.append(("r", "SELECT owner, amount FROM accounts "
+                     "ORDER BY amount DESC, owner LIMIT 3"))
+    return ops
+
+
+def fleet_digest(router):
+    """Combined digest over every shard primary (order-stable)."""
+    parts = []
+    for shard in range(router.shard_count):
+        database = router.primary_database(shard)
+        parts.append("" if database is None else state_digest(database))
+    return sha1("|".join(parts).encode("ascii")).hexdigest()
+
+
+def _fleet_totals(router):
+    """(row_count, amount_sum) straight off the shard primaries — the
+    ground truth a scatter read must agree with."""
+    count = 0
+    total = 0
+    for shard in range(router.shard_count):
+        database = router.primary_database(shard)
+        if database is None or "accounts" not in database.tables:
+            continue
+        for row in database.tables["accounts"].rows:
+            count += 1
+            total += row.get("amount") or 0
+    return count, total
+
+
+class ShardedSweepResult(object):
+    """Outcome of one kill-any-shard-primary-at-every-commit sweep."""
+
+    __slots__ = ("seed", "shards", "replicas", "boundaries", "kills",
+                 "promotions", "torn_reads", "lost_rows", "phantom_rows",
+                 "digest_mismatches", "index_mismatches", "blocked",
+                 "scatter_reads")
+
+    def __init__(self, seed, shards, replicas, boundaries, kills,
+                 promotions, torn_reads, lost_rows, phantom_rows,
+                 digest_mismatches, index_mismatches, blocked,
+                 scatter_reads):
+        self.seed = seed
+        self.shards = shards
+        self.replicas = replicas
+        #: commit boundaries of the golden run (each swept × shards)
+        self.boundaries = boundaries
+        self.kills = kills
+        self.promotions = promotions
+        #: (k, shard, expected, got) scatter reads that disagreed with
+        #: the committed prefix mid-failover
+        self.torn_reads = torn_reads
+        #: acked rows missing after failover, summed over runs
+        self.lost_rows = lost_rows
+        #: unacked rows that resurrected, summed over runs
+        self.phantom_rows = phantom_rows
+        #: (k, shard) final fleet digests diverging from golden
+        self.digest_mismatches = digest_mismatches
+        #: (k, shard, problem) index-vs-scan disagreements
+        self.index_mismatches = index_mismatches
+        #: statements the marker septic dropped in the golden run
+        self.blocked = blocked
+        #: scatter reads issued mid-failover across the sweep
+        self.scatter_reads = scatter_reads
+
+    @property
+    def ok(self):
+        return (not self.torn_reads and not self.lost_rows
+                and not self.phantom_rows and not self.digest_mismatches
+                and not self.index_mismatches and self.blocked >= 2
+                and self.kills == self.boundaries * self.shards
+                and self.promotions == self.kills)
+
+    def __repr__(self):
+        return ("ShardedSweepResult(seed=%r, %d boundaries x %d shards, "
+                "%d kills, %d torn reads, %d lost, %d phantom)"
+                % (self.seed, self.boundaries, self.shards, self.kills,
+                   len(self.torn_reads), self.lost_rows,
+                   self.phantom_rows))
+
+
+def _replay_sharded(router, ops, stop_after=None):
+    """Drive *ops* through the router, shipping after each op.  Returns
+    ``(boundary_states, blocked)`` where ``boundary_states[k]`` is the
+    ``(count, total, digest)`` snapshot after the k-th commit boundary
+    (``boundary_states[0]`` = before any write).  Stops once
+    *stop_after* boundaries have landed."""
+    boundary_states = [(0, 0, fleet_digest(router))]
+    blocked = 0
+    for kind, sql in ops:
+        if stop_after is not None and len(boundary_states) > stop_after:
+            break
+        outcome = router.query(sql)
+        router.ship()
+        if kind == "w":
+            if not outcome.ok:
+                raise AssertionError(
+                    "workload write failed: %s -> %s" % (sql, outcome.error)
+                )
+            count, total = _fleet_totals(router)
+            boundary_states.append((count, total, fleet_digest(router)))
+        elif kind == "x":
+            if outcome.ok or getattr(outcome.error, "errno", None) != 3090:
+                raise AssertionError(
+                    "marker septic let %r through: %r" % (sql, outcome)
+                )
+            blocked += 1
+    return boundary_states, blocked
+
+
+def run_sharded_sweep(workdir, seed, shards=2, replicas=1, writes=10):
+    """Kill every shard's primary at every commit boundary mid-scatter.
+
+    Golden run first: the full workload through a fresh sharded fleet,
+    snapshotting ``(rows, sum, digest)`` at every commit boundary.  Then
+    for every boundary ``k`` and every shard ``s``: fresh fleet, replay
+    exactly ``k`` boundaries, crash shard ``s``'s primary, and — with
+    the failover still in flight — issue a cross-shard scatter read
+    through the router.  The read must see exactly the golden ``k``
+    snapshot (no torn cross-shard state), the election must promote,
+    and finishing the workload must converge every shard to the golden
+    final digest (no lost, no phantom rows).  Indexes are cross-checked
+    against full scans on every post-failover primary.
+    """
+    from repro.shard import ShardRouter
+
+    ops = generate_sharded_workload(seed, writes=writes)
+
+    def build_router(tag):
+        path = os.path.join(workdir, "sharded-%s-%s" % (seed, tag))
+        shutil.rmtree(path, ignore_errors=True)
+        return ShardRouter(
+            path, shards=shards, replicas=replicas,
+            septic_factory=MarkerSeptic, seed=seed if isinstance(seed, int)
+            else 1, heartbeat_interval=1, lease_intervals=2,
+        )
+
+    golden = build_router("golden")
+    try:
+        golden_states, blocked = _replay_sharded(golden, ops)
+        golden_final = golden_states[-1][2]
+    finally:
+        golden.close()
+    boundaries = len(golden_states) - 1
+
+    kills = 0
+    promotions = 0
+    scatter_reads = 0
+    torn_reads = []
+    lost_rows = 0
+    phantom_rows = 0
+    digest_mismatches = []
+    index_mismatches = []
+
+    for k in range(1, boundaries + 1):
+        for shard in range(shards):
+            router = build_router("victim")
+            try:
+                _replay_sharded(router, ops, stop_after=k)
+                victim_set = router.shard_sets[shard]
+                promotions_before = victim_set.promotions
+                router.kill_primary(shard)
+                kills += 1
+                # scatter read mid-failover: the router's virtual-tick
+                # retry backoff is what drives the election forward
+                outcome = router.query(
+                    "SELECT COUNT(*), SUM(amount) FROM accounts"
+                )
+                scatter_reads += 1
+                expected_count, expected_total, _ = golden_states[k]
+                if not outcome.ok:
+                    torn_reads.append((k, shard, "error",
+                                       str(outcome.error)))
+                else:
+                    got_count, got_total = outcome.rows[0]
+                    if (got_count, got_total or 0) != (expected_count,
+                                                       expected_total):
+                        torn_reads.append(
+                            (k, shard,
+                             (expected_count, expected_total),
+                             (got_count, got_total))
+                        )
+                        if got_count < expected_count:
+                            lost_rows += expected_count - got_count
+                        elif got_count > expected_count:
+                            phantom_rows += got_count - expected_count
+                if victim_set.primary is None:
+                    _await_promotion(victim_set)
+                if victim_set.promotions > promotions_before:
+                    promotions += 1
+                # finish the workload over the promoted fleet
+                remaining = _count_remaining(ops, k)
+                if remaining:
+                    _replay_sharded(router, remaining)
+                final = fleet_digest(router)
+                if final != golden_final:
+                    digest_mismatches.append((k, shard))
+                for ordinal in range(shards):
+                    database = router.primary_database(ordinal)
+                    if database is None:
+                        index_mismatches.append((k, shard, "no primary"))
+                        continue
+                    for problem in verify_index_consistency(database):
+                        index_mismatches.append((k, shard, problem))
+            finally:
+                router.close()
+
+    return ShardedSweepResult(
+        seed=seed, shards=shards, replicas=replicas,
+        boundaries=boundaries, kills=kills, promotions=promotions,
+        torn_reads=torn_reads, lost_rows=lost_rows,
+        phantom_rows=phantom_rows, digest_mismatches=digest_mismatches,
+        index_mismatches=index_mismatches, blocked=blocked,
+        scatter_reads=scatter_reads,
+    )
+
+
+def _count_remaining(ops, boundaries_done):
+    """The op suffix after the first *boundaries_done* commit
+    boundaries (what the victim run still has to execute)."""
+    landed = 0
+    for index, (kind, _sql) in enumerate(ops):
+        if kind == "w":
+            landed += 1
+            if landed == boundaries_done:
+                return ops[index + 1:]
+    return []
+
+
+def format_sharded_result(result):
+    lines = [
+        "sharded crash sweep: seed=%r %d shards x %d replicas" % (
+            result.seed, result.shards, result.replicas),
+        "  %d commit boundaries, %d kills (every shard at every "
+        "boundary), %d promotions" % (result.boundaries, result.kills,
+                                      result.promotions),
+        "  %d scatter reads mid-failover, %d torn" % (
+            result.scatter_reads, len(result.torn_reads)),
+        "  lost rows: %d, phantom rows: %d" % (result.lost_rows,
+                                               result.phantom_rows),
+        "  digest mismatches: %d, index mismatches: %d, blocked: %d" % (
+            len(result.digest_mismatches), len(result.index_mismatches),
+            result.blocked),
+        "  verdict: %s" % ("OK" if result.ok else "FAILED"),
+    ]
+    return "\n".join(lines)

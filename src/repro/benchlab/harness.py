@@ -784,3 +784,99 @@ def run_failover_experiment(workdir, replicas=2, readers=6, seed=1,
         rows_expected=rows_expected, rows_on_primary=rows_on_primary,
         converged=converged,
     )
+
+
+class ScaleOutResult(object):
+    """What :func:`run_scaleout_experiment` measured for one fleet size."""
+
+    __slots__ = ("shards", "clients", "duration", "service_seconds",
+                 "scatter_fraction", "completed", "single_shard",
+                 "scatter", "throughput", "per_shard_served",
+                 "balance_ratio")
+
+    def __init__(self, **kwargs):
+        for name in self.__slots__:
+            setattr(self, name, kwargs.pop(name))
+        if kwargs:
+            raise TypeError("unexpected fields: %s" % sorted(kwargs))
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        return ("ScaleOutResult(shards=%d, %.0f req/s, balance=%.2f)"
+                % (self.shards, self.throughput, self.balance_ratio))
+
+
+def run_scaleout_experiment(shards=4, clients=16, seed=1, duration=5.0,
+                            service_seconds=0.002, scatter_fraction=0.05,
+                            keyspace=4096):
+    """The sharded scale-out DES: closed-loop throughput vs fleet size,
+    in virtual time.
+
+    Each shard is a serial FIFO resource charging *service_seconds* per
+    statement it executes — the single-engine bottleneck the sharding
+    work exists to split.  *clients* closed-loop virtual clients draw
+    seeded keys from *keyspace* and route them through the **real
+    partitioning function** (:meth:`ShardCatalog.shard_of`), so the DES
+    inherits exactly the key distribution (and any skew) production
+    routing would see.  A *scatter_fraction* of requests are cross-shard
+    reads: they occupy *every* shard's FIFO and complete when the
+    slowest shard finishes — the gather barrier, priced honestly.
+
+    Single-shard-routed work scales with the fleet; scattered work does
+    not.  Comparing ``throughput`` at 1 vs 4 shards is the benchmark's
+    scale-out gate; ``balance_ratio`` (min/max per-shard served counts)
+    sanity-checks the hash spread.
+    """
+    from repro.shard.catalog import ShardCatalog
+
+    catalog = ShardCatalog(shards)
+    simulator = Simulator()
+    rng = random.Random(seed)
+    busy_until = [0.0] * shards
+    served = [0] * shards
+    counts = {"completed": 0, "single": 0, "scatter": 0}
+
+    def occupy(shard):
+        start = max(busy_until[shard], simulator.now)
+        finish = start + service_seconds
+        busy_until[shard] = finish
+        served[shard] += 1
+        return finish
+
+    def issue():
+        if simulator.now >= duration:
+            return
+        if shards > 1 and rng.random() < scatter_fraction:
+            finish = max(occupy(shard) for shard in range(shards))
+            kind = "scatter"
+        else:
+            key = "user%05d" % rng.randrange(keyspace)
+            finish = occupy(catalog.shard_of(key))
+            kind = "single"
+        simulator.schedule(finish - simulator.now, complete, kind)
+
+    def complete(kind):
+        if simulator.now <= duration + 1e-9:
+            counts["completed"] += 1
+            counts[kind] += 1
+        issue()
+
+    for client in range(clients):
+        # stagger arrivals so the closed loop doesn't start in lockstep
+        simulator.schedule(client * (service_seconds / max(clients, 1)),
+                           issue)
+    simulator.run(until=duration + service_seconds * 4)
+
+    low, high = min(served), max(served)
+    return ScaleOutResult(
+        shards=shards, clients=clients, duration=duration,
+        service_seconds=service_seconds,
+        scatter_fraction=scatter_fraction,
+        completed=counts["completed"], single_shard=counts["single"],
+        scatter=counts["scatter"],
+        throughput=counts["completed"] / duration,
+        per_shard_served=list(served),
+        balance_ratio=(low / float(high)) if high else 1.0,
+    )

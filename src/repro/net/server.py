@@ -109,7 +109,8 @@ class NetServer(object):
 
     def __init__(self, database, host="127.0.0.1", port=0,
                  max_connections=64, inbox_limit=32, batch_limit=16,
-                 executor_threads=8, multi_statements=False):
+                 executor_threads=8, multi_statements=False,
+                 max_statements=None):
         self.database = database
         self.host = host
         self.port = port
@@ -119,6 +120,9 @@ class NetServer(object):
         #: max commands one executor hop may carry
         self.batch_limit = max(1, batch_limit)
         self.multi_statements = multi_statements
+        #: per-connection cap on server-side statement handles (None =
+        #: the Connection default); LRU eviction past the cap
+        self.max_statements = max_statements
         self._executor_threads = max(1, executor_threads)
         self._pool = None
         self._loop = None
@@ -141,6 +145,7 @@ class NetServer(object):
             "commands": 0,      # commands executed
             "batches": 0,       # executor hops (pipelining amortization)
             "flow_pauses": 0,   # reader blocked on a full inbox
+            "stmt_evictions": 0,  # statement handles dropped by the LRU cap
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -403,6 +408,7 @@ class NetServer(object):
             multi_statements=bool(
                 payload.get("multi", self.multi_statements)
             ),
+            max_statements=self.max_statements,
         )
         with self._stats_lock:
             self._stats["accepted"] += 1
@@ -496,12 +502,16 @@ class NetServer(object):
             outcome = conn.query(payload.get("sql", ""))
             return self._outcome_frame(conn, outcome, seq)
         if opcode == protocol.COM_STMT_PREPARE:
+            evictions_before = conn.statement_evictions
             try:
                 stmt_id, param_count = conn.prepare_statement(
                     payload.get("sql", "")
                 )
             except SQLError as exc:
                 return self._error_frame(exc, seq)
+            evicted = conn.statement_evictions - evictions_before
+            if evicted:
+                self._bump("stmt_evictions", evicted)
             return (protocol.STMT_PREPARE_OK, {
                 "stmt_id": stmt_id, "params": param_count, "seq": seq,
             })

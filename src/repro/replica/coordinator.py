@@ -104,6 +104,11 @@ class ReplicaSet(object):
         self.clock = 0
         #: current election term (stamped into every shipment)
         self.epoch = 1
+        #: highest committed frontier ever observed on a live primary —
+        #: keeps ``frontier_lsn`` truthful while the primary is dead, so
+        #: a never-shipped replica can't masquerade as caught up just
+        #: because the set forgot how far commits had advanced
+        self._frontier_hwm = 0
         self.promotions = 0
         self.missed_heartbeats = 0
         self.replication_lag_drops = 0
@@ -302,6 +307,10 @@ class ReplicaSet(object):
                 old.database.unpin_lsn("replication")
                 old.role = Role.FENCED if old.alive else Role.DETACHED
         dropped = node.applier.discard_in_flight()
+        # the winner's log is the new timeline: any unshipped tail of
+        # the old primary is lost, and staleness is measured against
+        # what survived the election from here on
+        self._frontier_hwm = node.database.durable_lsn
         self.epoch += 1
         node.epoch = self.epoch
         node.role = Role.PRIMARY
@@ -320,6 +329,8 @@ class ReplicaSet(object):
         primary = self.primary
         if primary is None:
             raise WalError("no live primary to kill")
+        if primary.database.durable_lsn > self._frontier_hwm:
+            self._frontier_hwm = primary.database.durable_lsn
         primary.crash()
         self._log("kill", primary.name)
         return primary
@@ -419,13 +430,24 @@ class ReplicaSet(object):
     # -- observability -----------------------------------------------------
 
     def frontier_lsn(self):
-        """The newest committed LSN anyone in the set holds."""
+        """The newest committed LSN the set has ever observed.
+
+        With a live primary this is its durable watermark.  Mid-failover
+        the high-water mark keeps the answer monotonic: a replica that
+        never received a shipment stays visibly behind the commits the
+        dead primary had acknowledged, instead of the frontier snapping
+        back to whatever the survivors happen to hold.  ``promote``
+        resets the mark — the winner's log defines the new timeline.
+        """
         primary = self.primary
         if primary is not None:
-            return primary.database.durable_lsn
+            frontier = primary.database.durable_lsn
+            if frontier > self._frontier_hwm:
+                self._frontier_hwm = frontier
+            return frontier
         return max(
-            (node.applied_lsn for node in self.nodes if node.alive),
-            default=0,
+            [self._frontier_hwm]
+            + [node.applied_lsn for node in self.nodes if node.alive]
         )
 
     def status(self):

@@ -82,9 +82,15 @@ class RoutingConnection(object):
         if not read:
             return primary
         frontier = self._set.frontier_lsn()
+        # filter on role/liveness explicitly rather than trusting
+        # ``replicas()``'s selection: a fenced or detached node (a
+        # zombie old primary after an election, a dropped replica) may
+        # be fully caught up on LSN and must still never serve reads —
+        # fencing means "not part of the set", not "stale"
         eligible = [
             node for node in self._set.replicas()
-            if frontier - node.applied_lsn <= self.max_lag_lsn
+            if node.alive and node.role == Role.REPLICA
+            and frontier - node.applied_lsn <= self.max_lag_lsn
         ]
         if eligible:
             node = eligible[self._round_robin % len(eligible)]

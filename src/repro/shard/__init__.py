@@ -1,0 +1,14 @@
+"""Hash-sharded engine fleet: catalog + scatter/gather router.
+
+``ShardRouter`` fronts N shards — each one a replica-set-fronted engine
+(:mod:`repro.replica`) — and routes statements through the distributed
+planning pass in :mod:`repro.sqldb.planner`.  All hash-partitioning
+arithmetic lives in :mod:`repro.shard.catalog` (a lint gate keeps it
+out of the planner and executor), and nothing in this package reads the
+wall clock: failover and retry run on the replica sets' virtual ticks.
+"""
+
+from repro.shard.catalog import ShardCatalog
+from repro.shard.router import ShardRouter
+
+__all__ = ["ShardCatalog", "ShardRouter"]

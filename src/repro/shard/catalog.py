@@ -1,0 +1,145 @@
+"""The shard catalog: which tables are hash-partitioned, on what key,
+and which shard a key value lives on.
+
+This module is the **only** place in the tree that computes a hash
+partition (``tests/test_lint.py`` pins that): the planner classifies
+statements and extracts shard-key *values*, the router asks the catalog
+to map value → shard ordinal.  Keeping the arithmetic in one module is
+what makes the partitioning function swappable (and auditable) without
+touching the query path.
+
+Partitioning is CRC32 over a canonical encoding of the key value,
+modulo the shard count.  The canonical form folds exactly the
+equalities the engine's ``=`` folds — case-insensitive strings,
+``1 = 1.0`` numerics — so a WHERE clause and the stored row always
+agree on the shard.
+
+Tables declare a shard key explicitly (:meth:`ShardCatalog.declare`)
+or pick one up from their CREATE TABLE as it broadcasts through the
+router: a non-AUTO_INCREMENT primary key becomes the default shard
+key.  Tables with no usable key (or an AUTO_INCREMENT primary key —
+the engine assigns those values, so a client could never route by
+them) are *pinned*: the whole table lives on shard 0 and the planner
+routes every touch of it there.
+"""
+
+import zlib
+
+from repro.sqldb import ast_nodes as ast
+
+
+def _canonical(value):
+    """Byte encoding under which equal-under-SQL keys collide."""
+    if value is None:
+        return b"\x00"
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    if isinstance(value, int):
+        return b"n:%d" % value
+    if isinstance(value, float):
+        return ("f:%r" % value).encode("ascii")
+    if isinstance(value, bytes):
+        return b"b:" + value
+    # strings compare case-insensitively in the engine (MySQL's default
+    # collation), so the hash must fold the same way
+    return ("s:" + str(value).lower()).encode("utf-8")
+
+
+class ShardCatalog(object):
+    """Hash-partitioned table registry for a fleet of *shard_count*
+    shards."""
+
+    def __init__(self, shard_count):
+        if shard_count < 1:
+            raise ValueError("need at least one shard")
+        self.shard_count = shard_count
+        #: lowered table name -> {"key", "columns", "explicit"}
+        self._tables = {}
+
+    # -- declarations --------------------------------------------------
+
+    def declare(self, table, key_column, columns=None):
+        """Declare *table*'s shard key (``None`` pins the table whole
+        to shard 0).  Explicit declarations survive the table's CREATE
+        broadcast."""
+        entry = self._tables.setdefault(
+            table.lower(), {"key": None, "columns": [], "explicit": False}
+        )
+        entry["key"] = key_column.lower() if key_column else None
+        entry["explicit"] = True
+        if columns is not None:
+            entry["columns"] = list(columns)
+
+    def forget(self, table):
+        self._tables.pop(table.lower(), None)
+
+    def observe_ddl(self, stmt):
+        """Track a DDL statement as the router broadcasts it."""
+        if isinstance(stmt, ast.CreateTable):
+            self._observe_create(stmt)
+        elif isinstance(stmt, ast.DropTable):
+            self.forget(stmt.name)
+        elif isinstance(stmt, ast.AlterTableAddColumn):
+            entry = self._tables.get(stmt.table.lower())
+            if entry is not None:
+                entry["columns"].append(stmt.column_def.name)
+        elif isinstance(stmt, ast.AlterTableDropColumn):
+            entry = self._tables.get(stmt.table.lower())
+            if entry is not None:
+                entry["columns"] = [
+                    c for c in entry["columns"]
+                    if c.lower() != stmt.column.lower()
+                ]
+
+    def _observe_create(self, stmt):
+        entry = self._tables.setdefault(
+            stmt.name.lower(),
+            {"key": None, "columns": [], "explicit": False},
+        )
+        entry["columns"] = [col.name for col in stmt.columns]
+        if not entry["explicit"]:
+            entry["key"] = self._default_key(stmt.columns)
+
+    @staticmethod
+    def _default_key(columns):
+        for col in columns:
+            if col.primary_key and not col.auto_increment:
+                return col.name.lower()
+        return None
+
+    # -- lookups -------------------------------------------------------
+
+    def shard_key(self, table):
+        """The shard-key column of *table* (lowered), or ``None`` for a
+        pinned/unknown table."""
+        entry = self._tables.get(table.lower())
+        return None if entry is None else entry["key"]
+
+    def columns(self, table):
+        """Column names of *table* in declaration order (empty when its
+        CREATE never passed through the router)."""
+        entry = self._tables.get(table.lower())
+        return [] if entry is None else list(entry["columns"])
+
+    def tables(self):
+        return sorted(self._tables)
+
+    # -- the partitioning function ------------------------------------
+
+    def shard_of(self, value):
+        """The shard ordinal a key *value* hashes to."""
+        return zlib.crc32(_canonical(value)) % self.shard_count
+
+    def shard_for(self, table, value):
+        """Shard ordinal for one key value of *table* (pinned tables
+        always answer 0)."""
+        if self.shard_key(table) is None:
+            return 0
+        return self.shard_of(value)
+
+    def __repr__(self):
+        return "ShardCatalog(%d shards, %d tables)" % (
+            self.shard_count, len(self._tables)
+        )

@@ -1,0 +1,268 @@
+"""``ShardRouter``: the scatter/gather front door of the sharded fleet.
+
+One router fronts N shards; each shard is a
+:class:`repro.replica.coordinator.ReplicaSet` (its own primary, its own
+replicas, its own WAL shipping and lease elections — PR 7 reused
+whole).  The router holds one failover-aware
+:class:`~repro.replica.router.RoutingConnection` per shard and decides
+*where* a statement runs with the distributed planning pass
+(:class:`repro.sqldb.planner.DistributedPlanner`):
+
+* **single-shard** — shard-key equality, keyed DML, keyed INSERT: the
+  original SQL text goes to exactly one shard, so that shard's pipeline
+  cache stays warm (the router never rewrites the hot path);
+* **scatter** — cross-shard SELECT: per-shard subqueries stream through
+  a gather operator tree (``Union`` concat / partial→final ``Aggregate``
+  / merge-``TopK``) built from :mod:`repro.sqldb.plan` nodes;
+* **broadcast** — DDL fans out to every shard, *after* the router's
+  catalog epoch bumps so no cached route (and no per-shard pipeline
+  cache, which keys on each engine's own schema version) can serve a
+  stale plan;
+* **pinned** — tables without a shard key live whole on shard 0.
+
+SEPTIC runs *inside each shard* against that shard's own ``QMStore`` —
+every shard sees the query after its own decode/parse, exactly the
+paper's placement.  A blocked verdict on any shard aborts the whole
+statement: reads stop mid-gather with the block as the statement error
+(reads have no effects to tear), and writes are single-shard by
+construction in v1, so there is never a partial cross-shard effect.
+
+Everything here runs on the replica sets' virtual tick clocks — no
+wall-clock reads (lint-gated), which is what lets the sharded crash
+sweep replay failovers deterministically.
+"""
+
+import os
+from collections import OrderedDict
+
+from repro.replica.coordinator import ReplicaSet
+from repro.shard.catalog import ShardCatalog
+from repro.sqldb import plan as plan_mod
+from repro.sqldb.connection import QueryOutcome
+from repro.sqldb.errors import ExecutionError, SQLError
+from repro.sqldb.parser import parse_sql
+from repro.sqldb.planner import DistributedPlanner
+from repro.sqldb.storage import ResultSet
+
+
+class _GatherContext(object):
+    """Duck-typed ``ExecState.ctx`` for gather trees.  The only leaf
+    below a gather is :class:`~repro.sqldb.plan.ShardScan`, and the only
+    thing it needs is ``shard_rows`` — there is no local database, no
+    read view, no expression environment."""
+
+    __slots__ = ("_router",)
+
+    def __init__(self, router):
+        self._router = router
+
+    def shard_rows(self, shard, sql):
+        outcome = self._router.connections[shard].query(sql)
+        if outcome.error is not None:
+            # a SEPTIC block (or any shard error) aborts the gather —
+            # the generator chain unwinds before another shard is asked
+            raise outcome.error
+        for row in outcome.rows:
+            yield row
+
+
+class ShardRouter(object):
+    """Front N replica-set shards with planner-driven routing."""
+
+    def __init__(self, workdir, shards=2, replicas=1, septic_factory=None,
+                 seed=1, charset=None, heartbeat_interval=5,
+                 lease_intervals=3, wal_sync="commit", storage="memory",
+                 max_lag_lsn=0, route_cache_size=256):
+        self.catalog = ShardCatalog(shards)
+        self.planner = DistributedPlanner(shards, self.catalog)
+        self.shard_sets = [
+            ReplicaSet(
+                os.path.join(workdir, "shard%d" % ordinal),
+                replicas=replicas,
+                septic_factory=septic_factory,
+                seed=seed + ordinal,
+                heartbeat_interval=heartbeat_interval,
+                lease_intervals=lease_intervals,
+                wal_sync=wal_sync,
+                storage=storage,
+            )
+            for ordinal in range(shards)
+        ]
+        self.connections = [
+            replica_set.connect(max_lag_lsn=max_lag_lsn, charset=charset,
+                                seed=seed + ordinal)
+            for ordinal, replica_set in enumerate(self.shard_sets)
+        ]
+        #: bumped before every DDL broadcast; route-cache entries key on
+        #: it, so a stale distributed plan can never be served
+        self.catalog_epoch = 0
+        self.route_cache_size = route_cache_size
+        self._routes = OrderedDict()
+        self.last_gather_stats = None
+        self.stats = {
+            "single_shard": 0, "scatter": 0, "broadcast": 0, "pinned": 0,
+            "route_cache_hits": 0, "gather_peak_rows": 0,
+        }
+
+    @property
+    def shard_count(self):
+        return len(self.shard_sets)
+
+    # -- catalog surface ----------------------------------------------
+
+    def declare(self, table, key_column, columns=None):
+        """Declare (or re-declare) *table*'s shard key; flushes cached
+        routes, since routing decisions depend on it."""
+        self.catalog_epoch += 1
+        self._routes.clear()
+        self.catalog.declare(table, key_column, columns)
+
+    # -- routing -------------------------------------------------------
+
+    def _route(self, sql):
+        """``(stmt, ShardRoute)`` for one statement, LRU-cached per
+        catalog epoch."""
+        key = (sql, self.catalog_epoch)
+        hit = self._routes.get(key)
+        if hit is not None:
+            self._routes.move_to_end(key)
+            self.stats["route_cache_hits"] += 1
+            return hit
+        statements, _comments = parse_sql(sql)
+        if len(statements) != 1:
+            raise ExecutionError(
+                "the shard router takes one statement per call",
+                errno=1235,
+            )
+        stmt = statements[0]
+        route = self.planner.route(stmt, sql)
+        self._routes[key] = (stmt, route)
+        if len(self._routes) > self.route_cache_size:
+            self._routes.popitem(last=False)
+        return stmt, route
+
+    def _target_shard(self, route):
+        ordinals = {
+            self.catalog.shard_for(route.table, value)
+            for value in route.key_values
+        }
+        if not ordinals:
+            return 0
+        if len(ordinals) > 1:
+            raise ExecutionError(
+                "statement touches rows on %d shards (%s) — multi-shard "
+                "DML/joins are not supported"
+                % (len(ordinals), sorted(ordinals)), errno=1235,
+            )
+        return ordinals.pop()
+
+    # -- the client surface -------------------------------------------
+
+    def query(self, sql):
+        """Run one statement somewhere in the fleet; returns a
+        :class:`~repro.sqldb.connection.QueryOutcome`."""
+        try:
+            stmt, route = self._route(sql)
+        except SQLError as exc:
+            return QueryOutcome(error=exc)
+        if route.kind == "broadcast":
+            return self._broadcast(stmt, route)
+        if route.kind == "scatter":
+            return self._gather(route)
+        if route.kind == "single":
+            try:
+                shard = self._target_shard(route)
+            except SQLError as exc:
+                return QueryOutcome(error=exc)
+            self.stats["single_shard"] += 1
+            return self.connections[shard].query(route.sql)
+        self.stats["pinned"] += 1
+        return self.connections[0].query(route.sql)
+
+    def query_or_raise(self, sql):
+        outcome = self.query(sql)
+        if not outcome.ok:
+            raise outcome.error
+        return outcome
+
+    def _broadcast(self, stmt, route):
+        """DDL to every shard.  The epoch bumps *first* so concurrent
+        route lookups re-plan, and each shard engine bumps its own
+        schema version as the DDL lands — its pipeline cache can never
+        replay a pre-DDL plan.  The fan-out stops at the first shard
+        error (DDL here is idempotent-or-retriable; the caller sees
+        exactly which shard refused)."""
+        self.catalog_epoch += 1
+        self._routes.clear()
+        self.catalog.observe_ddl(stmt)
+        outcome = QueryOutcome()
+        for connection in self.connections:
+            outcome = connection.query(route.sql)
+            if not outcome.ok:
+                return outcome
+        self.stats["broadcast"] += 1
+        return outcome
+
+    def _gather(self, route):
+        stats = plan_mod.StageStats()
+        state = plan_mod.ExecState(_GatherContext(self), stats)
+        try:
+            rows = [out for _, out in route.plan.root.rows(state)]
+        except SQLError as exc:
+            return QueryOutcome(error=exc)
+        self.stats["scatter"] += 1
+        self.last_gather_stats = stats
+        if stats.peak_materialized_rows > self.stats["gather_peak_rows"]:
+            self.stats["gather_peak_rows"] = stats.peak_materialized_rows
+        return QueryOutcome(
+            result_set=ResultSet(route.plan.columns, rows)
+        )
+
+    # -- fleet control (virtual time, crash testing) -------------------
+
+    def tick(self, ticks=1):
+        """Advance every shard's virtual clock (heartbeats, leases,
+        WAL shipping ride on this)."""
+        for replica_set in self.shard_sets:
+            replica_set.tick(ticks)
+
+    def ship(self):
+        for replica_set in self.shard_sets:
+            replica_set.ship()
+
+    def kill_primary(self, shard):
+        """Crash one shard's primary (the sharded crash sweep's kill
+        switch)."""
+        return self.shard_sets[shard].kill_primary()
+
+    def primary_database(self, shard):
+        primary = self.shard_sets[shard].primary
+        return None if primary is None else primary.database
+
+    def status(self):
+        return {
+            "shards": self.shard_count,
+            "catalog_epoch": self.catalog_epoch,
+            "tables": self.catalog.tables(),
+            "stats": dict(self.stats),
+            "primaries": [
+                None if replica_set.primary is None
+                else replica_set.primary.name
+                for replica_set in self.shard_sets
+            ],
+        }
+
+    def close(self):
+        for replica_set in self.shard_sets:
+            replica_set.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "ShardRouter(%d shards, epoch=%d)" % (self.shard_count,
+                                                     self.catalog_epoch)

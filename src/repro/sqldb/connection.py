@@ -13,6 +13,7 @@ applications use:
 
 import random
 import time
+from collections import OrderedDict
 
 from repro.core.resilience import RetryStats
 from repro.sqldb import charset as charset_mod
@@ -55,9 +56,13 @@ class QueryOutcome(object):
 class Connection(object):
     """A client connection to a :class:`repro.sqldb.engine.Database`."""
 
+    #: default cap on the server-side statement registry (MySQL's
+    #: ``max_prepared_stmt_count`` is global; ours is per connection)
+    MAX_STATEMENTS = 64
+
     def __init__(self, database, charset=None, multi_statements=False,
                  retries=0, backoff=0.0, backoff_cap=2.0, jitter=0.5,
-                 retry_seed=0, sleep=None):
+                 retry_seed=0, sleep=None, max_statements=None):
         self._db = database
         self.charset = charset or database.charset
         self.multi_statements = multi_statements
@@ -87,8 +92,17 @@ class Connection(object):
         self._session = database.create_session(self.charset)
         #: server-side prepared-statement registry: the ids handed to
         #: wire clients (COM_STMT_PREPARE/EXECUTE/CLOSE), scoped to this
-        #: connection like MySQL's statement handles
-        self._statements = {}
+        #: connection like MySQL's statement handles.  Bounded: least-
+        #: recently-used handles are evicted once *max_statements* are
+        #: registered (a long-lived connection preparing per-request
+        #: statements used to grow this without limit), and an evicted
+        #: id behaves exactly like a closed one — errno 1243 on EXECUTE.
+        self._statements = OrderedDict()
+        self.max_statements = (self.MAX_STATEMENTS if max_statements
+                               is None else max(1, int(max_statements)))
+        #: handles dropped by the LRU cap (the net server aggregates
+        #: this into its stats, surfaced via ``Septic.status()["net"]``)
+        self.statement_evictions = 0
 
     @property
     def database(self):
@@ -295,6 +309,9 @@ class Connection(object):
         (the wire server turns that into an ERR frame)."""
         prepared = self.prepare(sql)
         self._statements[prepared.statement_id] = prepared
+        while len(self._statements) > self.max_statements:
+            self._statements.popitem(last=False)
+            self.statement_evictions += 1
         return prepared.statement_id, prepared.param_count
 
     def execute_statement(self, statement_id, params=()):
@@ -309,6 +326,7 @@ class Connection(object):
             )
             self.last_error = error
             return QueryOutcome(error=error)
+        self._statements.move_to_end(statement_id)
         return self.execute_prepared(prepared, *params)
 
     def close_statement(self, statement_id):

@@ -828,6 +828,190 @@ class Union(PlanNode):
             yield (None, out)
 
 
+# -- distributed gather operators --------------------------------------
+#
+# Leaves and merge nodes for cross-shard plans built by
+# :class:`repro.sqldb.planner.DistributedPlanner`.  These trees never
+# touch local tables: :class:`ShardScan` pulls already-projected result
+# tuples from a shard through the execution context (the shard router
+# supplies a context whose ``shard_rows`` runs SQL text on one shard),
+# so everything above speaks the ``(None, out_tuple)`` pair shape a
+# :class:`Union` produces.  The merge nodes hold only what their
+# algebra requires: the union gather streams, the aggregate gather
+# holds one accumulator per group, and the top-k gather a bounded heap
+# of ``offset + count`` rows — O(limit), never O(table).
+
+
+class ShardScan(PlanNode):
+    """Leaf of a distributed plan: run *sql* on shard ordinal *shard*
+    and stream its result tuples as ``(None, out_tuple)`` pairs.  A
+    shard error — including a SEPTIC block on that shard — propagates
+    and aborts the whole gather."""
+
+    kind = "shard_scan"
+    __slots__ = ("shard", "sql")
+
+    def __init__(self, shard, sql):
+        PlanNode.__init__(self)
+        self.shard = shard
+        self.sql = sql
+
+    def label(self):
+        return "ShardScan(shard=%d: %s)" % (self.shard, self.sql)
+
+    def _generate(self, state):
+        for out in state.ctx.shard_rows(self.shard, self.sql):
+            yield (None, tuple(out))
+
+
+class GatherUnion(PlanNode):
+    """Concatenate shard streams.  Hash partitions are disjoint, so a
+    plain cross-shard SELECT needs no dedupe — this gather is fully
+    streaming and holds no rows."""
+
+    kind = "gather_union"
+    __slots__ = ()
+
+    def label(self):
+        return "Gather(union, %d shards)" % len(self.children)
+
+    def _generate(self, state):
+        for child in self.children:
+            for pair in child.rows(state):
+                yield pair
+
+
+def _merge_partial(op, a, b):
+    """Combine two per-shard partial aggregate values (``None`` = the
+    shard saw no non-NULL input, same as single-node semantics)."""
+    if b is None:
+        return a
+    if a is None:
+        return b
+    if op == "sum":
+        return a + b
+    if op == "min":
+        return a if sort_key(a) <= sort_key(b) else b
+    return a if sort_key(a) >= sort_key(b) else b      # "max"
+
+
+class GatherAggregate(PlanNode):
+    """Partial→final aggregate merge.
+
+    Each shard computes partial aggregates over its own rows; this node
+    re-groups the partial rows by the group-by key columns
+    (*key_indexes*), combines the remaining columns per *merges*
+    (``"key"`` keeps the first seen value, ``"sum"``/``"min"``/``"max"``
+    fold), then projects the output per *finals*: ``("col", i)`` passes
+    a merged column through (COUNT and SUM finalize as SUM of partials,
+    MIN/MAX as MIN/MAX), ``("avg", i, j)`` divides a merged SUM by a
+    merged COUNT.  Holds one accumulator per group — O(groups), not
+    O(rows)."""
+
+    kind = "gather_aggregate"
+    blocking = True
+    __slots__ = ("key_indexes", "merges", "finals", "describe")
+
+    def __init__(self, children, key_indexes, merges, finals, describe):
+        PlanNode.__init__(self, children)
+        self.key_indexes = tuple(key_indexes)
+        self.merges = tuple(merges)
+        self.finals = tuple(finals)
+        self.describe = describe
+
+    def label(self):
+        return "Gather(partial-agg: %s)" % self.describe
+
+    def _generate(self, state):
+        groups = {}
+        for child in self.children:
+            for _, out in child.rows(state):
+                key = tuple(_group_key(out[i]) for i in self.key_indexes)
+                acc = groups.get(key)
+                if acc is None:
+                    groups[key] = list(out)
+                    state.stats.note_materialized(len(groups))
+                else:
+                    for idx, op in enumerate(self.merges):
+                        if op != "key":
+                            acc[idx] = _merge_partial(op, acc[idx],
+                                                      out[idx])
+        for acc in groups.values():
+            out = []
+            for spec in self.finals:
+                if spec[0] == "avg":
+                    total, count = acc[spec[1]], acc[spec[2]]
+                    out.append(None if not count or total is None
+                               else total / float(count))
+                else:
+                    out.append(acc[spec[1]])
+            yield (None, tuple(out))
+
+
+class GatherTopK(PlanNode):
+    """Merge per-shard top-k streams under the global ORDER BY.
+
+    Every shard already returns at most ``offset + count`` rows (the
+    planner pushes the fused limit down), and this node keeps a bounded
+    heap of the same size — the cross-shard peak stays O(limit) however
+    large the table is.  Order keys are output-column positions
+    (*key_indexes*) compared through :func:`sort_key` with per-key
+    direction; arrival order breaks ties, matching the single-node
+    :class:`TopK` stability contract."""
+
+    kind = "gather_topk"
+    blocking = True
+    __slots__ = ("key_indexes", "descending", "count", "offset")
+
+    def __init__(self, children, key_indexes, descending, count, offset=0):
+        PlanNode.__init__(self, children)
+        self.key_indexes = tuple(key_indexes)
+        self.descending = tuple(descending)
+        self.count = count
+        self.offset = offset
+
+    def label(self):
+        return "Gather(merge-topk, k=%d)" % (self.count + self.offset)
+
+    def _rank(self, a, b):
+        """-1 when *a* outranks *b* in the final output order."""
+        for pos, desc in enumerate(self.descending):
+            key_a, key_b = a[0][pos], b[0][pos]
+            if key_a == key_b:
+                continue
+            less = key_a < key_b
+            if desc:
+                less = not less
+            return -1 if less else 1
+        return -1 if a[1] < b[1] else 1             # stability tiebreak
+
+    def _generate(self, state):
+        k = self.count + self.offset
+        if k <= 0:
+            return
+        # min-heap keyed "worst ranks first": the root is always the
+        # worst of the k best seen, so pushpop evicts correctly
+        worst_first = functools.cmp_to_key(
+            lambda a, b: -self._rank(a, b)
+        )
+        heap = []
+        sequence = 0
+        for child in self.children:
+            for _, out in child.rows(state):
+                keys = [sort_key(out[i]) for i in self.key_indexes]
+                item = worst_first((keys, sequence, out))
+                sequence += 1
+                if len(heap) < k:
+                    heapq.heappush(heap, item)
+                    state.stats.note_materialized(len(heap))
+                else:
+                    heapq.heappushpop(heap, item)
+        ordered = sorted(heap)      # worst → best under worst_first
+        ordered.reverse()
+        for item in ordered[self.offset:]:
+            yield (None, item.obj[2])
+
+
 # -- DML sinks ---------------------------------------------------------
 
 

@@ -600,3 +600,415 @@ def _field_label(expr):
         from repro.sqldb.types import render_value
         return render_value(expr.value)
     return type(expr).__name__.lower()
+
+
+# -- distributed planning ----------------------------------------------
+#
+# The sharding pass.  A :class:`DistributedPlanner` classifies one
+# parsed statement against a shard catalog (a duck-typed object with
+# ``shard_key(table)`` and ``columns(table)`` — the router supplies
+# :class:`repro.shard.catalog.ShardCatalog`) and returns a
+# :class:`ShardRoute`.  The planner never computes a hash: single-shard
+# routes carry the *key values* and the router's catalog maps value →
+# shard ordinal, which keeps every piece of hash-partitioning
+# arithmetic inside ``repro/shard`` (a lint gate pins this).
+#
+# Route kinds:
+#
+# * ``"single"`` — shard-key equality (or a keyed DML/INSERT): the
+#   original SQL text runs on exactly one shard, preserving that
+#   shard's warm pipeline-cache path;
+# * ``"scatter"`` — a cross-shard SELECT: ``plan`` is a
+#   :class:`~repro.sqldb.plan.PhysicalPlan` whose leaves are
+#   :class:`~repro.sqldb.plan.ShardScan` nodes carrying rewritten
+#   per-shard SQL, merged by a gather operator (union / partial→final
+#   aggregate / merge-topk) and optionally the ordinary streaming
+#   operators (Distinct, Sort, Limit) above it;
+# * ``"broadcast"`` — DDL fanned out to every shard;
+# * ``"any"`` — statements without sharded state (SHOW/DESCRIBE, or a
+#   table the catalog pins whole to shard 0).
+#
+# v1 scope: multi-shard DML, transactions, UNION, HAVING and FROM-
+# subqueries across shards raise errno 1235 ("not supported") at plan
+# time — before anything executes anywhere.
+
+_UNSUPPORTED_ERRNO = 1235
+
+_BROADCAST_STATEMENTS = (
+    ast.CreateTable, ast.DropTable, ast.CreateIndex, ast.DropIndex,
+    ast.AlterTableAddColumn, ast.AlterTableDropColumn, ast.TruncateTable,
+)
+
+#: aggregate functions with a partial→final decomposition
+_DECOMPOSABLE_AGGREGATES = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+
+
+class ShardRoute(object):
+    """One routed statement: where it runs and what runs there."""
+
+    __slots__ = ("kind", "table", "key_values", "sql", "plan")
+
+    def __init__(self, kind, table=None, key_values=(), sql=None,
+                 plan=None):
+        self.kind = kind
+        self.table = table
+        #: shard-key values for ``"single"`` routes — the router hashes
+        #: them; more than one distinct target shard is a routing error
+        self.key_values = tuple(key_values)
+        self.sql = sql
+        self.plan = plan
+
+    def __repr__(self):
+        if self.kind == "scatter":
+            return "ShardRoute(scatter, %r)" % (self.plan,)
+        return "ShardRoute(%s, table=%r, keys=%r)" % (
+            self.kind, self.table, self.key_values
+        )
+
+
+def _unsupported(what):
+    return ExecutionError(
+        "%s is not supported across shards (v1: single-shard writes, "
+        "scatter/gather reads)" % what, errno=_UNSUPPORTED_ERRNO,
+    )
+
+
+class DistributedPlanner(object):
+    """Classify statements as single-shard or cross-shard and build the
+    scatter/gather plan for the latter."""
+
+    def __init__(self, shard_count, catalog):
+        self.shard_count = shard_count
+        self.catalog = catalog
+        self._next_id = 0
+
+    def _mk(self, node):
+        self._next_id += 1
+        node.node_id = self._next_id
+        return node
+
+    # -- classification ------------------------------------------------
+
+    def route(self, stmt, sql_text):
+        """The :class:`ShardRoute` for one parsed statement."""
+        if isinstance(stmt, _BROADCAST_STATEMENTS):
+            return ShardRoute("broadcast", sql=sql_text)
+        if isinstance(stmt, (ast.Begin, ast.Commit, ast.Rollback)):
+            raise _unsupported("an explicit transaction")
+        if isinstance(stmt, ast.Insert):
+            return self._route_insert(stmt, sql_text)
+        if isinstance(stmt, (ast.Update, ast.Delete)):
+            return self._route_dml(stmt, sql_text)
+        if isinstance(stmt, ast.Select):
+            return self._route_select(stmt, sql_text)
+        # SHOW TABLES / DESCRIBE / EXPLAIN: schema is identical on every
+        # shard (DDL broadcasts), so any one shard answers
+        return ShardRoute("any", sql=sql_text)
+
+    def _key_for(self, table):
+        return self.catalog.shard_key(table)
+
+    def _where_key_value(self, stmt, alias, key):
+        """The literal the WHERE clause pins the shard key to, if any."""
+        if stmt.where is None:
+            return None
+        for operand in _and_operands(stmt.where):
+            pair = _equality_pair(operand, alias)
+            if pair is not None and pair[0].lower() == key:
+                return pair
+        return None
+
+    # -- writes --------------------------------------------------------
+
+    def _route_insert(self, stmt, sql_text):
+        key = self._key_for(stmt.table)
+        if key is None:
+            return ShardRoute("any", table=stmt.table, sql=sql_text)
+        columns = stmt.columns or self.catalog.columns(stmt.table)
+        if not columns:
+            raise _unsupported(
+                "INSERT into %r before its CREATE TABLE reached the "
+                "router (unknown column order)" % stmt.table
+            )
+        lowered = [c.lower() for c in columns]
+        if key not in lowered:
+            raise _unsupported(
+                "INSERT into %r without its shard key %r" % (stmt.table,
+                                                             key)
+            )
+        position = lowered.index(key)
+        values = []
+        for row in stmt.rows:
+            if position >= len(row) or not isinstance(row[position],
+                                                      ast.Literal):
+                raise _unsupported(
+                    "INSERT into %r with a non-literal shard key"
+                    % stmt.table
+                )
+            values.append(row[position].value)
+        return ShardRoute("single", table=stmt.table, key_values=values,
+                          sql=sql_text)
+
+    def _route_dml(self, stmt, sql_text):
+        key = self._key_for(stmt.table)
+        if key is None:
+            return ShardRoute("any", table=stmt.table, sql=sql_text)
+        pair = self._where_key_value(stmt, stmt.table, key)
+        if pair is None:
+            raise _unsupported(
+                "multi-shard %s of %r (no shard-key equality on %r)"
+                % (type(stmt).__name__.upper(), stmt.table, key)
+            )
+        return ShardRoute("single", table=stmt.table,
+                          key_values=(pair[1],), sql=sql_text)
+
+    # -- reads ---------------------------------------------------------
+
+    def _route_select(self, stmt, sql_text):
+        if stmt.unions:
+            raise _unsupported("UNION")
+        sources = list(stmt.tables) + [join.table for join in stmt.joins]
+        for source in sources:
+            if not isinstance(source, ast.TableRef):
+                raise _unsupported("a FROM subquery")
+        if not sources:
+            # SELECT without FROM: pure expression, any shard answers
+            return ShardRoute("any", sql=sql_text)
+        keyed = []          # shard-key values pinning sharded sources
+        pinned = 0          # unsharded sources (whole table on shard 0)
+        scatterable = []    # sharded sources without a key equality
+        for ref in sources:
+            key = self._key_for(ref.name)
+            if key is None:
+                pinned += 1
+                continue
+            pair = self._where_key_value(stmt, ref.alias or ref.name, key)
+            if pair is None:
+                scatterable.append(ref)
+            else:
+                keyed.append(pair[1])
+        if not scatterable and not pinned:
+            # every source has a shard-key equality: single-shard (the
+            # router verifies the key values co-locate)
+            return ShardRoute("single", table=sources[0].name,
+                              key_values=keyed, sql=sql_text)
+        if len(sources) == 1:
+            if pinned:
+                # the only source lives whole on shard 0
+                return ShardRoute("any", table=sources[0].name,
+                                  sql=sql_text)
+            return self._scatter_select(stmt, sources[0])
+        raise _unsupported("a cross-shard join")
+
+    # -- scatter/gather plan construction ------------------------------
+
+    def _output_fields(self, stmt, table):
+        """Expand ``*`` through the catalog's column order so the
+        gather knows its output shape."""
+        fields = []
+        for field in stmt.fields:
+            if isinstance(field.expr, ast.Star):
+                columns = self.catalog.columns(table)
+                if not columns:
+                    raise _unsupported(
+                        "SELECT * from %r before its CREATE TABLE "
+                        "reached the router" % table
+                    )
+                fields.extend(
+                    ast.SelectField(ast.ColumnRef(name))
+                    for name in columns
+                )
+            else:
+                fields.append(field)
+        return fields
+
+    def _order_key_indexes(self, order_by, columns):
+        """Map each ORDER BY expression to an output-column position.
+        Cross-shard ordering happens over result tuples — the key must
+        be something every shard already returned."""
+        lowered = [c.lower() for c in columns]
+        indexes = []
+        for item in order_by:
+            expr = item.expr
+            if isinstance(expr, ast.Literal) and expr.type_tag == "int" \
+                    and 1 <= expr.value <= len(columns):
+                indexes.append(expr.value - 1)
+            elif isinstance(expr, ast.ColumnRef) and expr.table is None \
+                    and expr.name.lower() in lowered:
+                indexes.append(lowered.index(expr.name.lower()))
+            else:
+                raise _unsupported(
+                    "cross-shard ORDER BY on a non-output column"
+                )
+        return indexes
+
+    @staticmethod
+    def _limit_ints(limit):
+        """LIMIT/OFFSET as plan-time ints (literals only across shards)."""
+        count = limit.count
+        offset = limit.offset
+        if not isinstance(count, ast.Literal) or (
+                offset is not None and not isinstance(offset, ast.Literal)):
+            raise _unsupported("a non-literal cross-shard LIMIT")
+        return (max(int(count.value), 0),
+                0 if offset is None else max(int(offset.value), 0))
+
+    def _shard_scans(self, stmt):
+        """One :class:`ShardScan` per shard ordinal for *stmt*."""
+        from repro.sqldb.unparse import to_sql
+
+        sql = to_sql(stmt)
+        return [self._mk(plan_mod.ShardScan(shard, sql))
+                for shard in range(self.shard_count)]
+
+    def _scatter_select(self, stmt, ref):
+        if stmt.having is not None:
+            raise _unsupported("cross-shard HAVING")
+        fields = self._output_fields(stmt, ref.name)
+        columns = [f.alias or _field_label(f.expr) for f in fields]
+        aggregates = _collect_aggregates(stmt)
+        if aggregates or stmt.group_by:
+            root = self._gather_aggregate(stmt, ref, fields, columns)
+        elif stmt.order_by and stmt.limit is not None:
+            root = self._gather_topk(stmt, ref, fields, columns)
+        else:
+            root = self._gather_union(stmt, ref, fields, columns)
+        plan = plan_mod.PhysicalPlan("select", root, columns=columns,
+                                     tables=(ref.name.lower(),))
+        return ShardRoute("scatter", table=ref.name, plan=plan)
+
+    def _gather_union(self, stmt, ref, fields, columns):
+        """Plain SELECT: concatenate disjoint partitions; DISTINCT
+        dedupes above the gather, a bare LIMIT pushes down fused."""
+        per_shard = ast.Select(
+            fields=fields, tables=[ref], where=stmt.where,
+            order_by=list(stmt.order_by), distinct=stmt.distinct,
+        )
+        count = offset = None
+        if stmt.limit is not None:
+            count, offset = self._limit_ints(stmt.limit)
+            per_shard.limit = ast.Limit(
+                ast.Literal(count + offset, "int")
+            )
+        if stmt.order_by:
+            # validated here so the Sort above the gather never needs an
+            # evaluation context
+            self._order_key_indexes(stmt.order_by, columns)
+        root = self._mk(plan_mod.GatherUnion(self._shard_scans(per_shard)))
+        if stmt.distinct:
+            root = self._mk(plan_mod.Distinct(root))
+        if stmt.order_by:
+            root = self._mk(plan_mod.Sort(root, stmt.order_by, columns))
+        if stmt.limit is not None:
+            root = self._mk(plan_mod.Limit(
+                root, ast.Literal(count, "int"),
+                None if not offset else ast.Literal(offset, "int"),
+            ))
+        return root
+
+    def _gather_topk(self, stmt, ref, fields, columns):
+        """ORDER BY + LIMIT: each shard returns its local top
+        ``offset + count`` rows and the gather merge-heaps them."""
+        if stmt.distinct:
+            raise _unsupported("cross-shard SELECT DISTINCT ... LIMIT")
+        count, offset = self._limit_ints(stmt.limit)
+        key_indexes = self._order_key_indexes(stmt.order_by, columns)
+        descending = [o.direction == "DESC" for o in stmt.order_by]
+        per_shard = ast.Select(
+            fields=fields, tables=[ref], where=stmt.where,
+            order_by=list(stmt.order_by),
+            limit=ast.Limit(ast.Literal(count + offset, "int")),
+        )
+        return self._mk(plan_mod.GatherTopK(
+            self._shard_scans(per_shard), key_indexes, descending,
+            count, offset,
+        ))
+
+    def _gather_aggregate(self, stmt, ref, fields, columns):
+        """COUNT/SUM/MIN/MAX/AVG (with optional GROUP BY): shards
+        compute partials, the gather merges and finalizes."""
+        if stmt.distinct:
+            raise _unsupported("cross-shard SELECT DISTINCT aggregates")
+        group_exprs = list(stmt.group_by)
+        partial_fields = []     # the per-shard SELECT list
+        merges = []             # fold op per partial column
+        finals = []             # output projection over merged partials
+        describe = []
+        key_indexes = []
+        for field, column in zip(fields, columns):
+            expr = field.expr
+            if isinstance(expr, ast.FuncCall) and is_aggregate(expr.name):
+                name = expr.name.upper()
+                if name not in _DECOMPOSABLE_AGGREGATES:
+                    raise _unsupported(
+                        "cross-shard aggregate %s()" % name
+                    )
+                if expr.distinct:
+                    raise _unsupported(
+                        "cross-shard %s(DISTINCT ...)" % name
+                    )
+                if name == "AVG":
+                    sum_idx = len(partial_fields)
+                    partial_fields.append(ast.SelectField(
+                        ast.FuncCall("SUM", list(expr.args))
+                    ))
+                    merges.append("sum")
+                    partial_fields.append(ast.SelectField(
+                        ast.FuncCall("COUNT", list(expr.args))
+                    ))
+                    merges.append("sum")
+                    finals.append(("avg", sum_idx, sum_idx + 1))
+                    describe.append("avg->sum/count")
+                else:
+                    finals.append(("col", len(partial_fields)))
+                    partial_fields.append(ast.SelectField(expr))
+                    merges.append("sum" if name in ("COUNT", "SUM")
+                                  else name.lower())
+                    describe.append(
+                        "count->sum" if name == "COUNT" else name.lower()
+                    )
+            elif any(expr == group for group in group_exprs):
+                key_indexes.append(len(partial_fields))
+                finals.append(("col", len(partial_fields)))
+                partial_fields.append(field)
+                merges.append("key")
+                describe.append(column.lower())
+            else:
+                raise _unsupported(
+                    "cross-shard SELECT of a non-grouped column"
+                )
+        # group-by keys the output doesn't show still partition the
+        # merge: append them as hidden trailing partial columns
+        shown = [field.expr for field in partial_fields]
+        for group in group_exprs:
+            if not any(group == expr for expr in shown):
+                key_indexes.append(len(partial_fields))
+                partial_fields.append(ast.SelectField(group))
+                merges.append("key")
+        per_shard = ast.Select(
+            fields=partial_fields, tables=[ref], where=stmt.where,
+            group_by=group_exprs,
+        )
+        root = self._mk(plan_mod.GatherAggregate(
+            self._shard_scans(per_shard), key_indexes, merges, finals,
+            ", ".join(describe),
+        ))
+        if stmt.order_by:
+            key_indexes = self._order_key_indexes(stmt.order_by, columns)
+            if stmt.limit is not None:
+                count, offset = self._limit_ints(stmt.limit)
+                root = self._mk(plan_mod.GatherTopK(
+                    (root,), key_indexes,
+                    [o.direction == "DESC" for o in stmt.order_by],
+                    count, offset,
+                ))
+            else:
+                root = self._mk(plan_mod.Sort(root, stmt.order_by,
+                                              columns))
+        elif stmt.limit is not None:
+            count, offset = self._limit_ints(stmt.limit)
+            root = self._mk(plan_mod.Limit(
+                root, ast.Literal(count, "int"),
+                None if not offset else ast.Literal(offset, "int"),
+            ))
+        return root

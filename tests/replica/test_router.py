@@ -158,3 +158,78 @@ class TestVerdictsAreNotRetried(object):
         assert isinstance(outcome.error, ValidationError)
         assert router.retry_stats.as_dict()["retries"] == 0
         replica_set.close()
+
+
+class TestFencedNodesNeverServeReads(object):
+    def test_caught_up_zombie_is_skipped(self, tmp_path):
+        """A fenced old primary can be fully caught up on LSN — it was
+        the primary — and must still never serve a read: fencing means
+        "not part of the set", not "stale"."""
+        replica_set = make_set(tmp_path)
+        seed_rows(replica_set)
+        zombie = replica_set.primary
+        replica_set.partition(zombie)
+        replica_set.promote()
+        assert zombie.role == Role.FENCED
+        assert zombie.alive
+        # an unbounded staleness allowance cannot exclude the zombie —
+        # only the role filter can, and it must
+        router = replica_set.connect(max_lag_lsn=10 ** 6)
+        for _ in range(6):
+            node = router.pick_node(True)
+            assert node is not zombie
+            assert node.role in (Role.REPLICA, Role.PRIMARY)
+        assert router.pick_node(False) is replica_set.primary
+        outcome = router.query_or_raise("SELECT COUNT(*) FROM items")
+        assert outcome.rows[0][0] == 4
+        replica_set.close()
+
+    def test_detached_dead_node_is_skipped(self, tmp_path):
+        replica_set = make_set(tmp_path)
+        seed_rows(replica_set)
+        dead = replica_set.kill_primary()
+        replica_set.tick(replica_set.lease_ticks
+                         + replica_set.heartbeat_interval)
+        assert dead.role == Role.DETACHED
+        router = replica_set.connect(max_lag_lsn=10 ** 6)
+        for _ in range(4):
+            assert router.pick_node(True) is not dead
+        replica_set.close()
+
+
+class TestFrontierSurvivesThePrimary(object):
+    def test_never_shipped_replica_is_not_caught_up(self, tmp_path):
+        """Killing the primary must not amnesia the frontier: a replica
+        that never received a shipment is ``durable_lsn`` records
+        behind, even though no live node remembers those commits."""
+        replica_set = make_set(tmp_path, replicas=1)
+        conn = Connection(replica_set.primary.database,
+                          multi_statements=True)
+        conn.query_or_raise(
+            "CREATE TABLE items (id INT AUTO_INCREMENT PRIMARY KEY, "
+            "name VARCHAR(30))")
+        conn.query_or_raise("INSERT INTO items (name) VALUES ('only')")
+        committed = replica_set.primary.database.durable_lsn
+        assert committed > 0
+        replica_set.kill_primary()  # nothing was ever shipped
+        assert replica_set.frontier_lsn() == committed
+        router = replica_set.connect(max_lag_lsn=0)
+        # the empty replica may not serve a bounded-staleness read —
+        # with the primary dead there is no eligible node at all
+        assert router.pick_node(True) is None
+        replica_set.close()
+
+    def test_promotion_resets_the_timeline(self, tmp_path):
+        replica_set = make_set(tmp_path, replicas=1)
+        seed_rows(replica_set)  # ships, so the replica is caught up
+        conn = Connection(replica_set.primary.database)
+        conn.query_or_raise("INSERT INTO items (name) VALUES ('lost')")
+        replica_set.kill_primary()  # the tail was never shipped
+        survivor = replica_set.promote()
+        # the winner's log is the new frontier: its own reads qualify
+        # again even though the unshipped tail is gone
+        assert replica_set.frontier_lsn() == survivor.database.durable_lsn
+        router = replica_set.connect(max_lag_lsn=0)
+        outcome = router.query_or_raise("SELECT COUNT(*) FROM items")
+        assert outcome.rows[0][0] == 4
+        replica_set.close()

@@ -1,0 +1,80 @@
+"""ShardCatalog: key declarations, DDL tracking, and the partitioning
+function's equality-folding contract."""
+
+import pytest
+
+from repro.shard.catalog import ShardCatalog
+from repro.sqldb.parser import parse_one
+
+
+def observe(catalog, sql):
+    catalog.observe_ddl(parse_one(sql))
+
+
+class TestPartitioningFunction(object):
+    def test_hash_folds_the_engine_equalities(self):
+        catalog = ShardCatalog(4)
+        # case-insensitive strings: WHERE owner = 'Alice' must hit the
+        # shard the row for 'alice' went to
+        assert catalog.shard_of("Alice") == catalog.shard_of("alice")
+        assert catalog.shard_of("ALICE") == catalog.shard_of("alice")
+        # numeric widening: 1 = 1.0 = TRUE in the engine
+        assert catalog.shard_of(1) == catalog.shard_of(1.0)
+        assert catalog.shard_of(True) == catalog.shard_of(1)
+        assert catalog.shard_of(0) == catalog.shard_of(False)
+
+    def test_hash_is_stable_and_spreads(self):
+        catalog = ShardCatalog(4)
+        keys = ["user%04d" % index for index in range(256)]
+        placed = [catalog.shard_of(key) for key in keys]
+        assert placed == [catalog.shard_of(key) for key in keys]
+        # every shard gets a share of a uniform keyspace
+        assert set(placed) == {0, 1, 2, 3}
+
+    def test_distinct_values_can_differ(self):
+        catalog = ShardCatalog(2)
+        placed = {catalog.shard_of("user%04d" % i) for i in range(64)}
+        assert placed == {0, 1}
+
+    def test_single_shard_degenerates(self):
+        catalog = ShardCatalog(1)
+        assert catalog.shard_of("anything") == 0
+        with pytest.raises(ValueError):
+            ShardCatalog(0)
+
+
+class TestDeclarations(object):
+    def test_create_table_defaults_to_non_auto_primary_key(self):
+        catalog = ShardCatalog(2)
+        observe(catalog, "CREATE TABLE accounts (owner VARCHAR(12) "
+                         "PRIMARY KEY, amount INT)")
+        assert catalog.shard_key("accounts") == "owner"
+        assert catalog.columns("ACCOUNTS") == ["owner", "amount"]
+
+    def test_auto_increment_primary_key_pins_the_table(self):
+        # the engine assigns AUTO_INCREMENT values, so a client can
+        # never route by them: whole table on shard 0
+        catalog = ShardCatalog(2)
+        observe(catalog, "CREATE TABLE logs (id INT AUTO_INCREMENT "
+                         "PRIMARY KEY, line VARCHAR(80))")
+        assert catalog.shard_key("logs") is None
+        assert catalog.shard_for("logs", 123) == 0
+
+    def test_explicit_declaration_survives_create(self):
+        catalog = ShardCatalog(2)
+        catalog.declare("tickets", "reservID")
+        observe(catalog, "CREATE TABLE tickets (id INT AUTO_INCREMENT "
+                         "PRIMARY KEY, reservID VARCHAR(20))")
+        assert catalog.shard_key("tickets") == "reservid"
+        assert catalog.columns("tickets") == ["id", "reservID"]
+
+    def test_drop_and_alter_track_schema(self):
+        catalog = ShardCatalog(2)
+        observe(catalog, "CREATE TABLE t (k VARCHAR(8) PRIMARY KEY)")
+        observe(catalog, "ALTER TABLE t ADD COLUMN v INT")
+        assert catalog.columns("t") == ["k", "v"]
+        observe(catalog, "ALTER TABLE t DROP COLUMN v")
+        assert catalog.columns("t") == ["k"]
+        observe(catalog, "DROP TABLE t")
+        assert catalog.shard_key("t") is None
+        assert catalog.tables() == []

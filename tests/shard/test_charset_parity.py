@@ -1,0 +1,111 @@
+"""Charset semantics must be byte-identical on every shard.
+
+SEPTIC runs inside each shard, after that shard's own connection-charset
+decode — the paper's placement, fanned out.  If one shard decoded the
+GBK escape-eating payload differently from another (or folded U+02BC
+differently), an attacker could aim at the permissive shard.  These
+tests seed identical rows on every shard, train each shard's *real*
+SEPTIC on the same benign template, and hold every shard — at 1, 2 and
+4 shards — to the exact same verdict for both §II-D payloads, through
+the router's own per-shard connections.
+"""
+
+import pytest
+
+from repro.core.septic import Mode, Septic
+from repro.core.store import QMStore
+from repro.shard import ShardRouter
+from repro.sqldb.connection import Connection
+
+#: the §II-D1 second-order payload: U+02BC folds to a live quote
+FOLDING_PAYLOAD = "ID34FGʼ-- "
+
+#: the classic GBK shape: 0xBF + escaped quote -> merged char + live quote
+GBK_PAYLOAD = "¿\\' OR '1'='1"
+
+#: the app's call site carries an external identifier, so SEPTIC
+#: compares a mutated structure against the trained model instead of
+#: filing it as merely unknown
+TEMPLATE = ("/* septic:tickets.lookup */ SELECT reservID, creditCard "
+            "FROM tickets WHERE reservID = '%s'")
+
+SEED_SQL = """
+CREATE TABLE tickets (
+    id INT PRIMARY KEY AUTO_INCREMENT,
+    reservID VARCHAR(20),
+    creditCard INT
+);
+INSERT INTO tickets (reservID, creditCard) VALUES
+    ('ID34FG', 1234), ('ZZ11AA', 9999), ('QQ77MM', 4321);
+"""
+
+
+def make_fleet(tmp_path, shards, charset):
+    """A fleet whose every shard runs a real trained SEPTIC in
+    PREVENTION, with identical tickets rows seeded on every shard."""
+    router = ShardRouter(
+        str(tmp_path / "fleet"), shards=shards, replicas=1,
+        charset=charset,
+        septic_factory=lambda: Septic(mode=Mode.TRAINING, store=QMStore()),
+    )
+    for shard in range(shards):
+        database = router.primary_database(shard)
+        conn = Connection(database, charset=charset,
+                          multi_statements=True)
+        conn.query_or_raise(SEED_SQL)
+        # train on the benign shape, then arm
+        conn.query_or_raise(TEMPLATE % "ID34FG")
+        database.septic.mode = Mode.PREVENTION
+    return router
+
+
+def verdict(connection, sql):
+    outcome = connection.query(sql)
+    if outcome.error is not None:
+        return ("error", outcome.error.errno)
+    return [tuple(row) for row in outcome.rows]
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+class TestVerdictParityAcrossShards(object):
+    def test_gbk_escape_eating_blocks_identically(self, tmp_path, shards):
+        router = make_fleet(tmp_path, shards, charset="gbk")
+        sql = TEMPLATE % GBK_PAYLOAD
+        verdicts = [verdict(conn, sql) for conn in router.connections]
+        assert len(set(map(repr, verdicts))) == 1
+        # and the shared verdict is the right one: under gbk the decode
+        # turns the payload into a tautology, structurally unlike the
+        # trained model -> blocked on every shard
+        assert verdicts[0] == ("error", 3090)
+        router.close()
+
+    def test_u02bc_folding_goes_live_identically(self, tmp_path, shards):
+        router = make_fleet(tmp_path, shards, charset="utf8")
+        sql = TEMPLATE % FOLDING_PAYLOAD
+        verdicts = [verdict(conn, sql) for conn in router.connections]
+        assert len(set(map(repr, verdicts))) == 1
+        # the fold closes the literal early and comments out the tail —
+        # the post-decode structure is *identical* to the trained shape,
+        # so SEPTIC (correctly, per the paper) has nothing to flag; the
+        # parity contract is that every shard decodes it the same way
+        assert verdicts[0] == [("ID34FG", 1234)]
+        router.close()
+
+    def test_benign_template_answers_identically(self, tmp_path, shards):
+        router = make_fleet(tmp_path, shards, charset="utf8")
+        sql = TEMPLATE % "ID34FG"
+        verdicts = [verdict(conn, sql) for conn in router.connections]
+        assert len(set(map(repr, verdicts))) == 1
+        assert verdicts[0] == [("ID34FG", 1234)]
+        router.close()
+
+    def test_strict_charset_keeps_payload_inert_everywhere(self, tmp_path,
+                                                           shards):
+        router = make_fleet(tmp_path, shards, charset="utf8_strict")
+        sql = TEMPLATE % FOLDING_PAYLOAD
+        verdicts = [verdict(conn, sql) for conn in router.connections]
+        assert len(set(map(repr, verdicts))) == 1
+        # no fold: the payload stays data, matches the trained shape,
+        # and simply finds no row — on every shard
+        assert verdicts[0] == []
+        router.close()

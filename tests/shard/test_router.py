@@ -1,0 +1,221 @@
+"""ShardRouter: routing kinds, DDL fan-out + epoch bumps, blocked
+scatter abort, multi-shard rejection, and failover self-healing."""
+
+import pytest
+
+from repro.benchlab.crashsweep import MarkerSeptic
+from repro.shard import ShardRouter
+from repro.sqldb.errors import ExecutionError, QueryBlocked
+
+
+def make_router(tmp_path, shards=2, **kwargs):
+    kwargs.setdefault("replicas", 1)
+    kwargs.setdefault("heartbeat_interval", 1)
+    kwargs.setdefault("lease_intervals", 2)
+    kwargs.setdefault("septic_factory", MarkerSeptic)
+    return ShardRouter(str(tmp_path / "fleet"), shards=shards, **kwargs)
+
+
+OWNERS = ["alice", "bob", "carol", "dave", "erin", "frank"]
+
+
+def seed_accounts(router):
+    router.query_or_raise(
+        "CREATE TABLE accounts (owner VARCHAR(12) PRIMARY KEY, "
+        "amount INT)")
+    for index, owner in enumerate(OWNERS):
+        router.query_or_raise(
+            "INSERT INTO accounts (owner, amount) VALUES ('%s', %d)"
+            % (owner, (index + 1) * 10))
+
+
+class TestRoutingKinds(object):
+    def test_keyed_statements_run_on_exactly_one_shard(self, tmp_path):
+        router = make_router(tmp_path)
+        seed_accounts(router)
+        # every row landed on the shard the catalog says it belongs to
+        per_shard = [
+            {row["owner"] for row in
+             router.primary_database(shard).tables["accounts"].rows}
+            for shard in range(2)
+        ]
+        for owner in OWNERS:
+            home = router.catalog.shard_for("accounts", owner)
+            assert owner in per_shard[home]
+            assert owner not in per_shard[1 - home]
+        # keyed read goes straight to the home shard, original SQL text
+        outcome = router.query_or_raise(
+            "SELECT amount FROM accounts WHERE owner = 'carol'")
+        assert outcome.rows == [(30,)]
+        assert router.stats["single_shard"] == len(OWNERS) + 1
+        router.close()
+
+    def test_scatter_union_aggregate_and_topk(self, tmp_path):
+        router = make_router(tmp_path)
+        seed_accounts(router)
+        rows = router.query_or_raise(
+            "SELECT owner, amount FROM accounts").rows
+        assert sorted(rows) == [(o, (i + 1) * 10)
+                                for i, o in sorted(enumerate(OWNERS),
+                                                   key=lambda p: p[1])]
+        agg = router.query_or_raise(
+            "SELECT COUNT(*), SUM(amount), AVG(amount) FROM accounts")
+        assert agg.rows == [(6, 210, 35.0)]
+        top = router.query_or_raise(
+            "SELECT owner, amount FROM accounts "
+            "ORDER BY amount DESC LIMIT 2")
+        assert top.rows == [("frank", 60), ("erin", 50)]
+        assert router.stats["scatter"] == 3
+        # merge-TopK materialized the heap, not the table
+        assert router.last_gather_stats.peak_materialized_rows <= 2
+        router.close()
+
+    def test_pinned_table_lives_whole_on_shard_zero(self, tmp_path):
+        router = make_router(tmp_path)
+        router.query_or_raise(
+            "CREATE TABLE logs (id INT AUTO_INCREMENT PRIMARY KEY, "
+            "line VARCHAR(40))")
+        for index in range(3):
+            router.query_or_raise(
+                "INSERT INTO logs (line) VALUES ('l%d')" % index)
+        assert router.stats["pinned"] == 3
+        assert len(router.primary_database(0).tables["logs"].rows) == 3
+        # the CREATE broadcast put the schema everywhere, but every row
+        # routed to shard 0
+        assert router.primary_database(1).tables["logs"].rows == []
+        router.close()
+
+    def test_route_cache_hits_and_epoch_invalidation(self, tmp_path):
+        router = make_router(tmp_path)
+        seed_accounts(router)
+        sql = "SELECT COUNT(*) FROM accounts"
+        router.query_or_raise(sql)
+        before = router.stats["route_cache_hits"]
+        router.query_or_raise(sql)
+        assert router.stats["route_cache_hits"] == before + 1
+        # DDL bumps the epoch: the cached route may not survive
+        epoch = router.catalog_epoch
+        router.query_or_raise("ALTER TABLE accounts ADD COLUMN note INT")
+        assert router.catalog_epoch > epoch
+        hits = router.stats["route_cache_hits"]
+        outcome = router.query_or_raise("SELECT owner, note FROM accounts "
+                                        "WHERE owner = 'alice'")
+        assert outcome.rows == [("alice", None)]
+        assert router.stats["route_cache_hits"] == hits
+        router.close()
+
+
+class TestBroadcastDDL(object):
+    def test_ddl_lands_on_every_shard(self, tmp_path):
+        router = make_router(tmp_path, shards=3)
+        router.query_or_raise(
+            "CREATE TABLE t (k VARCHAR(8) PRIMARY KEY, v INT)")
+        for shard in range(3):
+            assert "t" in router.primary_database(shard).tables
+        assert router.stats["broadcast"] == 1
+        assert router.catalog.shard_key("t") == "k"
+        router.query_or_raise("DROP TABLE t")
+        for shard in range(3):
+            assert "t" not in router.primary_database(shard).tables
+        router.close()
+
+
+class TestRejections(object):
+    def test_multi_shard_update_is_rejected_at_plan_time(self, tmp_path):
+        router = make_router(tmp_path)
+        seed_accounts(router)
+        outcome = router.query("UPDATE accounts SET amount = 0")
+        assert isinstance(outcome.error, ExecutionError)
+        assert outcome.error.errno == 1235
+        # zero partial effects: nothing moved on any shard
+        rows = router.query_or_raise(
+            "SELECT SUM(amount) FROM accounts").rows
+        assert rows == [(210,)]
+        router.close()
+
+    def test_keyed_update_still_works(self, tmp_path):
+        router = make_router(tmp_path)
+        seed_accounts(router)
+        router.query_or_raise(
+            "UPDATE accounts SET amount = 99 WHERE owner = 'bob'")
+        assert router.query_or_raise(
+            "SELECT amount FROM accounts WHERE owner = 'bob'"
+        ).rows == [(99,)]
+        router.close()
+
+    def test_transactions_are_rejected(self, tmp_path):
+        router = make_router(tmp_path)
+        outcome = router.query("BEGIN")
+        assert outcome.error.errno == 1235
+        router.close()
+
+    def test_insert_without_shard_key_is_rejected(self, tmp_path):
+        router = make_router(tmp_path)
+        seed_accounts(router)
+        outcome = router.query("INSERT INTO accounts (amount) VALUES (1)")
+        assert outcome.error.errno == 1235
+        router.close()
+
+
+class TestSepticPerShard(object):
+    def test_blocked_scatter_aborts_whole_statement(self, tmp_path):
+        router = make_router(tmp_path)
+        seed_accounts(router)
+        outcome = router.query(
+            "SELECT COUNT(*) FROM accounts WHERE owner != 'evil'")
+        assert isinstance(outcome.error, QueryBlocked)
+        assert outcome.error.errno == 3090
+        # the gather unwound at the first shard's verdict: at most one
+        # shard ever saw the statement
+        blocked = [router.primary_database(s).septic.blocked
+                   for s in range(2)]
+        assert sum(blocked) == 1
+        router.close()
+
+    def test_blocked_single_shard_write_has_no_effects(self, tmp_path):
+        router = make_router(tmp_path)
+        seed_accounts(router)
+        outcome = router.query(
+            "UPDATE accounts SET amount = 666 "
+            "WHERE owner = 'alice' -- evil")
+        assert isinstance(outcome.error, QueryBlocked)
+        assert router.query_or_raise(
+            "SELECT amount FROM accounts WHERE owner = 'alice'"
+        ).rows == [(10,)]
+        router.close()
+
+
+class TestFailover(object):
+    def test_scatter_read_rides_a_primary_failover(self, tmp_path):
+        router = make_router(tmp_path)
+        seed_accounts(router)
+        router.ship()
+        victim_owner = OWNERS[0]
+        victim = router.catalog.shard_for("accounts", victim_owner)
+        router.kill_primary(victim)
+        # reads ride immediately: the caught-up replica serves the
+        # scatter without waiting for an election, zero lost rows
+        outcome = router.query_or_raise(
+            "SELECT COUNT(*), SUM(amount) FROM accounts")
+        assert outcome.rows == [(6, 210)]
+        # a write to the dead shard retries in virtual ticks until the
+        # lease expires and a survivor is promoted
+        router.query_or_raise(
+            "UPDATE accounts SET amount = amount + 1 "
+            "WHERE owner = '%s'" % victim_owner)
+        assert router.shard_sets[victim].promotions == 1
+        assert router.query_or_raise(
+            "SELECT SUM(amount) FROM accounts").rows == [(211,)]
+        router.close()
+
+
+def test_status_shape(tmp_path):
+    router = make_router(tmp_path)
+    seed_accounts(router)
+    status = router.status()
+    assert status["shards"] == 2
+    assert status["tables"] == ["accounts"]
+    assert status["catalog_epoch"] >= 1
+    assert all(name is not None for name in status["primaries"])
+    assert status["stats"]["single_shard"] == len(OWNERS)
+    router.close()

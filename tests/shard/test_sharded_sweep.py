@@ -1,0 +1,37 @@
+"""Smoke coverage for the sharded crash sweep (the full 3-seed sweep
+runs in ``benchmarks/bench_sharded_scaleout.py``)."""
+
+from repro.benchlab.crashsweep import (
+    ShardedSweepResult,
+    format_sharded_result,
+    generate_sharded_workload,
+    run_sharded_sweep,
+)
+
+
+class TestWorkload(object):
+    def test_deterministic_per_seed(self):
+        assert (generate_sharded_workload(5)
+                == generate_sharded_workload(5))
+        assert (generate_sharded_workload(5)
+                != generate_sharded_workload(6))
+
+    def test_shape(self):
+        ops = generate_sharded_workload(5, writes=8)
+        kinds = [kind for kind, _sql in ops]
+        assert kinds.count("w") == 9  # CREATE TABLE + 8 DML boundaries
+        assert kinds.count("x") == 2  # blocked write + blocked scatter
+        assert kinds.count("r") >= 1
+        assert ops[0][1].startswith("CREATE TABLE accounts")
+
+
+def test_sweep_is_clean(tmp_path):
+    result = run_sharded_sweep(str(tmp_path), seed=3, shards=2,
+                               replicas=1, writes=4)
+    assert isinstance(result, ShardedSweepResult)
+    assert result.boundaries == 5
+    assert result.kills == result.boundaries * 2
+    assert result.promotions == result.kills
+    assert result.scatter_reads == result.kills
+    assert result.ok, format_sharded_result(result)
+    assert "verdict: OK" in format_sharded_result(result)

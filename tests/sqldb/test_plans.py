@@ -337,3 +337,92 @@ def test_executor_owns_no_planning_decisions():
         assert marker not in source, (
             "executor.py mentions %r — planning logic belongs in "
             "planner.py" % marker)
+
+
+class TestDistributedPlans(object):
+    """Golden trees for the scatter/gather planning pass: which gather
+    shape each cross-shard SELECT gets, and which statements route to a
+    single shard or are rejected at plan time."""
+
+    @pytest.fixture
+    def dplanner(self):
+        from repro.shard.catalog import ShardCatalog
+        from repro.sqldb.planner import DistributedPlanner
+        catalog = ShardCatalog(2)
+        catalog.declare("tickets", "reservID",
+                        ["reservID", "creditCard", "price"])
+        return DistributedPlanner(2, catalog)
+
+    def route(self, dplanner, sql):
+        return dplanner.route(parse_one(sql), sql)
+
+    def test_shard_key_equality_routes_single(self, dplanner):
+        route = self.route(
+            dplanner, "SELECT creditCard FROM tickets "
+                      "WHERE reservID = 'ID34FG'")
+        assert route.kind == "single"
+        assert route.key_values == ("ID34FG",)
+        # single-shard routing forwards the ORIGINAL text: the target
+        # shard's pipeline cache stays warm
+        assert route.sql == ("SELECT creditCard FROM tickets "
+                             "WHERE reservID = 'ID34FG'")
+        assert route.plan is None
+
+    def test_scatter_select_gathers_with_union(self, dplanner):
+        route = self.route(dplanner,
+                           "SELECT reservID, creditCard FROM tickets")
+        assert route.kind == "scatter"
+        assert plan_mod.render_tree(route.plan) == (
+            "Gather(union, 2 shards)\n"
+            "  ShardScan(shard=0: SELECT reservID, creditCard "
+            "FROM tickets)\n"
+            "  ShardScan(shard=1: SELECT reservID, creditCard "
+            "FROM tickets)"
+        )
+
+    def test_aggregates_rewrite_to_partial_final(self, dplanner):
+        route = self.route(dplanner,
+                           "SELECT COUNT(*), SUM(price) FROM tickets")
+        assert route.kind == "scatter"
+        assert plan_mod.render_tree(route.plan) == (
+            "Gather(partial-agg: count->sum, sum)\n"
+            "  ShardScan(shard=0: SELECT COUNT(*), SUM(price) "
+            "FROM tickets)\n"
+            "  ShardScan(shard=1: SELECT COUNT(*), SUM(price) "
+            "FROM tickets)"
+        )
+
+    def test_avg_decomposes_to_sum_and_count(self, dplanner):
+        route = self.route(dplanner, "SELECT AVG(price) FROM tickets")
+        tree_text = plan_mod.render_tree(route.plan)
+        assert "Gather(partial-agg: avg->sum/count)" in tree_text
+        # each shard ships SUM and COUNT partials, never a local AVG
+        assert "SELECT SUM(price), COUNT(price) FROM tickets" in tree_text
+
+    def test_order_by_limit_merges_with_topk(self, dplanner):
+        route = self.route(
+            dplanner, "SELECT reservID, price FROM tickets "
+                      "ORDER BY price DESC LIMIT 3")
+        assert route.kind == "scatter"
+        assert plan_mod.render_tree(route.plan) == (
+            "Gather(merge-topk, k=3)\n"
+            "  ShardScan(shard=0: SELECT reservID, price FROM tickets "
+            "ORDER BY price DESC LIMIT 3)\n"
+            "  ShardScan(shard=1: SELECT reservID, price FROM tickets "
+            "ORDER BY price DESC LIMIT 3)"
+        )
+
+    def test_ddl_broadcasts(self, dplanner):
+        route = self.route(dplanner,
+                           "CREATE TABLE t (k INT PRIMARY KEY)")
+        assert route.kind == "broadcast"
+
+    def test_multi_shard_dml_is_rejected_at_plan_time(self, dplanner):
+        from repro.sqldb.errors import ExecutionError
+        with pytest.raises(ExecutionError) as err:
+            self.route(dplanner, "UPDATE tickets SET price = 0")
+        assert err.value.errno == 1235
+        with pytest.raises(ExecutionError) as err:
+            self.route(dplanner,
+                       "DELETE FROM tickets WHERE price > 100")
+        assert err.value.errno == 1235

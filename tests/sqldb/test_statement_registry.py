@@ -1,0 +1,94 @@
+"""The per-connection prepared-statement registry is bounded: a client
+that prepares forever (or leaks handles) evicts its own oldest
+statements instead of growing the server without limit.  Evicted
+handles answer like closed ones — errno 1243 — and the wire front end
+surfaces the eviction count through ``Septic.status()["net"]``."""
+
+from repro.core.logger import SepticLogger
+from repro.core.septic import Mode, Septic
+from repro.net.client import NetClient
+from repro.net.server import NetServer
+from repro.sqldb.connection import Connection
+from repro.sqldb.engine import Database
+
+SCHEMA = """
+CREATE TABLE tickets (
+    id INT PRIMARY KEY AUTO_INCREMENT,
+    reservID VARCHAR(20)
+);
+INSERT INTO tickets (reservID) VALUES ('ID34FG'), ('ZZ11AA');
+"""
+
+
+def make_conn(max_statements=None):
+    database = Database()
+    database.seed(SCHEMA)
+    return Connection(database, max_statements=max_statements)
+
+
+class TestRegistryCap(object):
+    def test_lru_eviction_beyond_the_cap(self):
+        conn = make_conn(max_statements=3)
+        handles = [
+            conn.prepare_statement(
+                "SELECT reservID FROM tickets WHERE id = %d" % index
+            )[0]
+            for index in range(5)
+        ]
+        assert len(conn.open_statements) == 3
+        assert conn.statement_evictions == 2
+        # oldest two are gone, newest three survive
+        assert set(conn.open_statements) == set(handles[2:])
+
+    def test_evicted_handle_answers_like_a_closed_one(self):
+        conn = make_conn(max_statements=1)
+        first, _ = conn.prepare_statement(
+            "SELECT reservID FROM tickets WHERE id = ?")
+        conn.prepare_statement("SELECT COUNT(*) FROM tickets")
+        outcome = conn.execute_statement(first, (1,))
+        assert outcome.error is not None
+        assert outcome.error.errno == 1243
+
+    def test_execute_refreshes_recency(self):
+        conn = make_conn(max_statements=2)
+        keeper, _ = conn.prepare_statement(
+            "SELECT reservID FROM tickets WHERE id = ?")
+        conn.prepare_statement("SELECT COUNT(*) FROM tickets")
+        # touching the oldest promotes it: the *other* one is evicted
+        assert conn.execute_statement(keeper, (1,)).ok
+        conn.prepare_statement("SELECT id FROM tickets")
+        assert keeper in conn.open_statements
+        assert conn.statement_evictions == 1
+        assert conn.execute_statement(keeper, (2,)).ok
+
+    def test_default_cap_is_the_class_attribute(self):
+        conn = make_conn()
+        assert conn.max_statements == Connection.MAX_STATEMENTS
+        assert Connection(conn.database, max_statements=0) \
+            .max_statements == 1
+
+
+class TestWireSurface(object):
+    def test_evictions_show_up_in_septic_status(self):
+        septic = Septic(mode=Mode.TRAINING, logger=SepticLogger())
+        database = Database(septic=septic)
+        database.seed(SCHEMA)
+        septic.bound_database = database
+        with NetServer(database, max_statements=2) as server:
+            with NetClient(server.host, server.port) as client:
+                handles = [
+                    client.prepare(
+                        "SELECT reservID FROM tickets WHERE id = %d"
+                        % index)
+                    for index in range(4)
+                ]
+                # the evicted oldest handle errors exactly like a
+                # closed one over the wire
+                outcome = client.execute(handles[0])
+                assert outcome.error is not None
+                assert outcome.error.errno == 1243
+                assert client.execute(handles[-1]).ok
+            stats = server.stats_dict()
+            assert stats["stmt_evictions"] == 2
+            net = septic.status()["net"]
+            assert net["stmt_evictions"] == 2

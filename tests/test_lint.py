@@ -439,6 +439,10 @@ def test_topk_gate_catches_a_full_sort(tmp_path):
 _BLOCKING_OPERATORS = frozenset([
     "NestedLoopJoin", "HashJoin", "Aggregate", "Sort", "TopK", "Union",
     "InsertSink", "UpdateSink", "DeleteSink",
+    # gather-side blockers: partial-aggregate merge buffers its groups,
+    # merge-topk keeps the bounded heap (GatherUnion and ShardScan are
+    # deliberately NOT here — they must stream)
+    "GatherAggregate", "GatherTopK",
 ])
 
 
@@ -796,4 +800,111 @@ def test_netlab_never_reads_the_wall_clock():
     clock — a wall-clock read would make its speedup load-dependent."""
     path = os.path.join(SRC_ROOT, "repro", "benchlab", "netlab.py")
     problems = _wall_clock_violations(path)
+    assert problems == [], "\n".join(problems)
+
+
+SHARD_ROOT = os.path.join(SRC_ROOT, "repro", "shard")
+
+#: modules/calls that implement (or smell like) hash partitioning —
+#: confined to ``repro.shard.catalog`` by the gate below
+_HASH_MODULES = frozenset(["zlib", "hashlib", "binascii"])
+_SHARD_CALLS = frozenset(["crc32", "shard_of", "shard_for"])
+
+
+def _shard_hash_violations(path):
+    """Shard-selection arithmetic outside ``shard/``: the planner
+    classifies statements and extracts key *values*, the router asks the
+    catalog for the ordinal — neither may hash a key or do modulo math
+    over anything shard-named.  One swappable, auditable partitioning
+    function, in one module."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    rel = os.path.relpath(path, REPO_ROOT)
+    problems = []
+
+    def names_in(node):
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                yield sub.id
+            elif isinstance(sub, ast.Attribute):
+                yield sub.attr
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in _HASH_MODULES:
+                    problems.append(
+                        "%s:%d: imports %s — partition hashing lives in "
+                        "repro.shard.catalog only"
+                        % (rel, node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] in _HASH_MODULES:
+                problems.append(
+                    "%s:%d: imports from %s — partition hashing lives "
+                    "in repro.shard.catalog only"
+                    % (rel, node.lineno, node.module))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            # asking the catalog (x.catalog.shard_for(...)) is the
+            # sanctioned path; computing it any other way is not
+            through_catalog = (
+                isinstance(func, ast.Attribute)
+                and "catalog" in set(names_in(func.value))
+            )
+            if name in _SHARD_CALLS and not through_catalog:
+                problems.append(
+                    "%s:%d: calls %s() — ask the ShardCatalog, don't "
+                    "partition locally" % (rel, node.lineno, name))
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+            if (isinstance(node.left, ast.Constant)
+                    and isinstance(node.left.value, str)):
+                continue  # %-style string formatting, not arithmetic
+            involved = set(names_in(node.left)) | set(names_in(node.right))
+            if any("shard" in name.lower() for name in involved):
+                problems.append(
+                    "%s:%d: modulo arithmetic over %s — shard placement "
+                    "is the catalog's call"
+                    % (rel, node.lineno,
+                       sorted(n for n in involved
+                              if "shard" in n.lower())))
+    return problems
+
+
+def test_shard_selection_is_confined_to_the_catalog():
+    """The planner/executor/plan layers never compute a shard: they
+    carry key values and ordinals the catalog handed out."""
+    problems = []
+    for module in ("planner.py", "executor.py", "plan.py"):
+        path = os.path.join(SRC_ROOT, "repro", "sqldb", module)
+        problems.extend(_shard_hash_violations(path))
+    # the router orchestrates but still must not hash
+    problems.extend(_shard_hash_violations(
+        os.path.join(SHARD_ROOT, "router.py")))
+    assert problems == [], "\n".join(problems)
+
+
+def test_shard_hash_gate_catches_local_partitioning(tmp_path):
+    bad = tmp_path / "bad_route.py"
+    bad.write_text(
+        "import zlib\n"
+        "def place(key, shard_count):\n"
+        "    ordinal = zlib.crc32(key) % shard_count\n"
+        "    return ordinal\n"
+    )
+    problems = _shard_hash_violations(str(bad))
+    assert len(problems) == 3
+    joined = "\n".join(problems)
+    assert "imports zlib" in joined
+    assert "crc32()" in joined
+    assert "modulo arithmetic" in joined
+
+
+def test_shard_subsystem_never_reads_the_wall_clock():
+    """The sharded fleet runs on the replica sets' virtual tick clocks —
+    the sharded crash sweep's determinism depends on it."""
+    problems = []
+    for path in _python_files(SHARD_ROOT):
+        problems.extend(_wall_clock_violations(path))
     assert problems == [], "\n".join(problems)
